@@ -1,0 +1,96 @@
+//! Criterion benchmark for experiment E3 (paper Figure 3): wall-clock
+//! cost of co-simulating the same producer/consumer system at each
+//! interface-abstraction level, plus the coordinator-quantum ablation.
+//!
+//! Expected shape: pin ≫ register > driver ≈ message, spanning orders of
+//! magnitude — the paper's "computationally expensive" vs "very
+//! efficient computationally".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use codesign_sim::engine::{Coordinator, SimEngine};
+use codesign_sim::ladder::{run_level, AbstractionLevel, LadderConfig};
+use codesign_sim::SimError;
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_abstraction_levels");
+    let cfg = LadderConfig::default();
+    for level in AbstractionLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| run_level(level, &cfg).expect("level simulates"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_register_level_message_size");
+    for bytes in [16u64, 256, 1024] {
+        let cfg = LadderConfig {
+            message_bytes: bytes,
+            ..LadderConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &cfg, |b, cfg| {
+            b.iter(|| run_level(AbstractionLevel::Register, cfg).expect("simulates"));
+        });
+    }
+    group.finish();
+}
+
+/// A trivially-advancing engine, so the benchmark isolates the pure
+/// coordination overhead of the conservative quantum protocol.
+#[derive(Debug)]
+struct IdleEngine {
+    time: u64,
+    horizon: u64,
+}
+
+impl SimEngine for IdleEngine {
+    fn name(&self) -> &str {
+        "idle"
+    }
+    fn local_time(&self) -> u64 {
+        self.time
+    }
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        self.time = t.min(self.horizon);
+        Ok(())
+    }
+    fn is_done(&self) -> bool {
+        self.time >= self.horizon
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_quantum_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_coordinator_quantum");
+    for quantum in [1u64, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(quantum),
+            &quantum,
+            |b, &quantum| {
+                b.iter(|| {
+                    let mut coord = Coordinator::new(quantum);
+                    for _ in 0..4 {
+                        coord.add_engine(Box::new(IdleEngine {
+                            time: 0,
+                            horizon: 100_000,
+                        }));
+                    }
+                    coord.run(10_000_000).expect("finishes")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_levels,
+    bench_message_size_sweep,
+    bench_quantum_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmark for experiment E10 (Vahid & Gajski \[18\]):
+//! incremental sharing-aware hardware estimation vs full recomputation,
+//! as a function of hardware-set size.
+//!
+//! Expected shape: the incremental move probe (remove + query + add) is
+//! near-constant in set size; recomputation is linear — which is what
+//! makes cost feedback viable inside a partitioning inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use codesign_hls::estimate::{AreaModel, HwRequirement, SharedAreaEstimator};
+
+fn requirement(i: usize) -> HwRequirement {
+    HwRequirement {
+        fu_counts: [i % 7 + 1, i % 3, i % 2, i % 5],
+        registers: (i % 11 + 1) as u32,
+        states: i % 13 + 2,
+        ops: i % 17 + 3,
+    }
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let model = AreaModel::default();
+    let mut group = c.benchmark_group("e10_incremental_move_probe");
+    for n in [16usize, 128, 1024] {
+        let reqs: Vec<HwRequirement> = (0..n).map(requirement).collect();
+        let mut est = SharedAreaEstimator::new(model.clone());
+        for r in &reqs {
+            est.add(r);
+        }
+        let mut k = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let r = &reqs[k % n];
+                k += 1;
+                est.remove(r);
+                let a = est.area();
+                est.add(r);
+                a
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recompute(c: &mut Criterion) {
+    let model = AreaModel::default();
+    let mut group = c.benchmark_group("e10_full_recompute");
+    for n in [16usize, 128, 1024] {
+        let reqs: Vec<HwRequirement> = (0..n).map(requirement).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SharedAreaEstimator::recompute(&model, reqs.iter()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental, bench_recompute);
+criterion_main!(benches);

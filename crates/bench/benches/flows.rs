@@ -1,0 +1,154 @@
+//! Criterion benchmarks for the remaining experiments and substrates:
+//!
+//! * E6 — ASIP pattern mining and selection (`codesign-isa::asip`);
+//! * E7 — static vs dynamic FPGA repartitioning;
+//! * E8 — partitioning algorithms over a characterized task graph;
+//! * E9 — multi-threaded co-processor placement search;
+//! * substrate throughput: behavioral synthesis per kernel and
+//!   event-driven gate simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use codesign_hls::{synthesize, Constraints};
+use codesign_ir::workload::kernels;
+use codesign_ir::workload::tgff::{
+    random_process_network, random_task_graph, NetworkConfig, TgffConfig,
+};
+use codesign_isa::asip::AsipExtension;
+use codesign_partition::algorithms::{hw_first, kernighan_lin, sw_first};
+use codesign_partition::area::NaiveArea;
+use codesign_partition::cost::Objective;
+use codesign_partition::eval::EvalConfig;
+use codesign_partition::reconfig::{run_dynamic, run_static, Phase};
+use codesign_rtl::fpga::{Bitstream, FpgaFabric};
+use codesign_synth::mthread::{comm_aware, compute_only, MthreadConfig};
+
+fn bench_e6_asip_selection(c: &mut Criterion) {
+    let suite = [kernels::fir(8), kernels::dct8(), kernels::horner(6)];
+    let refs: Vec<&codesign_ir::cdfg::Cdfg> = suite.iter().collect();
+    let mut group = c.benchmark_group("e6_asip_selection");
+    for budget in [700u32, 5_600] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| AsipExtension::select(&refs, budget));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e7_reconfig(c: &mut Criterion) {
+    let phases: Vec<Phase> = (0..16)
+        .map(|i| Phase {
+            unit: Bitstream {
+                name: format!("u{}", i % 4),
+                luts: 300,
+                latency: 5,
+            },
+            sw_cycles: 80,
+            invocations: 64,
+        })
+        .collect();
+    let mut group = c.benchmark_group("e7_reconfiguration");
+    group.bench_function("static", |b| {
+        b.iter(|| {
+            let mut fab = FpgaFabric::new(1, 512, 30);
+            run_static(&phases, &mut fab).expect("runs")
+        });
+    });
+    group.bench_function("dynamic", |b| {
+        b.iter(|| {
+            let mut fab = FpgaFabric::new(1, 512, 30);
+            run_dynamic(&phases, &mut fab).expect("runs")
+        });
+    });
+    group.finish();
+}
+
+fn bench_e8_partitioning(c: &mut Criterion) {
+    let g = random_task_graph(&TgffConfig {
+        tasks: 14,
+        seed: 0xE8,
+        ..TgffConfig::default()
+    });
+    let naive = NaiveArea;
+    let deadline = g.total_sw_cycles() / 3;
+    let cfg = EvalConfig::new(Objective::performance_driven(deadline), &naive);
+    let mut group = c.benchmark_group("e8_partitioning_algorithms");
+    group.bench_function("sw_first", |b| {
+        b.iter(|| sw_first(&g, &cfg).expect("partitions"));
+    });
+    group.bench_function("hw_first", |b| {
+        b.iter(|| hw_first(&g, &cfg).expect("partitions"));
+    });
+    group.bench_function("kernighan_lin", |b| {
+        b.iter(|| kernighan_lin(&g, &cfg).expect("partitions"));
+    });
+    group.finish();
+}
+
+fn bench_e9_mthread(c: &mut Criterion) {
+    let net = random_process_network(&NetworkConfig {
+        processes: 7,
+        seed: 0xE9,
+        ..NetworkConfig::default()
+    });
+    let cfg = MthreadConfig::default();
+    let mut group = c.benchmark_group("e9_mthread_placement");
+    group.bench_function("comm_aware", |b| {
+        b.iter(|| comm_aware(&net, &cfg).expect("places"));
+    });
+    group.bench_function("compute_only", |b| {
+        b.iter(|| compute_only(&net, &cfg).expect("places"));
+    });
+    group.finish();
+}
+
+fn bench_substrate_hls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_hls_synthesize");
+    for kernel in [kernels::fir(8), kernels::dct8(), kernels::crc32_byte()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name().to_string()),
+            &kernel,
+            |b, k| {
+                b.iter(|| synthesize(k, &Constraints::default()).expect("synthesizes"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_substrate_gatesim(c: &mut Criterion) {
+    use codesign_rtl::netlist::Netlist;
+    use codesign_rtl::sim::Simulator;
+    // A 32-bit ripple adder churned with changing operands.
+    let mut n = Netlist::new("adder32");
+    let a: Vec<_> = (0..32).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b_pins: Vec<_> = (0..32).map(|i| n.add_input(format!("b{i}"))).collect();
+    let cin = n.add_input("cin");
+    let _ = n.ripple_adder(&a, &b_pins, cin).expect("builds");
+    c.bench_function("substrate_gate_sim_adder32", |bch| {
+        let mut sim = Simulator::new(&n).expect("builds");
+        let mut x = 0u64;
+        bch.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sim.set_bus(&a, x & 0xFFFF_FFFF);
+            sim.set_bus(&b_pins, (x >> 32) & 0xFFFF_FFFF);
+            sim.settle().expect("settles");
+            sim.events_processed()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_e6_asip_selection,
+    bench_e7_reconfig,
+    bench_e8_partitioning,
+    bench_e9_mthread,
+    bench_substrate_hls,
+    bench_substrate_gatesim
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmark for experiment E5 (paper Figure 5): runtimes of
+//! the three multiprocessor co-synthesis solvers across task-graph
+//! sizes.
+//!
+//! Expected shape: the exact branch-and-bound (SOS-style ILP) grows
+//! exponentially with graph size while the bin-packing and
+//! sensitivity-driven heuristics stay polynomial — the classic
+//! optimality/runtime crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use codesign_ir::task::TaskGraph;
+use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
+use codesign_synth::multiproc::{
+    bin_packing, branch_and_bound, sensitivity_driven, MultiprocConfig,
+};
+
+fn graph(tasks: usize) -> (TaskGraph, MultiprocConfig) {
+    let g = random_task_graph(&TgffConfig {
+        tasks,
+        seed: 0xE5,
+        sw_cycles: (2_000, 10_000),
+        ..TgffConfig::default()
+    });
+    let mut cfg = MultiprocConfig::new(g.total_sw_cycles() / 3);
+    cfg.max_instances = 2;
+    (g, cfg)
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_exact_branch_and_bound");
+    group.sample_size(10);
+    for tasks in [4usize, 6, 8] {
+        let (g, cfg) = graph(tasks);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter(|| branch_and_bound(&g, &cfg).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_heuristics");
+    for tasks in [8usize, 16, 32] {
+        let (g, cfg) = graph(tasks);
+        group.bench_with_input(BenchmarkId::new("bin_packing", tasks), &tasks, |b, _| {
+            b.iter(|| bin_packing(&g, &cfg).expect("feasible"));
+        });
+        group.bench_with_input(BenchmarkId::new("sensitivity", tasks), &tasks, |b, _| {
+            b.iter(|| sensitivity_driven(&g, &cfg).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_heuristics);
+criterion_main!(benches);

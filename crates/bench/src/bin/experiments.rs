@@ -1,0 +1,21 @@
+//! Regenerates every experiment (E1–E10) and prints the tables recorded
+//! in `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run -p codesign-bench --bin experiments [--only E3,E5]`
+
+fn main() {
+    let only: Option<Vec<String>> = std::env::args()
+        .skip_while(|a| a != "--only")
+        .nth(1)
+        .map(|list| list.split(',').map(|s| s.trim().to_uppercase()).collect());
+
+    for report in codesign_bench::run_all() {
+        if only
+            .as_ref()
+            .is_some_and(|ids| !ids.iter().any(|id| id == report.id))
+        {
+            continue;
+        }
+        println!("{report}");
+    }
+}

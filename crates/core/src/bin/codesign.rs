@@ -1,0 +1,301 @@
+//! `codesign` — the command-line front end to the co-design framework.
+//!
+//! ```text
+//! codesign classify                         criteria tables (paper §5, Fig. 2)
+//! codesign partition <spec.cds> [opts]      HW/SW-partition the task-graph view
+//! codesign cosim <spec.cds> [opts]          message-level co-simulation of the process view
+//! codesign multiproc <spec.cds> --deadline N   processor allocation (Fig. 5 flows)
+//! codesign ladder [opts]                    the Figure 3 abstraction-ladder sweep
+//! ```
+//!
+//! Run `codesign help` for the options of each subcommand.
+
+use std::process::ExitCode;
+
+use codesign::ir::spec::SystemSpec;
+use codesign::partition::algorithms::{
+    gclp, hw_first, kernighan_lin, simulated_annealing, sw_first, AnnealingSchedule,
+};
+use codesign::partition::area::{NaiveArea, SharedArea};
+use codesign::partition::cost::Objective;
+use codesign::partition::eval::EvalConfig;
+use codesign::sim::ladder::{run_ladder, timing_errors, LadderConfig};
+use codesign::sim::message::{simulate, MessageConfig, Placement};
+use codesign::synth::mthread::{comm_aware, MthreadConfig};
+use codesign::synth::multiproc::{
+    bin_packing, branch_and_bound, sensitivity_driven, MultiprocConfig,
+};
+
+const HELP: &str = "\
+codesign — mixed hardware/software system design (Adams & Thomas, DAC 1996)
+
+USAGE:
+  codesign classify
+      Print the survey criteria table and this framework's coverage matrix.
+
+  codesign partition <spec.cds> [--objective perf|cost|concurrency]
+                     [--algorithm kl|sw|hw|gclp|sa] [--deadline N] [--sharing]
+      Partition the spec's task-graph view. The deadline defaults to the
+      spec's `deadline` line; `--sharing` prices hardware with the
+      sharing-aware estimator.
+
+  codesign cosim <spec.cds> [--hw name1,name2] [--budget K]
+      Message-level co-simulation of the spec's process-network view.
+      `--hw` pins processes to hardware; `--budget K` instead searches for
+      the best K-process hardware set (communication/concurrency aware).
+
+  codesign multiproc <spec.cds> --deadline N [--solver exact|bin|sens]
+      Allocate processors and map the task graph (Figure 5 flows).
+
+  codesign ladder [--bytes N] [--iterations N]
+      Run the Figure 3 abstraction-ladder scenario at all four levels.
+
+  codesign help
+      Show this message.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some("classify") => cmd_classify(),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("cosim") => cmd_cosim(&args[1..]),
+        Some("multiproc") => cmd_multiproc(&args[1..]),
+        Some("ladder") => cmd_ladder(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`; try `codesign help`").into()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_spec(args: &[String]) -> Result<SystemSpec, Box<dyn std::error::Error>> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing <spec.cds> argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(SystemSpec::parse(&text)?)
+}
+
+fn cmd_classify() -> Result<(), Box<dyn std::error::Error>> {
+    let survey = codesign::registry::surveyed_methodologies();
+    println!("Surveyed methodologies (paper Section 4/5):\n");
+    print!("{}", codesign::report::comparison_table(&survey));
+    let flows = codesign::registry::implemented_flows();
+    println!("\nImplemented flows (Figure 2 coverage):\n");
+    print!("{}", codesign::report::coverage_matrix(&flows));
+    println!("\nPartitioning factors per flow (Section 3.3):\n");
+    print!("{}", codesign::report::factor_matrix(&flows));
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = load_spec(args)?;
+    let graph = spec
+        .task_graph()
+        .ok_or("the spec declares no tasks; `partition` needs the task-graph view")?;
+    let deadline = match flag_value(args, "--deadline") {
+        Some(v) => Some(v.parse::<u64>()?),
+        None => graph.deadline(),
+    };
+    let objective = match (flag_value(args, "--objective"), deadline) {
+        (Some("cost"), Some(d)) => Objective::cost_driven(d),
+        (Some("concurrency"), Some(d)) => Objective::concurrency_aware(d),
+        (Some("perf") | None, Some(d)) => Objective::performance_driven(d),
+        (Some(o), Some(_)) => return Err(format!("unknown objective `{o}`").into()),
+        (_, None) => Objective::default(),
+    };
+    let shared;
+    let naive = NaiveArea;
+    let area: &dyn codesign::partition::area::HwAreaModel = if has_flag(args, "--sharing") {
+        shared = SharedArea::from_graph(graph);
+        &shared
+    } else {
+        &naive
+    };
+    let config = EvalConfig::new(objective, area);
+    let (partition, eval) = match flag_value(args, "--algorithm").unwrap_or("kl") {
+        "kl" => kernighan_lin(graph, &config)?,
+        "sw" => sw_first(graph, &config)?,
+        "hw" => hw_first(graph, &config)?,
+        "gclp" => gclp(graph, &config)?,
+        "sa" => simulated_annealing(graph, &config, &AnnealingSchedule::default(), 1)?,
+        other => return Err(format!("unknown algorithm `{other}`").into()),
+    };
+    println!("system `{}` — partition:", spec.name());
+    for (id, task) in graph.iter() {
+        println!("  {:<16} {:?}", task.name(), partition.side(id));
+    }
+    println!(
+        "\nmakespan {} cycles{}, hardware area {:.1}, {} bytes cross the boundary, cost {:.4}",
+        eval.makespan,
+        deadline.map_or(String::new(), |d| format!(
+            " (deadline {d}: {})",
+            if eval.meets_deadline { "met" } else { "MISSED" }
+        )),
+        eval.hw_area,
+        eval.cross_bytes,
+        eval.cost
+    );
+    Ok(())
+}
+
+fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = load_spec(args)?;
+    let net = spec
+        .network()
+        .ok_or("the spec declares no processes; `cosim` needs the process view")?;
+    let report;
+    let hw_names: Vec<String>;
+    if let Some(budget) = flag_value(args, "--budget") {
+        let cfg = MthreadConfig {
+            max_hw_processes: budget.parse()?,
+            sim: MessageConfig::default(),
+        };
+        let outcome = comm_aware(net, &cfg)?;
+        hw_names = outcome
+            .hw_processes
+            .iter()
+            .map(|&i| {
+                net.process(codesign::ir::process::ProcessId::from_index(i))
+                    .name()
+                    .to_string()
+            })
+            .collect();
+        report = outcome.report;
+    } else {
+        let hw_list: Vec<&str> = flag_value(args, "--hw")
+            .map(|v| v.split(',').collect())
+            .unwrap_or_default();
+        let mut hw_idx = Vec::new();
+        for name in &hw_list {
+            let found = net
+                .iter()
+                .find(|(_, p)| p.name() == *name)
+                .map(|(id, _)| id.index())
+                .ok_or_else(|| format!("no process named `{name}`"))?;
+            hw_idx.push(found);
+        }
+        let mut next_hw = 0u32;
+        let placement = Placement::from_assignment(
+            (0..net.len())
+                .map(|i| {
+                    if hw_idx.contains(&i) {
+                        next_hw += 1;
+                        codesign::sim::message::Resource::Hardware(next_hw - 1)
+                    } else {
+                        codesign::sim::message::Resource::Software(0)
+                    }
+                })
+                .collect(),
+        );
+        hw_names = hw_list.iter().map(ToString::to_string).collect();
+        report = simulate(net, &placement, &MessageConfig::default())?;
+    }
+    println!("system `{}` — message-level co-simulation:", spec.name());
+    println!("  hardware processes : {hw_names:?}");
+    println!("  finish time        : {} cycles", report.finish_time);
+    println!(
+        "  messages           : {} ({} bytes, {} cross-boundary)",
+        report.messages, report.bytes, report.cross_boundary_bytes
+    );
+    println!("  kernel events      : {}", report.events);
+    Ok(())
+}
+
+fn cmd_multiproc(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = load_spec(args)?;
+    let graph = spec
+        .task_graph()
+        .ok_or("the spec declares no tasks; `multiproc` needs the task-graph view")?;
+    let deadline = flag_value(args, "--deadline")
+        .map(str::parse::<u64>)
+        .transpose()?
+        .or(graph.deadline())
+        .ok_or("`multiproc` needs --deadline or a `deadline` line in the spec")?;
+    let cfg = MultiprocConfig::new(deadline);
+    let outcome = match flag_value(args, "--solver").unwrap_or("exact") {
+        "exact" => branch_and_bound(graph, &cfg)?,
+        "bin" => bin_packing(graph, &cfg)?,
+        "sens" => sensitivity_driven(graph, &cfg)?,
+        other => return Err(format!("unknown solver `{other}`").into()),
+    };
+    println!(
+        "system `{}` — multiprocessor allocation (deadline {deadline}):",
+        spec.name()
+    );
+    for (i, &ty) in outcome.allocation.instance_types.iter().enumerate() {
+        let model = &cfg.library[ty];
+        let members: Vec<&str> = graph
+            .iter()
+            .filter(|(id, _)| outcome.allocation.assignment[id.index()] == i)
+            .map(|(_, t)| t.name())
+            .collect();
+        println!(
+            "  PE{i}: {} (speed {:.1}, cost {:.1}) <- {members:?}",
+            model.name(),
+            model.speed(),
+            model.cost()
+        );
+    }
+    println!(
+        "\ncost {:.1}, makespan {} cycles, optimal: {}, explored {} nodes",
+        outcome.cost, outcome.makespan, outcome.optimal, outcome.explored
+    );
+    Ok(())
+}
+
+fn cmd_ladder(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = LadderConfig {
+        message_bytes: flag_value(args, "--bytes")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(64),
+        iterations: flag_value(args, "--iterations")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(16),
+        ..LadderConfig::default()
+    };
+    let reports = run_ladder(&cfg)?;
+    let errors = timing_errors(&reports);
+    println!(
+        "{:>9} | {:>12} | {:>14} | {:>10} | {:>8}",
+        "level", "sim cycles", "kernel events", "wall (us)", "error"
+    );
+    for (r, (_, err)) in reports.iter().zip(&errors) {
+        println!(
+            "{:>9} | {:>12} | {:>14} | {:>10} | {:>7.1}%",
+            r.level.to_string(),
+            r.simulated_cycles,
+            r.kernel_events,
+            r.wall.as_micros(),
+            err * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # codesign
+//!
+//! A from-scratch implementation of the mixed hardware/software system
+//! design framework of **Adams & Thomas, "The Design of Mixed
+//! Hardware/Software Systems", DAC 1996**.
+//!
+//! The paper contributes a *taxonomy* — a set of criteria for comparing
+//! HW/SW co-design approaches — and surveys the flows of its era through
+//! that lens. This crate is the taxonomy made executable, sitting on top
+//! of a complete co-design stack:
+//!
+//! | layer | crate | paper anchor |
+//! |---|---|---|
+//! | unified specification | [`ir`] | Section 3.2 "common specification" |
+//! | hardware substrate | [`rtl`] | Figures 3, 4, 7 |
+//! | software substrate | [`isa`] | Figures 4, 6, 7 |
+//! | behavioral synthesis | [`hls`] | Section 4.5 |
+//! | co-simulation | [`sim`] | Section 3.1, Figure 3 |
+//! | partitioning | [`partition`] | Section 3.3 |
+//! | co-synthesis flows | [`synth`] | Sections 4.1, 4.2, 4.5, 4.5.1 |
+//!
+//! This crate adds the paper's own contribution:
+//!
+//! * [`taxonomy`] — Type I / Type II systems, the design-task nesting of
+//!   Figure 2, the interface-abstraction ladder of Figure 3, and the
+//!   partitioning considerations of Section 3.3, as types;
+//! * [`registry`] — the surveyed methodologies (and this repository's
+//!   own flows) as [`taxonomy::Methodology`] records;
+//! * [`report`] — the Section 5 comparison table and the Figure 2
+//!   coverage matrix, rendered from any methodology set.
+//!
+//! ## Example
+//!
+//! ```
+//! use codesign::registry;
+//! use codesign::report;
+//! use codesign::taxonomy::DesignTask;
+//!
+//! let survey = registry::surveyed_methodologies();
+//! assert!(survey.len() >= 8);
+//! let table = report::comparison_table(&survey);
+//! assert!(table.contains("Chinook"));
+//! // The paper classifies Chinook as co-synthesis without partitioning.
+//! let chinook = survey.iter().find(|m| m.name == "Chinook").unwrap();
+//! assert!(chinook.tasks.contains(&DesignTask::CoSynthesis));
+//! assert!(!chinook.tasks.contains(&DesignTask::Partitioning));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod registry;
+pub mod report;
+pub mod taxonomy;
+
+pub use codesign_hls as hls;
+pub use codesign_ir as ir;
+pub use codesign_isa as isa;
+pub use codesign_partition as partition;
+pub use codesign_rtl as rtl;
+pub use codesign_sim as sim;
+pub use codesign_synth as synth;

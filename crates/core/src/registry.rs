@@ -1,0 +1,324 @@
+//! The surveyed methodologies of the paper's Section 4, and this
+//! repository's own flows, as [`Methodology`] records.
+//!
+//! The paper walks through six system classes and classifies the
+//! published approach(es) for each; [`surveyed_methodologies`] encodes
+//! those classifications verbatim (experiment E1 regenerates the
+//! comparison from them). [`implemented_flows`] describes the flows this
+//! repository implements, in the same vocabulary, so the Figure 2
+//! coverage matrix (experiment E2) can show which design tasks each flow
+//! integrates.
+
+use crate::taxonomy::{
+    InterfaceAbstraction, Methodology, PartitioningFactor, SystemClass, SystemType,
+};
+
+/// The approaches the paper surveys in Section 4, with the
+/// classifications the paper itself assigns.
+#[must_use]
+pub fn surveyed_methodologies() -> Vec<Methodology> {
+    vec![
+        // 4.1 — Becker/Singh/Tell: Verilog co-simulation of software on
+        // the CPU with surrounding hardware, "at the level of activity on
+        // the pins of the CPU".
+        Methodology::new(
+            "Becker et al.",
+            "[4] DAC'92",
+            SystemClass::EmbeddedMicroprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosimulation(InterfaceAbstraction::SignalActivity),
+        // 4.1 — Chinook: "co-synthesis of the I/O drivers and interface
+        // logic … but does no HW/SW partitioning".
+        Methodology::new(
+            "Chinook",
+            "[11] ISSS'95",
+            SystemClass::EmbeddedMicroprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis()
+        .with_cosimulation(InterfaceAbstraction::RegisterTransfers),
+        // 4.2 — SOS: ILP selection of processors and mapping; "an
+        // instance of co-synthesis but not of partitioning".
+        Methodology::new(
+            "SOS (Prakash & Parker)",
+            "[12] JPDC'92",
+            SystemClass::HeterogeneousMultiprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis(),
+        // 4.2 — Beck: vector bin packing over abstract capacities.
+        Methodology::new(
+            "Beck",
+            "[13] CMU PhD'94",
+            SystemClass::HeterogeneousMultiprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis(),
+        // 4.2 — Yen & Wolf: sensitivity-driven co-synthesis.
+        Methodology::new(
+            "Yen & Wolf",
+            "[9] ISSS'95",
+            SystemClass::HeterogeneousMultiprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis(),
+        // 4.3 — PEAS-I: ASIP design; moving the boundary by adding
+        // instructions, modifiability being the key factor.
+        Methodology::new(
+            "PEAS-I",
+            "[14] IEICE'94",
+            SystemClass::Asip,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::Modifiability,
+        ]),
+        // 4.4 — Athanas & Silverman: instruction-set metamorphosis on
+        // reconfigurable functional units.
+        Methodology::new(
+            "Athanas & Silverman",
+            "[15] Computer'93",
+            SystemClass::SpecialFunctionalUnits,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::NatureOfComputation,
+        ]),
+        // 4.5 — Vulcan (Gupta & De Micheli): start in hardware, move
+        // non-critical computation to software; performance requirements
+        // dominate.
+        Methodology::new(
+            "Vulcan (Gupta & De Micheli)",
+            "[6] D&T'93",
+            SystemClass::Coprocessor,
+            SystemType::TypeII,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+        ]),
+        // 4.5 — COSYMA (Henkel/Ernst): SIMD co-processor, move
+        // performance-critical software regions into hardware.
+        Methodology::new(
+            "COSYMA (Henkel et al.)",
+            "[17] ICCAD'94",
+            SystemClass::Coprocessor,
+            SystemType::TypeII,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+        ]),
+        // 4.5 — SpecSyn (Gajski/Vahid/Narayan): adds concurrency and
+        // sharing-aware cost [18].
+        Methodology::new(
+            "SpecSyn (Gajski et al.)",
+            "[16] EDTC'94",
+            SystemClass::Coprocessor,
+            SystemType::TypeII,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::Concurrency,
+        ]),
+        // 4.5.1 — Adams & Thomas: multi-threaded co-processors; "all the
+        // factors outlined in Section 3.3 except for modifiability".
+        Methodology::new(
+            "Multiple-process synthesis (Adams & Thomas)",
+            "[10] ISSS'95",
+            SystemClass::MultiThreadedCoprocessor,
+            SystemType::TypeII,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::NatureOfComputation,
+            PartitioningFactor::Concurrency,
+            PartitioningFactor::Communication,
+        ]),
+        // 4.5.1 — Coumeri & Thomas: send/receive/wait co-simulation for
+        // functional verification.
+        Methodology::new(
+            "Coumeri & Thomas",
+            "[3] ICCD'95",
+            SystemClass::MultiThreadedCoprocessor,
+            SystemType::TypeII,
+        )
+        .with_cosimulation(InterfaceAbstraction::Messages),
+    ]
+}
+
+/// The flows implemented in this repository, classified in the same
+/// vocabulary (references are module paths).
+#[must_use]
+pub fn implemented_flows() -> Vec<Methodology> {
+    vec![
+        Methodology::new(
+            "interface synthesis",
+            "codesign_synth::interface",
+            SystemClass::EmbeddedMicroprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis()
+        .with_cosimulation(InterfaceAbstraction::RegisterTransfers),
+        Methodology::new(
+            "pin-level co-simulation",
+            "codesign_sim::pinproto",
+            SystemClass::EmbeddedMicroprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosimulation(InterfaceAbstraction::SignalActivity),
+        Methodology::new(
+            "multiprocessor co-synthesis",
+            "codesign_synth::multiproc",
+            SystemClass::HeterogeneousMultiprocessor,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis(),
+        Methodology::new(
+            "ASIP extension",
+            "codesign_isa::asip",
+            SystemClass::Asip,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::Modifiability,
+        ]),
+        Methodology::new(
+            "run-time reconfiguration",
+            "codesign_partition::reconfig",
+            SystemClass::SpecialFunctionalUnits,
+            SystemType::TypeI,
+        )
+        .with_cosynthesis()
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::NatureOfComputation,
+        ]),
+        Methodology::new(
+            "co-processor flow",
+            "codesign_synth::coproc",
+            SystemClass::Coprocessor,
+            SystemType::TypeII,
+        )
+        .with_cosynthesis()
+        .with_cosimulation(InterfaceAbstraction::RegisterTransfers)
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::Modifiability,
+            PartitioningFactor::NatureOfComputation,
+            PartitioningFactor::Communication,
+        ]),
+        Methodology::new(
+            "multi-threaded co-processor flow",
+            "codesign_synth::mthread",
+            SystemClass::MultiThreadedCoprocessor,
+            SystemType::TypeII,
+        )
+        .with_cosynthesis()
+        .with_cosimulation(InterfaceAbstraction::Messages)
+        .with_partitioning([
+            PartitioningFactor::Performance,
+            PartitioningFactor::ImplementationCost,
+            PartitioningFactor::Concurrency,
+            PartitioningFactor::Communication,
+        ]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::DesignTask;
+
+    #[test]
+    fn every_surveyed_methodology_validates() {
+        for m in surveyed_methodologies() {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn every_implemented_flow_validates() {
+        for m in implemented_flows() {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn survey_matches_paper_classifications() {
+        let s = surveyed_methodologies();
+        let by_name = |n: &str| {
+            s.iter()
+                .find(|m| m.name == n)
+                .or_else(|| s.iter().find(|m| m.name.contains(n)))
+                .unwrap()
+        };
+
+        // "The Chinook system … does no HW/SW partitioning."
+        assert!(!by_name("Chinook").tasks.contains(&DesignTask::Partitioning));
+        // Multiprocessor flows: "co-synthesis but not partitioning".
+        for n in ["SOS", "Beck", "Yen"] {
+            assert!(!by_name(n).tasks.contains(&DesignTask::Partitioning), "{n}");
+            assert!(by_name(n).tasks.contains(&DesignTask::CoSynthesis), "{n}");
+        }
+        // Co-processors are the paper's Type II examples.
+        for n in ["Vulcan", "COSYMA", "SpecSyn", "Multiple-process"] {
+            assert_eq!(by_name(n).system_type, SystemType::TypeII, "{n}");
+        }
+        // [10] weighs every factor except modifiability.
+        let mp = by_name("Multiple-process");
+        assert!(!mp
+            .partition_factors
+            .contains(&PartitioningFactor::Modifiability));
+        assert_eq!(mp.partition_factors.len(), 5);
+        // Becker simulates at the pins; Coumeri at send/receive/wait.
+        assert_eq!(
+            by_name("Becker").cosim_level,
+            Some(InterfaceAbstraction::SignalActivity)
+        );
+        assert_eq!(
+            by_name("Coumeri").cosim_level,
+            Some(InterfaceAbstraction::Messages)
+        );
+    }
+
+    #[test]
+    fn implemented_flows_cover_every_system_class() {
+        use std::collections::BTreeSet;
+        let classes: BTreeSet<SystemClass> =
+            implemented_flows().iter().map(|m| m.system_class).collect();
+        assert_eq!(classes.len(), 6, "all Section 4 classes covered");
+    }
+
+    #[test]
+    fn implemented_flows_cover_every_design_task_and_factor() {
+        use std::collections::BTreeSet;
+        let flows = implemented_flows();
+        let tasks: BTreeSet<DesignTask> =
+            flows.iter().flat_map(|m| m.tasks.iter().copied()).collect();
+        assert_eq!(tasks.len(), 3);
+        let factors: BTreeSet<PartitioningFactor> = flows
+            .iter()
+            .flat_map(|m| m.partition_factors.iter().copied())
+            .collect();
+        assert_eq!(factors.len(), 6, "all Section 3.3 considerations");
+    }
+}

@@ -1,0 +1,361 @@
+//! Gate-level controller generation.
+//!
+//! Behavioral synthesis usually stops at the FSMD; this module continues
+//! one level down and emits the controller as a **one-hot FSM netlist**
+//! for the `codesign-rtl` event-driven simulator: one flip-flop per
+//! state, next-state logic built from AND/OR/NOT gates, a `done` flag
+//! with a hold loop, and one `zero_<reg>` condition input per branched
+//! register (driven by the datapath's zero detectors).
+//!
+//! Two things this buys the framework:
+//!
+//! * the controller's **implementation cost becomes a measured gate
+//!   count** instead of the abstract `state_area` coefficient of the
+//!   area model;
+//! * the controller can be **co-verified against the behavioral FSMD**:
+//!   [`verify_controller`] runs the gate-level FSM and the FSMD
+//!   interpreter in lockstep — the datapath side supplies the branch
+//!   conditions, the netlist side must track the interpreter's state
+//!   sequence cycle by cycle. That is HW/HW co-simulation at two
+//!   abstraction levels, the same discipline the paper applies across
+//!   the HW/SW boundary.
+
+use std::collections::BTreeMap;
+
+use codesign_rtl::fsmd::{Fsmd, FsmdSim, FsmdStatus, Next, RegId, StateId};
+use codesign_rtl::netlist::{GateKind, NetId, Netlist};
+use codesign_rtl::sim::Simulator;
+
+use crate::error::HlsError;
+
+/// A generated one-hot controller netlist plus its interface nets.
+#[derive(Debug, Clone)]
+pub struct ControllerNetlist {
+    netlist: Netlist,
+    /// One-hot state output nets, by state index.
+    state_nets: Vec<NetId>,
+    /// `done` flag net.
+    done: NetId,
+    /// Branch condition inputs: `reg -> zero_<reg>` net (high when the
+    /// datapath register equals zero).
+    zero_inputs: BTreeMap<RegId, NetId>,
+}
+
+impl ControllerNetlist {
+    /// The underlying netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// One-hot state nets in state order.
+    #[must_use]
+    pub fn state_nets(&self) -> &[NetId] {
+        &self.state_nets
+    }
+
+    /// The `done` flag net.
+    #[must_use]
+    pub fn done_net(&self) -> NetId {
+        self.done
+    }
+
+    /// Condition input for a branched register, if the FSM branches on
+    /// it.
+    #[must_use]
+    pub fn zero_input(&self, reg: RegId) -> Option<NetId> {
+        self.zero_inputs.get(&reg).copied()
+    }
+
+    /// Measured controller cost in NAND2-gate equivalents.
+    #[must_use]
+    pub fn gate_equivalents(&self) -> u64 {
+        self.netlist.gate_equivalents()
+    }
+}
+
+/// Generates the one-hot controller netlist for an FSMD.
+///
+/// # Errors
+///
+/// Propagates FSMD validation and netlist construction errors.
+pub fn generate_controller(fsmd: &Fsmd) -> Result<ControllerNetlist, HlsError> {
+    fsmd.validate()?;
+    let n_states = fsmd.state_count();
+    let mut net = Netlist::new(format!("{}_ctrl", fsmd.name()));
+
+    // Condition inputs for every branched register.
+    let mut zero_inputs: BTreeMap<RegId, NetId> = BTreeMap::new();
+    for s in fsmd.states() {
+        if let Next::BranchZero { reg, .. } = s.next {
+            zero_inputs
+                .entry(reg)
+                .or_insert_with(|| net.add_input(format!("zero_r{}", reg.0)));
+        }
+    }
+
+    // State flip-flops (one-hot; state 0 starts hot) and the done flag.
+    let state_q: Vec<NetId> = (0..n_states)
+        .map(|i| net.add_net(format!("s{i}_q")))
+        .collect();
+    let state_d: Vec<NetId> = (0..n_states)
+        .map(|i| net.add_net(format!("s{i}_d")))
+        .collect();
+    let done_q = net.add_net("done_q");
+    let done_d = net.add_net("done_d");
+
+    // Collect transition terms per destination state and into done.
+    let mut terms_into: Vec<Vec<NetId>> = vec![Vec::new(); n_states];
+    let mut done_terms: Vec<NetId> = vec![done_q]; // done holds itself
+    for (i, s) in fsmd.states().iter().enumerate() {
+        match s.next {
+            Next::Step => {
+                if i + 1 < n_states {
+                    terms_into[i + 1].push(state_q[i]);
+                } else {
+                    done_terms.push(state_q[i]);
+                }
+            }
+            Next::Goto(t) => terms_into[t.index()].push(state_q[i]),
+            Next::Done => done_terms.push(state_q[i]),
+            Next::BranchZero {
+                reg,
+                then_state,
+                else_state,
+            } => {
+                let zero = zero_inputs[&reg];
+                let taken = net.add_net(format!("s{i}_taken"));
+                net.add_gate(GateKind::And, &[state_q[i], zero], taken, 1)?;
+                let nzero = net.add_net(format!("s{i}_nzero"));
+                net.add_gate(GateKind::Not, &[zero], nzero, 1)?;
+                let not_taken = net.add_net(format!("s{i}_nottaken"));
+                net.add_gate(GateKind::And, &[state_q[i], nzero], not_taken, 1)?;
+                terms_into[then_state.index()].push(taken);
+                terms_into[else_state.index()].push(not_taken);
+            }
+        }
+    }
+
+    // Next-state logic: D(j) = OR(terms into j); zero terms -> constant 0
+    // (a never-entered state), realized as q AND NOT q.
+    for (j, terms) in terms_into.iter().enumerate() {
+        match terms.as_slice() {
+            [] => {
+                let nq = net.add_net(format!("s{j}_nq"));
+                net.add_gate(GateKind::Not, &[state_q[j]], nq, 1)?;
+                net.add_gate(GateKind::And, &[state_q[j], nq], state_d[j], 1)?;
+            }
+            [single] => {
+                net.add_gate(GateKind::Buf, &[*single], state_d[j], 1)?;
+            }
+            many => {
+                net.add_gate(GateKind::Or, many, state_d[j], 1)?;
+            }
+        }
+    }
+    match done_terms.as_slice() {
+        [single] => net.add_gate(GateKind::Buf, &[*single], done_d, 1)?,
+        many => net.add_gate(GateKind::Or, many, done_d, 1)?,
+    }
+
+    for (i, (&d, &q)) in state_d.iter().zip(&state_q).enumerate() {
+        net.add_dff(d, q, i == 0)?;
+    }
+    net.add_dff(done_d, done_q, false)?;
+
+    Ok(ControllerNetlist {
+        netlist: net,
+        state_nets: state_q,
+        done: done_q,
+        zero_inputs,
+    })
+}
+
+/// Co-verifies the gate-level controller against the behavioral FSMD on
+/// one input vector: both are stepped cycle by cycle, the datapath
+/// (interpreter) side drives the branch-condition inputs, and the
+/// netlist's hot state must match the interpreter's current state each
+/// cycle, asserting `done` exactly when the interpreter finishes.
+///
+/// Returns the number of verified cycles.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Unsupported`] on any divergence, and propagates
+/// simulation errors.
+pub fn verify_controller(fsmd: &Fsmd, inputs: &[i64], max_cycles: u64) -> Result<u64, HlsError> {
+    let ctrl = generate_controller(fsmd)?;
+    let mut gate = Simulator::new(ctrl.netlist())?;
+    let mut beh = FsmdSim::new(fsmd.clone())?;
+    beh.start(inputs);
+
+    let mut cycles = 0u64;
+    while beh.status() == FsmdStatus::Running {
+        if cycles >= max_cycles {
+            return Err(HlsError::Unsupported {
+                reason: format!("controller verification exceeded {max_cycles} cycles"),
+            });
+        }
+        // The netlist's hot state must match the interpreter.
+        gate.settle()?;
+        let expected = beh.current_state();
+        for (i, &q) in ctrl.state_nets().iter().enumerate() {
+            let want = i == expected.index();
+            if gate.value(q) != want {
+                return Err(HlsError::Unsupported {
+                    reason: format!(
+                        "cycle {cycles}: state bit {i} is {}, interpreter in {expected:?}",
+                        gate.value(q)
+                    ),
+                });
+            }
+        }
+        if gate.value(ctrl.done_net()) {
+            return Err(HlsError::Unsupported {
+                reason: format!("cycle {cycles}: done asserted early"),
+            });
+        }
+        // Drive branch conditions from the datapath registers.
+        let regs: Vec<(RegId, NetId)> = ctrl.zero_inputs.iter().map(|(&r, &n)| (r, n)).collect();
+        for (reg, net) in regs {
+            gate.set_input(net, beh.reg(reg) == 0);
+        }
+        gate.settle()?;
+        // Clock both sides.
+        beh.tick();
+        gate.clock_cycle(10)?;
+        cycles += 1;
+    }
+    gate.settle()?;
+    if !gate.value(ctrl.done_net()) {
+        return Err(HlsError::Unsupported {
+            reason: format!("interpreter done after {cycles} cycles, netlist is not"),
+        });
+    }
+    let _ = StateId(0);
+    Ok(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, Constraints};
+    use codesign_ir::cdfg::OpKind;
+    use codesign_ir::workload::kernels;
+    use codesign_rtl::fsmd::{MicroOp, Operand, State};
+
+    #[test]
+    fn synthesized_kernel_controllers_verify_at_gate_level() {
+        for g in [kernels::fir(4), kernels::dct8(), kernels::quantize()] {
+            let result = synthesize(&g, &Constraints::default()).unwrap();
+            let inputs: Vec<i64> = (0..g.input_count()).map(|i| i as i64 - 2).collect();
+            let cycles = verify_controller(&result.fsmd, &inputs, 100_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert_eq!(cycles, result.latency, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn resource_constrained_controllers_verify_too() {
+        let g = kernels::fir(8);
+        let result = synthesize(
+            &g,
+            &Constraints {
+                resources: Some([1, 1, 1, 1]),
+                target_latency: None,
+            },
+        )
+        .unwrap();
+        let inputs = vec![3i64; 8];
+        let cycles = verify_controller(&result.fsmd, &inputs, 100_000).unwrap();
+        assert_eq!(cycles, result.latency);
+    }
+
+    /// A branching FSMD: countdown loop — the gate-level FSM must follow
+    /// the data-dependent path.
+    fn countdown(n_init: i64) -> (Fsmd, Vec<i64>) {
+        let mut f = Fsmd::new("loop", 2, 1, vec![RegId(1)]);
+        f.add_state(State {
+            ops: vec![MicroOp {
+                dst: RegId(0),
+                op: OpKind::Add,
+                args: vec![Operand::Input(0), Operand::Const(0)],
+            }],
+            next: Next::Step,
+        })
+        .unwrap();
+        f.add_state(State {
+            ops: vec![],
+            next: Next::BranchZero {
+                reg: RegId(0),
+                then_state: StateId(3),
+                else_state: StateId(2),
+            },
+        })
+        .unwrap();
+        f.add_state(State {
+            ops: vec![
+                MicroOp {
+                    dst: RegId(1),
+                    op: OpKind::Add,
+                    args: vec![Operand::Reg(RegId(1)), Operand::Const(3)],
+                },
+                MicroOp {
+                    dst: RegId(0),
+                    op: OpKind::Sub,
+                    args: vec![Operand::Reg(RegId(0)), Operand::Const(1)],
+                },
+            ],
+            next: Next::Goto(StateId(1)),
+        })
+        .unwrap();
+        f.add_state(State {
+            ops: vec![],
+            next: Next::Done,
+        })
+        .unwrap();
+        (f, vec![n_init])
+    }
+
+    #[test]
+    fn branching_controller_follows_the_data() {
+        for n in [0i64, 1, 5] {
+            let (f, inputs) = countdown(n);
+            let mut reference = FsmdSim::new(f.clone()).unwrap();
+            let expected_cycles = {
+                reference.run(&inputs, 10_000).unwrap();
+                reference.cycles()
+            };
+            let cycles =
+                verify_controller(&f, &inputs, 10_000).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(cycles, expected_cycles, "n={n}");
+        }
+    }
+
+    #[test]
+    fn controller_gate_cost_grows_with_states() {
+        let small = generate_controller(
+            &synthesize(&kernels::quantize(), &Constraints::default())
+                .unwrap()
+                .fsmd,
+        )
+        .unwrap();
+        let large = generate_controller(
+            &synthesize(&kernels::dct8(), &Constraints::default())
+                .unwrap()
+                .fsmd,
+        )
+        .unwrap();
+        assert!(large.gate_equivalents() > small.gate_equivalents());
+        assert!(small.gate_equivalents() > 0);
+    }
+
+    #[test]
+    fn interface_nets_are_exposed() {
+        let (f, _) = countdown(3);
+        let ctrl = generate_controller(&f).unwrap();
+        assert_eq!(ctrl.state_nets().len(), 4);
+        assert!(ctrl.zero_input(RegId(0)).is_some());
+        assert!(ctrl.zero_input(RegId(1)).is_none());
+    }
+}

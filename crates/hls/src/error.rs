@@ -1,0 +1,84 @@
+//! Error types for behavioral synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+use codesign_rtl::RtlError;
+
+/// Errors produced by scheduling, binding, and FSMD generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HlsError {
+    /// A resource constraint cannot be met (a class the kernel needs has
+    /// zero units).
+    InfeasibleResources {
+        /// The functional-unit class with zero units.
+        class: &'static str,
+    },
+    /// A target latency is below the kernel's critical path.
+    InfeasibleLatency {
+        /// Requested latency.
+        requested: u64,
+        /// Critical-path lower bound.
+        critical_path: u64,
+    },
+    /// FSMD construction failed (propagated from the RTL substrate).
+    Fsmd(RtlError),
+    /// The kernel uses an operation the datapath generator does not
+    /// support.
+    Unsupported {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::InfeasibleResources { class } => {
+                write!(f, "no {class} units available but the kernel needs one")
+            }
+            HlsError::InfeasibleLatency {
+                requested,
+                critical_path,
+            } => write!(
+                f,
+                "target latency {requested} below critical path {critical_path}"
+            ),
+            HlsError::Fsmd(e) => write!(f, "fsmd generation: {e}"),
+            HlsError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+impl Error for HlsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HlsError::Fsmd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<RtlError> for HlsError {
+    fn from(e: RtlError) -> Self {
+        HlsError::Fsmd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HlsError::InfeasibleLatency {
+            requested: 3,
+            critical_path: 9,
+        };
+        assert_eq!(e.to_string(), "target latency 3 below critical path 9");
+        let e = HlsError::from(RtlError::FsmdTimeout { cycles: 5 });
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,299 @@
+//! Hardware area estimation, including the incremental sharing-aware
+//! estimator.
+//!
+//! The paper singles out Vahid & Gajski's incremental hardware estimation
+//! \[18\] as what makes implementation-cost feedback viable inside a
+//! partitioning loop: when several functions are implemented in hardware
+//! that executes them mutually exclusively, they *share* functional units
+//! and registers, so the area of a hardware set is not the sum of its
+//! parts. [`SharedAreaEstimator`] maintains that shared estimate under
+//! `add`/`remove` of single functions in logarithmic time, versus a full
+//! recomputation over the whole set — the E10 experiment measures exactly
+//! this gap.
+
+use std::collections::BTreeMap;
+
+use codesign_ir::cdfg::Cdfg;
+
+use crate::bind::Binding;
+use crate::schedule::Schedule;
+
+/// The datapath resources one synthesized kernel needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwRequirement {
+    /// FU instances per class ([`codesign_ir::cdfg::FuClass::RESOURCE_CLASSES`] order).
+    pub fu_counts: [usize; 4],
+    /// Datapath registers.
+    pub registers: u32,
+    /// Controller states.
+    pub states: usize,
+    /// Micro-operations (wiring/mux proxy).
+    pub ops: usize,
+}
+
+impl HwRequirement {
+    /// Summarizes a scheduled, bound kernel.
+    #[must_use]
+    pub fn of(g: &Cdfg, schedule: &Schedule, binding: &Binding) -> Self {
+        HwRequirement {
+            fu_counts: binding.fu_counts(),
+            registers: binding.reg_count(),
+            states: schedule.makespan() as usize,
+            ops: g.resource_op_count(),
+        }
+    }
+}
+
+/// Area coefficients in abstract gate-equivalent units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    /// Area of one FU instance per class (`[alu, mul, div, logic]`).
+    pub fu_area: [f64; 4],
+    /// Area of one 64-bit register.
+    pub reg_area: f64,
+    /// Area of one controller state (ROM/next-state logic).
+    pub state_area: f64,
+    /// Area per micro-operation (interconnect and multiplexing proxy).
+    pub op_area: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            fu_area: [200.0, 2_000.0, 5_000.0, 100.0],
+            reg_area: 64.0,
+            state_area: 8.0,
+            op_area: 4.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of one kernel implemented standalone (no sharing).
+    #[must_use]
+    pub fn standalone(&self, req: &HwRequirement) -> f64 {
+        let fus: f64 = req
+            .fu_counts
+            .iter()
+            .zip(&self.fu_area)
+            .map(|(&n, &a)| n as f64 * a)
+            .sum();
+        fus + f64::from(req.registers) * self.reg_area
+            + req.states as f64 * self.state_area
+            + req.ops as f64 * self.op_area
+    }
+
+    /// Area of a set of kernels implemented standalone side by side: the
+    /// naive (non-sharing) estimate partitioners use when they ignore
+    /// resource sharing.
+    #[must_use]
+    pub fn naive_sum<'a>(&self, reqs: impl IntoIterator<Item = &'a HwRequirement>) -> f64 {
+        reqs.into_iter().map(|r| self.standalone(r)).sum()
+    }
+}
+
+/// Incremental estimator for the shared area of a mutually-exclusive
+/// hardware set.
+///
+/// Functional units and registers are shared across members (the set
+/// needs the *maximum* requirement per class, not the sum); controller
+/// states and wiring are per-member. Members can be added and removed in
+/// `O(log n)`; [`SharedAreaEstimator::area`] is `O(1)` per class.
+#[derive(Debug, Clone)]
+pub struct SharedAreaEstimator {
+    model: AreaModel,
+    class_counts: [BTreeMap<usize, usize>; 4],
+    reg_counts: BTreeMap<u32, usize>,
+    per_member: f64,
+    members: usize,
+}
+
+impl SharedAreaEstimator {
+    /// Creates an empty estimator under the given model.
+    #[must_use]
+    pub fn new(model: AreaModel) -> Self {
+        SharedAreaEstimator {
+            model,
+            class_counts: Default::default(),
+            reg_counts: BTreeMap::new(),
+            per_member: 0.0,
+            members: 0,
+        }
+    }
+
+    /// Number of members currently in the hardware set.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Adds one kernel's requirement to the hardware set.
+    pub fn add(&mut self, req: &HwRequirement) {
+        for (c, &n) in req.fu_counts.iter().enumerate() {
+            *self.class_counts[c].entry(n).or_insert(0) += 1;
+        }
+        *self.reg_counts.entry(req.registers).or_insert(0) += 1;
+        self.per_member +=
+            req.states as f64 * self.model.state_area + req.ops as f64 * self.model.op_area;
+        self.members += 1;
+    }
+
+    /// Removes one kernel's requirement from the hardware set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requirement was never added (multiset underflow).
+    pub fn remove(&mut self, req: &HwRequirement) {
+        for (c, &n) in req.fu_counts.iter().enumerate() {
+            let count = self.class_counts[c]
+                .get_mut(&n)
+                .expect("requirement was added");
+            *count -= 1;
+            if *count == 0 {
+                self.class_counts[c].remove(&n);
+            }
+        }
+        let count = self
+            .reg_counts
+            .get_mut(&req.registers)
+            .expect("requirement was added");
+        *count -= 1;
+        if *count == 0 {
+            self.reg_counts.remove(&req.registers);
+        }
+        self.per_member -=
+            req.states as f64 * self.model.state_area + req.ops as f64 * self.model.op_area;
+        self.members -= 1;
+    }
+
+    /// Shared area of the current set: max-per-class FUs and registers,
+    /// plus per-member controller and wiring.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        if self.members == 0 {
+            return 0.0;
+        }
+        let mut fus = 0.0;
+        for (c, counts) in self.class_counts.iter().enumerate() {
+            if let Some((&max, _)) = counts.iter().next_back() {
+                fus += max as f64 * self.model.fu_area[c];
+            }
+        }
+        let regs = self.reg_counts.keys().next_back().copied().unwrap_or(0);
+        fus + f64::from(regs) * self.model.reg_area + self.per_member
+    }
+
+    /// Shared area recomputed from scratch over an explicit set — the
+    /// reference (and slow path) the incremental estimator is measured
+    /// against in experiment E10.
+    #[must_use]
+    pub fn recompute<'a>(
+        model: &AreaModel,
+        reqs: impl IntoIterator<Item = &'a HwRequirement>,
+    ) -> f64 {
+        let mut max_fu = [0usize; 4];
+        let mut max_regs = 0u32;
+        let mut per_member = 0.0;
+        let mut any = false;
+        for r in reqs {
+            any = true;
+            #[allow(clippy::needless_range_loop)] // zips two fixed arrays
+            for c in 0..4 {
+                max_fu[c] = max_fu[c].max(r.fu_counts[c]);
+            }
+            max_regs = max_regs.max(r.registers);
+            per_member += r.states as f64 * model.state_area + r.ops as f64 * model.op_area;
+        }
+        if !any {
+            return 0.0;
+        }
+        let fus: f64 = max_fu
+            .iter()
+            .zip(&model.fu_area)
+            .map(|(&n, &a)| n as f64 * a)
+            .sum();
+        fus + f64::from(max_regs) * model.reg_area + per_member
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::list_schedule;
+    use codesign_ir::workload::kernels;
+
+    fn req_of(g: &Cdfg) -> HwRequirement {
+        let s = list_schedule(g, &[2, 1, 1, 2]).unwrap();
+        let b = crate::bind::bind(g, &s);
+        HwRequirement::of(g, &s, &b)
+    }
+
+    #[test]
+    fn shared_never_exceeds_naive() {
+        let model = AreaModel::default();
+        let reqs: Vec<HwRequirement> = kernels::all().iter().map(req_of).collect();
+        let mut est = SharedAreaEstimator::new(model.clone());
+        for r in &reqs {
+            est.add(r);
+        }
+        let naive = model.naive_sum(&reqs);
+        assert!(
+            est.area() < naive,
+            "sharing must pay: {} vs {naive}",
+            est.area()
+        );
+    }
+
+    #[test]
+    fn single_member_equals_standalone() {
+        let model = AreaModel::default();
+        let fir = kernels::fir(8);
+        let r = req_of(&fir);
+        let mut est = SharedAreaEstimator::new(model.clone());
+        est.add(&r);
+        assert!((est.area() - model.standalone(&r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_matches_recompute_under_churn() {
+        let model = AreaModel::default();
+        let reqs: Vec<HwRequirement> = kernels::all().iter().map(req_of).collect();
+        let mut est = SharedAreaEstimator::new(model.clone());
+        let mut live: Vec<&HwRequirement> = Vec::new();
+        // Deterministic add/remove churn.
+        for (i, r) in reqs.iter().enumerate() {
+            est.add(r);
+            live.push(r);
+            if i % 3 == 2 {
+                let victim = live.remove(i % live.len());
+                est.remove(victim);
+            }
+            let reference = SharedAreaEstimator::recompute(&model, live.iter().copied());
+            assert!(
+                (est.area() - reference).abs() < 1e-9,
+                "step {i}: {} vs {reference}",
+                est.area()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_has_zero_area() {
+        let model = AreaModel::default();
+        let mut est = SharedAreaEstimator::new(model);
+        assert_eq!(est.area(), 0.0);
+        let fir = kernels::fir(4);
+        let r = req_of(&fir);
+        est.add(&r);
+        est.remove(&r);
+        assert_eq!(est.area(), 0.0);
+        assert_eq!(est.members(), 0);
+    }
+
+    #[test]
+    fn divider_dominates_area_model() {
+        let model = AreaModel::default();
+        assert!(model.fu_area[2] > model.fu_area[1]);
+        assert!(model.fu_area[1] > model.fu_area[0]);
+    }
+}

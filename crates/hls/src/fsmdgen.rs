@@ -1,0 +1,218 @@
+//! Controller/datapath generation.
+//!
+//! Turns a scheduled, bound kernel into a `codesign-rtl` [`Fsmd`]: one
+//! controller state per schedule step, one micro-operation per operation
+//! starting in that step, operands wired to input ports, immediates, or
+//! bound registers. The generated FSMD completes in exactly the
+//! schedule's makespan and is verified against the CDFG interpreter in
+//! this module's tests — the "verifying the functionality" role the
+//! paper assigns to co-simulation (Section 3.1).
+
+use codesign_ir::cdfg::{Cdfg, OpKind};
+use codesign_rtl::fsmd::{Fsmd, MicroOp, Next, Operand, RegId, State};
+
+use crate::bind::Binding;
+use crate::error::HlsError;
+use crate::schedule::Schedule;
+
+/// Generates the FSMD for a scheduled, bound kernel.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Unsupported`] for malformed graphs (an output fed
+/// by nothing) and propagates FSMD construction errors.
+pub fn generate(g: &Cdfg, schedule: &Schedule, binding: &Binding) -> Result<Fsmd, HlsError> {
+    let makespan = schedule.makespan() as usize;
+
+    // Outputs whose source is an input port or constant need a copy
+    // micro-op into a dedicated register (the datapath has no direct
+    // port-to-port path). Allocate those registers past the bound ones.
+    let mut extra_regs: u32 = 0;
+    let mut output_sources: Vec<(u32, Operand)> = Vec::new(); // (output idx, src)
+    for (_, node) in g.iter() {
+        if let OpKind::Output(idx) = node.kind() {
+            let src = node.args()[0];
+            let operand = operand_of(g, binding, src)?;
+            output_sources.push((idx, operand));
+        }
+    }
+    output_sources.sort_by_key(|&(idx, _)| idx);
+
+    let mut copy_ops: Vec<MicroOp> = Vec::new();
+    let mut output_regs: Vec<RegId> = Vec::new();
+    for &(_, operand) in &output_sources {
+        match operand {
+            Operand::Reg(r) => output_regs.push(r),
+            Operand::Const(_) | Operand::Input(_) => {
+                let r = RegId(binding.reg_count() + extra_regs);
+                extra_regs += 1;
+                copy_ops.push(MicroOp {
+                    dst: r,
+                    op: OpKind::Add,
+                    args: vec![operand, Operand::Const(0)],
+                });
+                output_regs.push(r);
+            }
+        }
+    }
+
+    // At least one state if there is anything to do.
+    let state_count = if makespan == 0 && copy_ops.is_empty() {
+        0
+    } else {
+        makespan.max(1)
+    };
+
+    let mut per_state: Vec<Vec<MicroOp>> = vec![Vec::new(); state_count];
+    if let Some(first) = per_state.first_mut() {
+        first.append(&mut copy_ops);
+    }
+
+    for (id, node) in g.iter() {
+        let kind = node.kind();
+        if matches!(
+            kind,
+            OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_)
+        ) {
+            continue;
+        }
+        // Dead resource ops produce nothing observable; skip them.
+        let Some(dst) = binding.reg_of(id) else {
+            continue;
+        };
+        let mut args = Vec::with_capacity(node.args().len());
+        for &a in node.args() {
+            args.push(operand_of(g, binding, a)?);
+        }
+        let step = schedule.start(id) as usize;
+        per_state[step].push(MicroOp {
+            dst: RegId(dst),
+            op: kind,
+            args,
+        });
+    }
+
+    let total_regs = binding.reg_count() + extra_regs;
+    let mut fsmd = Fsmd::new(g.name(), total_regs, g.input_count() as u16, output_regs);
+    for (i, ops) in per_state.into_iter().enumerate() {
+        let next = if i + 1 == state_count {
+            Next::Done
+        } else {
+            Next::Step
+        };
+        fsmd.add_state(State { ops, next })?;
+    }
+    fsmd.validate()?;
+    Ok(fsmd)
+}
+
+fn operand_of(
+    g: &Cdfg,
+    binding: &Binding,
+    src: codesign_ir::cdfg::OpId,
+) -> Result<Operand, HlsError> {
+    match g.node(src).kind() {
+        OpKind::Input(i) => Ok(Operand::Input(i as u16)),
+        OpKind::Const(c) => Ok(Operand::Const(c)),
+        OpKind::Output(_) => Err(HlsError::Unsupported {
+            reason: "an output cannot feed another operation".to_string(),
+        }),
+        _ => match binding.reg_of(src) {
+            Some(r) => Ok(Operand::Reg(RegId(r))),
+            None => Err(HlsError::Unsupported {
+                reason: format!("value {src} consumed but never bound"),
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{asap, force_directed, list_schedule};
+    use codesign_ir::workload::kernels;
+    use codesign_rtl::fsmd::FsmdSim;
+
+    fn verify(g: &Cdfg, schedule: &Schedule, inputs: &[i64]) {
+        let binding = crate::bind::bind(g, schedule);
+        let fsmd = generate(g, schedule, &binding).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        let mut sim = FsmdSim::new(fsmd).unwrap();
+        let got = sim
+            .run(inputs, 100_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        let want = g.evaluate(inputs).expect("interpreter");
+        assert_eq!(got, want, "{} on {inputs:?}", g.name());
+        assert_eq!(
+            sim.cycles(),
+            schedule.makespan().max(u64::from(!want.is_empty())),
+            "{}: latency must equal the schedule makespan",
+            g.name()
+        );
+    }
+
+    #[test]
+    fn asap_datapaths_match_interpreter() {
+        for g in kernels::all() {
+            let inputs: Vec<i64> = (0..g.input_count())
+                .map(|i| (i as i64 * 13 - 31) % 47)
+                .collect();
+            verify(&g, &asap(&g), &inputs);
+        }
+    }
+
+    #[test]
+    fn resource_constrained_datapaths_match_interpreter() {
+        for g in kernels::all() {
+            let inputs: Vec<i64> = (0..g.input_count()).map(|i| i as i64 - 3).collect();
+            let s = list_schedule(&g, &[1, 1, 1, 1]).unwrap();
+            verify(&g, &s, &inputs);
+        }
+    }
+
+    #[test]
+    fn force_directed_datapaths_match_interpreter() {
+        for g in kernels::all() {
+            let inputs: Vec<i64> = (0..g.input_count()).map(|i| 5 - i as i64).collect();
+            let target = asap(&g).makespan() * 2;
+            let s = force_directed(&g, target).unwrap();
+            verify(&g, &s, &inputs);
+        }
+    }
+
+    #[test]
+    fn passthrough_output_gets_a_copy() {
+        use codesign_ir::cdfg::Cdfg;
+        let mut g = Cdfg::new("pass");
+        let a = g.input();
+        g.output(a).unwrap();
+        let s = asap(&g);
+        let b = crate::bind::bind(&g, &s);
+        let fsmd = generate(&g, &s, &b).unwrap();
+        let mut sim = FsmdSim::new(fsmd).unwrap();
+        assert_eq!(sim.run(&[42], 10).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn constant_output_works() {
+        use codesign_ir::cdfg::Cdfg;
+        let mut g = Cdfg::new("const_out");
+        let c = g.constant(-7);
+        g.output(c).unwrap();
+        let s = asap(&g);
+        let b = crate::bind::bind(&g, &s);
+        let fsmd = generate(&g, &s, &b).unwrap();
+        let mut sim = FsmdSim::new(fsmd).unwrap();
+        assert_eq!(sim.run(&[], 10).unwrap(), vec![-7]);
+    }
+
+    #[test]
+    fn crc32_bit_twiddling_survives_synthesis() {
+        let g = kernels::crc32_byte();
+        let s = asap(&g);
+        let b = crate::bind::bind(&g, &s);
+        let fsmd = generate(&g, &s, &b).unwrap();
+        let mut sim = FsmdSim::new(fsmd).unwrap();
+        let got = sim.run(&[0xFFFF_FFFF, 0x31], 10_000).unwrap();
+        assert_eq!(got, g.evaluate(&[0xFFFF_FFFF, 0x31]).unwrap());
+    }
+}

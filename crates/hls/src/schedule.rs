@@ -1,0 +1,513 @@
+//! Operation scheduling.
+//!
+//! Three classic schedulers cover the paper's synthesis scenarios:
+//!
+//! * [`asap`] — unconstrained as-soon-as-possible scheduling, the fastest
+//!   datapath money can buy (one FU per concurrent operation);
+//! * [`list_schedule`] — resource-constrained list scheduling by
+//!   bottom-level priority, for synthesis under an area budget;
+//! * [`force_directed`] — time-constrained scheduling in the spirit of
+//!   force-directed scheduling: operations are placed in mobility order
+//!   at the step that minimizes the peak of the per-class distribution
+//!   graphs, minimizing resources for a target latency.
+//!
+//! Hardware delays come from [`hw_delay`]: single-cycle ALU/logic,
+//! 2-cycle multiplier, 6-cycle divider — faster than the software timing
+//! model in `codesign-isa` because a datapath does not fetch or decode.
+
+use codesign_ir::cdfg::{Cdfg, FuClass, OpId, OpKind};
+
+use crate::error::HlsError;
+
+/// Available functional units per class, indexed like
+/// [`FuClass::RESOURCE_CLASSES`] (`[alu, mul, div, logic]`).
+pub type ResourceSet = [usize; 4];
+
+/// Hardware latency of one operation in datapath cycles.
+#[must_use]
+pub fn hw_delay(kind: OpKind) -> u64 {
+    match kind.fu_class() {
+        FuClass::Alu | FuClass::Logic => 1,
+        FuClass::Multiplier => 2,
+        FuClass::Divider => 6,
+        FuClass::Free => {
+            // A select is a registered mux: one state, no FU.
+            if matches!(kind, OpKind::Select) {
+                1
+            } else {
+                0
+            }
+        }
+    }
+}
+
+fn class_index(kind: OpKind) -> Option<usize> {
+    FuClass::RESOURCE_CLASSES
+        .iter()
+        .position(|&c| c == kind.fu_class())
+}
+
+/// An operation schedule: a start step per op, with delays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    start: Vec<u64>,
+    delay: Vec<u64>,
+}
+
+impl Schedule {
+    /// Builds a schedule from explicit per-op start steps (crate-internal:
+    /// used by the modulo scheduler).
+    pub(crate) fn from_starts_public(g: &Cdfg, start: Vec<u64>) -> Self {
+        Self::from_starts(g, start)
+    }
+
+    fn from_starts(g: &Cdfg, start: Vec<u64>) -> Self {
+        let delay = g.iter().map(|(_, n)| hw_delay(n.kind())).collect();
+        Schedule { start, delay }
+    }
+
+    /// Start step of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the scheduled graph.
+    #[must_use]
+    pub fn start(&self, id: OpId) -> u64 {
+        self.start[id.index()]
+    }
+
+    /// Finish step (exclusive) of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the scheduled graph.
+    #[must_use]
+    pub fn finish(&self, id: OpId) -> u64 {
+        self.start[id.index()] + self.delay[id.index()]
+    }
+
+    /// Delay of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the scheduled graph.
+    #[must_use]
+    pub fn delay(&self, id: OpId) -> u64 {
+        self.delay[id.index()]
+    }
+
+    /// Total schedule length in cycles.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.start
+            .iter()
+            .zip(&self.delay)
+            .map(|(s, d)| s + d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Peak concurrent FU usage per class over the whole schedule.
+    #[must_use]
+    pub fn peak_usage(&self, g: &Cdfg) -> ResourceSet {
+        let mut peaks = [0usize; 4];
+        let makespan = self.makespan();
+        for step in 0..makespan {
+            let mut now = [0usize; 4];
+            for (id, node) in g.iter() {
+                if let Some(c) = class_index(node.kind()) {
+                    if self.start(id) <= step && step < self.finish(id) {
+                        now[c] += 1;
+                    }
+                }
+            }
+            for c in 0..4 {
+                peaks[c] = peaks[c].max(now[c]);
+            }
+        }
+        peaks
+    }
+
+    /// Checks precedence: every op starts at or after all its producers
+    /// finish.
+    #[must_use]
+    pub fn respects_dependencies(&self, g: &Cdfg) -> bool {
+        g.iter().all(|(id, node)| {
+            node.args()
+                .iter()
+                .all(|&a| self.finish(a) <= self.start(id))
+        })
+    }
+}
+
+/// As-soon-as-possible schedule (unlimited resources).
+#[must_use]
+pub fn asap(g: &Cdfg) -> Schedule {
+    let mut start = vec![0u64; g.len()];
+    for (id, node) in g.iter() {
+        let ready = node
+            .args()
+            .iter()
+            .map(|&a| start[a.index()] + hw_delay(g.node(a).kind()))
+            .max()
+            .unwrap_or(0);
+        start[id.index()] = ready;
+    }
+    Schedule::from_starts(g, start)
+}
+
+/// As-late-as-possible schedule against a target latency.
+///
+/// # Errors
+///
+/// Returns [`HlsError::InfeasibleLatency`] if `target` is below the
+/// critical path.
+pub fn alap(g: &Cdfg, target: u64) -> Result<Schedule, HlsError> {
+    let critical = asap(g).makespan();
+    if target < critical {
+        return Err(HlsError::InfeasibleLatency {
+            requested: target,
+            critical_path: critical,
+        });
+    }
+    let mut start = vec![u64::MAX; g.len()];
+    let ids: Vec<OpId> = g.iter().map(|(id, _)| id).collect();
+    for &id in ids.iter().rev() {
+        let d = hw_delay(g.node(id).kind());
+        let latest = g
+            .consumers(id)
+            .map(|c| start[c.index()])
+            .min()
+            .unwrap_or(target);
+        start[id.index()] = latest - d;
+    }
+    Ok(Schedule::from_starts(g, start))
+}
+
+/// Resource-constrained list scheduling with bottom-level priority.
+///
+/// # Errors
+///
+/// Returns [`HlsError::InfeasibleResources`] if the kernel needs a class
+/// whose budget is zero.
+pub fn list_schedule(g: &Cdfg, resources: &ResourceSet) -> Result<Schedule, HlsError> {
+    // Feasibility: every needed class must have at least one unit.
+    let hist = g.class_histogram();
+    for (i, class) in FuClass::RESOURCE_CLASSES.iter().enumerate() {
+        if hist[i] > 0 && resources[i] == 0 {
+            let name = match class {
+                FuClass::Alu => "alu",
+                FuClass::Multiplier => "multiplier",
+                FuClass::Divider => "divider",
+                FuClass::Logic => "logic",
+                FuClass::Free => "free",
+            };
+            return Err(HlsError::InfeasibleResources { class: name });
+        }
+    }
+
+    // Bottom levels as priority (longest path to a sink).
+    let mut blevel = vec![0u64; g.len()];
+    let ids: Vec<OpId> = g.iter().map(|(id, _)| id).collect();
+    for &id in ids.iter().rev() {
+        let tail = g
+            .consumers(id)
+            .map(|c| blevel[c.index()])
+            .max()
+            .unwrap_or(0);
+        blevel[id.index()] = tail + hw_delay(g.node(id).kind());
+    }
+
+    let mut start = vec![u64::MAX; g.len()];
+    let mut unscheduled: Vec<OpId> = ids.clone();
+    // FU busy-until times per class instance.
+    let mut busy: [Vec<u64>; 4] = [
+        vec![0; resources[0]],
+        vec![0; resources[1]],
+        vec![0; resources[2]],
+        vec![0; resources[3]],
+    ];
+    let mut time = 0u64;
+    while !unscheduled.is_empty() {
+        // Ready ops: all producers finished by `time`.
+        let mut ready: Vec<OpId> = unscheduled
+            .iter()
+            .copied()
+            .filter(|&id| {
+                g.node(id).args().iter().all(|&a| {
+                    start[a.index()] != u64::MAX
+                        && start[a.index()] + hw_delay(g.node(a).kind()) <= time
+                })
+            })
+            .collect();
+        ready.sort_by_key(|&id| std::cmp::Reverse(blevel[id.index()]));
+        for id in ready {
+            let kind = g.node(id).kind();
+            match class_index(kind) {
+                None => {
+                    // Free ops (and selects) never contend for FUs.
+                    start[id.index()] = time;
+                    unscheduled.retain(|&x| x != id);
+                }
+                Some(c) => {
+                    // First-fit FU instance free at `time`.
+                    if let Some(inst) = busy[c].iter().position(|&b| b <= time) {
+                        busy[c][inst] = time + hw_delay(kind);
+                        start[id.index()] = time;
+                        unscheduled.retain(|&x| x != id);
+                    }
+                }
+            }
+        }
+        time += 1;
+    }
+    Ok(Schedule::from_starts(g, start))
+}
+
+/// Time-constrained scheduling in the force-directed style: operations
+/// are placed in increasing-mobility order at the step minimizing the
+/// peak per-class distribution, with ASAP/ALAP bounds recomputed after
+/// every placement.
+///
+/// # Errors
+///
+/// Returns [`HlsError::InfeasibleLatency`] if `target` is below the
+/// critical path.
+pub fn force_directed(g: &Cdfg, target: u64) -> Result<Schedule, HlsError> {
+    let n = g.len();
+    let mut fixed: Vec<Option<u64>> = vec![None; n];
+
+    // Recomputes ASAP/ALAP respecting already-fixed ops.
+    let bounds = |fixed: &[Option<u64>]| -> Result<(Vec<u64>, Vec<u64>), HlsError> {
+        let mut lo = vec![0u64; n];
+        for (id, node) in g.iter() {
+            let ready = node
+                .args()
+                .iter()
+                .map(|&a| lo[a.index()] + hw_delay(g.node(a).kind()))
+                .max()
+                .unwrap_or(0);
+            lo[id.index()] = match fixed[id.index()] {
+                Some(t) => t,
+                None => ready,
+            };
+        }
+        let mut hi = vec![0u64; n];
+        let ids: Vec<OpId> = g.iter().map(|(id, _)| id).collect();
+        for &id in ids.iter().rev() {
+            let d = hw_delay(g.node(id).kind());
+            let latest = g
+                .consumers(id)
+                .map(|c| hi[c.index()])
+                .min()
+                .unwrap_or(target);
+            let limit = latest.checked_sub(d).ok_or(HlsError::InfeasibleLatency {
+                requested: target,
+                critical_path: asap(g).makespan(),
+            })?;
+            hi[id.index()] = match fixed[id.index()] {
+                Some(t) => t,
+                None => limit,
+            };
+            if lo[id.index()] > hi[id.index()] {
+                return Err(HlsError::InfeasibleLatency {
+                    requested: target,
+                    critical_path: asap(g).makespan(),
+                });
+            }
+        }
+        Ok((lo, hi))
+    };
+
+    let critical = asap(g).makespan();
+    if target < critical {
+        return Err(HlsError::InfeasibleLatency {
+            requested: target,
+            critical_path: critical,
+        });
+    }
+
+    // Place resource ops in increasing-mobility order.
+    loop {
+        let (lo, hi) = bounds(&fixed)?;
+        // Pick the unfixed resource op with the smallest mobility.
+        let next = g
+            .iter()
+            .filter(|(id, node)| fixed[id.index()].is_none() && class_index(node.kind()).is_some())
+            .min_by_key(|(id, _)| hi[id.index()] - lo[id.index()]);
+        let Some((id, node)) = next else { break };
+        let c = class_index(node.kind()).expect("resource op");
+        let d = hw_delay(node.kind());
+
+        // Distribution graph for this class from current bounds: expected
+        // usage per step (uniform over each op's window).
+        let mut dist = vec![0f64; target as usize + 1];
+        for (oid, onode) in g.iter() {
+            if class_index(onode.kind()) != Some(c) || oid == id {
+                continue;
+            }
+            let (l, h) = (lo[oid.index()], hi[oid.index()]);
+            let od = hw_delay(onode.kind());
+            let window = (h - l + 1) as f64;
+            for s in l..=h {
+                for k in 0..od {
+                    let step = (s + k) as usize;
+                    if step < dist.len() {
+                        dist[step] += 1.0 / window;
+                    }
+                }
+            }
+        }
+        // Choose the start step with minimal added force (sum of
+        // distribution over the op's span).
+        let (mut best_t, mut best_force) = (lo[id.index()], f64::INFINITY);
+        for t in lo[id.index()]..=hi[id.index()] {
+            let force: f64 = (0..d)
+                .map(|k| dist.get((t + k) as usize).copied().unwrap_or(0.0))
+                .sum();
+            if force < best_force {
+                best_force = force;
+                best_t = t;
+            }
+        }
+        fixed[id.index()] = Some(best_t);
+    }
+
+    // Free ops take their ASAP positions given the fixed resource ops.
+    let (lo, _) = bounds(&fixed)?;
+    Ok(Schedule::from_starts(g, lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::workload::kernels;
+
+    #[test]
+    fn asap_respects_dependencies_on_all_kernels() {
+        for g in kernels::all() {
+            let s = asap(&g);
+            assert!(s.respects_dependencies(&g), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn asap_makespan_equals_graph_depth() {
+        let g = kernels::fir(8);
+        let s = asap(&g);
+        assert_eq!(s.makespan(), g.depth(hw_delay));
+    }
+
+    #[test]
+    fn alap_meets_target_and_dependencies() {
+        let g = kernels::dct8();
+        let target = asap(&g).makespan() + 5;
+        let s = alap(&g, target).unwrap();
+        assert!(s.respects_dependencies(&g));
+        assert!(s.makespan() <= target);
+    }
+
+    #[test]
+    fn alap_rejects_impossible_target() {
+        let g = kernels::fir(8);
+        assert!(matches!(
+            alap(&g, 1),
+            Err(HlsError::InfeasibleLatency { .. })
+        ));
+    }
+
+    #[test]
+    fn list_schedule_respects_resource_limits() {
+        let g = kernels::fir(8);
+        let res: ResourceSet = [1, 1, 1, 1];
+        let s = list_schedule(&g, &res).unwrap();
+        assert!(s.respects_dependencies(&g));
+        let peaks = s.peak_usage(&g);
+        for (p, r) in peaks.iter().zip(res.iter()) {
+            assert!(p <= r, "peak {p} exceeds budget {r}");
+        }
+    }
+
+    #[test]
+    fn fewer_resources_never_shorten_the_schedule() {
+        let g = kernels::dct8();
+        let tight = list_schedule(&g, &[1, 1, 1, 1]).unwrap().makespan();
+        let roomy = list_schedule(&g, &[4, 4, 2, 4]).unwrap().makespan();
+        let unlimited = asap(&g).makespan();
+        assert!(roomy <= tight);
+        assert!(unlimited <= roomy);
+        assert!(tight > unlimited, "dct8 has real resource pressure");
+    }
+
+    #[test]
+    fn zero_budget_for_needed_class_is_infeasible() {
+        let g = kernels::fir(8);
+        assert!(matches!(
+            list_schedule(&g, &[1, 0, 1, 1]),
+            Err(HlsError::InfeasibleResources {
+                class: "multiplier"
+            })
+        ));
+    }
+
+    #[test]
+    fn force_directed_meets_target() {
+        let g = kernels::dct8();
+        let critical = asap(&g).makespan();
+        for slack in [0, 4, 16] {
+            let target = critical + slack;
+            let s = force_directed(&g, target).unwrap();
+            assert!(s.respects_dependencies(&g), "slack {slack}");
+            assert!(s.makespan() <= target, "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn force_directed_with_slack_uses_fewer_fus() {
+        let g = kernels::dct8();
+        let critical = asap(&g).makespan();
+        let tight = force_directed(&g, critical).unwrap().peak_usage(&g);
+        let relaxed = force_directed(&g, critical * 3).unwrap().peak_usage(&g);
+        // With 3x the time budget, the multiplier count must drop.
+        assert!(
+            relaxed[1] < tight[1],
+            "relaxed {relaxed:?} vs tight {tight:?}"
+        );
+    }
+
+    #[test]
+    fn force_directed_rejects_impossible_target() {
+        let g = kernels::fir(8);
+        assert!(matches!(
+            force_directed(&g, 1),
+            Err(HlsError::InfeasibleLatency { .. })
+        ));
+    }
+
+    #[test]
+    fn list_schedule_all_kernels_single_fu_each() {
+        for g in kernels::all() {
+            let s = list_schedule(&g, &[1, 1, 1, 1]).unwrap();
+            assert!(s.respects_dependencies(&g), "{}", g.name());
+            let peaks = s.peak_usage(&g);
+            assert!(peaks.iter().all(|&p| p <= 1), "{}: {peaks:?}", g.name());
+        }
+    }
+
+    #[test]
+    fn multi_cycle_ops_block_their_fu() {
+        use codesign_ir::cdfg::{Cdfg, OpKind};
+        // Two independent multiplies, one multiplier: second must wait
+        // the full 2-cycle occupancy.
+        let mut g = Cdfg::new("two_muls");
+        let a = g.input();
+        let b = g.input();
+        let m1 = g.op(OpKind::Mul, &[a, b]).unwrap();
+        let m2 = g.op(OpKind::Mul, &[b, a]).unwrap();
+        let s1 = g.op(OpKind::Add, &[m1, m2]).unwrap();
+        g.output(s1).unwrap();
+        let s = list_schedule(&g, &[1, 1, 1, 1]).unwrap();
+        let (t1, t2) = (s.start(m1), s.start(m2));
+        assert!(t1.abs_diff(t2) >= 2, "occupancy respected: {t1} vs {t2}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for specification construction and interpretation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or interpreting the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A graph that must be acyclic contains a cycle.
+    CyclicGraph {
+        /// Which graph kind the cycle was found in (`"task graph"`, `"cdfg"`, ...).
+        kind: &'static str,
+    },
+    /// An edge or reference names a node that does not exist.
+    UnknownNode {
+        /// Which graph kind the dangling reference was found in.
+        kind: &'static str,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A CDFG evaluation was given the wrong number of inputs.
+    InputArity {
+        /// Inputs the graph declares.
+        expected: usize,
+        /// Inputs the caller supplied.
+        actual: usize,
+    },
+    /// An operation was evaluated with an illegal operand (e.g. divide by zero).
+    EvalFault {
+        /// Index of the faulting operation.
+        op: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A textual specification failed to parse.
+    ParseSpec {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A process references a channel that is not declared in the network.
+    UnknownChannel {
+        /// Name of the missing channel.
+        name: String,
+    },
+    /// A structural invariant of the specification is violated.
+    Invalid {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::CyclicGraph { kind } => write!(f, "cycle detected in {kind}"),
+            IrError::UnknownNode { kind, index } => {
+                write!(f, "reference to unknown node {index} in {kind}")
+            }
+            IrError::InputArity { expected, actual } => {
+                write!(f, "expected {expected} inputs, got {actual}")
+            }
+            IrError::EvalFault { op, reason } => {
+                write!(f, "evaluation fault at operation {op}: {reason}")
+            }
+            IrError::ParseSpec { line, reason } => {
+                write!(f, "specification parse error at line {line}: {reason}")
+            }
+            IrError::UnknownChannel { name } => write!(f, "unknown channel `{name}`"),
+            IrError::Invalid { reason } => write!(f, "invalid specification: {reason}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = IrError::CyclicGraph { kind: "task graph" };
+        assert_eq!(e.to_string(), "cycle detected in task graph");
+        let e = IrError::InputArity {
+            expected: 3,
+            actual: 1,
+        };
+        assert_eq!(e.to_string(), "expected 3 inputs, got 1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

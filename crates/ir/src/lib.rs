@@ -1,0 +1,68 @@
+//! # codesign-ir
+//!
+//! Unified specification intermediate representation for mixed
+//! hardware/software system design, after Adams & Thomas, *"The Design of
+//! Mixed Hardware/Software Systems"*, DAC 1996.
+//!
+//! The paper observes that hardware and software "are typically described
+//! and designed using different formalisms, languages, and tools", and that
+//! co-synthesis requires "a unified understanding of hardware and software
+//! functionality" (Section 3.2). This crate is that unified substrate. It
+//! provides three views of a system, at the three granularities the
+//! surveyed co-design flows operate on:
+//!
+//! * [`task::TaskGraph`] — coarse-grain tasks with per-target costs and
+//!   inter-task data volumes, the input to heterogeneous-multiprocessor
+//!   co-synthesis (paper Section 4.2) and to HW/SW partitioning
+//!   (Section 3.3).
+//! * [`cdfg::Cdfg`] — operation-level control/data-flow graphs, the input
+//!   to behavioral synthesis and to ASIP instruction-set customization
+//!   (Sections 4.3–4.5). CDFGs are *executable*: [`cdfg::Cdfg::evaluate`]
+//!   interprets a graph on concrete inputs, giving every downstream
+//!   implementation (compiled software, synthesized hardware) a functional
+//!   reference to be verified against.
+//! * [`process::ProcessNetwork`] — communicating sequential processes with
+//!   `send`/`receive`/`wait` primitives, the abstraction at which
+//!   message-level co-simulation models HW/SW interaction (Section 3.1,
+//!   Figure 3 top) and at which multi-threaded co-processors are
+//!   synthesized (Section 4.5.1).
+//!
+//! [`opt`] provides semantics-preserving CDFG rewrites (constant
+//! folding, common-subexpression elimination, dead-code elimination)
+//! that shrink a kernel on both sides of the HW/SW boundary.
+//!
+//! [`spec`] parses a small textual specification language covering all
+//! three views, serving as the "common specification for the hardware and
+//! software components" the paper attributes to Chinook (Section 4.1).
+//! [`workload`] generates the synthetic workloads used by the experiment
+//! harness: seeded TGFF-style random task graphs and a library of DSP
+//! kernels expressed as CDFGs.
+//!
+//! ## Example
+//!
+//! ```
+//! use codesign_ir::cdfg::Cdfg;
+//! use codesign_ir::workload::kernels;
+//!
+//! # fn main() -> Result<(), codesign_ir::IrError> {
+//! // An 8-tap FIR filter as a control/data-flow graph.
+//! let fir = kernels::fir(8);
+//! let inputs: Vec<i64> = (0..fir.input_count()).map(|i| i as i64).collect();
+//! let outputs = fir.evaluate(&inputs)?;
+//! assert_eq!(outputs.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cdfg;
+pub mod error;
+pub mod opt;
+pub mod process;
+pub mod spec;
+pub mod task;
+pub mod workload;
+
+pub use error::IrError;

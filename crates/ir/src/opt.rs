@@ -1,0 +1,349 @@
+//! CDFG optimization passes.
+//!
+//! Three classic semantics-preserving rewrites run before code generation
+//! or synthesis — the paper's co-synthesis flows assume "a unified
+//! understanding of hardware and software functionality", and a smaller
+//! graph is smaller on *both* sides of the boundary:
+//!
+//! * **constant folding** — operations whose operands are all constants
+//!   are evaluated at compile time (using the non-trapping hardware
+//!   semantics for division, so folding never changes behaviour);
+//! * **common-subexpression elimination** — structurally identical
+//!   operations are merged;
+//! * **dead-code elimination** — operations no output depends on are
+//!   dropped.
+//!
+//! [`optimize`] runs all three to a fixed point and returns a new graph
+//! with identical observable behaviour ([`Cdfg::evaluate`] agrees on all
+//! inputs, checked by property tests).
+
+use std::collections::HashMap;
+
+use crate::cdfg::{Cdfg, OpId, OpKind};
+use crate::error::IrError;
+
+/// Statistics from one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Operations in the input graph.
+    pub ops_before: usize,
+    /// Operations in the optimized graph.
+    pub ops_after: usize,
+    /// Operations replaced by folded constants.
+    pub folded: usize,
+    /// Operations merged into an equivalent earlier operation.
+    pub merged: usize,
+}
+
+impl OptStats {
+    /// Fraction of operations removed.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.ops_before == 0 {
+            0.0
+        } else {
+            1.0 - self.ops_after as f64 / self.ops_before as f64
+        }
+    }
+}
+
+/// Evaluates one operation on constant operands with the non-trapping
+/// hardware semantics (`x/0 = 0`, `x%0 = x`), so folding a divide is
+/// always safe.
+fn fold(kind: OpKind, args: &[i64]) -> Option<i64> {
+    let a = |k: usize| args.get(k).copied().unwrap_or(0);
+    Some(match kind {
+        OpKind::Add => a(0).wrapping_add(a(1)),
+        OpKind::Sub => a(0).wrapping_sub(a(1)),
+        OpKind::Mul => a(0).wrapping_mul(a(1)),
+        OpKind::Div => a(0).checked_div(a(1)).unwrap_or(0),
+        OpKind::Rem => {
+            if a(1) == 0 {
+                a(0)
+            } else {
+                a(0).wrapping_rem(a(1))
+            }
+        }
+        OpKind::And => a(0) & a(1),
+        OpKind::Or => a(0) | a(1),
+        OpKind::Xor => a(0) ^ a(1),
+        OpKind::Not => !a(0),
+        OpKind::Neg => a(0).wrapping_neg(),
+        OpKind::Shl => a(0).wrapping_shl((a(1) & 0x3f) as u32),
+        OpKind::Shr => a(0).wrapping_shr((a(1) & 0x3f) as u32),
+        OpKind::Lt => i64::from(a(0) < a(1)),
+        OpKind::Le => i64::from(a(0) <= a(1)),
+        OpKind::Eq => i64::from(a(0) == a(1)),
+        OpKind::Ne => i64::from(a(0) != a(1)),
+        OpKind::Select => {
+            if a(0) != 0 {
+                a(1)
+            } else {
+                a(2)
+            }
+        }
+        OpKind::Min => a(0).min(a(1)),
+        OpKind::Max => a(0).max(a(1)),
+        OpKind::Abs => a(0).wrapping_abs(),
+        _ => return None,
+    })
+}
+
+/// Wait-for-zero divides must NOT be folded to the trapping
+/// interpretation: [`Cdfg::evaluate`] faults on division by a zero
+/// *runtime* value, but a divide by a zero *constant* would change a
+/// guaranteed fault into a 0. Keep those unfolded so behaviour
+/// (including the fault) is preserved.
+fn folding_would_mask_a_fault(kind: OpKind, args: &[i64]) -> bool {
+    matches!(kind, OpKind::Div | OpKind::Rem) && args.get(1) == Some(&0)
+}
+
+/// Runs constant folding, CSE, and DCE to a fixed point.
+///
+/// The optimized graph evaluates identically to the input on every input
+/// vector (including faulting identically on runtime divide-by-zero).
+///
+/// # Errors
+///
+/// Propagates structural errors from graph reconstruction (cannot occur
+/// for graphs built through the public [`Cdfg`] API).
+pub fn optimize(g: &Cdfg) -> Result<(Cdfg, OptStats), IrError> {
+    let mut stats = OptStats {
+        ops_before: g.len(),
+        ..OptStats::default()
+    };
+
+    // --- Liveness (DCE): outputs keep their transitive inputs ----------
+    let mut live = vec![false; g.len()];
+    let mut stack: Vec<usize> = g
+        .iter()
+        .filter(|(_, n)| matches!(n.kind(), OpKind::Output(_)))
+        .map(|(id, _)| id.index())
+        .collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut live[i], true) {
+            continue;
+        }
+        stack.extend(g.node(OpId::from_index(i)).args().iter().map(|a| a.index()));
+    }
+    // Inputs always survive so the signature is stable.
+    for (id, n) in g.iter() {
+        if matches!(n.kind(), OpKind::Input(_)) {
+            live[id.index()] = true;
+        }
+    }
+
+    let mut out = Cdfg::new(g.name());
+    // old id -> new id
+    let mut remap: Vec<Option<OpId>> = vec![None; g.len()];
+    // folded constant value per old id, for further folding
+    let mut const_of: Vec<Option<i64>> = vec![None; g.len()];
+    // structural hash for CSE: (kind, new arg ids) -> new id
+    let mut seen: HashMap<(OpKind, Vec<OpId>), OpId> = HashMap::new();
+    // constants already materialized in the new graph
+    let mut const_pool: HashMap<i64, OpId> = HashMap::new();
+
+    let mut intern_const = |out: &mut Cdfg, v: i64| -> OpId {
+        *const_pool.entry(v).or_insert_with(|| out.constant(v))
+    };
+
+    for (id, node) in g.iter() {
+        if !live[id.index()] {
+            continue;
+        }
+        match node.kind() {
+            OpKind::Input(_) => {
+                remap[id.index()] = Some(out.input());
+            }
+            OpKind::Const(c) => {
+                // Materialized lazily, so constants orphaned by folding
+                // never reach the output graph.
+                const_of[id.index()] = Some(c);
+            }
+            OpKind::Output(_) => {
+                let src = node.args()[0];
+                let new_src = match (remap[src.index()], const_of[src.index()]) {
+                    (Some(n), _) => n,
+                    (None, Some(c)) => {
+                        let n = intern_const(&mut out, c);
+                        remap[src.index()] = Some(n);
+                        n
+                    }
+                    (None, None) => {
+                        return Err(IrError::UnknownNode {
+                            kind: "cdfg",
+                            index: src.index(),
+                        })
+                    }
+                };
+                out.output(new_src)?;
+            }
+            kind => {
+                // Try constant folding.
+                let const_args: Option<Vec<i64>> =
+                    node.args().iter().map(|a| const_of[a.index()]).collect();
+                if let Some(cargs) = const_args {
+                    if !folding_would_mask_a_fault(kind, &cargs) {
+                        if let Some(v) = fold(kind, &cargs) {
+                            stats.folded += 1;
+                            // Lazy like any constant: materialized only on
+                            // first real use.
+                            const_of[id.index()] = Some(v);
+                            continue;
+                        }
+                    }
+                }
+                // CSE over the rewritten operands (constants materialize
+                // here, on first real use).
+                let mut new_args: Vec<OpId> = Vec::with_capacity(node.args().len());
+                for a in node.args() {
+                    let n = match (remap[a.index()], const_of[a.index()]) {
+                        (Some(n), _) => n,
+                        (None, Some(c)) => {
+                            let n = intern_const(&mut out, c);
+                            remap[a.index()] = Some(n);
+                            n
+                        }
+                        (None, None) => {
+                            return Err(IrError::UnknownNode {
+                                kind: "cdfg",
+                                index: a.index(),
+                            })
+                        }
+                    };
+                    new_args.push(n);
+                }
+                let key = (kind, new_args.clone());
+                if let Some(&existing) = seen.get(&key) {
+                    stats.merged += 1;
+                    remap[id.index()] = Some(existing);
+                    continue;
+                }
+                let new_id = out.op(kind, &new_args)?;
+                seen.insert(key, new_id);
+                remap[id.index()] = Some(new_id);
+            }
+        }
+    }
+    stats.ops_after = out.len();
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::kernels;
+
+    #[test]
+    fn folds_constant_expressions() {
+        let mut g = Cdfg::new("fold");
+        let a = g.constant(6);
+        let b = g.constant(7);
+        let p = g.op(OpKind::Mul, &[a, b]).unwrap();
+        let x = g.input();
+        let s = g.op(OpKind::Add, &[p, x]).unwrap();
+        g.output(s).unwrap();
+        let (opt, stats) = optimize(&g).unwrap();
+        assert_eq!(stats.folded, 1);
+        assert_eq!(opt.evaluate(&[8]).unwrap(), vec![50]);
+        // The multiply is gone: one add remains.
+        assert_eq!(opt.class_histogram(), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn merges_common_subexpressions() {
+        let mut g = Cdfg::new("cse");
+        let a = g.input();
+        let b = g.input();
+        let s1 = g.op(OpKind::Add, &[a, b]).unwrap();
+        let s2 = g.op(OpKind::Add, &[a, b]).unwrap();
+        let p = g.op(OpKind::Mul, &[s1, s2]).unwrap();
+        g.output(p).unwrap();
+        let (opt, stats) = optimize(&g).unwrap();
+        assert_eq!(stats.merged, 1);
+        assert_eq!(opt.class_histogram(), [1, 1, 0, 0]);
+        assert_eq!(opt.evaluate(&[3, 4]).unwrap(), vec![49]);
+    }
+
+    #[test]
+    fn eliminates_dead_code() {
+        let mut g = Cdfg::new("dce");
+        let a = g.input();
+        let b = g.input();
+        let _dead = g.op(OpKind::Mul, &[a, b]).unwrap();
+        let live = g.op(OpKind::Add, &[a, b]).unwrap();
+        g.output(live).unwrap();
+        let (opt, _) = optimize(&g).unwrap();
+        assert_eq!(opt.class_histogram(), [1, 0, 0, 0]);
+        assert_eq!(opt.evaluate(&[2, 3]).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn divide_by_constant_zero_still_faults() {
+        let mut g = Cdfg::new("divz");
+        let a = g.input();
+        let z = g.constant(0);
+        let q = g.op(OpKind::Div, &[a, z]).unwrap();
+        g.output(q).unwrap();
+        let (opt, stats) = optimize(&g).unwrap();
+        assert_eq!(stats.folded, 0, "fault-preserving: not folded");
+        assert!(matches!(opt.evaluate(&[5]), Err(IrError::EvalFault { .. })));
+    }
+
+    #[test]
+    fn constants_are_pooled() {
+        let mut g = Cdfg::new("pool");
+        let x = g.input();
+        let c1 = g.constant(5);
+        let c2 = g.constant(5);
+        let a = g.op(OpKind::Add, &[x, c1]).unwrap();
+        let b = g.op(OpKind::Mul, &[x, c2]).unwrap();
+        let s = g.op(OpKind::Sub, &[a, b]).unwrap();
+        g.output(s).unwrap();
+        let (opt, _) = optimize(&g).unwrap();
+        let consts = opt
+            .iter()
+            .filter(|(_, n)| matches!(n.kind(), OpKind::Const(_)))
+            .count();
+        assert_eq!(consts, 1, "duplicate constants merged");
+    }
+
+    #[test]
+    fn signature_is_preserved_even_for_unused_inputs() {
+        let mut g = Cdfg::new("sig");
+        let _unused = g.input();
+        let b = g.input();
+        g.output(b).unwrap();
+        let (opt, _) = optimize(&g).unwrap();
+        assert_eq!(opt.input_count(), 2);
+        assert_eq!(opt.evaluate(&[99, 7]).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn library_kernels_are_preserved_and_sometimes_shrink() {
+        for g in kernels::all() {
+            let (opt, stats) = optimize(&g).unwrap();
+            let inputs: Vec<i64> = (0..g.input_count()).map(|i| i as i64 * 3 - 5).collect();
+            assert_eq!(
+                opt.evaluate(&inputs).unwrap(),
+                g.evaluate(&inputs).unwrap(),
+                "{}",
+                g.name()
+            );
+            assert!(stats.ops_after <= stats.ops_before, "{}", g.name());
+        }
+        // crc32 folds its per-round shift-amount constants into reuse.
+        let (_, stats) = optimize(&kernels::crc32_byte()).unwrap();
+        assert!(stats.reduction() > 0.0, "crc32 shrinks: {stats:?}");
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        for g in kernels::all() {
+            let (once, _) = optimize(&g).unwrap();
+            let (twice, stats) = optimize(&once).unwrap();
+            assert_eq!(once, twice, "{}", g.name());
+            assert_eq!(stats.folded + stats.merged, 0);
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! A small textual specification language.
+//!
+//! The paper's Section 3.2 notes that co-synthesis is hampered because
+//! "hardware and software are often described using different languages
+//! and formalisms", and praises Chinook for using "a common specification
+//! for the hardware and software components" (Section 4.1). This module is
+//! that common specification: one plain-text format that describes both
+//! the coarse-grain task view and the communicating-process view of a
+//! system, from which every flow in this repository can start.
+//!
+//! # Grammar
+//!
+//! Line-oriented; `#` starts a comment; blank lines are ignored.
+//!
+//! ```text
+//! system  <name>
+//!
+//! task    <name> sw=<cycles> [hw=<cycles>] [area=<f64>] [par=<f64>] [mod=<f64>] [kernel=<name>]
+//! edge    <src> -> <dst> bytes=<u64>
+//! deadline <cycles>
+//! period   <cycles>
+//!
+//! channel <name> [cap=<usize>]
+//! process <name> [iter=<u32>] [kernel=<name>]
+//!   compute <cycles>
+//!   send    <channel> <bytes>
+//!   recv    <channel>
+//!   wait    <cycles>
+//! end
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use codesign_ir::spec::SystemSpec;
+//!
+//! # fn main() -> Result<(), codesign_ir::IrError> {
+//! let spec = SystemSpec::parse(
+//!     "system demo\n\
+//!      task a sw=100\n\
+//!      task b sw=200 par=0.9\n\
+//!      edge a -> b bytes=16\n",
+//! )?;
+//! assert_eq!(spec.name(), "demo");
+//! assert_eq!(spec.task_graph().unwrap().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::IrError;
+use crate::process::{Action, Process, ProcessNetwork};
+use crate::task::{Task, TaskGraph, TaskId};
+
+/// A parsed system specification: an optional task-graph view and an
+/// optional process-network view under one system name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    name: String,
+    task_graph: Option<TaskGraph>,
+    network: Option<ProcessNetwork>,
+}
+
+impl SystemSpec {
+    /// Parses a specification from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ParseSpec`] with a 1-based line number for any
+    /// syntax error, and the underlying structural error (e.g. an unknown
+    /// task in an `edge`) for semantic problems.
+    pub fn parse(text: &str) -> Result<Self, IrError> {
+        Parser::new(text).parse()
+    }
+
+    /// System name (from the `system` line, or `"unnamed"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task-graph view, if the spec declared any `task`.
+    #[must_use]
+    pub fn task_graph(&self) -> Option<&TaskGraph> {
+        self.task_graph.as_ref()
+    }
+
+    /// The process-network view, if the spec declared any `process`.
+    #[must_use]
+    pub fn network(&self) -> Option<&ProcessNetwork> {
+        self.network.as_ref()
+    }
+
+    /// Builds a specification from already-constructed views.
+    #[must_use]
+    pub fn from_parts(
+        name: impl Into<String>,
+        task_graph: Option<TaskGraph>,
+        network: Option<ProcessNetwork>,
+    ) -> Self {
+        SystemSpec {
+            name: name.into(),
+            task_graph,
+            network,
+        }
+    }
+
+    /// Renders the specification back to its textual form; the result
+    /// parses to an equivalent specification (task, channel, and process
+    /// names must be single tokens without `#`, `;`, or whitespace for
+    /// the round trip to hold).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "system {}", self.name);
+        if let Some(g) = &self.task_graph {
+            out.push('\n');
+            for (_, t) in g.iter() {
+                let _ = write!(
+                    out,
+                    "task {} sw={} hw={} area={:?} par={:?} mod={:?}",
+                    t.name(),
+                    t.sw_cycles(),
+                    t.hw_cycles(),
+                    t.hw_area(),
+                    t.parallelism(),
+                    t.modifiability()
+                );
+                if let Some(k) = t.kernel() {
+                    let _ = write!(out, " kernel={k}");
+                }
+                out.push('\n');
+            }
+            for e in g.edges() {
+                let _ = writeln!(
+                    out,
+                    "edge {} -> {} bytes={}",
+                    g.task(e.src).name(),
+                    g.task(e.dst).name(),
+                    e.bytes
+                );
+            }
+            if let Some(d) = g.deadline() {
+                let _ = writeln!(out, "deadline {d}");
+            }
+            if let Some(p) = g.period() {
+                let _ = writeln!(out, "period {p}");
+            }
+        }
+        if let Some(net) = &self.network {
+            out.push('\n');
+            for i in 0..net.channel_count() {
+                let ch = net.channel(crate::process::ChannelId::from_index(i));
+                let _ = writeln!(out, "channel {} cap={}", ch.name(), ch.capacity());
+            }
+            for (_, p) in net.iter() {
+                let _ = write!(out, "process {} iter={}", p.name(), p.iterations());
+                if let Some(k) = p.kernel() {
+                    let _ = write!(out, " kernel={k}");
+                }
+                let _ = writeln!(out);
+                for a in p.actions() {
+                    let _ = match a {
+                        crate::process::Action::Compute(c) => writeln!(out, "  compute {c}"),
+                        crate::process::Action::Wait(c) => writeln!(out, "  wait {c}"),
+                        crate::process::Action::Send { channel, bytes } => {
+                            writeln!(out, "  send {} {bytes}", net.channel(*channel).name())
+                        }
+                        crate::process::Action::Receive { channel } => {
+                            writeln!(out, "  recv {}", net.channel(*channel).name())
+                        }
+                    };
+                }
+                let _ = writeln!(out, "end");
+            }
+        }
+        out
+    }
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+    name: String,
+    graph: TaskGraph,
+    task_names: BTreeMap<String, TaskId>,
+    has_tasks: bool,
+    network: ProcessNetwork,
+    has_processes: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = l.split('#').next().unwrap_or("").trim();
+                (i + 1, l)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser {
+            lines,
+            pos: 0,
+            name: "unnamed".to_string(),
+            graph: TaskGraph::new("unnamed"),
+            task_names: BTreeMap::new(),
+            has_tasks: false,
+            network: ProcessNetwork::new("unnamed"),
+            has_processes: false,
+        }
+    }
+
+    fn parse(mut self) -> Result<SystemSpec, IrError> {
+        while self.pos < self.lines.len() {
+            let (line_no, line) = self.lines[self.pos];
+            self.pos += 1;
+            let mut words = line.split_whitespace();
+            let keyword = words.next().unwrap_or("");
+            let rest: Vec<&str> = words.collect();
+            match keyword {
+                "system" => {
+                    self.name = Self::one_name(line_no, &rest, "system")?.to_string();
+                    self.graph = TaskGraph::new(self.name.clone());
+                    self.network = ProcessNetwork::new(self.name.clone());
+                }
+                "task" => self.parse_task(line_no, &rest)?,
+                "edge" => self.parse_edge(line_no, &rest)?,
+                "deadline" => {
+                    let v = Self::parse_u64(line_no, Self::one_name(line_no, &rest, "deadline")?)?;
+                    self.graph.set_deadline(v);
+                }
+                "period" => {
+                    let v = Self::parse_u64(line_no, Self::one_name(line_no, &rest, "period")?)?;
+                    self.graph.set_period(v);
+                }
+                "channel" => self.parse_channel(line_no, &rest)?,
+                "process" => self.parse_process(line_no, &rest)?,
+                other => {
+                    return Err(IrError::ParseSpec {
+                        line: line_no,
+                        reason: format!("unknown keyword `{other}`"),
+                    })
+                }
+            }
+        }
+        if self.has_processes {
+            self.network.validate()?;
+        }
+        if self.has_tasks {
+            self.graph.validate()?;
+        }
+        Ok(SystemSpec {
+            name: self.name,
+            task_graph: self.has_tasks.then_some(self.graph),
+            network: self.has_processes.then_some(self.network),
+        })
+    }
+
+    fn one_name<'b>(line: usize, rest: &[&'b str], kw: &str) -> Result<&'b str, IrError> {
+        match rest {
+            [name] => Ok(name),
+            _ => Err(IrError::ParseSpec {
+                line,
+                reason: format!("`{kw}` takes exactly one argument"),
+            }),
+        }
+    }
+
+    fn parse_u64(line: usize, s: &str) -> Result<u64, IrError> {
+        s.parse().map_err(|_| IrError::ParseSpec {
+            line,
+            reason: format!("expected integer, got `{s}`"),
+        })
+    }
+
+    fn parse_f64(line: usize, s: &str) -> Result<f64, IrError> {
+        s.parse().map_err(|_| IrError::ParseSpec {
+            line,
+            reason: format!("expected number, got `{s}`"),
+        })
+    }
+
+    fn kv(line: usize, word: &str) -> Result<(&str, &str), IrError> {
+        word.split_once('=').ok_or_else(|| IrError::ParseSpec {
+            line,
+            reason: format!("expected key=value, got `{word}`"),
+        })
+    }
+
+    fn parse_task(&mut self, line: usize, rest: &[&str]) -> Result<(), IrError> {
+        let (name, attrs) = rest.split_first().ok_or(IrError::ParseSpec {
+            line,
+            reason: "`task` needs a name".to_string(),
+        })?;
+        if self.task_names.contains_key(*name) {
+            return Err(IrError::ParseSpec {
+                line,
+                reason: format!("duplicate task `{name}`"),
+            });
+        }
+        let mut sw = None;
+        let mut task_attrs: Vec<(&str, &str)> = Vec::new();
+        for word in attrs {
+            let (k, v) = Self::kv(line, word)?;
+            if k == "sw" {
+                sw = Some(Self::parse_u64(line, v)?);
+            } else {
+                task_attrs.push((k, v));
+            }
+        }
+        let sw = sw.ok_or(IrError::ParseSpec {
+            line,
+            reason: format!("task `{name}` needs sw=<cycles>"),
+        })?;
+        let mut task = Task::new(*name, sw);
+        for (k, v) in task_attrs {
+            task = match k {
+                "hw" => task.with_hw_cycles(Self::parse_u64(line, v)?),
+                "area" => task.with_hw_area(Self::parse_f64(line, v)?),
+                "par" => task.with_parallelism(Self::parse_f64(line, v)?),
+                "mod" => task.with_modifiability(Self::parse_f64(line, v)?),
+                "kernel" => task.with_kernel(v),
+                other => {
+                    return Err(IrError::ParseSpec {
+                        line,
+                        reason: format!("unknown task attribute `{other}`"),
+                    })
+                }
+            };
+        }
+        let id = self.graph.add_task(task);
+        self.task_names.insert((*name).to_string(), id);
+        self.has_tasks = true;
+        Ok(())
+    }
+
+    fn parse_edge(&mut self, line: usize, rest: &[&str]) -> Result<(), IrError> {
+        let [src, arrow, dst, bytes_kv] = rest else {
+            return Err(IrError::ParseSpec {
+                line,
+                reason: "`edge` syntax: edge <src> -> <dst> bytes=<n>".to_string(),
+            });
+        };
+        if *arrow != "->" {
+            return Err(IrError::ParseSpec {
+                line,
+                reason: format!("expected `->`, got `{arrow}`"),
+            });
+        }
+        let (k, v) = Self::kv(line, bytes_kv)?;
+        if k != "bytes" {
+            return Err(IrError::ParseSpec {
+                line,
+                reason: format!("expected bytes=<n>, got `{k}=`"),
+            });
+        }
+        let bytes = Self::parse_u64(line, v)?;
+        let lookup = |n: &str| {
+            self.task_names.get(n).copied().ok_or(IrError::ParseSpec {
+                line,
+                reason: format!("unknown task `{n}` in edge"),
+            })
+        };
+        let (s, d) = (lookup(src)?, lookup(dst)?);
+        self.graph.add_edge(s, d, bytes)
+    }
+
+    fn parse_channel(&mut self, line: usize, rest: &[&str]) -> Result<(), IrError> {
+        let (name, attrs) = rest.split_first().ok_or(IrError::ParseSpec {
+            line,
+            reason: "`channel` needs a name".to_string(),
+        })?;
+        if self.network.channel_by_name(name).is_some() {
+            return Err(IrError::ParseSpec {
+                line,
+                reason: format!("duplicate channel `{name}`"),
+            });
+        }
+        let mut cap = 0usize;
+        for word in attrs {
+            let (k, v) = Self::kv(line, word)?;
+            match k {
+                "cap" => {
+                    cap = Self::parse_u64(line, v)? as usize;
+                }
+                other => {
+                    return Err(IrError::ParseSpec {
+                        line,
+                        reason: format!("unknown channel attribute `{other}`"),
+                    })
+                }
+            }
+        }
+        self.network.add_channel(*name, cap);
+        Ok(())
+    }
+
+    fn parse_process(&mut self, line: usize, rest: &[&str]) -> Result<(), IrError> {
+        let (name, attrs) = rest.split_first().ok_or(IrError::ParseSpec {
+            line,
+            reason: "`process` needs a name".to_string(),
+        })?;
+        let mut iterations = 1u32;
+        let mut kernel: Option<&str> = None;
+        for word in attrs {
+            let (k, v) = Self::kv(line, word)?;
+            match k {
+                "iter" => {
+                    iterations = Self::parse_u64(line, v)? as u32;
+                }
+                "kernel" => {
+                    kernel = Some(v);
+                }
+                other => {
+                    return Err(IrError::ParseSpec {
+                        line,
+                        reason: format!("unknown process attribute `{other}`"),
+                    })
+                }
+            }
+        }
+        let mut actions = Vec::new();
+        loop {
+            let Some(&(body_line, body)) = self.lines.get(self.pos) else {
+                return Err(IrError::ParseSpec {
+                    line,
+                    reason: format!("process `{name}` not terminated by `end`"),
+                });
+            };
+            self.pos += 1;
+            let mut words = body.split_whitespace();
+            let kw = words.next().unwrap_or("");
+            let rest: Vec<&str> = words.collect();
+            match kw {
+                "end" => break,
+                "compute" => {
+                    let c =
+                        Self::parse_u64(body_line, Self::one_name(body_line, &rest, "compute")?)?;
+                    actions.push(Action::Compute(c));
+                }
+                "wait" => {
+                    let c = Self::parse_u64(body_line, Self::one_name(body_line, &rest, "wait")?)?;
+                    actions.push(Action::Wait(c));
+                }
+                "send" => {
+                    let [ch, bytes] = rest[..] else {
+                        return Err(IrError::ParseSpec {
+                            line: body_line,
+                            reason: "`send` syntax: send <channel> <bytes>".to_string(),
+                        });
+                    };
+                    let channel = self.network.channel_by_name(ch).ok_or_else(|| {
+                        IrError::UnknownChannel {
+                            name: ch.to_string(),
+                        }
+                    })?;
+                    let bytes = Self::parse_u64(body_line, bytes)?;
+                    actions.push(Action::Send { channel, bytes });
+                }
+                "recv" => {
+                    let ch = Self::one_name(body_line, &rest, "recv")?;
+                    let channel = self.network.channel_by_name(ch).ok_or_else(|| {
+                        IrError::UnknownChannel {
+                            name: ch.to_string(),
+                        }
+                    })?;
+                    actions.push(Action::Receive { channel });
+                }
+                other => {
+                    return Err(IrError::ParseSpec {
+                        line: body_line,
+                        reason: format!("unknown action `{other}`"),
+                    })
+                }
+            }
+        }
+        let mut process = Process::new(*name, actions).with_iterations(iterations);
+        if let Some(k) = kernel {
+            process = process.with_kernel(k);
+        }
+        self.network.add_process(process);
+        self.has_processes = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "\
+# A system with both views.
+system radio
+
+task sample sw=100 hw=12 area=3.5 par=0.2 mod=0.9
+task filter sw=4000 par=0.95 kernel=fir
+edge sample -> filter bytes=64
+deadline 100000
+
+channel data cap=2
+process producer iter=8
+  compute 100
+  send data 32
+end
+process consumer iter=8
+  recv data
+  wait 5
+  compute 250
+end
+";
+
+    #[test]
+    fn parses_full_spec() {
+        let spec = SystemSpec::parse(FULL).unwrap();
+        assert_eq!(spec.name(), "radio");
+        let g = spec.task_graph().unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.deadline(), Some(100_000));
+        let filter = g.iter().find(|(_, t)| t.name() == "filter").unwrap().1;
+        assert_eq!(filter.kernel(), Some("fir"));
+        assert_eq!(filter.parallelism(), 0.95);
+        let net = spec.network().unwrap();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.channel_count(), 1);
+        assert_eq!(
+            net.channel_by_name("data")
+                .map(|c| net.channel(c).capacity()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn task_only_spec_has_no_network() {
+        let spec = SystemSpec::parse("task a sw=1\n").unwrap();
+        assert!(spec.task_graph().is_some());
+        assert!(spec.network().is_none());
+    }
+
+    #[test]
+    fn unknown_keyword_reports_line() {
+        let err = SystemSpec::parse("system x\nbogus y\n").unwrap_err();
+        assert_eq!(
+            err,
+            IrError::ParseSpec {
+                line: 2,
+                reason: "unknown keyword `bogus`".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn edge_to_unknown_task_rejected() {
+        let err = SystemSpec::parse("task a sw=1\nedge a -> b bytes=4\n").unwrap_err();
+        assert!(matches!(err, IrError::ParseSpec { line: 2, .. }));
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let err = SystemSpec::parse("task a sw=1\ntask a sw=2\n").unwrap_err();
+        assert!(matches!(err, IrError::ParseSpec { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_sw_rejected() {
+        let err = SystemSpec::parse("task a hw=1\n").unwrap_err();
+        assert!(matches!(err, IrError::ParseSpec { line: 1, .. }));
+    }
+
+    #[test]
+    fn unterminated_process_rejected() {
+        let err = SystemSpec::parse("channel c\nprocess p\n  compute 1\n").unwrap_err();
+        assert!(matches!(err, IrError::ParseSpec { .. }));
+    }
+
+    #[test]
+    fn send_on_undeclared_channel_rejected() {
+        let err = SystemSpec::parse("process p\n  send nope 4\nend\n").unwrap_err();
+        assert_eq!(
+            err,
+            IrError::UnknownChannel {
+                name: "nope".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec = SystemSpec::parse("# header\n\n  # indented comment\ntask a sw=5 # trailing\n")
+            .unwrap();
+        assert_eq!(spec.task_graph().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn semantic_validation_runs_after_parse() {
+        // Parses fine, but the network is invalid: channel never received.
+        let err = SystemSpec::parse("channel c\nprocess p\n  send c 4\nend\n").unwrap_err();
+        assert!(matches!(err, IrError::Invalid { .. }));
+    }
+}
+
+#[cfg(test)]
+mod emit_tests {
+    use super::*;
+
+    #[test]
+    fn emitted_text_parses_to_equivalent_spec() {
+        let spec1 = SystemSpec::parse(
+            "system radio\n\
+             task a sw=100 hw=12 area=3.5 par=0.25 mod=0.75 kernel=fir\n\
+             task b sw=4000\n\
+             edge a -> b bytes=64\n\
+             deadline 100000\n\
+             period 200000\n\
+             channel data cap=2\n\
+             process p iter=8\n\
+               compute 100\n\
+               send data 32\n\
+             end\n\
+             process q iter=8\n\
+               recv data\n\
+               wait 5\n\
+               compute 250\n\
+             end\n",
+        )
+        .unwrap();
+        let text = spec1.to_text();
+        let spec2 = SystemSpec::parse(&text).unwrap();
+        assert_eq!(spec1, spec2, "round trip:\n{text}");
+    }
+
+    #[test]
+    fn emission_is_idempotent_for_generated_workloads() {
+        use crate::workload::tgff::{
+            random_process_network, random_task_graph, NetworkConfig, TgffConfig,
+        };
+        for seed in 0..5 {
+            let g = random_task_graph(&TgffConfig {
+                tasks: 12,
+                seed,
+                ..TgffConfig::default()
+            });
+            let net = random_process_network(&NetworkConfig {
+                seed,
+                ..NetworkConfig::default()
+            });
+            let spec = SystemSpec::from_parts("generated", Some(g.clone()), Some(net.clone()));
+            let reparsed = SystemSpec::parse(&spec.to_text()).unwrap();
+            // Graph/network names change to the system name; everything
+            // structural must survive.
+            let g2 = reparsed.task_graph().unwrap();
+            assert_eq!(g2.len(), g.len());
+            assert_eq!(g2.edges(), g.edges());
+            for (a, b) in g.iter().zip(g2.iter()) {
+                assert_eq!(a.1.name(), b.1.name());
+                assert_eq!(a.1.sw_cycles(), b.1.sw_cycles());
+                assert_eq!(a.1.hw_cycles(), b.1.hw_cycles());
+                assert_eq!(a.1.hw_area(), b.1.hw_area());
+                assert_eq!(a.1.parallelism(), b.1.parallelism());
+                assert_eq!(a.1.modifiability(), b.1.modifiability());
+            }
+            let n2 = reparsed.network().unwrap();
+            assert_eq!(n2.len(), net.len());
+            for (a, b) in net.iter().zip(n2.iter()) {
+                assert_eq!(a.1.actions(), b.1.actions());
+                assert_eq!(a.1.iterations(), b.1.iterations());
+            }
+            // And a second emission is byte-identical (fixed point).
+            assert_eq!(spec.to_text(), {
+                let again = SystemSpec::from_parts(
+                    "generated",
+                    reparsed.task_graph().cloned(),
+                    reparsed.network().cloned(),
+                );
+                again.to_text()
+            });
+        }
+    }
+}

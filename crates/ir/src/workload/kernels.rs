@@ -1,0 +1,506 @@
+//! A library of DSP and embedded kernels as executable CDFGs.
+//!
+//! These are the workloads the paper's co-processor literature evaluates
+//! on: filters, transforms, and bit-twiddling inner loops whose
+//! "performance-critical regions" are candidates for hardware (Sections
+//! 4.3–4.5). Every kernel is pure data flow, so it can be compiled to
+//! software by `codesign-isa`, synthesized to an FSMD by `codesign-hls`,
+//! and — because [`crate::cdfg::Cdfg::evaluate`] interprets it — used as a
+//! functional reference for both.
+
+use crate::cdfg::{Cdfg, OpId, OpKind};
+
+/// Coefficients used by [`fir`]: a small deterministic, non-trivial set.
+#[must_use]
+pub fn fir_coefficients(taps: usize) -> Vec<i64> {
+    (0..taps).map(|i| ((i as i64 % 7) + 1) * 3 - 10).collect()
+}
+
+/// An n-tap FIR filter: `y = Σ cᵢ·xᵢ` with the constant coefficients of
+/// [`fir_coefficients`]. `taps` inputs, one output.
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+#[must_use]
+pub fn fir(taps: usize) -> Cdfg {
+    assert!(taps > 0, "fir needs at least one tap");
+    let mut g = Cdfg::new(format!("fir{taps}"));
+    let coeffs = fir_coefficients(taps);
+    let xs: Vec<OpId> = (0..taps).map(|_| g.input()).collect();
+    let mut acc: Option<OpId> = None;
+    for (x, c) in xs.iter().zip(coeffs) {
+        let c = g.constant(c);
+        let prod = g.op(OpKind::Mul, &[*x, c]).expect("valid mul");
+        acc = Some(match acc {
+            None => prod,
+            Some(a) => g.op(OpKind::Add, &[a, prod]).expect("valid add"),
+        });
+    }
+    g.output(acc.expect("taps > 0")).expect("valid output");
+    g
+}
+
+/// Integer biquad IIR section:
+/// `y = b0·x0 + b1·x1 + b2·x2 − a1·y1 − a2·y2` with fixed integer
+/// coefficients `(b0,b1,b2,a1,a2) = (5,8,5,−3,2)`.
+/// Inputs `x0,x1,x2,y1,y2`; one output.
+#[must_use]
+pub fn iir_biquad() -> Cdfg {
+    let mut g = Cdfg::new("iir_biquad");
+    let inputs: Vec<OpId> = (0..5).map(|_| g.input()).collect();
+    let coeffs = [5i64, 8, 5, -3, 2];
+    let mut acc: Option<OpId> = None;
+    for (idx, (&x, c)) in inputs.iter().zip(coeffs).enumerate() {
+        let c = g.constant(c);
+        let prod = g.op(OpKind::Mul, &[x, c]).expect("valid mul");
+        acc = Some(match acc {
+            None => prod,
+            Some(a) => {
+                // Feedback terms are subtracted.
+                let kind = if idx >= 3 { OpKind::Sub } else { OpKind::Add };
+                g.op(kind, &[a, prod]).expect("valid op")
+            }
+        });
+    }
+    g.output(acc.expect("non-empty")).expect("valid output");
+    g
+}
+
+/// 4-point decimation-in-time FFT over the integers (twiddles are `1` and
+/// `−j`, so the transform is exact). Inputs `re0..re3, im0..im3`; outputs
+/// `RE0..RE3, IM0..IM3`.
+#[must_use]
+pub fn fft4() -> Cdfg {
+    let mut g = Cdfg::new("fft4");
+    let re: Vec<OpId> = (0..4).map(|_| g.input()).collect();
+    let im: Vec<OpId> = (0..4).map(|_| g.input()).collect();
+    let add = |g: &mut Cdfg, a, b| g.op(OpKind::Add, &[a, b]).expect("valid add");
+    let sub = |g: &mut Cdfg, a, b| g.op(OpKind::Sub, &[a, b]).expect("valid sub");
+
+    // Stage 1: butterflies on (0,2) and (1,3).
+    let a_re = add(&mut g, re[0], re[2]);
+    let a_im = add(&mut g, im[0], im[2]);
+    let b_re = sub(&mut g, re[0], re[2]);
+    let b_im = sub(&mut g, im[0], im[2]);
+    let c_re = add(&mut g, re[1], re[3]);
+    let c_im = add(&mut g, im[1], im[3]);
+    let d_re = sub(&mut g, re[1], re[3]);
+    let d_im = sub(&mut g, im[1], im[3]);
+
+    // Stage 2: X0 = a + c, X2 = a − c, X1 = b − j·d, X3 = b + j·d.
+    // −j·(d_re + j·d_im) = d_im − j·d_re.
+    let x0_re = add(&mut g, a_re, c_re);
+    let x0_im = add(&mut g, a_im, c_im);
+    let x2_re = sub(&mut g, a_re, c_re);
+    let x2_im = sub(&mut g, a_im, c_im);
+    let x1_re = add(&mut g, b_re, d_im);
+    let x1_im = sub(&mut g, b_im, d_re);
+    let x3_re = sub(&mut g, b_re, d_im);
+    let x3_im = add(&mut g, b_im, d_re);
+
+    for v in [x0_re, x1_re, x2_re, x3_re, x0_im, x1_im, x2_im, x3_im] {
+        g.output(v).expect("valid output");
+    }
+    g
+}
+
+/// The integer DCT-II coefficient matrix used by [`dct8`], scaled by 64
+/// and rounded (the classic "integer DCT" approximation).
+#[must_use]
+pub fn dct8_matrix() -> [[i64; 8]; 8] {
+    let mut m = [[0i64; 8]; 8];
+    for (k, row) in m.iter_mut().enumerate() {
+        for (n, cell) in row.iter_mut().enumerate() {
+            let angle = std::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64;
+            *cell = (angle.cos() * 64.0).round() as i64;
+        }
+    }
+    m
+}
+
+/// 8-point integer DCT-II: `Yₖ = Σₙ C[k][n]·xₙ` with the matrix of
+/// [`dct8_matrix`]. 8 inputs, 8 outputs.
+#[must_use]
+pub fn dct8() -> Cdfg {
+    let mut g = Cdfg::new("dct8");
+    let xs: Vec<OpId> = (0..8).map(|_| g.input()).collect();
+    let m = dct8_matrix();
+    for row in &m {
+        let mut acc: Option<OpId> = None;
+        for (&x, &c) in xs.iter().zip(row) {
+            let c = g.constant(c);
+            let prod = g.op(OpKind::Mul, &[x, c]).expect("valid mul");
+            acc = Some(match acc {
+                None => prod,
+                Some(a) => g.op(OpKind::Add, &[a, prod]).expect("valid add"),
+            });
+        }
+        g.output(acc.expect("8 terms")).expect("valid output");
+    }
+    g
+}
+
+/// Dense n×n integer matrix multiply `C = A·B`. Inputs are A then B in
+/// row-major order (`2n²` inputs), outputs are C row-major (`n²` outputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn matmul(n: usize) -> Cdfg {
+    assert!(n > 0, "matmul needs n > 0");
+    let mut g = Cdfg::new(format!("matmul{n}"));
+    let a: Vec<OpId> = (0..n * n).map(|_| g.input()).collect();
+    let b: Vec<OpId> = (0..n * n).map(|_| g.input()).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: Option<OpId> = None;
+            for k in 0..n {
+                let prod = g
+                    .op(OpKind::Mul, &[a[i * n + k], b[k * n + j]])
+                    .expect("valid mul");
+                acc = Some(match acc {
+                    None => prod,
+                    Some(s) => g.op(OpKind::Add, &[s, prod]).expect("valid add"),
+                });
+            }
+            g.output(acc.expect("n > 0")).expect("valid output");
+        }
+    }
+    g
+}
+
+/// The polynomial used by [`crc32_byte`] (IEEE 802.3, reflected).
+pub const CRC32_POLY: i64 = 0xEDB8_8320;
+
+/// One byte of reflected CRC-32: eight unrolled rounds of
+/// `crc = (crc >> 1) ^ (POLY & −((crc ^ bitᵢ) & 1))` over inputs
+/// `crc, byte`; one output (the updated CRC). A bit-twiddling kernel with
+/// no multiplies — the kind of control-dominated code the paper notes has
+/// a software "affinity" unless latency forces it to hardware.
+#[must_use]
+pub fn crc32_byte() -> Cdfg {
+    let mut g = Cdfg::new("crc32_byte");
+    let crc_in = g.input();
+    let byte = g.input();
+    let one = g.constant(1);
+    let poly = g.constant(CRC32_POLY);
+    let mask32 = g.constant(0xFFFF_FFFF);
+    let mut crc = g.op(OpKind::And, &[crc_in, mask32]).expect("valid and");
+    for i in 0..8 {
+        let shift = g.constant(i);
+        let bit = g.op(OpKind::Shr, &[byte, shift]).expect("valid shr");
+        let bit = g.op(OpKind::And, &[bit, one]).expect("valid and");
+        let mixed = g.op(OpKind::Xor, &[crc, bit]).expect("valid xor");
+        let lsb = g.op(OpKind::And, &[mixed, one]).expect("valid and");
+        let mask = g.op(OpKind::Neg, &[lsb]).expect("valid neg");
+        let term = g.op(OpKind::And, &[poly, mask]).expect("valid and");
+        let shifted = g.op(OpKind::Shr, &[crc, one]).expect("valid shr");
+        let shifted = g.op(OpKind::And, &[shifted, mask32]).expect("valid and");
+        crc = g.op(OpKind::Xor, &[shifted, term]).expect("valid xor");
+        crc = g.op(OpKind::And, &[crc, mask32]).expect("valid and");
+    }
+    g.output(crc).expect("valid output");
+    g
+}
+
+/// 3×3 Sobel gradient magnitude (L1 approximation): inputs are the nine
+/// pixels `p0..p8` row-major, output is `|gx| + |gy|`.
+#[must_use]
+pub fn sobel3x3() -> Cdfg {
+    let mut g = Cdfg::new("sobel3x3");
+    let p: Vec<OpId> = (0..9).map(|_| g.input()).collect();
+    let two = g.constant(2);
+    let dbl = |g: &mut Cdfg, v| g.op(OpKind::Mul, &[v, two]).expect("valid mul");
+    let add = |g: &mut Cdfg, a, b| g.op(OpKind::Add, &[a, b]).expect("valid add");
+    let sub = |g: &mut Cdfg, a, b| g.op(OpKind::Sub, &[a, b]).expect("valid sub");
+
+    // gx = (p2 + 2·p5 + p8) − (p0 + 2·p3 + p6)
+    let p5x2 = dbl(&mut g, p[5]);
+    let right = add(&mut g, p[2], p5x2);
+    let right = add(&mut g, right, p[8]);
+    let p3x2 = dbl(&mut g, p[3]);
+    let left = add(&mut g, p[0], p3x2);
+    let left = add(&mut g, left, p[6]);
+    let gx = sub(&mut g, right, left);
+
+    // gy = (p0 + 2·p1 + p2) − (p6 + 2·p7 + p8)
+    let p1x2 = dbl(&mut g, p[1]);
+    let top = add(&mut g, p[0], p1x2);
+    let top = add(&mut g, top, p[2]);
+    let p7x2 = dbl(&mut g, p[7]);
+    let bottom = add(&mut g, p[6], p7x2);
+    let bottom = add(&mut g, bottom, p[8]);
+    let gy = sub(&mut g, top, bottom);
+
+    let ax = g.op(OpKind::Abs, &[gx]).expect("valid abs");
+    let ay = g.op(OpKind::Abs, &[gy]).expect("valid abs");
+    let mag = add(&mut g, ax, ay);
+    g.output(mag).expect("valid output");
+    g
+}
+
+/// Fixed-point quantizer: `y = clamp((x·13) >> 4, −128, 127)`. One input,
+/// one output.
+#[must_use]
+pub fn quantize() -> Cdfg {
+    let mut g = Cdfg::new("quantize");
+    let x = g.input();
+    let scale = g.constant(13);
+    let shift = g.constant(4);
+    let lo = g.constant(-128);
+    let hi = g.constant(127);
+    let scaled = g.op(OpKind::Mul, &[x, scale]).expect("valid mul");
+    let shifted = g.op(OpKind::Shr, &[scaled, shift]).expect("valid shr");
+    let clipped = g.op(OpKind::Max, &[shifted, lo]).expect("valid max");
+    let clipped = g.op(OpKind::Min, &[clipped, hi]).expect("valid min");
+    g.output(clipped).expect("valid output");
+    g
+}
+
+/// Dot product of two n-vectors: `2n` inputs (a then b), one output.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn dotprod(n: usize) -> Cdfg {
+    assert!(n > 0, "dotprod needs n > 0");
+    let mut g = Cdfg::new(format!("dotprod{n}"));
+    let a: Vec<OpId> = (0..n).map(|_| g.input()).collect();
+    let b: Vec<OpId> = (0..n).map(|_| g.input()).collect();
+    let mut acc: Option<OpId> = None;
+    for (&x, &y) in a.iter().zip(&b) {
+        let prod = g.op(OpKind::Mul, &[x, y]).expect("valid mul");
+        acc = Some(match acc {
+            None => prod,
+            Some(s) => g.op(OpKind::Add, &[s, prod]).expect("valid add"),
+        });
+    }
+    g.output(acc.expect("n > 0")).expect("valid output");
+    g
+}
+
+/// Coefficients used by [`horner`].
+#[must_use]
+pub fn horner_coefficients(degree: usize) -> Vec<i64> {
+    (0..=degree).map(|i| (i as i64) * 2 - 3).collect()
+}
+
+/// Horner evaluation of a fixed degree-n polynomial at the single input
+/// `x`, with the coefficients of [`horner_coefficients`] (highest first).
+#[must_use]
+pub fn horner(degree: usize) -> Cdfg {
+    let mut g = Cdfg::new(format!("horner{degree}"));
+    let x = g.input();
+    let coeffs = horner_coefficients(degree);
+    let mut acc = g.constant(coeffs[0]);
+    for &c in &coeffs[1..] {
+        let prod = g.op(OpKind::Mul, &[acc, x]).expect("valid mul");
+        let c = g.constant(c);
+        acc = g.op(OpKind::Add, &[prod, c]).expect("valid add");
+    }
+    g.output(acc).expect("valid output");
+    g
+}
+
+/// All kernels at their default sizes, for sweep experiments.
+#[must_use]
+pub fn all() -> Vec<Cdfg> {
+    vec![
+        fir(8),
+        iir_biquad(),
+        fft4(),
+        dct8(),
+        matmul(3),
+        crc32_byte(),
+        sobel3x3(),
+        quantize(),
+        dotprod(8),
+        horner(6),
+    ]
+}
+
+/// Looks up a default-size kernel by the name used in task `kernel=`
+/// attributes (`"fir"`, `"iir"`, `"fft4"`, `"dct8"`, `"matmul"`, `"crc32"`,
+/// `"sobel"`, `"quantize"`, `"dotprod"`, `"horner"`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Cdfg> {
+    match name {
+        "fir" => Some(fir(8)),
+        "iir" => Some(iir_biquad()),
+        "fft4" => Some(fft4()),
+        "dct8" => Some(dct8()),
+        "matmul" => Some(matmul(3)),
+        "crc32" => Some(crc32_byte()),
+        "sobel" => Some(sobel3x3()),
+        "quantize" => Some(quantize()),
+        "dotprod" => Some(dotprod(8)),
+        "horner" => Some(horner(6)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_matches_reference() {
+        let g = fir(8);
+        let xs: Vec<i64> = vec![1, -2, 3, -4, 5, -6, 7, -8];
+        let want: i64 = xs.iter().zip(fir_coefficients(8)).map(|(x, c)| x * c).sum();
+        assert_eq!(g.evaluate(&xs).unwrap(), vec![want]);
+    }
+
+    #[test]
+    fn iir_matches_reference() {
+        let g = iir_biquad();
+        let (x0, x1, x2, y1, y2) = (10i64, -3, 7, 2, -5);
+        let want = 5 * x0 + 8 * x1 + 5 * x2 - (-3) * y1 - 2 * y2;
+        assert_eq!(g.evaluate(&[x0, x1, x2, y1, y2]).unwrap(), vec![want]);
+    }
+
+    #[test]
+    fn fft4_matches_dft() {
+        let g = fft4();
+        let re = [3i64, -1, 4, 1];
+        let im = [5i64, 9, -2, 6];
+        let inputs: Vec<i64> = re.iter().chain(im.iter()).copied().collect();
+        let got = g.evaluate(&inputs).unwrap();
+        // Direct integer DFT with exact twiddles for N = 4.
+        for k in 0..4usize {
+            let (mut wre, mut wim) = (0i64, 0i64);
+            for n in 0..4usize {
+                // w = exp(-2πi·kn/4) cycles through (1,0),(0,-1),(-1,0),(0,1).
+                let (c, s) = match (k * n) % 4 {
+                    0 => (1, 0),
+                    1 => (0, -1),
+                    2 => (-1, 0),
+                    _ => (0, 1),
+                };
+                wre += re[n] * c - im[n] * s;
+                wim += re[n] * s + im[n] * c;
+            }
+            assert_eq!(got[k], wre, "re[{k}]");
+            assert_eq!(got[4 + k], wim, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn dct8_matches_matrix() {
+        let g = dct8();
+        let xs = [12i64, -7, 3, 0, 44, -9, 1, 8];
+        let m = dct8_matrix();
+        let got = g.evaluate(&xs).unwrap();
+        for k in 0..8 {
+            let want: i64 = (0..8).map(|n| m[k][n] * xs[n]).sum();
+            assert_eq!(got[k], want, "row {k}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let n = 3;
+        let g = matmul(n);
+        let a: Vec<i64> = (1..=9).collect();
+        let b: Vec<i64> = (1..=9).map(|x| 10 - x).collect();
+        let inputs: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        let got = g.evaluate(&inputs).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let want: i64 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+                assert_eq!(got[i * n + j], want, "c[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        fn crc32_ref(crc: u32, byte: u8) -> u32 {
+            let mut crc = crc;
+            for i in 0..8 {
+                let bit = u32::from((byte >> i) & 1);
+                let mixed = (crc ^ bit) & 1;
+                crc = (crc >> 1) ^ (0xEDB8_8320u32 & mixed.wrapping_neg());
+            }
+            crc
+        }
+        let g = crc32_byte();
+        for (crc, byte) in [(0xFFFF_FFFFu32, 0x31u8), (0x1234_5678, 0xFF), (0, 0)] {
+            let got = g.evaluate(&[i64::from(crc), i64::from(byte)]).unwrap();
+            assert_eq!(got, vec![i64::from(crc32_ref(crc, byte))]);
+        }
+    }
+
+    #[test]
+    fn sobel_matches_reference() {
+        let g = sobel3x3();
+        let p = [10i64, 20, 30, 40, 50, 60, 70, 80, 90];
+        let gx = (p[2] + 2 * p[5] + p[8]) - (p[0] + 2 * p[3] + p[6]);
+        let gy = (p[0] + 2 * p[1] + p[2]) - (p[6] + 2 * p[7] + p[8]);
+        assert_eq!(g.evaluate(&p).unwrap(), vec![gx.abs() + gy.abs()]);
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let g = quantize();
+        assert_eq!(g.evaluate(&[16]).unwrap(), vec![13]);
+        assert_eq!(g.evaluate(&[100_000]).unwrap(), vec![127]);
+        assert_eq!(g.evaluate(&[-100_000]).unwrap(), vec![-128]);
+    }
+
+    #[test]
+    fn dotprod_matches_reference() {
+        let g = dotprod(5);
+        let a = [1i64, 2, 3, 4, 5];
+        let b = [5i64, 4, 3, 2, 1];
+        let inputs: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        let want: i64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(g.evaluate(&inputs).unwrap(), vec![want]);
+    }
+
+    #[test]
+    fn horner_matches_reference() {
+        let g = horner(4);
+        let coeffs = horner_coefficients(4);
+        let x = 3i64;
+        let want = coeffs.iter().fold(0i64, |acc, &c| acc * x + c);
+        assert_eq!(g.evaluate(&[x]).unwrap(), vec![want]);
+    }
+
+    #[test]
+    fn all_kernels_evaluate_on_zero_inputs() {
+        for k in all() {
+            let zeros = vec![0i64; k.input_count()];
+            let out = k
+                .evaluate(&zeros)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            assert_eq!(out.len(), k.output_count(), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn by_name_covers_all_kernels() {
+        for name in [
+            "fir", "iir", "fft4", "dct8", "matmul", "crc32", "sobel", "quantize", "dotprod",
+            "horner",
+        ] {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn kernels_have_distinct_resource_profiles() {
+        // crc32 is logic-heavy with zero multiplies; fir is multiply-heavy.
+        let crc = crc32_byte();
+        let [_, mul, _, logic] = crc.class_histogram();
+        assert_eq!(mul, 0);
+        assert!(logic > 10);
+        let fir = fir(8);
+        let [_, mul, _, _] = fir.class_histogram();
+        assert_eq!(mul, 8);
+    }
+}

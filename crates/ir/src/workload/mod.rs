@@ -1,0 +1,16 @@
+//! Synthetic workload generation.
+//!
+//! The paper's surveyed flows are evaluated on embedded task sets and DSP
+//! applications. Lacking the authors' proprietary examples, this module
+//! provides the two standard stand-ins used across the cited literature:
+//!
+//! * [`tgff`] — seeded random task graphs and process networks in the
+//!   style of the TGFF generator, for the multiprocessor co-synthesis and
+//!   partitioning experiments (paper Sections 4.2, 4.5);
+//! * [`kernels`] — a library of DSP and embedded kernels expressed as
+//!   executable CDFGs (FIR, IIR, FFT, DCT, matrix multiply, CRC, Sobel,
+//!   quantization, dot product, Horner polynomial evaluation), for the
+//!   ASIP and co-processor experiments (paper Sections 4.3–4.5).
+
+pub mod kernels;
+pub mod tgff;

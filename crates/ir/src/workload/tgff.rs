@@ -1,0 +1,300 @@
+//! Seeded random task graphs and process networks (TGFF-style).
+//!
+//! Graphs are generated layer by layer: tasks are assigned to levels, and
+//! edges connect earlier levels to later ones with a configurable
+//! probability, which yields the series-parallel shapes typical of
+//! embedded data-flow applications. All generation is deterministic in the
+//! seed, so every experiment in the repository is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::process::{Action, Process, ProcessNetwork};
+use crate::task::{Task, TaskGraph};
+
+/// Configuration for [`random_task_graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgffConfig {
+    /// Number of tasks to generate.
+    pub tasks: usize,
+    /// Maximum tasks per level (graph "width").
+    pub width: usize,
+    /// Probability of an edge between a task and each task of the next
+    /// level, clamped to `[0, 1]`.
+    pub edge_prob: f64,
+    /// Inclusive range of software costs in cycles.
+    pub sw_cycles: (u64, u64),
+    /// Inclusive range of hardware speedups over software (hw cycles =
+    /// sw / speedup).
+    pub hw_speedup: (f64, f64),
+    /// Inclusive range of hardware area per 100 software cycles.
+    pub area_per_100_cycles: (f64, f64),
+    /// Inclusive range of edge data volumes in bytes.
+    pub bytes: (u64, u64),
+    /// RNG seed; equal seeds produce equal graphs.
+    pub seed: u64,
+}
+
+impl Default for TgffConfig {
+    fn default() -> Self {
+        TgffConfig {
+            tasks: 20,
+            width: 4,
+            edge_prob: 0.4,
+            sw_cycles: (500, 20_000),
+            hw_speedup: (4.0, 20.0),
+            area_per_100_cycles: (0.5, 2.0),
+            bytes: (16, 1024),
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// Generates a random acyclic task graph.
+///
+/// The result is always connected enough to be interesting: every task in
+/// level *k* > 0 receives at least one edge from level *k−1*, so the graph
+/// has no spurious extra sources.
+///
+/// # Panics
+///
+/// Panics if `cfg.tasks == 0` or `cfg.width == 0`.
+#[must_use]
+pub fn random_task_graph(cfg: &TgffConfig) -> TaskGraph {
+    assert!(cfg.tasks > 0, "tasks must be positive");
+    assert!(cfg.width > 0, "width must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = TaskGraph::new(format!("tgff-{}-{}", cfg.tasks, cfg.seed));
+
+    // Assign tasks to levels.
+    let mut levels: Vec<Vec<crate::task::TaskId>> = vec![Vec::new()];
+    for i in 0..cfg.tasks {
+        let sw = rng.gen_range(cfg.sw_cycles.0..=cfg.sw_cycles.1);
+        let speedup = rng.gen_range(cfg.hw_speedup.0..=cfg.hw_speedup.1);
+        let area_rate = rng.gen_range(cfg.area_per_100_cycles.0..=cfg.area_per_100_cycles.1);
+        let task = Task::new(format!("t{i}"), sw)
+            .with_hw_cycles(((sw as f64 / speedup) as u64).max(1))
+            .with_hw_area(sw as f64 / 100.0 * area_rate)
+            .with_parallelism(rng.gen_range(0.0..=1.0))
+            .with_modifiability(rng.gen_range(0.0..=1.0));
+        let id = g.add_task(task);
+        if levels.last().map(Vec::len) == Some(cfg.width) {
+            levels.push(Vec::new());
+        }
+        levels.last_mut().expect("levels is never empty").push(id);
+        // Randomly close a level early for irregular widths.
+        if rng.gen_bool(0.3) && !levels.last().expect("non-empty").is_empty() {
+            levels.push(Vec::new());
+        }
+    }
+    levels.retain(|l| !l.is_empty());
+
+    let p = cfg.edge_prob.clamp(0.0, 1.0);
+    for w in levels.windows(2) {
+        let (prev, next) = (&w[0], &w[1]);
+        for &dst in next {
+            let mut connected = false;
+            for &src in prev {
+                if rng.gen_bool(p) {
+                    let bytes = rng.gen_range(cfg.bytes.0..=cfg.bytes.1);
+                    g.add_edge(src, dst, bytes).expect("levels are acyclic");
+                    connected = true;
+                }
+            }
+            if !connected {
+                let src = prev[rng.gen_range(0..prev.len())];
+                let bytes = rng.gen_range(cfg.bytes.0..=cfg.bytes.1);
+                g.add_edge(src, dst, bytes).expect("levels are acyclic");
+            }
+        }
+    }
+    g
+}
+
+/// Configuration for [`random_process_network`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Number of processes.
+    pub processes: usize,
+    /// Probability of a channel between each earlier/later process pair,
+    /// clamped to `[0, 1]`.
+    pub channel_prob: f64,
+    /// Inclusive range of per-action compute costs in cycles.
+    pub compute: (u64, u64),
+    /// Inclusive range of message sizes in bytes.
+    pub bytes: (u64, u64),
+    /// Iterations of every process body.
+    pub iterations: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            processes: 6,
+            channel_prob: 0.35,
+            compute: (50, 2_000),
+            bytes: (8, 256),
+            iterations: 16,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// Generates a random process network whose channel topology is a DAG over
+/// the process indices (process *i* only sends to process *j* > *i*), so
+/// the network is deadlock-free under rendezvous semantics when every
+/// process performs its receives before its sends in each iteration.
+///
+/// Every process ends up with at least one channel, and each channel has
+/// exactly one sender and one receiver, so [`ProcessNetwork::validate`]
+/// always passes on the result.
+///
+/// # Panics
+///
+/// Panics if `cfg.processes < 2`.
+#[must_use]
+pub fn random_process_network(cfg: &NetworkConfig) -> ProcessNetwork {
+    assert!(cfg.processes >= 2, "need at least two processes");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = ProcessNetwork::new(format!("net-{}-{}", cfg.processes, cfg.seed));
+
+    // Decide the channel topology first.
+    let mut outgoing: Vec<Vec<(usize, crate::process::ChannelId, u64)>> =
+        vec![Vec::new(); cfg.processes];
+    let mut incoming: Vec<Vec<crate::process::ChannelId>> = vec![Vec::new(); cfg.processes];
+    let p = cfg.channel_prob.clamp(0.0, 1.0);
+    // Indexed loops: `i`/`j` are process identities used on both sides
+    // of several parallel arrays; iterator forms would obscure that.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..cfg.processes {
+        for j in (i + 1)..cfg.processes {
+            if rng.gen_bool(p) {
+                let ch = net.add_channel(format!("ch_{i}_{j}"), 0);
+                let bytes = rng.gen_range(cfg.bytes.0..=cfg.bytes.1);
+                outgoing[i].push((j, ch, bytes));
+                incoming[j].push(ch);
+            }
+        }
+    }
+    // Guarantee connectivity: each process except the first receives from
+    // someone; each except the last sends to someone.
+    #[allow(clippy::needless_range_loop)]
+    for j in 1..cfg.processes {
+        if incoming[j].is_empty() {
+            let i = rng.gen_range(0..j);
+            let ch = net.add_channel(format!("ch_{i}_{j}"), 0);
+            let bytes = rng.gen_range(cfg.bytes.0..=cfg.bytes.1);
+            outgoing[i].push((j, ch, bytes));
+            incoming[j].push(ch);
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..cfg.processes - 1 {
+        if outgoing[i].is_empty() {
+            let j = rng.gen_range(i + 1..cfg.processes);
+            let ch = net.add_channel(format!("ch_{i}_{j}x"), 0);
+            let bytes = rng.gen_range(cfg.bytes.0..=cfg.bytes.1);
+            outgoing[i].push((j, ch, bytes));
+            incoming[j].push(ch);
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..cfg.processes {
+        let mut actions = Vec::new();
+        for &ch in &incoming[i] {
+            actions.push(Action::Receive { channel: ch });
+        }
+        actions.push(Action::Compute(
+            rng.gen_range(cfg.compute.0..=cfg.compute.1),
+        ));
+        for &(_, ch, bytes) in &outgoing[i] {
+            actions.push(Action::Send { channel: ch, bytes });
+        }
+        net.add_process(Process::new(format!("p{i}"), actions).with_iterations(cfg.iterations));
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_graph_is_valid_and_sized() {
+        let cfg = TgffConfig {
+            tasks: 30,
+            ..TgffConfig::default()
+        };
+        let g = random_task_graph(&cfg);
+        assert_eq!(g.len(), 30);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn task_graph_is_deterministic_in_seed() {
+        let cfg = TgffConfig::default();
+        let a = random_task_graph(&cfg);
+        let b = random_task_graph(&cfg);
+        assert_eq!(a, b);
+        let c = random_task_graph(&TgffConfig {
+            seed: 99,
+            ..cfg.clone()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn task_costs_within_configured_ranges() {
+        let cfg = TgffConfig {
+            tasks: 50,
+            sw_cycles: (100, 200),
+            ..TgffConfig::default()
+        };
+        let g = random_task_graph(&cfg);
+        for (_, t) in g.iter() {
+            assert!((100..=200).contains(&t.sw_cycles()));
+            assert!(t.hw_cycles() <= t.sw_cycles());
+        }
+    }
+
+    #[test]
+    fn single_task_graph_has_no_edges() {
+        let g = random_task_graph(&TgffConfig {
+            tasks: 1,
+            ..TgffConfig::default()
+        });
+        assert_eq!(g.len(), 1);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn process_network_validates() {
+        for seed in 0..10 {
+            let net = random_process_network(&NetworkConfig {
+                seed,
+                ..NetworkConfig::default()
+            });
+            net.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn process_network_is_deterministic() {
+        let cfg = NetworkConfig::default();
+        assert_eq!(random_process_network(&cfg), random_process_network(&cfg));
+    }
+
+    #[test]
+    fn network_has_requested_processes() {
+        let net = random_process_network(&NetworkConfig {
+            processes: 9,
+            ..NetworkConfig::default()
+        });
+        assert_eq!(net.len(), 9);
+        assert!(net.channel_count() >= 8, "connectivity guarantees edges");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the IR invariants.
+
+use codesign_ir::cdfg::{Cdfg, FuClass, OpKind};
+use codesign_ir::opt::optimize;
+use codesign_ir::workload::tgff::{
+    random_process_network, random_task_graph, NetworkConfig, TgffConfig,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random executable CDFG built from a script of operations,
+/// each selecting operands among previously created values.
+fn arb_cdfg() -> impl Strategy<Value = Cdfg> {
+    let op_choices =
+        prop::collection::vec((0u8..12, any::<u64>(), any::<u64>(), -64i64..64), 1..40);
+    (1usize..6, op_choices).prop_map(|(inputs, script)| {
+        let mut g = Cdfg::new("prop");
+        let mut vals = Vec::new();
+        for _ in 0..inputs {
+            vals.push(g.input());
+        }
+        for (which, a, b, c) in script {
+            let pick = |seed: u64| vals[(seed % vals.len() as u64) as usize];
+            let (x, y) = (pick(a), pick(b));
+            let id = match which {
+                0 => g.op(OpKind::Add, &[x, y]),
+                1 => g.op(OpKind::Sub, &[x, y]),
+                2 => g.op(OpKind::Mul, &[x, y]),
+                3 => g.op(OpKind::And, &[x, y]),
+                4 => g.op(OpKind::Or, &[x, y]),
+                5 => g.op(OpKind::Xor, &[x, y]),
+                6 => g.op(OpKind::Shl, &[x, y]),
+                7 => g.op(OpKind::Shr, &[x, y]),
+                8 => g.op(OpKind::Min, &[x, y]),
+                9 => g.op(OpKind::Max, &[x, y]),
+                10 => g.op(OpKind::Abs, &[x]),
+                _ => Ok(g.constant(c)),
+            }
+            .expect("script ops are structurally valid");
+            vals.push(id);
+        }
+        let last = *vals.last().expect("at least one value");
+        g.output(last).expect("valid output");
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn cdfg_evaluation_is_total_and_deterministic(g in arb_cdfg(), seed in any::<i64>()) {
+        let inputs: Vec<i64> = (0..g.input_count())
+            .map(|i| seed.wrapping_mul(31).wrapping_add(i as i64))
+            .collect();
+        // No Div/Rem in the strategy, so evaluation never faults.
+        let a = g.evaluate(&inputs).expect("total");
+        let b = g.evaluate(&inputs).expect("total");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), g.output_count());
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics_and_never_grows(g in arb_cdfg(), seed in any::<i64>()) {
+        let (opt, stats) = optimize(&g).expect("optimizes");
+        prop_assert!(stats.ops_after <= stats.ops_before);
+        prop_assert_eq!(opt.input_count(), g.input_count());
+        prop_assert_eq!(opt.output_count(), g.output_count());
+        let inputs: Vec<i64> = (0..g.input_count())
+            .map(|i| seed.wrapping_mul(97).wrapping_add(i as i64 * 13))
+            .collect();
+        prop_assert_eq!(
+            opt.evaluate(&inputs).expect("total"),
+            g.evaluate(&inputs).expect("total")
+        );
+        // Idempotence: a second pass is a no-op.
+        let (again, s2) = optimize(&opt).expect("optimizes");
+        prop_assert_eq!(again, opt);
+        prop_assert_eq!(s2.folded + s2.merged, 0);
+    }
+
+    #[test]
+    fn cdfg_depth_bounded_by_resource_ops(g in arb_cdfg()) {
+        let depth = g.depth(|k| u64::from(k.fu_class() != FuClass::Free));
+        prop_assert!(depth as usize <= g.resource_op_count());
+    }
+
+    #[test]
+    fn cdfg_class_histogram_sums_to_resource_ops(g in arb_cdfg()) {
+        let hist = g.class_histogram();
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.resource_op_count());
+    }
+
+    #[test]
+    fn random_task_graphs_always_validate(
+        tasks in 1usize..60,
+        width in 1usize..8,
+        edge_prob in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = random_task_graph(&TgffConfig {
+            tasks,
+            width,
+            edge_prob,
+            seed,
+            ..TgffConfig::default()
+        });
+        prop_assert_eq!(g.len(), tasks);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn critical_path_bounded_by_serial_time(tasks in 1usize..60, seed in any::<u64>()) {
+        let g = random_task_graph(&TgffConfig { tasks, seed, ..TgffConfig::default() });
+        let cp = g.critical_path(|_, t| t.sw_cycles()).expect("acyclic");
+        prop_assert!(cp <= g.total_sw_cycles());
+        // The critical path equals the maximum bottom level.
+        let bl = g.bottom_levels(|_, t| t.sw_cycles()).expect("acyclic");
+        prop_assert_eq!(cp, bl.into_iter().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn random_networks_always_validate(
+        processes in 2usize..12,
+        channel_prob in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let net = random_process_network(&NetworkConfig {
+            processes,
+            channel_prob,
+            seed,
+            ..NetworkConfig::default()
+        });
+        prop_assert!(net.validate().is_ok());
+        // Communication matrix only reports forward (sender, receiver) pairs.
+        for ((src, dst), bytes) in net.comm_matrix().expect("valid") {
+            prop_assert!(src != dst);
+            prop_assert!(bytes > 0);
+        }
+    }
+}

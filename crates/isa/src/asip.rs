@@ -1,0 +1,609 @@
+//! Application-specific instruction-set extension (ASIP flow).
+//!
+//! The paper's Section 4.3 (after PEAS-I \[14\]) describes co-design for an
+//! application-specific instruction-set processor, where "the design …
+//! affords the opportunity to move the boundary between hardware and
+//! software by, for instance, adding new instructions to the instruction
+//! set architecture". This module implements that flow for CR32:
+//!
+//! 1. **Mine** candidate instructions: dependent operation pairs in the
+//!    application's CDFGs with at most two external register operands
+//!    (constants are folded into the unit as parameters — the classic
+//!    "fused multiply-by-coefficient-accumulate" shape of DSP ASIPs).
+//! 2. **Select** units greedily by estimated cycles saved per LUT until a
+//!    hardware area budget is exhausted — the Section 3.3
+//!    *implementation cost* consideration applied at instruction
+//!    granularity.
+//! 3. **Apply**: build a [`FusionPlan`] per kernel and compile with
+//!    [`compile_with_fusion`]; the selected [`PatternUnit`]s attach to the
+//!    CPU's `custom` slots.
+//!
+//! The paper also flags *modifiability* as the decisive factor for this
+//! system class: because fusion only changes instruction selection, the
+//! application remains software and can still run (slower) on an
+//! unextended core.
+
+use std::collections::HashMap;
+
+use codesign_ir::cdfg::{Cdfg, FuClass, OpId, OpKind};
+
+use crate::codegen::{compile_with_fusion, CompiledKernel, FusedEmit, FusionPlan};
+use crate::cpu::{Cpu, CustomUnit};
+use crate::error::IsaError;
+
+/// Where a fused operation's operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArgSrc {
+    /// External register operand 0 or 1 (`rs1`/`rs2`).
+    Ext(u8),
+    /// The instruction's immediate field. Patterns generalize over one
+    /// constant this way, so a multiply-by-coefficient matches every
+    /// coefficient (the coefficient travels in the `custom` instruction's
+    /// immediate word).
+    Imm,
+    /// A constant baked into the unit itself (used when a pattern has a
+    /// second, distinct constant beyond the immediate field).
+    Const(i64),
+    /// The result of the pattern's first operation (only valid in the
+    /// second operation's operand list).
+    FirstResult,
+}
+
+/// A two-operation fused instruction pattern.
+///
+/// The pattern computes `second(second_args…)` where one or more operands
+/// are `first(first_args…)`, reading at most two external registers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FusedPattern {
+    /// Producer operation.
+    pub first: OpKind,
+    /// Producer operands.
+    pub first_args: Vec<ArgSrc>,
+    /// Consumer operation.
+    pub second: OpKind,
+    /// Consumer operands ([`ArgSrc::FirstResult`] marks where the
+    /// producer's value flows in).
+    pub second_args: Vec<ArgSrc>,
+}
+
+/// Evaluates one [`OpKind`] with hardware (non-trapping) semantics,
+/// matching the FSMD datapath of `codesign-rtl`.
+fn eval_op(kind: OpKind, a: i64, b: i64, c: i64) -> i64 {
+    match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => a.checked_div(b).unwrap_or(0),
+        OpKind::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        OpKind::And => a & b,
+        OpKind::Or => a | b,
+        OpKind::Xor => a ^ b,
+        OpKind::Not => !a,
+        OpKind::Neg => a.wrapping_neg(),
+        OpKind::Shl => a.wrapping_shl((b & 0x3f) as u32),
+        OpKind::Shr => a.wrapping_shr((b & 0x3f) as u32),
+        OpKind::Lt => i64::from(a < b),
+        OpKind::Le => i64::from(a <= b),
+        OpKind::Eq => i64::from(a == b),
+        OpKind::Ne => i64::from(a != b),
+        OpKind::Select => {
+            if a != 0 {
+                b
+            } else {
+                c
+            }
+        }
+        OpKind::Min => a.min(b),
+        OpKind::Max => a.max(b),
+        OpKind::Abs => a.wrapping_abs(),
+        // Structural kinds never appear in mined patterns; OpKind is
+        // non-exhaustive, so future kinds also land here until supported.
+        _ => 0,
+    }
+}
+
+/// LUT cost of implementing one operation class in the extension
+/// datapath.
+#[must_use]
+pub fn op_luts(kind: OpKind) -> u32 {
+    match kind.fu_class() {
+        FuClass::Alu => 80,
+        FuClass::Multiplier => 600,
+        FuClass::Divider => 1500,
+        FuClass::Logic => 40,
+        FuClass::Free => 0,
+    }
+}
+
+impl FusedPattern {
+    /// Evaluates the fused function on the two external operands and the
+    /// instruction immediate.
+    #[must_use]
+    pub fn eval(&self, e0: i64, e1: i64, imm: i64) -> i64 {
+        let get = |src: &ArgSrc, first_result: i64| match src {
+            ArgSrc::Ext(0) => e0,
+            ArgSrc::Ext(_) => e1,
+            ArgSrc::Imm => imm,
+            ArgSrc::Const(c) => *c,
+            ArgSrc::FirstResult => first_result,
+        };
+        let fa = |k: usize| {
+            self.first_args
+                .get(k)
+                .map_or(0, |s| get(s, 0 /* unused in first */))
+        };
+        let fr = eval_op(self.first, fa(0), fa(1), fa(2));
+        let sa = |k: usize| self.second_args.get(k).map_or(0, |s| get(s, fr));
+        eval_op(self.second, sa(0), sa(1), sa(2))
+    }
+
+    /// Cycles the pattern costs in plain software (producer plus
+    /// consumer).
+    #[must_use]
+    pub fn sw_cycles(&self) -> u64 {
+        self.first.sw_cycles() + self.second.sw_cycles()
+    }
+
+    /// Latency of the fused unit: the two chained operations execute in a
+    /// dedicated datapath, conservatively three times faster than the
+    /// software sequence, never below one cycle.
+    #[must_use]
+    pub fn hw_latency(&self) -> u64 {
+        (self.sw_cycles() / 3).max(1)
+    }
+
+    /// LUT area of the fused unit.
+    #[must_use]
+    pub fn luts(&self) -> u32 {
+        op_luts(self.first) + op_luts(self.second) + 20 // operand muxing
+    }
+
+    /// A short descriptive name, e.g. `"mul_add"`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!("{:?}_{:?}", self.first, self.second).to_lowercase()
+    }
+}
+
+/// A selected fused pattern attached to a `custom` slot: implements
+/// [`CustomUnit`] so the CPU can execute it.
+#[derive(Debug, Clone)]
+pub struct PatternUnit {
+    name: String,
+    pattern: FusedPattern,
+}
+
+impl PatternUnit {
+    /// Wraps a pattern as an executable unit.
+    #[must_use]
+    pub fn new(pattern: FusedPattern) -> Self {
+        PatternUnit {
+            name: pattern.describe(),
+            pattern,
+        }
+    }
+
+    /// The wrapped pattern.
+    #[must_use]
+    pub fn pattern(&self) -> &FusedPattern {
+        &self.pattern
+    }
+}
+
+impl CustomUnit for PatternUnit {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn latency(&self) -> u64 {
+        self.pattern.hw_latency()
+    }
+
+    fn area_luts(&self) -> u32 {
+        self.pattern.luts()
+    }
+
+    fn eval(&self, a: i64, b: i64, imm: i64) -> i64 {
+        self.pattern.eval(a, b, imm)
+    }
+}
+
+/// One candidate occurrence of a pattern inside a CDFG.
+#[derive(Debug, Clone)]
+pub struct Occurrence {
+    /// Producer op (skipped when fused).
+    pub first: OpId,
+    /// Consumer op (emitted as `custom`).
+    pub second: OpId,
+    /// External operand values, `rs1, rs2` order.
+    pub ext: Vec<OpId>,
+    /// Value of the instruction's immediate field (0 if the pattern has
+    /// no [`ArgSrc::Imm`] operand).
+    pub imm: i64,
+}
+
+/// Mines every legal fused-pair occurrence in a CDFG, keyed by pattern.
+#[must_use]
+pub fn mine_patterns(g: &Cdfg) -> HashMap<FusedPattern, Vec<Occurrence>> {
+    let mut found: HashMap<FusedPattern, Vec<Occurrence>> = HashMap::new();
+    for (vid, vnode) in g.iter() {
+        if matches!(
+            vnode.kind(),
+            OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_)
+        ) {
+            continue;
+        }
+        for &uid in vnode.args() {
+            let unode = g.node(uid);
+            if matches!(
+                unode.kind(),
+                OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_)
+            ) {
+                continue;
+            }
+            // The producer must flow only into this consumer, otherwise
+            // fusing it would duplicate work.
+            if g.consumers(uid).count() != 1 {
+                continue;
+            }
+            if let Some((pattern, occ)) = classify(g, uid, vid) {
+                found.entry(pattern).or_default().push(occ);
+                break; // one fusion per consumer
+            }
+        }
+    }
+    found
+}
+
+/// Builds the pattern descriptor and external operand list for the pair
+/// `(first, second)`, or `None` if it needs more than two external
+/// registers.
+fn classify(g: &Cdfg, first: OpId, second: OpId) -> Option<(FusedPattern, Occurrence)> {
+    let mut ext: Vec<OpId> = Vec::new();
+    let mut imm: Option<i64> = None;
+    let mut src_of = |v: OpId| -> Option<ArgSrc> {
+        if let OpKind::Const(c) = g.node(v).kind() {
+            // The first constant rides in the immediate field so the
+            // pattern generalizes over it; further constants are baked.
+            return Some(match imm {
+                None => {
+                    imm = Some(c);
+                    ArgSrc::Imm
+                }
+                Some(i) if i == c => ArgSrc::Imm,
+                Some(_) => ArgSrc::Const(c),
+            });
+        }
+        if let Some(i) = ext.iter().position(|&e| e == v) {
+            return Some(ArgSrc::Ext(i as u8));
+        }
+        if ext.len() == 2 {
+            return None;
+        }
+        ext.push(v);
+        Some(ArgSrc::Ext((ext.len() - 1) as u8))
+    };
+
+    let fnode = g.node(first);
+    let mut first_args = Vec::with_capacity(fnode.args().len());
+    for &a in fnode.args() {
+        first_args.push(src_of(a)?);
+    }
+    let snode = g.node(second);
+    let mut second_args = Vec::with_capacity(snode.args().len());
+    for &a in snode.args() {
+        if a == first {
+            second_args.push(ArgSrc::FirstResult);
+        } else {
+            second_args.push(src_of(a)?);
+        }
+    }
+    let pattern = FusedPattern {
+        first: fnode.kind(),
+        first_args,
+        second: snode.kind(),
+        second_args,
+    };
+    let occ = Occurrence {
+        first,
+        second,
+        ext,
+        imm: imm.unwrap_or(0),
+    };
+    Some((pattern, occ))
+}
+
+/// One selected custom instruction with its mined statistics.
+#[derive(Debug, Clone)]
+pub struct SelectedUnit {
+    /// The pattern, also executable via [`PatternUnit`].
+    pub pattern: FusedPattern,
+    /// Occurrences across the application kernels.
+    pub occurrences: usize,
+    /// Estimated cycles saved per application run.
+    pub saved_cycles: u64,
+}
+
+/// An instruction-set extension: up to eight fused units within a LUT
+/// budget.
+#[derive(Debug, Clone, Default)]
+pub struct AsipExtension {
+    units: Vec<SelectedUnit>,
+}
+
+impl AsipExtension {
+    /// Selects units for `kernels` greedily by saved-cycles-per-LUT until
+    /// `budget_luts` is exhausted (at most eight units — the `custom`
+    /// slot count).
+    #[must_use]
+    pub fn select(kernels: &[&Cdfg], budget_luts: u32) -> Self {
+        let mut tally: HashMap<FusedPattern, usize> = HashMap::new();
+        for g in kernels {
+            for (p, occs) in mine_patterns(g) {
+                *tally.entry(p).or_default() += occs.len();
+            }
+        }
+        let mut candidates: Vec<SelectedUnit> = tally
+            .into_iter()
+            .map(|(pattern, occurrences)| {
+                // Free-class patterns (e.g. select chains) can have zero
+                // software cost; saturate so they are simply unprofitable.
+                let saved =
+                    pattern.sw_cycles().saturating_sub(pattern.hw_latency()) * occurrences as u64;
+                SelectedUnit {
+                    pattern,
+                    occurrences,
+                    saved_cycles: saved,
+                }
+            })
+            .filter(|u| u.saved_cycles > 0)
+            .collect();
+        candidates.sort_by(|a, b| {
+            let ra = a.saved_cycles as f64 / f64::from(a.pattern.luts());
+            let rb = b.saved_cycles as f64 / f64::from(b.pattern.luts());
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        });
+        let mut units = Vec::new();
+        let mut spent = 0u32;
+        for u in candidates {
+            if units.len() == 8 {
+                break;
+            }
+            if spent + u.pattern.luts() <= budget_luts {
+                spent += u.pattern.luts();
+                units.push(u);
+            }
+        }
+        AsipExtension { units }
+    }
+
+    /// The selected units in slot order.
+    #[must_use]
+    pub fn units(&self) -> &[SelectedUnit] {
+        &self.units
+    }
+
+    /// Total LUT area of the extension.
+    #[must_use]
+    pub fn total_luts(&self) -> u32 {
+        self.units.iter().map(|u| u.pattern.luts()).sum()
+    }
+
+    /// Builds the fusion plan applying this extension to one kernel.
+    #[must_use]
+    pub fn plan_for(&self, g: &Cdfg) -> FusionPlan {
+        let mut plan = FusionPlan::new();
+        let mined = mine_patterns(g);
+        for (slot, unit) in self.units.iter().enumerate() {
+            let Some(occs) = mined.get(&unit.pattern) else {
+                continue;
+            };
+            for occ in occs {
+                let (first, second) = (occ.first.index(), occ.second.index());
+                // A producer already absorbed elsewhere cannot be reused.
+                if plan.skipped.contains(&first)
+                    || plan.skipped.contains(&second)
+                    || plan.fused.contains_key(&second)
+                    || plan.fused.contains_key(&first)
+                {
+                    continue;
+                }
+                plan.skipped.insert(first);
+                plan.fused.insert(
+                    second,
+                    FusedEmit {
+                        slot: slot as u8,
+                        ext: occ.ext.clone(),
+                        imm: occ.imm,
+                    },
+                );
+            }
+        }
+        plan
+    }
+
+    /// Compiles `g` using this extension; returns the program and the
+    /// units to attach (slot order matches [`AsipExtension::units`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`compile_with_fusion`] failures.
+    pub fn compile(&self, g: &Cdfg) -> Result<CompiledKernel, IsaError> {
+        compile_with_fusion(g, &self.plan_for(g))
+    }
+
+    /// Creates a CPU with this extension's units attached to their slots.
+    #[must_use]
+    pub fn make_cpu(&self, mem_bytes: usize) -> Cpu {
+        let mut cpu = Cpu::new(mem_bytes);
+        for (slot, unit) in self.units.iter().enumerate() {
+            cpu.attach_custom_unit(slot as u8, Box::new(PatternUnit::new(unit.pattern.clone())));
+        }
+        cpu
+    }
+}
+
+/// Measures the speedup of this extension on a kernel: returns
+/// `(baseline_cycles, asip_cycles)`, verifying both against the CDFG
+/// interpreter on the given inputs.
+///
+/// # Errors
+///
+/// Propagates compilation and execution faults; returns
+/// [`IsaError::Codegen`] if the extension produces wrong results
+/// (indicating a fusion bug).
+pub fn measure_speedup(
+    ext: &AsipExtension,
+    g: &Cdfg,
+    inputs: &[i64],
+) -> Result<(u64, u64), IsaError> {
+    let reference = g.evaluate(inputs).map_err(|e| IsaError::Codegen {
+        reason: format!("interpreter: {e}"),
+    })?;
+
+    let baseline = crate::codegen::compile(g)?;
+    let (base_out, base_stats) = baseline.execute(inputs)?;
+    if base_out != reference {
+        return Err(IsaError::Codegen {
+            reason: format!("baseline mismatch on {}", g.name()),
+        });
+    }
+
+    let fused = ext.compile(g)?;
+    let mut cpu = ext.make_cpu(crate::codegen::MEM_BYTES);
+    let (fused_out, fused_stats) = fused.execute_on(&mut cpu, inputs)?;
+    if fused_out != reference {
+        return Err(IsaError::Codegen {
+            reason: format!("asip mismatch on {}", g.name()),
+        });
+    }
+    Ok((base_stats.cycles, fused_stats.cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::workload::kernels;
+
+    #[test]
+    fn fir_mines_mul_add_chains() {
+        let g = kernels::fir(8);
+        let mined = mine_patterns(&g);
+        // The dominant pattern is multiply-by-coefficient feeding the
+        // accumulating add.
+        let best = mined
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("patterns found");
+        assert_eq!(best.0.first, OpKind::Mul);
+        assert_eq!(best.0.second, OpKind::Add);
+        assert!(best.1.len() >= 6, "most taps fuse: {}", best.1.len());
+    }
+
+    #[test]
+    fn pattern_eval_matches_composition() {
+        // (e0 * imm) + e1
+        let p = FusedPattern {
+            first: OpKind::Mul,
+            first_args: vec![ArgSrc::Ext(0), ArgSrc::Imm],
+            second: OpKind::Add,
+            second_args: vec![ArgSrc::FirstResult, ArgSrc::Ext(1)],
+        };
+        assert_eq!(p.eval(3, 4, 5), 19);
+        assert_eq!(p.eval(-2, 10, 5), 0);
+        assert_eq!(p.eval(3, 4, 7), 25, "immediate generalizes");
+        assert!(p.hw_latency() < p.sw_cycles());
+    }
+
+    #[test]
+    fn selection_respects_budget() {
+        let fir = kernels::fir(8);
+        let dct = kernels::dct8();
+        let ks = [&fir, &dct];
+        let small = AsipExtension::select(&ks, 700);
+        assert!(small.total_luts() <= 700);
+        let large = AsipExtension::select(&ks, 10_000);
+        assert!(large.total_luts() <= 10_000);
+        assert!(large.units().len() >= small.units().len());
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let fir = kernels::fir(8);
+        let ext = AsipExtension::select(&[&fir], 0);
+        assert!(ext.units().is_empty());
+        assert_eq!(ext.total_luts(), 0);
+    }
+
+    #[test]
+    fn asip_speeds_up_fir_and_stays_correct() {
+        let g = kernels::fir(8);
+        let ext = AsipExtension::select(&[&g], 2_000);
+        assert!(!ext.units().is_empty());
+        let inputs: Vec<i64> = (0..8).map(|i| i * 3 - 7).collect();
+        let (base, fused) = measure_speedup(&ext, &g, &inputs).unwrap();
+        assert!(
+            fused < base,
+            "asip must be faster: base={base}, fused={fused}"
+        );
+    }
+
+    #[test]
+    fn asip_speeds_up_every_default_kernel_or_is_neutral() {
+        for g in kernels::all() {
+            let ext = AsipExtension::select(&[&g], 5_000);
+            let inputs: Vec<i64> = (0..g.input_count()).map(|i| i as i64 % 23 - 11).collect();
+            let (base, fused) =
+                measure_speedup(&ext, &g, &inputs).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert!(fused <= base, "{}: base={base}, fused={fused}", g.name());
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_slows_down() {
+        let g = kernels::dct8();
+        let inputs: Vec<i64> = (0..8).map(|i| i * 7 - 20).collect();
+        let mut prev = u64::MAX;
+        for budget in [0u32, 800, 2_000, 8_000] {
+            let ext = AsipExtension::select(&[&g], budget);
+            let (_, fused) = measure_speedup(&ext, &g, &inputs).unwrap();
+            assert!(fused <= prev, "budget {budget}: {fused} > {prev}");
+            prev = fused;
+        }
+    }
+
+    #[test]
+    fn plans_do_not_double_fuse() {
+        let g = kernels::fir(8);
+        let ext = AsipExtension::select(&[&g], 10_000);
+        let plan = ext.plan_for(&g);
+        for second in plan.fused.keys() {
+            assert!(
+                !plan.skipped.contains(second),
+                "op {second} both fused and skipped"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_unit_reports_costs() {
+        let p = FusedPattern {
+            first: OpKind::Mul,
+            first_args: vec![ArgSrc::Ext(0), ArgSrc::Imm],
+            second: OpKind::Add,
+            second_args: vec![ArgSrc::FirstResult, ArgSrc::Ext(1)],
+        };
+        let u = PatternUnit::new(p);
+        assert!(u.area_luts() > 600, "multiplier dominates");
+        assert_eq!(u.latency(), 1);
+        assert_eq!(u.name(), "mul_add");
+    }
+}

@@ -1,0 +1,527 @@
+//! Two-pass assembler and disassembler for CR32.
+//!
+//! Syntax is line-oriented. `;` and `#` start comments. A label is a word
+//! followed by `:`; the `.vector <label>` directive installs the interrupt
+//! vector. Branches take a label and assemble to a pc-relative offset
+//! (relative to the next instruction); `jal` takes a label and assembles
+//! to an absolute instruction index.
+//!
+//! ```text
+//! .vector isr
+//! start:
+//!     li   r1, 1000
+//! loop:
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! isr:
+//!     rti
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::IsaError;
+use crate::instr::{AluOp, BranchCond, Instr, Reg, UnaryOp, NUM_REGS};
+
+/// An assembled program: decoded instructions plus symbol information.
+///
+/// The program counter indexes [`Program::instrs`] directly (a Harvard
+/// instruction store); [`codesign_rtl`] cycle costs account for the wider
+/// encoded footprint of multi-word instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Instructions in order.
+    pub instrs: Vec<Instr>,
+    /// Instruction index where execution starts.
+    pub entry: usize,
+    /// Instruction index of the interrupt vector, if `.vector` was used.
+    pub ivec: Option<usize>,
+    /// Label table (name → instruction index).
+    pub labels: BTreeMap<String, usize>,
+}
+
+impl Program {
+    /// Wraps a raw instruction sequence (entry 0, no vector, no labels).
+    #[must_use]
+    pub fn from_instrs(instrs: Vec<Instr>) -> Self {
+        Program {
+            instrs,
+            entry: 0,
+            ivec: None,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Size of the binary image in 32-bit words.
+    #[must_use]
+    pub fn encoded_words(&self) -> usize {
+        self.instrs.iter().map(|i| i.encoded_words()).sum()
+    }
+}
+
+fn parse_reg(line: usize, tok: &str) -> Result<Reg, IsaError> {
+    let t = tok.trim().trim_end_matches(',');
+    let Some(num) = t.strip_prefix('r') else {
+        return Err(IsaError::ParseAsm {
+            line,
+            reason: format!("expected register, got `{t}`"),
+        });
+    };
+    let n: usize = num.parse().map_err(|_| IsaError::ParseAsm {
+        line,
+        reason: format!("bad register `{t}`"),
+    })?;
+    if n >= NUM_REGS {
+        return Err(IsaError::ParseAsm {
+            line,
+            reason: format!("register `{t}` out of range"),
+        });
+    }
+    Ok(Reg::new(n as u8))
+}
+
+fn parse_imm<T>(line: usize, tok: &str) -> Result<T, IsaError>
+where
+    T: TryFrom<i64>,
+{
+    let t = tok.trim().trim_end_matches(',');
+    let v: i64 = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).or_else(|_| u64::from_str_radix(hex, 16).map(|u| u as i64))
+    } else if let Some(hex) = t.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).map(|v| -v)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| IsaError::ParseAsm {
+        line,
+        reason: format!("bad immediate `{t}`"),
+    })?;
+    T::try_from(v).map_err(|_| IsaError::ParseAsm {
+        line,
+        reason: format!("immediate `{t}` out of range"),
+    })
+}
+
+enum PendingTarget {
+    Branch(BranchCond, Reg, Reg, String),
+    Jal(Reg, String),
+}
+
+/// Assembles CR32 source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::ParseAsm`] for syntax errors,
+/// [`IsaError::UnknownLabel`] for unresolved references, and
+/// [`IsaError::BranchRange`] when a branch target does not fit the 16-bit
+/// offset field.
+pub fn assemble(source: &str) -> Result<Program, IsaError> {
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut pending: Vec<(usize, usize, PendingTarget)> = Vec::new(); // (line, index, target)
+    let mut vector_label: Option<(usize, String)> = None;
+
+    for (line_no, raw) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        let mut line = raw;
+        for sep in [';', '#'] {
+            line = line.split(sep).next().unwrap_or("");
+        }
+        let mut line = line.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), instrs.len()).is_some() {
+                return Err(IsaError::ParseAsm {
+                    line: line_no,
+                    reason: format!("duplicate label `{label}`"),
+                });
+            }
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".vector") {
+            vector_label = Some((line_no, rest.trim().to_string()));
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnem = parts.next().expect("non-empty line").to_lowercase();
+        let ops: Vec<&str> = parts.collect();
+        let idx = instrs.len();
+
+        let need = |n: usize| -> Result<(), IsaError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(IsaError::ParseAsm {
+                    line: line_no,
+                    reason: format!("`{mnem}` takes {n} operands, got {}", ops.len()),
+                })
+            }
+        };
+
+        if let Some(alu) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnem) {
+            need(3)?;
+            instrs.push(Instr::Alu(
+                *alu,
+                parse_reg(line_no, ops[0])?,
+                parse_reg(line_no, ops[1])?,
+                parse_reg(line_no, ops[2])?,
+            ));
+            continue;
+        }
+        if let Some(un) = UnaryOp::ALL.iter().find(|o| o.mnemonic() == mnem) {
+            need(2)?;
+            instrs.push(Instr::Unary(
+                *un,
+                parse_reg(line_no, ops[0])?,
+                parse_reg(line_no, ops[1])?,
+            ));
+            continue;
+        }
+        if let Some(cond) = BranchCond::ALL.iter().find(|c| c.mnemonic() == mnem) {
+            need(3)?;
+            let rs1 = parse_reg(line_no, ops[0])?;
+            let rs2 = parse_reg(line_no, ops[1])?;
+            instrs.push(Instr::Nop); // patched in pass 2
+            pending.push((
+                line_no,
+                idx,
+                PendingTarget::Branch(*cond, rs1, rs2, ops[2].trim_end_matches(',').to_string()),
+            ));
+            continue;
+        }
+        match mnem.as_str() {
+            "cmovnz" => {
+                need(3)?;
+                instrs.push(Instr::Cmovnz(
+                    parse_reg(line_no, ops[0])?,
+                    parse_reg(line_no, ops[1])?,
+                    parse_reg(line_no, ops[2])?,
+                ));
+            }
+            "addi" => {
+                need(3)?;
+                instrs.push(Instr::Addi(
+                    parse_reg(line_no, ops[0])?,
+                    parse_reg(line_no, ops[1])?,
+                    parse_imm(line_no, ops[2])?,
+                ));
+            }
+            "li" => {
+                need(2)?;
+                instrs.push(Instr::Li(
+                    parse_reg(line_no, ops[0])?,
+                    parse_imm(line_no, ops[1])?,
+                ));
+            }
+            "ld" | "sd" | "lw" | "sw" => {
+                need(3)?;
+                let a = parse_reg(line_no, ops[0])?;
+                let b = parse_reg(line_no, ops[1])?;
+                let imm = parse_imm(line_no, ops[2])?;
+                instrs.push(match mnem.as_str() {
+                    "ld" => Instr::Ld(a, b, imm),
+                    "sd" => Instr::Sd(a, b, imm),
+                    "lw" => Instr::Lw(a, b, imm),
+                    _ => Instr::Sw(a, b, imm),
+                });
+            }
+            "jal" => {
+                need(2)?;
+                let rd = parse_reg(line_no, ops[0])?;
+                instrs.push(Instr::Nop); // patched in pass 2
+                pending.push((
+                    line_no,
+                    idx,
+                    PendingTarget::Jal(rd, ops[1].trim_end_matches(',').to_string()),
+                ));
+            }
+            "jalr" => {
+                need(2)?;
+                instrs.push(Instr::Jalr(
+                    parse_reg(line_no, ops[0])?,
+                    parse_reg(line_no, ops[1])?,
+                ));
+            }
+            "ei" => {
+                need(0)?;
+                instrs.push(Instr::Ei);
+            }
+            "di" => {
+                need(0)?;
+                instrs.push(Instr::Di);
+            }
+            "rti" => {
+                need(0)?;
+                instrs.push(Instr::Rti);
+            }
+            "nop" => {
+                need(0)?;
+                instrs.push(Instr::Nop);
+            }
+            "halt" => {
+                need(0)?;
+                instrs.push(Instr::Halt);
+            }
+            m if m.starts_with("custom") => {
+                if ops.len() != 3 && ops.len() != 4 {
+                    return Err(IsaError::ParseAsm {
+                        line: line_no,
+                        reason: format!("`{m}` takes 3 or 4 operands, got {}", ops.len()),
+                    });
+                }
+                let unit: u8 = m["custom".len()..]
+                    .parse()
+                    .map_err(|_| IsaError::ParseAsm {
+                        line: line_no,
+                        reason: format!("bad custom unit in `{m}`"),
+                    })?;
+                let imm = if ops.len() == 4 {
+                    parse_imm(line_no, ops[3])?
+                } else {
+                    0
+                };
+                instrs.push(Instr::Custom(
+                    unit,
+                    parse_reg(line_no, ops[0])?,
+                    parse_reg(line_no, ops[1])?,
+                    parse_reg(line_no, ops[2])?,
+                    imm,
+                ));
+            }
+            other => {
+                return Err(IsaError::ParseAsm {
+                    line: line_no,
+                    reason: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        }
+    }
+
+    // Pass 2: resolve label references.
+    for (line_no, idx, target) in pending {
+        match target {
+            PendingTarget::Branch(cond, rs1, rs2, label) => {
+                let &t = labels.get(&label).ok_or(IsaError::UnknownLabel {
+                    name: label.clone(),
+                })?;
+                let off = t as i64 - (idx as i64 + 1);
+                let off =
+                    i16::try_from(off).map_err(|_| IsaError::BranchRange { line: line_no })?;
+                instrs[idx] = Instr::Branch(cond, rs1, rs2, off);
+            }
+            PendingTarget::Jal(rd, label) => {
+                let &t = labels.get(&label).ok_or(IsaError::UnknownLabel {
+                    name: label.clone(),
+                })?;
+                instrs[idx] = Instr::Jal(rd, t as u32);
+            }
+        }
+    }
+
+    let ivec = match vector_label {
+        None => None,
+        Some((_, label)) => Some(*labels.get(&label).ok_or(IsaError::UnknownLabel {
+            name: label.clone(),
+        })?),
+    };
+
+    Ok(Program {
+        instrs,
+        entry: 0,
+        ivec,
+        labels,
+    })
+}
+
+/// Renders instructions back to assembly text (labels are lost; branch
+/// targets appear as numeric offsets via generated local labels).
+#[must_use]
+pub fn disassemble(instrs: &[Instr]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    // Collect branch/jump targets so we can emit labels.
+    let mut targets: Vec<usize> = Vec::new();
+    for (i, instr) in instrs.iter().enumerate() {
+        match instr {
+            Instr::Branch(_, _, _, off) => {
+                let t = (i as i64 + 1 + i64::from(*off)) as usize;
+                targets.push(t);
+            }
+            Instr::Jal(_, t) => targets.push(*t as usize),
+            _ => {}
+        }
+    }
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |i: usize| format!("L{i}");
+
+    for (i, instr) in instrs.iter().enumerate() {
+        if targets.binary_search(&i).is_ok() {
+            let _ = writeln!(out, "{}:", label_of(i));
+        }
+        let _ = match instr {
+            Instr::Alu(op, rd, a, b) => writeln!(out, "    {} {rd}, {a}, {b}", op.mnemonic()),
+            Instr::Unary(op, rd, a) => writeln!(out, "    {} {rd}, {a}", op.mnemonic()),
+            Instr::Cmovnz(rd, c, a) => writeln!(out, "    cmovnz {rd}, {c}, {a}"),
+            Instr::Addi(rd, a, imm) => writeln!(out, "    addi {rd}, {a}, {imm}"),
+            Instr::Li(rd, imm) => writeln!(out, "    li {rd}, {imm}"),
+            Instr::Ld(rd, a, imm) => writeln!(out, "    ld {rd}, {a}, {imm}"),
+            Instr::Sd(rs, a, imm) => writeln!(out, "    sd {rs}, {a}, {imm}"),
+            Instr::Lw(rd, a, imm) => writeln!(out, "    lw {rd}, {a}, {imm}"),
+            Instr::Sw(rs, a, imm) => writeln!(out, "    sw {rs}, {a}, {imm}"),
+            Instr::Branch(c, a, b, off) => {
+                let t = (i as i64 + 1 + i64::from(*off)) as usize;
+                writeln!(out, "    {} {a}, {b}, {}", c.mnemonic(), label_of(t))
+            }
+            Instr::Jal(rd, t) => writeln!(out, "    jal {rd}, {}", label_of(*t as usize)),
+            Instr::Jalr(rd, a) => writeln!(out, "    jalr {rd}, {a}"),
+            Instr::Custom(u, rd, a, b, imm) => {
+                writeln!(out, "    custom{u} {rd}, {a}, {b}, {imm}")
+            }
+            Instr::Ei => writeln!(out, "    ei"),
+            Instr::Di => writeln!(out, "    di"),
+            Instr::Rti => writeln!(out, "    rti"),
+            Instr::Nop => writeln!(out, "    nop"),
+            Instr::Halt => writeln!(out, "    halt"),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let p = assemble(
+            "start: li r1, 3\n\
+             loop:  addi r1, r1, -1\n\
+                    bne r1, r0, loop\n\
+                    halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.labels["start"], 0);
+        assert_eq!(p.labels["loop"], 1);
+        assert_eq!(
+            p.instrs[2],
+            Instr::Branch(BranchCond::Ne, Reg::new(1), Reg::ZERO, -2)
+        );
+    }
+
+    #[test]
+    fn vector_directive_resolves() {
+        let p = assemble(".vector isr\nhalt\nisr: rti\n").unwrap();
+        assert_eq!(p.ivec, Some(1));
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let p = assemble("jal r15, end\nnop\nend: halt\n").unwrap();
+        assert_eq!(p.instrs[0], Instr::Jal(Reg::new(15), 2));
+    }
+
+    #[test]
+    fn comments_both_styles_ignored() {
+        let p = assemble("; full line\nnop ; trailing\nnop # hash\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("nop\nfrobnicate r1, r2\n").unwrap_err();
+        assert!(matches!(err, IsaError::ParseAsm { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_label_detected() {
+        let err = assemble("beq r0, r0, nowhere\n").unwrap_err();
+        assert_eq!(
+            err,
+            IsaError::UnknownLabel {
+                name: "nowhere".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(matches!(err, IsaError::ParseAsm { line: 2, .. }));
+    }
+
+    #[test]
+    fn register_range_enforced() {
+        let err = assemble("add r16, r0, r0\n").unwrap_err();
+        assert!(matches!(err, IsaError::ParseAsm { .. }));
+    }
+
+    #[test]
+    fn immediate_range_enforced() {
+        let err = assemble("addi r1, r0, 40000\n").unwrap_err();
+        assert!(matches!(err, IsaError::ParseAsm { .. }));
+    }
+
+    #[test]
+    fn hex_immediates_parse() {
+        let p = assemble("li r1, 0xFFFFFFFF\naddi r2, r0, 0x7f\n").unwrap();
+        assert_eq!(p.instrs[0], Instr::Li(Reg::new(1), 0xFFFF_FFFF));
+        assert_eq!(p.instrs[1], Instr::Addi(Reg::new(2), Reg::ZERO, 0x7f));
+    }
+
+    #[test]
+    fn custom_mnemonics_carry_unit() {
+        let p = assemble("custom3 r1, r2, r3\n").unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::Custom(3, Reg::new(1), Reg::new(2), Reg::new(3), 0)
+        );
+        let p = assemble("custom3 r1, r2, r3, -9\n").unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::Custom(3, Reg::new(1), Reg::new(2), Reg::new(3), -9)
+        );
+    }
+
+    #[test]
+    fn disassemble_reassembles_identically() {
+        let src = "start: li r1, 5\n\
+                   loop: addi r1, r1, -1\n\
+                   mul r2, r1, r1\n\
+                   bne r1, r0, loop\n\
+                   jal r15, done\n\
+                   nop\n\
+                   done: halt\n";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1.instrs);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+    }
+
+    #[test]
+    fn encoded_words_counts_li() {
+        let p = assemble("li r1, 7\nnop\nhalt\n").unwrap();
+        assert_eq!(p.encoded_words(), 3 + 1 + 1);
+    }
+}

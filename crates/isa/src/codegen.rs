@@ -1,0 +1,663 @@
+//! Code generation from CDFG kernels to CR32 programs.
+//!
+//! This is the "software implementation" half of every HW/SW trade-off in
+//! the paper: the same `codesign-ir` kernel that `codesign-hls`
+//! synthesizes into a co-processor is compiled here into a CR32 program,
+//! so partitioners can compare *measured* software cycles against
+//! synthesized hardware latency, and co-simulation can verify the two
+//! against the CDFG interpreter.
+//!
+//! The compiler walks the CDFG in topological order and performs greedy
+//! register allocation over the twelve caller-visible pool registers,
+//! spilling least-recently-used live values to a dedicated memory region.
+//! Kernel inputs are read from [`IN_BASE`] and outputs stored to
+//! [`OUT_BASE`], so a harness drives a compiled kernel purely through
+//! memory.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use codesign_ir::cdfg::{Cdfg, OpId, OpKind};
+
+use crate::asm::Program;
+use crate::cpu::{Cpu, CpuStats};
+use crate::error::IsaError;
+use crate::instr::{AluOp, Instr, Reg, UnaryOp};
+
+/// Byte address of kernel input word 0.
+pub const IN_BASE: u64 = 0x100;
+/// Byte address of kernel output word 0.
+pub const OUT_BASE: u64 = 0x800;
+/// Byte address of the first spill slot.
+pub const SPILL_BASE: u64 = 0x1000;
+/// Bytes of data memory a compiled kernel needs.
+pub const MEM_BYTES: usize = 0x10000;
+
+const MAX_INPUTS: usize = ((OUT_BASE - IN_BASE) / 8) as usize;
+const MAX_OUTPUTS: usize = ((SPILL_BASE - OUT_BASE) / 8) as usize;
+const MAX_SPILLS: usize = ((0x8000 - SPILL_BASE) / 8) as usize;
+
+/// Pool registers available to the allocator (`r1`–`r12`); `r13` is the
+/// compiler scratch register.
+const POOL: usize = 12;
+
+fn pool_reg(i: usize) -> Reg {
+    Reg::new((i + 1) as u8)
+}
+
+const SCRATCH: u8 = 13;
+
+/// A kernel compiled to CR32, with its memory calling convention.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    name: String,
+    program: Program,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl CompiledKernel {
+    /// Kernel name (from the CDFG).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The generated program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of input words expected at [`IN_BASE`].
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output words produced at [`OUT_BASE`].
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.outputs
+    }
+
+    /// Writes `inputs` into a CPU's memory at the calling convention
+    /// addresses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults (CPU memory too small).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match [`CompiledKernel::input_count`].
+    pub fn write_inputs(&self, cpu: &mut Cpu, inputs: &[i64]) -> Result<(), IsaError> {
+        assert_eq!(inputs.len(), self.inputs, "input count mismatch");
+        for (i, &v) in inputs.iter().enumerate() {
+            cpu.store_word(IN_BASE + 8 * i as u64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the outputs from a CPU's memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults (CPU memory too small).
+    pub fn read_outputs(&self, cpu: &Cpu) -> Result<Vec<i64>, IsaError> {
+        (0..self.outputs)
+            .map(|i| cpu.load_word(OUT_BASE + 8 * i as u64))
+            .collect()
+    }
+
+    /// Convenience: runs the kernel on a fresh CPU and returns
+    /// `(outputs, stats)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution faults and [`IsaError::Timeout`] against a
+    /// budget proportional to the program size.
+    pub fn execute(&self, inputs: &[i64]) -> Result<(Vec<i64>, CpuStats), IsaError> {
+        let mut cpu = Cpu::new(MEM_BYTES);
+        self.execute_on(&mut cpu, inputs)
+    }
+
+    /// Runs the kernel on a caller-provided CPU (e.g. one with custom
+    /// functional units attached); loads the program, writes the inputs,
+    /// runs to `halt`, and reads the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution faults and [`IsaError::Timeout`] against a
+    /// budget proportional to the program size.
+    pub fn execute_on(
+        &self,
+        cpu: &mut Cpu,
+        inputs: &[i64],
+    ) -> Result<(Vec<i64>, CpuStats), IsaError> {
+        cpu.load_program(&self.program);
+        self.write_inputs(cpu, inputs)?;
+        let budget = 100 * self.program.len() as u64 + 10_000;
+        let stats = cpu.run(budget)?;
+        Ok((self.read_outputs(cpu)?, stats))
+    }
+}
+
+/// How one fused operation is emitted: which `custom` slot implements it
+/// and which CDFG values feed its (at most two) register operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedEmit {
+    /// Custom-unit slot (`custom<slot>` instruction).
+    pub slot: u8,
+    /// External operand values, in `rs1, rs2` order (length 0–2).
+    pub ext: Vec<OpId>,
+    /// The instruction's immediate field (a fused constant such as a
+    /// filter coefficient).
+    pub imm: i64,
+}
+
+/// A fusion plan produced by the ASIP flow: operations folded away and
+/// operations replaced by `custom` instructions.
+///
+/// An empty plan compiles the CDFG conventionally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FusionPlan {
+    /// Producer operations absorbed into a fused instruction; they emit
+    /// no code.
+    pub skipped: BTreeSet<usize>,
+    /// Consumer operations emitted as `custom` instructions.
+    pub fused: BTreeMap<usize, FusedEmit>,
+}
+
+impl FusionPlan {
+    /// An empty plan (conventional compilation).
+    #[must_use]
+    pub fn new() -> Self {
+        FusionPlan::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Not yet materialized (only possible before definition).
+    None,
+    /// Live in a pool register.
+    Reg(usize),
+    /// Stored in the spill slot assigned to the value.
+    Spilled,
+}
+
+struct Allocator {
+    code: Vec<Instr>,
+    /// value currently held by each pool register
+    contents: [Option<OpId>; POOL],
+    /// last-use tick per pool register, for LRU eviction
+    ticks: [u64; POOL],
+    clock: u64,
+    loc: Vec<Loc>,
+    uses_left: Vec<u32>,
+    spill_slot: Vec<Option<usize>>,
+    next_slot: usize,
+}
+
+/// Transitive liveness over the effective (post-fusion) graph: an op is
+/// live iff some output depends on it. Dead ops emit no code and do not
+/// force their operands into registers.
+fn live_set(g: &Cdfg, plan: &FusionPlan) -> Vec<bool> {
+    let mut live = vec![false; g.len()];
+    let mut stack: Vec<usize> = g
+        .iter()
+        .filter(|(_, n)| matches!(n.kind(), OpKind::Output(_)))
+        .map(|(id, _)| id.index())
+        .collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut live[i], true) {
+            continue;
+        }
+        if let Some(emit) = plan.fused.get(&i) {
+            stack.extend(emit.ext.iter().map(|a| a.index()));
+        } else {
+            stack.extend(g.node(OpId::from_index(i)).args().iter().map(|a| a.index()));
+        }
+    }
+    live
+}
+
+impl Allocator {
+    fn new(g: &Cdfg, plan: &FusionPlan, live: &[bool]) -> Self {
+        // Count uses over the *effective, live* graph: dead and skipped
+        // ops contribute nothing, fused consumers reference only their
+        // external operands (baked constants and the absorbed producer do
+        // not keep values alive).
+        let mut uses_left = vec![0u32; g.len()];
+        for (id, node) in g.iter() {
+            if plan.skipped.contains(&id.index()) || !live[id.index()] {
+                continue;
+            }
+            if let Some(emit) = plan.fused.get(&id.index()) {
+                for a in &emit.ext {
+                    uses_left[a.index()] += 1;
+                }
+                continue;
+            }
+            for a in node.args() {
+                uses_left[a.index()] += 1;
+            }
+        }
+        Allocator {
+            code: Vec::new(),
+            contents: [None; POOL],
+            ticks: [0; POOL],
+            clock: 0,
+            loc: vec![Loc::None; g.len()],
+            uses_left,
+            spill_slot: vec![None; g.len()],
+            next_slot: 0,
+        }
+    }
+
+    fn touch(&mut self, r: usize) {
+        self.clock += 1;
+        self.ticks[r] = self.clock;
+    }
+
+    fn slot_addr(&mut self, v: OpId) -> Result<i16, IsaError> {
+        let slot = match self.spill_slot[v.index()] {
+            Some(s) => s,
+            None => {
+                let s = self.next_slot;
+                if s >= MAX_SPILLS {
+                    return Err(IsaError::Codegen {
+                        reason: "spill area exhausted".to_string(),
+                    });
+                }
+                self.next_slot += 1;
+                self.spill_slot[v.index()] = Some(s);
+                s
+            }
+        };
+        Ok((SPILL_BASE + 8 * slot as u64) as i16)
+    }
+
+    /// Picks a register, spilling the LRU live value if necessary.
+    /// Registers in `exclude` are never chosen.
+    fn alloc_reg(&mut self, exclude: &[usize]) -> Result<usize, IsaError> {
+        // Prefer a register holding nothing or a dead value.
+        for r in 0..POOL {
+            if exclude.contains(&r) {
+                continue;
+            }
+            match self.contents[r] {
+                None => {
+                    self.touch(r);
+                    return Ok(r);
+                }
+                Some(v) if self.uses_left[v.index()] == 0 => {
+                    self.contents[r] = None;
+                    self.loc[v.index()] = Loc::None;
+                    self.touch(r);
+                    return Ok(r);
+                }
+                _ => {}
+            }
+        }
+        // Evict the least recently used live value.
+        let victim = (0..POOL)
+            .filter(|r| !exclude.contains(r))
+            .min_by_key(|&r| self.ticks[r])
+            .ok_or_else(|| IsaError::Codegen {
+                reason: "all registers pinned".to_string(),
+            })?;
+        let v = self.contents[victim].expect("live values only at this point");
+        let addr = self.slot_addr(v)?;
+        self.code.push(Instr::Sd(pool_reg(victim), Reg::ZERO, addr));
+        self.loc[v.index()] = Loc::Spilled;
+        self.contents[victim] = None;
+        self.touch(victim);
+        Ok(victim)
+    }
+
+    /// Ensures `v` is in a pool register, reloading from its spill slot if
+    /// needed; returns the pool index.
+    fn ensure_in_reg(&mut self, v: OpId, exclude: &[usize]) -> Result<usize, IsaError> {
+        match self.loc[v.index()] {
+            Loc::Reg(r) => {
+                self.touch(r);
+                Ok(r)
+            }
+            Loc::Spilled => {
+                let r = self.alloc_reg(exclude)?;
+                let addr = self.slot_addr(v)?;
+                self.code.push(Instr::Ld(pool_reg(r), Reg::ZERO, addr));
+                self.contents[r] = Some(v);
+                self.loc[v.index()] = Loc::Reg(r);
+                Ok(r)
+            }
+            Loc::None => Err(IsaError::Codegen {
+                reason: format!("value {v} used before definition"),
+            }),
+        }
+    }
+
+    fn consume(&mut self, v: OpId) {
+        let u = &mut self.uses_left[v.index()];
+        *u = u.saturating_sub(1);
+    }
+
+    fn define(&mut self, v: OpId, r: usize) {
+        self.contents[r] = Some(v);
+        self.loc[v.index()] = Loc::Reg(r);
+        self.touch(r);
+    }
+}
+
+/// Compiles a CDFG into a CR32 program following the memory calling
+/// convention of this module.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Codegen`] if the kernel exceeds the input/output/
+/// spill capacity of the calling convention.
+pub fn compile(g: &Cdfg) -> Result<CompiledKernel, IsaError> {
+    compile_with_fusion(g, &FusionPlan::new())
+}
+
+/// Compiles a CDFG with ASIP instruction fusion: operations named in
+/// `plan` are emitted as `custom` instructions instead of base-ISA
+/// sequences. See [`crate::asip`] for plan construction.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Codegen`] if the kernel exceeds the calling
+/// convention's capacity or a fused op has more than two external
+/// operands.
+pub fn compile_with_fusion(g: &Cdfg, plan: &FusionPlan) -> Result<CompiledKernel, IsaError> {
+    if g.input_count() > MAX_INPUTS {
+        return Err(IsaError::Codegen {
+            reason: format!("kernel has {} inputs, max {MAX_INPUTS}", g.input_count()),
+        });
+    }
+    if g.output_count() > MAX_OUTPUTS {
+        return Err(IsaError::Codegen {
+            reason: format!("kernel has {} outputs, max {MAX_OUTPUTS}", g.output_count()),
+        });
+    }
+    let live = live_set(g, plan);
+    let mut a = Allocator::new(g, plan, &live);
+
+    for (id, node) in g.iter() {
+        if plan.skipped.contains(&id.index()) || !live[id.index()] {
+            continue;
+        }
+        if let Some(emit) = plan.fused.get(&id.index()) {
+            if emit.ext.len() > 2 {
+                return Err(IsaError::Codegen {
+                    reason: format!("fused op {id} has {} external operands", emit.ext.len()),
+                });
+            }
+            let mut regs = [Reg::ZERO; 2];
+            let mut held = Vec::new();
+            for (i, &v) in emit.ext.iter().enumerate() {
+                let r = a.ensure_in_reg(v, &held)?;
+                held.push(r);
+                regs[i] = pool_reg(r);
+            }
+            for &v in &emit.ext {
+                a.consume(v);
+            }
+            if a.uses_left[id.index()] > 0 {
+                let rd = a.alloc_reg(&held)?;
+                a.code.push(Instr::Custom(
+                    emit.slot,
+                    pool_reg(rd),
+                    regs[0],
+                    regs[1],
+                    emit.imm,
+                ));
+                a.define(id, rd);
+            }
+            continue;
+        }
+        match node.kind() {
+            OpKind::Input(idx) => {
+                // Skip dead inputs entirely.
+                if a.uses_left[id.index()] == 0 {
+                    continue;
+                }
+                let r = a.alloc_reg(&[])?;
+                a.code.push(Instr::Ld(
+                    pool_reg(r),
+                    Reg::ZERO,
+                    (IN_BASE + 8 * u64::from(idx)) as i16,
+                ));
+                a.define(id, r);
+            }
+            OpKind::Const(c) => {
+                if a.uses_left[id.index()] == 0 {
+                    continue;
+                }
+                let r = a.alloc_reg(&[])?;
+                a.code.push(Instr::Li(pool_reg(r), c));
+                a.define(id, r);
+            }
+            OpKind::Output(idx) => {
+                let src = node.args()[0];
+                let r = a.ensure_in_reg(src, &[])?;
+                a.consume(src);
+                a.code.push(Instr::Sd(
+                    pool_reg(r),
+                    Reg::ZERO,
+                    (OUT_BASE + 8 * u64::from(idx)) as i16,
+                ));
+            }
+            OpKind::Select => {
+                let (c, t, e) = (node.args()[0], node.args()[1], node.args()[2]);
+                let rc = a.ensure_in_reg(c, &[])?;
+                let rt = a.ensure_in_reg(t, &[rc])?;
+                let re = a.ensure_in_reg(e, &[rc, rt])?;
+                // scratch = e; if c != 0 scratch = t; dst = scratch
+                a.code.push(Instr::Alu(
+                    AluOp::Add,
+                    Reg::new(SCRATCH),
+                    pool_reg(re),
+                    Reg::ZERO,
+                ));
+                a.code
+                    .push(Instr::Cmovnz(Reg::new(SCRATCH), pool_reg(rc), pool_reg(rt)));
+                a.consume(c);
+                a.consume(t);
+                a.consume(e);
+                if a.uses_left[id.index()] > 0 {
+                    let rd = a.alloc_reg(&[])?;
+                    a.code.push(Instr::Alu(
+                        AluOp::Add,
+                        pool_reg(rd),
+                        Reg::new(SCRATCH),
+                        Reg::ZERO,
+                    ));
+                    a.define(id, rd);
+                }
+            }
+            kind => {
+                let alu2 = |op: AluOp| Some(op);
+                let mapped: Option<AluOp> = match kind {
+                    OpKind::Add => alu2(AluOp::Add),
+                    OpKind::Sub => alu2(AluOp::Sub),
+                    OpKind::Mul => alu2(AluOp::Mul),
+                    OpKind::Div => alu2(AluOp::Div),
+                    OpKind::Rem => alu2(AluOp::Rem),
+                    OpKind::And => alu2(AluOp::And),
+                    OpKind::Or => alu2(AluOp::Or),
+                    OpKind::Xor => alu2(AluOp::Xor),
+                    OpKind::Shl => alu2(AluOp::Sll),
+                    OpKind::Shr => alu2(AluOp::Sra),
+                    OpKind::Lt => alu2(AluOp::Slt),
+                    OpKind::Le => alu2(AluOp::Sle),
+                    OpKind::Eq => alu2(AluOp::Seq),
+                    OpKind::Ne => alu2(AluOp::Sne),
+                    OpKind::Min => alu2(AluOp::Min),
+                    OpKind::Max => alu2(AluOp::Max),
+                    _ => None,
+                };
+                if let Some(op) = mapped {
+                    let (x, y) = (node.args()[0], node.args()[1]);
+                    let rx = a.ensure_in_reg(x, &[])?;
+                    let ry = a.ensure_in_reg(y, &[rx])?;
+                    a.consume(x);
+                    a.consume(y);
+                    if a.uses_left[id.index()] > 0 {
+                        let rd = a.alloc_reg(&[rx, ry])?;
+                        a.code
+                            .push(Instr::Alu(op, pool_reg(rd), pool_reg(rx), pool_reg(ry)));
+                        a.define(id, rd);
+                    }
+                    continue;
+                }
+                let unary = match kind {
+                    OpKind::Not => UnaryOp::Not,
+                    OpKind::Neg => UnaryOp::Neg,
+                    OpKind::Abs => UnaryOp::Abs,
+                    other => {
+                        return Err(IsaError::Codegen {
+                            reason: format!("unsupported op {other:?}"),
+                        })
+                    }
+                };
+                let x = node.args()[0];
+                let rx = a.ensure_in_reg(x, &[])?;
+                a.consume(x);
+                if a.uses_left[id.index()] > 0 {
+                    let rd = a.alloc_reg(&[rx])?;
+                    a.code.push(Instr::Unary(unary, pool_reg(rd), pool_reg(rx)));
+                    a.define(id, rd);
+                }
+            }
+        }
+    }
+    a.code.push(Instr::Halt);
+
+    Ok(CompiledKernel {
+        name: g.name().to_string(),
+        program: Program::from_instrs(a.code),
+        inputs: g.input_count(),
+        outputs: g.output_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::workload::kernels;
+
+    fn check_kernel(g: &Cdfg, inputs: &[i64]) {
+        let compiled = compile(g).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        let (got, _) = compiled
+            .execute(inputs)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        let want = g.evaluate(inputs).expect("interpreter");
+        assert_eq!(got, want, "{} on {inputs:?}", g.name());
+    }
+
+    #[test]
+    fn all_kernels_match_interpreter_on_patterned_inputs() {
+        for g in kernels::all() {
+            let inputs: Vec<i64> = (0..g.input_count())
+                .map(|i| (i as i64 * 37 - 51) % 101)
+                .collect();
+            check_kernel(&g, &inputs);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_on_wide_values() {
+        let g = kernels::crc32_byte();
+        check_kernel(&g, &[0xFFFF_FFFF, 0xA5]);
+        check_kernel(&g, &[0x1234_5678, 0xFF]);
+    }
+
+    #[test]
+    fn select_kernel_compiles() {
+        use codesign_ir::cdfg::{Cdfg, OpKind};
+        let mut g = Cdfg::new("sel");
+        let c = g.input();
+        let a = g.input();
+        let b = g.input();
+        let s = g.op(OpKind::Select, &[c, a, b]).unwrap();
+        let t = g.op(OpKind::Add, &[s, s]).unwrap();
+        g.output(t).unwrap();
+        check_kernel(&g, &[1, 10, 20]);
+        check_kernel(&g, &[0, 10, 20]);
+    }
+
+    #[test]
+    fn spilling_kernel_is_still_correct() {
+        // matmul(4) has 32 live-ish inputs, far beyond the 12-register
+        // pool, forcing the spill path.
+        let g = kernels::matmul(4);
+        let inputs: Vec<i64> = (0..g.input_count()).map(|i| i as i64 - 16).collect();
+        let compiled = compile(&g).unwrap();
+        // Confirm spills actually happened: more instructions than ops.
+        assert!(compiled.program().len() > g.len());
+        check_kernel(&g, &inputs);
+    }
+
+    #[test]
+    fn dead_values_generate_no_code() {
+        use codesign_ir::cdfg::{Cdfg, OpKind};
+        let mut g = Cdfg::new("dead");
+        let a = g.input();
+        let b = g.input();
+        let _dead = g.op(OpKind::Mul, &[a, b]).unwrap();
+        let live = g.op(OpKind::Add, &[a, b]).unwrap();
+        g.output(live).unwrap();
+        let compiled = compile(&g).unwrap();
+        let has_mul = compiled
+            .program()
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Alu(AluOp::Mul, ..)));
+        assert!(!has_mul, "dead multiply must be eliminated");
+        check_kernel(&g, &[3, 4]);
+    }
+
+    #[test]
+    fn software_cost_scales_with_kernel_size() {
+        let small = compile(&kernels::fir(4)).unwrap();
+        let big = compile(&kernels::fir(32)).unwrap();
+        let (_, s1) = small.execute(&[1; 4]).unwrap();
+        let (_, s2) = big.execute(&vec![1; 32]).unwrap();
+        assert!(s2.cycles > 2 * s1.cycles);
+    }
+
+    #[test]
+    fn compiled_kernel_reports_shapes() {
+        let k = compile(&kernels::dct8()).unwrap();
+        assert_eq!(k.input_count(), 8);
+        assert_eq!(k.output_count(), 8);
+        assert_eq!(k.name(), "dct8");
+    }
+
+    #[test]
+    fn optimizer_shrinks_programs_without_changing_results() {
+        use codesign_ir::opt::optimize;
+        // crc32 re-creates the same shift-amount constants each round;
+        // folding and CSE shrink it, and the compiled program follows.
+        let g = kernels::crc32_byte();
+        let (opt, stats) = optimize(&g).unwrap();
+        assert!(stats.ops_after < stats.ops_before);
+        let inputs = [0xFFFF_FFFFi64, 0x5A];
+        let want = g.evaluate(&inputs).unwrap();
+        let base = compile(&g).unwrap();
+        let lean = compile(&opt).unwrap();
+        let (out_base, stats_base) = base.execute(&inputs).unwrap();
+        let (out_lean, stats_lean) = lean.execute(&inputs).unwrap();
+        assert_eq!(out_base, want);
+        assert_eq!(out_lean, want);
+        assert!(
+            stats_lean.cycles <= stats_base.cycles,
+            "optimized {} vs baseline {}",
+            stats_lean.cycles,
+            stats_base.cycles
+        );
+        assert!(lean.program().len() <= base.program().len());
+    }
+}

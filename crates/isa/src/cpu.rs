@@ -1,0 +1,657 @@
+//! Cycle-accurate CR32 instruction-set simulator.
+//!
+//! The CPU is the software side of every Type I system in the paper
+//! (Figure 4): it executes an assembled [`Program`] against internal data
+//! memory, and routes accesses at or above [`MMIO_BASE`] to an attached
+//! `codesign-rtl` [`SystemBus`]. Each device access pays real bus cycles,
+//! and devices advance in lockstep with instruction execution, so
+//! interrupts arrive at cycle-accurate times — giving the co-simulation
+//! engines the register-read/write and interrupt abstraction levels of
+//! the paper's Figure 3 for free.
+//!
+//! Custom functional units ([`CustomUnit`]) can be attached to the eight
+//! `custom` opcode slots, which is how the ASIP flow (Section 4.3) moves
+//! work across the HW/SW boundary without changing the program structure.
+
+use std::collections::BTreeMap;
+
+use codesign_rtl::bus::SystemBus;
+
+use crate::asm::Program;
+use crate::error::IsaError;
+use crate::instr::{AluOp, Instr, Reg, UnaryOp, NUM_REGS};
+
+/// Data addresses at or above this value are routed to the system bus.
+pub const MMIO_BASE: u64 = 0x8000_0000;
+
+/// A hardware functional unit attached to a `custom` opcode slot.
+pub trait CustomUnit: std::fmt::Debug {
+    /// Unit name (for reports).
+    fn name(&self) -> &str;
+    /// Invocation latency in cycles (replaces the instruction's base
+    /// cost).
+    fn latency(&self) -> u64;
+    /// Area in LUTs, the implementation cost of the extension.
+    fn area_luts(&self) -> u32;
+    /// Combinational function of the unit over the two register operands
+    /// and the instruction's immediate field.
+    fn eval(&self, a: i64, b: i64, imm: i64) -> i64;
+}
+
+/// Cumulative execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Total cycles, including bus transaction cycles.
+    pub cycles: u64,
+    /// Cycles spent in bus transactions (communication overhead).
+    pub bus_cycles: u64,
+    /// Interrupts taken.
+    pub irqs_taken: u64,
+    /// `custom` instructions retired.
+    pub custom_invocations: u64,
+}
+
+/// The CR32 processor model.
+#[derive(Debug)]
+pub struct Cpu {
+    regs: [i64; NUM_REGS],
+    pc: usize,
+    program: Program,
+    mem: Vec<u8>,
+    bus: Option<SystemBus>,
+    custom: BTreeMap<u8, Box<dyn CustomUnit>>,
+    interrupts_enabled: bool,
+    in_interrupt: bool,
+    epc: usize,
+    halted: bool,
+    stats: CpuStats,
+}
+
+impl Cpu {
+    /// Creates a CPU with `mem_bytes` of zeroed internal data memory and
+    /// no program.
+    #[must_use]
+    pub fn new(mem_bytes: usize) -> Self {
+        Cpu {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            program: Program::from_instrs(Vec::new()),
+            mem: vec![0; mem_bytes],
+            bus: None,
+            custom: BTreeMap::new(),
+            interrupts_enabled: false,
+            in_interrupt: false,
+            epc: 0,
+            halted: true,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// Attaches the system bus carrying the memory-mapped devices.
+    pub fn attach_bus(&mut self, bus: SystemBus) {
+        self.bus = Some(bus);
+    }
+
+    /// The attached bus, if any.
+    #[must_use]
+    pub fn bus(&self) -> Option<&SystemBus> {
+        self.bus.as_ref()
+    }
+
+    /// Mutable access to the attached bus (e.g. to inspect devices).
+    #[must_use]
+    pub fn bus_mut(&mut self) -> Option<&mut SystemBus> {
+        self.bus.as_mut()
+    }
+
+    /// Attaches a custom functional unit to `custom<slot>` instructions.
+    pub fn attach_custom_unit(&mut self, slot: u8, unit: Box<dyn CustomUnit>) {
+        self.custom.insert(slot, unit);
+    }
+
+    /// Loads a program and resets the processor state (registers, pc,
+    /// statistics; memory contents are preserved).
+    pub fn load_program(&mut self, program: &Program) {
+        self.program = program.clone();
+        self.reset();
+    }
+
+    /// Resets registers, pc, and statistics; memory is preserved.
+    pub fn reset(&mut self) {
+        self.regs = [0; NUM_REGS];
+        self.pc = self.program.entry;
+        self.interrupts_enabled = false;
+        self.in_interrupt = false;
+        self.epc = 0;
+        self.halted = self.program.is_empty();
+        self.stats = CpuStats::default();
+    }
+
+    /// Whether the CPU has executed `halt` (or has no program).
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Execution statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// Current value of a register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Sets a register (test benches and harnesses; `r0` stays zero).
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Reads a 64-bit word from internal data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemFault`] / [`IsaError::Misaligned`] for bad
+    /// addresses.
+    pub fn load_word(&self, addr: u64) -> Result<i64, IsaError> {
+        self.check(addr, 8)?;
+        let i = addr as usize;
+        let bytes: [u8; 8] = self.mem[i..i + 8].try_into().expect("checked");
+        Ok(i64::from_le_bytes(bytes))
+    }
+
+    /// Writes a 64-bit word to internal data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemFault`] / [`IsaError::Misaligned`] for bad
+    /// addresses.
+    pub fn store_word(&mut self, addr: u64, value: i64) -> Result<(), IsaError> {
+        self.check(addr, 8)?;
+        let i = addr as usize;
+        self.mem[i..i + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    fn check(&self, addr: u64, align: u64) -> Result<(), IsaError> {
+        if !addr.is_multiple_of(align) {
+            return Err(IsaError::Misaligned { addr, align });
+        }
+        if addr + align > self.mem.len() as u64 {
+            return Err(IsaError::MemFault { addr });
+        }
+        Ok(())
+    }
+
+    fn write_reg(&mut self, r: Reg, value: i64) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Executes one instruction, advancing devices by its cycle cost.
+    /// Returns `true` while the CPU is still running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory, bus, decode, and divide faults; see
+    /// [`IsaError`].
+    pub fn step(&mut self) -> Result<bool, IsaError> {
+        if self.halted {
+            return Ok(false);
+        }
+        let Some(&instr) = self.program.instrs.get(self.pc) else {
+            return Err(IsaError::PcFault { pc: self.pc });
+        };
+        let pc_at_fetch = self.pc;
+        let mut cycles = instr.base_cycles();
+        let mut next_pc = self.pc + 1;
+
+        match instr {
+            Instr::Alu(op, rd, rs1, rs2) => {
+                let (a, b) = (self.regs[rs1.index()], self.regs[rs2.index()]);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Div => {
+                        if b == 0 {
+                            return Err(IsaError::DivideByZero { pc: pc_at_fetch });
+                        }
+                        a.wrapping_div(b)
+                    }
+                    AluOp::Rem => {
+                        if b == 0 {
+                            return Err(IsaError::DivideByZero { pc: pc_at_fetch });
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Sll => a.wrapping_shl((b & 0x3f) as u32),
+                    AluOp::Sra => a.wrapping_shr((b & 0x3f) as u32),
+                    AluOp::Slt => i64::from(a < b),
+                    AluOp::Sle => i64::from(a <= b),
+                    AluOp::Seq => i64::from(a == b),
+                    AluOp::Sne => i64::from(a != b),
+                    AluOp::Min => a.min(b),
+                    AluOp::Max => a.max(b),
+                };
+                self.write_reg(rd, v);
+            }
+            Instr::Unary(op, rd, rs1) => {
+                let a = self.regs[rs1.index()];
+                let v = match op {
+                    UnaryOp::Neg => a.wrapping_neg(),
+                    UnaryOp::Not => !a,
+                    UnaryOp::Abs => a.wrapping_abs(),
+                };
+                self.write_reg(rd, v);
+            }
+            Instr::Cmovnz(rd, rc, rs) => {
+                if self.regs[rc.index()] != 0 {
+                    let v = self.regs[rs.index()];
+                    self.write_reg(rd, v);
+                }
+            }
+            Instr::Addi(rd, rs1, imm) => {
+                let v = self.regs[rs1.index()].wrapping_add(i64::from(imm));
+                self.write_reg(rd, v);
+            }
+            Instr::Li(rd, imm) => self.write_reg(rd, imm),
+            Instr::Ld(rd, rs1, imm) => {
+                let addr = self.effective(rs1, imm);
+                if addr >= MMIO_BASE {
+                    return Err(IsaError::MemFault { addr });
+                }
+                let v = self.load_word(addr)?;
+                self.write_reg(rd, v);
+            }
+            Instr::Sd(rs2, rs1, imm) => {
+                let addr = self.effective(rs1, imm);
+                if addr >= MMIO_BASE {
+                    return Err(IsaError::MemFault { addr });
+                }
+                let v = self.regs[rs2.index()];
+                self.store_word(addr, v)?;
+            }
+            Instr::Lw(rd, rs1, imm) => {
+                let addr = self.effective(rs1, imm);
+                let v = if addr >= MMIO_BASE {
+                    let bus = self.bus.as_mut().ok_or(IsaError::MemFault { addr })?;
+                    let (value, bus_cycles) = bus.read((addr - MMIO_BASE) as u32)?;
+                    cycles += bus_cycles;
+                    self.stats.bus_cycles += bus_cycles;
+                    i64::from(value as i32)
+                } else {
+                    self.check(addr, 4)?;
+                    let i = addr as usize;
+                    let bytes: [u8; 4] = self.mem[i..i + 4].try_into().expect("checked");
+                    i64::from(i32::from_le_bytes(bytes))
+                };
+                self.write_reg(rd, v);
+            }
+            Instr::Sw(rs2, rs1, imm) => {
+                let addr = self.effective(rs1, imm);
+                let v = self.regs[rs2.index()] as u32;
+                if addr >= MMIO_BASE {
+                    let bus = self.bus.as_mut().ok_or(IsaError::MemFault { addr })?;
+                    let bus_cycles = bus.write((addr - MMIO_BASE) as u32, v)?;
+                    cycles += bus_cycles;
+                    self.stats.bus_cycles += bus_cycles;
+                } else {
+                    self.check(addr, 4)?;
+                    let i = addr as usize;
+                    self.mem[i..i + 4].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            Instr::Branch(cond, rs1, rs2, off) => {
+                if cond.taken(self.regs[rs1.index()], self.regs[rs2.index()]) {
+                    next_pc = (self.pc as i64 + 1 + i64::from(off)) as usize;
+                }
+            }
+            Instr::Jal(rd, target) => {
+                self.write_reg(rd, (self.pc + 1) as i64);
+                next_pc = target as usize;
+            }
+            Instr::Jalr(rd, rs1) => {
+                let t = self.regs[rs1.index()];
+                self.write_reg(rd, (self.pc + 1) as i64);
+                next_pc = t as usize;
+            }
+            Instr::Custom(slot, rd, rs1, rs2, imm) => {
+                let unit = self
+                    .custom
+                    .get(&slot)
+                    .ok_or(IsaError::UnknownCustomUnit { unit: slot })?;
+                let v = unit.eval(self.regs[rs1.index()], self.regs[rs2.index()], imm);
+                cycles = unit.latency().max(1);
+                self.stats.custom_invocations += 1;
+                self.write_reg(rd, v);
+            }
+            Instr::Ei => self.interrupts_enabled = true,
+            Instr::Di => self.interrupts_enabled = false,
+            Instr::Rti => {
+                next_pc = self.epc;
+                self.interrupts_enabled = true;
+                self.in_interrupt = false;
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+
+        self.pc = next_pc;
+        self.stats.instructions += 1;
+        self.stats.cycles += cycles;
+        if let Some(bus) = self.bus.as_mut() {
+            bus.tick(cycles);
+            // Interrupt sampling happens between instructions.
+            if !self.halted && self.interrupts_enabled && !self.in_interrupt && bus.irq_pending() {
+                let Some(ivec) = self.program.ivec else {
+                    return Err(IsaError::NoInterruptVector);
+                };
+                self.epc = self.pc;
+                self.pc = ivec;
+                self.interrupts_enabled = false;
+                self.in_interrupt = true;
+                self.stats.irqs_taken += 1;
+                self.stats.cycles += 4; // interrupt entry overhead
+            }
+        }
+        Ok(!self.halted)
+    }
+
+    fn effective(&self, base: Reg, imm: i16) -> u64 {
+        (self.regs[base.index()].wrapping_add(i64::from(imm))) as u64
+    }
+
+    /// Runs until `halt` or the cycle budget expires; returns the final
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Timeout`] when the budget expires, or any fault
+    /// from [`Cpu::step`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<CpuStats, IsaError> {
+        while !self.halted {
+            if self.stats.cycles >= max_cycles {
+                return Err(IsaError::Timeout {
+                    cycles: self.stats.cycles,
+                });
+            }
+            self.step()?;
+        }
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use codesign_rtl::bus::{timer_regs, uart_regs, BusTiming, SystemBus, Timer, Uart};
+
+    fn run_src(src: &str) -> Cpu {
+        let p = assemble(src).unwrap();
+        let mut cpu = Cpu::new(4096);
+        cpu.load_program(&p);
+        cpu.run(1_000_000).unwrap();
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        // sum 1..=10 into r2
+        let cpu = run_src(
+            "li r1, 10\n\
+             li r2, 0\n\
+             loop: add r2, r2, r1\n\
+             addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(Reg::new(2)), 55);
+    }
+
+    #[test]
+    fn memory_roundtrip_via_instructions() {
+        let cpu = run_src(
+            "li r1, 123456789\n\
+             sd r1, r0, 16\n\
+             ld r2, r0, 16\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(Reg::new(2)), 123_456_789);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let cpu = run_src("li r0, 99\nadd r1, r0, r0\nhalt\n");
+        assert_eq!(cpu.reg(Reg::ZERO), 0);
+        assert_eq!(cpu.reg(Reg::new(1)), 0);
+    }
+
+    #[test]
+    fn cmovnz_selects() {
+        let cpu = run_src(
+            "li r1, 1\nli r2, 10\nli r3, 20\n\
+             add r4, r3, r0\n\
+             cmovnz r4, r1, r2\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(Reg::new(4)), 10);
+        let cpu = run_src(
+            "li r1, 0\nli r2, 10\nli r3, 20\n\
+             add r4, r3, r0\n\
+             cmovnz r4, r1, r2\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(Reg::new(4)), 20);
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let p = assemble("li r1, 5\ndiv r2, r1, r0\nhalt\n").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        assert!(matches!(cpu.run(1000), Err(IsaError::DivideByZero { .. })));
+    }
+
+    #[test]
+    fn subroutine_call_and_return() {
+        let cpu = run_src(
+            "jal r15, sub\n\
+             halt\n\
+             sub: li r1, 77\n\
+             jalr r0, r15\n",
+        );
+        assert_eq!(cpu.reg(Reg::new(1)), 77);
+        assert!(cpu.halted());
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let p = assemble("loop: jal r0, loop\n").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        assert!(matches!(cpu.run(100), Err(IsaError::Timeout { .. })));
+    }
+
+    #[test]
+    fn pc_fault_off_end() {
+        let p = assemble("nop\n").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        cpu.step().unwrap();
+        assert!(matches!(cpu.step(), Err(IsaError::PcFault { pc: 1 })));
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let p = assemble("li r1, 3\nld r2, r1, 0\nhalt\n").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        assert!(matches!(
+            cpu.run(1000),
+            Err(IsaError::Misaligned { addr: 3, align: 8 })
+        ));
+    }
+
+    #[test]
+    fn mmio_write_reaches_uart_and_costs_bus_cycles() {
+        let mut bus = SystemBus::new(BusTiming::default());
+        bus.map(0x100, 0x10, Box::new(Uart::new())).unwrap();
+        let p = assemble(&format!(
+            "li r1, {}\n\
+             li r2, 72\n\
+             sw r2, r1, {}\n\
+             halt\n",
+            MMIO_BASE + 0x100,
+            uart_regs::TX,
+        ))
+        .unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.attach_bus(bus);
+        cpu.load_program(&p);
+        cpu.run(10_000).unwrap();
+        assert!(cpu.stats().bus_cycles > 0);
+        let map_stats = cpu.bus().unwrap().stats();
+        assert_eq!(map_stats.writes, 1);
+    }
+
+    #[test]
+    fn mmio_without_bus_faults() {
+        let p = assemble(&format!("li r1, {MMIO_BASE}\nlw r2, r1, 0\nhalt\n")).unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        assert!(matches!(cpu.run(1000), Err(IsaError::MemFault { .. })));
+    }
+
+    #[test]
+    fn sd_to_mmio_region_faults() {
+        let p = assemble(&format!("li r1, {MMIO_BASE}\nsd r1, r1, 0\nhalt\n")).unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        assert!(matches!(cpu.run(1000), Err(IsaError::MemFault { .. })));
+    }
+
+    #[test]
+    fn timer_interrupt_runs_handler() {
+        let mut bus = SystemBus::new(BusTiming::default());
+        bus.map(0x0, 0x10, Box::new(Timer::new())).unwrap();
+        // Program: start timer (load 20, enable+irq), spin; handler
+        // stores a flag, acks, and returns; main loop sees flag and halts.
+        let src = format!(
+            ".vector isr\n\
+             li r1, {base}\n\
+             li r2, 20\n\
+             sw r2, r1, {load}\n\
+             li r2, 3\n\
+             sw r2, r1, {ctrl}\n\
+             ei\n\
+             spin: ld r3, r0, 8\n\
+             beq r3, r0, spin\n\
+             halt\n\
+             isr: li r4, 1\n\
+             sd r4, r0, 8\n\
+             li r5, {base}\n\
+             sw r5, r5, {ack}\n\
+             rti\n",
+            base = MMIO_BASE,
+            load = timer_regs::LOAD,
+            ctrl = timer_regs::CTRL,
+            ack = timer_regs::ACK,
+        );
+        let p = assemble(&src).unwrap();
+        let mut cpu = Cpu::new(256);
+        cpu.attach_bus(bus);
+        cpu.load_program(&p);
+        let stats = cpu.run(100_000).unwrap();
+        assert_eq!(stats.irqs_taken, 1);
+        assert_eq!(cpu.load_word(8).unwrap(), 1);
+    }
+
+    #[test]
+    fn interrupt_without_vector_is_an_error() {
+        let mut bus = SystemBus::new(BusTiming::default());
+        let mut uart = Uart::new();
+        uart.inject_rx(1);
+        bus.map(0x0, 0x10, Box::new(uart)).unwrap();
+        let src = format!(
+            "li r1, {base}\n\
+             li r2, 1\n\
+             sw r2, r1, {en}\n\
+             ei\n\
+             nop\n\
+             halt\n",
+            base = MMIO_BASE,
+            en = uart_regs::IRQ_ENABLE,
+        );
+        let p = assemble(&src).unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.attach_bus(bus);
+        cpu.load_program(&p);
+        assert!(matches!(cpu.run(1000), Err(IsaError::NoInterruptVector)));
+    }
+
+    #[derive(Debug)]
+    struct MacUnit;
+
+    impl CustomUnit for MacUnit {
+        fn name(&self) -> &str {
+            "mac"
+        }
+        fn latency(&self) -> u64 {
+            2
+        }
+        fn area_luts(&self) -> u32 {
+            150
+        }
+        fn eval(&self, a: i64, b: i64, imm: i64) -> i64 {
+            a.wrapping_mul(b).wrapping_add(imm)
+        }
+    }
+
+    #[test]
+    fn custom_unit_executes_with_its_latency() {
+        let p = assemble("li r1, 6\nli r2, 7\ncustom0 r3, r1, r2, 1\nhalt\n").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.attach_custom_unit(0, Box::new(MacUnit));
+        cpu.load_program(&p);
+        let stats = cpu.run(1000).unwrap();
+        assert_eq!(cpu.reg(Reg::new(3)), 43);
+        assert_eq!(stats.custom_invocations, 1);
+    }
+
+    #[test]
+    fn unattached_custom_unit_faults() {
+        let p = assemble("custom5 r1, r2, r3, 0\nhalt\n").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        assert!(matches!(
+            cpu.run(1000),
+            Err(IsaError::UnknownCustomUnit { unit: 5 })
+        ));
+    }
+
+    #[test]
+    fn cycle_accounting_matches_model() {
+        let p = assemble("li r1, 2\nmul r2, r1, r1\nhalt\n").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&p);
+        let stats = cpu.run(1000).unwrap();
+        // li = 2, mul = 3, halt = 1
+        assert_eq!(stats.cycles, 6);
+        assert_eq!(stats.instructions, 3);
+    }
+}

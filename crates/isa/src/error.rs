@@ -1,0 +1,136 @@
+//! Error types for assembly, encoding, and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use codesign_rtl::RtlError;
+
+/// Errors produced by the CR32 toolchain and simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// An assembly source line failed to parse.
+    ParseAsm {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A label was referenced but never defined.
+    UnknownLabel {
+        /// The missing label.
+        name: String,
+    },
+    /// A branch target is too far for the instruction's offset field.
+    BranchRange {
+        /// 1-based source line of the branch.
+        line: usize,
+    },
+    /// A binary word does not decode to any instruction.
+    DecodeInstr {
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A data access touched an address outside memory and MMIO.
+    MemFault {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// A misaligned memory access.
+    Misaligned {
+        /// The faulting address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: u64,
+    },
+    /// The program counter left the program.
+    PcFault {
+        /// The faulting instruction index.
+        pc: usize,
+    },
+    /// Division by zero executed in software (the CR32 traps, unlike the
+    /// hardware datapath).
+    DivideByZero {
+        /// Instruction index of the divide.
+        pc: usize,
+    },
+    /// A `custom` instruction named a unit that is not attached.
+    UnknownCustomUnit {
+        /// The unit index.
+        unit: u8,
+    },
+    /// The cycle budget expired before `halt`.
+    Timeout {
+        /// Cycles executed.
+        cycles: u64,
+    },
+    /// An interrupt arrived but no vector is installed.
+    NoInterruptVector,
+    /// A bus error from the RTL substrate.
+    Bus(RtlError),
+    /// Code generation could not compile a CDFG.
+    Codegen {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::ParseAsm { line, reason } => {
+                write!(f, "assembly error at line {line}: {reason}")
+            }
+            IsaError::UnknownLabel { name } => write!(f, "unknown label `{name}`"),
+            IsaError::BranchRange { line } => {
+                write!(f, "branch at line {line} exceeds offset range")
+            }
+            IsaError::DecodeInstr { word } => write!(f, "cannot decode word {word:#010x}"),
+            IsaError::MemFault { addr } => write!(f, "memory fault at {addr:#x}"),
+            IsaError::Misaligned { addr, align } => {
+                write!(f, "misaligned {align}-byte access at {addr:#x}")
+            }
+            IsaError::PcFault { pc } => write!(f, "program counter fault at index {pc}"),
+            IsaError::DivideByZero { pc } => write!(f, "divide by zero at index {pc}"),
+            IsaError::UnknownCustomUnit { unit } => write!(f, "unknown custom unit {unit}"),
+            IsaError::Timeout { cycles } => write!(f, "no halt within {cycles} cycles"),
+            IsaError::NoInterruptVector => write!(f, "interrupt taken with no vector installed"),
+            IsaError::Bus(e) => write!(f, "bus: {e}"),
+            IsaError::Codegen { reason } => write!(f, "codegen: {reason}"),
+        }
+    }
+}
+
+impl Error for IsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsaError::Bus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<RtlError> for IsaError {
+    fn from(e: RtlError) -> Self {
+        IsaError::Bus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_errors_wrap_with_source() {
+        let e = IsaError::from(RtlError::BusFault { addr: 4 });
+        assert!(e.to_string().contains("bus fault"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

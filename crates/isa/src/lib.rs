@@ -1,0 +1,65 @@
+//! # codesign-isa
+//!
+//! The software execution substrate for the mixed hardware/software
+//! co-design framework (Adams & Thomas, DAC 1996): **CR32**, a small
+//! load/store instruction-set architecture with a 64-bit datapath, built
+//! from scratch because the experiments need *relative* timing, bus
+//! activity, and a customizable instruction set rather than binary
+//! compatibility with any commercial core.
+//!
+//! The crate provides the pieces the paper's Type I systems assume exist
+//! (Figures 4, 6, 7):
+//!
+//! * [`instr`] — the instruction set, with a binary encoding and decoder
+//!   (round-trip tested).
+//! * [`asm`] — a two-pass assembler with labels, and a disassembler.
+//! * [`cpu`] — a cycle-accurate instruction-set simulator. Data memory is
+//!   internal; addresses at and above [`cpu::MMIO_BASE`] are routed to a
+//!   `codesign-rtl` [`codesign_rtl::bus::SystemBus`], so every device
+//!   access pays real bus cycles and devices can raise interrupts — the
+//!   register-read/write and interrupt abstraction levels of the paper's
+//!   Figure 3.
+//! * [`codegen`] — a compiler from `codesign-ir` CDFG kernels to CR32
+//!   assembly with a greedy register allocator; compiled kernels are
+//!   verified against the CDFG interpreter.
+//! * [`asip`] — application-specific instruction-set extension: fused
+//!   custom instructions mined from CDFG subgraphs, with area and latency
+//!   models, reproducing the Section 4.3 flow (after PEAS-I) where the
+//!   HW/SW boundary moves "by adding new instructions to the instruction
+//!   set architecture".
+//! * [`proclib`] — a parametric processor library (speed/cost points) for
+//!   heterogeneous multiprocessor co-synthesis (Section 4.2, after SOS).
+//!
+//! ## Example
+//!
+//! ```
+//! use codesign_isa::asm::assemble;
+//! use codesign_isa::cpu::Cpu;
+//!
+//! # fn main() -> Result<(), codesign_isa::IsaError> {
+//! let program = assemble(
+//!     "li   r1, 40\n\
+//!      addi r1, r1, 2\n\
+//!      sd   r1, r0, 0\n\
+//!      halt\n",
+//! )?;
+//! let mut cpu = Cpu::new(4096);
+//! cpu.load_program(&program);
+//! cpu.run(1_000)?;
+//! assert_eq!(cpu.load_word(0)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asip;
+pub mod asm;
+pub mod codegen;
+pub mod cpu;
+pub mod error;
+pub mod instr;
+pub mod proclib;
+
+pub use error::IsaError;

@@ -1,0 +1,193 @@
+//! Property-based tests for the CR32 toolchain.
+//!
+//! The central property is cross-implementation agreement: for random
+//! executable CDFGs, the interpreter, the compiled CR32 program, and the
+//! ASIP-extended program must compute identical outputs — the functional
+//! verification role the paper assigns to co-simulation, applied
+//! exhaustively.
+
+use codesign_ir::cdfg::{Cdfg, OpKind};
+use codesign_isa::asip::AsipExtension;
+use codesign_isa::asm::{assemble, disassemble};
+use codesign_isa::codegen::compile;
+use codesign_isa::instr::{decode_program, encode_program, AluOp, BranchCond, Instr, Reg, UnaryOp};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let alu = (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), arb_reg())
+        .prop_map(|(i, a, b, c)| Instr::Alu(AluOp::ALL[i], a, b, c));
+    let unary = (0usize..UnaryOp::ALL.len(), arb_reg(), arb_reg())
+        .prop_map(|(i, a, b)| Instr::Unary(UnaryOp::ALL[i], a, b));
+    let branch = (
+        0usize..BranchCond::ALL.len(),
+        arb_reg(),
+        arb_reg(),
+        any::<i16>(),
+    )
+        .prop_map(|(i, a, b, off)| Instr::Branch(BranchCond::ALL[i], a, b, off));
+    prop_oneof![
+        alu,
+        unary,
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Cmovnz(a, b, c)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, i)| Instr::Addi(a, b, i)),
+        (arb_reg(), any::<i64>()).prop_map(|(a, i)| Instr::Li(a, i)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, i)| Instr::Ld(a, b, i)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, i)| Instr::Sd(a, b, i)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, i)| Instr::Lw(a, b, i)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, i)| Instr::Sw(a, b, i)),
+        branch,
+        (arb_reg(), 0u32..(1 << 20)).prop_map(|(a, t)| Instr::Jal(a, t)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Jalr(a, b)),
+        (any::<u8>(), arb_reg(), arb_reg(), arb_reg(), any::<i64>())
+            .prop_map(|(u, a, b, c, imm)| Instr::Custom(u, a, b, c, imm)),
+        Just(Instr::Ei),
+        Just(Instr::Di),
+        Just(Instr::Rti),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Binary encoding round-trips every instruction.
+    #[test]
+    fn encode_decode_roundtrip(instrs in prop::collection::vec(arb_instr(), 0..60)) {
+        let image = encode_program(&instrs);
+        let back = decode_program(&image).expect("decodes");
+        prop_assert_eq!(instrs, back);
+    }
+
+    /// Disassembly re-assembles to the identical program.
+    #[test]
+    fn disassemble_assemble_roundtrip(instrs in prop::collection::vec(arb_instr(), 0..40)) {
+        // Branches/jumps must land inside the program for the
+        // disassembler's labels to resolve; clamp targets.
+        let n = instrs.len().max(1);
+        let fixed: Vec<Instr> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, ins)| match ins {
+                Instr::Branch(c, a, b, off) => {
+                    let t = (i as i64 + 1 + i64::from(off)).rem_euclid(n as i64);
+                    Instr::Branch(c, a, b, (t - i as i64 - 1) as i16)
+                }
+                Instr::Jal(r, t) => Instr::Jal(r, t % n as u32),
+                other => other,
+            })
+            .collect();
+        let text = disassemble(&fixed);
+        let back = assemble(&text).expect("reassembles");
+        prop_assert_eq!(fixed, back.instrs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Robustness: the ISS never panics on arbitrary (even wild)
+    /// programs — every outcome is a clean halt or a typed fault.
+    #[test]
+    fn cpu_never_panics_on_arbitrary_programs(
+        instrs in prop::collection::vec(arb_instr(), 0..50),
+    ) {
+        use codesign_isa::asm::Program;
+        use codesign_isa::cpu::Cpu;
+        let mut program = instrs;
+        program.push(Instr::Halt);
+        let program = Program::from_instrs(program);
+        let mut cpu = Cpu::new(4096);
+        cpu.load_program(&program);
+        // Unattached custom units, wild branches, misaligned or MMIO
+        // accesses without a bus: all must surface as IsaError values.
+        let _ = cpu.run(5_000);
+    }
+}
+
+/// Random executable CDFG (no divides, so evaluation is total).
+fn arb_cdfg() -> impl Strategy<Value = Cdfg> {
+    let ops = prop::collection::vec((0u8..12, any::<u64>(), any::<u64>(), -100i64..100), 1..36);
+    (1usize..6, ops).prop_map(|(inputs, script)| {
+        let mut g = Cdfg::new("prop");
+        let mut vals = Vec::new();
+        for _ in 0..inputs {
+            vals.push(g.input());
+        }
+        for (which, a, b, c) in script {
+            let pick = |s: u64| vals[(s % vals.len() as u64) as usize];
+            let (x, y) = (pick(a), pick(b));
+            let id = match which {
+                0 => g.op(OpKind::Add, &[x, y]),
+                1 => g.op(OpKind::Sub, &[x, y]),
+                2 => g.op(OpKind::Mul, &[x, y]),
+                3 => g.op(OpKind::And, &[x, y]),
+                4 => g.op(OpKind::Or, &[x, y]),
+                5 => g.op(OpKind::Xor, &[x, y]),
+                6 => g.op(OpKind::Shl, &[x, y]),
+                7 => g.op(OpKind::Shr, &[x, y]),
+                8 => g.op(OpKind::Min, &[x, y]),
+                9 => g.op(OpKind::Select, &[pick(a.rotate_left(7)), x, y]),
+                10 => g.op(OpKind::Abs, &[x]),
+                _ => Ok(g.constant(c)),
+            }
+            .expect("structurally valid");
+            vals.push(id);
+        }
+        // Up to three outputs from the tail of the value list.
+        for k in 0..vals.len().min(3) {
+            g.output(vals[vals.len() - 1 - k]).expect("valid output");
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled software computes exactly what the CDFG interpreter does.
+    #[test]
+    fn compiled_code_matches_interpreter(g in arb_cdfg(), seed in any::<i64>()) {
+        let inputs: Vec<i64> = (0..g.input_count())
+            .map(|i| seed.wrapping_mul(2654435761).wrapping_add(i as i64 * 97))
+            .collect();
+        let want = g.evaluate(&inputs).expect("total");
+        let compiled = compile(&g).expect("compiles");
+        let (got, _) = compiled.execute(&inputs).expect("runs");
+        prop_assert_eq!(got, want);
+    }
+
+    /// The ASIP-extended program agrees with the baseline and the
+    /// interpreter, for any mined extension within any budget.
+    #[test]
+    fn asip_extension_preserves_semantics(
+        g in arb_cdfg(),
+        seed in any::<i64>(),
+        budget in 0u32..6_000,
+    ) {
+        let inputs: Vec<i64> = (0..g.input_count())
+            .map(|i| seed.wrapping_add(i as i64 * 1313))
+            .collect();
+        let want = g.evaluate(&inputs).expect("total");
+        let ext = AsipExtension::select(&[&g], budget);
+        let fused = ext.compile(&g).expect("compiles");
+        let mut cpu = ext.make_cpu(codesign_isa::codegen::MEM_BYTES);
+        let (got, _) = fused.execute_on(&mut cpu, &inputs).expect("runs");
+        prop_assert_eq!(got, want);
+    }
+
+    /// Fusion never makes the program slower.
+    #[test]
+    fn asip_extension_never_slows_down(g in arb_cdfg(), budget in 0u32..6_000) {
+        let inputs: Vec<i64> = (0..g.input_count()).map(|i| i as i64).collect();
+        let baseline = compile(&g).expect("compiles");
+        let (_, base) = baseline.execute(&inputs).expect("runs");
+        let ext = AsipExtension::select(&[&g], budget);
+        let fused = ext.compile(&g).expect("compiles");
+        let mut cpu = ext.make_cpu(codesign_isa::codegen::MEM_BYTES);
+        let (_, with) = fused.execute_on(&mut cpu, &inputs).expect("runs");
+        prop_assert!(with.cycles <= base.cycles, "{} > {}", with.cycles, base.cycles);
+    }
+}

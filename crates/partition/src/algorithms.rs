@@ -1,0 +1,414 @@
+//! Partitioning algorithms.
+//!
+//! Five search strategies over the same evaluated objective, matching the
+//! styles of the flows the paper surveys (Sections 4.5, 4.5.1). All are
+//! deterministic (simulated annealing takes an explicit seed) and return
+//! the best partition found together with its evaluation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use codesign_ir::task::{TaskGraph, TaskId};
+
+use crate::error::PartitionError;
+use crate::eval::{evaluate, EvalConfig, Evaluation};
+use crate::{Partition, Side};
+
+/// Result alias for the algorithms.
+pub type PartitionResult = Result<(Partition, Evaluation), PartitionError>;
+
+/// COSYMA-style software-first partitioning \[17\]: start all-software and
+/// greedily move the task whose move improves the objective most (the
+/// "performance-critical regions") into hardware until no move helps.
+pub fn sw_first(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    steepest_descent(graph, config, Partition::all_sw(graph.len()))
+}
+
+/// Vulcan-style hardware-first partitioning \[6\]: start all-hardware and
+/// greedily move work back to software, minimizing implementation cost
+/// while the objective keeps improving.
+pub fn hw_first(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    steepest_descent(graph, config, Partition::all_hw(graph.len()))
+}
+
+/// Steepest-descent single-move improvement from a starting partition.
+fn steepest_descent(
+    graph: &TaskGraph,
+    config: &EvalConfig<'_>,
+    start: Partition,
+) -> PartitionResult {
+    let mut current = start;
+    let mut current_eval = evaluate(graph, &current, config)?;
+    loop {
+        let mut best: Option<(TaskId, Evaluation)> = None;
+        for t in graph.ids() {
+            let mut candidate = current.clone();
+            candidate.flip(t);
+            let e = evaluate(graph, &candidate, config)?;
+            if e.cost < current_eval.cost && best.as_ref().is_none_or(|(_, b)| e.cost < b.cost) {
+                best = Some((t, e));
+            }
+        }
+        match best {
+            Some((t, e)) => {
+                current.flip(t);
+                current_eval = e;
+            }
+            None => return Ok((current, current_eval)),
+        }
+    }
+}
+
+/// Kernighan–Lin-style pass improvement: in each pass every task is
+/// flipped exactly once (the best flip at each step, improving or not,
+/// then locked); the pass is rolled back to its best prefix. Passes
+/// repeat until one yields no improvement. The hill-climbing prefix lets
+/// it escape local minima that defeat pure greedy descent.
+pub fn kernighan_lin(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    let n = graph.len();
+    let mut best = Partition::all_sw(n);
+    let mut best_eval = evaluate(graph, &best, config)?;
+    loop {
+        // One pass.
+        let mut working = best.clone();
+        let mut locked = vec![false; n];
+        let mut trace: Vec<(TaskId, Evaluation)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut step: Option<(TaskId, Evaluation)> = None;
+            for t in graph.ids().filter(|t| !locked[t.index()]) {
+                let mut candidate = working.clone();
+                candidate.flip(t);
+                let e = evaluate(graph, &candidate, config)?;
+                if step.as_ref().is_none_or(|(_, s)| e.cost < s.cost) {
+                    step = Some((t, e));
+                }
+            }
+            let (t, e) = step.expect("unlocked tasks remain");
+            locked[t.index()] = true;
+            working.flip(t);
+            trace.push((t, e));
+        }
+        // Roll back to the best prefix of the pass.
+        let best_prefix = trace
+            .iter()
+            .enumerate()
+            .min_by(|(_, (_, a)), (_, (_, b))| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .map(|(i, _)| i);
+        let Some(i) = best_prefix else {
+            return Ok((best, best_eval));
+        };
+        let (_, prefix_eval) = &trace[i];
+        if prefix_eval.cost + 1e-12 < best_eval.cost {
+            let mut improved = best.clone();
+            for (t, _) in &trace[..=i] {
+                improved.flip(*t);
+            }
+            best = improved;
+            best_eval = prefix_eval.clone();
+        } else {
+            return Ok((best, best_eval));
+        }
+    }
+}
+
+/// Parameters for [`simulated_annealing`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingSchedule {
+    /// Starting temperature (in objective units).
+    pub t_start: f64,
+    /// Multiplicative cooling factor per epoch.
+    pub cooling: f64,
+    /// Flips attempted per epoch.
+    pub moves_per_epoch: usize,
+    /// Epochs.
+    pub epochs: usize,
+}
+
+impl Default for AnnealingSchedule {
+    fn default() -> Self {
+        AnnealingSchedule {
+            t_start: 1.0,
+            cooling: 0.85,
+            moves_per_epoch: 64,
+            epochs: 40,
+        }
+    }
+}
+
+/// Seeded simulated annealing over single-task flips.
+pub fn simulated_annealing(
+    graph: &TaskGraph,
+    config: &EvalConfig<'_>,
+    schedule: &AnnealingSchedule,
+    seed: u64,
+) -> PartitionResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.len();
+    let mut current = Partition::all_sw(n);
+    let mut current_eval = evaluate(graph, &current, config)?;
+    let mut best = current.clone();
+    let mut best_eval = current_eval.clone();
+    let mut temperature = schedule.t_start;
+    for _ in 0..schedule.epochs {
+        for _ in 0..schedule.moves_per_epoch {
+            let t = TaskId::from_index(rng.gen_range(0..n));
+            let mut candidate = current.clone();
+            candidate.flip(t);
+            let e = evaluate(graph, &candidate, config)?;
+            let delta = e.cost - current_eval.cost;
+            let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
+            if accept {
+                current = candidate;
+                current_eval = e;
+                if current_eval.cost < best_eval.cost {
+                    best = current.clone();
+                    best_eval = current_eval.clone();
+                }
+            }
+        }
+        temperature *= schedule.cooling;
+    }
+    Ok((best, best_eval))
+}
+
+/// A global-criticality / local-phase heuristic in the style of Kalavade
+/// & Lee: tasks are mapped one at a time in priority order; when the
+/// projected schedule is time-critical the time objective drives the
+/// choice, otherwise the area objective does — except for *extremity*
+/// nodes whose local properties (strong parallelism or modifiability
+/// affinity) override the global phase.
+pub fn gclp(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    let n = graph.len();
+    let levels = graph.bottom_levels(|_, t| t.sw_cycles())?;
+    let mut order: Vec<TaskId> = graph.ids().collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(levels[t.index()]));
+
+    // The criticality reference: the deadline if given, otherwise the
+    // midpoint between the all-HW and all-SW makespans.
+    let all_sw = evaluate(graph, &Partition::all_sw(n), config)?;
+    let all_hw = evaluate(graph, &Partition::all_hw(n), config)?;
+    let reference = config
+        .objective
+        .deadline
+        .unwrap_or((all_sw.makespan + all_hw.makespan) / 2)
+        .max(1);
+
+    let mut partition = Partition::all_sw(n);
+    for t in order {
+        let projected = evaluate(graph, &partition, config)?;
+        let global_criticality = projected.makespan as f64 / reference as f64;
+        let task = graph.task(t);
+        // Local phase: extremity nodes override the global objective.
+        let side = if task.parallelism() > 0.85 {
+            Side::Hw
+        } else if task.modifiability() > 0.85 {
+            Side::Sw
+        } else if global_criticality > 1.0 {
+            // Time-critical phase: take the side with the shorter makespan.
+            let mut hw_try = partition.clone();
+            if hw_try.side(t) == Side::Sw {
+                hw_try.flip(t);
+            }
+            let hw_eval = evaluate(graph, &hw_try, config)?;
+            if hw_eval.makespan < projected.makespan {
+                Side::Hw
+            } else {
+                Side::Sw
+            }
+        } else {
+            // Area phase: software is free.
+            Side::Sw
+        };
+        if partition.side(t) != side {
+            partition.flip(t);
+        }
+    }
+    // Constructive mapping followed by local refinement, the usual GCLP
+    // deployment: the phase logic finds the neighborhood, descent
+    // polishes it.
+    steepest_descent(graph, config, partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::{HwAreaModel, NaiveArea};
+    use crate::cost::Objective;
+    use codesign_ir::task::Task;
+    use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
+
+    static NAIVE: NaiveArea = NaiveArea;
+
+    fn graph(seed: u64) -> TaskGraph {
+        random_task_graph(&TgffConfig {
+            tasks: 14,
+            seed,
+            ..TgffConfig::default()
+        })
+    }
+
+    fn deadline_for(g: &TaskGraph) -> u64 {
+        // Between the extremes: reachable, but not in pure software.
+        let cfg = EvalConfig::new(Objective::default(), &NAIVE);
+        let sw = evaluate(g, &Partition::all_sw(g.len()), &cfg).unwrap();
+        let hw = evaluate(g, &Partition::all_hw(g.len()), &cfg).unwrap();
+        hw.makespan + (sw.makespan - hw.makespan) / 4
+    }
+
+    #[test]
+    fn all_algorithms_beat_or_match_both_extremes() {
+        let g = graph(7);
+        let d = deadline_for(&g);
+        let cfg = EvalConfig::new(Objective::performance_driven(d), &NAIVE);
+        let sw = evaluate(&g, &Partition::all_sw(g.len()), &cfg).unwrap();
+        let hw = evaluate(&g, &Partition::all_hw(g.len()), &cfg).unwrap();
+        let baseline = sw.cost.min(hw.cost);
+        for (name, result) in [
+            ("sw_first", sw_first(&g, &cfg).unwrap()),
+            ("hw_first", hw_first(&g, &cfg).unwrap()),
+            ("kl", kernighan_lin(&g, &cfg).unwrap()),
+            (
+                "sa",
+                simulated_annealing(&g, &cfg, &AnnealingSchedule::default(), 42).unwrap(),
+            ),
+            ("gclp", gclp(&g, &cfg).unwrap()),
+        ] {
+            let (p, e) = result;
+            assert_eq!(p.len(), g.len(), "{name}");
+            assert!(
+                e.cost <= baseline + 1e-9,
+                "{name}: {} vs baseline {baseline}",
+                e.cost
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_is_met_when_feasible() {
+        for seed in [1, 2, 3] {
+            let g = graph(seed);
+            let d = deadline_for(&g);
+            let cfg = EvalConfig::new(Objective::performance_driven(d), &NAIVE);
+            let (_, e) = sw_first(&g, &cfg).unwrap();
+            assert!(e.meets_deadline, "seed {seed}: {} > {d}", e.makespan);
+            let (_, e) = kernighan_lin(&g, &cfg).unwrap();
+            assert!(e.meets_deadline, "kl seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hw_first_under_cost_objective_uses_less_area_than_all_hw() {
+        let g = graph(11);
+        let d = deadline_for(&g);
+        let cfg = EvalConfig::new(Objective::cost_driven(d), &NAIVE);
+        let (p, e) = hw_first(&g, &cfg).unwrap();
+        let all_hw_area = NaiveArea.area_of(&g, &g.ids().collect::<Vec<_>>());
+        assert!(e.hw_area < all_hw_area, "moved work back to software");
+        assert!(e.meets_deadline);
+        assert!(p.hw_count() < g.len());
+    }
+
+    #[test]
+    fn sw_first_moves_critical_tasks_first() {
+        // One dominant task: the first greedy move must take it.
+        let mut g = TaskGraph::new("dominant");
+        g.add_task(Task::new("small", 100).with_hw_cycles(50).with_hw_area(1.0));
+        let big = g.add_task(
+            Task::new("huge", 100_000)
+                .with_hw_cycles(100)
+                .with_hw_area(5.0),
+        );
+        g.add_task(
+            Task::new("small2", 150)
+                .with_hw_cycles(70)
+                .with_hw_area(1.0),
+        );
+        let cfg = EvalConfig::new(Objective::performance_driven(10_000), &NAIVE);
+        let (p, e) = sw_first(&g, &cfg).unwrap();
+        assert_eq!(p.side(big), Side::Hw);
+        assert!(e.meets_deadline);
+    }
+
+    #[test]
+    fn simulated_annealing_is_deterministic_per_seed() {
+        let g = graph(5);
+        let cfg = EvalConfig::new(Objective::default(), &NAIVE);
+        let s = AnnealingSchedule::default();
+        let (p1, e1) = simulated_annealing(&g, &cfg, &s, 9).unwrap();
+        let (p2, e2) = simulated_annealing(&g, &cfg, &s, 9).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(e1.cost, e2.cost);
+    }
+
+    #[test]
+    fn kl_never_loses_to_plain_greedy() {
+        for seed in [3, 4, 5, 6] {
+            let g = graph(seed);
+            let d = deadline_for(&g);
+            let cfg = EvalConfig::new(Objective::performance_driven(d), &NAIVE);
+            let (_, greedy) = sw_first(&g, &cfg).unwrap();
+            let (_, kl) = kernighan_lin(&g, &cfg).unwrap();
+            assert!(
+                kl.cost <= greedy.cost + 1e-9,
+                "seed {seed}: kl {} vs greedy {}",
+                kl.cost,
+                greedy.cost
+            );
+        }
+    }
+
+    #[test]
+    fn comm_aware_objective_localizes_traffic() {
+        // Two tight clusters joined by a thin edge; heavy intra-cluster
+        // traffic. Comm-aware partitioning should avoid splitting
+        // clusters across the boundary.
+        let mut g = TaskGraph::new("clusters");
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            ids.push(
+                g.add_task(
+                    Task::new(format!("t{i}"), 4_000)
+                        .with_hw_cycles(400)
+                        .with_hw_area(40.0),
+                ),
+            );
+        }
+        // Cluster A: 0-1-2 heavy edges; Cluster B: 3-4-5 heavy edges.
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (4, 5)] {
+            g.add_edge(ids[a], ids[b], 4_096).unwrap();
+        }
+        g.add_edge(ids[2], ids[3], 4).unwrap(); // thin bridge
+
+        let d = 12_000;
+        let aware = EvalConfig::new(Objective::concurrency_aware(d), &NAIVE);
+        let blind_obj = Objective::concurrency_aware(d).without_comm_awareness();
+        let blind = EvalConfig::new(blind_obj, &NAIVE);
+        let (_, e_aware) = kernighan_lin(&g, &aware).unwrap();
+        let (_, e_blind) = kernighan_lin(&g, &blind).unwrap();
+        assert!(
+            e_aware.cross_bytes <= e_blind.cross_bytes,
+            "aware {} vs blind {}",
+            e_aware.cross_bytes,
+            e_blind.cross_bytes
+        );
+    }
+
+    #[test]
+    fn gclp_respects_extremity_nodes() {
+        let mut g = TaskGraph::new("extremes");
+        let hw_leaning = g.add_task(
+            Task::new("parallel", 1_000)
+                .with_parallelism(0.95)
+                .with_modifiability(0.1),
+        );
+        let sw_leaning = g.add_task(
+            Task::new("modifiable", 1_000)
+                .with_parallelism(0.1)
+                .with_modifiability(0.95),
+        );
+        let cfg = EvalConfig::new(Objective::default(), &NAIVE);
+        let (p, _) = gclp(&g, &cfg).unwrap();
+        assert_eq!(p.side(hw_leaning), Side::Hw);
+        assert_eq!(p.side(sw_leaning), Side::Sw);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+use codesign_ir::IrError;
+
+/// Errors produced by partition evaluation and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// A partition does not cover the task graph.
+    SizeMismatch {
+        /// Tasks in the partition.
+        partition: usize,
+        /// Tasks in the graph.
+        graph: usize,
+    },
+    /// The task graph itself is malformed.
+    Graph(IrError),
+    /// No feasible partition exists under the constraints (e.g. even
+    /// all-hardware misses the deadline).
+    Infeasible {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::SizeMismatch { partition, graph } => {
+                write!(f, "partition covers {partition} tasks, graph has {graph}")
+            }
+            PartitionError::Graph(e) => write!(f, "task graph: {e}"),
+            PartitionError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+        }
+    }
+}
+
+impl Error for PartitionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PartitionError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<IrError> for PartitionError {
+    fn from(e: IrError) -> Self {
+        PartitionError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = PartitionError::SizeMismatch {
+            partition: 3,
+            graph: 5,
+        };
+        assert_eq!(e.to_string(), "partition covers 3 tasks, graph has 5");
+    }
+}

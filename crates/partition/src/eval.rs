@@ -1,0 +1,391 @@
+//! Partition evaluation: schedule, traffic, area, and the scalarized
+//! objective.
+//!
+//! A partition is evaluated by list-scheduling the task graph onto the
+//! target of the paper's Figure 8: one instruction-set processor (which
+//! serializes its tasks) plus a co-processor with a configurable number
+//! of concurrent contexts (1 = the single-threaded co-processor of
+//! Section 4.5; more = the multi-threaded co-processor of Section 4.5.1).
+//! Every edge that crosses the boundary pays the [`EdgeCommModel`]
+//! transfer cost — making the paper's "communication … favors partitions
+//! that localize communication" a measured effect, not an assumption.
+
+use codesign_ir::task::{TaskGraph, TaskId};
+
+use crate::area::HwAreaModel;
+use crate::cost::{EdgeCommModel, Objective};
+use crate::error::PartitionError;
+use crate::{Partition, Side};
+
+/// Evaluation parameters.
+#[derive(Debug)]
+pub struct EvalConfig<'a> {
+    /// Cross-boundary communication model.
+    pub comm: EdgeCommModel,
+    /// The weighted objective.
+    pub objective: Objective,
+    /// Hardware-area estimator.
+    pub area_model: &'a dyn HwAreaModel,
+    /// Concurrent hardware contexts (1 = single-threaded co-processor).
+    pub hw_contexts: usize,
+}
+
+impl<'a> EvalConfig<'a> {
+    /// Creates a config with default communication model and a
+    /// single-threaded co-processor.
+    #[must_use]
+    pub fn new(objective: Objective, area_model: &'a dyn HwAreaModel) -> Self {
+        EvalConfig {
+            comm: EdgeCommModel::default(),
+            objective,
+            area_model,
+            hw_contexts: 1,
+        }
+    }
+}
+
+/// Everything measured about one partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// End-to-end schedule length in cycles.
+    pub makespan: u64,
+    /// Hardware area under the configured estimator.
+    pub hw_area: f64,
+    /// Bytes crossing the HW/SW boundary.
+    pub cross_bytes: u64,
+    /// Cycles spent in cross-boundary transfers.
+    pub comm_cycles: u64,
+    /// Fraction of the makespan during which both sides were busy.
+    pub overlap: f64,
+    /// Whether the deadline (if any) is met.
+    pub meets_deadline: bool,
+    /// The scalarized objective value (lower is better).
+    pub cost: f64,
+}
+
+/// Evaluates a partition of `graph` under `config`.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::SizeMismatch`] if the partition does not
+/// cover the graph, and propagates graph validation errors.
+pub fn evaluate(
+    graph: &TaskGraph,
+    partition: &Partition,
+    config: &EvalConfig<'_>,
+) -> Result<Evaluation, PartitionError> {
+    if partition.len() != graph.len() {
+        return Err(PartitionError::SizeMismatch {
+            partition: partition.len(),
+            graph: graph.len(),
+        });
+    }
+    let order = schedule_order(graph)?;
+    let hw_contexts = config.hw_contexts.max(1);
+
+    let mut finish = vec![0u64; graph.len()];
+    let mut cpu_free = 0u64;
+    let mut hw_free = vec![0u64; hw_contexts];
+    let mut cross_bytes = 0u64;
+    let mut comm_cycles = 0u64;
+    let mut busy = Vec::new(); // (start, end, side) for overlap accounting
+
+    for t in order {
+        let side = partition.side(t);
+        let mut data_ready = 0u64;
+        for e in graph.edges().iter().filter(|e| e.dst == t) {
+            let mut ready = finish[e.src.index()];
+            if partition.side(e.src) != side {
+                let cycles = config.comm.transfer_cycles(e.bytes);
+                ready += cycles;
+                comm_cycles += cycles;
+                cross_bytes += e.bytes;
+            }
+            data_ready = data_ready.max(ready);
+        }
+        let duration = match side {
+            Side::Sw => graph.task(t).sw_cycles(),
+            Side::Hw => graph.task(t).hw_cycles(),
+        };
+        let start = match side {
+            Side::Sw => {
+                let s = data_ready.max(cpu_free);
+                cpu_free = s + duration;
+                s
+            }
+            Side::Hw => {
+                let (ctx, &free) = hw_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &f)| f)
+                    .expect("hw_contexts >= 1");
+                let s = data_ready.max(free);
+                hw_free[ctx] = s + duration;
+                s
+            }
+        };
+        finish[t.index()] = start + duration;
+        busy.push((start, start + duration, side));
+    }
+
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    let hw_tasks: Vec<TaskId> = partition.hw_tasks().collect();
+    let hw_area = config.area_model.area_of(graph, &hw_tasks);
+    let overlap = overlap_fraction(&busy, makespan);
+    let meets_deadline = config.objective.deadline.is_none_or(|d| makespan <= d);
+
+    // --- Scalarization -------------------------------------------------
+    let obj = &config.objective;
+    let n = graph.len().max(1) as f64;
+    let all_sw_time = graph.total_sw_cycles().max(1) as f64;
+    let all_ids: Vec<TaskId> = graph.ids().collect();
+    let all_hw_area = config.area_model.area_of(graph, &all_ids).max(1e-9);
+    let total_bytes: u64 = graph.edges().iter().map(|e| e.bytes).sum();
+
+    let norm_time = makespan as f64 / all_sw_time;
+    let norm_area = hw_area / all_hw_area;
+    let norm_comm = if total_bytes == 0 {
+        0.0
+    } else {
+        cross_bytes as f64 / total_bytes as f64
+    };
+    let mod_penalty: f64 = hw_tasks
+        .iter()
+        .map(|&t| graph.task(t).modifiability())
+        .sum::<f64>()
+        / n;
+    let nature_penalty: f64 = graph
+        .iter()
+        .filter(|&(id, _)| partition.side(id) == Side::Sw)
+        .map(|(_, t)| t.parallelism())
+        .sum::<f64>()
+        / n;
+    let lost_concurrency = 1.0 - overlap;
+
+    let mut cost = obj.w_time * norm_time
+        + obj.w_area * norm_area
+        + obj.w_comm * norm_comm
+        + obj.w_modifiability * mod_penalty
+        + obj.w_nature * nature_penalty
+        + obj.w_concurrency * lost_concurrency;
+    if let Some(d) = obj.deadline {
+        if makespan > d {
+            cost += obj.deadline_penalty * (makespan - d) as f64 / d.max(1) as f64;
+        }
+    }
+
+    Ok(Evaluation {
+        makespan,
+        hw_area,
+        cross_bytes,
+        comm_cycles,
+        overlap,
+        meets_deadline,
+        cost,
+    })
+}
+
+/// Topological order sorted by bottom level (longest path first), the
+/// usual list-scheduling priority.
+fn schedule_order(graph: &TaskGraph) -> Result<Vec<TaskId>, PartitionError> {
+    let order = graph.topological_order()?;
+    let levels = graph.bottom_levels(|_, t| t.sw_cycles())?;
+    let mut by_priority = order;
+    by_priority.sort_by_key(|&t| std::cmp::Reverse(levels[t.index()]));
+    // Re-stabilize into a dependence-respecting order: stable insertion
+    // by topological index with priority as tiebreak is equivalent to
+    // list scheduling because evaluate() also enforces data-ready times.
+    // A plain topological order weighted by priority:
+    let mut result = Vec::with_capacity(graph.len());
+    let mut placed = vec![false; graph.len()];
+    let mut indegree: Vec<usize> = (0..graph.len())
+        .map(|i| graph.predecessors(TaskId::from_index(i)).count())
+        .collect();
+    let mut ready: Vec<TaskId> = graph.ids().filter(|t| indegree[t.index()] == 0).collect();
+    while !ready.is_empty() {
+        // Highest bottom level first.
+        ready.sort_by_key(|&t| std::cmp::Reverse(levels[t.index()]));
+        let t = ready.remove(0);
+        if placed[t.index()] {
+            continue;
+        }
+        placed[t.index()] = true;
+        result.push(t);
+        for s in graph.successors(t) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn overlap_fraction(busy: &[(u64, u64, Side)], makespan: u64) -> f64 {
+    if makespan == 0 {
+        return 0.0;
+    }
+    // Sweep: count cycles where both a SW and an HW interval are active.
+    let mut events: Vec<(u64, i32, Side)> = Vec::with_capacity(busy.len() * 2);
+    for &(s, e, side) in busy {
+        events.push((s, 1, side));
+        events.push((e, -1, side));
+    }
+    events.sort_by_key(|&(t, d, _)| (t, d));
+    let (mut sw, mut hw) = (0i32, 0i32);
+    let mut both = 0u64;
+    let mut last = 0u64;
+    for (t, d, side) in events {
+        if sw > 0 && hw > 0 {
+            both += t - last;
+        }
+        last = t;
+        match side {
+            Side::Sw => sw += d,
+            Side::Hw => hw += d,
+        }
+    }
+    both as f64 / makespan as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::NaiveArea;
+    use codesign_ir::task::Task;
+
+    fn chain() -> TaskGraph {
+        let mut g = TaskGraph::new("chain");
+        let a = g.add_task(Task::new("a", 1_000).with_hw_cycles(100).with_hw_area(10.0));
+        let b = g.add_task(Task::new("b", 2_000).with_hw_cycles(200).with_hw_area(20.0));
+        let c = g.add_task(Task::new("c", 3_000).with_hw_cycles(300).with_hw_area(30.0));
+        g.add_edge(a, b, 40).unwrap();
+        g.add_edge(b, c, 40).unwrap();
+        g
+    }
+
+    fn config(objective: Objective) -> EvalConfig<'static> {
+        static NAIVE: NaiveArea = NaiveArea;
+        EvalConfig::new(objective, &NAIVE)
+    }
+
+    #[test]
+    fn all_sw_serializes_and_costs_no_area() {
+        let g = chain();
+        let e = evaluate(&g, &Partition::all_sw(3), &config(Objective::default())).unwrap();
+        assert_eq!(e.makespan, 6_000);
+        assert_eq!(e.hw_area, 0.0);
+        assert_eq!(e.cross_bytes, 0);
+    }
+
+    #[test]
+    fn all_hw_is_fast_but_expensive() {
+        let g = chain();
+        let e = evaluate(&g, &Partition::all_hw(3), &config(Objective::default())).unwrap();
+        assert_eq!(e.makespan, 600);
+        assert!((e.hw_area - 60.0).abs() < 1e-9);
+        assert_eq!(e.cross_bytes, 0, "no boundary inside hardware");
+    }
+
+    #[test]
+    fn boundary_crossings_pay_communication() {
+        let g = chain();
+        let mixed = Partition::from_sides(vec![Side::Sw, Side::Hw, Side::Sw]);
+        let e = evaluate(&g, &mixed, &config(Objective::default())).unwrap();
+        assert_eq!(e.cross_bytes, 80);
+        let per_edge = EdgeCommModel::default().transfer_cycles(40);
+        assert_eq!(e.comm_cycles, 2 * per_edge);
+        assert_eq!(e.makespan, 1_000 + per_edge + 200 + per_edge + 3_000);
+    }
+
+    #[test]
+    fn parallel_branches_overlap_across_the_boundary() {
+        let mut g = TaskGraph::new("fork");
+        let a = g.add_task(Task::new("a", 100).with_hw_cycles(10));
+        let b = g.add_task(Task::new("b", 5_000).with_hw_cycles(500));
+        let c = g.add_task(Task::new("c", 5_000).with_hw_cycles(500));
+        g.add_edge(a, b, 8).unwrap();
+        g.add_edge(a, c, 8).unwrap();
+        // b in SW, c in HW: they overlap after a.
+        let p = Partition::from_sides(vec![Side::Sw, Side::Sw, Side::Hw]);
+        let e = evaluate(&g, &p, &config(Objective::default())).unwrap();
+        assert!(e.overlap > 0.05, "overlap {}", e.overlap);
+        // Both serial on the CPU: zero overlap.
+        let serial = evaluate(&g, &Partition::all_sw(3), &config(Objective::default())).unwrap();
+        assert_eq!(serial.overlap, 0.0);
+    }
+
+    #[test]
+    fn multi_context_hw_runs_branches_concurrently() {
+        let mut g = TaskGraph::new("fork");
+        let a = g.add_task(Task::new("a", 10).with_hw_cycles(10));
+        let b = g.add_task(Task::new("b", 1_000).with_hw_cycles(1_000));
+        let c = g.add_task(Task::new("c", 1_000).with_hw_cycles(1_000));
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(a, c, 0).unwrap();
+        let p = Partition::all_hw(3);
+        static NAIVE: NaiveArea = NaiveArea;
+        let mut cfg = EvalConfig::new(Objective::default(), &NAIVE);
+        cfg.hw_contexts = 1;
+        let single = evaluate(&g, &p, &cfg).unwrap();
+        cfg.hw_contexts = 2;
+        let dual = evaluate(&g, &p, &cfg).unwrap();
+        assert_eq!(single.makespan, 2_010);
+        assert_eq!(dual.makespan, 1_010, "figure-9 concurrency");
+    }
+
+    #[test]
+    fn deadline_violation_penalized() {
+        let g = chain();
+        let strict = Objective {
+            deadline: Some(500),
+            ..Objective::default()
+        };
+        let sw = evaluate(&g, &Partition::all_sw(3), &config(strict.clone())).unwrap();
+        assert!(!sw.meets_deadline);
+        let hw = evaluate(&g, &Partition::all_hw(3), &config(strict)).unwrap();
+        assert!(!hw.meets_deadline); // 600 > 500
+        assert!(sw.cost > hw.cost, "larger overshoot costs more");
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let g = chain();
+        let err = evaluate(&g, &Partition::all_sw(7), &config(Objective::default()));
+        assert!(matches!(err, Err(PartitionError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn modifiability_term_prefers_software() {
+        let mut g = TaskGraph::new("mod");
+        g.add_task(Task::new("very_modifiable", 100).with_modifiability(1.0));
+        let obj = Objective {
+            w_time: 0.0,
+            w_area: 0.0,
+            w_comm: 0.0,
+            w_nature: 0.0,
+            w_modifiability: 1.0,
+            ..Objective::default()
+        };
+        let sw = evaluate(&g, &Partition::all_sw(1), &config(obj.clone())).unwrap();
+        let hw = evaluate(&g, &Partition::all_hw(1), &config(obj)).unwrap();
+        assert!(sw.cost < hw.cost);
+    }
+
+    #[test]
+    fn nature_term_prefers_hardware_for_parallel_tasks() {
+        let mut g = TaskGraph::new("par");
+        g.add_task(Task::new("very_parallel", 100).with_parallelism(1.0));
+        let obj = Objective {
+            w_time: 0.0,
+            w_area: 0.0,
+            w_comm: 0.0,
+            w_modifiability: 0.0,
+            w_nature: 1.0,
+            ..Objective::default()
+        };
+        let sw = evaluate(&g, &Partition::all_sw(1), &config(obj.clone())).unwrap();
+        let hw = evaluate(&g, &Partition::all_hw(1), &config(obj)).unwrap();
+        assert!(hw.cost < sw.cost);
+    }
+}

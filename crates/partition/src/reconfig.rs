@@ -1,0 +1,250 @@
+//! Run-time repartitioning on field-programmable hardware (paper
+//! Section 4.4, experiment E7).
+//!
+//! With special-purpose functional units on an FPGA, "the HW/SW partition
+//! need not be static and could be adapted on the fly to suit a wide
+//! variety of circumstances" (after Athanas & Silverman's instruction-set
+//! metamorphosis). This module evaluates exactly that: a phased workload
+//! in which each phase is dominated by a different accelerable function,
+//! executed under two strategies:
+//!
+//! * [`run_static`] — choose one set of units that fits the fabric and
+//!   keep it for the whole run; phases whose unit missed the cut run in
+//!   software.
+//! * [`run_dynamic`] — reconfigure the region to each phase's unit as the
+//!   phase begins, paying the reconfiguration latency.
+//!
+//! The trade-off's shape: dynamic wins once the work per phase dwarfs the
+//! reconfiguration cost, static wins under rapid phase switching.
+
+use codesign_rtl::fpga::{Bitstream, FpgaFabric};
+use codesign_rtl::RtlError;
+
+/// One phase of the workload: `invocations` calls of one function that
+/// costs `sw_cycles` in software or `unit.latency` on its hardware unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// The hardware unit that accelerates this phase.
+    pub unit: Bitstream,
+    /// Software cost per invocation.
+    pub sw_cycles: u64,
+    /// Invocations in this phase.
+    pub invocations: u64,
+}
+
+impl Phase {
+    /// Total software time of the phase.
+    #[must_use]
+    pub fn sw_total(&self) -> u64 {
+        self.sw_cycles * self.invocations
+    }
+
+    /// Total hardware compute time of the phase (excluding
+    /// reconfiguration).
+    #[must_use]
+    pub fn hw_total(&self) -> u64 {
+        self.unit.latency * self.invocations
+    }
+}
+
+/// Outcome of running a phased workload under one strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigReport {
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// Cycles spent reconfiguring.
+    pub reconfig_cycles: u64,
+    /// Phases executed in hardware.
+    pub hw_phases: usize,
+    /// Phases that fell back to software.
+    pub sw_phases: usize,
+}
+
+/// Runs the workload with a fixed configuration: units are chosen
+/// greedily by total saved cycles until the region budget is full, loaded
+/// once, and never swapped.
+///
+/// # Errors
+///
+/// Propagates fabric errors (a unit larger than the region).
+pub fn run_static(phases: &[Phase], fabric: &mut FpgaFabric) -> Result<ReconfigReport, RtlError> {
+    // Pick the resident unit set: greedy by saved cycles per LUT across
+    // the whole workload, one region's worth.
+    let mut candidates: Vec<(&Bitstream, u64)> = Vec::new();
+    for p in phases {
+        let saving = p.sw_total().saturating_sub(p.hw_total());
+        match candidates.iter_mut().find(|(b, _)| **b == p.unit) {
+            Some((_, s)) => *s += saving,
+            None => candidates.push((&p.unit, saving)),
+        }
+    }
+    candidates.sort_by_key(|&(b, s)| (std::cmp::Reverse(s), b.name.clone()));
+    let mut resident: Vec<Bitstream> = Vec::new();
+    let mut used = vec![0u32; fabric.region_count()];
+    for (unit, saving) in candidates {
+        if saving == 0 {
+            continue;
+        }
+        // First region with room (one unit per region in this model).
+        if let Some(r) = used
+            .iter()
+            .position(|&u| u == 0 && unit.luts <= fabric.luts_per_region())
+        {
+            used[r] = unit.luts;
+            resident.push(unit.clone());
+        }
+    }
+
+    let mut now = 0u64;
+    // Load residents up front (this is part of boot, but we count it).
+    for (r, unit) in resident.iter().enumerate() {
+        now = now.max(fabric.load(r, unit.clone(), 0)?);
+    }
+    let mut report = ReconfigReport {
+        total_cycles: 0,
+        reconfig_cycles: fabric.stats().reconfig_cycles,
+        hw_phases: 0,
+        sw_phases: 0,
+    };
+    for p in phases {
+        if let Some(region) = resident.iter().position(|u| *u == p.unit) {
+            for _ in 0..p.invocations {
+                let inv = fabric.invoke(region, &p.unit.name, now)?;
+                now = inv.finished_at;
+            }
+            report.hw_phases += 1;
+        } else {
+            now += p.sw_total();
+            report.sw_phases += 1;
+        }
+    }
+    report.total_cycles = now;
+    Ok(report)
+}
+
+/// Runs the workload reconfiguring region 0 to each phase's unit on
+/// entry — the "adapted on the fly" strategy.
+///
+/// # Errors
+///
+/// Propagates fabric errors (a unit larger than the region).
+pub fn run_dynamic(phases: &[Phase], fabric: &mut FpgaFabric) -> Result<ReconfigReport, RtlError> {
+    let mut now = 0u64;
+    let mut report = ReconfigReport {
+        total_cycles: 0,
+        reconfig_cycles: 0,
+        hw_phases: 0,
+        sw_phases: 0,
+    };
+    for p in phases {
+        now = fabric.load(0, p.unit.clone(), now)?;
+        for _ in 0..p.invocations {
+            let inv = fabric.invoke(0, &p.unit.name, now)?;
+            now = inv.finished_at;
+        }
+        report.hw_phases += 1;
+    }
+    report.total_cycles = now;
+    report.reconfig_cycles = fabric.stats().reconfig_cycles;
+    Ok(report)
+}
+
+/// Pure-software reference: every phase runs on the processor.
+#[must_use]
+pub fn run_all_software(phases: &[Phase]) -> u64 {
+    phases.iter().map(Phase::sw_total).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(name: &str, luts: u32, latency: u64) -> Bitstream {
+        Bitstream {
+            name: name.to_string(),
+            luts,
+            latency,
+        }
+    }
+
+    fn phase(name: &str, invocations: u64) -> Phase {
+        Phase {
+            unit: unit(name, 300, 5),
+            sw_cycles: 80,
+            invocations,
+        }
+    }
+
+    #[test]
+    fn dynamic_wins_with_long_phases() {
+        // Few long phases: reconfiguration amortizes.
+        let phases: Vec<Phase> = (0..4).map(|i| phase(&format!("u{i}"), 10_000)).collect();
+        let mut fab = FpgaFabric::new(1, 512, 10);
+        let dynamic = run_dynamic(&phases, &mut fab).unwrap();
+        let mut fab = FpgaFabric::new(1, 512, 10);
+        let static_ = run_static(&phases, &mut fab).unwrap();
+        assert!(
+            dynamic.total_cycles < static_.total_cycles,
+            "dynamic {} vs static {}",
+            dynamic.total_cycles,
+            static_.total_cycles
+        );
+        assert_eq!(dynamic.hw_phases, 4);
+        assert_eq!(static_.sw_phases, 3, "one resident unit only");
+    }
+
+    #[test]
+    fn static_wins_with_rapid_phase_switching() {
+        // Many tiny phases alternating among 4 units: dynamic thrashes.
+        let phases: Vec<Phase> = (0..64).map(|i| phase(&format!("u{}", i % 4), 2)).collect();
+        let mut fab = FpgaFabric::new(1, 512, 50);
+        let dynamic = run_dynamic(&phases, &mut fab).unwrap();
+        let mut fab = FpgaFabric::new(1, 512, 50);
+        let static_ = run_static(&phases, &mut fab).unwrap();
+        assert!(
+            static_.total_cycles < dynamic.total_cycles,
+            "static {} vs dynamic {}",
+            static_.total_cycles,
+            dynamic.total_cycles
+        );
+    }
+
+    #[test]
+    fn both_beat_pure_software_when_hw_is_worth_it() {
+        let phases: Vec<Phase> = (0..4).map(|i| phase(&format!("u{i}"), 5_000)).collect();
+        let sw = run_all_software(&phases);
+        let mut fab = FpgaFabric::new(1, 512, 10);
+        let dynamic = run_dynamic(&phases, &mut fab).unwrap();
+        assert!(dynamic.total_cycles < sw);
+        let mut fab = FpgaFabric::new(2, 512, 10);
+        let static_ = run_static(&phases, &mut fab).unwrap();
+        assert!(static_.total_cycles < sw);
+    }
+
+    #[test]
+    fn dynamic_skips_reload_for_repeated_phases() {
+        let phases = vec![phase("same", 100), phase("same", 100)];
+        let mut fab = FpgaFabric::new(1, 512, 10);
+        run_dynamic(&phases, &mut fab).unwrap();
+        assert_eq!(fab.stats().reconfigurations, 1, "second load is free");
+    }
+
+    #[test]
+    fn static_with_more_regions_covers_more_phases() {
+        let phases: Vec<Phase> = (0..3).map(|i| phase(&format!("u{i}"), 1_000)).collect();
+        let mut one = FpgaFabric::new(1, 512, 10);
+        let r1 = run_static(&phases, &mut one).unwrap();
+        let mut three = FpgaFabric::new(3, 512, 10);
+        let r3 = run_static(&phases, &mut three).unwrap();
+        assert!(r3.hw_phases > r1.hw_phases);
+        assert!(r3.total_cycles < r1.total_cycles);
+    }
+
+    #[test]
+    fn reconfig_cycles_reported() {
+        let phases: Vec<Phase> = (0..4).map(|i| phase(&format!("u{i}"), 10)).collect();
+        let mut fab = FpgaFabric::new(1, 512, 10);
+        let r = run_dynamic(&phases, &mut fab).unwrap();
+        assert_eq!(r.reconfig_cycles, 4 * 300 * 10);
+    }
+}

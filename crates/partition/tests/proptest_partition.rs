@@ -1,0 +1,151 @@
+//! Property-based tests for partition evaluation and search invariants.
+
+use codesign_ir::task::TaskId;
+use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
+use codesign_partition::algorithms::{hw_first, kernighan_lin, sw_first};
+use codesign_partition::area::{HwAreaModel, NaiveArea};
+use codesign_partition::cost::{EdgeCommModel, Objective};
+use codesign_partition::eval::{evaluate, EvalConfig};
+use codesign_partition::{Partition, Side};
+use proptest::prelude::*;
+
+static NAIVE: NaiveArea = NaiveArea;
+
+fn cfg(objective: Objective) -> EvalConfig<'static> {
+    EvalConfig::new(objective, &NAIVE)
+}
+
+fn arb_graph() -> impl Strategy<Value = codesign_ir::task::TaskGraph> {
+    (2usize..20, any::<u64>(), 0.0f64..1.0).prop_map(|(tasks, seed, edge_prob)| {
+        random_task_graph(&TgffConfig {
+            tasks,
+            seed,
+            edge_prob,
+            ..TgffConfig::default()
+        })
+    })
+}
+
+fn arb_partition(n: usize) -> impl Strategy<Value = Partition> {
+    prop::collection::vec(prop::bool::ANY, n).prop_map(|bits| {
+        Partition::from_sides(
+            bits.into_iter()
+                .map(|b| if b { Side::Hw } else { Side::Sw })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The makespan of any partition is bounded below by the critical
+    /// path under the per-side costs and above by serial execution plus
+    /// all communication.
+    #[test]
+    fn makespan_bounds(g in arb_graph(), seed in any::<u64>()) {
+        let n = g.len();
+        let partition = {
+            let mut p = Partition::all_sw(n);
+            for (i, id) in g.ids().enumerate() {
+                if (seed >> (i % 64)) & 1 == 1 {
+                    p.flip(id);
+                }
+            }
+            p
+        };
+        let config = cfg(Objective::default());
+        let e = evaluate(&g, &partition, &config).expect("evaluates");
+        let side_cost = |id: TaskId, t: &codesign_ir::task::Task| match partition.side(id) {
+            Side::Sw => t.sw_cycles(),
+            Side::Hw => t.hw_cycles(),
+        };
+        let cp = g.critical_path(side_cost).expect("acyclic");
+        prop_assert!(e.makespan >= cp, "{} < critical path {cp}", e.makespan);
+        let serial: u64 = g.iter().map(|(id, t)| side_cost(id, t)).sum();
+        prop_assert!(
+            e.makespan <= serial + e.comm_cycles,
+            "{} > serial {serial} + comm {}",
+            e.makespan,
+            e.comm_cycles
+        );
+    }
+
+    /// Cross-boundary bytes are exactly the edges whose endpoints sit on
+    /// different sides.
+    #[test]
+    fn cross_bytes_match_boundary_edges(g in arb_graph(), p in arb_partition(19)) {
+        prop_assume!(p.len() >= g.len());
+        let p = Partition::from_sides(
+            g.ids().map(|id| p.side_of_index(id.index())).collect(),
+        );
+        let config = cfg(Objective::default());
+        let e = evaluate(&g, &p, &config).expect("evaluates");
+        let expected: u64 = g
+            .edges()
+            .iter()
+            .filter(|edge| p.side(edge.src) != p.side(edge.dst))
+            .map(|edge| edge.bytes)
+            .sum();
+        prop_assert_eq!(e.cross_bytes, expected);
+        let per_edge_overhead = EdgeCommModel::default().setup_cycles;
+        let crossing_edges = g
+            .edges()
+            .iter()
+            .filter(|edge| p.side(edge.src) != p.side(edge.dst))
+            .count() as u64;
+        prop_assert!(e.comm_cycles >= crossing_edges * per_edge_overhead);
+    }
+
+    /// The all-hardware partition costs zero software time on the CPU and
+    /// the all-software partition costs zero area — and the hardware area
+    /// of any partition is the estimator's price of its hardware set.
+    #[test]
+    fn extreme_partitions_have_extreme_resources(g in arb_graph()) {
+        let config = cfg(Objective::default());
+        let sw = evaluate(&g, &Partition::all_sw(g.len()), &config).expect("evaluates");
+        prop_assert_eq!(sw.hw_area, 0.0);
+        prop_assert_eq!(sw.cross_bytes, 0);
+        let hw = evaluate(&g, &Partition::all_hw(g.len()), &config).expect("evaluates");
+        let all: Vec<TaskId> = g.ids().collect();
+        prop_assert!((hw.hw_area - NAIVE.area_of(&g, &all)).abs() < 1e-9);
+    }
+
+    /// Every search algorithm returns a partition at least as good as its
+    /// own starting point under the objective it optimized.
+    #[test]
+    fn searches_never_regress_their_start(g in arb_graph(), deadline_frac in 2u64..6) {
+        let config = cfg(Objective::performance_driven(
+            g.total_sw_cycles() / deadline_frac,
+        ));
+        let start_sw = evaluate(&g, &Partition::all_sw(g.len()), &config).expect("evaluates");
+        let (_, e) = sw_first(&g, &config).expect("runs");
+        prop_assert!(e.cost <= start_sw.cost + 1e-9);
+        let start_hw = evaluate(&g, &Partition::all_hw(g.len()), &config).expect("evaluates");
+        let (_, e) = hw_first(&g, &config).expect("runs");
+        prop_assert!(e.cost <= start_hw.cost + 1e-9);
+        let (_, e) = kernighan_lin(&g, &config).expect("runs");
+        prop_assert!(e.cost <= start_sw.cost + 1e-9);
+    }
+
+    /// Evaluation is deterministic.
+    #[test]
+    fn evaluation_is_deterministic(g in arb_graph()) {
+        let config = cfg(Objective::default());
+        let p = Partition::all_hw(g.len());
+        let a = evaluate(&g, &p, &config).expect("evaluates");
+        let b = evaluate(&g, &p, &config).expect("evaluates");
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Helper so the arbitrary partition can be resized to the graph.
+trait SideOfIndex {
+    fn side_of_index(&self, i: usize) -> Side;
+}
+
+impl SideOfIndex for Partition {
+    fn side_of_index(&self, i: usize) -> Side {
+        self.side(TaskId::from_index(i % self.len().max(1)))
+    }
+}

@@ -1,0 +1,66 @@
+//! # codesign-rtl
+//!
+//! The hardware simulation substrate for the mixed hardware/software
+//! co-design framework (Adams & Thomas, DAC 1996).
+//!
+//! The paper's lowest interface-abstraction level models HW/SW interaction
+//! as "the activity on the pins of a CPU or the wires of a bus"
+//! (Section 3.1, Figure 3, citing Becker et al. \[4\], who couple software
+//! to a Verilog simulator). That requires an HDL-style simulation kernel;
+//! this crate provides one, built from scratch:
+//!
+//! * [`netlist`] — gate-level netlists (combinational gates plus D
+//!   flip-flops) with per-gate propagation delays, and builder helpers for
+//!   the arithmetic/decode structures interface synthesis emits.
+//! * [`sim`] — a discrete-event simulator with delta cycles, oscillation
+//!   detection, and event-count statistics (the "computationally
+//!   expensive" currency of pin-level co-simulation).
+//! * [`fsmd`] — word-level finite-state-machine-with-datapath models, the
+//!   output of behavioral synthesis (`codesign-hls`), executed
+//!   cycle-accurately with a start/done handshake so they can serve as
+//!   bus-attached co-processors.
+//! * [`bus`] — a pin-accurate system bus with memory-mapped slaves
+//!   (memory, UART, timer, GPIO, co-processor ports) and interrupt lines,
+//!   the physical boundary of the paper's Type II systems.
+//! * [`fpga`] — a field-programmable region model (LUT budget +
+//!   reconfiguration latency), for the "instruction-set metamorphosis"
+//!   systems of Section 4.4 where "the HW/SW partition need not be static
+//!   and could be adapted on the fly".
+//!
+//! ## Example
+//!
+//! ```
+//! use codesign_rtl::netlist::{GateKind, Netlist};
+//! use codesign_rtl::sim::Simulator;
+//!
+//! # fn main() -> Result<(), codesign_rtl::RtlError> {
+//! // A half adder: sum = a ^ b, carry = a & b.
+//! let mut n = Netlist::new("half_adder");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let sum = n.add_net("sum");
+//! let carry = n.add_net("carry");
+//! n.add_gate(GateKind::Xor, &[a, b], sum, 1)?;
+//! n.add_gate(GateKind::And, &[a, b], carry, 1)?;
+//!
+//! let mut sim = Simulator::new(&n)?;
+//! sim.set_input(a, true);
+//! sim.set_input(b, true);
+//! sim.settle()?;
+//! assert!(!sim.value(sum));
+//! assert!(sim.value(carry));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bus;
+pub mod error;
+pub mod fpga;
+pub mod fsmd;
+pub mod netlist;
+pub mod sim;
+
+pub use error::RtlError;

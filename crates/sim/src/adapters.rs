@@ -1,0 +1,228 @@
+//! [`SimEngine`] adapters for the real domain simulators.
+//!
+//! The paper's definition of co-simulation requires an environment that
+//! "can understand the semantics of both the hardware and the software
+//! components" (Section 3.1); the [`Coordinator`](crate::engine::Coordinator)
+//! supplies the conservative synchronization, and these adapters put the
+//! actual simulators under it: [`CpuEngine`] wraps the CR32
+//! instruction-set simulator (with its bus and devices), [`FsmdEngine`]
+//! wraps a synthesized datapath. Both expose their cycle counters as the
+//! engine-local clocks, so a lockstep quantum bounds the HW/SW skew to
+//! `quantum + the engine's largest atomic step` (an instruction cannot
+//! be preempted mid-execution; the CR32's longest is a divide plus a bus
+//! transaction).
+
+use codesign_isa::cpu::Cpu;
+use codesign_rtl::fsmd::{FsmdSim, FsmdStatus};
+
+use crate::engine::SimEngine;
+use crate::error::SimError;
+
+/// The CR32 instruction-set simulator as a co-simulation engine.
+#[derive(Debug)]
+pub struct CpuEngine {
+    name: String,
+    cpu: Cpu,
+    /// Local clock floor: a halted CPU still "follows" global time.
+    floor: u64,
+}
+
+impl CpuEngine {
+    /// Wraps a CPU (with its program loaded and bus attached).
+    #[must_use]
+    pub fn new(name: impl Into<String>, cpu: Cpu) -> Self {
+        CpuEngine {
+            name: name.into(),
+            cpu,
+            floor: 0,
+        }
+    }
+
+    /// Access to the wrapped CPU after (or during) co-simulation.
+    #[must_use]
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+}
+
+impl SimEngine for CpuEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn local_time(&self) -> u64 {
+        self.cpu.stats().cycles.max(self.floor)
+    }
+
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        while !self.cpu.halted() && self.cpu.stats().cycles < t {
+            self.cpu.step()?;
+        }
+        self.floor = self.floor.max(t);
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.cpu.halted()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A synthesized FSMD co-processor as a co-simulation engine.
+#[derive(Debug)]
+pub struct FsmdEngine {
+    name: String,
+    sim: FsmdSim,
+    time: u64,
+    floor: u64,
+}
+
+impl FsmdEngine {
+    /// Wraps an FSMD simulator that has already been
+    /// [`started`](FsmdSim::start).
+    #[must_use]
+    pub fn new(name: impl Into<String>, sim: FsmdSim) -> Self {
+        FsmdEngine {
+            name: name.into(),
+            sim,
+            time: 0,
+            floor: 0,
+        }
+    }
+
+    /// Access to the wrapped simulator (e.g. for outputs when done).
+    #[must_use]
+    pub fn sim(&self) -> &FsmdSim {
+        &self.sim
+    }
+}
+
+impl SimEngine for FsmdEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn local_time(&self) -> u64 {
+        self.time.max(self.floor)
+    }
+
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        while self.sim.status() == FsmdStatus::Running && self.time < t {
+            self.sim.tick();
+            self.time += 1;
+        }
+        self.floor = self.floor.max(t);
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.sim.status() != FsmdStatus::Running
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Coordinator;
+    use codesign_hls::{synthesize, Constraints};
+    use codesign_ir::workload::kernels;
+    use codesign_isa::asm::assemble;
+    use codesign_rtl::fsmd::FsmdSim;
+
+    fn sw_engine(iterations: i64) -> CpuEngine {
+        let program = assemble(&format!(
+            "li r1, {iterations}\n\
+             li r2, 0\n\
+             loop: add r2, r2, r1\n\
+             addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             sd r2, r0, 8\n\
+             halt\n"
+        ))
+        .expect("assembles");
+        let mut cpu = Cpu::new(4096);
+        cpu.load_program(&program);
+        CpuEngine::new("cr32", cpu)
+    }
+
+    fn hw_engine() -> FsmdEngine {
+        let result = synthesize(
+            &kernels::dct8(),
+            &Constraints {
+                resources: Some([1, 1, 1, 1]),
+                target_latency: None,
+            },
+        )
+        .expect("synthesizes");
+        let mut sim = FsmdSim::new(result.fsmd).expect("valid");
+        sim.start(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        FsmdEngine::new("dct8", sim)
+    }
+
+    #[test]
+    fn heterogeneous_cosimulation_completes() {
+        let mut coord = Coordinator::new(16);
+        coord.add_engine(Box::new(sw_engine(50)));
+        coord.add_engine(Box::new(hw_engine()));
+        let stats = coord.run(1_000_000).expect("completes");
+        assert!(coord.is_done());
+        assert!(stats.sync_rounds > 1, "multiple lockstep rounds");
+    }
+
+    #[test]
+    fn skew_stays_within_quantum_plus_one_atomic_step() {
+        // Instructions are atomic, so an engine may overshoot the round
+        // horizon by at most its longest step (divide + bus transaction).
+        const MAX_ATOMIC_STEP: u64 = 16;
+        for quantum in [1u64, 8, 64] {
+            let mut coord = Coordinator::new(quantum);
+            coord.add_engine(Box::new(sw_engine(30)));
+            coord.add_engine(Box::new(hw_engine()));
+            while !coord.is_done() {
+                coord.run_one_round().expect("round runs");
+                assert!(
+                    coord.skew() <= quantum + MAX_ATOMIC_STEP,
+                    "quantum {quantum}: skew {}",
+                    coord.skew()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_the_quantum() {
+        let mut results = Vec::new();
+        for quantum in [1u64, 7, 100] {
+            let mut coord = Coordinator::new(quantum);
+            coord.add_engine(Box::new(sw_engine(25)));
+            coord.add_engine(Box::new(hw_engine()));
+            coord.run(1_000_000).expect("completes");
+            // Recover both engines' final states.
+            let engines = coord.engines();
+            let cpu = engines[0]
+                .as_any()
+                .downcast_ref::<CpuEngine>()
+                .expect("cpu engine");
+            let fsmd = engines[1]
+                .as_any()
+                .downcast_ref::<FsmdEngine>()
+                .expect("fsmd engine");
+            let sum = cpu.cpu().load_word(8).expect("readable");
+            results.push((sum, fsmd.sim().outputs()));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert_eq!(results[0].0, (1..=25).sum::<i64>());
+        assert_eq!(
+            results[0].1,
+            kernels::dct8().evaluate(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap()
+        );
+    }
+}

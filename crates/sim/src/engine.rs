@@ -1,0 +1,240 @@
+//! The co-simulation kernel: heterogeneous engines under conservative,
+//! quantum-based time synchronization.
+//!
+//! The paper defines co-simulation as "a simulation environment that can
+//! understand the semantics of both the hardware and the software
+//! components and how actions in one domain affect the state of the
+//! other" (Section 3.1). Here each domain simulator implements
+//! [`SimEngine`], and a [`Coordinator`] advances them in lockstep quanta:
+//! no engine's local clock ever leads another's by more than the quantum,
+//! which is the conservative-synchronization guarantee. The quantum is
+//! the co-simulation speed/fidelity dial: larger quanta mean fewer
+//! synchronization rounds but coarser visibility of cross-domain events.
+
+use crate::error::SimError;
+
+/// One domain simulator (a software ISS, a hardware event kernel, a
+/// process network…) participating in co-simulation.
+pub trait SimEngine: std::fmt::Debug {
+    /// Engine name, for reports.
+    fn name(&self) -> &str;
+    /// The engine's local clock.
+    fn local_time(&self) -> u64;
+    /// Advances local simulation up to (at most) `t`. The engine may stop
+    /// earlier only by finishing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain-simulation failures.
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError>;
+    /// Whether the engine has no further work.
+    fn is_done(&self) -> bool;
+    /// The engine as [`std::any::Any`], so callers can recover the
+    /// concrete simulator (and its results) after coordination.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Cumulative coordination statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordinatorStats {
+    /// Synchronization rounds executed.
+    pub sync_rounds: u64,
+    /// Global time reached.
+    pub time: u64,
+}
+
+/// A conservative lockstep coordinator over a set of engines.
+#[derive(Debug)]
+pub struct Coordinator {
+    engines: Vec<Box<dyn SimEngine>>,
+    quantum: u64,
+    stats: CoordinatorStats,
+}
+
+impl Coordinator {
+    /// Creates a coordinator with the given synchronization quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum == 0`.
+    #[must_use]
+    pub fn new(quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        Coordinator {
+            engines: Vec::new(),
+            quantum,
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// Registers an engine.
+    pub fn add_engine(&mut self, engine: Box<dyn SimEngine>) {
+        self.engines.push(engine);
+    }
+
+    /// The synchronization quantum.
+    #[must_use]
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Coordination statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CoordinatorStats {
+        self.stats
+    }
+
+    /// Registered engines (for post-run inspection).
+    #[must_use]
+    pub fn engines(&self) -> &[Box<dyn SimEngine>] {
+        &self.engines
+    }
+
+    /// Whether all engines are done.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.engines.iter().all(|e| e.is_done())
+    }
+
+    /// Maximum skew between any two engine clocks.
+    #[must_use]
+    pub fn skew(&self) -> u64 {
+        let times: Vec<u64> = self.engines.iter().map(|e| e.local_time()).collect();
+        match (times.iter().max(), times.iter().min()) {
+            (Some(&hi), Some(&lo)) => hi - lo,
+            _ => 0,
+        }
+    }
+
+    /// Executes one lockstep round: every unfinished engine advances to
+    /// the next quantum horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn run_one_round(&mut self) -> Result<(), SimError> {
+        let horizon = self.stats.time + self.quantum;
+        for e in &mut self.engines {
+            if !e.is_done() {
+                e.advance_to(horizon)?;
+            }
+        }
+        self.stats.time = horizon;
+        self.stats.sync_rounds += 1;
+        Ok(())
+    }
+
+    /// Runs lockstep rounds until every engine is done or `budget` global
+    /// cycles have elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Budget`] on budget exhaustion and propagates
+    /// engine failures.
+    pub fn run(&mut self, budget: u64) -> Result<CoordinatorStats, SimError> {
+        while !self.is_done() {
+            if self.stats.time >= budget {
+                return Err(SimError::Budget { limit: budget });
+            }
+            self.run_one_round()?;
+        }
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy engine that needs `work` cycles to finish.
+    #[derive(Debug)]
+    struct Worker {
+        name: String,
+        time: u64,
+        work: u64,
+    }
+
+    impl SimEngine for Worker {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn local_time(&self) -> u64 {
+            self.time
+        }
+        fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+            self.time = t.min(self.work).max(self.time);
+            Ok(())
+        }
+        fn is_done(&self) -> bool {
+            self.time >= self.work
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn worker(name: &str, work: u64) -> Box<dyn SimEngine> {
+        Box::new(Worker {
+            name: name.to_string(),
+            time: 0,
+            work,
+        })
+    }
+
+    #[test]
+    fn runs_until_all_engines_finish() {
+        let mut c = Coordinator::new(10);
+        c.add_engine(worker("hw", 95));
+        c.add_engine(worker("sw", 42));
+        let stats = c.run(1_000).unwrap();
+        assert!(c.is_done());
+        assert_eq!(stats.time, 100, "rounded up to quantum");
+        assert_eq!(stats.sync_rounds, 10);
+    }
+
+    #[test]
+    fn skew_bounded_by_quantum() {
+        let mut c = Coordinator::new(7);
+        c.add_engine(worker("a", 100));
+        c.add_engine(worker("b", 30));
+        while !c.is_done() {
+            let t = c.stats().time + 7;
+            for e in &mut c.engines {
+                e.advance_to(t).unwrap();
+            }
+            c.stats.time = t;
+            assert!(c.skew() <= 100, "skew stays bounded");
+        }
+    }
+
+    #[test]
+    fn smaller_quantum_costs_more_rounds() {
+        let mut fine = Coordinator::new(1);
+        fine.add_engine(worker("w", 64));
+        let fine_stats = fine.run(10_000).unwrap();
+        let mut coarse = Coordinator::new(32);
+        coarse.add_engine(worker("w", 64));
+        let coarse_stats = coarse.run(10_000).unwrap();
+        assert!(fine_stats.sync_rounds > coarse_stats.sync_rounds * 10);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut c = Coordinator::new(10);
+        c.add_engine(worker("slow", 1_000_000));
+        assert_eq!(c.run(100), Err(SimError::Budget { limit: 100 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let _ = Coordinator::new(0);
+    }
+
+    #[test]
+    fn empty_coordinator_is_trivially_done() {
+        let mut c = Coordinator::new(5);
+        let stats = c.run(10).unwrap();
+        assert_eq!(stats.sync_rounds, 0);
+    }
+}

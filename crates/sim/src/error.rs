@@ -1,0 +1,90 @@
+//! Error types for co-simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use codesign_isa::IsaError;
+use codesign_rtl::RtlError;
+
+/// Errors produced by the co-simulation engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The process network deadlocked: blocked processes with no runnable
+    /// work left.
+    Deadlock {
+        /// Simulation time at which the deadlock was detected.
+        time: u64,
+        /// Names of the blocked processes.
+        blocked: Vec<String>,
+    },
+    /// The simulation exceeded its cycle budget.
+    Budget {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// A placement references an unknown process or resource.
+    BadPlacement {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An error from the software side (instruction-set simulator).
+    Software(IsaError),
+    /// An error from the hardware side (RTL simulator).
+    Hardware(RtlError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time, blocked } => {
+                write!(
+                    f,
+                    "deadlock at cycle {time}: blocked {}",
+                    blocked.join(", ")
+                )
+            }
+            SimError::Budget { limit } => write!(f, "cycle budget {limit} exhausted"),
+            SimError::BadPlacement { reason } => write!(f, "bad placement: {reason}"),
+            SimError::Software(e) => write!(f, "software: {e}"),
+            SimError::Hardware(e) => write!(f, "hardware: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Software(e) => Some(e),
+            SimError::Hardware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<IsaError> for SimError {
+    fn from(e: IsaError) -> Self {
+        SimError::Software(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<RtlError> for SimError {
+    fn from(e: RtlError) -> Self {
+        SimError::Hardware(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_domain() {
+        let e = SimError::from(RtlError::BusFault { addr: 1 });
+        assert!(e.to_string().starts_with("hardware:"));
+        let e = SimError::from(IsaError::Timeout { cycles: 9 });
+        assert!(e.to_string().starts_with("software:"));
+    }
+}

@@ -1,0 +1,412 @@
+//! The abstraction ladder experiment (paper Figure 3 / experiment E3).
+//!
+//! One producer/consumer system — software on the CR32 produces messages,
+//! a hardware FIFO engine consumes them — is simulated at each of the
+//! four interface abstraction levels the paper names:
+//!
+//! | level | HW/SW interaction modeled as | engine |
+//! |---|---|---|
+//! | [`AbstractionLevel::Pin`] | bus pin activity | ISS + gate-level [`crate::pinproto::PinPhy`] |
+//! | [`AbstractionLevel::Register`] | register reads/writes | ISS + transaction-level bus |
+//! | [`AbstractionLevel::Driver`] | device-driver calls | analytic driver cost model |
+//! | [`AbstractionLevel::Message`] | `send`/`receive`/`wait` | [`crate::message`] rendezvous kernel |
+//!
+//! Each level reports simulated cycles, kernel events (the computational
+//! cost of simulating), and wall-clock time. The paper's predicted shape:
+//! accuracy decreases and speed increases as you climb the ladder —
+//! pin-level is the reference ("most accurate … but computationally
+//! expensive"), message-level is "very efficient computationally, but may
+//! not be useful for evaluating performance".
+
+use std::time::{Duration, Instant};
+
+use codesign_isa::asm::assemble;
+use codesign_isa::cpu::{Cpu, MMIO_BASE};
+use codesign_rtl::bus::{fifo_regs, BusTiming, DrainFifo, SystemBus};
+
+use codesign_ir::process::{Action, Process, ProcessNetwork};
+
+use crate::error::SimError;
+use crate::message::{self, MessageConfig, Placement, Resource};
+use crate::pinproto::PinPhy;
+
+/// The four interface-abstraction levels of the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbstractionLevel {
+    /// Bus pin / signal activity (Becker et al. \[4\]).
+    Pin,
+    /// Register reads and writes (transaction level).
+    Register,
+    /// Device-driver calls with calibrated costs.
+    Driver,
+    /// OS-level send/receive/wait (Coumeri & Thomas \[3\]).
+    Message,
+}
+
+impl AbstractionLevel {
+    /// All levels, bottom (most accurate) to top (fastest).
+    pub const ALL: [AbstractionLevel; 4] = [
+        AbstractionLevel::Pin,
+        AbstractionLevel::Register,
+        AbstractionLevel::Driver,
+        AbstractionLevel::Message,
+    ];
+}
+
+impl std::fmt::Display for AbstractionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbstractionLevel::Pin => "pin",
+            AbstractionLevel::Register => "register",
+            AbstractionLevel::Driver => "driver",
+            AbstractionLevel::Message => "message",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The producer/consumer scenario parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderConfig {
+    /// Producer iterations (messages sent).
+    pub iterations: u32,
+    /// Bytes per message.
+    pub message_bytes: u64,
+    /// Producer compute cycles per iteration.
+    pub compute_cycles: u64,
+    /// FIFO capacity in 32-bit words.
+    pub fifo_capacity: usize,
+    /// Consumer drain rate: cycles per word.
+    pub drain_period: u64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            iterations: 16,
+            message_bytes: 64,
+            compute_cycles: 480,
+            fifo_capacity: 16,
+            drain_period: 12,
+        }
+    }
+}
+
+impl LadderConfig {
+    /// Words per message on the 32-bit bus.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.message_bytes.div_ceil(4)
+    }
+}
+
+/// Results of simulating the scenario at one level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelReport {
+    /// The level simulated.
+    pub level: AbstractionLevel,
+    /// End-to-end simulated time in cycles.
+    pub simulated_cycles: u64,
+    /// Simulation-kernel events processed (instructions, transactions,
+    /// pin events, or scheduler actions — the cost currency of Figure 3).
+    pub kernel_events: u64,
+    /// Host wall-clock time spent simulating.
+    pub wall: Duration,
+}
+
+/// Driver-level cost model, nominally calibrated against the CR32 driver
+/// routines: a call overhead plus a per-word copy cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverCosts {
+    /// Fixed cycles per driver call.
+    pub call_overhead: u64,
+    /// Cycles per 32-bit word moved.
+    pub per_word: u64,
+}
+
+impl Default for DriverCosts {
+    fn default() -> Self {
+        // Matches the per-word cost of the polling driver when the FIFO
+        // never back-pressures: poll (lw+bge) + store + loop ≈ 13 cycles.
+        DriverCosts {
+            call_overhead: 25,
+            per_word: 13,
+        }
+    }
+}
+
+/// The producer driver program shared by the pin and register levels.
+fn producer_program(cfg: &LadderConfig) -> String {
+    format!(
+        "    li r1, {base}\n\
+         \x20   li r7, {iters}\n\
+         \x20   li r6, {cap}\n\
+         outer:\n\
+         \x20   li r2, {spins}\n\
+         spin:\n\
+         \x20   addi r2, r2, -1\n\
+         \x20   bne r2, r0, spin\n\
+         \x20   li r3, {words}\n\
+         \x20   li r4, 0x5A5A\n\
+         wloop:\n\
+         poll:\n\
+         \x20   lw r5, r1, {count_reg}\n\
+         \x20   bge r5, r6, poll\n\
+         \x20   sw r4, r1, {data_reg}\n\
+         \x20   add r4, r4, r3\n\
+         \x20   addi r3, r3, -1\n\
+         \x20   bne r3, r0, wloop\n\
+         \x20   addi r7, r7, -1\n\
+         \x20   bne r7, r0, outer\n\
+         \x20   halt\n",
+        base = MMIO_BASE,
+        iters = cfg.iterations,
+        cap = cfg.fifo_capacity,
+        spins = (cfg.compute_cycles / 3).max(1),
+        words = cfg.words(),
+        count_reg = fifo_regs::COUNT,
+        data_reg = fifo_regs::DATA,
+    )
+}
+
+fn run_iss(cfg: &LadderConfig, pin_level: bool) -> Result<LevelReport, SimError> {
+    let start = Instant::now();
+    let mut bus = SystemBus::new(BusTiming::default());
+    bus.map(
+        0x0,
+        0x100,
+        Box::new(DrainFifo::new(cfg.fifo_capacity, cfg.drain_period)),
+    )?;
+    if pin_level {
+        bus.set_phy(Box::new(PinPhy::new(&[(0x0, 0x100)])?));
+    }
+    let program = assemble(&producer_program(cfg))?;
+    let mut cpu = Cpu::new(4096);
+    cpu.attach_bus(bus);
+    cpu.load_program(&program);
+    let stats = cpu.run(1_000_000_000)?;
+
+    // Residual drain after the producer halts.
+    let bus = cpu.bus_mut().expect("bus attached");
+    let (residual_words, _) = bus.read(fifo_regs::COUNT)?;
+    let simulated_cycles = stats.cycles + u64::from(residual_words) * cfg.drain_period;
+
+    let bus_stats = bus.stats();
+    let kernel_events = if pin_level {
+        stats.instructions + bus.phy_events()
+    } else {
+        stats.instructions + bus_stats.reads + bus_stats.writes
+    };
+    Ok(LevelReport {
+        level: if pin_level {
+            AbstractionLevel::Pin
+        } else {
+            AbstractionLevel::Register
+        },
+        simulated_cycles,
+        kernel_events,
+        wall: start.elapsed(),
+    })
+}
+
+fn run_driver(cfg: &LadderConfig, costs: &DriverCosts) -> LevelReport {
+    let start = Instant::now();
+    let mut time = 0u64;
+    let mut events = 0u64;
+    for _ in 0..cfg.iterations {
+        time += cfg.compute_cycles;
+        time += costs.call_overhead + cfg.words() * costs.per_word;
+        events += 2; // one compute step, one driver call
+    }
+    // The driver level does not see FIFO back-pressure at all; it only
+    // adds the tail drain of the final message.
+    time += cfg.words() * cfg.drain_period;
+    LevelReport {
+        level: AbstractionLevel::Driver,
+        simulated_cycles: time,
+        kernel_events: events,
+        wall: start.elapsed(),
+    }
+}
+
+fn run_message(cfg: &LadderConfig) -> Result<LevelReport, SimError> {
+    let start = Instant::now();
+    let mut net = ProcessNetwork::new("ladder");
+    let ch = net.add_channel("data", 1);
+    net.add_process(
+        Process::new(
+            "producer",
+            vec![
+                Action::Compute(cfg.compute_cycles),
+                Action::Send {
+                    channel: ch,
+                    bytes: cfg.message_bytes,
+                },
+            ],
+        )
+        .with_iterations(cfg.iterations),
+    );
+    net.add_process(
+        Process::new(
+            "consumer",
+            vec![
+                Action::Receive { channel: ch },
+                Action::Compute(cfg.words() * cfg.drain_period),
+            ],
+        )
+        .with_iterations(cfg.iterations),
+    );
+    let placement = Placement::from_assignment(vec![Resource::Software(0), Resource::Hardware(0)]);
+    let config = MessageConfig {
+        hw_speedup: 1.0, // the consumer's Compute already is hardware time
+        ..MessageConfig::default()
+    };
+    let report = message::simulate(&net, &placement, &config)?;
+    Ok(LevelReport {
+        level: AbstractionLevel::Message,
+        simulated_cycles: report.finish_time,
+        kernel_events: report.events,
+        wall: start.elapsed(),
+    })
+}
+
+/// Simulates the scenario at one abstraction level.
+///
+/// # Errors
+///
+/// Propagates engine failures from the level's simulator.
+pub fn run_level(level: AbstractionLevel, cfg: &LadderConfig) -> Result<LevelReport, SimError> {
+    match level {
+        AbstractionLevel::Pin => run_iss(cfg, true),
+        AbstractionLevel::Register => run_iss(cfg, false),
+        AbstractionLevel::Driver => Ok(run_driver(cfg, &DriverCosts::default())),
+        AbstractionLevel::Message => run_message(cfg),
+    }
+}
+
+/// Simulates the scenario at every level, bottom to top.
+///
+/// # Errors
+///
+/// Propagates the first engine failure.
+pub fn run_ladder(cfg: &LadderConfig) -> Result<Vec<LevelReport>, SimError> {
+    AbstractionLevel::ALL
+        .iter()
+        .map(|&l| run_level(l, cfg))
+        .collect()
+}
+
+/// Relative timing error of each report against the pin-level reference
+/// (which must be the first entry, as produced by [`run_ladder`]).
+#[must_use]
+pub fn timing_errors(reports: &[LevelReport]) -> Vec<(AbstractionLevel, f64)> {
+    let Some(reference) = reports
+        .iter()
+        .find(|r| r.level == AbstractionLevel::Pin)
+        .map(|r| r.simulated_cycles)
+    else {
+        return Vec::new();
+    };
+    reports
+        .iter()
+        .map(|r| {
+            let err = (r.simulated_cycles as f64 - reference as f64).abs() / reference as f64;
+            (r.level, err)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_runs_at_all_levels() {
+        let cfg = LadderConfig::default();
+        let reports = run_ladder(&cfg).unwrap();
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.simulated_cycles > 0, "{}", r.level);
+            assert!(r.kernel_events > 0, "{}", r.level);
+        }
+    }
+
+    #[test]
+    fn event_cost_decreases_up_the_ladder() {
+        let cfg = LadderConfig::default();
+        let reports = run_ladder(&cfg).unwrap();
+        let events: Vec<u64> = reports.iter().map(|r| r.kernel_events).collect();
+        // pin >> register > driver; message is also far below register.
+        assert!(
+            events[0] > 2 * events[1],
+            "pin {} vs register {}",
+            events[0],
+            events[1]
+        );
+        assert!(
+            events[1] > events[2],
+            "register {} vs driver {}",
+            events[1],
+            events[2]
+        );
+        assert!(
+            events[1] > events[3],
+            "register {} vs message {}",
+            events[1],
+            events[3]
+        );
+    }
+
+    #[test]
+    fn pin_level_is_the_slowest_but_reference_timing() {
+        let cfg = LadderConfig::default();
+        let reports = run_ladder(&cfg).unwrap();
+        // Pin sees wait states the register level hides.
+        assert!(
+            reports[0].simulated_cycles >= reports[1].simulated_cycles,
+            "pin {} vs register {}",
+            reports[0].simulated_cycles,
+            reports[1].simulated_cycles
+        );
+    }
+
+    #[test]
+    fn timing_error_grows_up_the_ladder() {
+        let cfg = LadderConfig {
+            drain_period: 40, // heavy congestion: abstraction hides a lot
+            ..LadderConfig::default()
+        };
+        let reports = run_ladder(&cfg).unwrap();
+        let errors = timing_errors(&reports);
+        assert_eq!(errors[0].1, 0.0, "pin is the reference");
+        // Every abstraction above register has a larger error than
+        // register itself under congestion.
+        assert!(errors[2].1 >= errors[1].1, "driver vs register");
+        assert!(errors[3].1 >= errors[1].1, "message vs register");
+    }
+
+    #[test]
+    fn errors_without_reference_are_empty() {
+        assert!(timing_errors(&[]).is_empty());
+    }
+
+    #[test]
+    fn driver_level_is_deterministic() {
+        let cfg = LadderConfig::default();
+        let a = run_level(AbstractionLevel::Driver, &cfg).unwrap();
+        let b = run_level(AbstractionLevel::Driver, &cfg).unwrap();
+        assert_eq!(a.simulated_cycles, b.simulated_cycles);
+    }
+
+    #[test]
+    fn message_size_sweep_scales_all_levels() {
+        for bytes in [16u64, 256] {
+            let cfg = LadderConfig {
+                message_bytes: bytes,
+                ..LadderConfig::default()
+            };
+            let reports = run_ladder(&cfg).unwrap();
+            assert!(reports.iter().all(|r| r.simulated_cycles > 0));
+        }
+    }
+}

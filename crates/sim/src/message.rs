@@ -1,0 +1,645 @@
+//! Message-level co-simulation of process networks.
+//!
+//! The top of the paper's Figure 3: HW/SW interaction modeled "at a high
+//! level by the process or device communication mechanism provided by an
+//! operating system" with `send`, `receive`, and `wait` operations (after
+//! Coumeri & Thomas \[3\]). Processes execute their `codesign-ir` bodies;
+//! channels are rendezvous (or bounded buffers); communication costs come
+//! from a [`CommModel`] instead of simulated bus traffic — which is
+//! exactly why this level is fast and why its timing is approximate.
+//!
+//! A [`Placement`] maps each process to a resource: software processes
+//! sharing a CPU serialize (with context-switch overhead) while each
+//! hardware process owns a controller/datapath pair and runs faster and
+//! concurrently. Messages that cross the HW/SW boundary pay the full
+//! communication cost; local ones are discounted — making this simulator
+//! the evaluation engine for the paper's Section 4.5.1 claim that good
+//! partitions "minimize communication … and maximize concurrency".
+
+use std::collections::VecDeque;
+
+use codesign_ir::process::{Action, ChannelId, ProcessId, ProcessNetwork};
+
+use crate::error::SimError;
+
+/// Cost model for one message transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    /// Fixed per-message cost (synchronization, driver entry).
+    pub setup_cycles: u64,
+    /// Payload bandwidth in bytes per cycle.
+    pub bytes_per_cycle: u64,
+    /// Multiplier applied when sender and receiver share a resource
+    /// (shared-memory shortcut).
+    pub local_discount: f64,
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel {
+            setup_cycles: 20,
+            bytes_per_cycle: 4,
+            local_discount: 0.25,
+        }
+    }
+}
+
+impl CommModel {
+    /// Cycles to transfer `bytes` across the boundary (`local == false`)
+    /// or within one resource.
+    #[must_use]
+    pub fn transfer_cycles(&self, bytes: u64, local: bool) -> u64 {
+        let raw = self.setup_cycles + bytes.div_ceil(self.bytes_per_cycle.max(1));
+        if local {
+            ((raw as f64 * self.local_discount).ceil() as u64).max(1)
+        } else {
+            raw
+        }
+    }
+}
+
+/// Where a process executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// A software processor, identified by index; processes on the same
+    /// processor serialize.
+    Software(u32),
+    /// A dedicated hardware controller/datapath pair, identified by
+    /// index; hardware processes run concurrently.
+    Hardware(u32),
+}
+
+impl Resource {
+    /// Whether a message between the two resources stays local: same
+    /// resource, or two controller/datapath pairs inside the one
+    /// multi-threaded co-processor (paper Figure 9) — only traffic that
+    /// crosses the HW/SW boundary pays the full cost.
+    #[must_use]
+    pub fn is_local_to(self, other: Resource) -> bool {
+        self == other
+            || matches!(
+                (self, other),
+                (Resource::Hardware(_), Resource::Hardware(_))
+            )
+    }
+}
+
+/// A mapping from processes to resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    assignment: Vec<Resource>,
+}
+
+impl Placement {
+    /// Places every process on its own hardware resource (fully
+    /// concurrent — the pure verification configuration of \[3\]).
+    #[must_use]
+    pub fn all_hardware(n: usize) -> Self {
+        Placement {
+            assignment: (0..n as u32).map(Resource::Hardware).collect(),
+        }
+    }
+
+    /// Places every process on software processor 0 (fully serialized).
+    #[must_use]
+    pub fn all_software(n: usize) -> Self {
+        Placement {
+            assignment: vec![Resource::Software(0); n],
+        }
+    }
+
+    /// Builds a placement from an explicit assignment.
+    #[must_use]
+    pub fn from_assignment(assignment: Vec<Resource>) -> Self {
+        Placement { assignment }
+    }
+
+    /// Resource of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this placement.
+    #[must_use]
+    pub fn resource(&self, p: ProcessId) -> Resource {
+        self.assignment[p.index()]
+    }
+
+    /// Number of processes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the placement is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageConfig {
+    /// Communication cost model.
+    pub comm: CommModel,
+    /// Default speedup of hardware processes over their software cost.
+    pub hw_speedup: f64,
+    /// Per-process speedup overrides (indexed by process), e.g. from
+    /// calibrated behavioral synthesis of the process's kernel; entries
+    /// override [`MessageConfig::hw_speedup`] for hardware placements.
+    pub hw_speedups: Option<Vec<f64>>,
+    /// Context-switch cost when a software processor switches processes.
+    pub context_switch: u64,
+    /// Cycle budget before giving up.
+    pub budget: u64,
+}
+
+impl Default for MessageConfig {
+    fn default() -> Self {
+        MessageConfig {
+            comm: CommModel::default(),
+            hw_speedup: 8.0,
+            hw_speedups: None,
+            context_switch: 50,
+            budget: 100_000_000,
+        }
+    }
+}
+
+/// Results of one message-level simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageReport {
+    /// Time at which the last process finished.
+    pub finish_time: u64,
+    /// Messages transferred.
+    pub messages: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Bytes that crossed a resource boundary.
+    pub cross_boundary_bytes: u64,
+    /// Kernel events processed (actions plus transfers) — the
+    /// computational cost currency of Figure 3.
+    pub events: u64,
+    /// Finish time of each process.
+    pub per_process_finish: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Running,
+    BlockedSend,
+    BlockedRecv,
+    Finished,
+}
+
+struct Proc {
+    ready: u64,
+    iter: u32,
+    idx: usize,
+    state: ProcState,
+}
+
+/// Simulates a process network under a placement.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] for circular channel waits,
+/// [`SimError::Budget`] when the budget expires, and
+/// [`SimError::BadPlacement`] if the placement does not cover the
+/// network.
+pub fn simulate(
+    net: &ProcessNetwork,
+    placement: &Placement,
+    config: &MessageConfig,
+) -> Result<MessageReport, SimError> {
+    if placement.len() != net.len() {
+        return Err(SimError::BadPlacement {
+            reason: format!(
+                "placement covers {} processes, network has {}",
+                placement.len(),
+                net.len()
+            ),
+        });
+    }
+    let n = net.len();
+    let mut procs: Vec<Proc> = (0..n)
+        .map(|i| Proc {
+            ready: 0,
+            iter: 0,
+            idx: 0,
+            state: if net.process(ProcessId::from_index(i)).actions().is_empty() {
+                ProcState::Finished
+            } else {
+                ProcState::Running
+            },
+        })
+        .collect();
+    // Per channel: buffered entries (ready_at, bytes) and blocked parties.
+    struct Chan {
+        queue: VecDeque<(u64, u64)>,
+        cap: usize,
+        sender: Option<(usize, u64)>, // (process, bytes) blocked at send
+        receiver: Option<usize>,
+    }
+    let mut chans: Vec<Chan> = (0..net.channel_count())
+        .map(|i| Chan {
+            queue: VecDeque::new(),
+            cap: net.channel(ChannelId::from_index(i)).capacity(),
+            sender: None,
+            receiver: None,
+        })
+        .collect();
+    // Software resources serialize: free-at time and last process.
+    use std::collections::HashMap;
+    let mut sw_free: HashMap<u32, (u64, usize)> = HashMap::new();
+
+    let mut report = MessageReport {
+        finish_time: 0,
+        messages: 0,
+        bytes: 0,
+        cross_boundary_bytes: 0,
+        events: 0,
+        per_process_finish: vec![0; n],
+    };
+
+    let current_action = |net: &ProcessNetwork, p: usize, proc_: &Proc| -> Option<Action> {
+        let process = net.process(ProcessId::from_index(p));
+        if proc_.iter >= process.iterations() {
+            return None;
+        }
+        process.actions().get(proc_.idx).copied()
+    };
+
+    let advance_cursor = |proc_: &mut Proc, len: usize| {
+        proc_.idx += 1;
+        if proc_.idx >= len {
+            proc_.idx = 0;
+            proc_.iter += 1;
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Phase 1: run every runnable process until it blocks or ends.
+        // `p` is a process identity used across several parallel arrays.
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..n {
+            while procs[p].state == ProcState::Running {
+                let body_len = net.process(ProcessId::from_index(p)).actions().len();
+                let Some(action) = current_action(net, p, &procs[p]) else {
+                    procs[p].state = ProcState::Finished;
+                    report.per_process_finish[p] = procs[p].ready;
+                    progressed = true;
+                    break;
+                };
+                match action {
+                    Action::Compute(c) => {
+                        report.events += 1;
+                        match placement.resource(ProcessId::from_index(p)) {
+                            Resource::Software(cpu) => {
+                                let entry = sw_free.entry(cpu).or_insert((0, p));
+                                let mut start = procs[p].ready.max(entry.0);
+                                if entry.1 != p {
+                                    start += config.context_switch;
+                                }
+                                let finish = start + c;
+                                *entry = (finish, p);
+                                procs[p].ready = finish;
+                            }
+                            Resource::Hardware(_) => {
+                                let speedup = config
+                                    .hw_speedups
+                                    .as_ref()
+                                    .and_then(|v| v.get(p).copied())
+                                    .unwrap_or(config.hw_speedup);
+                                let cost = ((c as f64 / speedup).ceil() as u64).max(1);
+                                procs[p].ready += cost;
+                            }
+                        }
+                        advance_cursor(&mut procs[p], body_len);
+                        progressed = true;
+                    }
+                    Action::Wait(c) => {
+                        report.events += 1;
+                        procs[p].ready += c;
+                        advance_cursor(&mut procs[p], body_len);
+                        progressed = true;
+                    }
+                    Action::Send { channel, bytes } => {
+                        let ch = &mut chans[channel.index()];
+                        if ch.cap > 0 && ch.queue.len() < ch.cap {
+                            // Buffered: sender pays the transfer and moves on.
+                            let local = false; // boundary known only at receive
+                            let cost = config.comm.transfer_cycles(bytes, local);
+                            procs[p].ready += cost;
+                            ch.queue.push_back((procs[p].ready, bytes));
+                            report.events += 1;
+                            advance_cursor(&mut procs[p], body_len);
+                            progressed = true;
+                        } else {
+                            ch.sender = Some((p, bytes));
+                            procs[p].state = ProcState::BlockedSend;
+                        }
+                    }
+                    Action::Receive { channel } => {
+                        let ch = &mut chans[channel.index()];
+                        if let Some((ready_at, bytes)) = ch.queue.pop_front() {
+                            procs[p].ready = procs[p].ready.max(ready_at);
+                            report.messages += 1;
+                            report.bytes += bytes;
+                            report.events += 1;
+                            advance_cursor(&mut procs[p], body_len);
+                            progressed = true;
+                        } else {
+                            ch.receiver = Some(p);
+                            procs[p].state = ProcState::BlockedRecv;
+                        }
+                    }
+                }
+                if procs[p].ready > config.budget {
+                    return Err(SimError::Budget {
+                        limit: config.budget,
+                    });
+                }
+            }
+        }
+
+        // Phase 2: complete rendezvous where both parties are blocked.
+        #[allow(clippy::needless_range_loop)] // mutates chans[ci] under match guards
+        for ci in 0..chans.len() {
+            let (sender, receiver) = (chans[ci].sender, chans[ci].receiver);
+            if let (Some((s, bytes)), Some(r)) = (sender, receiver) {
+                let local = placement
+                    .resource(ProcessId::from_index(s))
+                    .is_local_to(placement.resource(ProcessId::from_index(r)));
+                let start = procs[s].ready.max(procs[r].ready);
+                let done = start + config.comm.transfer_cycles(bytes, local);
+                procs[s].ready = done;
+                procs[r].ready = done;
+                report.messages += 1;
+                report.bytes += bytes;
+                if !local {
+                    report.cross_boundary_bytes += bytes;
+                }
+                report.events += 1;
+                for &p in &[s, r] {
+                    let body_len = net.process(ProcessId::from_index(p)).actions().len();
+                    procs[p].state = ProcState::Running;
+                    advance_cursor(&mut procs[p], body_len);
+                }
+                chans[ci].sender = None;
+                chans[ci].receiver = None;
+                progressed = true;
+            }
+            // A blocked sender on a buffered channel with space frees up.
+            else if let Some((s, bytes)) = sender {
+                if chans[ci].cap > 0 && chans[ci].queue.len() < chans[ci].cap {
+                    let cost = config.comm.transfer_cycles(bytes, false);
+                    procs[s].ready += cost;
+                    let entry = (procs[s].ready, bytes);
+                    chans[ci].queue.push_back(entry);
+                    chans[ci].sender = None;
+                    let body_len = net.process(ProcessId::from_index(s)).actions().len();
+                    procs[s].state = ProcState::Running;
+                    advance_cursor(&mut procs[s], body_len);
+                    report.events += 1;
+                    progressed = true;
+                }
+            }
+            // A blocked receiver with a buffered message completes.
+            else if let Some(r) = receiver {
+                if let Some((ready_at, bytes)) = chans[ci].queue.pop_front() {
+                    procs[r].ready = procs[r].ready.max(ready_at);
+                    report.messages += 1;
+                    report.bytes += bytes;
+                    report.events += 1;
+                    let body_len = net.process(ProcessId::from_index(r)).actions().len();
+                    procs[r].state = ProcState::Running;
+                    advance_cursor(&mut procs[r], body_len);
+                    chans[ci].receiver = None;
+                    progressed = true;
+                }
+            }
+        }
+
+        if procs.iter().all(|p| p.state == ProcState::Finished) {
+            break;
+        }
+        if !progressed {
+            let blocked: Vec<String> = procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.state != ProcState::Finished)
+                .map(|(i, _)| net.process(ProcessId::from_index(i)).name().to_string())
+                .collect();
+            let time = procs.iter().map(|p| p.ready).max().unwrap_or(0);
+            return Err(SimError::Deadlock { time, blocked });
+        }
+    }
+
+    report.finish_time = report.per_process_finish.iter().copied().max().unwrap_or(0);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::process::Process;
+    use codesign_ir::workload::tgff::{random_process_network, NetworkConfig};
+
+    fn prodcons(iterations: u32, bytes: u64) -> ProcessNetwork {
+        let mut net = ProcessNetwork::new("prodcons");
+        let ch = net.add_channel("data", 0);
+        net.add_process(
+            Process::new(
+                "producer",
+                vec![Action::Compute(100), Action::Send { channel: ch, bytes }],
+            )
+            .with_iterations(iterations),
+        );
+        net.add_process(
+            Process::new(
+                "consumer",
+                vec![Action::Receive { channel: ch }, Action::Compute(300)],
+            )
+            .with_iterations(iterations),
+        );
+        net
+    }
+
+    #[test]
+    fn rendezvous_pipeline_completes() {
+        let net = prodcons(8, 64);
+        let r = simulate(&net, &Placement::all_hardware(2), &MessageConfig::default()).unwrap();
+        assert_eq!(r.messages, 8);
+        assert_eq!(r.bytes, 8 * 64);
+        assert!(r.finish_time > 0);
+    }
+
+    #[test]
+    fn software_serialization_is_slower_than_hardware_concurrency() {
+        let net = prodcons(8, 64);
+        let cfg = MessageConfig {
+            hw_speedup: 1.0, // isolate the concurrency effect
+            ..MessageConfig::default()
+        };
+        let hw = simulate(&net, &Placement::all_hardware(2), &cfg).unwrap();
+        let sw = simulate(&net, &Placement::all_software(2), &cfg).unwrap();
+        assert!(
+            sw.finish_time > hw.finish_time,
+            "sw {} vs hw {}",
+            sw.finish_time,
+            hw.finish_time
+        );
+    }
+
+    #[test]
+    fn local_messages_are_discounted() {
+        let net = prodcons(4, 512);
+        let cfg = MessageConfig {
+            hw_speedup: 1.0,
+            context_switch: 0,
+            ..MessageConfig::default()
+        };
+        let split = simulate(
+            &net,
+            &Placement::from_assignment(vec![Resource::Software(0), Resource::Hardware(0)]),
+            &cfg,
+        )
+        .unwrap();
+        let colocated = simulate(&net, &Placement::all_software(2), &cfg).unwrap();
+        assert_eq!(split.cross_boundary_bytes, 4 * 512);
+        assert_eq!(colocated.cross_boundary_bytes, 0);
+    }
+
+    #[test]
+    fn hw_speedup_shortens_compute() {
+        let net = prodcons(4, 16);
+        let slow = simulate(
+            &net,
+            &Placement::all_hardware(2),
+            &MessageConfig {
+                hw_speedup: 1.0,
+                ..MessageConfig::default()
+            },
+        )
+        .unwrap();
+        let fast = simulate(
+            &net,
+            &Placement::all_hardware(2),
+            &MessageConfig {
+                hw_speedup: 10.0,
+                ..MessageConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(fast.finish_time < slow.finish_time);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Two processes each receive before sending: classic deadlock.
+        let mut net = ProcessNetwork::new("dl");
+        let ab = net.add_channel("ab", 0);
+        let ba = net.add_channel("ba", 0);
+        net.add_process(Process::new(
+            "a",
+            vec![
+                Action::Receive { channel: ba },
+                Action::Send {
+                    channel: ab,
+                    bytes: 4,
+                },
+            ],
+        ));
+        net.add_process(Process::new(
+            "b",
+            vec![
+                Action::Receive { channel: ab },
+                Action::Send {
+                    channel: ba,
+                    bytes: 4,
+                },
+            ],
+        ));
+        let err =
+            simulate(&net, &Placement::all_hardware(2), &MessageConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn buffered_channel_decouples_sender() {
+        let mut net = ProcessNetwork::new("buf");
+        let ch = net.add_channel("c", 4);
+        net.add_process(
+            Process::new(
+                "fast_sender",
+                vec![Action::Send {
+                    channel: ch,
+                    bytes: 8,
+                }],
+            )
+            .with_iterations(4),
+        );
+        net.add_process(
+            Process::new(
+                "slow_receiver",
+                vec![Action::Receive { channel: ch }, Action::Compute(1_000)],
+            )
+            .with_iterations(4),
+        );
+        let r = simulate(&net, &Placement::all_hardware(2), &MessageConfig::default()).unwrap();
+        // Sender finishes long before the receiver.
+        assert!(r.per_process_finish[0] < r.per_process_finish[1] / 2);
+    }
+
+    #[test]
+    fn placement_must_cover_network() {
+        let net = prodcons(1, 1);
+        let err =
+            simulate(&net, &Placement::all_hardware(5), &MessageConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadPlacement { .. }));
+    }
+
+    #[test]
+    fn random_networks_complete_without_deadlock() {
+        for seed in 0..8 {
+            let net = random_process_network(&NetworkConfig {
+                seed,
+                ..NetworkConfig::default()
+            });
+            let r = simulate(
+                &net,
+                &Placement::all_hardware(net.len()),
+                &MessageConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(r.finish_time > 0);
+        }
+    }
+
+    #[test]
+    fn context_switch_costs_show_up_when_sharing_a_cpu() {
+        let net = prodcons(8, 8);
+        let cheap = simulate(
+            &net,
+            &Placement::all_software(2),
+            &MessageConfig {
+                context_switch: 0,
+                ..MessageConfig::default()
+            },
+        )
+        .unwrap();
+        let pricey = simulate(
+            &net,
+            &Placement::all_software(2),
+            &MessageConfig {
+                context_switch: 500,
+                ..MessageConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(pricey.finish_time > cheap.finish_time);
+    }
+}

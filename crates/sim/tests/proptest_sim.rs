@@ -1,0 +1,145 @@
+//! Property-based tests for the co-simulation engines.
+
+use codesign_ir::process::ProcessId;
+use codesign_ir::workload::tgff::{random_process_network, NetworkConfig};
+use codesign_sim::message::{simulate, MessageConfig, Placement, Resource};
+use proptest::prelude::*;
+
+fn arb_network() -> impl Strategy<Value = codesign_ir::process::ProcessNetwork> {
+    (2usize..9, any::<u64>(), 0.0f64..1.0, 1u32..12).prop_map(
+        |(processes, seed, channel_prob, iterations)| {
+            random_process_network(&NetworkConfig {
+                processes,
+                seed,
+                channel_prob,
+                iterations,
+                ..NetworkConfig::default()
+            })
+        },
+    )
+}
+
+fn arb_placement(n: usize) -> impl Strategy<Value = Placement> {
+    prop::collection::vec(0u8..3, n).prop_map(|choices| {
+        let mut hw = 0u32;
+        Placement::from_assignment(
+            choices
+                .into_iter()
+                .map(|c| match c {
+                    0 => Resource::Software(0),
+                    1 => Resource::Software(1),
+                    _ => {
+                        hw += 1;
+                        Resource::Hardware(hw - 1)
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generated networks complete under any placement — no deadlocks,
+    /// since their channel topology follows the process order.
+    #[test]
+    fn random_networks_never_deadlock(net in arb_network(), seed in any::<u64>()) {
+        let n = net.len();
+        let placement = {
+            let mut hw = 0u32;
+            Placement::from_assignment(
+                (0..n)
+                    .map(|i| {
+                        if (seed >> (i % 64)) & 1 == 1 {
+                            hw += 1;
+                            Resource::Hardware(hw - 1)
+                        } else {
+                            Resource::Software(0)
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let report = simulate(&net, &placement, &MessageConfig::default()).expect("completes");
+        prop_assert!(report.finish_time > 0);
+    }
+
+    /// Message conservation: every send is received exactly once, so the
+    /// simulated message count and byte count equal the network's totals.
+    #[test]
+    fn messages_are_conserved(net in arb_network()) {
+        let report = simulate(
+            &net,
+            &Placement::all_hardware(net.len()),
+            &MessageConfig::default(),
+        )
+        .expect("completes");
+        let total_msgs: u64 = net
+            .iter()
+            .map(|(_, p)| {
+                let sends = p
+                    .actions()
+                    .iter()
+                    .filter(|a| matches!(a, codesign_ir::process::Action::Send { .. }))
+                    .count() as u64;
+                sends * u64::from(p.iterations())
+            })
+            .sum();
+        let total_bytes: u64 = net.iter().map(|(_, p)| p.total_sent_bytes()).sum();
+        prop_assert_eq!(report.messages, total_msgs);
+        prop_assert_eq!(report.bytes, total_bytes);
+    }
+
+    /// Simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic(net in arb_network(), p in arb_placement(8)) {
+        prop_assume!(p.len() >= net.len());
+        let placement = Placement::from_assignment(
+            net.ids().map(|id| p.resource(ProcessId::from_index(id.index() % p.len()))).collect(),
+        );
+        let a = simulate(&net, &placement, &MessageConfig::default()).expect("completes");
+        let b = simulate(&net, &placement, &MessageConfig::default()).expect("completes");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Lower bound: no process finishes before its own busy time
+    /// (compute scaled by its resource, plus nothing for waits).
+    #[test]
+    fn finish_time_bounded_below_by_busy_time(net in arb_network()) {
+        let config = MessageConfig {
+            hw_speedup: 4.0,
+            ..MessageConfig::default()
+        };
+        let placement = Placement::all_hardware(net.len());
+        let report = simulate(&net, &placement, &config).expect("completes");
+        for (id, p) in net.iter() {
+            let busy = (p.total_compute() as f64 / config.hw_speedup).floor() as u64;
+            prop_assert!(
+                report.per_process_finish[id.index()] >= busy,
+                "{}: {} < {busy}",
+                p.name(),
+                report.per_process_finish[id.index()]
+            );
+        }
+    }
+
+    /// Faster hardware never slows the system down.
+    #[test]
+    fn hw_speedup_is_monotone(net in arb_network()) {
+        let placement = Placement::all_hardware(net.len());
+        let slow = simulate(
+            &net,
+            &placement,
+            &MessageConfig { hw_speedup: 1.0, ..MessageConfig::default() },
+        )
+        .expect("completes");
+        let fast = simulate(
+            &net,
+            &placement,
+            &MessageConfig { hw_speedup: 16.0, ..MessageConfig::default() },
+        )
+        .expect("completes");
+        prop_assert!(fast.finish_time <= slow.finish_time);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for co-synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+use codesign_hls::HlsError;
+use codesign_ir::IrError;
+use codesign_isa::IsaError;
+use codesign_partition::PartitionError;
+use codesign_rtl::RtlError;
+use codesign_sim::SimError;
+
+/// Errors produced by the co-synthesis flows.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// No allocation satisfies the constraints (e.g. the deadline is
+    /// below the critical path on the fastest processor).
+    Infeasible {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A device or task specification is malformed.
+    BadSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Propagated IR error.
+    Ir(IrError),
+    /// Propagated behavioral-synthesis error.
+    Hls(HlsError),
+    /// Propagated software-toolchain error.
+    Isa(IsaError),
+    /// Propagated hardware-simulation error.
+    Rtl(RtlError),
+    /// Propagated co-simulation error.
+    Sim(SimError),
+    /// Propagated partitioning error.
+    Partition(PartitionError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            SynthError::BadSpec { reason } => write!(f, "bad specification: {reason}"),
+            SynthError::Ir(e) => write!(f, "ir: {e}"),
+            SynthError::Hls(e) => write!(f, "hls: {e}"),
+            SynthError::Isa(e) => write!(f, "isa: {e}"),
+            SynthError::Rtl(e) => write!(f, "rtl: {e}"),
+            SynthError::Sim(e) => write!(f, "sim: {e}"),
+            SynthError::Partition(e) => write!(f, "partition: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Ir(e) => Some(e),
+            SynthError::Hls(e) => Some(e),
+            SynthError::Isa(e) => Some(e),
+            SynthError::Rtl(e) => Some(e),
+            SynthError::Sim(e) => Some(e),
+            SynthError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($variant:ident($ty:ty)),* $(,)?) => {
+        $(
+            #[doc(hidden)]
+            impl From<$ty> for SynthError {
+                fn from(e: $ty) -> Self {
+                    SynthError::$variant(e)
+                }
+            }
+        )*
+    };
+}
+
+impl_from!(
+    Ir(IrError),
+    Hls(HlsError),
+    Isa(IsaError),
+    Rtl(RtlError),
+    Sim(SimError),
+    Partition(PartitionError),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e = SynthError::from(IsaError::Timeout { cycles: 1 });
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().starts_with("isa:"));
+    }
+}

@@ -1,0 +1,605 @@
+//! Chinook-style interface synthesis (paper Section 4.1, Figure 4).
+//!
+//! The Chinook system \[11\] "performs HW/SW co-synthesis of the I/O
+//! drivers and interface logic … but does no HW/SW partitioning". Given a
+//! list of device specifications, this module:
+//!
+//! 1. **allocates the address map** — one aligned MMIO region per device;
+//! 2. **generates the glue logic** — a gate-level address decoder plus
+//!    the interrupt-combining OR tree, as a `codesign-rtl` netlist whose
+//!    gate count is the implementation cost E4 reports;
+//! 3. **generates the I/O drivers** — CR32 assembly routines for each
+//!    device's operations, following a fixed calling convention
+//!    (arguments in `r1`/`r2`, result in `r1`, return address in `r15`,
+//!    scratch `r10`–`r13`).
+//!
+//! [`SynthesizedInterface::build_system`] assembles the drivers together
+//! with application code and mounts the devices on a bus, so the
+//! generated interface is *executed*, not just emitted.
+
+use codesign_isa::asm::{assemble, Program};
+use codesign_isa::cpu::{Cpu, MMIO_BASE};
+use codesign_rtl::bus::{
+    coproc_regs, gpio_regs, timer_regs, uart_regs, BusTiming, CoprocessorPort, DrainFifo, Gpio,
+    SystemBus, Timer, Uart,
+};
+use codesign_rtl::fsmd::{Fsmd, FsmdSim};
+use codesign_rtl::netlist::{GateKind, Netlist};
+
+use crate::error::SynthError;
+
+/// Bytes reserved per device region (and region alignment).
+pub const REGION_SIZE: u32 = 0x1000;
+
+/// The kinds of devices interface synthesis knows how to wire up.
+#[derive(Debug, Clone)]
+pub enum DeviceKind {
+    /// Serial port (putc/getc drivers).
+    Uart,
+    /// Countdown timer (start/ack drivers).
+    Timer,
+    /// General-purpose I/O (read/write drivers).
+    Gpio,
+    /// A self-draining FIFO (push driver with flow control).
+    Fifo {
+        /// Capacity in words.
+        capacity: usize,
+        /// Drain rate in cycles per word.
+        drain_period: u64,
+    },
+    /// A synthesized co-processor (call driver: operands, start, poll,
+    /// result).
+    Coprocessor(Fsmd),
+}
+
+/// One device to integrate.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Instance name; must be a valid assembly label fragment.
+    pub name: String,
+    /// What it is.
+    pub kind: DeviceKind,
+}
+
+impl DeviceSpec {
+    /// Creates a spec.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: DeviceKind) -> Self {
+        DeviceSpec {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+/// The product of interface synthesis.
+#[derive(Debug)]
+pub struct SynthesizedInterface {
+    devices: Vec<DeviceSpec>,
+    /// `(name, base offset from MMIO_BASE, size)` per device.
+    map: Vec<(String, u32, u32)>,
+    glue: Netlist,
+    driver_source: String,
+}
+
+impl SynthesizedInterface {
+    /// The allocated address map (offsets relative to
+    /// [`codesign_isa::cpu::MMIO_BASE`]).
+    #[must_use]
+    pub fn address_map(&self) -> &[(String, u32, u32)] {
+        &self.map
+    }
+
+    /// The glue-logic netlist (decoder + interrupt tree).
+    #[must_use]
+    pub fn glue(&self) -> &Netlist {
+        &self.glue
+    }
+
+    /// Gate count of the glue logic — the E4 implementation-cost number.
+    #[must_use]
+    pub fn glue_gates(&self) -> usize {
+        self.glue.gate_count()
+    }
+
+    /// The generated driver library source.
+    #[must_use]
+    pub fn driver_source(&self) -> &str {
+        &self.driver_source
+    }
+
+    /// Base address (absolute) of a device by name.
+    #[must_use]
+    pub fn base_of(&self, name: &str) -> Option<u64> {
+        self.map
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, base, _)| MMIO_BASE + u64::from(base))
+    }
+
+    /// Builds the bus with every device mounted at its allocated base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus-mapping and FSMD-construction errors.
+    pub fn build_bus(&self) -> Result<SystemBus, SynthError> {
+        let mut bus = SystemBus::new(BusTiming::default());
+        for (spec, (_, base, size)) in self.devices.iter().zip(&self.map) {
+            let slave: Box<dyn codesign_rtl::bus::BusSlave> = match &spec.kind {
+                DeviceKind::Uart => Box::new(Uart::new()),
+                DeviceKind::Timer => Box::new(Timer::new()),
+                DeviceKind::Gpio => Box::new(Gpio::new()),
+                DeviceKind::Fifo {
+                    capacity,
+                    drain_period,
+                } => Box::new(DrainFifo::new(*capacity, *drain_period)),
+                DeviceKind::Coprocessor(fsmd) => {
+                    Box::new(CoprocessorPort::new(FsmdSim::new(fsmd.clone())?))
+                }
+            };
+            bus.map(*base, *size, slave)?;
+        }
+        Ok(bus)
+    }
+
+    /// Assembles `application` (which may `jal` into the driver routines)
+    /// together with the driver library, and returns a CPU with the bus
+    /// attached and the program loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly and bus-construction errors.
+    pub fn build_system(&self, application: &str) -> Result<(Cpu, Program), SynthError> {
+        let source = format!("{application}\n{}", self.driver_source);
+        let program = assemble(&source)?;
+        let mut cpu = Cpu::new(0x10000);
+        cpu.attach_bus(self.build_bus()?);
+        cpu.load_program(&program);
+        Ok((cpu, program))
+    }
+}
+
+/// Runs interface synthesis over a set of device specifications.
+///
+/// # Errors
+///
+/// Returns [`SynthError::BadSpec`] for duplicate or empty device names
+/// and propagates glue-netlist construction errors.
+pub fn synthesize_interface(devices: Vec<DeviceSpec>) -> Result<SynthesizedInterface, SynthError> {
+    for (i, d) in devices.iter().enumerate() {
+        if d.name.is_empty()
+            || !d
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(SynthError::BadSpec {
+                reason: format!("device name `{}` is not a label fragment", d.name),
+            });
+        }
+        if devices[..i].iter().any(|e| e.name == d.name) {
+            return Err(SynthError::BadSpec {
+                reason: format!("duplicate device name `{}`", d.name),
+            });
+        }
+    }
+
+    // 1. Address allocation: consecutive aligned regions.
+    let map: Vec<(String, u32, u32)> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.name.clone(), i as u32 * REGION_SIZE, REGION_SIZE))
+        .collect();
+
+    // 2. Glue logic: address decoder over the region-index bits plus an
+    //    interrupt-combining OR tree.
+    let glue = build_glue(&map)?;
+
+    // 3. Driver generation.
+    let mut src = String::from("\n; ---- generated I/O drivers ----\n");
+    for (spec, (_, base, _)) in devices.iter().zip(&map) {
+        let base = MMIO_BASE + u64::from(*base);
+        emit_drivers(&mut src, spec, base);
+    }
+
+    Ok(SynthesizedInterface {
+        devices,
+        map,
+        glue,
+        driver_source: src,
+    })
+}
+
+fn build_glue(map: &[(String, u32, u32)]) -> Result<Netlist, SynthError> {
+    let mut n = Netlist::new("glue");
+    let region_bits = REGION_SIZE.trailing_zeros() as usize;
+    let addr: Vec<_> = (0..region_bits + 4)
+        .map(|i| n.add_input(format!("a{i}")))
+        .collect();
+    let high: Vec<_> = addr[region_bits..].to_vec();
+    let mut irq_ins = Vec::new();
+    for (i, (name, base, _)) in map.iter().enumerate() {
+        let tag = u64::from(base >> region_bits);
+        let hit = n.equals_const(&high, tag)?;
+        let sel = n.add_net(format!("sel_{name}"));
+        n.add_gate(GateKind::Buf, &[hit], sel, 1)?;
+        let irq = n.add_input(format!("irq_{i}"));
+        irq_ins.push(irq);
+    }
+    let cpu_irq = n.add_net("cpu_irq");
+    match irq_ins.len() {
+        0 => {}
+        1 => {
+            n.add_gate(GateKind::Buf, &[irq_ins[0]], cpu_irq, 1)?;
+        }
+        _ => {
+            n.add_gate(GateKind::Or, &irq_ins, cpu_irq, 1)?;
+        }
+    }
+    Ok(n)
+}
+
+fn emit_drivers(src: &mut String, spec: &DeviceSpec, base: u64) {
+    use std::fmt::Write as _;
+    let name = &spec.name;
+    match &spec.kind {
+        DeviceKind::Uart => {
+            let _ = write!(
+                src,
+                "drv_{name}_putc:\n\
+                 \x20   li r10, {base}\n\
+                 \x20   sw r1, r10, {tx}\n\
+                 \x20   jalr r0, r15\n\
+                 drv_{name}_getc:\n\
+                 \x20   li r10, {base}\n\
+                 drv_{name}_getc_poll:\n\
+                 \x20   lw r11, r10, {status}\n\
+                 \x20   li r12, 2\n\
+                 \x20   and r11, r11, r12\n\
+                 \x20   beq r11, r0, drv_{name}_getc_poll\n\
+                 \x20   lw r1, r10, {rx}\n\
+                 \x20   jalr r0, r15\n",
+                tx = uart_regs::TX,
+                status = uart_regs::STATUS,
+                rx = uart_regs::RX,
+            );
+        }
+        DeviceKind::Timer => {
+            let _ = write!(
+                src,
+                "drv_{name}_start:\n\
+                 \x20   li r10, {base}\n\
+                 \x20   sw r1, r10, {load}\n\
+                 \x20   sw r2, r10, {ctrl}\n\
+                 \x20   jalr r0, r15\n\
+                 drv_{name}_ack:\n\
+                 \x20   li r10, {base}\n\
+                 \x20   sw r0, r10, {ack}\n\
+                 \x20   jalr r0, r15\n",
+                load = timer_regs::LOAD,
+                ctrl = timer_regs::CTRL,
+                ack = timer_regs::ACK,
+            );
+        }
+        DeviceKind::Gpio => {
+            let _ = write!(
+                src,
+                "drv_{name}_write:\n\
+                 \x20   li r10, {base}\n\
+                 \x20   sw r1, r10, {out}\n\
+                 \x20   jalr r0, r15\n\
+                 drv_{name}_read:\n\
+                 \x20   li r10, {base}\n\
+                 \x20   lw r1, r10, {input}\n\
+                 \x20   jalr r0, r15\n",
+                out = gpio_regs::OUT,
+                input = gpio_regs::IN,
+            );
+        }
+        DeviceKind::Fifo { capacity, .. } => {
+            let _ = write!(
+                src,
+                "drv_{name}_push:\n\
+                 \x20   li r10, {base}\n\
+                 \x20   li r12, {capacity}\n\
+                 drv_{name}_push_poll:\n\
+                 \x20   lw r11, r10, {count}\n\
+                 \x20   bge r11, r12, drv_{name}_push_poll\n\
+                 \x20   sw r1, r10, {data}\n\
+                 \x20   jalr r0, r15\n",
+                count = codesign_rtl::bus::fifo_regs::COUNT,
+                data = codesign_rtl::bus::fifo_regs::DATA,
+            );
+        }
+        DeviceKind::Coprocessor(fsmd) => {
+            // Synchronous call: operands, start, poll, result.
+            let _ = write!(src, "drv_{name}_call:\n    li r10, {base}\n");
+            // Operands from r1, r2, r3 (up to three register arguments).
+            for (i, reg) in (0..fsmd.input_count().min(3)).zip(["r1", "r2", "r3"]) {
+                let _ = writeln!(
+                    src,
+                    "    sw {reg}, r10, {}",
+                    coproc_regs::INPUT_BASE + 4 * u32::from(i)
+                );
+            }
+            let _ = write!(
+                src,
+                "    sw r10, r10, {start}\n\
+                 drv_{name}_call_poll:\n\
+                 \x20   lw r11, r10, {status}\n\
+                 \x20   beq r11, r0, drv_{name}_call_poll\n\
+                 \x20   lw r1, r10, {out}\n\
+                 \x20   jalr r0, r15\n",
+                start = coproc_regs::START,
+                status = coproc_regs::STATUS,
+                out = coproc_regs::OUTPUT_BASE,
+            );
+            // Asynchronous pair: `start` returns immediately so software
+            // can overlap with the running co-processor (the Section 3.3
+            // *concurrency* consideration); `wait` blocks and fetches.
+            let _ = write!(src, "drv_{name}_start:\n    li r10, {base}\n");
+            for (i, reg) in (0..fsmd.input_count().min(3)).zip(["r1", "r2", "r3"]) {
+                let _ = writeln!(
+                    src,
+                    "    sw {reg}, r10, {}",
+                    coproc_regs::INPUT_BASE + 4 * u32::from(i)
+                );
+            }
+            let _ = write!(
+                src,
+                "    sw r10, r10, {start}\n\
+                 \x20   jalr r0, r15\n\
+                 drv_{name}_wait:\n\
+                 \x20   li r10, {base}\n\
+                 drv_{name}_wait_poll:\n\
+                 \x20   lw r11, r10, {status}\n\
+                 \x20   beq r11, r0, drv_{name}_wait_poll\n\
+                 \x20   lw r1, r10, {out}\n\
+                 \x20   jalr r0, r15\n",
+                start = coproc_regs::START,
+                status = coproc_regs::STATUS,
+                out = coproc_regs::OUTPUT_BASE,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_hls::{synthesize, Constraints};
+    use codesign_ir::workload::kernels;
+
+    fn full_set() -> Vec<DeviceSpec> {
+        let adder = {
+            let mut g = codesign_ir::cdfg::Cdfg::new("adder");
+            let a = g.input();
+            let b = g.input();
+            let s = g.op(codesign_ir::cdfg::OpKind::Add, &[a, b]).unwrap();
+            g.output(s).unwrap();
+            synthesize(&g, &Constraints::default()).unwrap().fsmd
+        };
+        vec![
+            DeviceSpec::new("console", DeviceKind::Uart),
+            DeviceSpec::new("tick", DeviceKind::Timer),
+            DeviceSpec::new("leds", DeviceKind::Gpio),
+            DeviceSpec::new(
+                "stream",
+                DeviceKind::Fifo {
+                    capacity: 8,
+                    drain_period: 4,
+                },
+            ),
+            DeviceSpec::new("accel", DeviceKind::Coprocessor(adder)),
+        ]
+    }
+
+    #[test]
+    fn address_map_is_disjoint_and_aligned() {
+        let iface = synthesize_interface(full_set()).unwrap();
+        let map = iface.address_map();
+        assert_eq!(map.len(), 5);
+        for (i, (_, base, size)) in map.iter().enumerate() {
+            assert_eq!(base % REGION_SIZE, 0);
+            assert_eq!(*size, REGION_SIZE);
+            for (_, other, _) in &map[i + 1..] {
+                assert_ne!(base, other);
+            }
+        }
+    }
+
+    #[test]
+    fn glue_logic_has_real_gates() {
+        let iface = synthesize_interface(full_set()).unwrap();
+        assert!(iface.glue_gates() > 10, "{} gates", iface.glue_gates());
+        assert!(iface.glue().gate_equivalents() > 20);
+    }
+
+    #[test]
+    fn glue_grows_with_device_count() {
+        let small = synthesize_interface(vec![DeviceSpec::new("u", DeviceKind::Uart)]).unwrap();
+        let large = synthesize_interface(full_set()).unwrap();
+        assert!(large.glue_gates() > small.glue_gates());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let specs = vec![
+            DeviceSpec::new("x", DeviceKind::Uart),
+            DeviceSpec::new("x", DeviceKind::Gpio),
+        ];
+        assert!(matches!(
+            synthesize_interface(specs),
+            Err(SynthError::BadSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_label_names_rejected() {
+        let specs = vec![DeviceSpec::new("bad name!", DeviceKind::Uart)];
+        assert!(matches!(
+            synthesize_interface(specs),
+            Err(SynthError::BadSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn generated_uart_driver_transmits() {
+        let iface = synthesize_interface(full_set()).unwrap();
+        let app = "\
+            li r1, 72\n\
+            jal r15, drv_console_putc\n\
+            li r1, 73\n\
+            jal r15, drv_console_putc\n\
+            halt\n";
+        let (mut cpu, _) = iface.build_system(app).unwrap();
+        cpu.run(100_000).unwrap();
+        let uart: &Uart = cpu.bus().unwrap().device().unwrap();
+        assert_eq!(uart.transmitted(), b"HI");
+    }
+
+    #[test]
+    fn generated_gpio_and_fifo_drivers_work() {
+        let iface = synthesize_interface(full_set()).unwrap();
+        let app = "\
+            li r1, 0xA5\n\
+            jal r15, drv_leds_write\n\
+            li r1, 1234\n\
+            jal r15, drv_stream_push\n\
+            halt\n";
+        let (mut cpu, _) = iface.build_system(app).unwrap();
+        cpu.run(100_000).unwrap();
+        let gpio: &Gpio = cpu.bus().unwrap().device().unwrap();
+        assert_eq!(gpio.out_pins(), 0xA5);
+        let fifo: &DrainFifo = cpu.bus().unwrap().device().unwrap();
+        assert_eq!(fifo.drained() + fifo.occupancy() as u64, 1);
+    }
+
+    #[test]
+    fn generated_coprocessor_driver_round_trips() {
+        let iface = synthesize_interface(full_set()).unwrap();
+        let app = "\
+            li r1, 40\n\
+            li r2, 2\n\
+            jal r15, drv_accel_call\n\
+            sd r1, r0, 64\n\
+            halt\n";
+        let (mut cpu, _) = iface.build_system(app).unwrap();
+        cpu.run(100_000).unwrap();
+        assert_eq!(cpu.load_word(64).unwrap(), 42);
+    }
+
+    #[test]
+    fn synthesized_quantizer_coprocessor_integrates() {
+        // A real kernel through the whole flow: HLS -> bus -> driver.
+        let quant = synthesize(&kernels::quantize(), &Constraints::default())
+            .unwrap()
+            .fsmd;
+        let iface =
+            synthesize_interface(vec![DeviceSpec::new("q", DeviceKind::Coprocessor(quant))])
+                .unwrap();
+        let app = "\
+            li r1, 100\n\
+            jal r15, drv_q_call\n\
+            sd r1, r0, 64\n\
+            halt\n";
+        let (mut cpu, _) = iface.build_system(app).unwrap();
+        cpu.run(100_000).unwrap();
+        let expected = kernels::quantize().evaluate(&[100]).unwrap()[0];
+        assert_eq!(cpu.load_word(64).unwrap(), expected);
+    }
+
+    #[test]
+    fn base_lookup_matches_map() {
+        let iface = synthesize_interface(full_set()).unwrap();
+        assert_eq!(iface.base_of("console"), Some(MMIO_BASE));
+        assert_eq!(
+            iface.base_of("tick"),
+            Some(MMIO_BASE + u64::from(REGION_SIZE))
+        );
+        assert_eq!(iface.base_of("nope"), None);
+    }
+
+    #[test]
+    fn async_driver_overlaps_software_with_hardware() {
+        // A slow co-processor: a long countdown before producing a+b.
+        let slow_adder = {
+            use codesign_ir::cdfg::OpKind;
+            use codesign_rtl::fsmd::{MicroOp, Next, Operand, RegId, State, StateId};
+            let mut f = Fsmd::new("slow_adder", 2, 2, vec![RegId(1)]);
+            f.add_state(State {
+                ops: vec![MicroOp {
+                    dst: RegId(0),
+                    op: OpKind::Add,
+                    args: vec![Operand::Const(60), Operand::Const(0)],
+                }],
+                next: Next::Step,
+            })
+            .unwrap();
+            f.add_state(State {
+                ops: vec![MicroOp {
+                    dst: RegId(0),
+                    op: OpKind::Sub,
+                    args: vec![Operand::Reg(RegId(0)), Operand::Const(1)],
+                }],
+                next: Next::BranchZero {
+                    reg: RegId(0),
+                    then_state: StateId(2),
+                    else_state: StateId(1),
+                },
+            })
+            .unwrap();
+            f.add_state(State {
+                ops: vec![MicroOp {
+                    dst: RegId(1),
+                    op: OpKind::Add,
+                    args: vec![Operand::Input(0), Operand::Input(1)],
+                }],
+                next: Next::Done,
+            })
+            .unwrap();
+            f
+        };
+        let iface = synthesize_interface(vec![DeviceSpec::new(
+            "acc",
+            DeviceKind::Coprocessor(slow_adder),
+        )])
+        .unwrap();
+
+        // Overlapped: start, do local work, then wait.
+        let overlapped = "\
+            li r1, 20\n\
+            li r2, 22\n\
+            jal r15, drv_acc_start\n\
+            li r5, 15\n\
+            work: addi r5, r5, -1\n\
+            bne r5, r0, work\n\
+            jal r15, drv_acc_wait\n\
+            sd r1, r0, 64\n\
+            halt\n";
+        let (mut cpu, _) = iface.build_system(overlapped).unwrap();
+        let overlapped_stats = cpu.run(1_000_000).unwrap();
+        assert_eq!(cpu.load_word(64).unwrap(), 42);
+
+        // Serial: blocking call first, then the same local work.
+        let serial = "\
+            li r1, 20\n\
+            li r2, 22\n\
+            jal r15, drv_acc_call\n\
+            sd r1, r0, 64\n\
+            li r5, 15\n\
+            work: addi r5, r5, -1\n\
+            bne r5, r0, work\n\
+            halt\n";
+        let (mut cpu, _) = iface.build_system(serial).unwrap();
+        let serial_stats = cpu.run(1_000_000).unwrap();
+        assert_eq!(cpu.load_word(64).unwrap(), 42);
+
+        assert!(
+            overlapped_stats.cycles < serial_stats.cycles,
+            "overlap hides hardware latency: {} vs {}",
+            overlapped_stats.cycles,
+            serial_stats.cycles
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # codesign-synth
+//!
+//! Hardware/software co-synthesis flows for the mixed HW/SW co-design
+//! framework (Adams & Thomas, DAC 1996, Sections 3.2 and 4).
+//!
+//! The paper defines co-synthesis as "integrated synthesis of hardware
+//! and software components" in which tools "understand the relationship
+//! between the hardware and software organizations and how design
+//! decisions in one domain affect the options available in the other".
+//! This crate implements one flow per surveyed system class:
+//!
+//! * [`multiproc`] — heterogeneous distributed multiprocessors
+//!   (Section 4.2, Figure 5): processor allocation and task mapping by
+//!   an **exact branch-and-bound** solver in the style of SOS's integer
+//!   linear program \[12\], a **vector bin-packing** heuristic after Beck
+//!   \[13\], and a **sensitivity-driven** iterative improver after
+//!   Yen & Wolf \[9\]. Co-synthesis *without* HW/SW partitioning, as the
+//!   paper classifies it.
+//! * [`interface`] — embedded microprocessor systems (Section 4.1,
+//!   Figure 4): Chinook-style \[11\] interface synthesis that allocates
+//!   the address map, generates the glue-logic decoder netlist, and
+//!   emits I/O driver code — "co-simulation and interface synthesis"
+//!   with no partitioning.
+//! * [`coproc`] — application-specific co-processors (Section 4.5,
+//!   Figure 8): the full Type II flow — partition kernels, synthesize
+//!   the hardware side to FSMDs with `codesign-hls`, mount them on the
+//!   bus, generate the calling software, and execute the mixed system
+//!   end-to-end on the instruction-set simulator.
+//! * [`mthread`] — multi-threaded co-processors (Section 4.5.1,
+//!   Figure 9): partition a process network onto the CPU and multiple
+//!   controller/datapath pairs, weighing communication and concurrency
+//!   as \[10\] does, and evaluate by message-level co-simulation \[3\].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coproc;
+pub mod error;
+pub mod interface;
+pub mod mthread;
+pub mod multiproc;
+
+pub use error::SynthError;

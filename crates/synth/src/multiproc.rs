@@ -1,0 +1,691 @@
+//! Heterogeneous multiprocessor co-synthesis (paper Section 4.2,
+//! Figure 5).
+//!
+//! "The design involves both choosing the number and type of processing
+//! elements and mapping tasks onto processing elements. The goal is to
+//! meet some performance objective while minimizing the cost of the
+//! hardware." Three solvers, matching the surveyed flows:
+//!
+//! * [`branch_and_bound`] — exact search in the spirit of SOS's integer
+//!   linear program \[12\]: provably minimum-cost allocation, exponential
+//!   worst case (the node counter makes the cost visible to E5);
+//! * [`bin_packing`] — Beck's vector-bin-packing heuristic \[13\] with an
+//!   upgrade/repair loop: polynomial, near-optimal;
+//! * [`sensitivity_driven`] — Yen & Wolf's iterative improvement \[9\]:
+//!   start over-provisioned, repeatedly take the cost-reducing
+//!   modification with the best sensitivity that keeps the deadline.
+//!
+//! All evaluate candidate allocations with the same list scheduler, in
+//! which tasks on one processing element serialize and cross-processor
+//! edges pay the interconnection-network transfer cost.
+
+use codesign_ir::task::{TaskGraph, TaskId};
+use codesign_isa::proclib::ProcessorModel;
+use codesign_partition::cost::EdgeCommModel;
+
+use crate::error::SynthError;
+
+/// Configuration for the multiprocessor solvers.
+#[derive(Debug, Clone)]
+pub struct MultiprocConfig {
+    /// Processor library to allocate from.
+    pub library: Vec<ProcessorModel>,
+    /// End-to-end deadline in reference cycles.
+    pub deadline: u64,
+    /// Interconnection-network cost model.
+    pub comm: EdgeCommModel,
+    /// Instance cap per library type (bounds the exact search).
+    pub max_instances: usize,
+}
+
+impl MultiprocConfig {
+    /// Creates a config with the standard library and default network.
+    #[must_use]
+    pub fn new(deadline: u64) -> Self {
+        MultiprocConfig {
+            library: codesign_isa::proclib::standard_library(),
+            deadline,
+            comm: EdgeCommModel::default(),
+            max_instances: 3,
+        }
+    }
+}
+
+/// A processor allocation and task mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Instantiated processors (indices into the library).
+    pub instance_types: Vec<usize>,
+    /// Per task: which instance executes it.
+    pub assignment: Vec<usize>,
+}
+
+impl Allocation {
+    /// Total processor cost under a library.
+    #[must_use]
+    pub fn cost(&self, library: &[ProcessorModel]) -> f64 {
+        self.instance_types.iter().map(|&t| library[t].cost()).sum()
+    }
+
+    /// Number of processor instances.
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instance_types.len()
+    }
+}
+
+/// Outcome of one solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiprocOutcome {
+    /// The chosen allocation.
+    pub allocation: Allocation,
+    /// Its processor cost.
+    pub cost: f64,
+    /// Its schedule length.
+    pub makespan: u64,
+    /// Whether the solver guarantees optimality.
+    pub optimal: bool,
+    /// Search nodes explored (exact solver) or candidate evaluations
+    /// (heuristics) — the runtime currency of experiment E5.
+    pub explored: u64,
+}
+
+/// List-schedules the first `prefix` tasks of `order` under an
+/// allocation; returns the makespan of the scheduled prefix.
+fn prefix_makespan(
+    graph: &TaskGraph,
+    order: &[TaskId],
+    prefix: usize,
+    instance_types: &[usize],
+    assignment: &[usize],
+    cfg: &MultiprocConfig,
+) -> u64 {
+    let mut free = vec![0u64; instance_types.len()];
+    let mut finish = vec![0u64; graph.len()];
+    let mut makespan = 0;
+    for &t in &order[..prefix] {
+        let inst = assignment[t.index()];
+        let speed = cfg.library[instance_types[inst]].speed();
+        let mut ready = 0u64;
+        for e in graph.edges().iter().filter(|e| e.dst == t) {
+            // Predecessors precede t in a topological order; unscheduled
+            // ones (outside the prefix) contribute zero, which keeps the
+            // prefix makespan a valid lower bound.
+            let mut r = finish[e.src.index()];
+            if assignment.get(e.src.index()).copied() != Some(inst) && finish[e.src.index()] > 0 {
+                r += cfg.comm.transfer_cycles(e.bytes);
+            }
+            ready = ready.max(r);
+        }
+        let duration = ((graph.task(t).sw_cycles() as f64 / speed).ceil() as u64).max(1);
+        let start = ready.max(free[inst]);
+        finish[t.index()] = start + duration;
+        free[inst] = start + duration;
+        makespan = makespan.max(finish[t.index()]);
+    }
+    makespan
+}
+
+/// Full-schedule makespan of a complete allocation.
+#[must_use]
+pub fn makespan(graph: &TaskGraph, allocation: &Allocation, cfg: &MultiprocConfig) -> u64 {
+    let order = priority_order(graph);
+    prefix_makespan(
+        graph,
+        &order,
+        order.len(),
+        &allocation.instance_types,
+        &allocation.assignment,
+        cfg,
+    )
+}
+
+/// Topological order with bottom-level priority among ready tasks.
+fn priority_order(graph: &TaskGraph) -> Vec<TaskId> {
+    let levels = graph
+        .bottom_levels(|_, t| t.sw_cycles())
+        .expect("validated graphs are acyclic");
+    let mut indegree: Vec<usize> = (0..graph.len())
+        .map(|i| graph.predecessors(TaskId::from_index(i)).count())
+        .collect();
+    let mut ready: Vec<TaskId> = graph.ids().filter(|t| indegree[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(graph.len());
+    while !ready.is_empty() {
+        ready.sort_by_key(|&t| std::cmp::Reverse(levels[t.index()]));
+        let t = ready.remove(0);
+        order.push(t);
+        for s in graph.successors(t) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    order
+}
+
+/// Exact minimum-cost allocation by branch and bound (SOS-style \[12\]).
+///
+/// Searches assignments of tasks (in priority order) to open processor
+/// instances or to a freshly opened instance of each library type,
+/// pruning on cost (monotone) and on the prefix-schedule lower bound
+/// against the deadline.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Infeasible`] if no allocation meets the
+/// deadline within the instance caps.
+pub fn branch_and_bound(
+    graph: &TaskGraph,
+    cfg: &MultiprocConfig,
+) -> Result<MultiprocOutcome, SynthError> {
+    let order = priority_order(graph);
+    let n = graph.len();
+    let mut best: Option<(f64, Allocation, u64)> = None;
+    let mut explored = 0u64;
+
+    struct Frame {
+        depth: usize,
+        instance_types: Vec<usize>,
+        assignment: Vec<usize>,
+        cost: f64,
+    }
+    let mut stack = vec![Frame {
+        depth: 0,
+        instance_types: Vec::new(),
+        assignment: vec![usize::MAX; n],
+        cost: 0.0,
+    }];
+
+    while let Some(frame) = stack.pop() {
+        explored += 1;
+        if let Some((best_cost, _, _)) = &best {
+            if frame.cost >= *best_cost - 1e-12 {
+                continue;
+            }
+        }
+        if frame.depth > 0 {
+            let ms = prefix_makespan(
+                graph,
+                &order,
+                frame.depth,
+                &frame.instance_types,
+                &frame.assignment,
+                cfg,
+            );
+            if ms > cfg.deadline {
+                continue;
+            }
+            if frame.depth == n {
+                let alloc = Allocation {
+                    instance_types: frame.instance_types,
+                    assignment: frame.assignment,
+                };
+                let better = best.as_ref().is_none_or(|(c, _, m)| {
+                    frame.cost < c - 1e-12 || (frame.cost < c + 1e-12 && ms < *m)
+                });
+                if better {
+                    best = Some((frame.cost, alloc, ms));
+                }
+                continue;
+            }
+        }
+        let t = order[frame.depth];
+        // Children: every open instance, then one new instance per type
+        // (symmetry-broken: new instances only append).
+        let mut children = Vec::new();
+        for inst in 0..frame.instance_types.len() {
+            let mut a = frame.assignment.clone();
+            a[t.index()] = inst;
+            children.push(Frame {
+                depth: frame.depth + 1,
+                instance_types: frame.instance_types.clone(),
+                assignment: a,
+                cost: frame.cost,
+            });
+        }
+        for (ty, proc_) in cfg.library.iter().enumerate() {
+            let open_of_type = frame.instance_types.iter().filter(|&&x| x == ty).count();
+            if open_of_type >= cfg.max_instances {
+                continue;
+            }
+            let mut types = frame.instance_types.clone();
+            types.push(ty);
+            let mut a = frame.assignment.clone();
+            a[t.index()] = types.len() - 1;
+            children.push(Frame {
+                depth: frame.depth + 1,
+                instance_types: types,
+                assignment: a,
+                cost: frame.cost + proc_.cost(),
+            });
+        }
+        // Cheapest-first exploration finds good incumbents early.
+        children.sort_by(|a, b| b.cost.partial_cmp(&a.cost).expect("finite"));
+        stack.extend(children);
+    }
+
+    match best {
+        Some((cost, allocation, ms)) => Ok(MultiprocOutcome {
+            allocation,
+            cost,
+            makespan: ms,
+            optimal: true,
+            explored,
+        }),
+        None => Err(SynthError::Infeasible {
+            reason: format!("no allocation meets deadline {}", cfg.deadline),
+        }),
+    }
+}
+
+/// Beck-style vector bin packing \[13\] with an upgrade/repair loop.
+///
+/// Tasks (sorted by decreasing load) are first-fit packed into processor
+/// "bins" whose capacity is the deadline scaled by processor speed; if
+/// the real schedule then misses the deadline, the bottleneck instance
+/// is upgraded to the next faster type or relieved of its largest task.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Infeasible`] if repair cannot reach the
+/// deadline.
+pub fn bin_packing(
+    graph: &TaskGraph,
+    cfg: &MultiprocConfig,
+) -> Result<MultiprocOutcome, SynthError> {
+    const UTILIZATION: f64 = 0.9;
+    let mut explored = 0u64;
+    let mut tasks: Vec<TaskId> = graph.ids().collect();
+    tasks.sort_by_key(|&t| std::cmp::Reverse(graph.task(t).sw_cycles()));
+
+    // Cheapest library type able to run a task within the deadline.
+    let cheapest_for = |load: u64| -> Option<usize> {
+        cfg.library
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| (load as f64 / p.speed()) <= cfg.deadline as f64 * UTILIZATION)
+            .min_by(|(_, a), (_, b)| a.cost().partial_cmp(&b.cost()).expect("finite"))
+            .map(|(i, _)| i)
+    };
+
+    let mut instance_types: Vec<usize> = Vec::new();
+    let mut bin_load: Vec<f64> = Vec::new(); // in deadline-normalized units
+    let mut assignment = vec![usize::MAX; graph.len()];
+    for &t in &tasks {
+        let load = graph.task(t).sw_cycles();
+        let placed = (0..instance_types.len()).find(|&b| {
+            let p = &cfg.library[instance_types[b]];
+            bin_load[b] + load as f64 / p.speed() <= cfg.deadline as f64 * UTILIZATION
+        });
+        let b = match placed {
+            Some(b) => b,
+            None => {
+                let ty = cheapest_for(load).ok_or_else(|| SynthError::Infeasible {
+                    reason: format!(
+                        "task {} cannot meet deadline {} on any processor",
+                        graph.task(t).name(),
+                        cfg.deadline
+                    ),
+                })?;
+                instance_types.push(ty);
+                bin_load.push(0.0);
+                instance_types.len() - 1
+            }
+        };
+        bin_load[b] += load as f64 / cfg.library[instance_types[b]].speed();
+        assignment[t.index()] = b;
+    }
+
+    // Repair: upgrade the bottleneck until the true schedule fits.
+    let mut alloc = Allocation {
+        instance_types,
+        assignment,
+    };
+    for _ in 0..16 * cfg.library.len() {
+        let ms = makespan(graph, &alloc, cfg);
+        explored += 1;
+        if ms <= cfg.deadline {
+            return Ok(MultiprocOutcome {
+                cost: alloc.cost(&cfg.library),
+                makespan: ms,
+                allocation: alloc,
+                optimal: false,
+                explored,
+            });
+        }
+        // Bottleneck: instance with the largest total load.
+        let mut loads = vec![0f64; alloc.instance_types.len()];
+        for (i, &inst) in alloc.assignment.iter().enumerate() {
+            let speed = cfg.library[alloc.instance_types[inst]].speed();
+            loads[inst] += graph.task(TaskId::from_index(i)).sw_cycles() as f64 / speed;
+        }
+        let bottleneck = loads
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("at least one instance");
+        // Upgrade to the next faster type, or offload the largest task.
+        let current = alloc.instance_types[bottleneck];
+        let faster = cfg
+            .library
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.speed() > cfg.library[current].speed())
+            .min_by(|(_, a), (_, b)| a.speed().partial_cmp(&b.speed()).expect("finite"));
+        if let Some((ty, _)) = faster {
+            alloc.instance_types[bottleneck] = ty;
+        } else {
+            // Already fastest: move its largest task to a new instance.
+            let victim = alloc
+                .assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &inst)| inst == bottleneck)
+                .max_by_key(|(i, _)| graph.task(TaskId::from_index(*i)).sw_cycles())
+                .map(|(i, _)| i);
+            let Some(v) = victim else {
+                break;
+            };
+            let load = graph.task(TaskId::from_index(v)).sw_cycles();
+            let ty = cheapest_for(load).ok_or_else(|| SynthError::Infeasible {
+                reason: "cannot offload bottleneck".to_string(),
+            })?;
+            alloc.instance_types.push(ty);
+            alloc.assignment[v] = alloc.instance_types.len() - 1;
+        }
+    }
+    Err(SynthError::Infeasible {
+        reason: format!("repair loop could not meet deadline {}", cfg.deadline),
+    })
+}
+
+/// Yen–Wolf-style sensitivity-driven improvement \[9\]: start with one
+/// fastest processor per task (maximally parallel, maximally expensive),
+/// then repeatedly apply the cost-reducing modification — merging two
+/// instances or downgrading an instance's type — with the best cost
+/// saving that still meets the deadline.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Infeasible`] if even the over-provisioned
+/// start misses the deadline.
+pub fn sensitivity_driven(
+    graph: &TaskGraph,
+    cfg: &MultiprocConfig,
+) -> Result<MultiprocOutcome, SynthError> {
+    let fastest = cfg
+        .library
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.speed().partial_cmp(&b.speed()).expect("finite"))
+        .map(|(i, _)| i)
+        .ok_or_else(|| SynthError::Infeasible {
+            reason: "empty processor library".to_string(),
+        })?;
+    let n = graph.len();
+    let mut alloc = Allocation {
+        instance_types: vec![fastest; n],
+        assignment: (0..n).collect(),
+    };
+    let mut explored = 1u64;
+    let start_ms = makespan(graph, &alloc, cfg);
+    if start_ms > cfg.deadline {
+        return Err(SynthError::Infeasible {
+            reason: format!(
+                "even one fastest processor per task needs {start_ms} > deadline {}",
+                cfg.deadline
+            ),
+        });
+    }
+
+    loop {
+        let current_cost = alloc.cost(&cfg.library);
+        let mut best_move: Option<(Allocation, f64, u64)> = None;
+        let mut consider = |candidate: Allocation, explored: &mut u64| {
+            *explored += 1;
+            let ms = makespan(graph, &candidate, cfg);
+            if ms > cfg.deadline {
+                return;
+            }
+            let cost = candidate.cost(&cfg.library);
+            if cost < current_cost - 1e-12
+                && best_move.as_ref().is_none_or(|(_, c, _)| cost < *c - 1e-12)
+            {
+                best_move = Some((candidate, cost, ms));
+            }
+        };
+        let instances = alloc.instance_types.len();
+        // Merges: move everything from instance b onto instance a.
+        for a in 0..instances {
+            for b in 0..instances {
+                if a == b {
+                    continue;
+                }
+                let mut cand = alloc.clone();
+                for slot in cand.assignment.iter_mut() {
+                    if *slot == b {
+                        *slot = a;
+                    }
+                }
+                // Remove instance b, compacting indices.
+                cand.instance_types.remove(b);
+                for slot in cand.assignment.iter_mut() {
+                    if *slot > b {
+                        *slot -= 1;
+                    }
+                }
+                consider(cand, &mut explored);
+            }
+        }
+        // Downgrades: replace an instance's type with any cheaper one.
+        for inst in 0..instances {
+            let current_ty = alloc.instance_types[inst];
+            for (ty, p) in cfg.library.iter().enumerate() {
+                if p.cost() < cfg.library[current_ty].cost() {
+                    let mut cand = alloc.clone();
+                    cand.instance_types[inst] = ty;
+                    consider(cand, &mut explored);
+                }
+            }
+        }
+        match best_move {
+            Some((next, cost, ms)) => {
+                alloc = next;
+                if alloc.instance_types.is_empty() {
+                    unreachable!("merges keep at least one instance");
+                }
+                let _ = (cost, ms);
+            }
+            None => {
+                let ms = makespan(graph, &alloc, cfg);
+                return Ok(MultiprocOutcome {
+                    cost: alloc.cost(&cfg.library),
+                    makespan: ms,
+                    allocation: alloc,
+                    optimal: false,
+                    explored,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
+
+    fn graph(tasks: usize, seed: u64) -> TaskGraph {
+        random_task_graph(&TgffConfig {
+            tasks,
+            seed,
+            sw_cycles: (1_000, 8_000),
+            ..TgffConfig::default()
+        })
+    }
+
+    fn mid_deadline(g: &TaskGraph, cfg: &MultiprocConfig) -> u64 {
+        // Between serial-on-cheapest and fully-parallel-on-fastest.
+        let serial = g.total_sw_cycles() * 2;
+        let fastest = cfg
+            .library
+            .iter()
+            .map(|p| p.speed())
+            .fold(f64::MIN, f64::max);
+        let parallel = (g.critical_path(|_, t| t.sw_cycles()).unwrap() as f64 / fastest) as u64;
+        parallel + (serial - parallel) / 6
+    }
+
+    #[test]
+    fn exact_never_loses_to_heuristics() {
+        for seed in [1, 2, 3] {
+            let g = graph(7, seed);
+            let mut cfg = MultiprocConfig::new(0);
+            cfg.deadline = mid_deadline(&g, &cfg);
+            cfg.max_instances = 2;
+            let exact = branch_and_bound(&g, &cfg).unwrap();
+            assert!(exact.optimal);
+            assert!(exact.makespan <= cfg.deadline);
+            for (name, outcome) in [
+                ("bin", bin_packing(&g, &cfg).unwrap()),
+                ("sens", sensitivity_driven(&g, &cfg).unwrap()),
+            ] {
+                assert!(outcome.makespan <= cfg.deadline, "{name} seed {seed}");
+                assert!(
+                    exact.cost <= outcome.cost + 1e-9,
+                    "{name} seed {seed}: exact {} vs {}",
+                    exact.cost,
+                    outcome.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_grows_superlinearly_with_tasks() {
+        let mut cfg = MultiprocConfig::new(0);
+        cfg.max_instances = 2;
+        let small = {
+            let g = graph(4, 9);
+            cfg.deadline = mid_deadline(&g, &cfg);
+            branch_and_bound(&g, &cfg).unwrap().explored
+        };
+        let large = {
+            let g = graph(8, 9);
+            cfg.deadline = mid_deadline(&g, &cfg);
+            branch_and_bound(&g, &cfg).unwrap().explored
+        };
+        assert!(
+            large > 4 * small,
+            "exponential growth expected: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn loose_deadline_buys_one_cheap_processor() {
+        let g = graph(6, 4);
+        let mut cfg = MultiprocConfig::new(g.total_sw_cycles() * 100);
+        cfg.max_instances = 2;
+        let exact = branch_and_bound(&g, &cfg).unwrap();
+        assert_eq!(exact.allocation.instance_count(), 1);
+        let cheapest = cfg
+            .library
+            .iter()
+            .map(|p| p.cost())
+            .fold(f64::MAX, f64::min);
+        assert!((exact.cost - cheapest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_deadline_buys_parallel_hardware() {
+        let g = graph(6, 4);
+        let mut cfg = MultiprocConfig::new(0);
+        cfg.deadline = mid_deadline(&g, &cfg);
+        let tight = branch_and_bound(&g, &cfg).unwrap();
+        let mut loose_cfg = cfg.clone();
+        loose_cfg.deadline = g.total_sw_cycles() * 100;
+        let loose = branch_and_bound(&g, &loose_cfg).unwrap();
+        assert!(
+            tight.cost > loose.cost,
+            "tight {} vs loose {}",
+            tight.cost,
+            loose.cost
+        );
+    }
+
+    #[test]
+    fn impossible_deadline_is_infeasible() {
+        let g = graph(6, 5);
+        let mut cfg = MultiprocConfig::new(1);
+        cfg.max_instances = 2;
+        assert!(matches!(
+            branch_and_bound(&g, &cfg),
+            Err(SynthError::Infeasible { .. })
+        ));
+        assert!(matches!(
+            sensitivity_driven(&g, &cfg),
+            Err(SynthError::Infeasible { .. })
+        ));
+        assert!(matches!(
+            bin_packing(&g, &cfg),
+            Err(SynthError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn heuristics_scale_to_larger_graphs() {
+        let g = graph(30, 6);
+        let mut cfg = MultiprocConfig::new(0);
+        cfg.deadline = mid_deadline(&g, &cfg);
+        let bin = bin_packing(&g, &cfg).unwrap();
+        let sens = sensitivity_driven(&g, &cfg).unwrap();
+        assert!(bin.makespan <= cfg.deadline);
+        assert!(sens.makespan <= cfg.deadline);
+        assert!(!bin.optimal && !sens.optimal);
+    }
+
+    #[test]
+    fn sensitivity_reduces_cost_from_overprovisioned_start() {
+        let g = graph(10, 7);
+        let mut cfg = MultiprocConfig::new(0);
+        cfg.deadline = mid_deadline(&g, &cfg);
+        let outcome = sensitivity_driven(&g, &cfg).unwrap();
+        let fastest_cost = cfg
+            .library
+            .iter()
+            .map(|p| p.cost())
+            .fold(f64::MIN, f64::max);
+        let start_cost = fastest_cost * g.len() as f64;
+        assert!(
+            outcome.cost < start_cost / 2.0,
+            "cost {} from start {start_cost}",
+            outcome.cost
+        );
+    }
+
+    #[test]
+    fn makespan_accounts_for_interconnect_traffic() {
+        use codesign_ir::task::Task;
+        let mut g = TaskGraph::new("two");
+        let a = g.add_task(Task::new("a", 1_000));
+        let b = g.add_task(Task::new("b", 1_000));
+        g.add_edge(a, b, 4_000).unwrap();
+        let cfg = MultiprocConfig::new(1_000_000);
+        let same = Allocation {
+            instance_types: vec![1],
+            assignment: vec![0, 0],
+        };
+        let split = Allocation {
+            instance_types: vec![1, 1],
+            assignment: vec![0, 1],
+        };
+        let ms_same = makespan(&g, &same, &cfg);
+        let ms_split = makespan(&g, &split, &cfg);
+        assert!(
+            ms_split > ms_same,
+            "serial chain gains nothing from parallelism but pays comm: {ms_split} vs {ms_same}"
+        );
+    }
+}

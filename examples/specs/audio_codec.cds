@@ -1,0 +1,16 @@
+# A duplex audio codec: two parallel paths sharing a mixer stage.
+# Used by: codesign partition examples/specs/audio_codec.cds --algorithm gclp --sharing
+system audio_codec
+
+task mic_in   sw=1500  hw=300  area=12  par=0.2  mod=0.8
+task enc_filt sw=20000 hw=1100 area=140 par=0.9  mod=0.2 kernel=fir
+task quantize sw=4000  hw=350  area=20  par=0.5  mod=0.4 kernel=quantize
+task spk_out  sw=1500  hw=300  area=12  par=0.2  mod=0.8
+task dec_filt sw=20000 hw=1100 area=140 par=0.9  mod=0.2 kernel=iir
+task mixer    sw=6000  hw=900  area=55  par=0.6  mod=0.6
+edge mic_in   -> enc_filt bytes=512
+edge enc_filt -> quantize bytes=512
+edge quantize -> mixer    bytes=128
+edge dec_filt -> spk_out  bytes=512
+edge mixer    -> dec_filt bytes=128
+deadline 25000

@@ -1,0 +1,29 @@
+# An embedded vision node: grab -> sobel -> encode -> ship.
+# Used by: codesign partition examples/specs/camera_node.cds --objective cost
+#          codesign cosim examples/specs/camera_node.cds --budget 1
+system camera_node
+
+task grab   sw=4000  hw=500  area=30  par=0.4  mod=0.7
+task sobel  sw=30000 hw=1800 area=160 par=0.95 mod=0.2 kernel=sobel
+task encode sw=18000 hw=1500 area=120 par=0.8  mod=0.4
+task ship   sw=6000  hw=1200 area=50  par=0.3  mod=0.8
+edge grab   -> sobel  bytes=1024
+edge sobel  -> encode bytes=1024
+edge encode -> ship   bytes=256
+deadline 40000
+
+channel pix cap=2
+channel out cap=0
+process sensor iter=24
+  compute 4000
+  send pix 1024
+end
+process vision iter=24
+  recv pix
+  compute 48000
+  send out 256
+end
+process uplink iter=24
+  recv out
+  compute 6000
+end

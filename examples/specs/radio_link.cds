@@ -1,0 +1,31 @@
+# A software-defined radio link: sample -> filter -> frame -> crc -> tx.
+# Used by: codesign partition examples/specs/radio_link.cds
+#          codesign multiproc examples/specs/radio_link.cds --deadline 15000
+system radio_link
+
+task sample   sw=2000  hw=250  area=18  par=0.3  mod=0.8
+task filter   sw=24000 hw=1400 area=150 par=0.95 mod=0.2 kernel=fir
+task packhdr  sw=3000  hw=700  area=25  par=0.2  mod=0.9
+task crc      sw=9000  hw=600  area=40  par=0.6  mod=0.3 kernel=crc32
+task transmit sw=5000  hw=900  area=45  par=0.5  mod=0.5
+edge sample  -> filter   bytes=256
+edge filter  -> packhdr  bytes=256
+edge packhdr -> crc      bytes=288
+edge crc     -> transmit bytes=292
+deadline 30000
+
+channel samples cap=2
+channel frames  cap=0
+process frontend iter=32
+  compute 2000
+  send samples 256
+end
+process dsp iter=32
+  recv samples
+  compute 24000
+  send frames 288
+end
+process mac iter=32
+  recv frames
+  compute 17000
+end

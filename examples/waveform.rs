@@ -1,0 +1,65 @@
+//! Dump a gate-level waveform of synthesized glue logic to a VCD file.
+//!
+//! Builds the address decoder of a three-device interface (the "glue
+//! logic" of the paper's Figure 4), stimulates it with a burst of bus
+//! addresses through the event-driven simulator, and writes the value
+//! changes as a standard VCD — openable in GTKWave.
+//!
+//! Run with: `cargo run --example waveform`
+
+use codesign::rtl::netlist::{GateKind, Netlist};
+use codesign::rtl::sim::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3-region address decoder over 4 high address bits, plus an
+    // any-select line — the shape interface synthesis emits.
+    let mut n = Netlist::new("glue_decoder");
+    let addr: Vec<_> = (0..4).map(|i| n.add_input(format!("addr{i}"))).collect();
+    let req = n.add_input("req");
+    let mut selects = Vec::new();
+    for (region, tag) in [("uart", 0b0000u64), ("timer", 0b0001), ("coproc", 0b0010)] {
+        let hit = n.equals_const(&addr, tag)?;
+        let sel = n.add_net(format!("sel_{region}"));
+        n.add_gate(GateKind::And, &[hit, req], sel, 1)?;
+        selects.push(sel);
+    }
+    let any = n.add_net("any_sel");
+    n.add_gate(GateKind::Or, &selects, any, 1)?;
+    println!(
+        "glue decoder: {} gates ({} gate-equivalents)",
+        n.gate_count(),
+        n.gate_equivalents()
+    );
+
+    let mut sim = Simulator::new(&n)?;
+    sim.enable_tracing();
+    // A burst of transactions: hit each region, then a miss.
+    for target in [0b0000u64, 0b0001, 0b0010, 0b1111, 0b0001] {
+        sim.set_bus(&addr, target);
+        sim.set_input(req, true);
+        sim.settle()?;
+        sim.run_for(5)?;
+        sim.set_input(req, false);
+        sim.settle()?;
+        sim.run_for(5)?;
+    }
+    println!(
+        "simulated {} time units, {} value-change events",
+        sim.time(),
+        sim.events_processed()
+    );
+
+    let path = std::env::temp_dir().join("codesign_glue.vcd");
+    let mut file = std::fs::File::create(&path)?;
+    sim.write_vcd(&mut file)?;
+    let text = std::fs::read_to_string(&path)?;
+    println!(
+        "wrote {} ({} lines); first waveform lines:",
+        path.display(),
+        text.lines().count()
+    );
+    for line in text.lines().take(14) {
+        println!("  {line}");
+    }
+    Ok(())
+}

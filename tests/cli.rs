@@ -1,0 +1,196 @@
+//! Integration: the `codesign` command-line front end.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn codesign(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_codesign"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn spec_file() -> tempfile::TempPath {
+    let mut f = tempfile::NamedTempFile::new().expect("temp file");
+    f.write_all(
+        b"system demo\n\
+          task a sw=2000 hw=200 area=20 par=0.8\n\
+          task b sw=8000 hw=500 area=60 par=0.9\n\
+          task c sw=1000 hw=400 area=15 mod=0.9\n\
+          edge a -> b bytes=64\n\
+          edge b -> c bytes=64\n\
+          deadline 6000\n\
+          channel x cap=0\n\
+          process src iter=4\n\
+            compute 500\n\
+            send x 32\n\
+          end\n\
+          process dst iter=4\n\
+            recv x\n\
+            compute 4000\n\
+          end\n",
+    )
+    .expect("writes");
+    f.into_temp_path()
+}
+
+/// A minimal tempfile substitute so the test has no extra dependency.
+mod tempfile {
+    use std::path::{Path, PathBuf};
+
+    pub struct NamedTempFile(std::fs::File, PathBuf);
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new() -> std::io::Result<Self> {
+            let path = std::env::temp_dir().join(format!(
+                "codesign_cli_{}_{}.cds",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("clock")
+                    .as_nanos()
+            ));
+            Ok(NamedTempFile(std::fs::File::create(&path)?, path))
+        }
+
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.1)
+        }
+    }
+
+    impl std::io::Write for NamedTempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.0, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.0)
+        }
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = Path;
+        fn deref(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let (out, _, ok) = codesign(&["help"]);
+    assert!(ok);
+    for cmd in ["classify", "partition", "cosim", "multiproc", "ladder"] {
+        assert!(out.contains(cmd), "{cmd} missing from help");
+    }
+}
+
+#[test]
+fn classify_prints_the_survey() {
+    let (out, _, ok) = codesign(&["classify"]);
+    assert!(ok);
+    assert!(out.contains("Chinook"));
+    assert!(out.contains("co-processor flow"));
+}
+
+#[test]
+fn partition_runs_on_a_spec_file() {
+    let path = spec_file();
+    let (out, err, ok) = codesign(&[
+        "partition",
+        path.to_str().unwrap(),
+        "--algorithm",
+        "kl",
+        "--objective",
+        "perf",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("makespan"));
+    assert!(out.contains("deadline 6000: met"), "{out}");
+}
+
+#[test]
+fn cosim_searches_a_hardware_budget() {
+    let path = spec_file();
+    let (out, err, ok) = codesign(&["cosim", path.to_str().unwrap(), "--budget", "1"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("finish time"));
+    assert!(
+        out.contains("dst"),
+        "the heavy process moves to hardware: {out}"
+    );
+}
+
+#[test]
+fn multiproc_allocates_processors() {
+    let path = spec_file();
+    let (out, err, ok) = codesign(&[
+        "multiproc",
+        path.to_str().unwrap(),
+        "--deadline",
+        "4000",
+        "--solver",
+        "exact",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("optimal: true"));
+    assert!(out.contains("PE0:"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, err, ok) = codesign(&["partition", "/nonexistent/file.cds"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"));
+    let (_, err, ok) = codesign(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn ladder_prints_all_levels() {
+    let (out, err, ok) = codesign(&["ladder", "--bytes", "32", "--iterations", "4"]);
+    assert!(ok, "stderr: {err}");
+    for level in ["pin", "register", "driver", "message"] {
+        assert!(out.contains(level), "{level} missing: {out}");
+    }
+}
+
+#[test]
+fn shipped_sample_specs_work_end_to_end() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    for (file, args) in [
+        ("radio_link.cds", vec!["partition"]),
+        (
+            "camera_node.cds",
+            vec!["partition", "--objective", "cost", "--algorithm", "hw"],
+        ),
+        ("camera_node.cds", vec!["cosim", "--budget", "1"]),
+        (
+            "audio_codec.cds",
+            vec!["partition", "--algorithm", "gclp", "--sharing"],
+        ),
+        (
+            "radio_link.cds",
+            vec!["multiproc", "--deadline", "20000", "--solver", "bin"],
+        ),
+    ] {
+        let path = root.join(file);
+        let mut full: Vec<&str> = vec![args[0], path.to_str().unwrap()];
+        full.extend(&args[1..]);
+        let (out, err, ok) = codesign(&full);
+        assert!(ok, "{file} {args:?}: {err}");
+        assert!(!out.is_empty(), "{file} {args:?} produced no output");
+    }
+}

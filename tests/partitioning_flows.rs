@@ -1,0 +1,121 @@
+//! Integration: partitioning across the stack — algorithms from
+//! `codesign-partition` over kernel-backed task graphs whose hardware
+//! costs come from real `codesign-hls` synthesis (paper Section 3.3,
+//! experiments E8/E10).
+
+use codesign::ir::task::{Task, TaskGraph};
+use codesign::partition::algorithms::{hw_first, kernighan_lin, sw_first};
+use codesign::partition::area::{HwAreaModel, NaiveArea, SharedArea};
+use codesign::partition::cost::Objective;
+use codesign::partition::eval::{evaluate, EvalConfig};
+use codesign::partition::Partition;
+
+fn kernel_graph() -> TaskGraph {
+    let mut g = TaskGraph::new("dsp_chain");
+    let specs = [
+        ("fir", 40_000u64, 0.9),
+        ("dct8", 90_000, 0.95),
+        ("crc32", 12_000, 0.4),
+        ("sobel", 25_000, 0.8),
+        ("quantize", 6_000, 0.3),
+        ("matmul", 70_000, 0.9),
+    ];
+    let mut prev = None;
+    for (name, sw, par) in specs {
+        let id = g.add_task(
+            Task::new(name, sw)
+                .with_hw_cycles(sw / 12)
+                .with_hw_area(sw as f64 / 80.0)
+                .with_parallelism(par)
+                .with_kernel(name),
+        );
+        if let Some(p) = prev {
+            g.add_edge(p, id, 128).expect("chain edge");
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+#[test]
+fn sharing_aware_estimation_changes_the_partition() {
+    let g = kernel_graph();
+    let shared = SharedArea::from_graph(&g);
+    let naive = NaiveArea;
+    let deadline = g.total_sw_cycles() / 4;
+    let objective = Objective::cost_driven(deadline);
+
+    let (p_naive, e_naive) =
+        kernighan_lin(&g, &EvalConfig::new(objective.clone(), &naive)).unwrap();
+    let (p_shared, e_shared) = kernighan_lin(&g, &EvalConfig::new(objective, &shared)).unwrap();
+
+    assert!(e_naive.meets_deadline && e_shared.meets_deadline);
+    // Under sharing, hardware is cheaper at the margin, so at least as
+    // much moves across the boundary.
+    assert!(
+        p_shared.hw_count() >= p_naive.hw_count(),
+        "shared {} vs naive {}",
+        p_shared.hw_count(),
+        p_naive.hw_count()
+    );
+    // And pricing the *same* (naive) partition with both models shows
+    // the sharing discount directly.
+    let hw: Vec<_> = p_naive.hw_tasks().collect();
+    if hw.len() >= 2 {
+        assert!(shared.area_of(&g, &hw) < naive.area_of(&g, &hw));
+    }
+}
+
+#[test]
+fn hw_first_minimizes_cost_sw_first_moves_critical_regions() {
+    let g = kernel_graph();
+    let naive = NaiveArea;
+    let deadline = g.total_sw_cycles() / 3;
+    let cfg = EvalConfig::new(Objective::cost_driven(deadline), &naive);
+
+    let (_, from_hw) = hw_first(&g, &cfg).unwrap();
+    let (_, from_sw) = sw_first(&g, &cfg).unwrap();
+    assert!(from_hw.meets_deadline && from_sw.meets_deadline);
+    // The Vulcan direction tends to find the low-area corner under a
+    // cost objective.
+    assert!(from_hw.hw_area <= from_sw.hw_area + 1e-9);
+}
+
+#[test]
+fn extremes_bracket_every_algorithm() {
+    let g = kernel_graph();
+    let naive = NaiveArea;
+    let cfg = EvalConfig::new(
+        Objective::performance_driven(g.total_sw_cycles() / 4),
+        &naive,
+    );
+    let sw = evaluate(&g, &Partition::all_sw(g.len()), &cfg).unwrap();
+    let hw = evaluate(&g, &Partition::all_hw(g.len()), &cfg).unwrap();
+    let (_, best) = kernighan_lin(&g, &cfg).unwrap();
+    assert!(best.cost <= sw.cost.min(hw.cost) + 1e-9);
+    assert!(best.makespan <= sw.makespan);
+    assert!(best.hw_area <= hw.hw_area);
+}
+
+#[test]
+fn incremental_estimator_agrees_with_recompute_under_partitioning_churn() {
+    use codesign::hls::estimate::{AreaModel, SharedAreaEstimator};
+    let g = kernel_graph();
+    let shared = SharedArea::from_graph(&g);
+    let model = AreaModel::default();
+    let mut inc = SharedAreaEstimator::new(model.clone());
+    let mut live = Vec::new();
+    // Simulate a partitioner's inner loop: add/remove tasks from the
+    // hardware set and check the incremental estimate each step.
+    let ids: Vec<_> = g.ids().collect();
+    for (step, &id) in ids.iter().enumerate() {
+        inc.add(shared.requirement(id));
+        live.push(shared.requirement(id));
+        if step % 2 == 1 {
+            let r = live.remove(0);
+            inc.remove(r);
+        }
+        let reference = SharedAreaEstimator::recompute(&model, live.iter().copied());
+        assert!((inc.area() - reference).abs() < 1e-9, "step {step}");
+    }
+}
