@@ -1,0 +1,88 @@
+//! Criterion benchmark for the incremental partition evaluator: the five
+//! search algorithms across TGFF graph sizes, plus a head-to-head of the
+//! incremental Kernighan–Lin against the frozen seed implementation
+//! (`codesign_bench::reference`).
+//!
+//! Expected shape: every algorithm scales far better than the seed's
+//! clone-and-re-evaluate search because candidate flips only replay the
+//! schedule suffix behind the flipped task; the KL before/after pair
+//! makes the speedup directly visible (the acceptance gate is ≥5× at 64
+//! tasks, checked by the `bench-partition` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use codesign_bench::reference;
+use codesign_ir::task::TaskGraph;
+use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
+use codesign_partition::algorithms::{
+    gclp, hw_first, kernighan_lin, simulated_annealing, sw_first, AnnealingSchedule,
+};
+use codesign_partition::area::NaiveArea;
+use codesign_partition::cost::Objective;
+use codesign_partition::eval::EvalConfig;
+
+static NAIVE: NaiveArea = NaiveArea;
+
+fn graph(tasks: usize) -> TaskGraph {
+    random_task_graph(&TgffConfig {
+        tasks,
+        seed: 0xDAC,
+        ..TgffConfig::default()
+    })
+}
+
+fn config(g: &TaskGraph) -> EvalConfig<'static> {
+    EvalConfig::new(
+        Objective::performance_driven(g.total_sw_cycles() / 3),
+        &NAIVE,
+    )
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_algorithms");
+    group.sample_size(10);
+    for tasks in [16usize, 64, 256] {
+        let g = graph(tasks);
+        let cfg = config(&g);
+        let schedule = AnnealingSchedule::default();
+        group.bench_with_input(BenchmarkId::new("sw_first", tasks), &tasks, |b, _| {
+            b.iter(|| sw_first(&g, &cfg).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("hw_first", tasks), &tasks, |b, _| {
+            b.iter(|| hw_first(&g, &cfg).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("kernighan_lin", tasks), &tasks, |b, _| {
+            b.iter(|| kernighan_lin(&g, &cfg).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("gclp", tasks), &tasks, |b, _| {
+            b.iter(|| gclp(&g, &cfg).expect("runs"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("simulated_annealing", tasks),
+            &tasks,
+            |b, _| {
+                b.iter(|| simulated_annealing(&g, &cfg, &schedule, 7).expect("runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kl_before_after(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_kl_before_after");
+    group.sample_size(10);
+    for tasks in [16usize, 64] {
+        let g = graph(tasks);
+        let cfg = config(&g);
+        group.bench_with_input(BenchmarkId::new("seed", tasks), &tasks, |b, _| {
+            b.iter(|| reference::kernighan_lin(&g, &cfg).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", tasks), &tasks, |b, _| {
+            b.iter(|| kernighan_lin(&g, &cfg).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_kl_before_after);
+criterion_main!(benches);

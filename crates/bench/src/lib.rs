@@ -29,6 +29,8 @@
 
 #![warn(missing_docs)]
 
+pub mod reference;
+
 use std::fmt::Write as _;
 
 /// One regenerated figure/table.

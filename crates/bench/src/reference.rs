@@ -1,0 +1,507 @@
+//! The pre-`Evaluator` partitioning implementation, frozen as a
+//! benchmark baseline.
+//!
+//! This module is a faithful copy of the seed `codesign-partition`
+//! evaluator and search algorithms from before the incremental
+//! [`Evaluator`](codesign_partition::eval::Evaluator) landed: every
+//! candidate partition is cloned and re-evaluated from scratch, each
+//! evaluation re-derives the schedule order and scans the *full* edge
+//! list per task. It exists so `benches/partition.rs` and the
+//! `bench-partition` binary can report honest before/after numbers for
+//! the incremental rewrite — do not "optimize" it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use codesign_ir::task::{TaskGraph, TaskId};
+use codesign_partition::algorithms::{AnnealingSchedule, PartitionResult};
+use codesign_partition::error::PartitionError;
+use codesign_partition::eval::{EvalConfig, Evaluation};
+use codesign_partition::{Partition, Side};
+
+/// Seed-era `evaluate`: list-schedules from scratch, scanning the full
+/// edge list for every task's incoming dependences.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::SizeMismatch`] if the partition does not
+/// cover the graph, and propagates graph validation errors.
+pub fn evaluate(
+    graph: &TaskGraph,
+    partition: &Partition,
+    config: &EvalConfig<'_>,
+) -> Result<Evaluation, PartitionError> {
+    if partition.len() != graph.len() {
+        return Err(PartitionError::SizeMismatch {
+            partition: partition.len(),
+            graph: graph.len(),
+        });
+    }
+    let order = schedule_order(graph)?;
+    let hw_contexts = config.hw_contexts.max(1);
+
+    let mut finish = vec![0u64; graph.len()];
+    let mut cpu_free = 0u64;
+    let mut hw_free = vec![0u64; hw_contexts];
+    let mut cross_bytes = 0u64;
+    let mut comm_cycles = 0u64;
+    let mut busy = Vec::new(); // (start, end, side) for overlap accounting
+
+    for t in order {
+        let side = partition.side(t);
+        let mut data_ready = 0u64;
+        for e in graph.edges().iter().filter(|e| e.dst == t) {
+            let mut ready = finish[e.src.index()];
+            if partition.side(e.src) != side {
+                let cycles = config.comm.transfer_cycles(e.bytes);
+                ready += cycles;
+                comm_cycles += cycles;
+                cross_bytes += e.bytes;
+            }
+            data_ready = data_ready.max(ready);
+        }
+        let duration = match side {
+            Side::Sw => graph.task(t).sw_cycles(),
+            Side::Hw => graph.task(t).hw_cycles(),
+        };
+        let start = match side {
+            Side::Sw => {
+                let s = data_ready.max(cpu_free);
+                cpu_free = s + duration;
+                s
+            }
+            Side::Hw => {
+                let (ctx, &free) = hw_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &f)| f)
+                    .expect("hw_contexts >= 1");
+                let s = data_ready.max(free);
+                hw_free[ctx] = s + duration;
+                s
+            }
+        };
+        finish[t.index()] = start + duration;
+        busy.push((start, start + duration, side));
+    }
+
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    let hw_tasks: Vec<TaskId> = partition.hw_tasks().collect();
+    let hw_area = config.area_model.area_of(graph, &hw_tasks);
+    let overlap = overlap_fraction(&busy, makespan);
+    let meets_deadline = config.objective.deadline.is_none_or(|d| makespan <= d);
+
+    // --- Scalarization -------------------------------------------------
+    let obj = &config.objective;
+    let n = graph.len().max(1) as f64;
+    let all_sw_time = graph.total_sw_cycles().max(1) as f64;
+    let all_ids: Vec<TaskId> = graph.ids().collect();
+    let all_hw_area = config.area_model.area_of(graph, &all_ids).max(1e-9);
+    let total_bytes: u64 = graph.edges().iter().map(|e| e.bytes).sum();
+
+    let norm_time = makespan as f64 / all_sw_time;
+    let norm_area = hw_area / all_hw_area;
+    let norm_comm = if total_bytes == 0 {
+        0.0
+    } else {
+        cross_bytes as f64 / total_bytes as f64
+    };
+    let mod_penalty: f64 = hw_tasks
+        .iter()
+        .map(|&t| graph.task(t).modifiability())
+        .sum::<f64>()
+        / n;
+    let nature_penalty: f64 = graph
+        .iter()
+        .filter(|&(id, _)| partition.side(id) == Side::Sw)
+        .map(|(_, t)| t.parallelism())
+        .sum::<f64>()
+        / n;
+    let lost_concurrency = 1.0 - overlap;
+
+    let mut cost = obj.w_time * norm_time
+        + obj.w_area * norm_area
+        + obj.w_comm * norm_comm
+        + obj.w_modifiability * mod_penalty
+        + obj.w_nature * nature_penalty
+        + obj.w_concurrency * lost_concurrency;
+    if let Some(d) = obj.deadline {
+        if makespan > d {
+            cost += obj.deadline_penalty * (makespan - d) as f64 / d.max(1) as f64;
+        }
+    }
+
+    Ok(Evaluation {
+        makespan,
+        hw_area,
+        cross_bytes,
+        comm_cycles,
+        overlap,
+        meets_deadline,
+        cost,
+    })
+}
+
+/// Seed-era successor query: a full edge-list scan per call. The current
+/// `TaskGraph::successors` answers from the cached CSR index, which did
+/// not exist in the seed — using it here would flatter the baseline.
+fn seed_successors(graph: &TaskGraph, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+    graph
+        .edges()
+        .iter()
+        .filter(move |e| e.src == id)
+        .map(|e| e.dst)
+}
+
+/// Seed-era topological order (LIFO Kahn over per-edge indegree counts),
+/// recomputed from the raw edge list on every call.
+fn seed_topological_order(graph: &TaskGraph) -> Result<Vec<TaskId>, PartitionError> {
+    // Delegate the cycle check to the graph, then rebuild the order the
+    // seed way so the baseline pays the seed's costs.
+    let n = graph.len();
+    let mut indegree = vec![0usize; n];
+    for e in graph.edges() {
+        indegree[e.dst.index()] += 1;
+    }
+    let mut ready: Vec<TaskId> = graph.ids().filter(|t| indegree[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = ready.pop() {
+        order.push(id);
+        for s in seed_successors(graph, id) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        // Same outcome the seed produced on cyclic graphs.
+        let _ = graph.topological_order()?;
+    }
+    Ok(order)
+}
+
+/// Seed-era bottom levels: one edge-list scan per task.
+fn seed_bottom_levels(
+    graph: &TaskGraph,
+    cost: impl Fn(TaskId, &codesign_ir::task::Task) -> u64,
+) -> Result<Vec<u64>, PartitionError> {
+    let order = seed_topological_order(graph)?;
+    let mut level = vec![0u64; graph.len()];
+    for &id in order.iter().rev() {
+        let tail = seed_successors(graph, id)
+            .map(|s| level[s.index()])
+            .max()
+            .unwrap_or(0);
+        level[id.index()] = tail + cost(id, graph.task(id));
+    }
+    Ok(level)
+}
+
+/// Topological order sorted by bottom level (longest path first), the
+/// usual list-scheduling priority — recomputed on every evaluation.
+fn schedule_order(graph: &TaskGraph) -> Result<Vec<TaskId>, PartitionError> {
+    let levels = seed_bottom_levels(graph, |_, t| t.sw_cycles())?;
+    let mut result = Vec::with_capacity(graph.len());
+    let mut placed = vec![false; graph.len()];
+    let mut indegree: Vec<usize> = (0..graph.len())
+        .map(|i| {
+            let id = TaskId::from_index(i);
+            graph.edges().iter().filter(|e| e.dst == id).count()
+        })
+        .collect();
+    let mut ready: Vec<TaskId> = graph.ids().filter(|t| indegree[t.index()] == 0).collect();
+    while !ready.is_empty() {
+        // Highest bottom level first.
+        ready.sort_by_key(|&t| std::cmp::Reverse(levels[t.index()]));
+        let t = ready.remove(0);
+        if placed[t.index()] {
+            continue;
+        }
+        placed[t.index()] = true;
+        result.push(t);
+        for s in seed_successors(graph, t) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn overlap_fraction(busy: &[(u64, u64, Side)], makespan: u64) -> f64 {
+    if makespan == 0 {
+        return 0.0;
+    }
+    // Sweep: count cycles where both a SW and an HW interval are active.
+    let mut events: Vec<(u64, i32, Side)> = Vec::with_capacity(busy.len() * 2);
+    for &(s, e, side) in busy {
+        events.push((s, 1, side));
+        events.push((e, -1, side));
+    }
+    events.sort_by_key(|&(t, d, _)| (t, d));
+    let (mut sw, mut hw) = (0i32, 0i32);
+    let mut both = 0u64;
+    let mut last = 0u64;
+    for (t, d, side) in events {
+        if sw > 0 && hw > 0 {
+            both += t - last;
+        }
+        last = t;
+        match side {
+            Side::Sw => sw += d,
+            Side::Hw => hw += d,
+        }
+    }
+    both as f64 / makespan as f64
+}
+
+/// Seed-era software-first greedy descent (clone + full re-evaluation
+/// per candidate move).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn sw_first(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    steepest_descent(graph, config, Partition::all_sw(graph.len()))
+}
+
+/// Seed-era hardware-first greedy descent.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn hw_first(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    steepest_descent(graph, config, Partition::all_hw(graph.len()))
+}
+
+fn steepest_descent(
+    graph: &TaskGraph,
+    config: &EvalConfig<'_>,
+    start: Partition,
+) -> PartitionResult {
+    let mut current = start;
+    let mut current_eval = evaluate(graph, &current, config)?;
+    loop {
+        let mut best: Option<(TaskId, Evaluation)> = None;
+        for t in graph.ids() {
+            let mut candidate = current.clone();
+            candidate.flip(t);
+            let e = evaluate(graph, &candidate, config)?;
+            if e.cost < current_eval.cost && best.as_ref().is_none_or(|(_, b)| e.cost < b.cost) {
+                best = Some((t, e));
+            }
+        }
+        match best {
+            Some((t, e)) => {
+                current.flip(t);
+                current_eval = e;
+            }
+            None => return Ok((current, current_eval)),
+        }
+    }
+}
+
+/// Seed-era Kernighan–Lin pass improvement: every candidate flip clones
+/// the working partition and re-evaluates it from scratch.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn kernighan_lin(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    let n = graph.len();
+    let mut best = Partition::all_sw(n);
+    let mut best_eval = evaluate(graph, &best, config)?;
+    loop {
+        // One pass.
+        let mut working = best.clone();
+        let mut locked = vec![false; n];
+        let mut trace: Vec<(TaskId, Evaluation)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut step: Option<(TaskId, Evaluation)> = None;
+            for t in graph.ids().filter(|t| !locked[t.index()]) {
+                let mut candidate = working.clone();
+                candidate.flip(t);
+                let e = evaluate(graph, &candidate, config)?;
+                if step.as_ref().is_none_or(|(_, s)| e.cost < s.cost) {
+                    step = Some((t, e));
+                }
+            }
+            let (t, e) = step.expect("unlocked tasks remain");
+            locked[t.index()] = true;
+            working.flip(t);
+            trace.push((t, e));
+        }
+        // Roll back to the best prefix of the pass.
+        let best_prefix = trace
+            .iter()
+            .enumerate()
+            .min_by(|(_, (_, a)), (_, (_, b))| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .map(|(i, _)| i);
+        let Some(i) = best_prefix else {
+            return Ok((best, best_eval));
+        };
+        let (_, prefix_eval) = &trace[i];
+        if prefix_eval.cost + 1e-12 < best_eval.cost {
+            let mut improved = best.clone();
+            for (t, _) in &trace[..=i] {
+                improved.flip(*t);
+            }
+            best = improved;
+            best_eval = prefix_eval.clone();
+        } else {
+            return Ok((best, best_eval));
+        }
+    }
+}
+
+/// Seed-era simulated annealing (clone + full re-evaluation per move).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn simulated_annealing(
+    graph: &TaskGraph,
+    config: &EvalConfig<'_>,
+    schedule: &AnnealingSchedule,
+    seed: u64,
+) -> PartitionResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.len();
+    let mut current = Partition::all_sw(n);
+    let mut current_eval = evaluate(graph, &current, config)?;
+    let mut best = current.clone();
+    let mut best_eval = current_eval.clone();
+    let mut temperature = schedule.t_start;
+    for _ in 0..schedule.epochs {
+        for _ in 0..schedule.moves_per_epoch {
+            let t = TaskId::from_index(rng.gen_range(0..n));
+            let mut candidate = current.clone();
+            candidate.flip(t);
+            let e = evaluate(graph, &candidate, config)?;
+            let delta = e.cost - current_eval.cost;
+            let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
+            if accept {
+                current = candidate;
+                current_eval = e;
+                if current_eval.cost < best_eval.cost {
+                    best = current.clone();
+                    best_eval = current_eval.clone();
+                }
+            }
+        }
+        temperature *= schedule.cooling;
+    }
+    Ok((best, best_eval))
+}
+
+/// Seed-era GCLP constructive mapping plus descent polish.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn gclp(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    let n = graph.len();
+    let levels = seed_bottom_levels(graph, |_, t| t.sw_cycles())?;
+    let mut order: Vec<TaskId> = graph.ids().collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(levels[t.index()]));
+
+    // The criticality reference: the deadline if given, otherwise the
+    // midpoint between the all-HW and all-SW makespans.
+    let all_sw = evaluate(graph, &Partition::all_sw(n), config)?;
+    let all_hw = evaluate(graph, &Partition::all_hw(n), config)?;
+    let reference = config
+        .objective
+        .deadline
+        .unwrap_or((all_sw.makespan + all_hw.makespan) / 2)
+        .max(1);
+
+    let mut partition = Partition::all_sw(n);
+    for t in order {
+        let projected = evaluate(graph, &partition, config)?;
+        let global_criticality = projected.makespan as f64 / reference as f64;
+        let task = graph.task(t);
+        // Local phase: extremity nodes override the global objective.
+        let side = if task.parallelism() > 0.85 {
+            Side::Hw
+        } else if task.modifiability() > 0.85 {
+            Side::Sw
+        } else if global_criticality > 1.0 {
+            // Time-critical phase: take the side with the shorter makespan.
+            let mut hw_try = partition.clone();
+            if hw_try.side(t) == Side::Sw {
+                hw_try.flip(t);
+            }
+            let hw_eval = evaluate(graph, &hw_try, config)?;
+            if hw_eval.makespan < projected.makespan {
+                Side::Hw
+            } else {
+                Side::Sw
+            }
+        } else {
+            // Area phase: software is free.
+            Side::Sw
+        };
+        if partition.side(t) != side {
+            partition.flip(t);
+        }
+    }
+    steepest_descent(graph, config, partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
+    use codesign_partition::area::NaiveArea;
+    use codesign_partition::cost::Objective;
+
+    static NAIVE: NaiveArea = NaiveArea;
+
+    /// The frozen baseline and the incremental evaluator must agree
+    /// bit-for-bit, otherwise the benchmark compares different work.
+    #[test]
+    fn reference_matches_current_implementation() {
+        for seed in [1, 7, 42] {
+            let g = random_task_graph(&TgffConfig {
+                tasks: 24,
+                seed,
+                ..TgffConfig::default()
+            });
+            let config = EvalConfig::new(
+                Objective::performance_driven(g.total_sw_cycles() / 3),
+                &NAIVE,
+            );
+            for (i, id) in [
+                Partition::all_sw(g.len()),
+                Partition::all_hw(g.len()),
+                Partition::from_sides(
+                    g.ids()
+                        .map(|t| {
+                            if t.index() % 3 == 0 {
+                                Side::Hw
+                            } else {
+                                Side::Sw
+                            }
+                        })
+                        .collect(),
+                ),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                assert_eq!(
+                    evaluate(&g, &id, &config).unwrap(),
+                    codesign_partition::eval::evaluate(&g, &id, &config).unwrap(),
+                    "seed {seed} partition {i}"
+                );
+            }
+            let (p_ref, e_ref) = kernighan_lin(&g, &config).unwrap();
+            let (p_new, e_new) =
+                codesign_partition::algorithms::kernighan_lin(&g, &config).unwrap();
+            assert_eq!(p_ref, p_new, "seed {seed}: KL diverged");
+            assert_eq!(e_ref, e_new, "seed {seed}: KL evaluation diverged");
+        }
+    }
+}

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 use codesign::ir::spec::SystemSpec;
 use codesign::partition::algorithms::{
-    gclp, hw_first, kernighan_lin, simulated_annealing, sw_first, AnnealingSchedule,
+    gclp, hw_first, kernighan_lin, portfolio, simulated_annealing, sw_first, AnnealingSchedule,
 };
 use codesign::partition::area::{NaiveArea, SharedArea};
 use codesign::partition::cost::Objective;
@@ -34,10 +34,13 @@ USAGE:
       Print the survey criteria table and this framework's coverage matrix.
 
   codesign partition <spec.cds> [--objective perf|cost|concurrency]
-                     [--algorithm kl|sw|hw|gclp|sa] [--deadline N] [--sharing]
+                     [--algorithm kl|sw|hw|gclp|sa|portfolio] [--deadline N]
+                     [--sharing]
       Partition the spec's task-graph view. The deadline defaults to the
       spec's `deadline` line; `--sharing` prices hardware with the
-      sharing-aware estimator.
+      sharing-aware estimator. `portfolio` races every algorithm (plus a
+      multi-seed annealer) on concurrent threads and keeps the best
+      partition; the result is deterministic.
 
   codesign cosim <spec.cds> [--hw name1,name2] [--budget K]
       Message-level co-simulation of the spec's process-network view.
@@ -144,6 +147,7 @@ fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "hw" => hw_first(graph, &config)?,
         "gclp" => gclp(graph, &config)?,
         "sa" => simulated_annealing(graph, &config, &AnnealingSchedule::default(), 1)?,
+        "portfolio" => portfolio(graph, &config)?,
         other => return Err(format!("unknown algorithm `{other}`").into()),
     };
     println!("system `{}` — partition:", spec.name());

@@ -180,6 +180,80 @@ pub struct DataEdge {
     pub bytes: u64,
 }
 
+/// Precomputed structural adjacency for a [`TaskGraph`]: CSR-style
+/// incoming/outgoing edge indices (per-endpoint insertion order is
+/// preserved, so iteration matches a scan over the edge list) plus the
+/// memoized topological order. Built lazily on first use and discarded by
+/// structural mutation, so repeated traversals — the partition
+/// evaluator's inner loop — stop paying a full edge scan per task.
+#[derive(Debug, Clone)]
+struct GraphIndex {
+    /// Offsets into `in_edges`, length `n + 1`.
+    in_start: Vec<u32>,
+    /// Edge indices grouped by destination task.
+    in_edges: Vec<u32>,
+    /// Offsets into `out_edges`, length `n + 1`.
+    out_start: Vec<u32>,
+    /// Edge indices grouped by source task.
+    out_edges: Vec<u32>,
+    /// Topological order, or `None` for a cyclic graph.
+    topo: Option<Vec<TaskId>>,
+}
+
+impl GraphIndex {
+    fn build(n: usize, edges: &[DataEdge]) -> Self {
+        let mut in_start = vec![0u32; n + 1];
+        let mut out_start = vec![0u32; n + 1];
+        for e in edges {
+            in_start[e.dst.index() + 1] += 1;
+            out_start[e.src.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_start[i + 1] += in_start[i];
+            out_start[i + 1] += out_start[i];
+        }
+        let mut in_edges = vec![0u32; edges.len()];
+        let mut out_edges = vec![0u32; edges.len()];
+        let mut in_fill = in_start.clone();
+        let mut out_fill = out_start.clone();
+        for (i, e) in edges.iter().enumerate() {
+            in_edges[in_fill[e.dst.index()] as usize] = i as u32;
+            in_fill[e.dst.index()] += 1;
+            out_edges[out_fill[e.src.index()] as usize] = i as u32;
+            out_fill[e.src.index()] += 1;
+        }
+
+        // Kahn's algorithm with a LIFO ready stack; successors are visited
+        // in edge insertion order, so the resulting order is identical to
+        // the pre-index implementation.
+        let mut indegree: Vec<u32> = (0..n).map(|i| in_start[i + 1] - in_start[i]).collect();
+        let mut ready: Vec<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|id| indegree[id.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            let succs = &out_edges[out_start[id.index()] as usize..out_start[id.index() + 1] as usize];
+            for &ei in succs {
+                let succ = edges[ei as usize].dst;
+                indegree[succ.index()] -= 1;
+                if indegree[succ.index()] == 0 {
+                    ready.push(succ);
+                }
+            }
+        }
+        let topo = (order.len() == n).then_some(order);
+        GraphIndex {
+            in_start,
+            in_edges,
+            out_start,
+            out_edges,
+            topo,
+        }
+    }
+}
+
 /// A directed acyclic graph of [`Task`]s.
 ///
 /// # Example
@@ -196,13 +270,26 @@ pub struct DataEdge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TaskGraph {
     name: String,
     tasks: Vec<Task>,
     edges: Vec<DataEdge>,
     deadline: Option<u64>,
     period: Option<u64>,
+    /// Lazily-built adjacency index; not part of the graph's value.
+    index: std::sync::OnceLock<GraphIndex>,
+}
+
+impl PartialEq for TaskGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The adjacency cache is derived state and excluded from equality.
+        self.name == other.name
+            && self.tasks == other.tasks
+            && self.edges == other.edges
+            && self.deadline == other.deadline
+            && self.period == other.period
+    }
 }
 
 impl TaskGraph {
@@ -215,7 +302,14 @@ impl TaskGraph {
             edges: Vec::new(),
             deadline: None,
             period: None,
+            index: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The adjacency index, built on first use.
+    fn index(&self) -> &GraphIndex {
+        self.index
+            .get_or_init(|| GraphIndex::build(self.tasks.len(), &self.edges))
     }
 
     /// Graph name.
@@ -251,6 +345,7 @@ impl TaskGraph {
     pub fn add_task(&mut self, task: Task) -> TaskId {
         let id = TaskId(self.tasks.len() as u32);
         self.tasks.push(task);
+        self.index.take(); // structural mutation invalidates the index
         id
     }
 
@@ -275,6 +370,7 @@ impl TaskGraph {
             });
         }
         self.edges.push(DataEdge { src, dst, bytes });
+        self.index.take(); // structural mutation invalidates the index
         Ok(())
     }
 
@@ -329,72 +425,76 @@ impl TaskGraph {
         &self.edges
     }
 
+    /// Edges arriving at `id`, in insertion order.
+    pub fn incoming_edges(&self, id: TaskId) -> impl Iterator<Item = &DataEdge> + '_ {
+        let ix = self.index();
+        ix.in_edges[ix.in_start[id.index()] as usize..ix.in_start[id.index() + 1] as usize]
+            .iter()
+            .map(move |&ei| &self.edges[ei as usize])
+    }
+
+    /// Edges leaving `id`, in insertion order.
+    pub fn outgoing_edges(&self, id: TaskId) -> impl Iterator<Item = &DataEdge> + '_ {
+        let ix = self.index();
+        ix.out_edges[ix.out_start[id.index()] as usize..ix.out_start[id.index() + 1] as usize]
+            .iter()
+            .map(move |&ei| &self.edges[ei as usize])
+    }
+
+    /// Number of edges arriving at `id`.
+    #[must_use]
+    pub fn in_degree(&self, id: TaskId) -> usize {
+        let ix = self.index();
+        (ix.in_start[id.index() + 1] - ix.in_start[id.index()]) as usize
+    }
+
     /// Ids of the direct predecessors of `id`.
     pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.edges
-            .iter()
-            .filter(move |e| e.dst == id)
-            .map(|e| e.src)
+        self.incoming_edges(id).map(|e| e.src)
     }
 
     /// Ids of the direct successors of `id`.
     pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.edges
-            .iter()
-            .filter(move |e| e.src == id)
-            .map(|e| e.dst)
+        self.outgoing_edges(id).map(|e| e.dst)
     }
 
     /// Total bytes flowing into `id`.
     #[must_use]
     pub fn incoming_bytes(&self, id: TaskId) -> u64 {
-        self.edges
-            .iter()
-            .filter(|e| e.dst == id)
-            .map(|e| e.bytes)
-            .sum()
+        self.incoming_edges(id).map(|e| e.bytes).sum()
     }
 
     /// Total bytes flowing out of `id`.
     #[must_use]
     pub fn outgoing_bytes(&self, id: TaskId) -> u64 {
-        self.edges
-            .iter()
-            .filter(|e| e.src == id)
-            .map(|e| e.bytes)
-            .sum()
+        self.outgoing_edges(id).map(|e| e.bytes).sum()
     }
 
     /// Returns a topological ordering of the tasks.
+    ///
+    /// The order is memoized together with the adjacency index, so
+    /// repeated calls cost one `Vec` copy rather than a graph traversal.
     ///
     /// # Errors
     ///
     /// Returns [`IrError::CyclicGraph`] if the graph contains a cycle.
     pub fn topological_order(&self) -> Result<Vec<TaskId>, IrError> {
-        let n = self.tasks.len();
-        let mut indegree = vec![0usize; n];
-        for e in &self.edges {
-            indegree[e.dst.index()] += 1;
-        }
-        let mut ready: Vec<TaskId> = (0..n as u32)
-            .map(TaskId)
-            .filter(|id| indegree[id.index()] == 0)
-            .collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(id) = ready.pop() {
-            order.push(id);
-            for succ in self.successors(id) {
-                indegree[succ.index()] -= 1;
-                if indegree[succ.index()] == 0 {
-                    ready.push(succ);
-                }
-            }
-        }
-        if order.len() == n {
-            Ok(order)
-        } else {
-            Err(IrError::CyclicGraph { kind: "task graph" })
-        }
+        self.index()
+            .topo
+            .clone()
+            .ok_or(IrError::CyclicGraph { kind: "task graph" })
+    }
+
+    /// The memoized topological order as a slice, without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::CyclicGraph`] if the graph contains a cycle.
+    pub fn topological_order_ref(&self) -> Result<&[TaskId], IrError> {
+        self.index()
+            .topo
+            .as_deref()
+            .ok_or(IrError::CyclicGraph { kind: "task graph" })
     }
 
     /// Validates structural invariants (acyclicity, edge endpoints).
@@ -424,10 +524,10 @@ impl TaskGraph {
     ///
     /// Returns [`IrError::CyclicGraph`] if the graph contains a cycle.
     pub fn critical_path(&self, cost: impl Fn(TaskId, &Task) -> u64) -> Result<u64, IrError> {
-        let order = self.topological_order()?;
+        let order = self.topological_order_ref()?;
         let mut finish = vec![0u64; self.tasks.len()];
         let mut best = 0;
-        for id in order {
+        for &id in order {
             let start = self
                 .predecessors(id)
                 .map(|p| finish[p.index()])
@@ -448,7 +548,7 @@ impl TaskGraph {
     ///
     /// Returns [`IrError::CyclicGraph`] if the graph contains a cycle.
     pub fn bottom_levels(&self, cost: impl Fn(TaskId, &Task) -> u64) -> Result<Vec<u64>, IrError> {
-        let order = self.topological_order()?;
+        let order = self.topological_order_ref()?;
         let mut level = vec![0u64; self.tasks.len()];
         for &id in order.iter().rev() {
             let tail = self
@@ -577,6 +677,44 @@ mod tests {
         let (g, _) = diamond();
         assert_eq!(g.total_sw_cycles(), 100);
         assert!(g.total_hw_area() > 0.0);
+    }
+
+    #[test]
+    fn index_invalidated_by_mutation() {
+        let mut g = TaskGraph::new("grow");
+        let a = g.add_task(Task::new("a", 1));
+        let b = g.add_task(Task::new("b", 1));
+        assert_eq!(g.predecessors(b).count(), 0); // builds the index
+        g.add_edge(a, b, 4).unwrap();
+        assert_eq!(g.predecessors(b).collect::<Vec<_>>(), vec![a]);
+        let c = g.add_task(Task::new("c", 1));
+        g.add_edge(b, c, 4).unwrap();
+        assert_eq!(g.topological_order().unwrap(), vec![a, b, c]);
+        assert_eq!(g.in_degree(c), 1);
+    }
+
+    #[test]
+    fn equality_ignores_index_cache() {
+        let (g1, _) = diamond();
+        let (g2, _) = diamond();
+        let _ = g1.topological_order(); // build the cache on one side only
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn adjacency_preserves_edge_insertion_order() {
+        let mut g = TaskGraph::new("order");
+        let a = g.add_task(Task::new("a", 1));
+        let b = g.add_task(Task::new("b", 1));
+        let c = g.add_task(Task::new("c", 1));
+        let d = g.add_task(Task::new("d", 1));
+        // Insert in a deliberately scrambled order.
+        g.add_edge(c, d, 3).unwrap();
+        g.add_edge(a, d, 1).unwrap();
+        g.add_edge(b, d, 2).unwrap();
+        let bytes: Vec<u64> = g.incoming_edges(d).map(|e| e.bytes).collect();
+        assert_eq!(bytes, vec![3, 1, 2], "scan order = insertion order");
+        assert_eq!(g.predecessors(d).collect::<Vec<_>>(), vec![c, a, b]);
     }
 
     #[test]

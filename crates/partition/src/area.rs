@@ -18,7 +18,11 @@ use codesign_ir::task::{TaskGraph, TaskId};
 use codesign_ir::workload::kernels;
 
 /// A strategy for pricing the hardware side of a partition.
-pub trait HwAreaModel: std::fmt::Debug {
+///
+/// `Sync` is a supertrait because evaluators share one model across the
+/// threads of a parallel neighborhood scan and the solver portfolio;
+/// both implementations here are immutable plain data.
+pub trait HwAreaModel: std::fmt::Debug + Sync {
     /// Area of implementing exactly `hw` in hardware.
     fn area_of(&self, graph: &TaskGraph, hw: &[TaskId]) -> f64;
 }

@@ -21,7 +21,16 @@
 //!   with locking;
 //! * [`algorithms::simulated_annealing`] — seeded stochastic search;
 //! * [`algorithms::gclp`] — a global-criticality / local-phase heuristic
-//!   in the style of Kalavade & Lee.
+//!   in the style of Kalavade & Lee;
+//! * [`algorithms::portfolio`] — races all of the above (plus a
+//!   multi-seed annealer) on concurrent threads and deterministically
+//!   keeps the best result.
+//!
+//! All searches share the incremental [`eval::Evaluator`], which
+//! checkpoints the list scheduler at every position of the
+//! partition-independent schedule order and evaluates a single-task flip
+//! by replaying only the affected schedule suffix — bit-identical to
+//! [`eval::evaluate`], far cheaper per probe.
 //!
 //! Hardware cost can be estimated naively (sum of per-task areas) or with
 //! the sharing-aware estimator of Vahid & Gajski \[18\] via [`area`], which

@@ -2,10 +2,13 @@
 
 use codesign_ir::task::TaskId;
 use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
-use codesign_partition::algorithms::{hw_first, kernighan_lin, sw_first};
+use codesign_partition::algorithms::{
+    gclp, hw_first, kernighan_lin, portfolio, simulated_annealing, sw_first, AnnealingSchedule,
+    PORTFOLIO_SA_SEEDS,
+};
 use codesign_partition::area::{HwAreaModel, NaiveArea};
 use codesign_partition::cost::{EdgeCommModel, Objective};
-use codesign_partition::eval::{evaluate, EvalConfig};
+use codesign_partition::eval::{evaluate, EvalConfig, Evaluator};
 use codesign_partition::{Partition, Side};
 use proptest::prelude::*;
 
@@ -136,6 +139,112 @@ proptest! {
         let a = evaluate(&g, &p, &config).expect("evaluates");
         let b = evaluate(&g, &p, &config).expect("evaluates");
         prop_assert_eq!(a, b);
+    }
+
+    /// Incremental delta-evaluation is bit-identical to a full
+    /// `evaluate()` from scratch: over a random start partition and a
+    /// random flip sequence, every `probe_flip` matches the full
+    /// evaluation of the flipped partition, every `apply_flip` leaves the
+    /// evaluator's current state equal to a fresh evaluation, and
+    /// re-applying the whole sequence in reverse restores the start
+    /// (flips are involutive).
+    #[test]
+    fn incremental_matches_full_evaluation(
+        g in arb_graph(),
+        p in arb_partition(19),
+        flips in prop::collection::vec(any::<u64>(), 1..24),
+    ) {
+        prop_assume!(p.len() >= g.len());
+        let start = Partition::from_sides(
+            g.ids().map(|id| p.side_of_index(id.index())).collect(),
+        );
+        let config = cfg(Objective::performance_driven(
+            g.total_sw_cycles() / 2,
+        ));
+        let mut ev = Evaluator::new(&g, &config, &start).expect("evaluator builds");
+        prop_assert_eq!(
+            ev.current(),
+            &evaluate(&g, &start, &config).expect("evaluates")
+        );
+
+        let mut reference = start.clone();
+        let flips: Vec<TaskId> = flips
+            .into_iter()
+            .map(|raw| TaskId::from_index((raw % g.len() as u64) as usize))
+            .collect();
+        for &t in &flips {
+            // Probing must not disturb the evaluator, and must equal the
+            // full evaluation of the hypothetical flipped partition.
+            let mut probed = reference.clone();
+            probed.flip(t);
+            let probe = ev.probe_flip(t);
+            prop_assert_eq!(&probe, &evaluate(&g, &probed, &config).expect("evaluates"));
+            prop_assert_eq!(
+                ev.current(),
+                &evaluate(&g, &reference, &config).expect("evaluates")
+            );
+
+            // Committing the flip tracks a from-scratch evaluation.
+            reference.flip(t);
+            let committed = ev.apply_flip(t).clone();
+            prop_assert_eq!(&committed, &probe);
+            prop_assert_eq!(&ev.partition(), &reference);
+            prop_assert_eq!(
+                &committed,
+                &evaluate(&g, &reference, &config).expect("evaluates")
+            );
+        }
+
+        // Undoing every flip in reverse restores the starting state.
+        for &t in flips.iter().rev() {
+            ev.apply_flip(t);
+        }
+        prop_assert_eq!(&ev.partition(), &start);
+        prop_assert_eq!(
+            ev.current(),
+            &evaluate(&g, &start, &config).expect("evaluates")
+        );
+    }
+}
+
+proptest! {
+    // The portfolio races seven contenders (five algorithms plus extra
+    // annealer seeds) per case, so keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The portfolio is deterministic across runs and never worse than
+    /// any individual contender it raced.
+    #[test]
+    fn portfolio_deterministic_and_never_worse(g in arb_graph(), deadline_frac in 2u64..6) {
+        let config = cfg(Objective::performance_driven(
+            g.total_sw_cycles() / deadline_frac,
+        ));
+        let (p1, e1) = portfolio(&g, &config).expect("runs");
+        let (p2, e2) = portfolio(&g, &config).expect("runs");
+        prop_assert_eq!(&p1, &p2);
+        prop_assert_eq!(&e1, &e2);
+
+        let schedule = AnnealingSchedule::default();
+        let mut contenders: Vec<(&str, f64)> = vec![
+            ("gclp", gclp(&g, &config).expect("runs").1.cost),
+            ("hw_first", hw_first(&g, &config).expect("runs").1.cost),
+            ("kernighan_lin", kernighan_lin(&g, &config).expect("runs").1.cost),
+            ("sw_first", sw_first(&g, &config).expect("runs").1.cost),
+        ];
+        for &seed in PORTFOLIO_SA_SEEDS {
+            let cost = simulated_annealing(&g, &config, &schedule, seed)
+                .expect("runs")
+                .1
+                .cost;
+            contenders.push(("sa", cost));
+        }
+        for (name, cost) in contenders {
+            prop_assert!(
+                e1.cost <= cost + 1e-9,
+                "portfolio cost {} lost to {name} at {cost}",
+                e1.cost
+            );
+        }
     }
 }
 

@@ -24,7 +24,7 @@ use codesign_isa::asm::assemble;
 use codesign_isa::codegen::{compile, CompiledKernel};
 use codesign_isa::cpu::{Cpu, MMIO_BASE};
 use codesign_partition::algorithms::{
-    gclp, hw_first, kernighan_lin, simulated_annealing, sw_first, AnnealingSchedule,
+    gclp, hw_first, kernighan_lin, portfolio, simulated_annealing, sw_first, AnnealingSchedule,
 };
 use codesign_partition::area::{HwAreaModel, NaiveArea, SharedArea};
 use codesign_partition::cost::Objective;
@@ -168,6 +168,8 @@ pub enum Algorithm {
     Gclp,
     /// Simulated annealing with the given seed.
     Annealing(u64),
+    /// Race every algorithm concurrently and keep the best result.
+    Portfolio,
 }
 
 /// Partitions a characterized application.
@@ -201,6 +203,7 @@ pub fn partition_app(
         Algorithm::Annealing(seed) => {
             simulated_annealing(&app.graph, &config, &AnnealingSchedule::default(), seed)
         }
+        Algorithm::Portfolio => portfolio(&app.graph, &config),
     }?;
     Ok(result)
 }

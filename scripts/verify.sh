@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository verification: build, tests, and lints.
+#
+# Tier-1 (ROADMAP.md): release build + full test suite. Clippy runs over
+# every target (lib, bins, tests, benches) with warnings denied so lint
+# debt cannot accumulate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -121,6 +121,37 @@ fn partition_runs_on_a_spec_file() {
 }
 
 #[test]
+fn partition_portfolio_is_deterministic_and_never_worse() {
+    let path = spec_file();
+    let run = |algorithm: &str| {
+        let (out, err, ok) = codesign(&[
+            "partition",
+            path.to_str().unwrap(),
+            "--algorithm",
+            algorithm,
+        ]);
+        assert!(ok, "{algorithm} stderr: {err}");
+        let cost: f64 = out
+            .split("cost ")
+            .nth(1)
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no cost in output: {out}"));
+        (out, cost)
+    };
+    let (out1, port_cost) = run("portfolio");
+    let (out2, _) = run("portfolio");
+    assert_eq!(out1, out2, "portfolio output must be reproducible");
+    assert!(out1.contains("deadline 6000: met"), "{out1}");
+    for algorithm in ["kl", "sw", "hw", "gclp", "sa"] {
+        let (_, cost) = run(algorithm);
+        assert!(
+            port_cost <= cost + 1e-9,
+            "portfolio cost {port_cost} lost to {algorithm} at {cost}"
+        );
+    }
+}
+
+#[test]
 fn cosim_searches_a_hardware_budget() {
     let path = spec_file();
     let (out, err, ok) = codesign(&["cosim", path.to_str().unwrap(), "--budget", "1"]);

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of serde it actually relies on. Nothing in this repository
+//! serializes data (there is no `serde_json`/`bincode` consumer); the
+//! types merely *derive* `Serialize`/`Deserialize` so a future wire
+//! format can be attached. The traits here are therefore empty markers
+//! and the derives (from the sibling `serde_derive` stub) emit empty
+//! impls. Swapping the real serde back in is a one-line change in the
+//! workspace `Cargo.toml`.
+
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` traits are empty markers (nothing in this
+//! workspace serializes bytes), so the derives only need to name the
+//! type being derived and emit an empty impl. The parser below walks the
+//! raw token stream — no `syn`/`quote`, which are unavailable offline —
+//! and supports plain (non-generic) structs and enums, which is every
+//! derived type in this repository. `#[serde(...)]` field/type
+//! attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum`/`union` item.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found in input");
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// No-op `Deserialize` derive: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
