@@ -79,26 +79,20 @@ fn main() {
             &'a dyn Fn() -> PartitionResult,
         );
         let pairs: [Pair<'_>; 5] = [
-            (
-                "sw_first",
-                &|| reference::sw_first(&g, &config),
-                &|| algorithms::sw_first(&g, &config),
-            ),
-            (
-                "hw_first",
-                &|| reference::hw_first(&g, &config),
-                &|| algorithms::hw_first(&g, &config),
-            ),
+            ("sw_first", &|| reference::sw_first(&g, &config), &|| {
+                algorithms::sw_first(&g, &config)
+            }),
+            ("hw_first", &|| reference::hw_first(&g, &config), &|| {
+                algorithms::hw_first(&g, &config)
+            }),
             (
                 "kernighan_lin",
                 &|| reference::kernighan_lin(&g, &config),
                 &|| algorithms::kernighan_lin(&g, &config),
             ),
-            (
-                "gclp",
-                &|| reference::gclp(&g, &config),
-                &|| algorithms::gclp(&g, &config),
-            ),
+            ("gclp", &|| reference::gclp(&g, &config), &|| {
+                algorithms::gclp(&g, &config)
+            }),
             (
                 "simulated_annealing",
                 &|| reference::simulated_annealing(&g, &config, &schedule, 7),

@@ -19,12 +19,13 @@ use codesign::partition::algorithms::{
 use codesign::partition::area::{NaiveArea, SharedArea};
 use codesign::partition::cost::Objective;
 use codesign::partition::eval::EvalConfig;
-use codesign::sim::ladder::{run_ladder, timing_errors, LadderConfig};
-use codesign::sim::message::{simulate, MessageConfig, Placement};
-use codesign::synth::mthread::{comm_aware, MthreadConfig};
+use codesign::sim::ladder::{run_ladder_traced, timing_errors, LadderConfig};
+use codesign::sim::message::{simulate_traced, MessageConfig, Placement};
+use codesign::synth::mthread::{comm_aware_traced, MthreadConfig};
 use codesign::synth::multiproc::{
     bin_packing, branch_and_bound, sensitivity_driven, MultiprocConfig,
 };
+use codesign::trace::Tracer;
 
 const HELP: &str = "\
 codesign — mixed hardware/software system design (Adams & Thomas, DAC 1996)
@@ -42,7 +43,7 @@ USAGE:
       multi-seed annealer) on concurrent threads and keeps the best
       partition; the result is deterministic.
 
-  codesign cosim <spec.cds> [--hw name1,name2] [--budget K]
+  codesign cosim <spec.cds> [--hw name1,name2] [--budget K] [--trace FILE]
       Message-level co-simulation of the spec's process-network view.
       `--hw` pins processes to hardware; `--budget K` instead searches for
       the best K-process hardware set (communication/concurrency aware).
@@ -50,11 +51,16 @@ USAGE:
   codesign multiproc <spec.cds> --deadline N [--solver exact|bin|sens]
       Allocate processors and map the task graph (Figure 5 flows).
 
-  codesign ladder [--bytes N] [--iterations N]
+  codesign ladder [--bytes N] [--iterations N] [--trace FILE]
       Run the Figure 3 abstraction-ladder scenario at all four levels.
 
   codesign help
       Show this message.
+
+  `--trace FILE` writes a Chrome trace-event JSON file of the run (open
+  it in chrome://tracing or https://ui.perfetto.dev): per-level harness
+  spans, bus transactions, CPU counters, and per-process/per-channel
+  message events. Results are identical with and without tracing.
 ";
 
 fn main() -> ExitCode {
@@ -93,6 +99,28 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// An enabled tracer when `--trace FILE` was given, a disabled one
+/// otherwise, plus the target path.
+fn trace_flag(args: &[String]) -> (Tracer, Option<&str>) {
+    match flag_value(args, "--trace") {
+        Some(path) => (Tracer::on(), Some(path)),
+        None => (Tracer::off(), None),
+    }
+}
+
+fn save_trace(tracer: &Tracer, path: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = path {
+        tracer
+            .save(path)
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        println!(
+            "\ntrace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
+            tracer.event_count()
+        );
+    }
+    Ok(())
 }
 
 fn load_spec(args: &[String]) -> Result<SystemSpec, Box<dyn std::error::Error>> {
@@ -173,6 +201,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let net = spec
         .network()
         .ok_or("the spec declares no processes; `cosim` needs the process view")?;
+    let (tracer, trace_path) = trace_flag(args);
     let report;
     let hw_names: Vec<String>;
     if let Some(budget) = flag_value(args, "--budget") {
@@ -180,7 +209,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             max_hw_processes: budget.parse()?,
             sim: MessageConfig::default(),
         };
-        let outcome = comm_aware(net, &cfg)?;
+        let outcome = comm_aware_traced(net, &cfg, &tracer)?;
         hw_names = outcome
             .hw_processes
             .iter()
@@ -218,7 +247,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .collect(),
         );
         hw_names = hw_list.iter().map(ToString::to_string).collect();
-        report = simulate(net, &placement, &MessageConfig::default())?;
+        report = simulate_traced(net, &placement, &MessageConfig::default(), &tracer)?;
     }
     println!("system `{}` — message-level co-simulation:", spec.name());
     println!("  hardware processes : {hw_names:?}");
@@ -228,6 +257,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         report.messages, report.bytes, report.cross_boundary_bytes
     );
     println!("  kernel events      : {}", report.events);
+    save_trace(&tracer, trace_path)?;
     Ok(())
 }
 
@@ -285,7 +315,8 @@ fn cmd_ladder(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or(16),
         ..LadderConfig::default()
     };
-    let reports = run_ladder(&cfg)?;
+    let (tracer, trace_path) = trace_flag(args);
+    let reports = run_ladder_traced(&cfg, &tracer)?;
     let errors = timing_errors(&reports);
     println!(
         "{:>9} | {:>12} | {:>14} | {:>10} | {:>8}",
@@ -301,5 +332,6 @@ fn cmd_ladder(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             err * 100.0
         );
     }
+    save_trace(&tracer, trace_path)?;
     Ok(())
 }

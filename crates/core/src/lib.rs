@@ -60,3 +60,4 @@ pub use codesign_partition as partition;
 pub use codesign_rtl as rtl;
 pub use codesign_sim as sim;
 pub use codesign_synth as synth;
+pub use codesign_trace as trace;

@@ -234,7 +234,8 @@ impl GraphIndex {
         let mut order = Vec::with_capacity(n);
         while let Some(id) = ready.pop() {
             order.push(id);
-            let succs = &out_edges[out_start[id.index()] as usize..out_start[id.index() + 1] as usize];
+            let succs =
+                &out_edges[out_start[id.index()] as usize..out_start[id.index() + 1] as usize];
             for &ei in succs {
                 let succ = edges[ei as usize].dst;
                 indegree[succ.index()] -= 1;

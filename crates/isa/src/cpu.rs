@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 
 use codesign_rtl::bus::SystemBus;
+use codesign_trace::{Arg, Tracer, TrackId};
 
 use crate::asm::Program;
 use crate::error::IsaError;
@@ -67,13 +68,21 @@ pub struct Cpu {
     epc: usize,
     halted: bool,
     stats: CpuStats,
+    tracer: Tracer,
+    track: TrackId,
 }
+
+/// How many instructions between `instructions` counter samples on the
+/// trace, so long runs stay viewable.
+const TRACE_SAMPLE_INSTRS: u64 = 1024;
 
 impl Cpu {
     /// Creates a CPU with `mem_bytes` of zeroed internal data memory and
     /// no program.
     #[must_use]
     pub fn new(mem_bytes: usize) -> Self {
+        let tracer = Tracer::off();
+        let track = tracer.track("cpu");
         Cpu {
             regs: [0; NUM_REGS],
             pc: 0,
@@ -86,7 +95,19 @@ impl Cpu {
             epc: 0,
             halted: true,
             stats: CpuStats::default(),
+            tracer,
+            track,
         }
+    }
+
+    /// Attaches a tracer: the CPU emits an `instructions` counter every
+    /// [`TRACE_SAMPLE_INSTRS`] retired instructions (and at halt) plus an
+    /// instant event per interrupt taken, on the `label` track,
+    /// timestamped in CPU cycles. Tracing is observational only;
+    /// execution and statistics are identical either way.
+    pub fn set_tracer(&mut self, tracer: &Tracer, label: &str) {
+        self.tracer = tracer.clone();
+        self.track = self.tracer.track(label);
     }
 
     /// Attaches the system bus carrying the memory-mapped devices.
@@ -366,7 +387,28 @@ impl Cpu {
                 self.in_interrupt = true;
                 self.stats.irqs_taken += 1;
                 self.stats.cycles += 4; // interrupt entry overhead
+                if self.tracer.is_on() {
+                    self.tracer.instant(
+                        self.track,
+                        "irq",
+                        self.stats.cycles,
+                        &[
+                            ("vector", Arg::from(ivec as u64)),
+                            ("epc", Arg::from(self.epc as u64)),
+                        ],
+                    );
+                }
             }
+        }
+        if self.tracer.is_on()
+            && (self.halted || self.stats.instructions.is_multiple_of(TRACE_SAMPLE_INSTRS))
+        {
+            self.tracer.counter(
+                self.track,
+                "instructions",
+                self.stats.cycles,
+                self.stats.instructions,
+            );
         }
         Ok(!self.halted)
     }
@@ -642,6 +684,50 @@ mod tests {
             cpu.run(1000),
             Err(IsaError::UnknownCustomUnit { unit: 5 })
         ));
+    }
+
+    #[test]
+    fn traced_cpu_behaves_identically() {
+        let src = format!(
+            ".vector isr\n\
+             li r1, {base}\n\
+             li r2, 20\n\
+             sw r2, r1, {load}\n\
+             li r2, 3\n\
+             sw r2, r1, {ctrl}\n\
+             ei\n\
+             spin: ld r3, r0, 8\n\
+             beq r3, r0, spin\n\
+             halt\n\
+             isr: li r4, 1\n\
+             sd r4, r0, 8\n\
+             li r5, {base}\n\
+             sw r5, r5, {ack}\n\
+             rti\n",
+            base = MMIO_BASE,
+            load = timer_regs::LOAD,
+            ctrl = timer_regs::CTRL,
+            ack = timer_regs::ACK,
+        );
+        let run = |tracer: Option<&Tracer>| {
+            let mut bus = SystemBus::new(BusTiming::default());
+            bus.map(0x0, 0x10, Box::new(Timer::new())).unwrap();
+            let p = assemble(&src).unwrap();
+            let mut cpu = Cpu::new(256);
+            if let Some(t) = tracer {
+                cpu.set_tracer(t, "cpu");
+            }
+            cpu.attach_bus(bus);
+            cpu.load_program(&p);
+            cpu.run(100_000).unwrap()
+        };
+        let plain = run(None);
+        let tracer = Tracer::on();
+        let traced = run(Some(&tracer));
+        assert_eq!(plain, traced);
+        // One irq instant plus the halt counter sample, at minimum.
+        assert!(tracer.event_count() >= 2);
+        codesign_trace::validate_chrome_trace(&tracer.to_chrome_json()).unwrap();
     }
 
     #[test]

@@ -238,7 +238,12 @@ pub const PORTFOLIO_SA_SEEDS: &[u64] = &[7, 42, 0xC0DE];
 ///
 /// Propagates the first contender error in candidate order.
 pub fn portfolio(graph: &TaskGraph, config: &EvalConfig<'_>) -> PartitionResult {
-    portfolio_with(graph, config, &AnnealingSchedule::default(), PORTFOLIO_SA_SEEDS)
+    portfolio_with(
+        graph,
+        config,
+        &AnnealingSchedule::default(),
+        PORTFOLIO_SA_SEEDS,
+    )
 }
 
 /// [`portfolio`] with an explicit annealing schedule and seed set.
@@ -349,7 +354,12 @@ mod tests {
         // Greedy descent only guarantees improvement on its own start;
         // sw_first must beat the all-software extreme.
         let (_, e) = sw_first(&g, &cfg).unwrap();
-        assert!(e.cost <= sw.cost + 1e-9, "sw_first: {} vs {}", e.cost, sw.cost);
+        assert!(
+            e.cost <= sw.cost + 1e-9,
+            "sw_first: {} vs {}",
+            e.cost,
+            sw.cost
+        );
     }
 
     #[test]

@@ -278,7 +278,9 @@ impl<'a> Evaluator<'a> {
             total_bytes: graph.edges().iter().map(|e| e.bytes).sum(),
         };
         let state = State {
-            sides: (0..n).map(|i| partition.side(TaskId::from_index(i))).collect(),
+            sides: (0..n)
+                .map(|i| partition.side(TaskId::from_index(i)))
+                .collect(),
             finish: vec![0; n],
             busy: Vec::with_capacity(n),
             ckpt: Checkpoints::new(n, hw_contexts),
@@ -444,10 +446,13 @@ impl<'a> Evaluator<'a> {
         });
         // Chunks cover ascending task ids; folding with strict `<` keeps
         // the lowest id among cost ties, matching the serial loop.
-        per_chunk.into_iter().flatten().fold(None, |best, cand| match best {
-            Some(b) if cand.1.cost >= b.1.cost => Some(b),
-            _ => Some(cand),
-        })
+        per_chunk
+            .into_iter()
+            .flatten()
+            .fold(None, |best, cand| match best {
+                Some(b) if cand.1.cost >= b.1.cost => Some(b),
+                _ => Some(cand),
+            })
     }
 }
 

@@ -11,6 +11,8 @@
 //! the co-simulation speed/fidelity dial: larger quanta mean fewer
 //! synchronization rounds but coarser visibility of cross-domain events.
 
+use codesign_trace::{Arg, Tracer, TrackId};
+
 use crate::error::SimError;
 
 /// One domain simulator (a software ISS, a hardware event kernel, a
@@ -49,6 +51,10 @@ pub struct Coordinator {
     engines: Vec<Box<dyn SimEngine>>,
     quantum: u64,
     stats: CoordinatorStats,
+    tracer: Tracer,
+    /// Trace tracks parallel to `engines`, plus one for the coordinator.
+    engine_tracks: Vec<TrackId>,
+    coord_track: TrackId,
 }
 
 impl Coordinator {
@@ -60,15 +66,38 @@ impl Coordinator {
     #[must_use]
     pub fn new(quantum: u64) -> Self {
         assert!(quantum > 0, "quantum must be positive");
+        let tracer = Tracer::off();
+        let coord_track = tracer.track("coordinator");
         Coordinator {
             engines: Vec::new(),
             quantum,
             stats: CoordinatorStats::default(),
+            tracer,
+            engine_tracks: Vec::new(),
+            coord_track,
         }
+    }
+
+    /// Attaches a tracer: each round emits a `round` span on the
+    /// `coordinator` track (with the post-round skew as a counter) and an
+    /// `advance` span per engine, timestamped in global cycles. Tracing is
+    /// observational only — coordination results are identical either way.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.coord_track = self.tracer.track("coordinator");
+        self.engine_tracks = self
+            .engines
+            .iter()
+            .map(|e| self.tracer.track(&format!("engine:{}", e.name())))
+            .collect();
     }
 
     /// Registers an engine.
     pub fn add_engine(&mut self, engine: Box<dyn SimEngine>) {
+        if self.tracer.is_on() {
+            self.engine_tracks
+                .push(self.tracer.track(&format!("engine:{}", engine.name())));
+        }
         self.engines.push(engine);
     }
 
@@ -122,18 +151,49 @@ impl Coordinator {
     /// Propagates engine failures.
     pub fn run_one_round(&mut self) -> Result<(), SimError> {
         let horizon = self.stats.time + self.quantum;
-        for e in &mut self.engines {
+        self.advance_round(horizon)
+    }
+
+    /// One lockstep round up to an explicit horizon (`run` clamps it to
+    /// the budget so global time never overshoots).
+    fn advance_round(&mut self, horizon: u64) -> Result<(), SimError> {
+        let traced = self.tracer.is_on();
+        let start = self.stats.time;
+        for (i, e) in self.engines.iter_mut().enumerate() {
             if !e.is_done() {
+                let before = e.local_time();
                 e.advance_to(horizon)?;
+                if traced {
+                    self.tracer.span(
+                        self.engine_tracks[i],
+                        "advance",
+                        before,
+                        e.local_time().saturating_sub(before),
+                        &[("horizon", Arg::from(horizon))],
+                    );
+                }
             }
         }
         self.stats.time = horizon;
         self.stats.sync_rounds += 1;
+        if traced {
+            self.tracer.span(
+                self.coord_track,
+                "round",
+                start,
+                horizon - start,
+                &[("round", Arg::from(self.stats.sync_rounds))],
+            );
+            self.tracer
+                .counter(self.coord_track, "skew", horizon, self.skew());
+        }
         Ok(())
     }
 
     /// Runs lockstep rounds until every engine is done or `budget` global
-    /// cycles have elapsed.
+    /// cycles have elapsed. The final round's horizon is clamped to the
+    /// budget, so global time never advances past it even when the budget
+    /// is not a multiple of the quantum.
     ///
     /// # Errors
     ///
@@ -144,7 +204,8 @@ impl Coordinator {
             if self.stats.time >= budget {
                 return Err(SimError::Budget { limit: budget });
             }
-            self.run_one_round()?;
+            let horizon = (self.stats.time + self.quantum).min(budget);
+            self.advance_round(horizon)?;
         }
         Ok(self.stats)
     }
@@ -237,6 +298,37 @@ mod tests {
         let mut c = Coordinator::new(10);
         c.add_engine(worker("slow", 1_000_000));
         assert_eq!(c.run(100), Err(SimError::Budget { limit: 100 }));
+    }
+
+    #[test]
+    fn budget_clamps_final_horizon() {
+        // Regression: with a budget that is not a quantum multiple, the
+        // last round used to overshoot the budget before the check fired.
+        let mut c = Coordinator::new(7);
+        c.add_engine(worker("slow", 1_000));
+        let err = c.run(10).unwrap_err();
+        assert_eq!(err, SimError::Budget { limit: 10 });
+        assert_eq!(c.stats().time, 10, "never advances past the budget");
+        assert_eq!(c.engines()[0].local_time(), 10);
+    }
+
+    #[test]
+    fn tracing_does_not_change_coordination() {
+        let run = |tracer: Option<&Tracer>| {
+            let mut c = Coordinator::new(10);
+            c.add_engine(worker("hw", 95));
+            c.add_engine(worker("sw", 42));
+            if let Some(t) = tracer {
+                c.set_tracer(t);
+            }
+            c.run(1_000).unwrap()
+        };
+        let plain = run(None);
+        let tracer = Tracer::on();
+        let traced = run(Some(&tracer));
+        assert_eq!(plain, traced);
+        assert!(tracer.event_count() > 0);
+        codesign_trace::validate_chrome_trace(&tracer.to_chrome_json()).unwrap();
     }
 
     #[test]

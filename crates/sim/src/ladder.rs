@@ -25,6 +25,7 @@ use codesign_isa::cpu::{Cpu, MMIO_BASE};
 use codesign_rtl::bus::{fifo_regs, BusTiming, DrainFifo, SystemBus};
 
 use codesign_ir::process::{Action, Process, ProcessNetwork};
+use codesign_trace::{Arg, Tracer};
 
 use crate::error::SimError;
 use crate::message::{self, MessageConfig, Placement, Resource};
@@ -169,9 +170,11 @@ fn producer_program(cfg: &LadderConfig) -> String {
     )
 }
 
-fn run_iss(cfg: &LadderConfig, pin_level: bool) -> Result<LevelReport, SimError> {
+fn run_iss(cfg: &LadderConfig, pin_level: bool, tracer: &Tracer) -> Result<LevelReport, SimError> {
     let start = Instant::now();
+    let label = if pin_level { "pin" } else { "reg" };
     let mut bus = SystemBus::new(BusTiming::default());
+    bus.set_tracer(tracer, &format!("{label}:bus"));
     bus.map(
         0x0,
         0x100,
@@ -182,6 +185,7 @@ fn run_iss(cfg: &LadderConfig, pin_level: bool) -> Result<LevelReport, SimError>
     }
     let program = assemble(&producer_program(cfg))?;
     let mut cpu = Cpu::new(4096);
+    cpu.set_tracer(tracer, &format!("{label}:cpu"));
     cpu.attach_bus(bus);
     cpu.load_program(&program);
     let stats = cpu.run(1_000_000_000)?;
@@ -229,7 +233,7 @@ fn run_driver(cfg: &LadderConfig, costs: &DriverCosts) -> LevelReport {
     }
 }
 
-fn run_message(cfg: &LadderConfig) -> Result<LevelReport, SimError> {
+fn run_message(cfg: &LadderConfig, tracer: &Tracer) -> Result<LevelReport, SimError> {
     let start = Instant::now();
     let mut net = ProcessNetwork::new("ladder");
     let ch = net.add_channel("data", 1);
@@ -261,7 +265,7 @@ fn run_message(cfg: &LadderConfig) -> Result<LevelReport, SimError> {
         hw_speedup: 1.0, // the consumer's Compute already is hardware time
         ..MessageConfig::default()
     };
-    let report = message::simulate(&net, &placement, &config)?;
+    let report = message::simulate_traced(&net, &placement, &config, tracer)?;
     Ok(LevelReport {
         level: AbstractionLevel::Message,
         simulated_cycles: report.finish_time,
@@ -276,11 +280,28 @@ fn run_message(cfg: &LadderConfig) -> Result<LevelReport, SimError> {
 ///
 /// Propagates engine failures from the level's simulator.
 pub fn run_level(level: AbstractionLevel, cfg: &LadderConfig) -> Result<LevelReport, SimError> {
+    run_level_traced(level, cfg, &Tracer::off())
+}
+
+/// [`run_level`] with a [`Tracer`] threaded into the level's simulator:
+/// the ISS levels trace bus transactions, FIFO occupancy, and CPU
+/// counters (tracks prefixed `pin:`/`reg:`, timestamped in simulated
+/// cycles); the message level traces its scheduler. Tracing is
+/// observational only.
+///
+/// # Errors
+///
+/// As for [`run_level`].
+pub fn run_level_traced(
+    level: AbstractionLevel,
+    cfg: &LadderConfig,
+    tracer: &Tracer,
+) -> Result<LevelReport, SimError> {
     match level {
-        AbstractionLevel::Pin => run_iss(cfg, true),
-        AbstractionLevel::Register => run_iss(cfg, false),
+        AbstractionLevel::Pin => run_iss(cfg, true, tracer),
+        AbstractionLevel::Register => run_iss(cfg, false, tracer),
         AbstractionLevel::Driver => Ok(run_driver(cfg, &DriverCosts::default())),
-        AbstractionLevel::Message => run_message(cfg),
+        AbstractionLevel::Message => run_message(cfg, tracer),
     }
 }
 
@@ -290,14 +311,54 @@ pub fn run_level(level: AbstractionLevel, cfg: &LadderConfig) -> Result<LevelRep
 ///
 /// Propagates the first engine failure.
 pub fn run_ladder(cfg: &LadderConfig) -> Result<Vec<LevelReport>, SimError> {
+    run_ladder_traced(cfg, &Tracer::off())
+}
+
+/// [`run_ladder`] with a [`Tracer`]: in addition to the per-level engine
+/// events, the harness emits one span per level on the `ladder` track —
+/// timestamped in host wall-clock microseconds, with the level's
+/// simulated cycles and kernel events as arguments — so the Figure 3
+/// speed/accuracy trade-off is visible on a single timeline.
+///
+/// # Errors
+///
+/// Propagates the first engine failure.
+pub fn run_ladder_traced(
+    cfg: &LadderConfig,
+    tracer: &Tracer,
+) -> Result<Vec<LevelReport>, SimError> {
+    let ladder_track = tracer.track("ladder");
+    let mut wall_offset = 0u64;
     AbstractionLevel::ALL
         .iter()
-        .map(|&l| run_level(l, cfg))
+        .map(|&l| {
+            let report = run_level_traced(l, cfg, tracer)?;
+            if tracer.is_on() {
+                let micros = u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX);
+                tracer.span(
+                    ladder_track,
+                    &l.to_string(),
+                    wall_offset,
+                    micros.max(1),
+                    &[
+                        ("simulated_cycles", Arg::from(report.simulated_cycles)),
+                        ("kernel_events", Arg::from(report.kernel_events)),
+                    ],
+                );
+                wall_offset += micros.max(1);
+            }
+            Ok(report)
+        })
         .collect()
 }
 
-/// Relative timing error of each report against the pin-level reference
-/// (which must be the first entry, as produced by [`run_ladder`]).
+/// Relative timing error of each report against the pin-level reference.
+///
+/// The reference is the first [`AbstractionLevel::Pin`] entry wherever it
+/// appears in `reports` ([`run_ladder`] puts it first); without one, the
+/// result is empty. A zero-cycle reference yields an error of `0.0` for
+/// reports that also read zero cycles and [`f64::INFINITY`] otherwise,
+/// never `NaN`.
 #[must_use]
 pub fn timing_errors(reports: &[LevelReport]) -> Vec<(AbstractionLevel, f64)> {
     let Some(reference) = reports
@@ -310,7 +371,13 @@ pub fn timing_errors(reports: &[LevelReport]) -> Vec<(AbstractionLevel, f64)> {
     reports
         .iter()
         .map(|r| {
-            let err = (r.simulated_cycles as f64 - reference as f64).abs() / reference as f64;
+            let err = if r.simulated_cycles == reference {
+                0.0
+            } else if reference == 0 {
+                f64::INFINITY
+            } else {
+                (r.simulated_cycles as f64 - reference as f64).abs() / reference as f64
+            };
             (r.level, err)
         })
         .collect()
@@ -388,6 +455,62 @@ mod tests {
     #[test]
     fn errors_without_reference_are_empty() {
         assert!(timing_errors(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_cycle_reference_yields_no_nan() {
+        // Regression: a zero-cycle pin reference used to produce NaN
+        // errors (0/0) that poisoned every comparison downstream.
+        let report = |level, cycles| LevelReport {
+            level,
+            simulated_cycles: cycles,
+            kernel_events: 1,
+            wall: Duration::ZERO,
+        };
+        let errors = timing_errors(&[
+            report(AbstractionLevel::Pin, 0),
+            report(AbstractionLevel::Driver, 0),
+            report(AbstractionLevel::Message, 100),
+        ]);
+        assert_eq!(errors[0].1, 0.0);
+        assert_eq!(errors[1].1, 0.0);
+        assert_eq!(errors[2].1, f64::INFINITY);
+        assert!(errors.iter().all(|(_, e)| !e.is_nan()));
+    }
+
+    #[test]
+    fn reference_found_anywhere_in_reports() {
+        let report = |level, cycles| LevelReport {
+            level,
+            simulated_cycles: cycles,
+            kernel_events: 1,
+            wall: Duration::ZERO,
+        };
+        // Pin is not first; the doc promises it is still the reference.
+        let errors = timing_errors(&[
+            report(AbstractionLevel::Message, 50),
+            report(AbstractionLevel::Pin, 100),
+        ]);
+        assert_eq!(errors[0].1, 0.5);
+        assert_eq!(errors[1].1, 0.0);
+    }
+
+    #[test]
+    fn traced_ladder_matches_untraced() {
+        let cfg = LadderConfig {
+            iterations: 4,
+            ..LadderConfig::default()
+        };
+        let plain = run_ladder(&cfg).unwrap();
+        let tracer = Tracer::on();
+        let traced = run_ladder_traced(&cfg, &tracer).unwrap();
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.simulated_cycles, b.simulated_cycles, "{}", a.level);
+            assert_eq!(a.kernel_events, b.kernel_events, "{}", a.level);
+        }
+        assert!(tracer.event_count() > 0);
+        codesign_trace::validate_chrome_trace(&tracer.to_chrome_json()).unwrap();
     }
 
     #[test]

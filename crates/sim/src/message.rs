@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use codesign_ir::process::{Action, ChannelId, ProcessId, ProcessNetwork};
+use codesign_trace::{Arg, Tracer};
 
 use crate::error::SimError;
 
@@ -212,6 +213,27 @@ pub fn simulate(
     placement: &Placement,
     config: &MessageConfig,
 ) -> Result<MessageReport, SimError> {
+    simulate_traced(net, placement, config, &Tracer::off())
+}
+
+/// [`simulate`] with a [`Tracer`]: per-process compute/wait spans, per
+/// -channel transfer events (with endpoint and locality arguments),
+/// channel-occupancy counters, and a running `cross_boundary_bytes`
+/// counter, all timestamped in simulated cycles.
+///
+/// Tracing is observational only: with a disabled tracer this is exactly
+/// [`simulate`], and the returned report is bit-identical either way.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+#[allow(clippy::too_many_lines)] // one scheduler loop; splitting obscures the phases
+pub fn simulate_traced(
+    net: &ProcessNetwork,
+    placement: &Placement,
+    config: &MessageConfig,
+    tracer: &Tracer,
+) -> Result<MessageReport, SimError> {
     if placement.len() != net.len() {
         return Err(SimError::BadPlacement {
             reason: format!(
@@ -234,9 +256,10 @@ pub fn simulate(
             },
         })
         .collect();
-    // Per channel: buffered entries (ready_at, bytes) and blocked parties.
+    // Per channel: buffered entries (ready_at, bytes, sender) and blocked
+    // parties.
     struct Chan {
-        queue: VecDeque<(u64, u64)>,
+        queue: VecDeque<(u64, u64, usize)>,
         cap: usize,
         sender: Option<(usize, u64)>, // (process, bytes) blocked at send
         receiver: Option<usize>,
@@ -249,9 +272,58 @@ pub fn simulate(
             receiver: None,
         })
         .collect();
+    // Channels are point-to-point, so each channel's receiving process —
+    // and with it the locality of a buffered send — is known statically
+    // from the process bodies (first receiver in process order; a
+    // receiver-less channel conservatively pays the full boundary cost).
+    let mut chan_receiver: Vec<Option<usize>> = vec![None; net.channel_count()];
+    for (pid, proc_) in net.iter() {
+        for a in proc_.actions() {
+            if let Action::Receive { channel } = a {
+                chan_receiver[channel.index()].get_or_insert(pid.index());
+            }
+        }
+    }
+    let is_local = |s: usize, r: usize| {
+        placement
+            .resource(ProcessId::from_index(s))
+            .is_local_to(placement.resource(ProcessId::from_index(r)))
+    };
     // Software resources serialize: free-at time and last process.
     use std::collections::HashMap;
     let mut sw_free: HashMap<u32, (u64, usize)> = HashMap::new();
+
+    let traced = tracer.is_on();
+    let proc_tracks: Vec<_> = if traced {
+        net.iter()
+            .map(|(_, p)| tracer.track(&format!("proc:{}", p.name())))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let chan_tracks: Vec<_> = if traced {
+        (0..net.channel_count())
+            .map(|i| {
+                tracer.track(&format!(
+                    "chan:{}",
+                    net.channel(ChannelId::from_index(i)).name()
+                ))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let sim_track = tracer.track("message-sim");
+    let proc_name = |p: usize| net.process(ProcessId::from_index(p)).name();
+    // One transfer event, shared by the rendezvous and buffered paths.
+    let xfer_args = |from: usize, to: Option<usize>, bytes: u64, local: bool| {
+        [
+            ("from", Arg::from(proc_name(from))),
+            ("to", Arg::from(to.map_or("?", proc_name))),
+            ("bytes", Arg::from(bytes)),
+            ("local", Arg::from(local)),
+        ]
+    };
 
     let mut report = MessageReport {
         finish_time: 0,
@@ -296,7 +368,7 @@ pub fn simulate(
                 match action {
                     Action::Compute(c) => {
                         report.events += 1;
-                        match placement.resource(ProcessId::from_index(p)) {
+                        let cost = match placement.resource(ProcessId::from_index(p)) {
                             Resource::Software(cpu) => {
                                 let entry = sw_free.entry(cpu).or_insert((0, p));
                                 let mut start = procs[p].ready.max(entry.0);
@@ -306,6 +378,7 @@ pub fn simulate(
                                 let finish = start + c;
                                 *entry = (finish, p);
                                 procs[p].ready = finish;
+                                c
                             }
                             Resource::Hardware(_) => {
                                 let speedup = config
@@ -315,7 +388,17 @@ pub fn simulate(
                                     .unwrap_or(config.hw_speedup);
                                 let cost = ((c as f64 / speedup).ceil() as u64).max(1);
                                 procs[p].ready += cost;
+                                cost
                             }
+                        };
+                        if traced {
+                            tracer.span(
+                                proc_tracks[p],
+                                "compute",
+                                procs[p].ready - cost,
+                                cost,
+                                &[],
+                            );
                         }
                         advance_cursor(&mut procs[p], body_len);
                         progressed = true;
@@ -323,18 +406,39 @@ pub fn simulate(
                     Action::Wait(c) => {
                         report.events += 1;
                         procs[p].ready += c;
+                        if traced {
+                            tracer.span(proc_tracks[p], "wait", procs[p].ready - c, c, &[]);
+                        }
                         advance_cursor(&mut procs[p], body_len);
                         progressed = true;
                     }
                     Action::Send { channel, bytes } => {
-                        let ch = &mut chans[channel.index()];
+                        let ci = channel.index();
+                        // The receiver's placement decides whether a
+                        // buffered transfer crosses the boundary.
+                        let local = chan_receiver[ci].is_some_and(|r| is_local(p, r));
+                        let ch = &mut chans[ci];
                         if ch.cap > 0 && ch.queue.len() < ch.cap {
                             // Buffered: sender pays the transfer and moves on.
-                            let local = false; // boundary known only at receive
                             let cost = config.comm.transfer_cycles(bytes, local);
                             procs[p].ready += cost;
-                            ch.queue.push_back((procs[p].ready, bytes));
+                            ch.queue.push_back((procs[p].ready, bytes, p));
                             report.events += 1;
+                            if traced {
+                                tracer.span(
+                                    chan_tracks[ci],
+                                    "send",
+                                    procs[p].ready - cost,
+                                    cost,
+                                    &xfer_args(p, chan_receiver[ci], bytes, local),
+                                );
+                                tracer.counter(
+                                    chan_tracks[ci],
+                                    "queued",
+                                    procs[p].ready,
+                                    chans[ci].queue.len() as u64,
+                                );
+                            }
                             advance_cursor(&mut procs[p], body_len);
                             progressed = true;
                         } else {
@@ -343,12 +447,37 @@ pub fn simulate(
                         }
                     }
                     Action::Receive { channel } => {
-                        let ch = &mut chans[channel.index()];
-                        if let Some((ready_at, bytes)) = ch.queue.pop_front() {
+                        let ci = channel.index();
+                        let ch = &mut chans[ci];
+                        if let Some((ready_at, bytes, from)) = ch.queue.pop_front() {
                             procs[p].ready = procs[p].ready.max(ready_at);
                             report.messages += 1;
                             report.bytes += bytes;
+                            let local = is_local(from, p);
+                            if !local {
+                                report.cross_boundary_bytes += bytes;
+                            }
                             report.events += 1;
+                            if traced {
+                                tracer.instant(
+                                    chan_tracks[ci],
+                                    "recv",
+                                    procs[p].ready,
+                                    &xfer_args(from, Some(p), bytes, local),
+                                );
+                                tracer.counter(
+                                    chan_tracks[ci],
+                                    "queued",
+                                    procs[p].ready,
+                                    chans[ci].queue.len() as u64,
+                                );
+                                tracer.counter(
+                                    sim_track,
+                                    "cross_boundary_bytes",
+                                    procs[p].ready,
+                                    report.cross_boundary_bytes,
+                                );
+                            }
                             advance_cursor(&mut procs[p], body_len);
                             progressed = true;
                         } else {
@@ -374,7 +503,8 @@ pub fn simulate(
                     .resource(ProcessId::from_index(s))
                     .is_local_to(placement.resource(ProcessId::from_index(r)));
                 let start = procs[s].ready.max(procs[r].ready);
-                let done = start + config.comm.transfer_cycles(bytes, local);
+                let cost = config.comm.transfer_cycles(bytes, local);
+                let done = start + cost;
                 procs[s].ready = done;
                 procs[r].ready = done;
                 report.messages += 1;
@@ -383,6 +513,21 @@ pub fn simulate(
                     report.cross_boundary_bytes += bytes;
                 }
                 report.events += 1;
+                if traced {
+                    tracer.span(
+                        chan_tracks[ci],
+                        "rendezvous",
+                        start,
+                        cost,
+                        &xfer_args(s, Some(r), bytes, local),
+                    );
+                    tracer.counter(
+                        sim_track,
+                        "cross_boundary_bytes",
+                        done,
+                        report.cross_boundary_bytes,
+                    );
+                }
                 for &p in &[s, r] {
                     let body_len = net.process(ProcessId::from_index(p)).actions().len();
                     procs[p].state = ProcState::Running;
@@ -390,34 +535,89 @@ pub fn simulate(
                 }
                 chans[ci].sender = None;
                 chans[ci].receiver = None;
+                if done > config.budget {
+                    return Err(SimError::Budget {
+                        limit: config.budget,
+                    });
+                }
                 progressed = true;
             }
             // A blocked sender on a buffered channel with space frees up.
             else if let Some((s, bytes)) = sender {
                 if chans[ci].cap > 0 && chans[ci].queue.len() < chans[ci].cap {
-                    let cost = config.comm.transfer_cycles(bytes, false);
+                    let local = chan_receiver[ci].is_some_and(|r| is_local(s, r));
+                    let cost = config.comm.transfer_cycles(bytes, local);
                     procs[s].ready += cost;
-                    let entry = (procs[s].ready, bytes);
+                    let entry = (procs[s].ready, bytes, s);
                     chans[ci].queue.push_back(entry);
                     chans[ci].sender = None;
                     let body_len = net.process(ProcessId::from_index(s)).actions().len();
                     procs[s].state = ProcState::Running;
                     advance_cursor(&mut procs[s], body_len);
                     report.events += 1;
+                    if traced {
+                        tracer.span(
+                            chan_tracks[ci],
+                            "send",
+                            procs[s].ready - cost,
+                            cost,
+                            &xfer_args(s, chan_receiver[ci], bytes, local),
+                        );
+                        tracer.counter(
+                            chan_tracks[ci],
+                            "queued",
+                            procs[s].ready,
+                            chans[ci].queue.len() as u64,
+                        );
+                    }
+                    if procs[s].ready > config.budget {
+                        return Err(SimError::Budget {
+                            limit: config.budget,
+                        });
+                    }
                     progressed = true;
                 }
             }
             // A blocked receiver with a buffered message completes.
             else if let Some(r) = receiver {
-                if let Some((ready_at, bytes)) = chans[ci].queue.pop_front() {
+                if let Some((ready_at, bytes, from)) = chans[ci].queue.pop_front() {
                     procs[r].ready = procs[r].ready.max(ready_at);
                     report.messages += 1;
                     report.bytes += bytes;
+                    let local = is_local(from, r);
+                    if !local {
+                        report.cross_boundary_bytes += bytes;
+                    }
                     report.events += 1;
+                    if traced {
+                        tracer.instant(
+                            chan_tracks[ci],
+                            "recv",
+                            procs[r].ready,
+                            &xfer_args(from, Some(r), bytes, local),
+                        );
+                        tracer.counter(
+                            chan_tracks[ci],
+                            "queued",
+                            procs[r].ready,
+                            chans[ci].queue.len() as u64,
+                        );
+                        tracer.counter(
+                            sim_track,
+                            "cross_boundary_bytes",
+                            procs[r].ready,
+                            report.cross_boundary_bytes,
+                        );
+                    }
                     let body_len = net.process(ProcessId::from_index(r)).actions().len();
                     procs[r].state = ProcState::Running;
                     advance_cursor(&mut procs[r], body_len);
                     chans[ci].receiver = None;
+                    if procs[r].ready > config.budget {
+                        return Err(SimError::Budget {
+                            limit: config.budget,
+                        });
+                    }
                     progressed = true;
                 }
             }
@@ -617,6 +817,140 @@ mod tests {
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(r.finish_time > 0);
         }
+    }
+
+    #[test]
+    fn buffered_send_cost_honors_local_discount() {
+        // Regression: buffered sends used to hardcode `local = false`, so
+        // colocated senders paid the full boundary cost and no placement
+        // could discount buffered traffic.
+        let mut net = ProcessNetwork::new("bufloc");
+        let ch = net.add_channel("c", 4);
+        net.add_process(
+            Process::new(
+                "sender",
+                vec![Action::Send {
+                    channel: ch,
+                    bytes: 512,
+                }],
+            )
+            .with_iterations(4),
+        );
+        net.add_process(
+            Process::new("receiver", vec![Action::Receive { channel: ch }]).with_iterations(4),
+        );
+        let cfg = MessageConfig {
+            context_switch: 0,
+            ..MessageConfig::default()
+        };
+        let colocated = simulate(&net, &Placement::all_software(2), &cfg).unwrap();
+        let split = simulate(
+            &net,
+            &Placement::from_assignment(vec![Resource::Software(0), Resource::Hardware(0)]),
+            &cfg,
+        )
+        .unwrap();
+        // The sender pays exactly the (discounted or full) transfer cost
+        // per iteration and nothing else.
+        assert_eq!(
+            colocated.per_process_finish[0],
+            4 * cfg.comm.transfer_cycles(512, true)
+        );
+        assert_eq!(
+            split.per_process_finish[0],
+            4 * cfg.comm.transfer_cycles(512, false)
+        );
+        // And cross-boundary bytes are now accounted on the buffered path.
+        assert_eq!(colocated.cross_boundary_bytes, 0);
+        assert_eq!(split.cross_boundary_bytes, 4 * 512);
+    }
+
+    #[test]
+    fn blocked_sender_unblock_keeps_locality_accounting() {
+        // Capacity 1 forces the phase-2 "blocked sender frees up" and
+        // "blocked receiver drains" paths, which used to skip both the
+        // local discount and cross-boundary accounting.
+        let mut net = ProcessNetwork::new("bufblock");
+        let ch = net.add_channel("c", 1);
+        net.add_process(
+            Process::new(
+                "sender",
+                vec![Action::Send {
+                    channel: ch,
+                    bytes: 256,
+                }],
+            )
+            .with_iterations(4),
+        );
+        net.add_process(
+            Process::new(
+                "receiver",
+                vec![Action::Receive { channel: ch }, Action::Compute(50)],
+            )
+            .with_iterations(4),
+        );
+        let cfg = MessageConfig {
+            context_switch: 0,
+            ..MessageConfig::default()
+        };
+        let colocated = simulate(&net, &Placement::all_software(2), &cfg).unwrap();
+        let split = simulate(
+            &net,
+            &Placement::from_assignment(vec![Resource::Software(0), Resource::Hardware(0)]),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(colocated.cross_boundary_bytes, 0);
+        assert_eq!(split.cross_boundary_bytes, 4 * 256);
+        assert!(colocated.per_process_finish[0] < split.per_process_finish[0]);
+    }
+
+    #[test]
+    fn budget_enforced_on_rendezvous_completion() {
+        // Regression: the budget was only checked in phase 1, so a
+        // rendezvous completing as the network's last event could push
+        // time past the budget and still report success.
+        let mut net = ProcessNetwork::new("late");
+        let ch = net.add_channel("c", 0);
+        net.add_process(Process::new(
+            "a",
+            vec![
+                Action::Compute(100),
+                Action::Send {
+                    channel: ch,
+                    bytes: 64,
+                },
+            ],
+        ));
+        net.add_process(Process::new("b", vec![Action::Receive { channel: ch }]));
+        let cfg = MessageConfig {
+            budget: 120, // compute fits, the final transfer does not
+            ..MessageConfig::default()
+        };
+        let err = simulate(
+            &net,
+            &Placement::from_assignment(vec![Resource::Software(0), Resource::Software(1)]),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Budget { limit: 120 }));
+    }
+
+    #[test]
+    fn tracing_is_observational_only() {
+        // Bit-identical reports with tracing on and off, and the trace
+        // itself is valid Chrome trace-event JSON.
+        let net = prodcons(4, 64);
+        let placement =
+            Placement::from_assignment(vec![Resource::Software(0), Resource::Hardware(0)]);
+        let cfg = MessageConfig::default();
+        let plain = simulate(&net, &placement, &cfg).unwrap();
+        let tracer = Tracer::on();
+        let traced = simulate_traced(&net, &placement, &cfg, &tracer).unwrap();
+        assert_eq!(plain, traced);
+        assert!(tracer.event_count() > 0);
+        let json = tracer.to_chrome_json();
+        codesign_trace::validate_chrome_trace(&json).unwrap();
     }
 
     #[test]

@@ -1,9 +1,57 @@
 //! Property-based tests for the co-simulation engines.
 
-use codesign_ir::process::ProcessId;
+use codesign_ir::process::{Action, ChannelId, Process, ProcessId, ProcessNetwork};
 use codesign_ir::workload::tgff::{random_process_network, NetworkConfig};
 use codesign_sim::message::{simulate, MessageConfig, Placement, Resource};
 use proptest::prelude::*;
+
+/// The same network with every channel's capacity replaced, preserving
+/// channel and process id order (generated channels are rendezvous-only,
+/// so this is how the buffered paths get exercised).
+fn with_channel_capacity(net: &ProcessNetwork, cap: usize) -> ProcessNetwork {
+    let mut out = ProcessNetwork::new(net.name());
+    for i in 0..net.channel_count() {
+        out.add_channel(net.channel(ChannelId::from_index(i)).name(), cap);
+    }
+    for (_, p) in net.iter() {
+        out.add_process(
+            Process::new(p.name(), p.actions().to_vec()).with_iterations(p.iterations()),
+        );
+    }
+    out
+}
+
+/// Ground truth for [`codesign_sim::message::MessageReport::cross_boundary_bytes`]:
+/// every generated channel is point-to-point and fully drained, so the
+/// total is the sum of `bytes * iterations` over Send actions whose
+/// sender and (statically known) receiver are placed on non-local
+/// resources — independent of buffering.
+fn expected_cross_bytes(net: &ProcessNetwork, placement: &Placement) -> u64 {
+    let mut receiver: Vec<Option<usize>> = vec![None; net.channel_count()];
+    for (pid, p) in net.iter() {
+        for a in p.actions() {
+            if let Action::Receive { channel } = a {
+                receiver[channel.index()].get_or_insert(pid.index());
+            }
+        }
+    }
+    let mut total = 0;
+    for (pid, p) in net.iter() {
+        for a in p.actions() {
+            if let Action::Send { channel, bytes } = a {
+                let crosses = receiver[channel.index()].is_some_and(|r| {
+                    !placement
+                        .resource(pid)
+                        .is_local_to(placement.resource(ProcessId::from_index(r)))
+                });
+                if crosses {
+                    total += bytes * u64::from(p.iterations());
+                }
+            }
+        }
+    }
+    total
+}
 
 fn arb_network() -> impl Strategy<Value = codesign_ir::process::ProcessNetwork> {
     (2usize..9, any::<u64>(), 0.0f64..1.0, 1u32..12).prop_map(
@@ -122,6 +170,32 @@ proptest! {
                 report.per_process_finish[id.index()]
             );
         }
+    }
+
+    /// Cross-boundary accounting is exact: for rendezvous channels and
+    /// for every buffered capacity, `cross_boundary_bytes` equals the
+    /// placement-determined sum over Send actions. (Regression: buffered
+    /// sends used to hardcode non-local cost and the buffered/drain
+    /// paths skipped the accounting entirely.)
+    #[test]
+    fn cross_boundary_bytes_are_exact(
+        net in arb_network(),
+        p in arb_placement(8),
+        cap in 0usize..5,
+    ) {
+        prop_assume!(p.len() >= net.len());
+        let placement = Placement::from_assignment(
+            net.ids().map(|id| p.resource(ProcessId::from_index(id.index() % p.len()))).collect(),
+        );
+        let net = with_channel_capacity(&net, cap);
+        let expected = expected_cross_bytes(&net, &placement);
+        let report = simulate(&net, &placement, &MessageConfig::default()).expect("completes");
+        prop_assert_eq!(
+            report.cross_boundary_bytes,
+            expected,
+            "capacity {}",
+            cap
+        );
     }
 
     /// Faster hardware never slows the system down.

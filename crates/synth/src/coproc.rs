@@ -32,6 +32,7 @@ use codesign_partition::eval::{EvalConfig, Evaluation};
 use codesign_partition::{Partition, Side};
 use codesign_rtl::bus::{coproc_regs, BusTiming, CoprocessorPort, SystemBus};
 use codesign_rtl::fsmd::FsmdSim;
+use codesign_trace::{Arg, Tracer};
 
 use crate::error::SynthError;
 
@@ -236,6 +237,23 @@ pub fn realize(
     app: &CharacterizedApp,
     partition: &Partition,
 ) -> Result<MixedRunReport, SynthError> {
+    realize_traced(app, partition, &Tracer::off())
+}
+
+/// [`realize`] with a [`Tracer`]: each task becomes a span on the
+/// `coproc` track — laid out end to end in cumulative application cycles,
+/// with its side, bus cycles, and invocation count as arguments — and
+/// hardware tasks additionally trace their stub's real MMIO transactions
+/// on a per-task bus track. Tracing is observational only.
+///
+/// # Errors
+///
+/// As for [`realize`].
+pub fn realize_traced(
+    app: &CharacterizedApp,
+    partition: &Partition,
+    tracer: &Tracer,
+) -> Result<MixedRunReport, SynthError> {
     if partition.len() != app.graph.len() {
         return Err(SynthError::BadSpec {
             reason: "partition does not cover the application".to_string(),
@@ -247,6 +265,7 @@ pub fn realize(
         per_task: Vec::new(),
         verified: true,
     };
+    let track = tracer.track("coproc");
     for (i, task) in app.tasks.iter().enumerate() {
         let id = TaskId::from_index(i);
         let expected = task.kernel.evaluate(&task.inputs)?;
@@ -256,8 +275,27 @@ pub fn realize(
                 debug_assert_eq!(stats.cycles, app.sw_cycles_once[i]);
                 (stats.cycles, 0, out)
             }
-            Side::Hw => run_hw_task(app, i, task)?,
+            Side::Hw => run_hw_task(app, i, task, tracer)?,
         };
+        if tracer.is_on() {
+            tracer.span(
+                track,
+                task.kernel.name(),
+                report.total_cycles,
+                (cycles_once * task.invocations).max(1),
+                &[
+                    (
+                        "side",
+                        Arg::from(match partition.side(id) {
+                            Side::Sw => "sw",
+                            Side::Hw => "hw",
+                        }),
+                    ),
+                    ("bus_cycles", Arg::from(bus_once * task.invocations)),
+                    ("invocations", Arg::from(task.invocations)),
+                ],
+            );
+        }
         // The co-processor port is 32 bits wide; verification compares
         // modulo 2^32 for hardware tasks (the software path is exact).
         let ok = match partition.side(id) {
@@ -286,9 +324,11 @@ fn run_hw_task(
     app: &CharacterizedApp,
     index: usize,
     task: &AppTask,
+    tracer: &Tracer,
 ) -> Result<(u64, u64, Vec<i64>), SynthError> {
     let fsmd = app.synthesized[index].fsmd.clone();
     let mut bus = SystemBus::new(BusTiming::default());
+    bus.set_tracer(tracer, &format!("hw:{}:bus", task.kernel.name()));
     bus.map(
         0x0,
         0x10000,
@@ -425,6 +465,20 @@ mod tests {
             p_shared.hw_count(),
             p_naive.hw_count()
         );
+    }
+
+    #[test]
+    fn traced_realization_matches_untraced() {
+        let app = characterize(&small_app()).unwrap();
+        let mut partition = Partition::all_sw(5);
+        partition.flip(TaskId::from_index(3)); // one hw task
+        let plain = realize(&app, &partition).unwrap();
+        let tracer = Tracer::on();
+        let traced = realize_traced(&app, &partition, &tracer).unwrap();
+        assert_eq!(plain, traced);
+        // One span per task plus the hw task's bus transactions.
+        assert!(tracer.event_count() > 5);
+        codesign_trace::validate_chrome_trace(&tracer.to_chrome_json()).unwrap();
     }
 
     #[test]

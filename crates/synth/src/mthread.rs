@@ -22,7 +22,10 @@ use codesign_hls::{synthesize, Constraints};
 use codesign_ir::process::{ProcessId, ProcessNetwork};
 use codesign_ir::workload::kernels;
 use codesign_isa::codegen::compile;
-use codesign_sim::message::{simulate, MessageConfig, MessageReport, Placement, Resource};
+use codesign_sim::message::{
+    simulate, simulate_traced, MessageConfig, MessageReport, Placement, Resource,
+};
+use codesign_trace::{Arg, Tracer};
 
 use crate::error::SynthError;
 
@@ -86,8 +89,29 @@ fn placement_for(net: &ProcessNetwork, hw: &[usize]) -> Placement {
 ///
 /// Propagates co-simulation failures.
 pub fn comm_aware(net: &ProcessNetwork, cfg: &MthreadConfig) -> Result<MthreadOutcome, SynthError> {
+    comm_aware_traced(net, cfg, &Tracer::off())
+}
+
+/// [`comm_aware`] with a [`Tracer`]: every candidate placement the greedy
+/// search evaluates becomes an instant event on the `mthread-search`
+/// track (timestamped by evaluation index, with the tried move and its
+/// simulated finish time as arguments), each accepted move an instant
+/// named `accept`, and the winning placement is re-simulated with the
+/// tracer so its full message-level trace is captured. Tracing is
+/// observational only; the search result is identical either way.
+///
+/// # Errors
+///
+/// As for [`comm_aware`].
+pub fn comm_aware_traced(
+    net: &ProcessNetwork,
+    cfg: &MthreadConfig,
+    tracer: &Tracer,
+) -> Result<MthreadOutcome, SynthError> {
     let n = net.len();
     let budget = cfg.max_hw_processes.min(n);
+    let track = tracer.track("mthread-search");
+    let evals = std::cell::Cell::new(0u64);
     let mut hw: Vec<usize> = Vec::new();
     let mut best = simulate(net, &placement_for(net, &hw), &cfg.sim)?;
     loop {
@@ -98,6 +122,19 @@ pub fn comm_aware(net: &ProcessNetwork, cfg: &MthreadConfig) -> Result<MthreadOu
             let mut candidate = hw.clone();
             candidate.extend(&added);
             let report = simulate(net, &placement_for(net, &candidate), &cfg.sim)?;
+            if tracer.is_on() {
+                tracer.instant(
+                    track,
+                    "candidate",
+                    evals.get(),
+                    &[
+                        ("moved", Arg::from(format!("{added:?}"))),
+                        ("finish_time", Arg::from(report.finish_time)),
+                        ("cross_bytes", Arg::from(report.cross_boundary_bytes)),
+                    ],
+                );
+            }
+            evals.set(evals.get() + 1);
             // Prefer the smaller move on equal finish times.
             let better = report.finish_time < best.finish_time
                 && improvement.as_ref().is_none_or(|(moved, r)| {
@@ -127,14 +164,30 @@ pub fn comm_aware(net: &ProcessNetwork, cfg: &MthreadConfig) -> Result<MthreadOu
         }
         match improvement {
             Some((added, report)) => {
+                if tracer.is_on() {
+                    tracer.instant(
+                        track,
+                        "accept",
+                        evals.get(),
+                        &[
+                            ("moved", Arg::from(format!("{added:?}"))),
+                            ("finish_time", Arg::from(report.finish_time)),
+                        ],
+                    );
+                }
                 hw.extend(added);
                 best = report;
             }
             None => break,
         }
     }
+    let placement = placement_for(net, &hw);
+    if tracer.is_on() {
+        // Capture the winning placement's full message-level trace.
+        best = simulate_traced(net, &placement, &cfg.sim, tracer)?;
+    }
     Ok(MthreadOutcome {
-        placement: placement_for(net, &hw),
+        placement,
         report: best,
         hw_processes: hw,
     })
@@ -390,6 +443,18 @@ mod tests {
         let naive = compute_only(&net, &cfg).unwrap();
         assert!(optimum.report.finish_time <= aware.report.finish_time);
         assert!(optimum.report.finish_time <= naive.report.finish_time);
+    }
+
+    #[test]
+    fn traced_search_matches_untraced() {
+        let net = pipeline();
+        let cfg = MthreadConfig::default();
+        let plain = comm_aware(&net, &cfg).unwrap();
+        let tracer = Tracer::on();
+        let traced = comm_aware_traced(&net, &cfg, &tracer).unwrap();
+        assert_eq!(plain, traced);
+        assert!(tracer.event_count() > 0);
+        codesign_trace::validate_chrome_trace(&tracer.to_chrome_json()).unwrap();
     }
 
     #[test]

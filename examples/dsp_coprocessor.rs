@@ -8,12 +8,30 @@
 //! co-processors — verifying every output against the CDFG interpreter.
 //!
 //! Run with: `cargo run --example dsp_coprocessor`
+//!
+//! Pass `--trace FILE` to also record the realization as a Chrome
+//! trace-event file (open in `chrome://tracing` or ui.perfetto.dev).
 
 use codesign::partition::cost::Objective;
 use codesign::partition::{Partition, Side};
-use codesign::synth::coproc::{characterize, partition_app, realize, Algorithm, Application};
+use codesign::synth::coproc::{
+    characterize, partition_app, realize_traced, Algorithm, Application,
+};
+use codesign::trace::Tracer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--trace")
+            .map(|i| args.get(i + 1).expect("--trace needs a file").clone())
+    };
+    let tracer = if trace_path.is_some() {
+        Tracer::on()
+    } else {
+        Tracer::off()
+    };
+
     let app = characterize(&Application::dsp_suite())?;
     let graph = app.graph();
     println!(
@@ -64,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (winner, partition, _) = best.expect("at least one algorithm ran");
     println!("\nrealizing the `{winner}` partition end-to-end on the ISS:");
-    let report = realize(&app, &partition)?;
+    let report = realize_traced(&app, &partition, &tracer)?;
     for (name, side, cycles) in &report.per_task {
         let side = match side {
             Side::Sw => "SW",
@@ -77,5 +95,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.total_cycles, report.bus_cycles, report.verified
     );
     assert!(report.verified, "mixed system must compute correct results");
+    if let Some(path) = trace_path {
+        tracer.save(&path)?;
+        println!(
+            "trace: {} events -> {path} (open in chrome://tracing)",
+            tracer.event_count()
+        );
+    }
     Ok(())
 }

@@ -3,9 +3,12 @@
 #
 # Tier-1 (ROADMAP.md): release build + full test suite. Clippy runs over
 # every target (lib, bins, tests, benches) with warnings denied so lint
-# debt cannot accumulate.
+# debt cannot accumulate, and rustfmt is enforced so diffs stay clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
 
 echo "== cargo build --release =="
 cargo build --release

@@ -1,0 +1,190 @@
+//! Integration: the unified tracing layer, end to end through the CLI.
+//!
+//! Runs the `codesign` front end with `--trace`, checks the emitted file
+//! is valid Chrome trace-event JSON, and checks tracing is observational
+//! only (the human-readable output is unchanged by it).
+
+use std::io::Write as _;
+use std::process::Command;
+
+use codesign::trace::validate_chrome_trace;
+
+fn codesign(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_codesign"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn spec_file() -> tempfile::TempPath {
+    let mut f = tempfile::NamedTempFile::new("cds").expect("temp file");
+    f.write_all(
+        b"system traced\n\
+          task a sw=2000 hw=200 area=20 par=0.8\n\
+          task b sw=8000 hw=500 area=60 par=0.9\n\
+          edge a -> b bytes=64\n\
+          deadline 6000\n\
+          channel x cap=2\n\
+          process src iter=4\n\
+            compute 500\n\
+            send x 32\n\
+          end\n\
+          process dst iter=4\n\
+            recv x\n\
+            compute 4000\n\
+          end\n",
+    )
+    .expect("writes");
+    f.into_temp_path()
+}
+
+/// A minimal tempfile substitute so the test has no extra dependency.
+mod tempfile {
+    use std::path::{Path, PathBuf};
+
+    pub struct NamedTempFile(std::fs::File, PathBuf);
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new(ext: &str) -> std::io::Result<Self> {
+            let path = std::env::temp_dir().join(format!(
+                "codesign_trace_{}_{}.{ext}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("clock")
+                    .as_nanos()
+            ));
+            Ok(NamedTempFile(std::fs::File::create(&path)?, path))
+        }
+
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.1)
+        }
+    }
+
+    impl std::io::Write for NamedTempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.0, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.0)
+        }
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = Path;
+        fn deref(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn ladder_trace_is_valid_chrome_json_and_inert() {
+    let trace = tempfile::NamedTempFile::new("json")
+        .expect("temp file")
+        .into_temp_path();
+    let args = ["ladder", "--bytes", "32", "--iterations", "4"];
+    let (plain, _, ok) = codesign(&args);
+    assert!(ok);
+
+    let mut traced_args = args.to_vec();
+    traced_args.extend(["--trace", trace.to_str().unwrap()]);
+    let (traced, err, ok) = codesign(&traced_args);
+    assert!(ok, "stderr: {err}");
+
+    // Observational only: the simulated results are unchanged; the wall
+    // -clock column is the one legitimately nondeterministic field.
+    let strip_wall = |s: &str| -> Vec<String> {
+        s.lines()
+            .take_while(|l| !l.starts_with("trace:"))
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                let cols: Vec<&str> = l.split('|').collect();
+                cols.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != 3)
+                    .map(|(_, c)| *c)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect()
+    };
+    assert_eq!(
+        strip_wall(&plain),
+        strip_wall(&traced),
+        "tracing changed the ladder results"
+    );
+    assert!(traced.contains("trace:"), "{traced}");
+
+    let text = std::fs::read_to_string(&*trace).expect("trace file written");
+    let events = validate_chrome_trace(&text).expect("valid Chrome trace JSON");
+    assert!(events > 0, "trace has no events");
+    // Track names for every ladder level appear as thread metadata.
+    for track in ["ladder", "message-sim", "pin:bus", "reg:bus"] {
+        assert!(text.contains(track), "{track} missing from trace");
+    }
+}
+
+#[test]
+fn cosim_trace_is_valid_chrome_json() {
+    let spec = spec_file();
+    let trace = tempfile::NamedTempFile::new("json")
+        .expect("temp file")
+        .into_temp_path();
+    let (out, err, ok) = codesign(&[
+        "cosim",
+        spec.to_str().unwrap(),
+        "--budget",
+        "1",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("finish time"));
+    assert!(out.contains("trace:"), "{out}");
+
+    let text = std::fs::read_to_string(&*trace).expect("trace file written");
+    let events = validate_chrome_trace(&text).expect("valid Chrome trace JSON");
+    assert!(events > 0, "trace has no events");
+    // The winning placement's message-level activity is recorded.
+    for track in ["mthread-search", "chan:x", "proc:src", "proc:dst"] {
+        assert!(text.contains(track), "{track} missing from trace");
+    }
+}
+
+#[test]
+fn tracer_api_roundtrips_through_validator() {
+    use codesign::trace::Tracer;
+
+    let t = Tracer::on();
+    let track = t.track("api");
+    t.span(track, "work", 0, 10, &[("k", "v".into())]);
+    t.instant(track, "mark", 5, &[]);
+    t.counter(track, "level", 10, 3);
+    let json = t.to_chrome_json();
+    // 3 events + 1 thread_name metadata record.
+    assert_eq!(validate_chrome_trace(&json).expect("valid"), 4);
+
+    // A disabled tracer records nothing and serializes to an empty trace.
+    let off = codesign::trace::Tracer::off();
+    let track = off.track("ignored");
+    off.span(track, "work", 0, 10, &[]);
+    assert_eq!(off.event_count(), 0);
+    assert_eq!(
+        validate_chrome_trace(&off.to_chrome_json()).expect("valid"),
+        0
+    );
+}

@@ -79,7 +79,11 @@ pub mod test_runner {
         #[must_use]
         pub fn new(seed: u64) -> Self {
             TestRng {
-                state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+                state: if seed == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    seed
+                },
             }
         }
 
@@ -489,7 +493,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop::` module tree (`prop::collection::vec`, `prop::bool::ANY`).
     pub mod prop {
