@@ -1,0 +1,279 @@
+//! `bench-cosim` — before/after timings for lookahead-driven
+//! co-simulation, emitted as `BENCH_cosim.json`.
+//!
+//! "Before" is the pure-lockstep coordinator
+//! ([`Coordinator::lockstep`]): every synchronization round advances
+//! exactly one quantum, whether or not any engine has work. "After" is
+//! the lookahead coordinator ([`Coordinator::new`]), which collapses
+//! guaranteed-quiet quanta using [`SimEngine::next_event_hint`]s. Both
+//! run the same scenarios and are verified to reach bit-identical
+//! end-states (final global time, per-engine local times, message
+//! reports, FSMD outputs), so the speedup and round-reduction columns
+//! compare equal work.
+//!
+//! Scenarios:
+//!
+//! - `ladder` — the paper's Figure 7 remote-control ladder as a
+//!   producer/consumer process network mounted as a [`MessageEngine`].
+//! - `dsp_coprocessor` — the Figure 8 DSP suite, characterized through
+//!   the ISS and HLS, as a kernel-pipeline process network (hottest two
+//!   kernels in hardware) co-simulating alongside a gate-accurate
+//!   [`FsmdEngine`] running the synthesized `dct8` datapath.
+//!
+//! ```text
+//! cargo run --release -p codesign-bench --bin bench-cosim [--smoke] [out.json]
+//! ```
+//!
+//! `--smoke` runs one timing iteration per cell and defaults the output
+//! under `target/`, so CI can exercise the full path without perturbing
+//! the checked-in `BENCH_cosim.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use codesign_hls::{synthesize, Constraints};
+use codesign_ir::workload::kernels;
+use codesign_rtl::fsmd::FsmdSim;
+use codesign_sim::adapters::FsmdEngine;
+use codesign_sim::engine::{Coordinator, CoordinatorStats, SimEngine};
+use codesign_sim::ladder::{message_scenario, LadderConfig};
+use codesign_sim::message::{MessageConfig, MessageEngine};
+use codesign_synth::coproc::{characterize, process_network, Application};
+use codesign_synth::mthread::placement_for;
+
+/// Synchronization quanta measured. 16 is the `codesign cosim` default
+/// and the gated cell.
+const QUANTA: &[u64] = &[4, 16, 64];
+const DEFAULT_QUANTUM: u64 = 16;
+/// Global cycle budget; generous, scenarios finish well under it.
+const BUDGET: u64 = 50_000_000;
+/// Frames per kernel in the dsp_coprocessor pipeline.
+const INVOCATIONS: u32 = 12;
+/// Kernel invocations batched per frame (block processing).
+const BATCH: u32 = 8;
+
+/// A scenario's engine set, rebuilt fresh for every timed run.
+type EngineSet = Vec<Box<dyn SimEngine>>;
+/// A factory producing one scenario's engine set.
+type Scenario = Box<dyn Fn() -> EngineSet>;
+
+struct Row {
+    scenario: &'static str,
+    quantum: u64,
+    before_ns: u128,
+    after_ns: u128,
+    rounds_before: u64,
+    rounds_after: u64,
+    rounds_skipped: u64,
+}
+
+/// Runs one coordinated simulation and returns its stats plus a
+/// fingerprint of every observable end-state, for lockstep/lookahead
+/// equivalence checking.
+fn run_once(
+    build: &dyn Fn() -> EngineSet,
+    quantum: u64,
+    lookahead: bool,
+) -> (CoordinatorStats, String) {
+    let mut coord = if lookahead {
+        Coordinator::new(quantum)
+    } else {
+        Coordinator::lockstep(quantum)
+    };
+    for engine in build() {
+        coord.add_engine(engine);
+    }
+    let stats = coord.run(BUDGET).expect("scenario completes within budget");
+    let mut fp = String::new();
+    let _ = write!(fp, "t={};", stats.time);
+    for engine in coord.engines() {
+        let _ = write!(fp, "{}@{}:", engine.name(), engine.local_time());
+        if let Some(m) = engine.as_any().downcast_ref::<MessageEngine>() {
+            let _ = write!(fp, "{:?};", m.report());
+        } else if let Some(f) = engine.as_any().downcast_ref::<FsmdEngine>() {
+            let _ = write!(fp, "{:?};", f.sim().outputs());
+        } else {
+            fp.push(';');
+        }
+    }
+    (stats, fp)
+}
+
+/// One warm-up run (kept as the reference result), then the average of
+/// `iterations` timed runs, each asserted to reproduce the reference.
+fn time(
+    iterations: u32,
+    build: &dyn Fn() -> EngineSet,
+    quantum: u64,
+    lookahead: bool,
+) -> (u128, CoordinatorStats, String) {
+    let (warm_stats, warm_fp) = run_once(build, quantum, lookahead);
+    let start = Instant::now();
+    for _ in 0..iterations {
+        let (stats, fp) = run_once(build, quantum, lookahead);
+        assert_eq!(stats, warm_stats, "non-deterministic coordination");
+        assert_eq!(fp, warm_fp, "non-deterministic engine end-state");
+    }
+    (
+        start.elapsed().as_nanos() / u128::from(iterations),
+        warm_stats,
+        warm_fp,
+    )
+}
+
+/// The Figure 8 DSP-coprocessor scenario: characterized kernel pipeline
+/// (hottest two kernels in hardware) plus a gate-accurate `dct8` FSMD.
+fn dsp_scenario() -> impl Fn() -> EngineSet {
+    let app = characterize(&Application::dsp_suite()).expect("dsp suite characterizes");
+    let (net, speedups) = process_network(&app, INVOCATIONS, BATCH);
+    // Hottest two pipeline processes (by total software compute) go to
+    // hardware; the collector and the rest share software processor 0.
+    let mut by_compute: Vec<usize> = (0..net.len().saturating_sub(1)).collect();
+    by_compute.sort_by_key(|&i| {
+        std::cmp::Reverse(
+            net.process(codesign_ir::process::ProcessId::from_index(i))
+                .total_compute(),
+        )
+    });
+    let hw: Vec<usize> = by_compute.into_iter().take(2).collect();
+    let placement = placement_for(&net, &hw);
+    let config = MessageConfig {
+        hw_speedups: Some(speedups),
+        ..MessageConfig::default()
+    };
+    let synth = synthesize(&kernels::dct8(), &Constraints::default()).expect("dct8 synthesizes");
+    let mut fsmd = FsmdSim::new(synth.fsmd).expect("dct8 FSMD simulates");
+    fsmd.start(&[1, 2, 3, 4, 5, 6, 7, 8]);
+    move || {
+        vec![
+            Box::new(
+                MessageEngine::new("dsp-net", net.clone(), placement.clone(), config.clone())
+                    .expect("valid placement"),
+            ) as Box<dyn SimEngine>,
+            Box::new(FsmdEngine::new("dct8", fsmd.clone())),
+        ]
+    }
+}
+
+/// The Figure 7 ladder scenario as a single message-level engine.
+fn ladder_scenario() -> impl Fn() -> EngineSet {
+    let (net, placement, config) = message_scenario(&LadderConfig::default());
+    move || {
+        vec![Box::new(
+            MessageEngine::new("ladder", net.clone(), placement.clone(), config.clone())
+                .expect("valid placement"),
+        ) as Box<dyn SimEngine>]
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_cosim_smoke.json".to_string()
+        } else {
+            "BENCH_cosim.json".to_string()
+        }
+    });
+    let iterations: u32 = if smoke { 1 } else { 30 };
+
+    let scenarios: [(&'static str, Scenario); 2] = [
+        ("ladder", Box::new(ladder_scenario())),
+        ("dsp_coprocessor", Box::new(dsp_scenario())),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (scenario, build) in &scenarios {
+        for &quantum in QUANTA {
+            let (before_ns, before, before_fp) = time(iterations, build.as_ref(), quantum, false);
+            let (after_ns, after, after_fp) = time(iterations, build.as_ref(), quantum, true);
+            assert_eq!(
+                before_fp, after_fp,
+                "{scenario} q={quantum}: lookahead end-state differs from lockstep"
+            );
+            assert_eq!(
+                before.sync_rounds,
+                after.sync_rounds + after.rounds_skipped,
+                "{scenario} q={quantum}: skipped-round accounting broken"
+            );
+            eprintln!(
+                "{scenario:>16} q={quantum:>3}: {before_ns:>12} ns -> {after_ns:>12} ns  \
+                 ({:.1}x wall, {} -> {} rounds)",
+                before_ns as f64 / after_ns.max(1) as f64,
+                before.sync_rounds,
+                after.sync_rounds,
+            );
+            rows.push(Row {
+                scenario,
+                quantum,
+                before_ns,
+                after_ns,
+                rounds_before: before.sync_rounds,
+                rounds_after: after.sync_rounds,
+                rounds_skipped: after.rounds_skipped,
+            });
+        }
+    }
+
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"cosim_lookahead\",\n  \"units\": \"ns_per_run\",\n  \
+         \"before\": \"pure-lockstep coordinator (one quantum per round, hints ignored)\",\n  \
+         \"after\": \"lookahead coordinator (adaptive horizons, idle-skip, batched advancement)\",\n  \
+         \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.before_ns as f64 / r.after_ns.max(1) as f64;
+        let reduction = r.rounds_before as f64 / r.rounds_after.max(1) as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"quantum\": {}, \"before_ns\": {}, \"after_ns\": {}, \
+             \"speedup\": {:.2}, \"rounds_before\": {}, \"rounds_after\": {}, \
+             \"rounds_skipped\": {}, \"round_reduction\": {:.2}}}{}",
+            r.scenario,
+            r.quantum,
+            r.before_ns,
+            r.after_ns,
+            speedup,
+            r.rounds_before,
+            r.rounds_after,
+            r.rounds_skipped,
+            reduction,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("creates output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("writes benchmark JSON");
+    println!("wrote {out_path}");
+
+    // Gate: at the default quantum both scenarios must collapse at least
+    // 3x of their synchronization rounds. Round counts are deterministic,
+    // so the gate holds in smoke mode too.
+    for scenario in ["ladder", "dsp_coprocessor"] {
+        let r = rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.quantum == DEFAULT_QUANTUM)
+            .expect("default-quantum cell measured");
+        let reduction = r.rounds_before as f64 / r.rounds_after.max(1) as f64;
+        println!(
+            "{scenario} @ q={DEFAULT_QUANTUM}: {} -> {} sync rounds ({reduction:.1}x, gate: >= 3x)",
+            r.rounds_before, r.rounds_after
+        );
+        assert!(
+            reduction >= 3.0,
+            "lookahead reduces {scenario} sync rounds only {reduction:.1}x at the default quantum"
+        );
+    }
+}

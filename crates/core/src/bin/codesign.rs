@@ -19,8 +19,9 @@ use codesign::partition::algorithms::{
 use codesign::partition::area::{NaiveArea, SharedArea};
 use codesign::partition::cost::Objective;
 use codesign::partition::eval::EvalConfig;
+use codesign::sim::engine::Coordinator;
 use codesign::sim::ladder::{run_ladder_traced, timing_errors, LadderConfig};
-use codesign::sim::message::{simulate_traced, MessageConfig, Placement};
+use codesign::sim::message::{simulate_traced, MessageConfig, MessageEngine, Placement};
 use codesign::synth::mthread::{comm_aware_traced, MthreadConfig};
 use codesign::synth::multiproc::{
     bin_packing, branch_and_bound, sensitivity_driven, MultiprocConfig,
@@ -43,10 +44,14 @@ USAGE:
       multi-seed annealer) on concurrent threads and keeps the best
       partition; the result is deterministic.
 
-  codesign cosim <spec.cds> [--hw name1,name2] [--budget K] [--trace FILE]
+  codesign cosim <spec.cds> [--hw name1,name2] [--budget K] [--quantum N]
+                 [--trace FILE]
       Message-level co-simulation of the spec's process-network view.
       `--hw` pins processes to hardware; `--budget K` instead searches for
       the best K-process hardware set (communication/concurrency aware).
+      The chosen placement is then mounted under the conservative
+      coordinator (sync quantum `--quantum`, default 16) and the report
+      shows its synchronization rounds, lookahead skips, and final skew.
 
   codesign multiproc <spec.cds> --deadline N [--solver exact|bin|sens]
       Allocate processors and map the task graph (Figure 5 flows).
@@ -203,6 +208,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("the spec declares no processes; `cosim` needs the process view")?;
     let (tracer, trace_path) = trace_flag(args);
     let report;
+    let placement;
     let hw_names: Vec<String>;
     if let Some(budget) = flag_value(args, "--budget") {
         let cfg = MthreadConfig {
@@ -220,6 +226,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         report = outcome.report;
+        placement = outcome.placement;
     } else {
         let hw_list: Vec<&str> = flag_value(args, "--hw")
             .map(|v| v.split(',').collect())
@@ -234,7 +241,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             hw_idx.push(found);
         }
         let mut next_hw = 0u32;
-        let placement = Placement::from_assignment(
+        placement = Placement::from_assignment(
             (0..net.len())
                 .map(|i| {
                     if hw_idx.contains(&i) {
@@ -257,6 +264,34 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         report.messages, report.bytes, report.cross_boundary_bytes
     );
     println!("  kernel events      : {}", report.events);
+
+    // Mount the same network under the conservative coordinator so the
+    // synchronization cost — and the lookahead win — is visible without a
+    // trace file.
+    let quantum: u64 = flag_value(args, "--quantum")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(16);
+    let sim_cfg = MessageConfig::default();
+    let mut coord = Coordinator::new(quantum);
+    coord.add_engine(Box::new(MessageEngine::new(
+        "process-net",
+        net.clone(),
+        placement,
+        sim_cfg.clone(),
+    )?));
+    coord.set_tracer(&tracer);
+    let stats = coord.run(sim_cfg.budget)?;
+    println!("\n  coordinator (lookahead, quantum {quantum}):");
+    println!(
+        "  sync rounds        : {} ({} skipped by lookahead, {} cycles leapt)",
+        stats.sync_rounds, stats.rounds_skipped, stats.cycles_leapt
+    );
+    println!(
+        "  global time        : {} cycles, final skew {}",
+        stats.time,
+        coord.skew()
+    );
     save_trace(&tracer, trace_path)?;
     Ok(())
 }

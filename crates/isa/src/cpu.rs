@@ -425,13 +425,35 @@ impl Cpu {
     /// Returns [`IsaError::Timeout`] when the budget expires, or any fault
     /// from [`Cpu::step`].
     pub fn run(&mut self, max_cycles: u64) -> Result<CpuStats, IsaError> {
-        while !self.halted {
-            if self.stats.cycles >= max_cycles {
-                return Err(IsaError::Timeout {
-                    cycles: self.stats.cycles,
-                });
+        self.run_until(max_cycles)?;
+        if self.halted {
+            Ok(self.stats)
+        } else {
+            Err(IsaError::Timeout {
+                cycles: self.stats.cycles,
+            })
+        }
+    }
+
+    /// Runs until `halt` or the cycle counter reaches `t`, whichever comes
+    /// first — the co-simulation hot path. Unlike [`Cpu::run`], reaching
+    /// `t` is not an error: a co-simulation horizon is a rendezvous point,
+    /// not a timeout. The last instruction may overshoot `t` by its own
+    /// latency (instructions are atomic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any fault from [`Cpu::step`].
+    pub fn run_until(&mut self, t: u64) -> Result<CpuStats, IsaError> {
+        // `step` re-checks `halted` and re-reads `stats.cycles`, but both
+        // live on `self`, so the loop stays branch-predictable and the
+        // per-instruction `stats()` copies the adapter used to make are
+        // gone; `step` returns `false` at halt, which doubles as the
+        // hoisted halt check.
+        while self.stats.cycles < t {
+            if !self.step()? {
+                break;
             }
-            self.step()?;
         }
         Ok(self.stats)
     }

@@ -281,6 +281,9 @@ pub struct FsmdSim {
     state: StateId,
     status: FsmdStatus,
     cycles: u64,
+    /// Reusable write buffer for [`FsmdSim::tick`], so the per-cycle
+    /// register-transfer staging does not allocate.
+    scratch: Vec<(RegId, i64)>,
 }
 
 impl FsmdSim {
@@ -300,6 +303,7 @@ impl FsmdSim {
             state: StateId(0),
             status: FsmdStatus::Idle,
             cycles: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -376,60 +380,62 @@ impl FsmdSim {
             return;
         }
         self.cycles += 1;
+        // Take the scratch buffer so ops can read `self` while staging
+        // into it; capacity is reused across ticks (no allocation on the
+        // co-simulation hot path).
+        let mut writes = std::mem::take(&mut self.scratch);
+        writes.clear();
         let state = &self.fsmd.states[self.state.index()];
         // Synchronous register-transfer: reads see pre-edge values.
-        let writes: Vec<(RegId, i64)> = state
-            .ops
-            .iter()
-            .map(|op| {
-                let a = |k: usize| self.read(op.args[k]);
-                let v = match op.op {
-                    OpKind::Add => a(0).wrapping_add(a(1)),
-                    OpKind::Sub => a(0).wrapping_sub(a(1)),
-                    OpKind::Mul => a(0).wrapping_mul(a(1)),
-                    // Hardware dividers do not trap: x/0 = 0, x%0 = x.
-                    OpKind::Div => a(0).checked_div(a(1)).unwrap_or(0),
-                    OpKind::Rem => {
-                        let d = a(1);
-                        if d == 0 {
-                            a(0)
-                        } else {
-                            a(0).wrapping_rem(d)
-                        }
+        writes.extend(state.ops.iter().map(|op| {
+            let a = |k: usize| self.read(op.args[k]);
+            let v = match op.op {
+                OpKind::Add => a(0).wrapping_add(a(1)),
+                OpKind::Sub => a(0).wrapping_sub(a(1)),
+                OpKind::Mul => a(0).wrapping_mul(a(1)),
+                // Hardware dividers do not trap: x/0 = 0, x%0 = x.
+                OpKind::Div => a(0).checked_div(a(1)).unwrap_or(0),
+                OpKind::Rem => {
+                    let d = a(1);
+                    if d == 0 {
+                        a(0)
+                    } else {
+                        a(0).wrapping_rem(d)
                     }
-                    OpKind::And => a(0) & a(1),
-                    OpKind::Or => a(0) | a(1),
-                    OpKind::Xor => a(0) ^ a(1),
-                    OpKind::Not => !a(0),
-                    OpKind::Neg => a(0).wrapping_neg(),
-                    OpKind::Shl => a(0).wrapping_shl((a(1) & 0x3f) as u32),
-                    OpKind::Shr => a(0).wrapping_shr((a(1) & 0x3f) as u32),
-                    OpKind::Lt => i64::from(a(0) < a(1)),
-                    OpKind::Le => i64::from(a(0) <= a(1)),
-                    OpKind::Eq => i64::from(a(0) == a(1)),
-                    OpKind::Ne => i64::from(a(0) != a(1)),
-                    OpKind::Select => {
-                        if a(0) != 0 {
-                            a(1)
-                        } else {
-                            a(2)
-                        }
+                }
+                OpKind::And => a(0) & a(1),
+                OpKind::Or => a(0) | a(1),
+                OpKind::Xor => a(0) ^ a(1),
+                OpKind::Not => !a(0),
+                OpKind::Neg => a(0).wrapping_neg(),
+                OpKind::Shl => a(0).wrapping_shl((a(1) & 0x3f) as u32),
+                OpKind::Shr => a(0).wrapping_shr((a(1) & 0x3f) as u32),
+                OpKind::Lt => i64::from(a(0) < a(1)),
+                OpKind::Le => i64::from(a(0) <= a(1)),
+                OpKind::Eq => i64::from(a(0) == a(1)),
+                OpKind::Ne => i64::from(a(0) != a(1)),
+                OpKind::Select => {
+                    if a(0) != 0 {
+                        a(1)
+                    } else {
+                        a(2)
                     }
-                    OpKind::Min => a(0).min(a(1)),
-                    OpKind::Max => a(0).max(a(1)),
-                    OpKind::Abs => a(0).wrapping_abs(),
-                    // Input/Const/Output are rejected by add_state;
-                    // OpKind is non-exhaustive, so future kinds also land
-                    // here until they get a datapath implementation.
-                    _ => unreachable!("structural opcode rejected by add_state"),
-                };
-                (op.dst, v)
-            })
-            .collect();
+                }
+                OpKind::Min => a(0).min(a(1)),
+                OpKind::Max => a(0).max(a(1)),
+                OpKind::Abs => a(0).wrapping_abs(),
+                // Input/Const/Output are rejected by add_state;
+                // OpKind is non-exhaustive, so future kinds also land
+                // here until they get a datapath implementation.
+                _ => unreachable!("structural opcode rejected by add_state"),
+            };
+            (op.dst, v)
+        }));
         let next = state.next;
-        for (r, v) in writes {
+        for &(r, v) in &writes {
             self.regs[r.index()] = v;
         }
+        self.scratch = writes;
         match next {
             Next::Step => {
                 let n = self.state.index() + 1;
@@ -455,6 +461,19 @@ impl FsmdSim {
         }
     }
 
+    /// Batched clocking: ticks up to `max_ticks` cycles while running and
+    /// returns the number actually executed (short only when `done` is
+    /// reached). One call replaces a per-cycle check-then-tick loop on the
+    /// co-simulation hot path; has no effect when idle or done.
+    pub fn run_ticks(&mut self, max_ticks: u64) -> u64 {
+        let mut n = 0;
+        while n < max_ticks && self.status == FsmdStatus::Running {
+            self.tick();
+            n += 1;
+        }
+        n
+    }
+
     /// Output values; meaningful once status is [`FsmdStatus::Done`].
     #[must_use]
     pub fn outputs(&self) -> Vec<i64> {
@@ -477,13 +496,11 @@ impl FsmdSim {
     /// Panics if `inputs` does not match the FSMD's input port count.
     pub fn run(&mut self, inputs: &[i64], max_cycles: u64) -> Result<Vec<i64>, RtlError> {
         self.start(inputs);
-        while self.status == FsmdStatus::Running {
-            if self.cycles >= max_cycles {
-                return Err(RtlError::FsmdTimeout {
-                    cycles: self.cycles,
-                });
-            }
-            self.tick();
+        self.run_ticks(max_cycles);
+        if self.status == FsmdStatus::Running {
+            return Err(RtlError::FsmdTimeout {
+                cycles: self.cycles,
+            });
         }
         Ok(self.outputs())
     }

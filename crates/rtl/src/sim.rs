@@ -125,6 +125,17 @@ impl Simulator {
         self.events
     }
 
+    /// Time of the event-queue head — the earliest queued transition, if
+    /// any. The head may be a cancelled (stale) transition, in which case
+    /// this is an earlier-or-equal lower bound on the true next activity;
+    /// either way nothing can happen strictly before the returned time,
+    /// which is exactly what a conservative co-simulation lookahead hint
+    /// needs. `None` means the netlist is fully quiescent.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.queue.peek().map(|&Reverse(ev)| ev.time)
+    }
+
     /// Current value of a net.
     ///
     /// # Panics
@@ -395,6 +406,28 @@ mod tests {
             assert_eq!(sim.value(sum), total & 1 == 1, "sum for {bits:03b}");
             assert_eq!(sim.value(cout), total >= 2, "cout for {bits:03b}");
         }
+    }
+
+    #[test]
+    fn next_event_time_tracks_queue_head() {
+        let mut n = Netlist::new("inv");
+        let a = n.add_input("a");
+        let q = n.add_net("q");
+        n.add_gate(GateKind::Not, &[a], q, 3).unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.next_event_time(), None, "quiescent after settle");
+        let t0 = sim.time();
+        sim.set_input(a, true);
+        assert_eq!(sim.next_event_time(), Some(t0), "input edge queued now");
+        // Absorb the input edge; the inverter's response is one gate delay
+        // out and nothing can happen before it — a valid conservative
+        // lookahead hint.
+        sim.run_for(0).unwrap();
+        assert_eq!(sim.next_event_time(), Some(t0 + 3));
+        sim.settle().unwrap();
+        assert!(!sim.value(q));
+        assert_eq!(sim.next_event_time(), None);
     }
 
     #[test]

@@ -55,9 +55,9 @@ impl SimEngine for CpuEngine {
     }
 
     fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
-        while !self.cpu.halted() && self.cpu.stats().cycles < t {
-            self.cpu.step()?;
-        }
+        // Batched: one `run_until` call per round instead of a
+        // per-instruction `step()` + `stats()` pair out here.
+        self.cpu.run_until(t)?;
         self.floor = self.floor.max(t);
         Ok(())
     }
@@ -68,6 +68,16 @@ impl SimEngine for CpuEngine {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event_hint(&self) -> Option<u64> {
+        // A running CPU can touch the bus on any instruction, so it can
+        // make no promise; a halted CPU parks forever.
+        if self.cpu.halted() {
+            Some(u64::MAX)
+        } else {
+            None
+        }
     }
 }
 
@@ -110,9 +120,9 @@ impl SimEngine for FsmdEngine {
     }
 
     fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
-        while self.sim.status() == FsmdStatus::Running && self.time < t {
-            self.sim.tick();
-            self.time += 1;
+        // Batched: hand the whole round to the simulator in one call.
+        if self.time < t {
+            self.time += self.sim.run_ticks(t - self.time);
         }
         self.floor = self.floor.max(t);
         Ok(())
@@ -124,6 +134,17 @@ impl SimEngine for FsmdEngine {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event_hint(&self) -> Option<u64> {
+        // A running FSMD is clocked: its next effect is the next edge. An
+        // idle or finished datapath parks until software restarts it
+        // (which is the software's effect, not this engine's).
+        if self.sim.status() == FsmdStatus::Running {
+            Some(self.local_time().saturating_add(1))
+        } else {
+            Some(u64::MAX)
+        }
     }
 }
 
@@ -186,7 +207,7 @@ mod tests {
             coord.add_engine(Box::new(sw_engine(30)));
             coord.add_engine(Box::new(hw_engine()));
             while !coord.is_done() {
-                coord.run_one_round().expect("round runs");
+                coord.run_one_round(u64::MAX).expect("round runs");
                 assert!(
                     coord.skew() <= quantum + MAX_ATOMIC_STEP,
                     "quantum {quantum}: skew {}",

@@ -10,6 +10,17 @@
 //! which is the conservative-synchronization guarantee. The quantum is
 //! the co-simulation speed/fidelity dial: larger quanta mean fewer
 //! synchronization rounds but coarser visibility of cross-domain events.
+//!
+//! On top of lockstep, the coordinator understands *lookahead*: an engine
+//! may promise, via [`SimEngine::next_event_hint`], that it can neither
+//! produce nor observe a cross-domain effect (including finishing) before
+//! some future time. When every unfinished engine makes such a promise,
+//! the coordinator collapses the guaranteed-quiet quanta into a single
+//! round, leaping straight to the latest quantum-grid point covered by
+//! the earliest promise. Because leaps stay on the lockstep grid and
+//! never pass an engine's hint, observable results — engine end-states,
+//! final global time, and budget errors — are bit-identical to pure
+//! lockstep (see DESIGN.md §9 for the argument).
 
 use codesign_trace::{Arg, Tracer, TrackId};
 
@@ -34,6 +45,19 @@ pub trait SimEngine: std::fmt::Debug {
     /// The engine as [`std::any::Any`], so callers can recover the
     /// concrete simulator (and its results) after coordination.
     fn as_any(&self) -> &dyn std::any::Any;
+    /// Lookahead: the earliest time at which this engine can next produce
+    /// or observe a cross-domain effect — including *finishing*, which the
+    /// coordinator (and other engines) observe.
+    ///
+    /// Returning `Some(h)` promises that advancing the engine to any
+    /// horizon `t <= h` in one call yields the same state as reaching `t`
+    /// through any sequence of smaller horizons, and that `is_done()`
+    /// cannot flip before `h`. An engine with no future events parks at
+    /// `Some(u64::MAX)`. The default, `None`, makes no promise and keeps
+    /// the coordinator fully conservative (pure lockstep pace).
+    fn next_event_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Cumulative coordination statistics.
@@ -41,15 +65,26 @@ pub trait SimEngine: std::fmt::Debug {
 pub struct CoordinatorStats {
     /// Synchronization rounds executed.
     pub sync_rounds: u64,
+    /// Lockstep rounds that lookahead collapsed away: a leap covering `k`
+    /// quanta counts as one `sync_round` plus `k - 1` `rounds_skipped`,
+    /// so `sync_rounds + rounds_skipped` equals the pure-lockstep round
+    /// count for the same run.
+    pub rounds_skipped: u64,
+    /// Global cycles covered beyond the first quantum of each leaping
+    /// round (the dead time lookahead removed from coordination).
+    pub cycles_leapt: u64,
     /// Global time reached.
     pub time: u64,
 }
 
-/// A conservative lockstep coordinator over a set of engines.
+/// A conservative coordinator over a set of engines: lockstep pacing by
+/// default, with lookahead-driven idle-skip when engines provide
+/// [`SimEngine::next_event_hint`]s.
 #[derive(Debug)]
 pub struct Coordinator {
     engines: Vec<Box<dyn SimEngine>>,
     quantum: u64,
+    lookahead: bool,
     stats: CoordinatorStats,
     tracer: Tracer,
     /// Trace tracks parallel to `engines`, plus one for the coordinator.
@@ -59,6 +94,8 @@ pub struct Coordinator {
 
 impl Coordinator {
     /// Creates a coordinator with the given synchronization quantum.
+    /// Lookahead is enabled: rounds leap over guaranteed-quiet quanta
+    /// whenever every unfinished engine hints a future event time.
     ///
     /// # Panics
     ///
@@ -71,11 +108,38 @@ impl Coordinator {
         Coordinator {
             engines: Vec::new(),
             quantum,
+            lookahead: true,
             stats: CoordinatorStats::default(),
             tracer,
             engine_tracks: Vec::new(),
             coord_track,
         }
+    }
+
+    /// Creates a pure-lockstep coordinator: engine hints are ignored and
+    /// every round advances exactly one quantum. This is the reference
+    /// semantics lookahead must reproduce bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum == 0`.
+    #[must_use]
+    pub fn lockstep(quantum: u64) -> Self {
+        let mut c = Coordinator::new(quantum);
+        c.lookahead = false;
+        c
+    }
+
+    /// Enables or disables lookahead (enabled by default; see
+    /// [`Coordinator::lockstep`]).
+    pub fn set_lookahead(&mut self, enabled: bool) {
+        self.lookahead = enabled;
+    }
+
+    /// Whether lookahead leaping is enabled.
+    #[must_use]
+    pub fn lookahead(&self) -> bool {
+        self.lookahead
     }
 
     /// Attaches a tracer: each round emits a `round` span on the
@@ -143,20 +207,74 @@ impl Coordinator {
         hi.saturating_sub(lo)
     }
 
-    /// Executes one lockstep round: every unfinished engine advances to
-    /// the next quantum horizon.
+    /// Executes one synchronization round with the horizon clamped to
+    /// `budget`. This is the single public per-round entry point: both it
+    /// and [`Coordinator::run`] route through the same clamped
+    /// [`advance_round`](Self::advance_round), so mixing the two can
+    /// never overshoot a budget. Pass `u64::MAX` for an effectively
+    /// unbounded round.
     ///
     /// # Errors
     ///
-    /// Propagates engine failures.
-    pub fn run_one_round(&mut self) -> Result<(), SimError> {
-        let horizon = self.stats.time + self.quantum;
-        self.advance_round(horizon)
+    /// Returns [`SimError::Budget`] if global time has already reached
+    /// `budget`, and propagates engine failures.
+    pub fn run_one_round(&mut self, budget: u64) -> Result<(), SimError> {
+        self.advance_round(budget)
     }
 
-    /// One lockstep round up to an explicit horizon (`run` clamps it to
-    /// the budget so global time never overshoots).
-    fn advance_round(&mut self, horizon: u64) -> Result<(), SimError> {
+    /// Plans the next round's horizon under `budget`.
+    ///
+    /// The lockstep horizon is one quantum ahead (clamped). With
+    /// lookahead, if every unfinished engine hints a next-event time, the
+    /// round may instead leap to the *latest quantum-grid point that does
+    /// not pass the earliest hint* — staying on the grid keeps the final
+    /// global time, every `advance_to` horizon actually delivered, and
+    /// budget behavior identical to lockstep. Returns the horizon and the
+    /// number of lockstep quanta it covers.
+    fn plan_horizon(&self, budget: u64) -> (u64, u64) {
+        let start = self.stats.time;
+        let base = start.saturating_add(self.quantum).min(budget);
+        if self.lookahead {
+            let mut min_hint = u64::MAX;
+            let mut running = 0u64;
+            for e in &self.engines {
+                if e.is_done() {
+                    continue;
+                }
+                running += 1;
+                match e.next_event_hint() {
+                    Some(h) => min_hint = min_hint.min(h),
+                    None => return (base, 1),
+                }
+            }
+            if running > 0 && min_hint > base {
+                // Largest grid point `start + k*quantum` that is <= the
+                // earliest hint, clamped to the budget. `min_hint > base`
+                // guarantees `k >= 1` and no overflow.
+                let k = (min_hint - start) / self.quantum;
+                let horizon = start
+                    .saturating_add(k.saturating_mul(self.quantum))
+                    .min(budget);
+                if horizon > base {
+                    // Quanta a lockstep coordinator would have spent to
+                    // reach the same horizon (the last may be partial
+                    // when the budget clamps off-grid).
+                    return (horizon, (horizon - start).div_ceil(self.quantum));
+                }
+            }
+        }
+        (base, 1)
+    }
+
+    /// One clamped synchronization round: plans the horizon (lockstep
+    /// pace, or a lookahead leap over guaranteed-quiet quanta), advances
+    /// every unfinished engine to it, and accounts statistics. All round
+    /// execution — `run_one_round` and `run` alike — goes through here.
+    fn advance_round(&mut self, budget: u64) -> Result<(), SimError> {
+        if self.stats.time >= budget {
+            return Err(SimError::Budget { limit: budget });
+        }
+        let (horizon, quanta) = self.plan_horizon(budget);
         let traced = self.tracer.is_on();
         let start = self.stats.time;
         for (i, e) in self.engines.iter_mut().enumerate() {
@@ -176,24 +294,41 @@ impl Coordinator {
         }
         self.stats.time = horizon;
         self.stats.sync_rounds += 1;
+        self.stats.rounds_skipped += quanta - 1;
+        self.stats.cycles_leapt += (horizon - start).saturating_sub(self.quantum);
         if traced {
             self.tracer.span(
                 self.coord_track,
                 "round",
                 start,
                 horizon - start,
-                &[("round", Arg::from(self.stats.sync_rounds))],
+                &[
+                    ("round", Arg::from(self.stats.sync_rounds)),
+                    ("quanta", Arg::from(quanta)),
+                ],
             );
             self.tracer
                 .counter(self.coord_track, "skew", horizon, self.skew());
+            self.tracer.counter(
+                self.coord_track,
+                "rounds_skipped",
+                horizon,
+                self.stats.rounds_skipped,
+            );
+            self.tracer.counter(
+                self.coord_track,
+                "cycles_leapt",
+                horizon,
+                self.stats.cycles_leapt,
+            );
         }
         Ok(())
     }
 
-    /// Runs lockstep rounds until every engine is done or `budget` global
-    /// cycles have elapsed. The final round's horizon is clamped to the
-    /// budget, so global time never advances past it even when the budget
-    /// is not a multiple of the quantum.
+    /// Runs synchronization rounds until every engine is done or `budget`
+    /// global cycles have elapsed. Every round's horizon is clamped to
+    /// the budget, so global time never advances past it even when the
+    /// budget is not a multiple of the quantum.
     ///
     /// # Errors
     ///
@@ -201,11 +336,7 @@ impl Coordinator {
     /// engine failures.
     pub fn run(&mut self, budget: u64) -> Result<CoordinatorStats, SimError> {
         while !self.is_done() {
-            if self.stats.time >= budget {
-                return Err(SimError::Budget { limit: budget });
-            }
-            let horizon = (self.stats.time + self.quantum).min(budget);
-            self.advance_round(horizon)?;
+            self.advance_round(budget)?;
         }
         Ok(self.stats)
     }
@@ -250,8 +381,44 @@ mod tests {
         })
     }
 
+    /// A `Worker` that also hints: it produces no cross-domain effect
+    /// before finishing, so its next event is exactly its completion.
+    #[derive(Debug)]
+    struct HintedWorker(Worker);
+
+    impl SimEngine for HintedWorker {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn local_time(&self) -> u64 {
+            self.0.local_time()
+        }
+        fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+            self.0.advance_to(t)
+        }
+        fn is_done(&self) -> bool {
+            self.0.is_done()
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn next_event_hint(&self) -> Option<u64> {
+            Some(self.0.work)
+        }
+    }
+
+    fn hinted(name: &str, work: u64) -> Box<dyn SimEngine> {
+        Box::new(HintedWorker(Worker {
+            name: name.to_string(),
+            time: 0,
+            work,
+        }))
+    }
+
     #[test]
     fn runs_until_all_engines_finish() {
+        // Hint-free engines keep the coordinator fully conservative even
+        // with lookahead enabled: one round per quantum, as ever.
         let mut c = Coordinator::new(10);
         c.add_engine(worker("hw", 95));
         c.add_engine(worker("sw", 42));
@@ -259,6 +426,82 @@ mod tests {
         assert!(c.is_done());
         assert_eq!(stats.time, 100, "rounded up to quantum");
         assert_eq!(stats.sync_rounds, 10);
+        assert_eq!(stats.rounds_skipped, 0, "no hints, no leaps");
+        assert_eq!(stats.cycles_leapt, 0);
+    }
+
+    #[test]
+    fn lookahead_collapses_quiet_quanta() {
+        // Same workloads as `runs_until_all_engines_finish`, but hinted:
+        // rounds 10 -> 4 while final time and end-states are identical.
+        let mut c = Coordinator::new(10);
+        c.add_engine(hinted("hw", 95));
+        c.add_engine(hinted("sw", 42));
+        let stats = c.run(1_000).unwrap();
+        assert!(c.is_done());
+        assert_eq!(stats.time, 100, "bit-identical to lockstep");
+        assert_eq!(c.engines()[0].local_time(), 95);
+        assert_eq!(c.engines()[1].local_time(), 42);
+        // Round 1 leaps 0->40 (hint 42), round 2 steps 40->50 (42 inside),
+        // round 3 leaps 50->90 (hint 95), round 4 steps 90->100.
+        assert_eq!(stats.sync_rounds, 4);
+        assert_eq!(stats.rounds_skipped, 6, "sync + skipped == lockstep 10");
+        assert_eq!(stats.cycles_leapt, 30 + 30);
+    }
+
+    #[test]
+    fn lockstep_constructor_ignores_hints() {
+        let mut c = Coordinator::lockstep(10);
+        assert!(!c.lookahead());
+        c.add_engine(hinted("hw", 95));
+        c.add_engine(hinted("sw", 42));
+        let stats = c.run(1_000).unwrap();
+        assert_eq!(stats.sync_rounds, 10);
+        assert_eq!(stats.rounds_skipped, 0);
+    }
+
+    #[test]
+    fn one_hint_free_engine_blocks_leaping() {
+        let mut c = Coordinator::new(10);
+        c.add_engine(hinted("hw", 95));
+        c.add_engine(worker("sw", 42)); // hints `None`
+        let stats = c.run(1_000).unwrap();
+        // `sw` blocks all leaps until it finishes at t=50; after that
+        // only `hw` (hint 95) remains: leap 50->90, then 90->100.
+        assert_eq!(stats.time, 100);
+        assert_eq!(stats.sync_rounds, 5 + 2);
+        assert_eq!(stats.rounds_skipped, 3);
+    }
+
+    #[test]
+    fn leap_is_clamped_by_budget() {
+        let mut c = Coordinator::new(10);
+        c.add_engine(hinted("slow", 1_000));
+        let err = c.run(25).unwrap_err();
+        assert_eq!(err, SimError::Budget { limit: 25 });
+        assert_eq!(c.stats().time, 25, "leap never passes the budget");
+        assert_eq!(c.engines()[0].local_time(), 25);
+        // Lockstep would have paid rounds at 10, 20, 25.
+        assert_eq!(c.stats().sync_rounds, 1);
+        assert_eq!(c.stats().rounds_skipped, 2);
+    }
+
+    #[test]
+    fn run_one_round_enforces_budget() {
+        // Regression (satellite): `run_one_round` used to compute its own
+        // unclamped horizon, so mixing it with `run` could overshoot a
+        // budget. Both now route through the same clamped round.
+        let mut c = Coordinator::new(7);
+        c.add_engine(worker("w", 1_000));
+        c.run_one_round(10).unwrap();
+        assert_eq!(c.stats().time, 7);
+        c.run_one_round(10).unwrap();
+        assert_eq!(c.stats().time, 10, "clamped, not 14");
+        assert_eq!(
+            c.run_one_round(10),
+            Err(SimError::Budget { limit: 10 }),
+            "budget exhausted"
+        );
     }
 
     #[test]
@@ -267,7 +510,7 @@ mod tests {
         c.add_engine(worker("a", 100));
         c.add_engine(worker("b", 30));
         while !c.is_done() {
-            c.run_one_round().unwrap();
+            c.run_one_round(u64::MAX).unwrap();
             // The conservative guarantee: no running engine leads another
             // by more than one quantum — including after `b` parks at 30
             // while `a` keeps advancing.
@@ -284,10 +527,12 @@ mod tests {
 
     #[test]
     fn smaller_quantum_costs_more_rounds() {
-        let mut fine = Coordinator::new(1);
+        // Pinned to the lockstep path explicitly: this test measures the
+        // quantum/round-count trade-off, which lookahead exists to break.
+        let mut fine = Coordinator::lockstep(1);
         fine.add_engine(worker("w", 64));
         let fine_stats = fine.run(10_000).unwrap();
-        let mut coarse = Coordinator::new(32);
+        let mut coarse = Coordinator::lockstep(32);
         coarse.add_engine(worker("w", 64));
         let coarse_stats = coarse.run(10_000).unwrap();
         assert!(fine_stats.sync_rounds > coarse_stats.sync_rounds * 10);

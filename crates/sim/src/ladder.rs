@@ -233,8 +233,13 @@ fn run_driver(cfg: &LadderConfig, costs: &DriverCosts) -> LevelReport {
     }
 }
 
-fn run_message(cfg: &LadderConfig, tracer: &Tracer) -> Result<LevelReport, SimError> {
-    let start = Instant::now();
+/// The ladder scenario as a message-level process network: the producer/
+/// consumer pair, its placement (producer on the CPU, consumer as the
+/// hardware FIFO drain), and the message-level config. Shared by the
+/// ladder's E3 level and the co-simulation benchmarks, which mount the
+/// same network as a [`message::MessageEngine`] under a coordinator.
+#[must_use]
+pub fn message_scenario(cfg: &LadderConfig) -> (ProcessNetwork, Placement, MessageConfig) {
     let mut net = ProcessNetwork::new("ladder");
     let ch = net.add_channel("data", 1);
     net.add_process(
@@ -265,6 +270,12 @@ fn run_message(cfg: &LadderConfig, tracer: &Tracer) -> Result<LevelReport, SimEr
         hw_speedup: 1.0, // the consumer's Compute already is hardware time
         ..MessageConfig::default()
     };
+    (net, placement, config)
+}
+
+fn run_message(cfg: &LadderConfig, tracer: &Tracer) -> Result<LevelReport, SimError> {
+    let start = Instant::now();
+    let (net, placement, config) = message_scenario(cfg);
     let report = message::simulate_traced(&net, &placement, &config, tracer)?;
     Ok(LevelReport {
         level: AbstractionLevel::Message,

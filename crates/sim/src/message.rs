@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 use codesign_ir::process::{Action, ChannelId, ProcessId, ProcessNetwork};
 use codesign_trace::{Arg, Tracer};
 
+use crate::engine::SimEngine;
 use crate::error::SimError;
 
 /// Cost model for one message transfer.
@@ -193,6 +194,7 @@ enum ProcState {
     Finished,
 }
 
+#[derive(Debug, Clone)]
 struct Proc {
     ready: u64,
     iter: u32,
@@ -642,6 +644,406 @@ pub fn simulate_traced(
     Ok(report)
 }
 
+/// A buffered channel's incremental state inside a [`MessageEngine`].
+#[derive(Debug, Clone)]
+struct EngineChan {
+    /// Buffered entries `(ready_at, bytes, sender)`.
+    queue: VecDeque<(u64, u64, usize)>,
+    cap: usize,
+    /// `(process, bytes)` blocked at send.
+    sender: Option<(usize, u64)>,
+    receiver: Option<usize>,
+}
+
+/// The next schedulable step of a [`MessageEngine`], keyed by start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineStep {
+    /// A running process executes its next action (or finishes).
+    Act(usize),
+    /// A rendezvous completes on a channel with both parties blocked.
+    Rendezvous(usize),
+    /// A blocked sender on a buffered channel with free space unblocks.
+    FreeSender(usize),
+    /// A blocked receiver drains a buffered message.
+    DrainReceiver(usize),
+}
+
+/// The message-level process-network simulator as an incremental
+/// [`SimEngine`]: the same rendezvous/buffered-channel semantics as
+/// [`simulate`], but time-steppable under a
+/// [`Coordinator`](crate::engine::Coordinator) and lookahead-capable.
+///
+/// Two deliberate differences from the one-shot [`simulate`]:
+///
+/// * Scheduling is *time-driven*: of everything that could happen, the
+///   step with the earliest start time executes first (ties broken by
+///   process, then channel order). `simulate` instead sweeps processes in
+///   index order, which is faster for a one-shot run but not composable —
+///   an incremental engine must reach the same state no matter how a
+///   horizon is subdivided, so finish times can differ slightly between
+///   the two when software processes contend for a processor.
+/// * Actions are atomic (a compute or transfer may overshoot the round
+///   horizon by its own cost, exactly like a CPU instruction), so the
+///   co-simulation skew bound is `quantum + the longest single action`.
+///
+/// The network is closed — every wake source is internal — so the engine
+/// knows its true next event time: the earliest start among runnable
+/// actions and completable channel operations. That is its
+/// [`next_event_hint`](SimEngine::next_event_hint), which lets the
+/// coordinator leap over rendezvous dead time instead of polling it
+/// quantum by quantum.
+#[derive(Debug)]
+pub struct MessageEngine {
+    name: String,
+    net: ProcessNetwork,
+    placement: Placement,
+    config: MessageConfig,
+    procs: Vec<Proc>,
+    chans: Vec<EngineChan>,
+    /// Static first-receiver of each channel (locality of buffered sends).
+    chan_receiver: Vec<Option<usize>>,
+    /// Software resources serialize: free-at time and last process.
+    sw_free: std::collections::HashMap<u32, (u64, usize)>,
+    /// Local clock floor: the engine follows global time between events.
+    floor: u64,
+    report: MessageReport,
+}
+
+impl MessageEngine {
+    /// Creates an engine for `net` under `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadPlacement`] if the placement does not cover
+    /// the network.
+    pub fn new(
+        name: impl Into<String>,
+        net: ProcessNetwork,
+        placement: Placement,
+        config: MessageConfig,
+    ) -> Result<Self, SimError> {
+        if placement.len() != net.len() {
+            return Err(SimError::BadPlacement {
+                reason: format!(
+                    "placement covers {} processes, network has {}",
+                    placement.len(),
+                    net.len()
+                ),
+            });
+        }
+        let n = net.len();
+        let procs = (0..n)
+            .map(|i| Proc {
+                ready: 0,
+                iter: 0,
+                idx: 0,
+                state: if net.process(ProcessId::from_index(i)).actions().is_empty() {
+                    ProcState::Finished
+                } else {
+                    ProcState::Running
+                },
+            })
+            .collect();
+        let chans = (0..net.channel_count())
+            .map(|i| EngineChan {
+                queue: VecDeque::new(),
+                cap: net.channel(ChannelId::from_index(i)).capacity(),
+                sender: None,
+                receiver: None,
+            })
+            .collect();
+        let mut chan_receiver: Vec<Option<usize>> = vec![None; net.channel_count()];
+        for (pid, proc_) in net.iter() {
+            for a in proc_.actions() {
+                if let Action::Receive { channel } = a {
+                    chan_receiver[channel.index()].get_or_insert(pid.index());
+                }
+            }
+        }
+        let report = MessageReport {
+            finish_time: 0,
+            messages: 0,
+            bytes: 0,
+            cross_boundary_bytes: 0,
+            events: 0,
+            per_process_finish: vec![0; n],
+        };
+        Ok(MessageEngine {
+            name: name.into(),
+            net,
+            placement,
+            config,
+            procs,
+            chans,
+            chan_receiver,
+            sw_free: std::collections::HashMap::new(),
+            floor: 0,
+            report,
+        })
+    }
+
+    /// The accumulated report (complete once the engine
+    /// [`is_done`](SimEngine::is_done)).
+    #[must_use]
+    pub fn report(&self) -> &MessageReport {
+        &self.report
+    }
+
+    /// The network being simulated.
+    #[must_use]
+    pub fn net(&self) -> &ProcessNetwork {
+        &self.net
+    }
+
+    fn is_local(&self, s: usize, r: usize) -> bool {
+        self.placement
+            .resource(ProcessId::from_index(s))
+            .is_local_to(self.placement.resource(ProcessId::from_index(r)))
+    }
+
+    /// The earliest schedulable step and its start time, or `None` when
+    /// nothing can ever happen again (all finished, or deadlocked).
+    fn next_step(&self) -> Option<(u64, EngineStep)> {
+        let mut best: Option<(u64, EngineStep)> = None;
+        let consider = |start: u64, step: EngineStep, best: &mut Option<(u64, EngineStep)>| {
+            if best.as_ref().is_none_or(|&(s, _)| start < s) {
+                *best = Some((start, step));
+            }
+        };
+        for (p, proc_) in self.procs.iter().enumerate() {
+            if proc_.state == ProcState::Running {
+                consider(proc_.ready, EngineStep::Act(p), &mut best);
+            }
+        }
+        for (ci, ch) in self.chans.iter().enumerate() {
+            match (ch.sender, ch.receiver) {
+                (Some((s, _)), Some(r)) => consider(
+                    self.procs[s].ready.max(self.procs[r].ready),
+                    EngineStep::Rendezvous(ci),
+                    &mut best,
+                ),
+                (Some((s, _)), None) if ch.cap > 0 && ch.queue.len() < ch.cap => {
+                    consider(self.procs[s].ready, EngineStep::FreeSender(ci), &mut best);
+                }
+                (None, Some(r)) => {
+                    if let Some(&(ready_at, _, _)) = ch.queue.front() {
+                        consider(
+                            self.procs[r].ready.max(ready_at),
+                            EngineStep::DrainReceiver(ci),
+                            &mut best,
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        best
+    }
+
+    fn check_budget(&self, t: u64) -> Result<(), SimError> {
+        if t > self.config.budget {
+            return Err(SimError::Budget {
+                limit: self.config.budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Delivers a buffered message to receiver `r` and resumes it.
+    fn drain_into(&mut self, ci: usize, r: usize) {
+        let (ready_at, bytes, from) = self.chans[ci].queue.pop_front().expect("non-empty");
+        self.procs[r].ready = self.procs[r].ready.max(ready_at);
+        self.report.messages += 1;
+        self.report.bytes += bytes;
+        if !self.is_local(from, r) {
+            self.report.cross_boundary_bytes += bytes;
+        }
+        self.report.events += 1;
+        self.advance_cursor(r);
+    }
+
+    fn advance_cursor(&mut self, p: usize) {
+        let len = self.net.process(ProcessId::from_index(p)).actions().len();
+        let proc_ = &mut self.procs[p];
+        proc_.state = ProcState::Running;
+        proc_.idx += 1;
+        if proc_.idx >= len {
+            proc_.idx = 0;
+            proc_.iter += 1;
+        }
+    }
+
+    /// Executes one step. Steps came out of [`next_step`](Self::next_step),
+    /// so all preconditions (blocked parties, queue contents) hold.
+    fn execute(&mut self, step: EngineStep) -> Result<(), SimError> {
+        match step {
+            EngineStep::Act(p) => {
+                let process = self.net.process(ProcessId::from_index(p));
+                let exhausted = self.procs[p].iter >= process.iterations();
+                let Some(&action) = (if exhausted {
+                    None
+                } else {
+                    process.actions().get(self.procs[p].idx)
+                }) else {
+                    self.procs[p].state = ProcState::Finished;
+                    self.report.per_process_finish[p] = self.procs[p].ready;
+                    self.report.finish_time = self.report.finish_time.max(self.procs[p].ready);
+                    return Ok(());
+                };
+                match action {
+                    Action::Compute(c) => {
+                        self.report.events += 1;
+                        match self.placement.resource(ProcessId::from_index(p)) {
+                            Resource::Software(cpu) => {
+                                let entry = self.sw_free.entry(cpu).or_insert((0, p));
+                                let mut start = self.procs[p].ready.max(entry.0);
+                                if entry.1 != p {
+                                    start += self.config.context_switch;
+                                }
+                                let finish = start + c;
+                                *entry = (finish, p);
+                                self.procs[p].ready = finish;
+                            }
+                            Resource::Hardware(_) => {
+                                let speedup = self
+                                    .config
+                                    .hw_speedups
+                                    .as_ref()
+                                    .and_then(|v| v.get(p).copied())
+                                    .unwrap_or(self.config.hw_speedup);
+                                self.procs[p].ready += ((c as f64 / speedup).ceil() as u64).max(1);
+                            }
+                        }
+                        self.advance_cursor(p);
+                    }
+                    Action::Wait(c) => {
+                        self.report.events += 1;
+                        self.procs[p].ready += c;
+                        self.advance_cursor(p);
+                    }
+                    Action::Send { channel, bytes } => {
+                        let ci = channel.index();
+                        let local = self.chan_receiver[ci].is_some_and(|r| self.is_local(p, r));
+                        if self.chans[ci].cap > 0 && self.chans[ci].queue.len() < self.chans[ci].cap
+                        {
+                            // Buffered: the sender pays the transfer and
+                            // moves on.
+                            self.procs[p].ready += self.config.comm.transfer_cycles(bytes, local);
+                            let entry = (self.procs[p].ready, bytes, p);
+                            self.chans[ci].queue.push_back(entry);
+                            self.report.events += 1;
+                            self.advance_cursor(p);
+                        } else {
+                            self.chans[ci].sender = Some((p, bytes));
+                            self.procs[p].state = ProcState::BlockedSend;
+                            return Ok(()); // blocking costs nothing yet
+                        }
+                    }
+                    Action::Receive { channel } => {
+                        let ci = channel.index();
+                        if self.chans[ci].queue.is_empty() {
+                            self.chans[ci].receiver = Some(p);
+                            self.procs[p].state = ProcState::BlockedRecv;
+                            return Ok(());
+                        }
+                        self.drain_into(ci, p);
+                    }
+                }
+                self.check_budget(self.procs[p].ready)
+            }
+            EngineStep::Rendezvous(ci) => {
+                let (s, bytes) = self.chans[ci].sender.take().expect("blocked sender");
+                let r = self.chans[ci].receiver.take().expect("blocked receiver");
+                let local = self.is_local(s, r);
+                let start = self.procs[s].ready.max(self.procs[r].ready);
+                let done = start + self.config.comm.transfer_cycles(bytes, local);
+                self.procs[s].ready = done;
+                self.procs[r].ready = done;
+                self.report.messages += 1;
+                self.report.bytes += bytes;
+                if !local {
+                    self.report.cross_boundary_bytes += bytes;
+                }
+                self.report.events += 1;
+                self.advance_cursor(s);
+                self.advance_cursor(r);
+                self.check_budget(done)
+            }
+            EngineStep::FreeSender(ci) => {
+                let (s, bytes) = self.chans[ci].sender.take().expect("blocked sender");
+                let local = self.chan_receiver[ci].is_some_and(|r| self.is_local(s, r));
+                self.procs[s].ready += self.config.comm.transfer_cycles(bytes, local);
+                let entry = (self.procs[s].ready, bytes, s);
+                self.chans[ci].queue.push_back(entry);
+                self.report.events += 1;
+                self.advance_cursor(s);
+                self.check_budget(self.procs[s].ready)
+            }
+            EngineStep::DrainReceiver(ci) => {
+                let r = self.chans[ci].receiver.take().expect("blocked receiver");
+                self.drain_into(ci, r);
+                self.check_budget(self.procs[r].ready)
+            }
+        }
+    }
+}
+
+impl SimEngine for MessageEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn local_time(&self) -> u64 {
+        self.floor
+    }
+
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        while let Some((start, step)) = self.next_step() {
+            if start >= t {
+                break;
+            }
+            self.execute(step)?;
+        }
+        if !self.is_done() && self.next_step().is_none() {
+            // The network is closed, so "nothing can ever happen again
+            // with work remaining" is a true deadlock no matter how far
+            // the horizon moves.
+            let time = self.procs.iter().map(|p| p.ready).max().unwrap_or(0);
+            let blocked = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.state != ProcState::Finished)
+                .map(|(i, _)| {
+                    self.net
+                        .process(ProcessId::from_index(i))
+                        .name()
+                        .to_string()
+                })
+                .collect();
+            return Err(SimError::Deadlock { time, blocked });
+        }
+        self.floor = self.floor.max(t);
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Finished)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn next_event_hint(&self) -> Option<u64> {
+        // The earliest wake time of any blocked/sleeping process, or an
+        // eternal park when nothing is pending. `next_step` keys steps by
+        // start time, which lower-bounds every observable effect
+        // (software contention can only push work later).
+        Some(self.next_step().map_or(u64::MAX, |(start, _)| start))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -975,5 +1377,120 @@ mod tests {
         )
         .unwrap();
         assert!(pricey.finish_time > cheap.finish_time);
+    }
+
+    // ---- MessageEngine (incremental, coordinator-mounted) ----
+
+    use crate::engine::Coordinator;
+
+    fn prodcons_engine(iterations: u32) -> MessageEngine {
+        MessageEngine::new(
+            "net",
+            prodcons(iterations, 64),
+            Placement::from_assignment(vec![Resource::Software(0), Resource::Hardware(0)]),
+            MessageConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_completes_and_counts_messages() {
+        let mut c = Coordinator::new(16);
+        c.add_engine(Box::new(prodcons_engine(8)));
+        c.run(1_000_000).unwrap();
+        let eng = c.engines()[0]
+            .as_any()
+            .downcast_ref::<MessageEngine>()
+            .unwrap();
+        assert!(eng.is_done());
+        let r = eng.report();
+        assert_eq!(r.messages, 8);
+        assert_eq!(r.bytes, 8 * 64);
+        assert_eq!(r.cross_boundary_bytes, 8 * 64, "SW->HW crosses");
+        assert!(r.finish_time > 0);
+    }
+
+    #[test]
+    fn engine_is_independent_of_horizon_subdivision() {
+        // The composability contract behind lookahead: reaching time T
+        // through any horizon sequence yields the same state.
+        let finish = |quanta: &[u64]| {
+            let mut eng = prodcons_engine(6);
+            let mut t = 0;
+            for &q in quanta {
+                t += q;
+                eng.advance_to(t).unwrap();
+            }
+            eng.advance_to(1_000_000).unwrap();
+            assert!(eng.is_done());
+            eng.report().clone()
+        };
+        let one_shot = finish(&[]);
+        let fine = finish(&[1; 500]);
+        let ragged = finish(&[3, 1, 250, 7, 7, 1000]);
+        assert_eq!(one_shot, fine);
+        assert_eq!(one_shot, ragged);
+    }
+
+    #[test]
+    fn engine_hint_is_earliest_wake_time() {
+        let mut eng = prodcons_engine(2);
+        // Both processes start runnable at t=0.
+        assert_eq!(eng.next_event_hint(), Some(0));
+        // Advance 1 cycle: producer is mid-compute (atomic overshoot to
+        // 100), consumer blocks on the empty channel. The earliest wake
+        // is the producer's next action at 100.
+        eng.advance_to(1).unwrap();
+        assert_eq!(eng.next_event_hint(), Some(100));
+        eng.advance_to(1_000_000).unwrap();
+        assert!(eng.is_done());
+        assert_eq!(eng.next_event_hint(), Some(u64::MAX), "parked when done");
+    }
+
+    #[test]
+    fn engine_reports_deadlock_regardless_of_horizon() {
+        let mut net = ProcessNetwork::new("dl");
+        let ab = net.add_channel("ab", 0);
+        let ba = net.add_channel("ba", 0);
+        net.add_process(
+            Process::new("a", vec![Action::Receive { channel: ba }]).with_iterations(1),
+        );
+        net.add_process(
+            Process::new("b", vec![Action::Receive { channel: ab }]).with_iterations(1),
+        );
+        let mut eng = MessageEngine::new(
+            "dl",
+            net,
+            Placement::all_hardware(2),
+            MessageConfig::default(),
+        )
+        .unwrap();
+        let err = eng.advance_to(10).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn lookahead_and_lockstep_coordinators_agree_on_the_engine() {
+        for quantum in [1u64, 16, 128] {
+            let run = |lookahead: bool| {
+                let mut c = if lookahead {
+                    Coordinator::new(quantum)
+                } else {
+                    Coordinator::lockstep(quantum)
+                };
+                c.add_engine(Box::new(prodcons_engine(8)));
+                let stats = c.run(1_000_000).unwrap();
+                let eng = c.engines()[0]
+                    .as_any()
+                    .downcast_ref::<MessageEngine>()
+                    .unwrap();
+                (stats.time, eng.report().clone(), eng.local_time())
+            };
+            let (t_look, r_look, lt_look) = run(true);
+            let (t_lock, r_lock, lt_lock) = run(false);
+            assert_eq!(t_look, t_lock, "quantum {quantum}");
+            assert_eq!(r_look, r_lock, "quantum {quantum}");
+            assert_eq!(lt_look, lt_lock, "quantum {quantum}");
+        }
     }
 }

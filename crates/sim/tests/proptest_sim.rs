@@ -2,8 +2,92 @@
 
 use codesign_ir::process::{Action, ChannelId, Process, ProcessId, ProcessNetwork};
 use codesign_ir::workload::tgff::{random_process_network, NetworkConfig};
-use codesign_sim::message::{simulate, MessageConfig, Placement, Resource};
+use codesign_sim::engine::{Coordinator, SimEngine};
+use codesign_sim::message::{simulate, MessageConfig, MessageEngine, Placement, Resource};
+use codesign_sim::SimError;
 use proptest::prelude::*;
+
+/// A scripted engine for coordination properties: busy until `work`,
+/// then done. With `hinted` it promises its completion time (its only
+/// cross-domain effect); without, it returns `None` and pins the
+/// coordinator to lockstep pace.
+#[derive(Debug)]
+struct ScriptedWorker {
+    name: String,
+    work: u64,
+    time: u64,
+    hinted: bool,
+}
+
+impl SimEngine for ScriptedWorker {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn local_time(&self) -> u64 {
+        self.time
+    }
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        self.time = t.min(self.work);
+        Ok(())
+    }
+    fn is_done(&self) -> bool {
+        self.time >= self.work
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn next_event_hint(&self) -> Option<u64> {
+        self.hinted.then_some(self.work)
+    }
+}
+
+/// Runs the engine mix under one coordinator and fingerprints everything
+/// observable: the run result (including budget errors), coordination
+/// stats, and each engine's end state.
+fn coordinate(
+    lookahead: bool,
+    quantum: u64,
+    budget: u64,
+    net: &ProcessNetwork,
+    placement: &Placement,
+    workers: &[(u64, bool)],
+) -> (String, codesign_sim::engine::CoordinatorStats) {
+    let mut coord = if lookahead {
+        Coordinator::new(quantum)
+    } else {
+        Coordinator::lockstep(quantum)
+    };
+    coord.add_engine(Box::new(
+        MessageEngine::new(
+            "net",
+            net.clone(),
+            placement.clone(),
+            MessageConfig::default(),
+        )
+        .expect("valid placement"),
+    ));
+    for (i, &(work, hinted)) in workers.iter().enumerate() {
+        coord.add_engine(Box::new(ScriptedWorker {
+            name: format!("w{i}"),
+            work,
+            time: 0,
+            hinted,
+        }));
+    }
+    // Round accounting (sync_rounds/rounds_skipped/cycles_leapt) differs
+    // between the two modes by design; everything else must not.
+    let mut fp = match coord.run(budget) {
+        Ok(stats) => format!("ok@{};", stats.time),
+        Err(e) => format!("{e:?};"),
+    };
+    for engine in coord.engines() {
+        fp.push_str(&format!("{}@{}:", engine.name(), engine.local_time()));
+        if let Some(m) = engine.as_any().downcast_ref::<MessageEngine>() {
+            fp.push_str(&format!("{:?};", m.report()));
+        }
+    }
+    (fp, coord.stats())
+}
 
 /// The same network with every channel's capacity replaced, preserving
 /// channel and process id order (generated channels are rendezvous-only,
@@ -196,6 +280,32 @@ proptest! {
             "capacity {}",
             cap
         );
+    }
+
+    /// Lookahead is a pure optimization: across random engine mixes
+    /// (message-level networks plus hinted and hint-free scripted
+    /// workers), quanta, and budgets, the lookahead coordinator
+    /// reproduces pure lockstep bit-identically — same end states, same
+    /// final times, same budget errors — and its `sync_rounds +
+    /// rounds_skipped` equals the lockstep round count.
+    #[test]
+    fn lookahead_is_bit_identical_to_lockstep(
+        net in arb_network(),
+        p in arb_placement(8),
+        workers in prop::collection::vec((0u64..600, any::<bool>()), 0..3),
+        quantum in 1u64..64,
+        budget in prop_oneof![1u64..20_000, Just(u64::MAX)],
+    ) {
+        prop_assume!(p.len() >= net.len());
+        let placement = Placement::from_assignment(
+            net.ids().map(|id| p.resource(ProcessId::from_index(id.index() % p.len()))).collect(),
+        );
+        let (lock_fp, lock) = coordinate(false, quantum, budget, &net, &placement, &workers);
+        let (look_fp, look) = coordinate(true, quantum, budget, &net, &placement, &workers);
+        prop_assert_eq!(lock_fp, look_fp);
+        prop_assert_eq!(lock.time, look.time);
+        prop_assert_eq!(lock.sync_rounds, look.sync_rounds + look.rounds_skipped);
+        prop_assert_eq!(lock.rounds_skipped, 0);
     }
 
     /// Faster hardware never slows the system down.

@@ -156,6 +156,53 @@ pub fn characterize(app: &Application) -> Result<CharacterizedApp, SynthError> {
     })
 }
 
+/// The characterized application as a message-level process network
+/// (the top of the paper's Figure 3 applied to the Figure 8 scenario):
+/// each kernel becomes a pipeline process that computes a frame of
+/// `batch` back-to-back invocations at its *measured* software cost and
+/// ships the batched outputs to a collector process, `invocations`
+/// frames over buffered channels. Block processing is the usual DSP
+/// pipeline shape — the batch amortizes per-message synchronization the
+/// same way frames amortize interrupt overhead on real hardware.
+/// Returns the network plus per-process hardware speedups (measured
+/// software cycles over synthesized datapath latency, 1.0 for the
+/// collector), so placing a process in hardware via
+/// `MessageConfig::hw_speedups` reproduces the characterized speedup.
+/// The co-simulation benchmarks mount this as a `MessageEngine` under a
+/// `Coordinator`.
+#[must_use]
+pub fn process_network(
+    app: &CharacterizedApp,
+    invocations: u32,
+    batch: u32,
+) -> (codesign_ir::process::ProcessNetwork, Vec<f64>) {
+    use codesign_ir::process::{Action, Process, ProcessNetwork};
+    let batch = batch.max(1);
+    let mut net = ProcessNetwork::new("dsp_coprocessor");
+    let mut speedups = Vec::new();
+    let mut collector_actions = Vec::new();
+    for (i, t) in app.tasks.iter().enumerate() {
+        let ch = net.add_channel(format!("out:{}", t.kernel.name()), 1);
+        let bytes = 8 * u64::from(batch) * t.kernel.output_count() as u64;
+        net.add_process(
+            Process::new(
+                t.kernel.name(),
+                vec![
+                    Action::Compute(app.sw_cycles_once[i] * u64::from(batch)),
+                    Action::Send { channel: ch, bytes },
+                ],
+            )
+            .with_iterations(invocations),
+        );
+        collector_actions.push(Action::Receive { channel: ch });
+        let hw_latency = app.synthesized[i].latency.max(1);
+        speedups.push((app.sw_cycles_once[i] as f64 / hw_latency as f64).max(1.0));
+    }
+    net.add_process(Process::new("collector", collector_actions).with_iterations(invocations));
+    speedups.push(1.0);
+    (net, speedups)
+}
+
 /// Which partitioning algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {

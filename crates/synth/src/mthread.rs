@@ -60,7 +60,13 @@ pub struct MthreadOutcome {
     pub hw_processes: Vec<usize>,
 }
 
-fn placement_for(net: &ProcessNetwork, hw: &[usize]) -> Placement {
+/// Builds the placement implied by a hardware process set: each listed
+/// process gets its own controller/datapath pair, everything else shares
+/// software processor 0. Public so callers that evaluate placements
+/// outside the greedy search (e.g. the co-simulation benchmarks mounting
+/// a network under a `Coordinator`) build them identically.
+#[must_use]
+pub fn placement_for(net: &ProcessNetwork, hw: &[usize]) -> Placement {
     let mut next_hw = 0u32;
     let assignment = (0..net.len())
         .map(|i| {

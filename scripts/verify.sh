@@ -19,4 +19,7 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== bench-cosim smoke (1 iteration, gates round reduction) =="
+cargo run --release -q -p codesign-bench --bin bench-cosim -- --smoke
+
 echo "verify: OK"
