@@ -6,6 +6,7 @@
 //! codesign cosim <spec.cds> [opts]          message-level co-simulation of the process view
 //! codesign multiproc <spec.cds> --deadline N   processor allocation (Fig. 5 flows)
 //! codesign ladder [opts]                    the Figure 3 abstraction-ladder sweep
+//! codesign faults [opts]                    deterministic fault-injection campaign
 //! ```
 //!
 //! Run `codesign help` for the options of each subcommand.
@@ -19,6 +20,7 @@ use codesign::partition::algorithms::{
 use codesign::partition::area::{NaiveArea, SharedArea};
 use codesign::partition::cost::Objective;
 use codesign::partition::eval::EvalConfig;
+use codesign::resilience::{campaign_table, run_campaign_traced, CampaignConfig};
 use codesign::sim::engine::Coordinator;
 use codesign::sim::ladder::{run_ladder_traced, timing_errors, LadderConfig};
 use codesign::sim::message::{simulate_traced, MessageConfig, MessageEngine, Placement};
@@ -59,6 +61,16 @@ USAGE:
   codesign ladder [--bytes N] [--iterations N] [--trace FILE]
       Run the Figure 3 abstraction-ladder scenario at all four levels.
 
+  codesign faults [--seeds N] [--seed-base N] [--scenario NAME] [--out FILE]
+                  [--trace FILE]
+      Deterministic fault-injection campaign: sweep seeds over the
+      abstraction-ladder scenarios (message, register, interrupt) and the
+      DSP coprocessor system with the standard fault plan, classify every
+      run against its fault-free golden fingerprint (masked / recovered /
+      detected / watchdog / corrupted), and write the report as JSON
+      (default BENCH_faults.json). Identical seeds reproduce identical
+      campaigns.
+
   codesign help
       Show this message.
 
@@ -91,6 +103,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("cosim") => cmd_cosim(&args[1..]),
         Some("multiproc") => cmd_multiproc(&args[1..]),
         Some("ladder") => cmd_ladder(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`; try `codesign help`").into()),
     }
 }
@@ -104,6 +117,22 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parses `--name value` as a `T`, naming the flag and the offending
+/// value in the error instead of surfacing a bare parse failure.
+fn parsed_flag<T>(args: &[String], name: &str) -> Result<Option<T>, Box<dyn std::error::Error>>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, name) {
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("invalid value `{v}` for {name}: {e}").into()),
+        None => Ok(None),
+    }
 }
 
 /// An enabled tracer when `--trace FILE` was given, a disabled one
@@ -154,10 +183,7 @@ fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let graph = spec
         .task_graph()
         .ok_or("the spec declares no tasks; `partition` needs the task-graph view")?;
-    let deadline = match flag_value(args, "--deadline") {
-        Some(v) => Some(v.parse::<u64>()?),
-        None => graph.deadline(),
-    };
+    let deadline = parsed_flag::<u64>(args, "--deadline")?.or_else(|| graph.deadline());
     let objective = match (flag_value(args, "--objective"), deadline) {
         (Some("cost"), Some(d)) => Objective::cost_driven(d),
         (Some("concurrency"), Some(d)) => Objective::concurrency_aware(d),
@@ -210,9 +236,9 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let report;
     let placement;
     let hw_names: Vec<String>;
-    if let Some(budget) = flag_value(args, "--budget") {
+    if let Some(budget) = parsed_flag(args, "--budget")? {
         let cfg = MthreadConfig {
-            max_hw_processes: budget.parse()?,
+            max_hw_processes: budget,
             sim: MessageConfig::default(),
         };
         let outcome = comm_aware_traced(net, &cfg, &tracer)?;
@@ -268,10 +294,7 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Mount the same network under the conservative coordinator so the
     // synchronization cost — and the lookahead win — is visible without a
     // trace file.
-    let quantum: u64 = flag_value(args, "--quantum")
-        .map(str::parse)
-        .transpose()?
-        .unwrap_or(16);
+    let quantum: u64 = parsed_flag(args, "--quantum")?.unwrap_or(16);
     let sim_cfg = MessageConfig::default();
     let mut coord = Coordinator::new(quantum);
     coord.add_engine(Box::new(MessageEngine::new(
@@ -296,14 +319,33 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_faults(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let config = CampaignConfig {
+        seeds: parsed_flag(args, "--seeds")?.unwrap_or(32),
+        seed_base: parsed_flag(args, "--seed-base")?.unwrap_or(0xC0DE),
+        scenario: flag_value(args, "--scenario").map(ToString::to_string),
+        ..CampaignConfig::default()
+    };
+    let out = flag_value(args, "--out").unwrap_or("BENCH_faults.json");
+    let (tracer, trace_path) = trace_flag(args);
+    let report = run_campaign_traced(&config, &tracer)?;
+    println!(
+        "fault campaign — {} seeds per scenario (seed base {:#x}):\n",
+        config.seeds, config.seed_base
+    );
+    print!("{}", campaign_table(&report));
+    std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("\nreport -> {out}");
+    save_trace(&tracer, trace_path)?;
+    Ok(())
+}
+
 fn cmd_multiproc(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let spec = load_spec(args)?;
     let graph = spec
         .task_graph()
         .ok_or("the spec declares no tasks; `multiproc` needs the task-graph view")?;
-    let deadline = flag_value(args, "--deadline")
-        .map(str::parse::<u64>)
-        .transpose()?
+    let deadline = parsed_flag::<u64>(args, "--deadline")?
         .or(graph.deadline())
         .ok_or("`multiproc` needs --deadline or a `deadline` line in the spec")?;
     let cfg = MultiprocConfig::new(deadline);
@@ -340,14 +382,8 @@ fn cmd_multiproc(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_ladder(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = LadderConfig {
-        message_bytes: flag_value(args, "--bytes")
-            .map(str::parse)
-            .transpose()?
-            .unwrap_or(64),
-        iterations: flag_value(args, "--iterations")
-            .map(str::parse)
-            .transpose()?
-            .unwrap_or(16),
+        message_bytes: parsed_flag(args, "--bytes")?.unwrap_or(64),
+        iterations: parsed_flag(args, "--iterations")?.unwrap_or(16),
         ..LadderConfig::default()
     };
     let (tracer, trace_path) = trace_flag(args);

@@ -51,8 +51,10 @@
 
 pub mod registry;
 pub mod report;
+pub mod resilience;
 pub mod taxonomy;
 
+pub use codesign_fault as fault;
 pub use codesign_hls as hls;
 pub use codesign_ir as ir;
 pub use codesign_isa as isa;

@@ -1,0 +1,52 @@
+//! # codesign-fault
+//!
+//! Deterministic fault injection for the co-design stack's abstraction
+//! ladder (Adams & Thomas, DAC 1996, Figure 3).
+//!
+//! The paper's central claim about co-simulation is that the *interface
+//! abstraction level* determines what a mixed HW/SW simulation can and
+//! cannot observe. Fault injection sharpens that claim into something
+//! measurable: a fault injected at one rung of the ladder is either
+//! *masked* by the layers above it, *detected* by the system's own error
+//! handling, or silently *corrupts* the result — and which of the three
+//! happens is exactly the kind of cross-domain interaction the paper
+//! says co-simulation exists to expose. This crate provides one fault
+//! model per rung:
+//!
+//! | ladder level | fault model | wrapper |
+//! |---|---|---|
+//! | bus (pin/transaction) | single-bit flips, stuck transactions | [`bus::FaultySlave`], [`bus::FaultyPhy`] |
+//! | register | whole-word corrupt read/write | [`bus::FaultySlave`] |
+//! | interrupt | dropped / spurious / duplicated IRQs | [`bus::FaultySlave`] |
+//! | message | dropped / duplicated / delayed sends | [`message::MessageFaultHook`] |
+//! | engine | transient bus faults, permanent stalls | [`engine::FaultyEngine`] |
+//!
+//! Everything is driven by a seeded [`plan::FaultInjector`] whose
+//! per-site substreams make campaigns fully deterministic: no wall
+//! clock, no global RNG — identical seeds yield bit-identical runs, and
+//! an empty [`plan::FaultPlan`] consumes no randomness at all, so a
+//! quiet wrapper is bit-identical to the unwrapped baseline.
+//!
+//! [`campaign`] classifies each seeded run against a fault-free golden
+//! reference — masked, recovered (transient faults absorbed by the
+//! coordinator's retry policy), detected (a structured error), hung
+//! (caught by the coordinator's watchdog), or silently corrupted — and
+//! renders campaign totals as `BENCH_faults.json`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bus;
+pub mod campaign;
+pub mod engine;
+pub mod message;
+pub mod plan;
+
+pub use bus::{FaultyPhy, FaultySlave};
+pub use campaign::{classify, CampaignReport, RunClass, ScenarioReport};
+pub use engine::FaultyEngine;
+pub use message::MessageFaultHook;
+pub use plan::{
+    shared, BusRates, FaultInjector, FaultKind, FaultPlan, FaultRecord, IrqRates, MessageRates,
+    RegisterRates, SharedInjector,
+};

@@ -1,0 +1,147 @@
+//! Message-level faults: the top rung of the abstraction ladder.
+//!
+//! [`MessageFaultHook`] implements the
+//! [`MessageFaults`](codesign_sim::message::MessageFaults) hook of the
+//! message engine from a [`FaultPlan`]'s message rates: each send is
+//! independently lost, duplicated, or delayed, with decisions drawn
+//! from a per-channel substream (`"msg:<channel>"`) so that adding a
+//! channel never perturbs another channel's fault pattern.
+//!
+//! The engine consults the hook in a canonical time-driven order, so a
+//! given seed yields the same faults regardless of how the coordinator
+//! subdivides horizons — and a quiet plan consumes no randomness,
+//! keeping the hooked engine bit-identical to an unhooked one.
+
+use codesign_sim::message::{MessageFaults, SendFault};
+
+use crate::plan::{FaultKind, FaultPlan, MessageRates, SharedInjector};
+
+/// A [`MessageFaults`] implementation driven by a seeded injector.
+#[derive(Debug)]
+pub struct MessageFaultHook {
+    rates: MessageRates,
+    injector: SharedInjector,
+}
+
+impl MessageFaultHook {
+    /// Builds the hook from `plan`'s message rates.
+    #[must_use]
+    pub fn new(plan: &FaultPlan, injector: SharedInjector) -> Self {
+        MessageFaultHook {
+            rates: plan.message,
+            injector,
+        }
+    }
+}
+
+impl MessageFaults for MessageFaultHook {
+    fn on_send(&mut self, channel: usize, bytes: u64, time: u64) -> SendFault {
+        let site = format!("msg:{channel}");
+        let mut inj = self.injector.borrow_mut();
+        if inj.decide(&site, self.rates.drop) {
+            inj.record(
+                time,
+                &site,
+                FaultKind::MsgDropped,
+                format!("{bytes} bytes lost"),
+            );
+            return SendFault::Drop;
+        }
+        if inj.decide(&site, self.rates.duplicate) {
+            inj.record(
+                time,
+                &site,
+                FaultKind::MsgDuplicated,
+                format!("{bytes} bytes delivered twice"),
+            );
+            return SendFault::Duplicate;
+        }
+        if inj.decide(&site, self.rates.delay) {
+            let d = self.rates.delay_cycles;
+            inj.record(
+                time,
+                &site,
+                FaultKind::MsgDelayed,
+                format!("{bytes} bytes held {d} cycles"),
+            );
+            return SendFault::Delay(d);
+        }
+        SendFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::plan::shared;
+
+    fn hook(rates: MessageRates, seed: u64) -> (MessageFaultHook, SharedInjector) {
+        let injector = shared(seed);
+        let plan = FaultPlan {
+            message: rates,
+            ..FaultPlan::quiet()
+        };
+        (MessageFaultHook::new(&plan, injector.clone()), injector)
+    }
+
+    #[test]
+    fn quiet_rates_never_fault_and_draw_nothing() {
+        let (mut h, injector) = hook(MessageRates::default(), 3);
+        for t in 0..256 {
+            assert_eq!(h.on_send(0, 64, t), SendFault::None);
+        }
+        assert_eq!(injector.borrow().count(), 0);
+    }
+
+    #[test]
+    fn certain_drop_wins_over_other_rates() {
+        let (mut h, injector) = hook(
+            MessageRates {
+                drop: 1.0,
+                duplicate: 1.0,
+                delay: 1.0,
+                delay_cycles: 5,
+            },
+            3,
+        );
+        assert_eq!(h.on_send(1, 64, 10), SendFault::Drop);
+        let inj = injector.borrow();
+        assert_eq!(inj.records()[0].kind, FaultKind::MsgDropped);
+        assert_eq!(inj.records()[0].site, "msg:1");
+        assert_eq!(inj.records()[0].time, 10);
+    }
+
+    #[test]
+    fn delay_carries_the_configured_cycles() {
+        let (mut h, _) = hook(
+            MessageRates {
+                delay: 1.0,
+                delay_cycles: 64,
+                ..MessageRates::default()
+            },
+            3,
+        );
+        assert_eq!(h.on_send(0, 8, 0), SendFault::Delay(64));
+    }
+
+    #[test]
+    fn channels_have_independent_fault_streams() {
+        let rates = MessageRates {
+            drop: 0.5,
+            ..MessageRates::default()
+        };
+        let (mut a, _) = hook(rates, 9);
+        let (mut b, _) = hook(rates, 9);
+        // `a` interleaves sends on channel 7; channel 0's pattern must
+        // be unaffected.
+        let fa: Vec<SendFault> = (0..64)
+            .map(|t| {
+                a.on_send(7, 1, t);
+                a.on_send(0, 1, t)
+            })
+            .collect();
+        let fb: Vec<SendFault> = (0..64).map(|t| b.on_send(0, 1, t)).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,257 @@
+//! Property-based tests for the fault-injection contracts:
+//!
+//! 1. an empty [`FaultPlan`] is bit-identical to the un-instrumented
+//!    baseline (wrappers are exact pass-throughs and consume no
+//!    randomness);
+//! 2. identical seeds yield identical campaigns (same outcomes, same
+//!    fault records);
+//! 3. the coordinator's no-progress watchdog never fires on healthy
+//!    random engine mixes, including mixes wrapped in quiet fault
+//!    wrappers.
+
+use codesign_fault::{shared, FaultPlan, FaultyEngine, FaultyPhy, FaultySlave, MessageFaultHook};
+use codesign_ir::workload::tgff::{random_process_network, NetworkConfig};
+use codesign_rtl::bus::{fifo_regs, BusTiming, DrainFifo, SystemBus};
+use codesign_sim::engine::{Coordinator, SimEngine};
+use codesign_sim::message::{MessageConfig, MessageEngine, Placement, Resource};
+use codesign_sim::SimError;
+use proptest::prelude::*;
+
+/// Busy until `work`, then done; optionally promises its completion
+/// time (same scripted engine the sim crate's coordination properties
+/// use).
+#[derive(Debug)]
+struct ScriptedWorker {
+    name: String,
+    work: u64,
+    time: u64,
+    hinted: bool,
+}
+
+impl SimEngine for ScriptedWorker {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn local_time(&self) -> u64 {
+        self.time
+    }
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        self.time = t.min(self.work);
+        Ok(())
+    }
+    fn is_done(&self) -> bool {
+        self.time >= self.work
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn next_event_hint(&self) -> Option<u64> {
+        self.hinted.then_some(self.work)
+    }
+}
+
+fn arb_network() -> impl Strategy<Value = codesign_ir::process::ProcessNetwork> {
+    (2usize..8, any::<u64>(), 0.0f64..1.0, 1u32..10).prop_map(
+        |(processes, seed, channel_prob, iterations)| {
+            random_process_network(&NetworkConfig {
+                processes,
+                seed,
+                channel_prob,
+                iterations,
+                ..NetworkConfig::default()
+            })
+        },
+    )
+}
+
+fn placement_from_seed(n: usize, seed: u64) -> Placement {
+    let mut hw = 0u32;
+    Placement::from_assignment(
+        (0..n)
+            .map(|i| {
+                if (seed >> (i % 64)) & 1 == 1 {
+                    hw += 1;
+                    Resource::Hardware(hw - 1)
+                } else {
+                    Resource::Software(0)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Runs a network-engine under the (watchdog-armed) coordinator, with
+/// an optional fault plan hooked in, and fingerprints everything
+/// observable.
+fn run_network(
+    net: &codesign_ir::process::ProcessNetwork,
+    placement: &Placement,
+    plan: Option<(&FaultPlan, u64)>,
+) -> String {
+    let mut engine = MessageEngine::new(
+        "net",
+        net.clone(),
+        placement.clone(),
+        MessageConfig::default(),
+    )
+    .expect("valid placement");
+    let mut fault_log = String::new();
+    if let Some((plan, seed)) = plan {
+        let injector = shared(seed);
+        engine.set_faults(Box::new(MessageFaultHook::new(plan, injector.clone())));
+        let mut coord = Coordinator::new(16);
+        coord.add_engine(Box::new(engine));
+        let mut fp = fingerprint(&mut coord);
+        for r in injector.borrow().records() {
+            fault_log.push_str(&format!("{:?};", r));
+        }
+        fp.push_str(&fault_log);
+        fp
+    } else {
+        let mut coord = Coordinator::new(16);
+        coord.add_engine(Box::new(engine));
+        fingerprint(&mut coord)
+    }
+}
+
+fn fingerprint(coord: &mut Coordinator) -> String {
+    let mut fp = match coord.run(u64::MAX) {
+        Ok(stats) => format!("ok@{};", stats.time),
+        Err(e) => format!("{e:?};"),
+    };
+    for engine in coord.engines() {
+        fp.push_str(&format!("{}@{}:", engine.name(), engine.local_time()));
+        if let Some(m) = engine.as_any().downcast_ref::<MessageEngine>() {
+            fp.push_str(&format!("{:?};", m.report()));
+        }
+    }
+    fp
+}
+
+/// Drives `ops` through a bus and fingerprints every observable value
+/// and cycle count. With `wrapped`, the fifo is behind a quiet
+/// [`FaultySlave`] and the bus behind a quiet [`FaultyPhy`].
+fn run_bus(ops: &[(bool, u8)], wrapped: bool) -> String {
+    let injector = shared(99);
+    let mut bus = SystemBus::new(BusTiming::default());
+    let fifo = Box::new(DrainFifo::new(8, 7));
+    if wrapped {
+        bus.map(
+            0x0,
+            0x100,
+            Box::new(FaultySlave::new(fifo, FaultPlan::quiet(), injector.clone())),
+        )
+        .unwrap();
+        bus.set_phy(Box::new(FaultyPhy::new(
+            BusTiming::default(),
+            FaultPlan::quiet(),
+            injector.clone(),
+        )));
+    } else {
+        bus.map(0x0, 0x100, fifo).unwrap();
+    }
+    let mut fp = String::new();
+    for &(is_read, v) in ops {
+        let r = if is_read {
+            bus.read(fifo_regs::COUNT)
+        } else {
+            bus.write(fifo_regs::DATA, u32::from(v)).map(|cyc| (0, cyc))
+        };
+        fp.push_str(&format!("{r:?};"));
+        bus.tick(u64::from(v % 5));
+    }
+    fp.push_str(&format!("{:?};irqs={}", bus.stats(), bus.irq_pending()));
+    if wrapped {
+        assert_eq!(
+            injector.borrow().count(),
+            0,
+            "quiet wrappers must not inject"
+        );
+    }
+    fp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contract 1a: an empty plan hooked into the message engine is
+    /// bit-identical to no hook at all.
+    #[test]
+    fn empty_plan_message_runs_are_bit_identical(
+        net in arb_network(),
+        pseed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let placement = placement_from_seed(net.len(), pseed);
+        let bare = run_network(&net, &placement, None);
+        let quiet = run_network(&net, &placement, Some((&FaultPlan::quiet(), seed)));
+        prop_assert_eq!(bare, quiet);
+    }
+
+    /// Contract 1b: quiet bus wrappers (slave and phy) are exact
+    /// pass-throughs for arbitrary transaction sequences.
+    #[test]
+    fn empty_plan_bus_sequences_are_bit_identical(
+        ops in prop::collection::vec((any::<bool>(), any::<u8>()), 1..64),
+    ) {
+        prop_assert_eq!(run_bus(&ops, false), run_bus(&ops, true));
+    }
+
+    /// Contract 2: identical seeds yield identical faulty outcomes and
+    /// identical fault records, run to run.
+    #[test]
+    fn identical_seeds_yield_identical_campaign_runs(
+        net in arb_network(),
+        pseed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let placement = placement_from_seed(net.len(), pseed);
+        let plan = FaultPlan::standard();
+        let a = run_network(&net, &placement, Some((&plan, seed)));
+        let b = run_network(&net, &placement, Some((&plan, seed)));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Contract 3: the default-on watchdog stays silent on healthy
+    /// random engine mixes — message networks plus hinted/hint-free
+    /// scripted workers, some behind quiet fault wrappers.
+    #[test]
+    fn watchdog_never_fires_on_healthy_mixes(
+        net in arb_network(),
+        pseed in any::<u64>(),
+        workers in prop::collection::vec((0u64..600, any::<bool>(), any::<bool>()), 0..4),
+        quantum in 1u64..64,
+    ) {
+        let placement = placement_from_seed(net.len(), pseed);
+        let injector = shared(1);
+        let mut coord = Coordinator::new(quantum);
+        coord.add_engine(Box::new(
+            MessageEngine::new("net", net.clone(), placement, MessageConfig::default())
+                .expect("valid placement"),
+        ));
+        for (i, &(work, hinted, wrap)) in workers.iter().enumerate() {
+            let worker = Box::new(ScriptedWorker {
+                name: format!("w{i}"),
+                work,
+                time: 0,
+                hinted,
+            });
+            if wrap {
+                coord.add_engine(Box::new(FaultyEngine::new(
+                    worker,
+                    injector.clone(),
+                    0.0,
+                    0.0,
+                )));
+            } else {
+                coord.add_engine(worker);
+            }
+        }
+        let result = coord.run(u64::MAX);
+        prop_assert!(
+            !matches!(result, Err(SimError::Watchdog { .. })),
+            "watchdog fired on a healthy mix: {result:?}"
+        );
+        prop_assert!(result.is_ok(), "healthy mix failed: {result:?}");
+    }
+}

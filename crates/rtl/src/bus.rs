@@ -202,16 +202,31 @@ impl SystemBus {
     ///
     /// # Errors
     ///
-    /// Returns [`RtlError::BusFault`] at the conflicting address if the
-    /// range overlaps an existing mapping or wraps past the address space.
+    /// Returns [`RtlError::MapOverlap`] naming both devices and ranges
+    /// if the range overlaps an existing mapping, or if it wraps past
+    /// the end of the 32-bit address space.
     pub fn map(&mut self, base: u32, size: u32, slave: Box<dyn BusSlave>) -> Result<(), RtlError> {
-        let end = base
-            .checked_add(size)
-            .ok_or(RtlError::BusFault { addr: base })?;
+        let Some(end) = base.checked_add(size) else {
+            return Err(RtlError::MapOverlap {
+                device: slave.name().to_string(),
+                base,
+                size,
+                conflict: "range wraps the 32-bit address space".to_string(),
+            });
+        };
         for m in &self.mappings {
             let m_end = m.base + m.size;
             if base < m_end && m.base < end {
-                return Err(RtlError::BusFault { addr: base });
+                return Err(RtlError::MapOverlap {
+                    device: slave.name().to_string(),
+                    base,
+                    size,
+                    conflict: format!(
+                        "overlaps {} at [{:#010x}, {m_end:#010x})",
+                        m.slave.name(),
+                        m.base
+                    ),
+                });
             }
         }
         self.mappings.push(Mapping { base, size, slave });
@@ -372,7 +387,8 @@ impl BusSlave for Ram {
 pub mod uart_regs {
     /// Write: transmit one byte (low 8 bits).
     pub const TX: u32 = 0x0;
-    /// Read: bit 0 = tx ready (always), bit 1 = rx byte available.
+    /// Read: bit 0 = tx ready (always), bit 1 = rx byte available,
+    /// bit 2 = rx overrun (sticky; cleared by reading STATUS).
     pub const STATUS: u32 = 0x4;
     /// Read: pop the next received byte.
     pub const RX: u32 = 0x8;
@@ -381,15 +397,22 @@ pub mod uart_regs {
 }
 
 /// A simple UART: transmitted bytes accumulate in a log; received bytes
-/// are injected by the test bench via [`Uart::inject_rx`].
+/// are injected by the test bench via [`Uart::inject_rx`] into a
+/// bounded receive FIFO ([`Uart::RX_CAPACITY`] bytes). Bytes arriving
+/// into a full FIFO are lost and latch the sticky overrun bit in
+/// STATUS, like a real UART's overrun error flag.
 #[derive(Debug, Default)]
 pub struct Uart {
     tx_log: Vec<u8>,
     rx_queue: std::collections::VecDeque<u8>,
     irq_enable: bool,
+    overrun: bool,
 }
 
 impl Uart {
+    /// Receive-FIFO depth in bytes; arrivals beyond this are dropped.
+    pub const RX_CAPACITY: usize = 16;
+
     /// Creates an idle UART.
     #[must_use]
     pub fn new() -> Self {
@@ -403,9 +426,21 @@ impl Uart {
     }
 
     /// Injects a byte into the receive queue (as if it arrived on the
-    /// line).
+    /// line). A byte arriving into a full FIFO is dropped and latches
+    /// the sticky overrun flag.
     pub fn inject_rx(&mut self, byte: u8) {
-        self.rx_queue.push_back(byte);
+        if self.rx_queue.len() >= Self::RX_CAPACITY {
+            self.overrun = true;
+        } else {
+            self.rx_queue.push_back(byte);
+        }
+    }
+
+    /// Whether receive bytes have been lost to a full FIFO since the
+    /// last STATUS read.
+    #[must_use]
+    pub fn overrun(&self) -> bool {
+        self.overrun
     }
 }
 
@@ -424,7 +459,13 @@ impl BusSlave for Uart {
 
     fn read(&mut self, offset: u32) -> u32 {
         match offset {
-            uart_regs::STATUS => 1 | (u32::from(!self.rx_queue.is_empty()) << 1),
+            uart_regs::STATUS => {
+                let status = 1
+                    | (u32::from(!self.rx_queue.is_empty()) << 1)
+                    | (u32::from(self.overrun) << 2);
+                self.overrun = false; // read-to-clear, like a real LSR
+                status
+            }
             uart_regs::RX => self.rx_queue.pop_front().map_or(0, u32::from),
             uart_regs::IRQ_ENABLE => u32::from(self.irq_enable),
             _ => 0,
@@ -835,11 +876,38 @@ mod tests {
     #[test]
     fn overlapping_mapping_rejected() {
         let mut bus = bus_with_ram();
-        let err = bus.map(0x0800, 0x1000, Box::new(Ram::new("ram2", 16)));
-        assert_eq!(err, Err(RtlError::BusFault { addr: 0x0800 }));
+        let err = bus
+            .map(0x0800, 0x1000, Box::new(Ram::new("ram2", 16)))
+            .unwrap_err();
+        // The error names both devices and both ranges — enough to fix
+        // the address map without a debugger.
+        assert_eq!(
+            err,
+            RtlError::MapOverlap {
+                device: "ram2".to_string(),
+                base: 0x0800,
+                size: 0x1000,
+                conflict: "overlaps ram at [0x00000000, 0x00001000)".to_string(),
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "cannot map ram2 at [0x00000800, 0x00001800): \
+             overlaps ram at [0x00000000, 0x00001000)"
+        );
         // Adjacent is fine.
         bus.map(0x1000, 0x100, Box::new(Ram::new("ram3", 16)))
             .unwrap();
+    }
+
+    #[test]
+    fn wrapping_mapping_rejected() {
+        let mut bus = SystemBus::new(BusTiming::default());
+        let err = bus
+            .map(0xFFFF_FF00, 0x1000, Box::new(Ram::new("high", 16)))
+            .unwrap_err();
+        assert!(matches!(err, RtlError::MapOverlap { .. }));
+        assert!(err.to_string().contains("wraps"), "{err}");
     }
 
     #[test]
@@ -884,6 +952,28 @@ mod tests {
     }
 
     #[test]
+    fn uart_rx_overflow_drops_bytes_and_latches_overrun() {
+        let mut uart = Uart::new();
+        for b in 0..=Uart::RX_CAPACITY {
+            uart.inject_rx(b as u8);
+        }
+        assert!(uart.overrun(), "17th byte into a 16-deep FIFO is lost");
+        let status = uart.read(uart_regs::STATUS);
+        assert_eq!(status & 0b111, 0b111, "tx ready, rx avail, overrun");
+        // Read-to-clear: the sticky bit reports once per read.
+        assert_eq!(uart.read(uart_regs::STATUS) & 0b100, 0);
+        // The FIFO kept the oldest RX_CAPACITY bytes intact.
+        for b in 0..Uart::RX_CAPACITY {
+            assert_eq!(uart.read(uart_regs::RX), b as u32);
+        }
+        assert_eq!(uart.read(uart_regs::STATUS) & 0b10, 0, "drained");
+        // With space available again, injection resumes normally.
+        uart.inject_rx(0xAB);
+        assert_eq!(uart.read(uart_regs::RX), 0xAB);
+        assert_eq!(uart.read(uart_regs::STATUS) & 0b100, 0, "no new overrun");
+    }
+
+    #[test]
     fn timer_counts_down_and_interrupts() {
         let mut bus = SystemBus::new(BusTiming::default());
         bus.map(0x0, 0x10, Box::new(Timer::new())).unwrap();
@@ -897,6 +987,60 @@ mod tests {
         assert_eq!(v, 5, "auto reloaded");
         bus.write(timer_regs::ACK, 1).unwrap();
         assert!(!bus.irq_pending());
+    }
+
+    #[test]
+    fn timer_zero_period_never_fires() {
+        // LOAD = 0 is a configuration corner: the countdown has nothing
+        // to count, so enabling the timer must not wedge it at "always
+        // about to fire" or spin the IRQ line.
+        let mut timer = Timer::new();
+        timer.write(timer_regs::LOAD, 0);
+        timer.write(timer_regs::CTRL, 0b111); // enable, irq, auto-reload
+        for _ in 0..100 {
+            timer.tick();
+        }
+        assert!(!timer.irq_pending(), "zero-period timer stays silent");
+        assert_eq!(timer.read(timer_regs::VALUE), 0);
+    }
+
+    #[test]
+    fn timer_ack_race_with_auto_reload_keeps_future_irqs() {
+        // The classic ack race: software acknowledges the pending IRQ
+        // while the auto-reloaded countdown is already running again. The
+        // ack must clear only the *current* pending flag — the next
+        // zero-crossing must still raise a fresh interrupt.
+        let mut timer = Timer::new();
+        timer.write(timer_regs::LOAD, 3);
+        timer.write(timer_regs::CTRL, 0b111);
+        for _ in 0..3 {
+            timer.tick();
+        }
+        assert!(timer.irq_pending(), "first expiry");
+        // Countdown reloaded and already past one cycle when the ack
+        // lands.
+        timer.tick();
+        timer.write(timer_regs::ACK, 1);
+        assert!(!timer.irq_pending(), "ack clears the pending flag");
+        for _ in 0..2 {
+            timer.tick();
+        }
+        assert!(timer.irq_pending(), "next expiry still fires");
+    }
+
+    #[test]
+    fn timer_pending_irq_survives_until_acked() {
+        // Without an ack, the flag stays latched across further ticks —
+        // a level interrupt, not a pulse.
+        let mut timer = Timer::new();
+        timer.write(timer_regs::LOAD, 2);
+        timer.write(timer_regs::CTRL, 0b111);
+        for _ in 0..20 {
+            timer.tick();
+        }
+        assert!(timer.irq_pending());
+        timer.write(timer_regs::ACK, 0xFFFF);
+        assert!(!timer.irq_pending());
     }
 
     #[test]

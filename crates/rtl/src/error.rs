@@ -49,6 +49,18 @@ pub enum RtlError {
         /// The unclaimed address.
         addr: u32,
     },
+    /// A device could not be mapped on the bus: its address range
+    /// overlaps an existing mapping or wraps the 32-bit address space.
+    MapOverlap {
+        /// Name of the device being mapped.
+        device: String,
+        /// Requested base address.
+        base: u32,
+        /// Requested range size in bytes.
+        size: u32,
+        /// What the range collided with.
+        conflict: String,
+    },
     /// The FPGA fabric cannot satisfy a request (out of LUTs, unknown
     /// bitstream, region busy).
     Fpga {
@@ -77,6 +89,16 @@ impl fmt::Display for RtlError {
                 write!(f, "fsmd did not assert done within {cycles} cycles")
             }
             RtlError::BusFault { addr } => write!(f, "bus fault at address {addr:#010x}"),
+            RtlError::MapOverlap {
+                device,
+                base,
+                size,
+                conflict,
+            } => write!(
+                f,
+                "cannot map {device} at [{base:#010x}, {:#010x}): {conflict}",
+                u64::from(*base) + u64::from(*size)
+            ),
             RtlError::Fpga { reason } => write!(f, "fpga: {reason}"),
         }
     }

@@ -24,7 +24,7 @@
 
 use codesign_trace::{Arg, Tracer, TrackId};
 
-use crate::error::SimError;
+use crate::error::{EngineSnapshot, SimError, WatchdogSnapshot};
 
 /// One domain simulator (a software ISS, a hardware event kernel, a
 /// process network…) participating in co-simulation.
@@ -58,6 +58,71 @@ pub trait SimEngine: std::fmt::Debug {
     fn next_event_hint(&self) -> Option<u64> {
         None
     }
+    /// One line of engine-specific state for watchdog diagnostics (e.g.
+    /// which processes a message engine has blocked). Empty by default.
+    fn diagnostics(&self) -> String {
+        String::new()
+    }
+}
+
+/// No-progress watchdog parameters.
+///
+/// Every in-repo engine keeps its local clock following the round
+/// horizon while it has work (the "floor" convention), so under a
+/// healthy mix the minimum unfinished local time strictly increases
+/// every round. An engine that wedges — an ISS spinning on a register
+/// that never changes state, a lost rendezvous partner, a stuck bus —
+/// freezes that minimum, and the watchdog converts the would-be
+/// infinite loop into a structured [`SimError::Watchdog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive no-progress rounds tolerated before firing. The hint
+    /// -regression check (an unfinished engine promising an event before
+    /// its own clock) fires immediately regardless.
+    pub max_stalled_rounds: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        // Generous: a healthy engine advances every round, so even one
+        // stalled round is suspicious; 64 keeps false positives
+        // implausible while still bounding a wedged run tightly.
+        WatchdogConfig {
+            max_stalled_rounds: 64,
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for transient hardware faults.
+///
+/// Only [`SimError::Hardware`] failures from
+/// [`SimEngine::advance_to`] are retried — they model transient bus
+/// faults (the kind a fault-injection campaign produces); software,
+/// deadlock, and budget errors always propagate. A failed engine sits
+/// out `2^(attempt-1)` rounds (exponential backoff in synchronization
+/// rounds, not wall time, so runs stay deterministic) before its next
+/// attempt, and the watchdog excuses rounds in which an engine is
+/// backing off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts tolerated per engine before the
+    /// fault propagates.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+/// Per-engine retry bookkeeping (parallel to `Coordinator::engines`).
+#[derive(Debug, Clone, Copy, Default)]
+struct RetryState {
+    /// Consecutive failed `advance_to` attempts.
+    attempts: u32,
+    /// Rounds left to sit out before the next attempt.
+    cooldown: u64,
 }
 
 /// Cumulative coordination statistics.
@@ -75,6 +140,9 @@ pub struct CoordinatorStats {
     pub cycles_leapt: u64,
     /// Global time reached.
     pub time: u64,
+    /// Transient hardware faults absorbed by the retry policy (each one
+    /// cost the faulting engine a backoff, not the run).
+    pub retries: u64,
 }
 
 /// A conservative coordinator over a set of engines: lockstep pacing by
@@ -90,6 +158,16 @@ pub struct Coordinator {
     /// Trace tracks parallel to `engines`, plus one for the coordinator.
     engine_tracks: Vec<TrackId>,
     coord_track: TrackId,
+    /// No-progress watchdog (on by default; `None` disables).
+    watchdog: Option<WatchdogConfig>,
+    /// Minimum unfinished local time after the previous round.
+    last_min_time: Option<u64>,
+    /// Consecutive rounds that minimum failed to advance.
+    stalled_rounds: u64,
+    /// Transient-fault retry policy (off by default).
+    retry: Option<RetryPolicy>,
+    /// Retry bookkeeping, parallel to `engines`.
+    retry_state: Vec<RetryState>,
 }
 
 impl Coordinator {
@@ -113,6 +191,11 @@ impl Coordinator {
             tracer,
             engine_tracks: Vec::new(),
             coord_track,
+            watchdog: Some(WatchdogConfig::default()),
+            last_min_time: None,
+            stalled_rounds: 0,
+            retry: None,
+            retry_state: Vec::new(),
         }
     }
 
@@ -142,6 +225,32 @@ impl Coordinator {
         self.lookahead
     }
 
+    /// Configures (or with `None` disables) the no-progress watchdog.
+    /// Enabled by default with [`WatchdogConfig::default`].
+    pub fn set_watchdog(&mut self, watchdog: Option<WatchdogConfig>) {
+        self.watchdog = watchdog;
+    }
+
+    /// The active watchdog configuration, if any.
+    #[must_use]
+    pub fn watchdog(&self) -> Option<WatchdogConfig> {
+        self.watchdog
+    }
+
+    /// Configures (or with `None` disables) bounded retry-with-backoff
+    /// for transient hardware faults. Disabled by default: without a
+    /// policy every engine error propagates on first occurrence, exactly
+    /// the pre-existing behavior.
+    pub fn set_retry(&mut self, retry: Option<RetryPolicy>) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy, if any.
+    #[must_use]
+    pub fn retry(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
     /// Attaches a tracer: each round emits a `round` span on the
     /// `coordinator` track (with the post-round skew as a counter) and an
     /// `advance` span per engine, timestamped in global cycles. Tracing is
@@ -163,6 +272,7 @@ impl Coordinator {
                 .push(self.tracer.track(&format!("engine:{}", engine.name())));
         }
         self.engines.push(engine);
+        self.retry_state.push(RetryState::default());
     }
 
     /// The synchronization quantum.
@@ -277,19 +387,58 @@ impl Coordinator {
         let (horizon, quanta) = self.plan_horizon(budget);
         let traced = self.tracer.is_on();
         let start = self.stats.time;
+        // Whether any engine spent this round in retry backoff — such a
+        // round is excused from the watchdog's progress accounting.
+        let mut backing_off = false;
         for (i, e) in self.engines.iter_mut().enumerate() {
-            if !e.is_done() {
-                let before = e.local_time();
-                e.advance_to(horizon)?;
-                if traced {
-                    self.tracer.span(
-                        self.engine_tracks[i],
-                        "advance",
-                        before,
-                        e.local_time().saturating_sub(before),
-                        &[("horizon", Arg::from(horizon))],
-                    );
+            if e.is_done() {
+                continue;
+            }
+            if self.retry_state[i].cooldown > 0 {
+                self.retry_state[i].cooldown -= 1;
+                backing_off = true;
+                continue;
+            }
+            let before = e.local_time();
+            match e.advance_to(horizon) {
+                Ok(()) => self.retry_state[i].attempts = 0,
+                Err(SimError::Hardware(fault)) if self.retry.is_some() => {
+                    // A transient bus fault: charge this engine a backoff
+                    // and try again in a later round, unless it has
+                    // exhausted its attempts.
+                    let policy = self.retry.unwrap_or_default();
+                    let state = &mut self.retry_state[i];
+                    state.attempts += 1;
+                    self.stats.retries += 1;
+                    if state.attempts > policy.max_attempts {
+                        return Err(SimError::Hardware(fault));
+                    }
+                    state.cooldown = 1u64 << (state.attempts - 1).min(32);
+                    backing_off = true;
+                    if traced {
+                        self.tracer.instant(
+                            self.engine_tracks[i],
+                            "transient-fault",
+                            before,
+                            &[
+                                ("error", Arg::from(fault.to_string())),
+                                ("attempt", Arg::from(u64::from(state.attempts))),
+                                ("cooldown_rounds", Arg::from(state.cooldown)),
+                            ],
+                        );
+                    }
+                    continue;
                 }
+                Err(err) => return Err(err),
+            }
+            if traced {
+                self.tracer.span(
+                    self.engine_tracks[i],
+                    "advance",
+                    before,
+                    e.local_time().saturating_sub(before),
+                    &[("horizon", Arg::from(horizon))],
+                );
             }
         }
         self.stats.time = horizon;
@@ -322,7 +471,74 @@ impl Coordinator {
                 self.stats.cycles_leapt,
             );
         }
+        self.check_progress(backing_off)
+    }
+
+    /// The watchdog: tracks the minimum unfinished local time across
+    /// rounds and fires when it stalls for too long, or immediately when
+    /// an unfinished engine's hint regresses behind its own clock (a
+    /// broken lookahead promise that could otherwise wedge or corrupt
+    /// coordination). Rounds spent in retry backoff are excused.
+    fn check_progress(&mut self, backing_off: bool) -> Result<(), SimError> {
+        let Some(config) = self.watchdog else {
+            return Ok(());
+        };
+        let min_time = self
+            .engines
+            .iter()
+            .filter(|e| !e.is_done())
+            .map(|e| e.local_time())
+            .min();
+        let Some(min_time) = min_time else {
+            // All engines finished; nothing to watch.
+            return Ok(());
+        };
+        if !backing_off {
+            match self.last_min_time {
+                Some(prev) if min_time <= prev => self.stalled_rounds += 1,
+                _ => self.stalled_rounds = 0,
+            }
+            self.last_min_time = Some(min_time);
+        }
+        let hint_regressed = self
+            .engines
+            .iter()
+            .any(|e| !e.is_done() && e.next_event_hint().is_some_and(|h| h < e.local_time()));
+        if hint_regressed || self.stalled_rounds >= config.max_stalled_rounds {
+            let snapshot = self.snapshot();
+            if self.tracer.is_on() {
+                self.tracer.instant(
+                    self.coord_track,
+                    "watchdog",
+                    self.stats.time,
+                    &[
+                        ("stalled_rounds", Arg::from(snapshot.stalled_rounds)),
+                        ("hint_regressed", Arg::from(hint_regressed)),
+                    ],
+                );
+            }
+            return Err(SimError::Watchdog { snapshot });
+        }
         Ok(())
+    }
+
+    /// Captures per-engine diagnostics for a watchdog report.
+    fn snapshot(&self) -> WatchdogSnapshot {
+        WatchdogSnapshot {
+            time: self.stats.time,
+            stalled_rounds: self.stalled_rounds,
+            engines: self
+                .engines
+                .iter()
+                .map(|e| EngineSnapshot {
+                    name: e.name().to_string(),
+                    local_time: e.local_time(),
+                    hint: e.next_event_hint(),
+                    done: e.is_done(),
+                    detail: e.diagnostics(),
+                })
+                .collect(),
+        }
     }
 
     /// Runs synchronization rounds until every engine is done or `budget`
@@ -587,5 +803,213 @@ mod tests {
         let mut c = Coordinator::new(5);
         let stats = c.run(10).unwrap();
         assert_eq!(stats.sync_rounds, 0);
+    }
+
+    // ---- watchdog ----
+
+    /// An engine that advances normally until `stall_at`, then freezes
+    /// its clock without ever finishing — the failure mode (a wedged
+    /// simulator) the watchdog exists to catch.
+    #[derive(Debug)]
+    struct StallingWorker {
+        time: u64,
+        stall_at: u64,
+    }
+
+    impl SimEngine for StallingWorker {
+        fn name(&self) -> &str {
+            "stuck"
+        }
+        fn local_time(&self) -> u64 {
+            self.time
+        }
+        fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+            self.time = t.min(self.stall_at).max(self.time);
+            Ok(())
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn diagnostics(&self) -> String {
+            "wedged waiting on a bus grant".to_string()
+        }
+    }
+
+    #[test]
+    fn two_engine_stall_returns_watchdog_error_not_a_hang() {
+        // One healthy engine keeps doing work; the other wedges at t=50.
+        // Without the watchdog this `run(u64::MAX)` would never return.
+        let mut c = Coordinator::new(10);
+        c.add_engine(worker("healthy", 100_000_000));
+        c.add_engine(Box::new(StallingWorker {
+            time: 0,
+            stall_at: 50,
+        }));
+        let err = c.run(u64::MAX).unwrap_err();
+        let SimError::Watchdog { snapshot } = err else {
+            panic!("expected watchdog, got {err:?}");
+        };
+        assert_eq!(snapshot.engines.len(), 2);
+        assert!(snapshot.stuck().contains(&"stuck"));
+        assert_eq!(
+            snapshot.stalled_rounds,
+            WatchdogConfig::default().max_stalled_rounds
+        );
+        let stuck = &snapshot.engines[1];
+        assert_eq!(stuck.local_time, 50);
+        assert!(stuck.detail.contains("bus grant"), "diagnostics captured");
+        // The error message carries the whole snapshot for humans.
+        let msg = SimError::Watchdog { snapshot }.to_string();
+        assert!(msg.contains("no progress"), "{msg}");
+        assert!(msg.contains("stuck@50"), "{msg}");
+    }
+
+    /// An engine whose hint regresses behind its own clock: a broken
+    /// lookahead promise the watchdog flags immediately.
+    #[derive(Debug)]
+    struct BrokenPromise {
+        time: u64,
+    }
+
+    impl SimEngine for BrokenPromise {
+        fn name(&self) -> &str {
+            "liar"
+        }
+        fn local_time(&self) -> u64 {
+            self.time
+        }
+        fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+            self.time = t;
+            Ok(())
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn next_event_hint(&self) -> Option<u64> {
+            Some(self.time.saturating_sub(5))
+        }
+    }
+
+    #[test]
+    fn hint_regression_fires_the_watchdog_immediately() {
+        let mut c = Coordinator::new(10);
+        c.add_engine(Box::new(BrokenPromise { time: 0 }));
+        let err = c.run(u64::MAX).unwrap_err();
+        let SimError::Watchdog { snapshot } = err else {
+            panic!("expected watchdog, got {err:?}");
+        };
+        assert_eq!(snapshot.stalled_rounds, 0, "caught on the first round");
+        assert_eq!(snapshot.engines[0].hint, Some(5));
+        assert_eq!(snapshot.engines[0].local_time, 10);
+    }
+
+    #[test]
+    fn disabled_watchdog_restores_budget_semantics() {
+        let mut c = Coordinator::new(10);
+        assert!(c.watchdog().is_some(), "watchdog defaults on");
+        c.set_watchdog(None);
+        c.add_engine(Box::new(StallingWorker {
+            time: 0,
+            stall_at: 50,
+        }));
+        assert_eq!(c.run(100_000), Err(SimError::Budget { limit: 100_000 }));
+    }
+
+    #[test]
+    fn watchdog_stays_silent_on_healthy_mixed_runs() {
+        // The default watchdog must be invisible on every healthy run —
+        // including engines that finish at staggered times.
+        let mut c = Coordinator::new(7);
+        c.add_engine(worker("a", 3_000));
+        c.add_engine(hinted("b", 40));
+        c.add_engine(worker("c", 1));
+        let stats = c.run(u64::MAX).unwrap();
+        assert!(c.is_done());
+        assert_eq!(stats.retries, 0);
+    }
+
+    // ---- transient-fault retry ----
+
+    /// An engine whose next `fail_next` `advance_to` calls fail with a
+    /// transient hardware fault before it behaves like `Worker`.
+    #[derive(Debug)]
+    struct FlakyWorker {
+        inner: Worker,
+        fail_next: u32,
+    }
+
+    impl SimEngine for FlakyWorker {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn local_time(&self) -> u64 {
+            self.inner.local_time()
+        }
+        fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return Err(SimError::Hardware(codesign_rtl::RtlError::BusFault {
+                    addr: 0xFA17,
+                }));
+            }
+            self.inner.advance_to(t)
+        }
+        fn is_done(&self) -> bool {
+            self.inner.is_done()
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn flaky(work: u64, fail_next: u32) -> Box<dyn SimEngine> {
+        Box::new(FlakyWorker {
+            inner: Worker {
+                name: "flaky".to_string(),
+                time: 0,
+                work,
+            },
+            fail_next,
+        })
+    }
+
+    #[test]
+    fn retry_absorbs_transient_hardware_faults() {
+        let mut c = Coordinator::new(10);
+        assert!(c.retry().is_none(), "retry defaults off");
+        c.set_retry(Some(RetryPolicy::default()));
+        c.add_engine(flaky(30, 2));
+        c.add_engine(worker("peer", 60));
+        let stats = c.run(u64::MAX).unwrap();
+        assert!(c.is_done());
+        assert_eq!(stats.retries, 2, "both transient faults absorbed");
+    }
+
+    #[test]
+    fn retry_exhaustion_propagates_the_fault() {
+        let mut c = Coordinator::new(10);
+        c.set_retry(Some(RetryPolicy { max_attempts: 3 }));
+        c.add_engine(flaky(30, u32::MAX));
+        let err = c.run(u64::MAX).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Hardware(codesign_rtl::RtlError::BusFault { addr: 0xFA17 })
+        );
+        assert_eq!(c.stats().retries, 4, "3 retries plus the fatal attempt");
+    }
+
+    #[test]
+    fn without_retry_policy_faults_propagate_immediately() {
+        let mut c = Coordinator::new(10);
+        c.add_engine(flaky(30, 1));
+        let err = c.run(u64::MAX).unwrap_err();
+        assert!(matches!(err, SimError::Hardware(_)));
+        assert_eq!(c.stats().retries, 0);
     }
 }

@@ -6,6 +6,49 @@ use std::fmt;
 use codesign_isa::IsaError;
 use codesign_rtl::RtlError;
 
+/// One engine's state inside a [`WatchdogSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Engine name.
+    pub name: String,
+    /// The engine's local clock when the watchdog fired.
+    pub local_time: u64,
+    /// The engine's [`next_event_hint`](crate::engine::SimEngine::next_event_hint).
+    pub hint: Option<u64>,
+    /// Whether the engine had finished.
+    pub done: bool,
+    /// Engine-specific diagnostics (e.g. blocked message processes).
+    pub detail: String,
+}
+
+/// Diagnostics captured when the coordinator's no-progress watchdog
+/// fires: enough to see *which* engine wedged and *why* — local times,
+/// hints, and per-engine detail — without attaching a debugger to a
+/// simulation that would otherwise loop forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogSnapshot {
+    /// Global time when the watchdog fired.
+    pub time: u64,
+    /// Consecutive rounds in which the minimum unfinished local time
+    /// failed to advance (0 when a hint regression fired instead).
+    pub stalled_rounds: u64,
+    /// Every registered engine's state.
+    pub engines: Vec<EngineSnapshot>,
+}
+
+impl WatchdogSnapshot {
+    /// Names of the engines that still had work when the watchdog fired
+    /// — the suspects.
+    #[must_use]
+    pub fn stuck(&self) -> Vec<&str> {
+        self.engines
+            .iter()
+            .filter(|e| !e.done)
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+}
+
 /// Errors produced by the co-simulation engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -32,6 +75,13 @@ pub enum SimError {
     Software(IsaError),
     /// An error from the hardware side (RTL simulator).
     Hardware(RtlError),
+    /// The coordinator's no-progress watchdog fired: no unfinished engine
+    /// advanced its clock for too many consecutive rounds, or an engine's
+    /// lookahead hint regressed behind its own clock.
+    Watchdog {
+        /// Per-engine diagnostics at the moment the watchdog fired.
+        snapshot: WatchdogSnapshot,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +98,29 @@ impl fmt::Display for SimError {
             SimError::BadPlacement { reason } => write!(f, "bad placement: {reason}"),
             SimError::Software(e) => write!(f, "software: {e}"),
             SimError::Hardware(e) => write!(f, "hardware: {e}"),
+            SimError::Watchdog { snapshot } => {
+                write!(
+                    f,
+                    "watchdog: no progress at cycle {} after {} stalled rounds;",
+                    snapshot.time, snapshot.stalled_rounds
+                )?;
+                for e in &snapshot.engines {
+                    write!(
+                        f,
+                        " {}@{} (hint {}, {}{})",
+                        e.name,
+                        e.local_time,
+                        e.hint.map_or_else(|| "none".to_string(), |h| h.to_string()),
+                        if e.done { "done" } else { "running" },
+                        if e.detail.is_empty() {
+                            String::new()
+                        } else {
+                            format!(", {}", e.detail)
+                        },
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -136,8 +136,11 @@ impl Default for DriverCosts {
     }
 }
 
-/// The producer driver program shared by the pin and register levels.
-fn producer_program(cfg: &LadderConfig) -> String {
+/// The producer driver program shared by the pin and register levels
+/// (public so fault campaigns can rerun the same software against an
+/// instrumented bus).
+#[must_use]
+pub fn producer_program(cfg: &LadderConfig) -> String {
     format!(
         "    li r1, {base}\n\
          \x20   li r7, {iters}\n\

@@ -644,6 +644,37 @@ pub fn simulate_traced(
     Ok(report)
 }
 
+/// A fault decision for one message send, as seen by a
+/// [`MessageEngine`] with a [`MessageFaults`] hook installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SendFault {
+    /// Deliver normally.
+    #[default]
+    None,
+    /// Lose the message: the sender pays the transfer cost and moves on,
+    /// but nothing is delivered. On a rendezvous channel the receiver
+    /// stays blocked (a lost wakeup), which the engine's deadlock
+    /// detection or the coordinator watchdog then catches.
+    Drop,
+    /// Deliver the message twice (buffered channels only; a rendezvous
+    /// has exactly one blocked receiver, so duplication degenerates to a
+    /// normal delivery).
+    Duplicate,
+    /// Deliver late by the given extra cycles.
+    Delay(u64),
+}
+
+/// A deterministic fault source consulted by [`MessageEngine`] once per
+/// send event, in execution order. Because the engine executes steps in
+/// a canonical time-driven order independent of how the coordinator
+/// subdivides horizons, a deterministic implementor (e.g. a seeded RNG)
+/// yields bit-identical faulty runs for identical seeds.
+pub trait MessageFaults: std::fmt::Debug {
+    /// Decides the fate of a send on `channel` of `bytes` at engine time
+    /// `time` (the sender's clock before the transfer).
+    fn on_send(&mut self, channel: usize, bytes: u64, time: u64) -> SendFault;
+}
+
 /// A buffered channel's incremental state inside a [`MessageEngine`].
 #[derive(Debug, Clone)]
 struct EngineChan {
@@ -707,6 +738,8 @@ pub struct MessageEngine {
     /// Local clock floor: the engine follows global time between events.
     floor: u64,
     report: MessageReport,
+    /// Optional fault source consulted once per send event.
+    faults: Option<Box<dyn MessageFaults>>,
 }
 
 impl MessageEngine {
@@ -779,7 +812,23 @@ impl MessageEngine {
             sw_free: std::collections::HashMap::new(),
             floor: 0,
             report,
+            faults: None,
         })
+    }
+
+    /// Installs a fault source. Sends consult it in execution order; an
+    /// engine without one (the default) behaves bit-identically to the
+    /// fault-free simulator.
+    pub fn set_faults(&mut self, faults: Box<dyn MessageFaults>) {
+        self.faults = Some(faults);
+    }
+
+    /// Consults the fault source (if any) for a send on `ci`.
+    fn send_fault(&mut self, ci: usize, bytes: u64, time: u64) -> SendFault {
+        match &mut self.faults {
+            Some(f) => f.on_send(ci, bytes, time),
+            None => SendFault::None,
+        }
     }
 
     /// The accumulated report (complete once the engine
@@ -873,6 +922,29 @@ impl MessageEngine {
         }
     }
 
+    /// A buffered send from `p` on channel `ci`: the sender pays the
+    /// transfer (plus any injected delay) and moves on; the message is
+    /// enqueued zero, one, or two times according to the fault decision.
+    fn buffered_send(&mut self, ci: usize, p: usize, bytes: u64, local: bool) {
+        let fault = self.send_fault(ci, bytes, self.procs[p].ready);
+        let mut cost = self.config.comm.transfer_cycles(bytes, local);
+        if let SendFault::Delay(d) = fault {
+            cost += d;
+        }
+        self.procs[p].ready += cost;
+        let entry = (self.procs[p].ready, bytes, p);
+        match fault {
+            SendFault::Drop => {}
+            SendFault::Duplicate => {
+                self.chans[ci].queue.push_back(entry);
+                self.chans[ci].queue.push_back(entry);
+            }
+            SendFault::None | SendFault::Delay(_) => self.chans[ci].queue.push_back(entry),
+        }
+        self.report.events += 1;
+        self.advance_cursor(p);
+    }
+
     /// Executes one step. Steps came out of [`next_step`](Self::next_step),
     /// so all preconditions (blocked parties, queue contents) hold.
     fn execute(&mut self, step: EngineStep) -> Result<(), SimError> {
@@ -926,13 +998,7 @@ impl MessageEngine {
                         let local = self.chan_receiver[ci].is_some_and(|r| self.is_local(p, r));
                         if self.chans[ci].cap > 0 && self.chans[ci].queue.len() < self.chans[ci].cap
                         {
-                            // Buffered: the sender pays the transfer and
-                            // moves on.
-                            self.procs[p].ready += self.config.comm.transfer_cycles(bytes, local);
-                            let entry = (self.procs[p].ready, bytes, p);
-                            self.chans[ci].queue.push_back(entry);
-                            self.report.events += 1;
-                            self.advance_cursor(p);
+                            self.buffered_send(ci, p, bytes, local);
                         } else {
                             self.chans[ci].sender = Some((p, bytes));
                             self.procs[p].state = ProcState::BlockedSend;
@@ -953,10 +1019,27 @@ impl MessageEngine {
             }
             EngineStep::Rendezvous(ci) => {
                 let (s, bytes) = self.chans[ci].sender.take().expect("blocked sender");
+                let fault = self.send_fault(ci, bytes, self.procs[s].ready);
+                if fault == SendFault::Drop {
+                    // Lost at the handoff: the sender believes it
+                    // delivered and moves on; the receiver keeps waiting
+                    // for a message that will never come (a lost wakeup,
+                    // caught downstream as deadlock or by the watchdog).
+                    let r = self.chans[ci].receiver.expect("blocked receiver");
+                    let local = self.is_local(s, r);
+                    let start = self.procs[s].ready.max(self.procs[r].ready);
+                    self.procs[s].ready = start + self.config.comm.transfer_cycles(bytes, local);
+                    self.report.events += 1;
+                    self.advance_cursor(s);
+                    return self.check_budget(self.procs[s].ready);
+                }
                 let r = self.chans[ci].receiver.take().expect("blocked receiver");
                 let local = self.is_local(s, r);
                 let start = self.procs[s].ready.max(self.procs[r].ready);
-                let done = start + self.config.comm.transfer_cycles(bytes, local);
+                let mut done = start + self.config.comm.transfer_cycles(bytes, local);
+                if let SendFault::Delay(d) = fault {
+                    done += d;
+                }
                 self.procs[s].ready = done;
                 self.procs[r].ready = done;
                 self.report.messages += 1;
@@ -972,11 +1055,7 @@ impl MessageEngine {
             EngineStep::FreeSender(ci) => {
                 let (s, bytes) = self.chans[ci].sender.take().expect("blocked sender");
                 let local = self.chan_receiver[ci].is_some_and(|r| self.is_local(s, r));
-                self.procs[s].ready += self.config.comm.transfer_cycles(bytes, local);
-                let entry = (self.procs[s].ready, bytes, s);
-                self.chans[ci].queue.push_back(entry);
-                self.report.events += 1;
-                self.advance_cursor(s);
+                self.buffered_send(ci, s, bytes, local);
                 self.check_budget(self.procs[s].ready)
             }
             EngineStep::DrainReceiver(ci) => {
@@ -1041,6 +1120,31 @@ impl SimEngine for MessageEngine {
         // start time, which lower-bounds every observable effect
         // (software contention can only push work later).
         Some(self.next_step().map_or(u64::MAX, |(start, _)| start))
+    }
+
+    fn diagnostics(&self) -> String {
+        let blocked: Vec<String> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.state, ProcState::BlockedSend | ProcState::BlockedRecv))
+            .map(|(i, p)| {
+                format!(
+                    "{}({})",
+                    self.net.process(ProcessId::from_index(i)).name(),
+                    if p.state == ProcState::BlockedSend {
+                        "send"
+                    } else {
+                        "recv"
+                    }
+                )
+            })
+            .collect();
+        if blocked.is_empty() {
+            String::new()
+        } else {
+            format!("blocked: {}", blocked.join(", "))
+        }
     }
 }
 
@@ -1492,5 +1596,118 @@ mod tests {
             assert_eq!(r_look, r_lock, "quantum {quantum}");
             assert_eq!(lt_look, lt_lock, "quantum {quantum}");
         }
+    }
+
+    // ---- message-level fault injection ----
+
+    /// A scripted fault source: one decision per send event, in order,
+    /// then `None` forever.
+    #[derive(Debug)]
+    struct ScriptedFaults {
+        script: Vec<SendFault>,
+        next: usize,
+    }
+
+    impl MessageFaults for ScriptedFaults {
+        fn on_send(&mut self, _channel: usize, _bytes: u64, _time: u64) -> SendFault {
+            let f = self.script.get(self.next).copied().unwrap_or_default();
+            self.next += 1;
+            f
+        }
+    }
+
+    fn run_engine_with_faults(
+        mut eng: MessageEngine,
+        script: Vec<SendFault>,
+    ) -> Result<MessageReport, SimError> {
+        eng.set_faults(Box::new(ScriptedFaults { script, next: 0 }));
+        eng.advance_to(u64::MAX)?;
+        Ok(eng.report().clone())
+    }
+
+    #[test]
+    fn a_hook_that_never_faults_is_bit_identical() {
+        let mut plain = prodcons_engine(8);
+        plain.advance_to(u64::MAX).unwrap();
+        let hooked = run_engine_with_faults(prodcons_engine(8), vec![]).unwrap();
+        assert_eq!(plain.report(), &hooked);
+    }
+
+    #[test]
+    fn dropped_rendezvous_send_is_a_lost_wakeup() {
+        // The first producer->consumer handoff is lost: the producer
+        // believes it delivered and keeps going, so the consumer comes up
+        // one message short and the closed network deadlocks — a fault
+        // that is *detected*, not silently absorbed.
+        let err = run_engine_with_faults(prodcons_engine(2), vec![SendFault::Drop]).unwrap_err();
+        let SimError::Deadlock { blocked, .. } = err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(blocked, vec!["consumer".to_string()]);
+    }
+
+    #[test]
+    fn dropped_send_shows_up_in_engine_diagnostics() {
+        let mut eng = prodcons_engine(2);
+        eng.set_faults(Box::new(ScriptedFaults {
+            script: vec![SendFault::Drop],
+            next: 0,
+        }));
+        let _ = eng.advance_to(u64::MAX);
+        assert_eq!(eng.diagnostics(), "blocked: consumer(recv)");
+    }
+
+    #[test]
+    fn delayed_send_slips_the_schedule_but_loses_nothing() {
+        let clean = run_engine_with_faults(prodcons_engine(4), vec![]).unwrap();
+        let delayed =
+            run_engine_with_faults(prodcons_engine(4), vec![SendFault::Delay(10_000)]).unwrap();
+        assert_eq!(delayed.messages, clean.messages);
+        assert_eq!(delayed.bytes, clean.bytes);
+        assert!(
+            delayed.finish_time >= clean.finish_time + 10_000,
+            "delay visible in the schedule: {} vs {}",
+            delayed.finish_time,
+            clean.finish_time
+        );
+    }
+
+    #[test]
+    fn duplicated_buffered_send_delivers_twice() {
+        // Consumer expects one more message than the producer sends; a
+        // duplicated buffered send makes up the difference, so the run
+        // completes where the fault-free network would deadlock.
+        let net = |iters_consumer| {
+            let mut net = ProcessNetwork::new("dup");
+            let ch = net.add_channel("data", 4);
+            net.add_process(
+                Process::new(
+                    "producer",
+                    vec![Action::Send {
+                        channel: ch,
+                        bytes: 8,
+                    }],
+                )
+                .with_iterations(2),
+            );
+            net.add_process(
+                Process::new("consumer", vec![Action::Receive { channel: ch }])
+                    .with_iterations(iters_consumer),
+            );
+            net
+        };
+        let engine = |iters| {
+            MessageEngine::new(
+                "dup",
+                net(iters),
+                Placement::all_hardware(2),
+                MessageConfig::default(),
+            )
+            .unwrap()
+        };
+        let err = run_engine_with_faults(engine(3), vec![]).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+        let report = run_engine_with_faults(engine(3), vec![SendFault::Duplicate]).unwrap();
+        assert_eq!(report.messages, 3, "two sends, three deliveries");
     }
 }

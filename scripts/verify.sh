@@ -13,13 +13,18 @@ cargo fmt --check
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo test -q (hard 20-minute timeout) =="
+# The timeout is a backstop against coordination hangs the in-process
+# watchdog cannot see (e.g. a test that never calls the coordinator).
+timeout --signal=KILL 1200 cargo test -q
 
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
 echo "== bench-cosim smoke (1 iteration, gates round reduction) =="
 cargo run --release -q -p codesign-bench --bin bench-cosim -- --smoke
+
+echo "== bench-faults smoke (6 seeds, gates class accounting) =="
+cargo run --release -q -p codesign-bench --bin bench-faults -- --smoke
 
 echo "verify: OK"

@@ -91,7 +91,14 @@ mod tempfile {
 fn help_lists_subcommands() {
     let (out, _, ok) = codesign(&["help"]);
     assert!(ok);
-    for cmd in ["classify", "partition", "cosim", "multiproc", "ladder"] {
+    for cmd in [
+        "classify",
+        "partition",
+        "cosim",
+        "multiproc",
+        "ladder",
+        "faults",
+    ] {
         assert!(out.contains(cmd), "{cmd} missing from help");
     }
 }
@@ -187,6 +194,41 @@ fn bad_input_fails_cleanly() {
     let (_, err, ok) = codesign(&["frobnicate"]);
     assert!(!ok);
     assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn invalid_flag_values_name_the_flag() {
+    let (_, err, ok) = codesign(&["ladder", "--iterations", "lots"]);
+    assert!(!ok);
+    assert!(err.contains("--iterations"), "{err}");
+    assert!(err.contains("lots"), "{err}");
+    let (_, err, ok) = codesign(&["faults", "--seeds", "-3"]);
+    assert!(!ok);
+    assert!(err.contains("--seeds"), "{err}");
+    let (_, err, ok) = codesign(&["faults", "--scenario", "nope", "--seeds", "1"]);
+    assert!(!ok);
+    assert!(err.contains("unknown scenario"), "{err}");
+    assert!(err.contains("ladder_message"), "lists the options: {err}");
+}
+
+#[test]
+fn faults_runs_a_small_campaign() {
+    let out_path =
+        std::env::temp_dir().join(format!("codesign_cli_faults_{}.json", std::process::id()));
+    let (out, err, ok) = codesign(&[
+        "faults",
+        "--seeds",
+        "2",
+        "--scenario",
+        "ladder_message",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("ladder_message"), "{out}");
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    assert!(json.contains("fault_campaign"), "{json}");
+    let _ = std::fs::remove_file(&out_path);
 }
 
 #[test]
