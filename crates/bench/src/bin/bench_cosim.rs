@@ -31,6 +31,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use codesign_bench::jsonout;
 use codesign_hls::{synthesize, Constraints};
 use codesign_ir::workload::kernels;
 use codesign_rtl::fsmd::FsmdSim;
@@ -167,22 +168,8 @@ fn ladder_scenario() -> impl Fn() -> EngineSet {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            out_path = Some(arg);
-        }
-    }
-    let out_path = out_path.unwrap_or_else(|| {
-        if smoke {
-            "target/BENCH_cosim_smoke.json".to_string()
-        } else {
-            "BENCH_cosim.json".to_string()
-        }
-    });
+    let (smoke, out_path) =
+        jsonout::smoke_args("BENCH_cosim.json", "target/BENCH_cosim_smoke.json");
     let iterations: u32 = if smoke { 1 } else { 30 };
 
     let scenarios: [(&'static str, Scenario); 2] = [
@@ -223,40 +210,43 @@ fn main() {
         }
     }
 
-    let mut json = String::from(
-        "{\n  \"benchmark\": \"cosim_lookahead\",\n  \"units\": \"ns_per_run\",\n  \
-         \"before\": \"pure-lockstep coordinator (one quantum per round, hints ignored)\",\n  \
-         \"after\": \"lookahead coordinator (adaptive horizons, idle-skip, batched advancement)\",\n  \
-         \"results\": [\n",
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let speedup = r.before_ns as f64 / r.after_ns.max(1) as f64;
+            let reduction = r.rounds_before as f64 / r.rounds_after.max(1) as f64;
+            format!(
+                "{{\"scenario\": \"{}\", \"quantum\": {}, \"before_ns\": {}, \"after_ns\": {}, \
+                 \"speedup\": {:.2}, \"rounds_before\": {}, \"rounds_after\": {}, \
+                 \"rounds_skipped\": {}, \"round_reduction\": {:.2}}}",
+                r.scenario,
+                r.quantum,
+                r.before_ns,
+                r.after_ns,
+                speedup,
+                r.rounds_before,
+                r.rounds_after,
+                r.rounds_skipped,
+                reduction
+            )
+        })
+        .collect();
+    let json = jsonout::render(
+        "cosim_lookahead",
+        &[
+            ("units", "ns_per_run"),
+            (
+                "before",
+                "pure-lockstep coordinator (one quantum per round, hints ignored)",
+            ),
+            (
+                "after",
+                "lookahead coordinator (adaptive horizons, idle-skip, batched advancement)",
+            ),
+        ],
+        &rendered,
     );
-    for (i, r) in rows.iter().enumerate() {
-        let speedup = r.before_ns as f64 / r.after_ns.max(1) as f64;
-        let reduction = r.rounds_before as f64 / r.rounds_after.max(1) as f64;
-        let _ = writeln!(
-            json,
-            "    {{\"scenario\": \"{}\", \"quantum\": {}, \"before_ns\": {}, \"after_ns\": {}, \
-             \"speedup\": {:.2}, \"rounds_before\": {}, \"rounds_after\": {}, \
-             \"rounds_skipped\": {}, \"round_reduction\": {:.2}}}{}",
-            r.scenario,
-            r.quantum,
-            r.before_ns,
-            r.after_ns,
-            speedup,
-            r.rounds_before,
-            r.rounds_after,
-            r.rounds_skipped,
-            reduction,
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    json.push_str("  ]\n}\n");
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("creates output directory");
-        }
-    }
-    std::fs::write(&out_path, &json).expect("writes benchmark JSON");
-    println!("wrote {out_path}");
+    jsonout::write(&out_path, &json);
 
     // Gate: at the default quantum both scenarios must collapse at least
     // 3x of their synchronization rounds. Round counts are deterministic,

@@ -1,0 +1,188 @@
+//! `bench-explore` — throughput and determinism measurements for the
+//! design-space exploration executor, emitted as `BENCH_explore.json`.
+//!
+//! The scenario is the Figure 8 `dsp_coprocessor` application
+//! (characterized DSP suite as a task graph), explored with the same
+//! seed and budget under three executor configurations:
+//!
+//! - `threads=1` — the serial baseline;
+//! - `threads=N` — the work-stealing pool at the machine's parallelism
+//!   (capped at 8);
+//! - `threads=N, cache off` — the same run re-simulating every
+//!   candidate, isolating what the memo cache buys.
+//!
+//! The first two are asserted to produce **byte-identical reports** —
+//! the crate's core determinism claim — and the cached runs are
+//! asserted to reach the same Pareto front as the uncached one.
+//! Wall-clock numbers live here and nowhere else; the exploration
+//! report itself carries none.
+//!
+//! ```text
+//! cargo run --release -p codesign-bench --bin bench-explore [--smoke] [out.json]
+//! ```
+//!
+//! `--smoke` shrinks the budget and defaults the output under
+//! `target/`. The cache-hit-rate and byte-identity gates are
+//! deterministic and hold in both modes; the wall-clock speedup gate
+//! needs real cores and a real budget, so it is asserted only in full
+//! mode on a machine with more than one CPU (the pool is still run
+//! with at least two threads everywhere, so the work-stealing path is
+//! always exercised).
+
+use std::time::Instant;
+
+use codesign_bench::jsonout;
+use codesign_explore::{explore, DesignSpace, ExploreConfig, ExploreOutcome, SpaceConfig};
+use codesign_synth::coproc::{characterize, Application};
+use codesign_trace::Tracer;
+
+/// Candidate offers for the checked-in report.
+const FULL_BUDGET: u64 = 512;
+/// Candidate offers under `--smoke`.
+const SMOKE_BUDGET: u64 = 64;
+/// Exploration seed (fixed: the report is part of the artifact).
+const SEED: u64 = 0xD5E;
+
+struct Run {
+    label: &'static str,
+    threads: usize,
+    cache: bool,
+    wall_ns: u128,
+    outcome: ExploreOutcome,
+    report: String,
+}
+
+fn run(space: &DesignSpace, cfg: &ExploreConfig, label: &'static str) -> Run {
+    let start = Instant::now();
+    let outcome = explore(space, cfg, &Tracer::off());
+    let wall_ns = start.elapsed().as_nanos();
+    let report = outcome.report_json(space, cfg);
+    eprintln!(
+        "{label:>16}: {wall_ns:>12} ns, front {}, hit rate {:.2}",
+        outcome.archive.len(),
+        outcome.stats.hit_rate()
+    );
+    Run {
+        label,
+        threads: cfg.threads,
+        cache: cfg.use_cache,
+        wall_ns,
+        outcome,
+        report,
+    }
+}
+
+fn main() {
+    let (smoke, out_path) =
+        jsonout::smoke_args("BENCH_explore.json", "target/BENCH_explore_smoke.json");
+    let budget = if smoke { SMOKE_BUDGET } else { FULL_BUDGET };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // At least two threads so the work-stealing path always runs; the
+    // speedup gate below only fires when the cores exist to back it.
+    let pool = cores.clamp(2, 8);
+
+    let app = characterize(&Application::dsp_suite()).expect("dsp suite characterizes");
+    let space = DesignSpace::new(app.graph().clone(), SpaceConfig::default());
+    let base = ExploreConfig {
+        seed: SEED,
+        budget,
+        workers: 16,
+        ..ExploreConfig::default()
+    };
+
+    let serial = run(&space, &base, "threads=1");
+    let parallel = run(
+        &space,
+        &ExploreConfig {
+            threads: pool,
+            ..base.clone()
+        },
+        "threads=N",
+    );
+    let uncached = run(
+        &space,
+        &ExploreConfig {
+            threads: pool,
+            use_cache: false,
+            ..base.clone()
+        },
+        "no-cache",
+    );
+
+    // Determinism: the report must not depend on the thread count.
+    assert_eq!(
+        serial.report, parallel.report,
+        "exploration reports differ between threads=1 and threads={pool}"
+    );
+    // Cache transparency: disabling the memo changes cost, not results.
+    assert_eq!(
+        serial.outcome.archive.len(),
+        uncached.outcome.archive.len(),
+        "the cache changed the Pareto front"
+    );
+
+    let speedup = serial.wall_ns as f64 / parallel.wall_ns.max(1) as f64;
+    let cache_speedup = uncached.wall_ns as f64 / parallel.wall_ns.max(1) as f64;
+    let hit_rate = parallel.outcome.stats.hit_rate();
+
+    let rendered: Vec<String> = [&serial, &parallel, &uncached]
+        .iter()
+        .map(|r| {
+            let points_per_sec = r.outcome.stats.offered as f64 * 1e9 / r.wall_ns.max(1) as f64;
+            format!(
+                "{{\"run\": \"{}\", \"threads\": {}, \"cache\": {}, \"wall_ns\": {}, \
+                 \"points_per_sec\": {:.0}, \"offered\": {}, \"unique_points\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+                 \"front_size\": {}}}",
+                r.label,
+                r.threads,
+                r.cache,
+                r.wall_ns,
+                points_per_sec,
+                r.outcome.stats.offered,
+                r.outcome.stats.unique_points,
+                r.outcome.stats.cache_hits,
+                r.outcome.stats.cache_misses,
+                r.outcome.stats.hit_rate(),
+                r.outcome.archive.len()
+            )
+        })
+        .collect();
+    let speedup_str = format!("{speedup:.2}");
+    let cache_speedup_str = format!("{cache_speedup:.2}");
+    let json = jsonout::render(
+        "explore_executor",
+        &[
+            ("units", "ns_per_exploration"),
+            ("scenario", "dsp_coprocessor (Figure 8 suite)"),
+            ("identical_reports", "threads=1 vs threads=N, asserted"),
+            ("speedup_vs_1_thread", &speedup_str),
+            ("cache_speedup", &cache_speedup_str),
+        ],
+        &rendered,
+    );
+    jsonout::write(&out_path, &json);
+
+    // Gates. Hit rate is deterministic, so it holds in smoke mode too;
+    // the wall-clock speedup gate needs real cores and a real budget.
+    println!("cache hit rate: {hit_rate:.2} (gate: > 0)");
+    assert!(hit_rate > 0.0, "the evaluation cache never hit");
+    if !smoke && cores > 1 {
+        println!("speedup vs 1 thread: {speedup:.2}x on {pool} threads (gate: >= 1.5x)");
+        assert!(
+            speedup >= 1.5,
+            "parallel exploration is only {speedup:.2}x faster on {pool} threads"
+        );
+    } else {
+        println!(
+            "speedup vs 1 thread: {speedup:.2}x on {pool} threads (gate skipped: {})",
+            if smoke {
+                "smoke mode"
+            } else {
+                "single-CPU host"
+            }
+        );
+    }
+}

@@ -25,6 +25,7 @@
 //! the same seeds reproduce the same report byte for byte.
 
 use codesign::resilience::{campaign_table, run_campaign, CampaignConfig, SCENARIOS};
+use codesign_bench::jsonout;
 
 /// Seeds per scenario for the checked-in report.
 const FULL_SEEDS: u64 = 32;
@@ -32,22 +33,8 @@ const FULL_SEEDS: u64 = 32;
 const SMOKE_SEEDS: u64 = 6;
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            out_path = Some(arg);
-        }
-    }
-    let out_path = out_path.unwrap_or_else(|| {
-        if smoke {
-            "target/BENCH_faults_smoke.json".to_string()
-        } else {
-            "BENCH_faults.json".to_string()
-        }
-    });
+    let (smoke, out_path) =
+        jsonout::smoke_args("BENCH_faults.json", "target/BENCH_faults_smoke.json");
     let config = CampaignConfig {
         seeds: if smoke { SMOKE_SEEDS } else { FULL_SEEDS },
         ..CampaignConfig::default()
@@ -84,12 +71,5 @@ fn main() {
         "identical configs must produce byte-identical reports"
     );
 
-    let json = report.to_json();
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("creates output directory");
-        }
-    }
-    std::fs::write(&out_path, &json).expect("writes campaign JSON");
-    println!("wrote {out_path}");
+    jsonout::write(&out_path, &report.to_json());
 }

@@ -12,10 +12,9 @@
 //! cargo run --release -p codesign-bench --bin bench-partition [out.json]
 //! ```
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
-use codesign_bench::reference;
+use codesign_bench::{jsonout, reference};
 use codesign_ir::task::TaskGraph;
 use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
 use codesign_partition::algorithms::{
@@ -121,29 +120,33 @@ fn main() {
         }
     }
 
-    let mut json = String::from(
-        "{\n  \"benchmark\": \"partition_algorithms\",\n  \"units\": \"ns_per_run\",\n  \
-         \"before\": \"seed clone-and-reevaluate implementation (codesign_bench::reference)\",\n  \
-         \"after\": \"incremental Evaluator with suffix-restart delta evaluation\",\n  \
-         \"results\": [\n",
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let speedup = r.before_ns as f64 / r.after_ns.max(1) as f64;
+            format!(
+                "{{\"algorithm\": \"{}\", \"tasks\": {}, \"before_ns\": {}, \
+                 \"after_ns\": {}, \"speedup\": {:.2}}}",
+                r.algorithm, r.tasks, r.before_ns, r.after_ns, speedup
+            )
+        })
+        .collect();
+    let json = jsonout::render(
+        "partition_algorithms",
+        &[
+            ("units", "ns_per_run"),
+            (
+                "before",
+                "seed clone-and-reevaluate implementation (codesign_bench::reference)",
+            ),
+            (
+                "after",
+                "incremental Evaluator with suffix-restart delta evaluation",
+            ),
+        ],
+        &rendered,
     );
-    for (i, r) in rows.iter().enumerate() {
-        let speedup = r.before_ns as f64 / r.after_ns.max(1) as f64;
-        let _ = writeln!(
-            json,
-            "    {{\"algorithm\": \"{}\", \"tasks\": {}, \"before_ns\": {}, \
-             \"after_ns\": {}, \"speedup\": {:.2}}}{}",
-            r.algorithm,
-            r.tasks,
-            r.before_ns,
-            r.after_ns,
-            speedup,
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("writes benchmark JSON");
-    println!("wrote {out_path}");
+    jsonout::write(&out_path, &json);
 
     let kl64 = rows
         .iter()

@@ -33,6 +33,70 @@ pub mod reference;
 
 use std::fmt::Write as _;
 
+/// Shared plumbing for the `bench-*` binaries: the common
+/// `[--smoke] [out.json]` argument convention and the standard
+/// benchmark JSON document shape (a `"benchmark"` name, descriptive
+/// header fields, and a `"results"` array of preformatted rows). Every
+/// `BENCH_*.json` in the repository is rendered through this module, so
+/// the artifact-collection glob and downstream tooling see one format.
+pub mod jsonout {
+    use std::fmt::Write as _;
+
+    /// Parses the standard bench CLI: an optional `--smoke` flag and an
+    /// optional output path. Returns `(smoke, out_path)`, defaulting the
+    /// path to `default_full`, or to `default_smoke` under `--smoke` so
+    /// CI smoke runs never perturb a checked-in report.
+    #[must_use]
+    pub fn smoke_args(default_full: &str, default_smoke: &str) -> (bool, String) {
+        let mut smoke = false;
+        let mut out_path: Option<String> = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--smoke" {
+                smoke = true;
+            } else {
+                out_path = Some(arg);
+            }
+        }
+        let out_path =
+            out_path.unwrap_or_else(|| (if smoke { default_smoke } else { default_full }).into());
+        (smoke, out_path)
+    }
+
+    /// Renders the standard benchmark document: the `"benchmark"` name,
+    /// the string-valued `headers` in order, then `rows` (each a
+    /// preformatted JSON object, no trailing comma) under `"results"`.
+    #[must_use]
+    pub fn render(benchmark: &str, headers: &[(&str, &str)], rows: &[String]) -> String {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"benchmark\": \"{benchmark}\",");
+        for (key, value) in headers {
+            let _ = writeln!(json, "  \"{key}\": \"{value}\",");
+        }
+        json.push_str("  \"results\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {row}{}",
+                if i + 1 < rows.len() { "," } else { "" }
+            );
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Writes a report, creating parent directories as needed, and
+    /// prints the conventional `wrote {path}` line.
+    pub fn write(path: &str, json: &str) {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("creates output directory");
+            }
+        }
+        std::fs::write(path, json).expect("writes benchmark JSON");
+        println!("wrote {path}");
+    }
+}
+
 /// One regenerated figure/table.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {

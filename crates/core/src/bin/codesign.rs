@@ -3,6 +3,7 @@
 //! ```text
 //! codesign classify                         criteria tables (paper §5, Fig. 2)
 //! codesign partition <spec.cds> [opts]      HW/SW-partition the task-graph view
+//! codesign explore <spec.cds> [opts]        deterministic design-space exploration
 //! codesign cosim <spec.cds> [opts]          message-level co-simulation of the process view
 //! codesign multiproc <spec.cds> --deadline N   processor allocation (Fig. 5 flows)
 //! codesign ladder [opts]                    the Figure 3 abstraction-ladder sweep
@@ -13,6 +14,7 @@
 
 use std::process::ExitCode;
 
+use codesign::explore::{explore, Constraints, DesignSpace, ExploreConfig, SpaceConfig, Weights};
 use codesign::ir::spec::SystemSpec;
 use codesign::partition::algorithms::{
     gclp, hw_first, kernighan_lin, portfolio, simulated_annealing, sw_first, AnnealingSchedule,
@@ -39,12 +41,26 @@ USAGE:
 
   codesign partition <spec.cds> [--objective perf|cost|concurrency]
                      [--algorithm kl|sw|hw|gclp|sa|portfolio] [--deadline N]
-                     [--sharing]
+                     [--sharing] [--json]
       Partition the spec's task-graph view. The deadline defaults to the
       spec's `deadline` line; `--sharing` prices hardware with the
       sharing-aware estimator. `portfolio` races every algorithm (plus a
       multi-seed annealer) on concurrent threads and keeps the best
-      partition; the result is deterministic.
+      partition; the result is deterministic. `--json` emits the result
+      as machine-readable JSON instead of the table.
+
+  codesign explore <spec.cds> [--budget N] [--threads N] [--seed N]
+                   [--workers N] [--objective perf|cost|concurrency]
+                   [--deadline N] [--sharing] [--json] [--out FILE]
+                   [--trace FILE]
+      Explore the joint design space of the spec's task-graph view: HW/SW
+      assignment x co-simulation quantum x interface abstraction level,
+      scored by the partition cost model plus a bounded co-simulation.
+      Candidates come from seeded generator substreams, evaluations are
+      memoized in a content-addressed cache and fanned out over
+      `--threads`, and survivors land in a Pareto archive. The report is
+      byte-identical for any `--threads` at a fixed seed. `--json` prints
+      the JSON report to stdout; `--out` writes it to a file.
 
   codesign cosim <spec.cds> [--hw name1,name2] [--budget K] [--quantum N]
                  [--trace FILE]
@@ -100,6 +116,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         Some("classify") => cmd_classify(),
         Some("partition") => cmd_partition(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("cosim") => cmd_cosim(&args[1..]),
         Some("multiproc") => cmd_multiproc(&args[1..]),
         Some("ladder") => cmd_ladder(&args[1..]),
@@ -178,11 +195,14 @@ fn cmd_classify() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let spec = load_spec(args)?;
-    let graph = spec
-        .task_graph()
-        .ok_or("the spec declares no tasks; `partition` needs the task-graph view")?;
+/// Resolves the shared `--objective`/`--deadline` flags against a task
+/// graph (the deadline defaults to the spec's `deadline` line). Used by
+/// both `partition` and `explore` so the two commands price designs the
+/// same way.
+fn objective_flags(
+    args: &[String],
+    graph: &codesign::ir::task::TaskGraph,
+) -> Result<(Objective, Option<u64>), Box<dyn std::error::Error>> {
     let deadline = parsed_flag::<u64>(args, "--deadline")?.or_else(|| graph.deadline());
     let objective = match (flag_value(args, "--objective"), deadline) {
         (Some("cost"), Some(d)) => Objective::cost_driven(d),
@@ -191,6 +211,15 @@ fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         (Some(o), Some(_)) => return Err(format!("unknown objective `{o}`").into()),
         (_, None) => Objective::default(),
     };
+    Ok((objective, deadline))
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = load_spec(args)?;
+    let graph = spec
+        .task_graph()
+        .ok_or("the spec declares no tasks; `partition` needs the task-graph view")?;
+    let (objective, deadline) = objective_flags(args, graph)?;
     let shared;
     let naive = NaiveArea;
     let area: &dyn codesign::partition::area::HwAreaModel = if has_flag(args, "--sharing") {
@@ -209,6 +238,42 @@ fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "portfolio" => portfolio(graph, &config)?,
         other => return Err(format!("unknown algorithm `{other}`").into()),
     };
+    if has_flag(args, "--json") {
+        let mut out = String::from("{\n");
+        out.push_str("  \"command\": \"partition\",\n");
+        out.push_str(&format!("  \"system\": \"{}\",\n", spec.name()));
+        out.push_str(&format!(
+            "  \"algorithm\": \"{}\",\n",
+            flag_value(args, "--algorithm").unwrap_or("kl")
+        ));
+        out.push_str("  \"tasks\": [\n");
+        for (i, (id, task)) in graph.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"side\": \"{}\"}}{}\n",
+                task.name(),
+                match partition.side(id) {
+                    codesign::partition::Side::Sw => "sw",
+                    codesign::partition::Side::Hw => "hw",
+                },
+                if i + 1 < graph.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"makespan\": {},\n", eval.makespan));
+        match deadline {
+            Some(d) => {
+                out.push_str(&format!("  \"deadline\": {d},\n"));
+                out.push_str(&format!("  \"meets_deadline\": {},\n", eval.meets_deadline));
+            }
+            None => out.push_str("  \"deadline\": null,\n"),
+        }
+        out.push_str(&format!("  \"hw_area\": {:.4},\n", eval.hw_area));
+        out.push_str(&format!("  \"cross_bytes\": {},\n", eval.cross_bytes));
+        out.push_str(&format!("  \"cost\": {:.6}\n", eval.cost));
+        out.push_str("}\n");
+        print!("{out}");
+        return Ok(());
+    }
     println!("system `{}` — partition:", spec.name());
     for (id, task) in graph.iter() {
         println!("  {:<16} {:?}", task.name(), partition.side(id));
@@ -224,6 +289,87 @@ fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         eval.cross_bytes,
         eval.cost
     );
+    Ok(())
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = load_spec(args)?;
+    let graph = spec
+        .task_graph()
+        .ok_or("the spec declares no tasks; `explore` needs the task-graph view")?;
+    let (objective, _) = objective_flags(args, graph)?;
+    let space_cfg = SpaceConfig {
+        objective,
+        sharing_aware: has_flag(args, "--sharing"),
+        ..SpaceConfig::default()
+    };
+    let space = DesignSpace::new(graph.clone(), space_cfg);
+    let cfg = ExploreConfig {
+        seed: parsed_flag(args, "--seed")?.unwrap_or(42),
+        budget: parsed_flag(args, "--budget")?.unwrap_or(256),
+        threads: parsed_flag::<usize>(args, "--threads")?.unwrap_or(1).max(1),
+        workers: parsed_flag::<usize>(args, "--workers")?.unwrap_or(8).max(1),
+        ..ExploreConfig::default()
+    };
+    let (tracer, trace_path) = trace_flag(args);
+    let outcome = explore(&space, &cfg, &tracer);
+    let report = outcome.report_json(&space, &cfg);
+    if let Some(out) = flag_value(args, "--out") {
+        std::fs::write(out, &report).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        eprintln!("report -> {out}");
+    }
+    if has_flag(args, "--json") {
+        print!("{report}");
+        save_trace(&tracer, trace_path)?;
+        return Ok(());
+    }
+    println!("system `{}` — design-space exploration:", spec.name());
+    println!(
+        "  {} offers over {} rounds (seed {:#x}, {} workers), {} unique points simulated",
+        outcome.stats.offered,
+        outcome.stats.rounds,
+        cfg.seed,
+        cfg.workers,
+        outcome.stats.unique_points
+    );
+    println!(
+        "  cache: {} hits / {} misses ({:.0}% hit rate), {} infeasible",
+        outcome.stats.cache_hits,
+        outcome.stats.cache_misses,
+        outcome.stats.hit_rate() * 100.0,
+        outcome.stats.infeasible
+    );
+    println!("\n  Pareto front ({} points):", outcome.archive.len());
+    println!(
+        "  {:>16} | {:>7} | {:>8} | {:>10} | {:>8} | {:>11} | {:>11}",
+        "assignment", "quantum", "level", "latency", "hw area", "cross bytes", "sync rounds"
+    );
+    for e in outcome.archive.sorted_entries() {
+        println!(
+            "  {:>16} | {:>7} | {:>8} | {:>10} | {:>8.1} | {:>11} | {:>11}",
+            e.point.assignment_string(),
+            e.point.quantum,
+            e.point.level.to_string(),
+            e.score.latency,
+            e.score.hw_area,
+            e.score.cross_bytes,
+            e.score.sync_rounds
+        );
+    }
+    if let Some(best) = outcome
+        .archive
+        .best_under(&Constraints::default(), &Weights::default())
+    {
+        println!(
+            "\n  best (latency-led weights): {} q={} {} — {} cycles, area {:.1}",
+            best.point.assignment_string(),
+            best.point.quantum,
+            best.point.level,
+            best.score.latency,
+            best.score.hw_area
+        );
+    }
+    save_trace(&tracer, trace_path)?;
     Ok(())
 }
 

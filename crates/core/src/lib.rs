@@ -18,6 +18,7 @@
 //! | co-simulation | [`sim`] | Section 3.1, Figure 3 |
 //! | partitioning | [`partition`] | Section 3.3 |
 //! | co-synthesis flows | [`synth`] | Sections 4.1, 4.2, 4.5, 4.5.1 |
+//! | design-space exploration | [`explore`] | Section 3.3 + \[9\] iteration |
 //!
 //! This crate adds the paper's own contribution:
 //!
@@ -54,6 +55,7 @@ pub mod report;
 pub mod resilience;
 pub mod taxonomy;
 
+pub use codesign_explore as explore;
 pub use codesign_fault as fault;
 pub use codesign_hls as hls;
 pub use codesign_ir as ir;

@@ -1,0 +1,275 @@
+//! The Pareto archive: the incumbent non-dominated set with dominance
+//! pruning and a scalarized "best under constraints" query.
+//!
+//! Dominance is over the four exploration objectives — latency,
+//! hardware area, cross-boundary bytes, synchronization rounds — all
+//! minimized. The archive admits a candidate only if no incumbent is at
+//! least as good on every objective (ties included: an exact duplicate
+//! of an incumbent is rejected, so the first point to reach a score in
+//! merge order keeps it, deterministically). Admission evicts every
+//! incumbent the candidate dominates, so the invariant *no archived
+//! point dominates another* holds after every insert — pinned by a
+//! proptest over random score sets.
+
+use crate::{DesignPoint, Score};
+
+/// One archived point with its score and canonical key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveEntry {
+    /// The configuration.
+    pub point: DesignPoint,
+    /// Its evaluation.
+    pub score: Score,
+    /// Its canonical cache key (also the deterministic tie-breaker).
+    pub key: u64,
+}
+
+/// Upper bounds for the constrained-best query; `None` means
+/// unconstrained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constraints {
+    /// Maximum co-simulated latency, in cycles.
+    pub max_latency: Option<u64>,
+    /// Maximum hardware area.
+    pub max_area: Option<f64>,
+    /// Maximum cross-boundary bytes.
+    pub max_bytes: Option<u64>,
+    /// Maximum synchronization rounds.
+    pub max_rounds: Option<u64>,
+}
+
+impl Constraints {
+    /// Whether a score satisfies every bound.
+    #[must_use]
+    pub fn admits(&self, score: &Score) -> bool {
+        score.feasible
+            && self.max_latency.is_none_or(|m| score.latency <= m)
+            && self.max_area.is_none_or(|m| score.hw_area <= m)
+            && self.max_bytes.is_none_or(|m| score.cross_bytes <= m)
+            && self.max_rounds.is_none_or(|m| score.sync_rounds <= m)
+    }
+}
+
+/// Scalarization weights for [`ParetoArchive::best_under`]. Each
+/// objective is normalized by the archive's maximum before weighting,
+/// so the weights compare like-for-like regardless of units.
+#[derive(Debug, Clone, Copy)]
+pub struct Weights {
+    /// Weight of normalized latency.
+    pub latency: f64,
+    /// Weight of normalized hardware area.
+    pub area: f64,
+    /// Weight of normalized cross-boundary bytes.
+    pub bytes: f64,
+    /// Weight of normalized synchronization rounds.
+    pub rounds: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        // Latency-led, the usual performance-driven posture; area and
+        // communication matter, synchronization cost is a tie-breaker.
+        Weights {
+            latency: 1.0,
+            area: 0.5,
+            bytes: 0.25,
+            rounds: 0.1,
+        }
+    }
+}
+
+/// The non-dominated set.
+#[derive(Debug, Default)]
+pub struct ParetoArchive {
+    entries: Vec<ArchiveEntry>,
+}
+
+impl ParetoArchive {
+    /// An empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        ParetoArchive::default()
+    }
+
+    /// Offers a point to the archive. Returns `true` if it was admitted
+    /// (evicting everything it dominates), `false` if an incumbent is
+    /// at least as good on every objective or the score is infeasible.
+    pub fn insert(&mut self, point: DesignPoint, score: Score, key: u64) -> bool {
+        if !score.feasible {
+            return false;
+        }
+        if self
+            .entries
+            .iter()
+            .any(|e| e.score.dominates(&score) || e.score.objectives_equal(&score))
+        {
+            return false;
+        }
+        self.entries.retain(|e| !score.dominates(&e.score));
+        self.entries.push(ArchiveEntry { point, score, key });
+        true
+    }
+
+    /// The archived entries, in admission order (deterministic given a
+    /// deterministic offer sequence).
+    #[must_use]
+    pub fn entries(&self) -> &[ArchiveEntry] {
+        &self.entries
+    }
+
+    /// Front size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The front sorted for presentation: by latency, then area, then
+    /// bytes, then rounds, then canonical key — a total order, so the
+    /// report is byte-stable.
+    #[must_use]
+    pub fn sorted_entries(&self) -> Vec<&ArchiveEntry> {
+        let mut v: Vec<&ArchiveEntry> = self.entries.iter().collect();
+        v.sort_by(|a, b| {
+            a.score
+                .latency
+                .cmp(&b.score.latency)
+                .then(a.score.hw_area.total_cmp(&b.score.hw_area))
+                .then(a.score.cross_bytes.cmp(&b.score.cross_bytes))
+                .then(a.score.sync_rounds.cmp(&b.score.sync_rounds))
+                .then(a.key.cmp(&b.key))
+        });
+        v
+    }
+
+    /// The best archived point under `constraints`: lowest weighted sum
+    /// of archive-normalized objectives, exact ties broken by lowest
+    /// canonical key. `None` if no archived point satisfies the bounds.
+    #[must_use]
+    pub fn best_under(
+        &self,
+        constraints: &Constraints,
+        weights: &Weights,
+    ) -> Option<&ArchiveEntry> {
+        let max_latency = self.entries.iter().map(|e| e.score.latency).max()?.max(1);
+        let max_area = self
+            .entries
+            .iter()
+            .map(|e| e.score.hw_area)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let max_bytes = self
+            .entries
+            .iter()
+            .map(|e| e.score.cross_bytes)
+            .max()?
+            .max(1);
+        let max_rounds = self
+            .entries
+            .iter()
+            .map(|e| e.score.sync_rounds)
+            .max()?
+            .max(1);
+        let value = |s: &Score| {
+            weights.latency * s.latency as f64 / max_latency as f64
+                + weights.area * s.hw_area / max_area
+                + weights.bytes * s.cross_bytes as f64 / max_bytes as f64
+                + weights.rounds * s.sync_rounds as f64 / max_rounds as f64
+        };
+        self.entries
+            .iter()
+            .filter(|e| constraints.admits(&e.score))
+            .min_by(|a, b| {
+                value(&a.score)
+                    .total_cmp(&value(&b.score))
+                    .then(a.key.cmp(&b.key))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_partition::Side;
+    use codesign_sim::ladder::AbstractionLevel;
+
+    fn point() -> DesignPoint {
+        DesignPoint {
+            assignment: vec![Side::Sw],
+            quantum: 16,
+            level: AbstractionLevel::Message,
+        }
+    }
+
+    fn score(latency: u64, area: f64, bytes: u64, rounds: u64) -> Score {
+        Score {
+            latency,
+            hw_area: area,
+            cross_bytes: bytes,
+            sync_rounds: rounds,
+            makespan: latency,
+            cost: latency as f64,
+            feasible: true,
+        }
+    }
+
+    #[test]
+    fn insert_prunes_dominated_and_rejects_dominated() {
+        let mut a = ParetoArchive::new();
+        assert!(a.insert(point(), score(100, 10.0, 50, 5), 1));
+        // Dominated candidate: rejected.
+        assert!(!a.insert(point(), score(110, 10.0, 50, 5), 2));
+        // Dominating candidate: admitted, evicts the incumbent.
+        assert!(a.insert(point(), score(90, 10.0, 50, 5), 3));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.entries()[0].key, 3);
+        // Incomparable candidate: coexists.
+        assert!(a.insert(point(), score(200, 1.0, 50, 5), 4));
+        assert_eq!(a.len(), 2);
+        // Exact duplicate of an incumbent: first wins.
+        assert!(!a.insert(point(), score(200, 1.0, 50, 5), 5));
+        // Infeasible: never admitted.
+        assert!(!a.insert(point(), Score::infeasible(), 6));
+    }
+
+    #[test]
+    fn best_under_respects_constraints_and_ties_to_lowest_key() {
+        let mut a = ParetoArchive::new();
+        a.insert(point(), score(100, 10.0, 0, 5), 10);
+        a.insert(point(), score(50, 20.0, 0, 5), 4);
+        let unconstrained = a
+            .best_under(&Constraints::default(), &Weights::default())
+            .unwrap();
+        assert_eq!(unconstrained.score.latency, 50, "latency-led weights");
+        let tight = Constraints {
+            max_area: Some(15.0),
+            ..Constraints::default()
+        };
+        assert_eq!(
+            a.best_under(&tight, &Weights::default()).unwrap().key,
+            10,
+            "the fast point is over the area bound"
+        );
+        let impossible = Constraints {
+            max_latency: Some(10),
+            ..Constraints::default()
+        };
+        assert!(a.best_under(&impossible, &Weights::default()).is_none());
+    }
+
+    #[test]
+    fn sorted_entries_are_totally_ordered() {
+        let mut a = ParetoArchive::new();
+        a.insert(point(), score(100, 10.0, 0, 5), 2);
+        a.insert(point(), score(50, 20.0, 0, 5), 1);
+        a.insert(point(), score(75, 15.0, 0, 5), 3);
+        let sorted = a.sorted_entries();
+        let latencies: Vec<u64> = sorted.iter().map(|e| e.score.latency).collect();
+        assert_eq!(latencies, vec![50, 75, 100]);
+    }
+}

@@ -1,0 +1,133 @@
+//! The content-addressed evaluation cache.
+//!
+//! Scores are memoized under the canonical key computed by
+//! [`DesignSpace::key`](crate::DesignSpace::key) — an FNV-1a hash of
+//! (spec digest, assignment, quantum, level) — so a revisited point is
+//! never re-simulated, no matter which generator stream or round
+//! produced it. Infeasible scores are cached too: a point that blew its
+//! co-simulation budget once would blow it again.
+//!
+//! The executor consults the cache only on its serial merge path
+//! (generation → lookup → parallel evaluation of the misses → ordered
+//! merge), so the cache needs no locking and its hit/miss counters are
+//! deterministic — they survive the `--threads 1` vs `--threads 8`
+//! bit-identity gate.
+
+use std::collections::HashMap;
+
+use crate::Score;
+
+/// A memo of evaluated design points with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: HashMap<u64, Score>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Looks up a canonical key, counting a hit or a miss.
+    pub fn lookup(&mut self, key: u64) -> Option<Score> {
+        match self.map.get(&key) {
+            Some(score) => {
+                self.hits += 1;
+                Some(score.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a hit without a lookup — used when a round's candidate
+    /// list contains the same key twice: the second occurrence is served
+    /// by the first's in-flight evaluation, not re-simulated.
+    pub fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Stores the score for a key (last write wins; identical keys carry
+    /// identical scores because evaluation is pure).
+    pub fn insert(&mut self, key: u64, score: Score) {
+        self.map.insert(key, score);
+    }
+
+    /// Distinct points evaluated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the cache (including in-flight duplicates).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required an evaluation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits over total lookups, 0.0 on an untouched cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(latency: u64) -> Score {
+        Score {
+            latency,
+            hw_area: 1.0,
+            cross_bytes: 2,
+            sync_rounds: 3,
+            makespan: 4,
+            cost: 0.5,
+            feasible: true,
+        }
+    }
+
+    #[test]
+    fn lookup_counts_and_returns() {
+        let mut cache = EvalCache::new();
+        assert!(cache.lookup(7).is_none());
+        cache.insert(7, score(100));
+        assert_eq!(cache.lookup(7).unwrap().latency, 100);
+        cache.count_hit();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn empty_cache_has_zero_rate() {
+        let cache = EvalCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,508 @@
+//! The deterministic parallel exploration executor.
+//!
+//! The loop is round-based, and every source of nondeterminism is
+//! pinned the same way the solver portfolio and the fault injector pin
+//! theirs:
+//!
+//! 1. **Generate (serial).** A fixed number of *logical* workers — a
+//!    config knob independent of `--threads` — each draw one candidate
+//!    from a private `StdRng` seeded `seed ^ fnv1a("worker:w:round:r")`,
+//!    mutating a snapshot of the Pareto front taken at round start (or
+//!    restarting from a random point). Adding OS threads cannot change
+//!    what gets generated.
+//! 2. **Resolve against the cache (serial, fixed order).** Each
+//!    candidate's canonical key is looked up in candidate order; a key
+//!    already evaluated is a hit, a key already pending *this round* is
+//!    a hit served by the in-flight evaluation, anything else joins the
+//!    pending list. Because this pass is serial, the hit/miss counters
+//!    are deterministic too.
+//! 3. **Evaluate the misses (parallel).** OS threads pull pending
+//!    indices from an atomic counter — classic work stealing — and
+//!    write `(index, score)` pairs into private buffers. Evaluation is
+//!    pure, so scheduling order is unobservable.
+//! 4. **Merge (serial, fixed order).** Scores are scattered back by
+//!    index and the candidates are offered to the cache, tracer, and
+//!    archive in the original candidate order.
+//!
+//! The result: bit-identical archives, counters, and reports at
+//! `--threads 1` and `--threads 8`, with or without the cache.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use codesign_sim::ladder::AbstractionLevel;
+use codesign_trace::Tracer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use codesign_partition::Side;
+
+use crate::{
+    fnv1a_str, Constraints, DesignPoint, DesignSpace, EvalCache, ParetoArchive, Score, Weights,
+};
+
+/// Executor parameters. `threads` is the only knob that may legally
+/// vary between two runs expected to produce identical output.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Base seed for every generator substream.
+    pub seed: u64,
+    /// Total candidates to offer (generation budget).
+    pub budget: u64,
+    /// OS threads evaluating cache misses. Affects wall clock only.
+    pub threads: usize,
+    /// Logical generator streams per round. Part of the experiment
+    /// definition: changing it changes the candidate sequence.
+    pub workers: usize,
+    /// Synchronization quanta candidates may choose from.
+    pub quanta: Vec<u64>,
+    /// Interface abstraction levels candidates may choose from.
+    pub levels: Vec<AbstractionLevel>,
+    /// Consult the memo cache (off only for the equivalence proptest
+    /// and for measuring the cache's worth).
+    pub use_cache: bool,
+    /// Probability a worker restarts from a uniform random point
+    /// instead of mutating the incumbent front.
+    pub restart_pct: f64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            seed: 42,
+            budget: 256,
+            threads: 1,
+            workers: 8,
+            quanta: vec![4, 8, 16, 32, 64],
+            levels: AbstractionLevel::ALL.to_vec(),
+            use_cache: true,
+            restart_pct: 0.25,
+        }
+    }
+}
+
+/// Deterministic accounting for one exploration run. Everything here
+/// is independent of `threads`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Candidates generated (equals the budget).
+    pub offered: u64,
+    /// Generation rounds executed.
+    pub rounds: u64,
+    /// Distinct design points actually simulated.
+    pub unique_points: u64,
+    /// Cache hits (including in-round duplicate service).
+    pub cache_hits: u64,
+    /// Cache misses (each one cost a simulation).
+    pub cache_misses: u64,
+    /// Candidates scored infeasible.
+    pub infeasible: u64,
+}
+
+impl ExploreStats {
+    /// Hits over total lookups, 0.0 when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The result of one exploration run.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// The final non-dominated set.
+    pub archive: ParetoArchive,
+    /// Deterministic run accounting.
+    pub stats: ExploreStats,
+}
+
+/// Where a resolved candidate's score will come from.
+enum Resolution {
+    /// Already cached (or an earlier in-round duplicate): score known.
+    Known(Score),
+    /// Index into this round's pending evaluation list.
+    Pending(usize),
+}
+
+/// One generated candidate, post cache resolution.
+struct Candidate {
+    point: DesignPoint,
+    key: u64,
+    resolution: Resolution,
+}
+
+/// Runs the exploration loop. Output is a pure function of
+/// `(space, cfg minus threads)` — see the module docs for why.
+#[must_use]
+pub fn explore(space: &DesignSpace, cfg: &ExploreConfig, tracer: &Tracer) -> ExploreOutcome {
+    let track = tracer.track("explore");
+    let mut cache = EvalCache::new();
+    let mut archive = ParetoArchive::new();
+    let mut offered = 0u64;
+    let mut rounds = 0u64;
+    let mut infeasible = 0u64;
+    let mut simulated = 0u64;
+    let mut merged = 0u64; // monotone trace timestamp
+    let workers = cfg.workers.max(1);
+
+    while offered < cfg.budget {
+        // 1. Generate, serially, from per-(worker, round) substreams.
+        let snapshot: Vec<DesignPoint> =
+            archive.entries().iter().map(|e| e.point.clone()).collect();
+        let mut generated = Vec::with_capacity(workers);
+        for w in 0..workers {
+            if offered >= cfg.budget {
+                break;
+            }
+            let stream = fnv1a_str(&format!("worker:{w}:round:{rounds}"));
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ stream);
+            generated.push(next_candidate(space, cfg, &snapshot, &mut rng));
+            offered += 1;
+        }
+
+        // 2. Resolve against the cache in candidate order.
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(generated.len());
+        let mut pending: Vec<DesignPoint> = Vec::new();
+        let mut pending_keys: Vec<u64> = Vec::new();
+        for point in generated {
+            let key = space.key(&point);
+            let resolution = if cfg.use_cache {
+                match cache.lookup(key) {
+                    Some(score) => Resolution::Known(score),
+                    None => match pending_keys.iter().position(|&k| k == key) {
+                        Some(i) => {
+                            cache.count_hit();
+                            Resolution::Pending(i)
+                        }
+                        None => {
+                            pending.push(point.clone());
+                            pending_keys.push(key);
+                            Resolution::Pending(pending.len() - 1)
+                        }
+                    },
+                }
+            } else {
+                pending.push(point.clone());
+                pending_keys.push(key);
+                Resolution::Pending(pending.len() - 1)
+            };
+            candidates.push(Candidate {
+                point,
+                key,
+                resolution,
+            });
+        }
+
+        // 3. Evaluate the misses on a work-stealing pool.
+        simulated += pending.len() as u64;
+        let scores = evaluate_pending(space, &pending, cfg.threads);
+
+        // 4. Merge in candidate order.
+        for c in candidates {
+            let score = match c.resolution {
+                Resolution::Known(s) => s,
+                Resolution::Pending(i) => {
+                    let s = scores[i].clone();
+                    if cfg.use_cache {
+                        cache.insert(c.key, s.clone());
+                    }
+                    s
+                }
+            };
+            if tracer.is_on() {
+                tracer.span(
+                    track,
+                    "candidate",
+                    merged,
+                    1,
+                    &[
+                        ("assignment", c.point.assignment_string().as_str().into()),
+                        ("quantum", c.point.quantum.into()),
+                        ("level", format!("{}", c.point.level).as_str().into()),
+                        ("feasible", score.feasible.into()),
+                        ("latency", score.latency.into()),
+                    ],
+                );
+            }
+            if score.feasible {
+                archive.insert(c.point, score, c.key);
+            } else {
+                infeasible += 1;
+            }
+            merged += 1;
+        }
+        rounds += 1;
+        if tracer.is_on() {
+            tracer.counter(track, "front_size", merged, archive.len() as u64);
+            tracer.counter(track, "cache_hits", merged, cache.hits());
+        }
+    }
+
+    let stats = ExploreStats {
+        offered,
+        rounds,
+        unique_points: if cfg.use_cache {
+            cache.len() as u64
+        } else {
+            simulated // without the memo every offer is simulated anew
+        },
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        infeasible,
+    };
+    ExploreOutcome { archive, stats }
+}
+
+/// Draws one candidate: a uniform restart, or a mutation of a random
+/// front member (flip one task, flip two, re-draw the quantum, or
+/// re-draw the abstraction level).
+fn next_candidate(
+    space: &DesignSpace,
+    cfg: &ExploreConfig,
+    snapshot: &[DesignPoint],
+    rng: &mut StdRng,
+) -> DesignPoint {
+    let restart = snapshot.is_empty() || rng.gen_bool(cfg.restart_pct.clamp(0.0, 1.0));
+    if restart {
+        return DesignPoint {
+            assignment: (0..space.len())
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        Side::Hw
+                    } else {
+                        Side::Sw
+                    }
+                })
+                .collect(),
+            quantum: cfg.quanta[rng.gen_range(0..cfg.quanta.len())],
+            level: cfg.levels[rng.gen_range(0..cfg.levels.len())],
+        };
+    }
+    let mut point = snapshot[rng.gen_range(0..snapshot.len())].clone();
+    match rng.gen_range(0u8..4) {
+        0 => flip_random(&mut point.assignment, rng),
+        1 => {
+            flip_random(&mut point.assignment, rng);
+            flip_random(&mut point.assignment, rng);
+        }
+        2 => point.quantum = cfg.quanta[rng.gen_range(0..cfg.quanta.len())],
+        _ => point.level = cfg.levels[rng.gen_range(0..cfg.levels.len())],
+    }
+    point
+}
+
+fn flip_random(assignment: &mut [Side], rng: &mut StdRng) {
+    if !assignment.is_empty() {
+        let i = rng.gen_range(0..assignment.len());
+        assignment[i] = assignment[i].flipped();
+    }
+}
+
+/// Evaluates the pending points, fanning out over `threads` OS threads
+/// that pull indices from a shared atomic counter. Results are
+/// scattered back by index, so the caller sees the same vector no
+/// matter how the pulls interleaved.
+fn evaluate_pending(space: &DesignSpace, pending: &[DesignPoint], threads: usize) -> Vec<Score> {
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(pending.len());
+    if threads == 1 {
+        return pending.iter().map(|p| space.evaluate(p)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_thread: Vec<Vec<(usize, Score)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pending.len() {
+                            break;
+                        }
+                        out.push((i, space.evaluate(&pending[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluator thread panicked"))
+            .collect()
+    });
+    let mut scores: Vec<Option<Score>> = vec![None; pending.len()];
+    for (i, s) in per_thread.into_iter().flatten() {
+        scores[i] = Some(s);
+    }
+    scores
+        .into_iter()
+        .map(|s| s.expect("every pending index was evaluated"))
+        .collect()
+}
+
+impl ExploreOutcome {
+    /// Renders the deterministic run report. Deliberately excludes the
+    /// thread count and every wall-clock quantity: the report must be
+    /// byte-identical at `--threads 1` and `--threads 8`, so timing
+    /// lives in the bench JSON and on stderr, never here.
+    #[must_use]
+    pub fn report_json(&self, space: &DesignSpace, cfg: &ExploreConfig) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"report\": \"explore\",\n");
+        out.push_str(&format!("  \"spec\": \"{}\",\n", space.graph().name()));
+        out.push_str(&format!("  \"digest\": \"{:#018x}\",\n", space.digest()));
+        out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+        out.push_str(&format!("  \"budget\": {},\n", cfg.budget));
+        out.push_str(&format!("  \"workers\": {},\n", cfg.workers));
+        out.push_str(&format!("  \"cache\": {},\n", cfg.use_cache));
+        out.push_str("  \"stats\": {\n");
+        out.push_str(&format!("    \"offered\": {},\n", self.stats.offered));
+        out.push_str(&format!("    \"rounds\": {},\n", self.stats.rounds));
+        out.push_str(&format!(
+            "    \"unique_points\": {},\n",
+            self.stats.unique_points
+        ));
+        out.push_str(&format!("    \"cache_hits\": {},\n", self.stats.cache_hits));
+        out.push_str(&format!(
+            "    \"cache_misses\": {},\n",
+            self.stats.cache_misses
+        ));
+        out.push_str(&format!(
+            "    \"cache_hit_rate\": {:.4},\n",
+            self.stats.hit_rate()
+        ));
+        out.push_str(&format!("    \"infeasible\": {},\n", self.stats.infeasible));
+        out.push_str(&format!("    \"front_size\": {}\n", self.archive.len()));
+        out.push_str("  },\n");
+        out.push_str("  \"front\": [\n");
+        let sorted = self.archive.sorted_entries();
+        for (i, e) in sorted.iter().enumerate() {
+            out.push_str(&entry_json(e, "    "));
+            out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        match self
+            .archive
+            .best_under(&Constraints::default(), &Weights::default())
+        {
+            Some(best) => {
+                out.push_str("  \"best\": \n");
+                out.push_str(&entry_json(best, "  "));
+                out.push('\n');
+            }
+            None => out.push_str("  \"best\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn entry_json(e: &crate::archive::ArchiveEntry, indent: &str) -> String {
+    format!(
+        "{indent}{{\"assignment\": \"{}\", \"quantum\": {}, \"level\": \"{}\", \
+         \"latency\": {}, \"hw_area\": {:.4}, \"cross_bytes\": {}, \"sync_rounds\": {}, \
+         \"makespan\": {}, \"cost\": {:.6}}}",
+        e.point.assignment_string(),
+        e.point.quantum,
+        e.point.level,
+        e.score.latency,
+        e.score.hw_area,
+        e.score.cross_bytes,
+        e.score.sync_rounds,
+        e.score.makespan,
+        e.score.cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpaceConfig;
+    use codesign_ir::task::{Task, TaskGraph};
+
+    fn space() -> DesignSpace {
+        let mut g = TaskGraph::new("xctr");
+        let a = g.add_task(Task::new("a", 4_000).with_hw_cycles(400).with_hw_area(10.0));
+        let b = g.add_task(Task::new("b", 8_000).with_hw_cycles(500).with_hw_area(20.0));
+        let c = g.add_task(Task::new("c", 2_000).with_hw_cycles(300).with_hw_area(15.0));
+        let d = g.add_task(Task::new("d", 6_000).with_hw_cycles(900).with_hw_area(12.0));
+        g.add_edge(a, b, 64).unwrap();
+        g.add_edge(b, c, 128).unwrap();
+        g.add_edge(a, d, 32).unwrap();
+        g.add_edge(d, c, 64).unwrap();
+        DesignSpace::new(g, SpaceConfig::default())
+    }
+
+    fn small_cfg(threads: usize) -> ExploreConfig {
+        ExploreConfig {
+            budget: 48,
+            threads,
+            ..ExploreConfig::default()
+        }
+    }
+
+    #[test]
+    fn thread_count_cannot_change_the_outcome() {
+        let space = space();
+        let solo = explore(&space, &small_cfg(1), &Tracer::off());
+        let pool = explore(&space, &small_cfg(8), &Tracer::off());
+        assert_eq!(solo.stats, pool.stats);
+        assert_eq!(
+            solo.report_json(&space, &small_cfg(1)),
+            pool.report_json(&space, &small_cfg(8)),
+            "reports must be byte-identical across thread counts"
+        );
+    }
+
+    #[test]
+    fn cache_disabled_reaches_the_same_front() {
+        let space = space();
+        let with = explore(&space, &small_cfg(2), &Tracer::off());
+        let without = explore(
+            &space,
+            &ExploreConfig {
+                use_cache: false,
+                ..small_cfg(2)
+            },
+            &Tracer::off(),
+        );
+        assert_eq!(with.archive.len(), without.archive.len());
+        for (a, b) in with.archive.entries().iter().zip(without.archive.entries()) {
+            assert_eq!(a, b, "evaluation purity makes the cache invisible");
+        }
+        assert_eq!(without.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn budget_is_exact_and_cache_earns_hits() {
+        let space = space();
+        let cfg = ExploreConfig {
+            budget: 200,
+            ..small_cfg(2)
+        };
+        let out = explore(&space, &cfg, &Tracer::off());
+        assert_eq!(out.stats.offered, 200);
+        assert!(
+            out.stats.cache_hits > 0,
+            "a 200-offer run over this small space must revisit points"
+        );
+        assert!(!out.archive.is_empty());
+        assert!(out.stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn tracer_sees_every_candidate() {
+        let space = space();
+        let tracer = Tracer::on();
+        let cfg = small_cfg(1);
+        let _ = explore(&space, &cfg, &tracer);
+        // One span per candidate plus two counters per round.
+        assert!(tracer.event_count() >= cfg.budget as usize);
+    }
+}

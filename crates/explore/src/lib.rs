@@ -1,0 +1,272 @@
+//! # codesign-explore
+//!
+//! Deterministic, parallel design-space exploration over the co-design
+//! stack.
+//!
+//! The paper frames partitioning as one decision inside a larger
+//! co-design loop driven by performance requirements, implementation
+//! cost, and communication structure (Section 3.3); the sensitivity-
+//! driven co-synthesis flows it surveys (Yen–Wolf \[9\]) iterate
+//! candidate architectures against an evaluator. This crate closes that
+//! loop for the repository: a [`DesignPoint`] is one candidate
+//! configuration — a HW/SW assignment, a co-simulation synchronization
+//! quantum, and an interface abstraction level — and a [`DesignSpace`]
+//! scores it by running the partition cost model *and* a bounded
+//! message-level co-simulation, yielding a multi-objective [`Score`]
+//! (latency cycles, hardware area, cross-boundary bytes, synchronization
+//! rounds).
+//!
+//! Around that evaluator sit three pieces, all engineered for
+//! reproducibility first:
+//!
+//! * [`explore`](executor::explore) — a parallel executor over a seeded
+//!   candidate generator. Candidate streams come from fixed *logical*
+//!   workers (per-worker FNV-derived substreams, like the fault
+//!   injector's per-site streams), evaluations fan out over a
+//!   work-stealing pool of OS threads, and results merge in a fixed
+//!   reduction order — so the outcome is bit-identical regardless of
+//!   `--threads`, mirroring the solver-portfolio discipline.
+//! * [`EvalCache`](cache::EvalCache) — a content-addressed memo keyed by
+//!   a canonical FNV-1a hash of (spec digest, assignment, quantum,
+//!   level); revisited points are never re-simulated, with deterministic
+//!   hit/miss counters.
+//! * [`ParetoArchive`](archive::ParetoArchive) — the incumbent
+//!   non-dominated set with dominance pruning and a scalarized
+//!   "best under constraints" query.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod archive;
+pub mod cache;
+pub mod executor;
+pub mod space;
+
+pub use archive::{Constraints, ParetoArchive, Weights};
+pub use cache::EvalCache;
+pub use executor::{explore, ExploreConfig, ExploreOutcome, ExploreStats};
+pub use space::{DesignSpace, SpaceConfig};
+
+use codesign_partition::Side;
+use codesign_sim::ladder::AbstractionLevel;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher used for spec digests, cache keys,
+/// and generator substream derivation. Not cryptographic — it only needs
+/// to be stable across platforms and runs, which it is: the fold is pure
+/// integer arithmetic in byte order.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a::default()
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the state.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` (IEEE-754 bits) into the state.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a of a string, the substream-derivation helper: a generator
+/// stream for logical worker `w` in round `r` is seeded with
+/// `seed ^ fnv1a("worker:w:round:r")`, so streams are independent and
+/// adding a worker never perturbs another worker's draws.
+#[must_use]
+pub fn fnv1a_str(s: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// One candidate configuration of the co-design loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// HW/SW side per task, in task-id order.
+    pub assignment: Vec<Side>,
+    /// Coordinator synchronization quantum for the bounded co-simulation.
+    pub quantum: u64,
+    /// Interface abstraction level the boundary is co-simulated at.
+    pub level: AbstractionLevel,
+}
+
+impl DesignPoint {
+    /// The assignment as a compact `s`/`h` string (task-id order), used
+    /// in reports and trace labels.
+    #[must_use]
+    pub fn assignment_string(&self) -> String {
+        self.assignment
+            .iter()
+            .map(|s| match s {
+                Side::Sw => 's',
+                Side::Hw => 'h',
+            })
+            .collect()
+    }
+}
+
+/// Index of an abstraction level on the ladder (0 = pin, 3 = message),
+/// the canonical byte for cache keys and reports.
+#[must_use]
+pub fn level_index(level: AbstractionLevel) -> u8 {
+    AbstractionLevel::ALL
+        .iter()
+        .position(|&l| l == level)
+        .expect("level is on the ladder") as u8
+}
+
+/// Everything measured about one design point.
+///
+/// The four *objectives* — [`latency`](Score::latency),
+/// [`hw_area`](Score::hw_area), [`cross_bytes`](Score::cross_bytes),
+/// [`sync_rounds`](Score::sync_rounds) — drive Pareto dominance; the
+/// remaining fields are carried for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Score {
+    /// End-to-end finish time of the bounded co-simulation, in cycles.
+    pub latency: u64,
+    /// Hardware area under the space's area model.
+    pub hw_area: f64,
+    /// Bytes crossing the HW/SW boundary during the co-simulation.
+    pub cross_bytes: u64,
+    /// Synchronization rounds the coordinator ran (lookahead included).
+    pub sync_rounds: u64,
+    /// Schedule length from the partition cost model, in cycles.
+    pub makespan: u64,
+    /// Scalarized partition objective (lower is better).
+    pub cost: f64,
+    /// Whether the point completed its co-simulation within budget. An
+    /// infeasible point is cached (so it is never retried) but never
+    /// enters the archive.
+    pub feasible: bool,
+}
+
+impl Score {
+    /// An infeasible sentinel: worst on every objective.
+    #[must_use]
+    pub fn infeasible() -> Self {
+        Score {
+            latency: u64::MAX,
+            hw_area: f64::INFINITY,
+            cross_bytes: u64::MAX,
+            sync_rounds: u64::MAX,
+            makespan: u64::MAX,
+            cost: f64::INFINITY,
+            feasible: false,
+        }
+    }
+
+    /// Whether `self` Pareto-dominates `other`: no objective worse, at
+    /// least one strictly better. Infeasible points dominate nothing and
+    /// are dominated by every feasible point.
+    #[must_use]
+    pub fn dominates(&self, other: &Score) -> bool {
+        if !self.feasible {
+            return false;
+        }
+        if !other.feasible {
+            return true;
+        }
+        let no_worse = self.latency <= other.latency
+            && self.hw_area <= other.hw_area
+            && self.cross_bytes <= other.cross_bytes
+            && self.sync_rounds <= other.sync_rounds;
+        let better = self.latency < other.latency
+            || self.hw_area < other.hw_area
+            || self.cross_bytes < other.cross_bytes
+            || self.sync_rounds < other.sync_rounds;
+        no_worse && better
+    }
+
+    /// Whether the two scores tie on every objective.
+    #[must_use]
+    pub fn objectives_equal(&self, other: &Score) -> bool {
+        self.latency == other.latency
+            && self.hw_area == other.hw_area
+            && self.cross_bytes == other.cross_bytes
+            && self.sync_rounds == other.sync_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        // Reference vector: FNV-1a 64 of "a" is the published constant.
+        assert_eq!(fnv1a_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a_str("worker:0:round:0"), fnv1a_str("worker:0:round:1"));
+        let mut h = Fnv1a::new();
+        h.write_u64(7);
+        h.write_f64(1.5);
+        let once = h.finish();
+        let mut h2 = Fnv1a::new();
+        h2.write_u64(7);
+        h2.write_f64(1.5);
+        assert_eq!(once, h2.finish());
+    }
+
+    #[test]
+    fn dominance_is_strict_and_feasibility_aware() {
+        let base = Score {
+            latency: 100,
+            hw_area: 10.0,
+            cross_bytes: 50,
+            sync_rounds: 5,
+            makespan: 90,
+            cost: 1.0,
+            feasible: true,
+        };
+        let better = Score {
+            latency: 90,
+            ..base.clone()
+        };
+        assert!(better.dominates(&base));
+        assert!(!base.dominates(&better));
+        assert!(!base.dominates(&base), "equal points do not dominate");
+        assert!(base.objectives_equal(&base));
+        let bad = Score::infeasible();
+        assert!(base.dominates(&bad));
+        assert!(!bad.dominates(&base));
+        assert!(!bad.dominates(&bad));
+    }
+
+    #[test]
+    fn level_index_walks_the_ladder() {
+        assert_eq!(level_index(AbstractionLevel::Pin), 0);
+        assert_eq!(level_index(AbstractionLevel::Message), 3);
+    }
+}

@@ -1,0 +1,448 @@
+//! The design space: one task graph viewed as both a partitioning
+//! problem and a co-simulated process network, plus the evaluator that
+//! scores a [`DesignPoint`] against both models.
+//!
+//! The two models see the same system the way the paper's Figure 2
+//! nests the design tasks:
+//!
+//! * the **partition cost model** ([`codesign_partition::eval`])
+//!   list-schedules the task graph under the configured objective and
+//!   prices hardware with the space's area model — implementation cost
+//!   and the scalarized Section 3.3 objective;
+//! * the **bounded co-simulation** mounts the graph as a message-level
+//!   process network (one process per task, one buffered channel per
+//!   edge) under the conservative [`Coordinator`] at the point's
+//!   synchronization quantum, with the boundary priced at the point's
+//!   interface abstraction level — observed latency, cross-boundary
+//!   traffic, and synchronization cost.
+//!
+//! Evaluation is a pure function of (space, point): no global state, no
+//! wall clock, no thread-dependent arithmetic — which is what lets the
+//! executor fan evaluations out over threads and memoize them by
+//! content hash.
+
+use codesign_ir::process::{Action, Process, ProcessNetwork};
+use codesign_ir::task::TaskGraph;
+use codesign_partition::area::{HwAreaModel, NaiveArea, SharedArea};
+use codesign_partition::cost::Objective;
+use codesign_partition::eval::{evaluate as partition_eval, EvalConfig};
+use codesign_partition::{Partition, Side};
+use codesign_sim::engine::Coordinator;
+use codesign_sim::ladder::AbstractionLevel;
+use codesign_sim::message::{CommModel, MessageConfig, MessageEngine, Placement, Resource};
+
+use crate::{level_index, DesignPoint, Fnv1a, Score};
+
+/// Space-wide evaluation parameters.
+#[derive(Debug, Clone)]
+pub struct SpaceConfig {
+    /// The partitioning objective (weights + optional deadline).
+    pub objective: Objective,
+    /// Price hardware with the sharing-aware estimator instead of the
+    /// naive per-task sum.
+    pub sharing_aware: bool,
+    /// Frames each derived process iterates in the bounded co-simulation.
+    pub invocations: u32,
+    /// Global cycle bound on the co-simulation; a point that cannot
+    /// finish inside it is scored infeasible.
+    pub sim_budget: u64,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            objective: Objective::default(),
+            sharing_aware: false,
+            invocations: 12,
+            sim_budget: 50_000_000,
+        }
+    }
+}
+
+/// Communication cost of the boundary at one interface abstraction
+/// level. Descending the ladder buys accuracy by modeling more per-
+/// message mechanism — driver entry, register handshakes, pin-level
+/// signaling — which the message engine sees as higher setup cost and
+/// narrower payload bandwidth (the Figure 3 trade, folded into the cost
+/// model instead of the event count).
+#[must_use]
+pub fn comm_for(level: AbstractionLevel) -> CommModel {
+    match level {
+        AbstractionLevel::Message => CommModel::default(),
+        AbstractionLevel::Driver => CommModel {
+            setup_cycles: 40,
+            bytes_per_cycle: 4,
+            local_discount: 0.25,
+        },
+        AbstractionLevel::Register => CommModel {
+            setup_cycles: 60,
+            bytes_per_cycle: 1,
+            local_discount: 0.25,
+        },
+        AbstractionLevel::Pin => CommModel {
+            setup_cycles: 100,
+            bytes_per_cycle: 1,
+            local_discount: 0.5,
+        },
+    }
+}
+
+/// A task graph prepared for exploration: the derived process network,
+/// per-process hardware speedups, the area model, and the canonical
+/// spec digest that scopes every cache key.
+#[derive(Debug)]
+pub struct DesignSpace {
+    graph: TaskGraph,
+    config: SpaceConfig,
+    shared_area: Option<SharedArea>,
+    naive_area: NaiveArea,
+    net: ProcessNetwork,
+    speedups: Vec<f64>,
+    digest: u64,
+}
+
+impl DesignSpace {
+    /// Prepares `graph` for exploration under `config`.
+    #[must_use]
+    pub fn new(graph: TaskGraph, config: SpaceConfig) -> Self {
+        let shared_area = config.sharing_aware.then(|| SharedArea::from_graph(&graph));
+        let (net, speedups) = net_from_graph(&graph, config.invocations);
+        let digest = digest_of(&graph, &config);
+        DesignSpace {
+            graph,
+            config,
+            shared_area,
+            naive_area: NaiveArea,
+            net,
+            speedups,
+            digest,
+        }
+    }
+
+    /// The underlying task graph.
+    #[must_use]
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Number of tasks (the assignment length every point must have).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the graph has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The space configuration.
+    #[must_use]
+    pub fn config(&self) -> &SpaceConfig {
+        &self.config
+    }
+
+    /// The canonical digest of (graph, objective, co-sim parameters):
+    /// the spec component of every cache key.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    fn area_model(&self) -> &dyn HwAreaModel {
+        match &self.shared_area {
+            Some(shared) => shared,
+            None => &self.naive_area,
+        }
+    }
+
+    /// The canonical cache key of a point: FNV-1a over the spec digest,
+    /// the assignment (one byte per task in task-id order), the quantum
+    /// (8 little-endian bytes), and the ladder index of the level. Two
+    /// points collide exactly when they describe the same configuration
+    /// of the same spec (up to 64-bit hash collisions).
+    #[must_use]
+    pub fn key(&self, point: &DesignPoint) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.digest);
+        for side in &point.assignment {
+            h.write(&[match side {
+                Side::Sw => 0u8,
+                Side::Hw => 1u8,
+            }]);
+        }
+        h.write_u64(point.quantum);
+        h.write(&[level_index(point.level)]);
+        h.finish()
+    }
+
+    /// Maps an assignment onto the derived network: hardware tasks each
+    /// get a dedicated controller context, software tasks serialize on
+    /// processor 0 (the Figure 8 single-CPU + co-processor target).
+    #[must_use]
+    pub fn placement(&self, assignment: &[Side]) -> Placement {
+        let mut next_hw = 0u32;
+        Placement::from_assignment(
+            assignment
+                .iter()
+                .map(|side| match side {
+                    Side::Sw => Resource::Software(0),
+                    Side::Hw => {
+                        next_hw += 1;
+                        Resource::Hardware(next_hw - 1)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Scores one design point: the partition cost model, then the
+    /// bounded co-simulation. Pure and deterministic; a point whose
+    /// co-simulation cannot finish within the space's budget (or whose
+    /// assignment does not cover the graph) comes back
+    /// [`Score::infeasible`].
+    #[must_use]
+    pub fn evaluate(&self, point: &DesignPoint) -> Score {
+        let partition = Partition::from_sides(point.assignment.clone());
+        let eval_cfg = EvalConfig::new(self.config.objective.clone(), self.area_model());
+        let Ok(pe) = partition_eval(&self.graph, &partition, &eval_cfg) else {
+            return Score::infeasible();
+        };
+        let sim_cfg = MessageConfig {
+            comm: comm_for(point.level),
+            hw_speedups: Some(self.speedups.clone()),
+            budget: self.config.sim_budget,
+            ..MessageConfig::default()
+        };
+        let Ok(engine) = MessageEngine::new(
+            "explore",
+            self.net.clone(),
+            self.placement(&point.assignment),
+            sim_cfg,
+        ) else {
+            return Score::infeasible();
+        };
+        let mut coord = Coordinator::new(point.quantum.max(1));
+        coord.add_engine(Box::new(engine));
+        let Ok(stats) = coord.run(self.config.sim_budget) else {
+            return Score::infeasible();
+        };
+        let report = coord.engines()[0]
+            .as_any()
+            .downcast_ref::<MessageEngine>()
+            .expect("the only engine is the message engine")
+            .report();
+        Score {
+            latency: report.finish_time,
+            // The cost model can produce -0.0 for an all-software
+            // design; adding +0.0 normalizes it so reports never print
+            // a negative zero.
+            hw_area: pe.hw_area + 0.0,
+            cross_bytes: report.cross_boundary_bytes,
+            sync_rounds: stats.sync_rounds,
+            makespan: pe.makespan,
+            cost: pe.cost,
+            feasible: true,
+        }
+    }
+}
+
+/// The task graph as a message-level process network: one process per
+/// task (receive every in-edge, compute one frame, send every
+/// out-edge), one buffered channel per edge. On a DAG with unit-
+/// capacity channels this is deadlock-free, and the per-process
+/// hardware speedups (measured software cycles over hardware cycles)
+/// make a hardware placement reproduce the task's characterized
+/// speedup.
+fn net_from_graph(graph: &TaskGraph, invocations: u32) -> (ProcessNetwork, Vec<f64>) {
+    let invocations = invocations.max(1);
+    let mut net = ProcessNetwork::new(format!("{}_explore", graph.name()));
+    let channels: Vec<_> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| net.add_channel(format!("e{i}:{}->{}", e.src, e.dst), 1))
+        .collect();
+    let mut speedups = Vec::with_capacity(graph.len());
+    for (id, task) in graph.iter() {
+        let mut actions = Vec::new();
+        for (i, e) in graph.edges().iter().enumerate() {
+            if e.dst == id {
+                actions.push(Action::Receive {
+                    channel: channels[i],
+                });
+            }
+        }
+        actions.push(Action::Compute(
+            (task.sw_cycles() / u64::from(invocations)).max(1),
+        ));
+        for (i, e) in graph.edges().iter().enumerate() {
+            if e.src == id {
+                actions.push(Action::Send {
+                    channel: channels[i],
+                    bytes: e.bytes,
+                });
+            }
+        }
+        net.add_process(Process::new(task.name(), actions).with_iterations(invocations));
+        speedups.push((task.sw_cycles() as f64 / task.hw_cycles().max(1) as f64).max(1.0));
+    }
+    (net, speedups)
+}
+
+/// Canonical digest of everything evaluation depends on besides the
+/// point itself: graph structure and attributes, objective weights,
+/// and the co-simulation parameters.
+fn digest_of(graph: &TaskGraph, config: &SpaceConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(graph.name().as_bytes());
+    h.write_u64(graph.len() as u64);
+    for (_, task) in graph.iter() {
+        h.write(task.name().as_bytes());
+        h.write_u64(task.sw_cycles());
+        h.write_u64(task.hw_cycles());
+        h.write_f64(task.hw_area());
+        h.write_f64(task.parallelism());
+        h.write_f64(task.modifiability());
+    }
+    for e in graph.edges() {
+        h.write_u64(e.src.index() as u64);
+        h.write_u64(e.dst.index() as u64);
+        h.write_u64(e.bytes);
+    }
+    let o = &config.objective;
+    h.write_u64(o.deadline.unwrap_or(u64::MAX));
+    for w in [
+        o.w_time,
+        o.w_area,
+        o.w_modifiability,
+        o.w_nature,
+        o.w_comm,
+        o.w_concurrency,
+        o.deadline_penalty,
+    ] {
+        h.write_f64(w);
+    }
+    h.write(&[u8::from(config.sharing_aware)]);
+    h.write_u64(u64::from(config.invocations));
+    h.write_u64(config.sim_budget);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::task::Task;
+
+    fn chain() -> TaskGraph {
+        let mut g = TaskGraph::new("chain");
+        let a = g.add_task(Task::new("a", 4_000).with_hw_cycles(400).with_hw_area(10.0));
+        let b = g.add_task(Task::new("b", 8_000).with_hw_cycles(500).with_hw_area(20.0));
+        let c = g.add_task(Task::new("c", 2_000).with_hw_cycles(300).with_hw_area(15.0));
+        g.add_edge(a, b, 64).unwrap();
+        g.add_edge(b, c, 64).unwrap();
+        g
+    }
+
+    fn point(assignment: Vec<Side>) -> DesignPoint {
+        DesignPoint {
+            assignment,
+            quantum: 16,
+            level: AbstractionLevel::Message,
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_feasible() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let p = point(vec![Side::Sw, Side::Hw, Side::Sw]);
+        let a = space.evaluate(&p);
+        let b = space.evaluate(&p);
+        assert!(a.feasible);
+        assert_eq!(a, b, "evaluation must be a pure function of the point");
+        assert!(a.latency > 0);
+        assert!(a.sync_rounds > 0);
+        assert!(a.cross_bytes > 0, "the boundary crossing is visible");
+    }
+
+    #[test]
+    fn all_software_pays_no_area_and_crosses_nothing() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let s = space.evaluate(&point(vec![Side::Sw; 3]));
+        assert!(s.feasible);
+        assert_eq!(s.hw_area, 0.0);
+        assert_eq!(s.cross_bytes, 0);
+    }
+
+    #[test]
+    fn descending_the_ladder_raises_latency() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let mixed = vec![Side::Sw, Side::Hw, Side::Sw];
+        let msg = space.evaluate(&point(mixed.clone()));
+        let pin = space.evaluate(&DesignPoint {
+            assignment: mixed,
+            quantum: 16,
+            level: AbstractionLevel::Pin,
+        });
+        assert!(
+            pin.latency > msg.latency,
+            "pin boundary {} vs message boundary {}",
+            pin.latency,
+            msg.latency
+        );
+    }
+
+    #[test]
+    fn smaller_quantum_costs_more_sync_rounds() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let mixed = vec![Side::Sw, Side::Hw, Side::Sw];
+        let fine = space.evaluate(&DesignPoint {
+            assignment: mixed.clone(),
+            quantum: 4,
+            level: AbstractionLevel::Message,
+        });
+        let coarse = space.evaluate(&DesignPoint {
+            assignment: mixed,
+            quantum: 64,
+            level: AbstractionLevel::Message,
+        });
+        assert!(
+            fine.sync_rounds > coarse.sync_rounds,
+            "q=4 rounds {} vs q=64 rounds {}",
+            fine.sync_rounds,
+            coarse.sync_rounds
+        );
+        assert_eq!(fine.latency, coarse.latency, "quantum is a sync knob only");
+    }
+
+    #[test]
+    fn keys_are_canonical_per_configuration() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let p = point(vec![Side::Sw, Side::Hw, Side::Sw]);
+        assert_eq!(space.key(&p), space.key(&p.clone()));
+        let mut q = p.clone();
+        q.quantum = 32;
+        assert_ne!(space.key(&p), space.key(&q));
+        let mut l = p.clone();
+        l.level = AbstractionLevel::Driver;
+        assert_ne!(space.key(&p), space.key(&l));
+        let mut a = p.clone();
+        a.assignment[0] = Side::Hw;
+        assert_ne!(space.key(&p), space.key(&a));
+        // A different spec scopes the same point to a different key.
+        let cfg = SpaceConfig {
+            invocations: 13,
+            ..SpaceConfig::default()
+        };
+        let other = DesignSpace::new(chain(), cfg);
+        assert_ne!(space.key(&p), other.key(&p));
+    }
+
+    #[test]
+    fn bad_assignment_lengths_are_infeasible_not_panics() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let s = space.evaluate(&point(vec![Side::Sw; 7]));
+        assert!(!s.feasible);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the exploration contracts:
+//!
+//! 1. exploration with the memo cache enabled is **bit-identical** to
+//!    exploration with the cache disabled — the cache may only change
+//!    cost, never results (evaluation purity);
+//! 2. the Pareto archive never retains a dominated point, whatever the
+//!    offer sequence (dominance pruning invariant);
+//! 3. thread count never changes the exploration outcome (the executor's
+//!    fixed-reduction-order discipline), across random seeds and budgets.
+
+use codesign_explore::{
+    explore, DesignPoint, DesignSpace, ExploreConfig, ParetoArchive, Score, SpaceConfig,
+};
+use codesign_ir::task::{Task, TaskGraph};
+use codesign_partition::Side;
+use codesign_sim::ladder::AbstractionLevel;
+use codesign_trace::Tracer;
+use proptest::prelude::*;
+
+/// A small diamond-shaped task graph parameterized by a seed, cheap
+/// enough to co-simulate hundreds of times inside one property case.
+fn diamond(seed: u64) -> TaskGraph {
+    let mut g = TaskGraph::new(format!("diamond{seed}"));
+    let cycles = |i: u64| 1_000 + ((seed >> (i * 8)) & 0xff) * 40;
+    let a = g.add_task(
+        Task::new("a", cycles(0) + 1_000)
+            .with_hw_cycles(cycles(0) / 8 + 1)
+            .with_hw_area(10.0),
+    );
+    let b = g.add_task(
+        Task::new("b", cycles(1) + 2_000)
+            .with_hw_cycles(cycles(1) / 4 + 1)
+            .with_hw_area(20.0),
+    );
+    let c = g.add_task(
+        Task::new("c", cycles(2) + 1_500)
+            .with_hw_cycles(cycles(2) / 6 + 1)
+            .with_hw_area(15.0),
+    );
+    let d = g.add_task(
+        Task::new("d", cycles(3) + 500)
+            .with_hw_cycles(cycles(3) / 2 + 1)
+            .with_hw_area(5.0),
+    );
+    g.add_edge(a, b, 32 + seed % 64).unwrap();
+    g.add_edge(a, c, 64).unwrap();
+    g.add_edge(b, d, 48).unwrap();
+    g.add_edge(c, d, 16).unwrap();
+    g
+}
+
+fn space(seed: u64) -> DesignSpace {
+    DesignSpace::new(
+        diamond(seed),
+        SpaceConfig {
+            invocations: 4,
+            ..SpaceConfig::default()
+        },
+    )
+}
+
+fn arb_score() -> impl Strategy<Value = Score> {
+    (0u64..8, 0u64..8, 0u64..8, 0u64..8).prop_map(|(l, a, b, r)| Score {
+        latency: l,
+        hw_area: a as f64,
+        cross_bytes: b,
+        sync_rounds: r,
+        makespan: l,
+        cost: l as f64,
+        feasible: true,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contract 1: the cache is invisible to results. Scores are pure
+    /// functions of (space, point), so re-simulating a duplicate must
+    /// give exactly what the memo would have returned — same archive,
+    /// same order, same report-visible entries.
+    #[test]
+    fn cache_enabled_matches_cache_disabled(
+        graph_seed in any::<u64>(),
+        explore_seed in any::<u64>(),
+        budget in 16u64..96,
+    ) {
+        let space = space(graph_seed);
+        let cfg = ExploreConfig {
+            seed: explore_seed,
+            budget,
+            workers: 4,
+            ..ExploreConfig::default()
+        };
+        let cached = explore(&space, &cfg, &Tracer::off());
+        let uncached = explore(
+            &space,
+            &ExploreConfig { use_cache: false, ..cfg.clone() },
+            &Tracer::off(),
+        );
+        prop_assert_eq!(cached.archive.len(), uncached.archive.len());
+        for (a, b) in cached.archive.entries().iter().zip(uncached.archive.entries()) {
+            prop_assert_eq!(a, b);
+        }
+        // The accounting that is defined in both modes agrees too.
+        prop_assert_eq!(cached.stats.offered, uncached.stats.offered);
+        prop_assert_eq!(cached.stats.rounds, uncached.stats.rounds);
+        prop_assert_eq!(cached.stats.infeasible, uncached.stats.infeasible);
+        prop_assert_eq!(uncached.stats.cache_hits, 0);
+    }
+
+    /// Contract 2: after any offer sequence, no archived point dominates
+    /// (or exactly ties) another archived point.
+    #[test]
+    fn archive_never_retains_a_dominated_point(
+        scores in proptest::collection::vec(arb_score(), 1..60),
+    ) {
+        let mut archive = ParetoArchive::new();
+        let point = DesignPoint {
+            assignment: vec![Side::Sw],
+            quantum: 16,
+            level: AbstractionLevel::Message,
+        };
+        for (key, score) in scores.into_iter().enumerate() {
+            archive.insert(point.clone(), score, key as u64);
+            for x in archive.entries() {
+                for y in archive.entries() {
+                    if x.key != y.key {
+                        prop_assert!(
+                            !x.score.dominates(&y.score),
+                            "{:?} dominates {:?}", x.score, y.score
+                        );
+                        prop_assert!(
+                            !x.score.objectives_equal(&y.score),
+                            "duplicate objectives archived: {:?}", x.score
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Contract 3: the thread count is a pure wall-clock knob.
+    #[test]
+    fn threads_never_change_the_outcome(
+        graph_seed in any::<u64>(),
+        explore_seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let space = space(graph_seed);
+        let cfg = ExploreConfig {
+            seed: explore_seed,
+            budget: 32,
+            workers: 4,
+            ..ExploreConfig::default()
+        };
+        let serial = explore(&space, &cfg, &Tracer::off());
+        let parallel = explore(
+            &space,
+            &ExploreConfig { threads, ..cfg.clone() },
+            &Tracer::off(),
+        );
+        prop_assert_eq!(&serial.stats, &parallel.stats);
+        prop_assert_eq!(
+            serial.report_json(&space, &cfg),
+            parallel.report_json(&space, &cfg)
+        );
+    }
+}

@@ -27,4 +27,7 @@ cargo run --release -q -p codesign-bench --bin bench-cosim -- --smoke
 echo "== bench-faults smoke (6 seeds, gates class accounting) =="
 cargo run --release -q -p codesign-bench --bin bench-faults -- --smoke
 
+echo "== bench-explore smoke (64 offers, gates cache hits + report byte-identity) =="
+cargo run --release -q -p codesign-bench --bin bench-explore -- --smoke
+
 echo "verify: OK"

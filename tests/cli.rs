@@ -94,6 +94,7 @@ fn help_lists_subcommands() {
     for cmd in [
         "classify",
         "partition",
+        "explore",
         "cosim",
         "multiproc",
         "ladder",
@@ -209,6 +210,88 @@ fn invalid_flag_values_name_the_flag() {
     assert!(!ok);
     assert!(err.contains("unknown scenario"), "{err}");
     assert!(err.contains("ladder_message"), "lists the options: {err}");
+}
+
+#[test]
+fn invalid_explore_flags_name_the_flag() {
+    let path = spec_file();
+    for (flag, value) in [
+        ("--budget", "many"),
+        ("--threads", "fast"),
+        ("--seed", "1.5"),
+        ("--workers", "-2"),
+    ] {
+        let (_, err, ok) = codesign(&["explore", path.to_str().unwrap(), flag, value]);
+        assert!(!ok, "{flag} {value} must be rejected");
+        assert!(err.contains(flag), "error must name {flag}: {err}");
+        assert!(err.contains(value), "error must quote `{value}`: {err}");
+    }
+    let (_, err, ok) = codesign(&["explore", "/nonexistent/file.cds"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn explore_reports_are_identical_across_thread_counts() {
+    let path = spec_file();
+    let run = |threads: &str| {
+        let (out, err, ok) = codesign(&[
+            "explore",
+            path.to_str().unwrap(),
+            "--budget",
+            "48",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+            "--json",
+        ]);
+        assert!(ok, "threads={threads} stderr: {err}");
+        out
+    };
+    let solo = run("1");
+    let pool = run("8");
+    assert_eq!(
+        solo, pool,
+        "same seed, different --threads: reports must be byte-identical"
+    );
+    assert!(solo.contains("\"front\""), "{solo}");
+    assert!(solo.contains("\"cache_hit_rate\""), "{solo}");
+}
+
+#[test]
+fn explore_prints_a_front_and_writes_a_report() {
+    let path = spec_file();
+    let out_path =
+        std::env::temp_dir().join(format!("codesign_cli_explore_{}.json", std::process::id()));
+    let (out, err, ok) = codesign(&[
+        "explore",
+        path.to_str().unwrap(),
+        "--budget",
+        "32",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("Pareto front"), "{out}");
+    assert!(out.contains("best (latency-led weights)"), "{out}");
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    assert!(json.contains("\"report\": \"explore\""), "{json}");
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn partition_emits_machine_readable_json() {
+    let path = spec_file();
+    let (out, err, ok) = codesign(&["partition", path.to_str().unwrap(), "--json"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("\"command\": \"partition\""), "{out}");
+    assert!(out.contains("\"makespan\""), "{out}");
+    assert!(out.contains("\"side\""), "{out}");
+    assert!(
+        !out.contains("makespan "),
+        "human table must be suppressed under --json: {out}"
+    );
 }
 
 #[test]
