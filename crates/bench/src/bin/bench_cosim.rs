@@ -234,14 +234,15 @@ fn main() {
     let json = jsonout::render(
         "cosim_lookahead",
         &[
-            ("units", "ns_per_run"),
+            ("units", "ns_per_run".into()),
+            ("host_cores", jsonout::host_cores().into()),
             (
                 "before",
-                "pure-lockstep coordinator (one quantum per round, hints ignored)",
+                "pure-lockstep coordinator (one quantum per round, hints ignored)".into(),
             ),
             (
                 "after",
-                "lookahead coordinator (adaptive horizons, idle-skip, batched advancement)",
+                "lookahead coordinator (adaptive horizons, idle-skip, batched advancement)".into(),
             ),
         ],
         &rendered,

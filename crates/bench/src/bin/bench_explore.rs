@@ -1,188 +1,314 @@
-//! `bench-explore` — throughput and determinism measurements for the
-//! design-space exploration executor, emitted as `BENCH_explore.json`.
+//! `bench-explore` — throughput, scaling, and determinism measurements
+//! for the pipelined design-space exploration executor, emitted as
+//! `BENCH_explore.json`.
 //!
-//! The scenario is the Figure 8 `dsp_coprocessor` application
-//! (characterized DSP suite as a task graph), explored with the same
-//! seed and budget under three executor configurations:
+//! Four experiment groups share one seed:
 //!
-//! - `threads=1` — the serial baseline;
-//! - `threads=N` — the work-stealing pool at the machine's parallelism
-//!   (capped at 8);
-//! - `threads=N, cache off` — the same run re-simulating every
-//!   candidate, isolating what the memo cache buys.
-//!
-//! The first two are asserted to produce **byte-identical reports** —
-//! the crate's core determinism claim — and the cached runs are
-//! asserted to reach the same Pareto front as the uncached one.
-//! Wall-clock numbers live here and nowhere else; the exploration
-//! report itself carries none.
+//! 1. **Thread sweep** — the Figure 8 `dsp_coprocessor` space explored
+//!    at threads ∈ {1, 2, 4, 8, 16}; all five reports are asserted
+//!    byte-identical (the crate's core determinism claim), and the
+//!    4-thread run yields `speedup_vs_1_thread`.
+//! 2. **Budget scale** — the same space at 10⁵ and 10⁶ offers, showing
+//!    the memo cache turning a million-offer run into a few thousand
+//!    simulations.
+//! 3. **256-task space** — a TGFF-generated graph whose cross-product
+//!    neighborhood (256 tasks × 5 quanta × 4 levels = 5120 moves per
+//!    incumbent) exercises the large-spec mutation kinds.
+//! 4. **Cold vs warm** — the dsp space explored twice through a
+//!    persistent cache file; the warm report is asserted byte-identical
+//!    to the cold one and (full mode) its wall time is gated at
+//!    < 0.5× cold.
 //!
 //! ```text
 //! cargo run --release -p codesign-bench --bin bench-explore [--smoke] [out.json]
 //! ```
 //!
-//! `--smoke` shrinks the budget and defaults the output under
-//! `target/`. The cache-hit-rate and byte-identity gates are
-//! deterministic and hold in both modes; the wall-clock speedup gate
-//! needs real cores and a real budget, so it is asserted only in full
-//! mode on a machine with more than one CPU (the pool is still run
-//! with at least two threads everywhere, so the work-stealing path is
-//! always exercised).
+//! `--smoke` shrinks the budgets and defaults the output under
+//! `target/`. Determinism gates (byte identity, revisit absorption)
+//! hold in both modes; wall-clock gates need real cores — the thread
+//! scaling gate fires only on hosts with ≥ 4 cores (≥ 1.5× full,
+//! ≥ 1.2× smoke) and the warm-start gate only in full mode.
 
 use std::time::Instant;
 
 use codesign_bench::jsonout;
-use codesign_explore::{explore, DesignSpace, ExploreConfig, ExploreOutcome, SpaceConfig};
+use codesign_explore::{
+    explore_with_cache, persist_session, preload_cache, DesignSpace, EvalCache, ExploreConfig,
+    ExploreOutcome, SpaceConfig,
+};
+use codesign_ir::workload::tgff::{random_task_graph, TgffConfig};
 use codesign_synth::coproc::{characterize, Application};
 use codesign_trace::Tracer;
 
-/// Candidate offers for the checked-in report.
-const FULL_BUDGET: u64 = 512;
-/// Candidate offers under `--smoke`.
-const SMOKE_BUDGET: u64 = 64;
 /// Exploration seed (fixed: the report is part of the artifact).
 const SEED: u64 = 0xD5E;
+/// Thread counts the sweep covers.
+const SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
 
 struct Run {
-    label: &'static str,
+    label: String,
     threads: usize,
     cache: bool,
+    budget: u64,
     wall_ns: u128,
     outcome: ExploreOutcome,
     report: String,
 }
 
-fn run(space: &DesignSpace, cfg: &ExploreConfig, label: &'static str) -> Run {
+fn run(space: &DesignSpace, cfg: &ExploreConfig, cache: EvalCache, label: String) -> Run {
     let start = Instant::now();
-    let outcome = explore(space, cfg, &Tracer::off());
+    let outcome = explore_with_cache(space, cfg, cache, &Tracer::off());
     let wall_ns = start.elapsed().as_nanos();
     let report = outcome.report_json(space, cfg);
     eprintln!(
-        "{label:>16}: {wall_ns:>12} ns, front {}, hit rate {:.2}",
+        "{label:>16}: {wall_ns:>13} ns, {} evals, front {}, revisit rate {:.2}",
+        outcome.stats.evaluations,
         outcome.archive.len(),
-        outcome.stats.hit_rate()
+        outcome.stats.revisit_rate()
     );
     Run {
         label,
         threads: cfg.threads,
         cache: cfg.use_cache,
+        budget: cfg.budget,
         wall_ns,
         outcome,
         report,
     }
 }
 
+fn row(r: &Run) -> String {
+    let points_per_sec = r.outcome.stats.offered as f64 * 1e9 / r.wall_ns.max(1) as f64;
+    format!(
+        "{{\"run\": \"{}\", \"threads\": {}, \"cache\": {}, \"budget\": {}, \
+         \"wall_ns\": {}, \"points_per_sec\": {:.0}, \"offered\": {}, \
+         \"unique_points\": {}, \"revisits\": {}, \"revisit_rate\": {:.4}, \
+         \"evaluations\": {}, \"warm_hits\": {}, \"front_size\": {}}}",
+        r.label,
+        r.threads,
+        r.cache,
+        r.budget,
+        r.wall_ns,
+        points_per_sec,
+        r.outcome.stats.offered,
+        r.outcome.stats.unique_points,
+        r.outcome.stats.revisits,
+        r.outcome.stats.revisit_rate(),
+        r.outcome.stats.evaluations,
+        r.outcome.stats.warm_hits,
+        r.outcome.archive.len()
+    )
+}
+
 fn main() {
     let (smoke, out_path) =
         jsonout::smoke_args("BENCH_explore.json", "target/BENCH_explore_smoke.json");
-    let budget = if smoke { SMOKE_BUDGET } else { FULL_BUDGET };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    // At least two threads so the work-stealing path always runs; the
-    // speedup gate below only fires when the cores exist to back it.
-    let pool = cores.clamp(2, 8);
+    let cores = jsonout::host_cores();
+    let sweep_budget: u64 = if smoke { 256 } else { 4_096 };
+    let scale_budgets: &[u64] = if smoke {
+        &[10_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let big_tasks = if smoke { 64 } else { 256 };
+    let big_budget: u64 = if smoke { 32 } else { 256 };
 
     let app = characterize(&Application::dsp_suite()).expect("dsp suite characterizes");
     let space = DesignSpace::new(app.graph().clone(), SpaceConfig::default());
     let base = ExploreConfig {
         seed: SEED,
-        budget,
-        workers: 16,
+        budget: sweep_budget,
+        workers: 64,
         ..ExploreConfig::default()
     };
 
-    let serial = run(&space, &base, "threads=1");
-    let parallel = run(
-        &space,
-        &ExploreConfig {
-            threads: pool,
-            ..base.clone()
-        },
-        "threads=N",
-    );
+    // 1. Thread sweep: byte-identical reports, wall clock only moves.
+    let sweep: Vec<Run> = SWEEP
+        .iter()
+        .map(|&threads| {
+            run(
+                &space,
+                &ExploreConfig {
+                    threads,
+                    ..base.clone()
+                },
+                EvalCache::new(),
+                format!("threads={threads}"),
+            )
+        })
+        .collect();
+    for r in &sweep[1..] {
+        assert_eq!(
+            sweep[0].report, r.report,
+            "exploration reports differ between threads=1 and threads={}",
+            r.threads
+        );
+    }
     let uncached = run(
         &space,
         &ExploreConfig {
-            threads: pool,
+            threads: 4,
             use_cache: false,
             ..base.clone()
         },
-        "no-cache",
+        EvalCache::new(),
+        "no-cache".into(),
     );
-
-    // Determinism: the report must not depend on the thread count.
     assert_eq!(
-        serial.report, parallel.report,
-        "exploration reports differ between threads=1 and threads={pool}"
-    );
-    // Cache transparency: disabling the memo changes cost, not results.
-    assert_eq!(
-        serial.outcome.archive.len(),
+        sweep[0].outcome.archive.len(),
         uncached.outcome.archive.len(),
         "the cache changed the Pareto front"
     );
 
-    let speedup = serial.wall_ns as f64 / parallel.wall_ns.max(1) as f64;
-    let cache_speedup = uncached.wall_ns as f64 / parallel.wall_ns.max(1) as f64;
-    let hit_rate = parallel.outcome.stats.hit_rate();
-
-    let rendered: Vec<String> = [&serial, &parallel, &uncached]
+    // 2. Budget scale: the cache bounds simulations by the space size.
+    let scale: Vec<Run> = scale_budgets
         .iter()
-        .map(|r| {
-            let points_per_sec = r.outcome.stats.offered as f64 * 1e9 / r.wall_ns.max(1) as f64;
-            format!(
-                "{{\"run\": \"{}\", \"threads\": {}, \"cache\": {}, \"wall_ns\": {}, \
-                 \"points_per_sec\": {:.0}, \"offered\": {}, \"unique_points\": {}, \
-                 \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
-                 \"front_size\": {}}}",
-                r.label,
-                r.threads,
-                r.cache,
-                r.wall_ns,
-                points_per_sec,
-                r.outcome.stats.offered,
-                r.outcome.stats.unique_points,
-                r.outcome.stats.cache_hits,
-                r.outcome.stats.cache_misses,
-                r.outcome.stats.hit_rate(),
-                r.outcome.archive.len()
+        .map(|&budget| {
+            run(
+                &space,
+                &ExploreConfig {
+                    budget,
+                    threads: 4,
+                    workers: 256,
+                    ..base.clone()
+                },
+                EvalCache::new(),
+                format!("budget={budget}"),
             )
         })
         .collect();
-    let speedup_str = format!("{speedup:.2}");
-    let cache_speedup_str = format!("{cache_speedup:.2}");
+    for r in &scale {
+        assert!(
+            r.outcome.stats.revisit_rate() >= 0.25,
+            "a {}-offer run on a bounded space should be revisit-heavy, got {:.2}",
+            r.budget,
+            r.outcome.stats.revisit_rate()
+        );
+    }
+
+    // 3. A 256-task TGFF space: the cross-product mutation kinds at the
+    // scale the issue targets.
+    let big_graph = random_task_graph(&TgffConfig {
+        tasks: big_tasks,
+        width: 16,
+        sw_cycles: (500, 4_000),
+        seed: SEED,
+        ..TgffConfig::default()
+    });
+    let big_space = DesignSpace::new(
+        big_graph,
+        SpaceConfig {
+            invocations: 2,
+            ..SpaceConfig::default()
+        },
+    );
+    let big = run(
+        &big_space,
+        &ExploreConfig {
+            budget: big_budget,
+            threads: 4,
+            workers: 32,
+            ..base.clone()
+        },
+        EvalCache::new(),
+        format!("tgff-{big_tasks}"),
+    );
+
+    // 4. Cold vs warm through a persistent cache file.
+    let cache_path = std::path::PathBuf::from("target/bench_explore_cache.evc");
+    let _ = std::fs::remove_file(&cache_path);
+    let warm_cfg = ExploreConfig {
+        threads: 4,
+        ..base.clone()
+    };
+    let cold = run(&space, &warm_cfg, EvalCache::new(), "cold".into());
+    persist_session(&cold.outcome.cache, &cache_path).expect("persists the cold session");
+    let preloaded = EvalCache::new();
+    let loaded = preload_cache(&preloaded, &cache_path).expect("reloads the cache file");
+    assert_eq!(
+        loaded as u64, cold.outcome.stats.evaluations,
+        "the cache file holds exactly the cold run's evaluations"
+    );
+    let warm = run(&space, &warm_cfg, preloaded, "warm".into());
+    assert_eq!(
+        cold.report, warm.report,
+        "a persistent-cache warm start changed the report"
+    );
+    assert_eq!(warm.outcome.stats.evaluations, 0, "warm run re-simulated");
+    let _ = std::fs::remove_file(&cache_path);
+
+    let wall_of = |threads: usize| {
+        sweep
+            .iter()
+            .find(|r| r.threads == threads)
+            .expect("sweep covers it")
+            .wall_ns
+    };
+    let speedup = wall_of(1) as f64 / wall_of(4).max(1) as f64;
+    let cache_speedup = uncached.wall_ns as f64 / wall_of(4).max(1) as f64;
+    let warm_vs_cold = warm.wall_ns as f64 / cold.wall_ns.max(1) as f64;
+
+    let rendered: Vec<String> = sweep
+        .iter()
+        .chain([&uncached])
+        .chain(&scale)
+        .chain([&big, &cold, &warm])
+        .map(row)
+        .collect();
     let json = jsonout::render(
         "explore_executor",
         &[
-            ("units", "ns_per_exploration"),
-            ("scenario", "dsp_coprocessor (Figure 8 suite)"),
-            ("identical_reports", "threads=1 vs threads=N, asserted"),
-            ("speedup_vs_1_thread", &speedup_str),
-            ("cache_speedup", &cache_speedup_str),
+            ("units", "nanoseconds_wall".into()),
+            (
+                "scenario",
+                "dsp_coprocessor (Figure 8 suite) + tgff task graphs".into(),
+            ),
+            ("host_cores", cores.into()),
+            ("threads_max", SWEEP[SWEEP.len() - 1].into()),
+            (
+                "identical_reports",
+                "threads {1,2,4,8,16} and cold vs warm, asserted".into(),
+            ),
+            ("speedup_vs_1_thread", speedup.into()),
+            ("cache_speedup", cache_speedup.into()),
+            ("warm_vs_cold", warm_vs_cold.into()),
         ],
         &rendered,
     );
     jsonout::write(&out_path, &json);
 
-    // Gates. Hit rate is deterministic, so it holds in smoke mode too;
-    // the wall-clock speedup gate needs real cores and a real budget.
-    println!("cache hit rate: {hit_rate:.2} (gate: > 0)");
-    assert!(hit_rate > 0.0, "the evaluation cache never hit");
-    if !smoke && cores > 1 {
-        println!("speedup vs 1 thread: {speedup:.2}x on {pool} threads (gate: >= 1.5x)");
+    // Gates. Determinism gates were asserted above and hold in both
+    // modes; revisit absorption is deterministic too. Wall-clock gates
+    // need cores (scaling) or a full budget (warm-start economics).
+    let revisit_rate = sweep[0].outcome.stats.revisit_rate();
+    println!("revisit rate: {revisit_rate:.2} (gate: > 0)");
+    assert!(
+        revisit_rate > 0.0,
+        "the evaluation cache never absorbed a revisit"
+    );
+    assert!(
+        big.outcome.archive.len() > 1,
+        "the 256-task front collapsed"
+    );
+    let scaling_floor = if smoke { 1.2 } else { 1.5 };
+    if cores >= 4 {
+        println!("speedup vs 1 thread: {speedup:.2}x on 4 threads (gate: >= {scaling_floor}x)");
         assert!(
-            speedup >= 1.5,
-            "parallel exploration is only {speedup:.2}x faster on {pool} threads"
+            speedup >= scaling_floor,
+            "parallel exploration is only {speedup:.2}x faster on 4 threads"
         );
     } else {
         println!(
-            "speedup vs 1 thread: {speedup:.2}x on {pool} threads (gate skipped: {})",
-            if smoke {
-                "smoke mode"
-            } else {
-                "single-CPU host"
-            }
+            "speedup vs 1 thread: {speedup:.2}x on 4 threads (gate skipped: {cores}-core host)"
         );
+    }
+    if !smoke {
+        println!("warm vs cold: {warm_vs_cold:.2}x (gate: < 0.5)");
+        assert!(
+            warm_vs_cold < 0.5,
+            "a fully warm start ran at {warm_vs_cold:.2}x of cold"
+        );
+    } else {
+        println!("warm vs cold: {warm_vs_cold:.2}x (gate skipped: smoke mode)");
     }
 }

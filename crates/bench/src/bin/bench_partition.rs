@@ -134,14 +134,15 @@ fn main() {
     let json = jsonout::render(
         "partition_algorithms",
         &[
-            ("units", "ns_per_run"),
+            ("units", "ns_per_run".into()),
+            ("host_cores", jsonout::host_cores().into()),
             (
                 "before",
-                "seed clone-and-reevaluate implementation (codesign_bench::reference)",
+                "seed clone-and-reevaluate implementation (codesign_bench::reference)".into(),
             ),
             (
                 "after",
-                "incremental Evaluator with suffix-restart delta evaluation",
+                "incremental Evaluator with suffix-restart delta evaluation".into(),
             ),
         ],
         &rendered,

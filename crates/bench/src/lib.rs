@@ -62,15 +62,75 @@ pub mod jsonout {
         (smoke, out_path)
     }
 
-    /// Renders the standard benchmark document: the `"benchmark"` name,
-    /// the string-valued `headers` in order, then `rows` (each a
-    /// preformatted JSON object, no trailing comma) under `"results"`.
+    /// A typed header value, so numeric metadata (core counts, speedup
+    /// ratios) lands in the JSON as numbers rather than strings.
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        /// A quoted JSON string.
+        Str(String),
+        /// An unquoted number, preformatted (e.g. `"1.52"`, `"8"`).
+        Num(String),
+        /// An unquoted JSON literal (`true`, `null`, ...).
+        Raw(String),
+    }
+
+    impl From<&str> for Value {
+        fn from(v: &str) -> Self {
+            Value::Str(v.to_string())
+        }
+    }
+
+    impl From<u64> for Value {
+        fn from(v: u64) -> Self {
+            Value::Num(v.to_string())
+        }
+    }
+
+    impl From<usize> for Value {
+        fn from(v: usize) -> Self {
+            Value::Num(v.to_string())
+        }
+    }
+
+    impl From<f64> for Value {
+        fn from(v: f64) -> Self {
+            Value::Num(format!("{v:.4}"))
+        }
+    }
+
+    impl From<bool> for Value {
+        fn from(v: bool) -> Self {
+            Value::Raw(v.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Value {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Value::Str(s) => write!(f, "\"{s}\""),
+                Value::Num(n) | Value::Raw(n) => write!(f, "{n}"),
+            }
+        }
+    }
+
+    /// The host's available parallelism — every benchmark reports it so
+    /// a reader can judge whether a scaling number had cores behind it.
     #[must_use]
-    pub fn render(benchmark: &str, headers: &[(&str, &str)], rows: &[String]) -> String {
+    pub fn host_cores() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Renders the standard benchmark document: the `"benchmark"` name,
+    /// the typed `headers` in order, then `rows` (each a preformatted
+    /// JSON object, no trailing comma) under `"results"`.
+    #[must_use]
+    pub fn render(benchmark: &str, headers: &[(&str, Value)], rows: &[String]) -> String {
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"benchmark\": \"{benchmark}\",");
         for (key, value) in headers {
-            let _ = writeln!(json, "  \"{key}\": \"{value}\",");
+            let _ = writeln!(json, "  \"{key}\": {value},");
         }
         json.push_str("  \"results\": [\n");
         for (i, row) in rows.iter().enumerate() {

@@ -14,7 +14,9 @@
 
 use std::process::ExitCode;
 
-use codesign::explore::{explore, Constraints, DesignSpace, ExploreConfig, SpaceConfig, Weights};
+use codesign::explore::{
+    explore_with_cache, Constraints, DesignSpace, ExploreConfig, SpaceConfig, Weights,
+};
 use codesign::ir::spec::SystemSpec;
 use codesign::partition::algorithms::{
     gclp, hw_first, kernighan_lin, portfolio, simulated_annealing, sw_first, AnnealingSchedule,
@@ -50,17 +52,20 @@ USAGE:
       as machine-readable JSON instead of the table.
 
   codesign explore <spec.cds> [--budget N] [--threads N] [--seed N]
-                   [--workers N] [--objective perf|cost|concurrency]
-                   [--deadline N] [--sharing] [--json] [--out FILE]
-                   [--trace FILE]
+                   [--workers N] [--depth N] [--cache-file FILE]
+                   [--objective perf|cost|concurrency] [--deadline N]
+                   [--sharing] [--json] [--out FILE] [--trace FILE]
       Explore the joint design space of the spec's task-graph view: HW/SW
       assignment x co-simulation quantum x interface abstraction level,
       scored by the partition cost model plus a bounded co-simulation.
       Candidates come from seeded generator substreams, evaluations are
-      memoized in a content-addressed cache and fanned out over
-      `--threads`, and survivors land in a Pareto archive. The report is
-      byte-identical for any `--threads` at a fixed seed. `--json` prints
-      the JSON report to stdout; `--out` writes it to a file.
+      memoized in a sharded content-addressed cache and pipelined over a
+      persistent pool of `--threads` evaluators (`--depth` rounds deep),
+      and survivors land in a Pareto archive. `--cache-file` warm-starts
+      from (and appends new evaluations to) a persistent cache file. The
+      report is byte-identical for any `--threads`, cold or warm, at a
+      fixed seed. `--json` prints the JSON report to stdout; `--out`
+      writes it to a file.
 
   codesign cosim <spec.cds> [--hw name1,name2] [--budget K] [--quantum N]
                  [--trace FILE]
@@ -309,10 +314,25 @@ fn cmd_explore(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         budget: parsed_flag(args, "--budget")?.unwrap_or(256),
         threads: parsed_flag::<usize>(args, "--threads")?.unwrap_or(1).max(1),
         workers: parsed_flag::<usize>(args, "--workers")?.unwrap_or(8).max(1),
+        pipeline_depth: parsed_flag::<usize>(args, "--depth")?.unwrap_or(1),
         ..ExploreConfig::default()
     };
     let (tracer, trace_path) = trace_flag(args);
-    let outcome = explore(&space, &cfg, &tracer);
+    let cache_file = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
+    let cache = codesign::explore::EvalCache::new();
+    if let Some(path) = &cache_file {
+        let loaded = codesign::explore::preload_cache(&cache, path)
+            .map_err(|e| format!("cannot load cache file `{}`: {e}", path.display()))?;
+        if loaded > 0 {
+            eprintln!("cache-file: warm start with {loaded} entries");
+        }
+    }
+    let outcome = explore_with_cache(&space, &cfg, cache, &tracer);
+    if let Some(path) = &cache_file {
+        let appended = codesign::explore::persist_session(&outcome.cache, path)
+            .map_err(|e| format!("cannot persist cache file `{}`: {e}", path.display()))?;
+        eprintln!("cache-file: {} new entries -> {}", appended, path.display());
+    }
     let report = outcome.report_json(&space, &cfg);
     if let Some(out) = flag_value(args, "--out") {
         std::fs::write(out, &report).map_err(|e| format!("cannot write `{out}`: {e}"))?;
@@ -333,10 +353,11 @@ fn cmd_explore(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         outcome.stats.unique_points
     );
     println!(
-        "  cache: {} hits / {} misses ({:.0}% hit rate), {} infeasible",
-        outcome.stats.cache_hits,
-        outcome.stats.cache_misses,
-        outcome.stats.hit_rate() * 100.0,
+        "  cache: {} revisits absorbed ({:.0}% of offers), {} evaluations run ({} warm hits), {} infeasible",
+        outcome.stats.revisits,
+        outcome.stats.revisit_rate() * 100.0,
+        outcome.stats.evaluations,
+        outcome.stats.warm_hits,
         outcome.stats.infeasible
     );
     println!("\n  Pareto front ({} points):", outcome.archive.len());

@@ -1,4 +1,4 @@
-//! The content-addressed evaluation cache.
+//! The sharded, content-addressed evaluation cache.
 //!
 //! Scores are memoized under the canonical key computed by
 //! [`DesignSpace::key`](crate::DesignSpace::key) — an FNV-1a hash of
@@ -7,90 +7,214 @@
 //! produced it. Infeasible scores are cached too: a point that blew its
 //! co-simulation budget once would blow it again.
 //!
-//! The executor consults the cache only on its serial merge path
-//! (generation → lookup → parallel evaluation of the misses → ordered
-//! merge), so the cache needs no locking and its hit/miss counters are
-//! deterministic — they survive the `--threads 1` vs `--threads 8`
-//! bit-identity gate.
+//! The map is split into [`DEFAULT_SHARDS`] shards, each behind its own
+//! mutex and selected by mixing the key's high and low halves. A lookup
+//! or insert therefore locks 1/64th of the table, so concurrent readers
+//! — the pipelined executor's serial resolve path today, a shared
+//! multi-tenant cache tomorrow — contend only when their keys land in
+//! the same shard. All methods take `&self`; hit/miss counters are
+//! atomics. The executor still performs resolution serially in
+//! candidate order, which is what keeps those counters (and everything
+//! else in the exploration report) deterministic.
+//!
+//! Entries carry a **preloaded** flag: scores read from a persistent
+//! cache file (see [`crate::persist`]) are marked so the executor can
+//! account warm-start hits separately from same-run revisits, and so
+//! only the entries *this* run evaluated are appended back to the file.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::Score;
 
-/// A memo of evaluated design points with hit/miss accounting.
-#[derive(Debug, Default)]
+/// Default shard count: 64 keeps any single lock to ~1.6% of the table
+/// while costing only 64 mutexes of overhead.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// One memoized evaluation.
+#[derive(Debug, Clone)]
+struct Entry {
+    score: Score,
+    /// Whether the entry came from a persistent cache file rather than
+    /// an evaluation performed by this process.
+    preloaded: bool,
+}
+
+/// A sharded memo of evaluated design points with hit/miss accounting.
+#[derive(Debug)]
 pub struct EvalCache {
-    map: HashMap<u64, Score>,
-    hits: u64,
-    misses: u64,
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    /// Mask selecting a shard from a mixed key (shard count is a power
+    /// of two).
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    preloaded: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty cache with [`DEFAULT_SHARDS`] shards.
     #[must_use]
     pub fn new() -> Self {
         EvalCache::default()
     }
 
-    /// Looks up a canonical key, counting a hit or a miss.
-    pub fn lookup(&mut self, key: u64) -> Option<Score> {
-        match self.map.get(&key) {
-            Some(score) => {
-                self.hits += 1;
-                Some(score.clone())
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+    /// An empty cache with `shards` shards (rounded up to a power of
+    /// two, minimum 1). Shard count affects locking granularity only,
+    /// never results — pinned by a property test against the
+    /// single-map model.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        EvalCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: shards - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            preloaded: AtomicU64::new(0),
         }
     }
 
-    /// Records a hit without a lookup — used when a round's candidate
-    /// list contains the same key twice: the second occurrence is served
-    /// by the first's in-flight evaluation, not re-simulated.
-    pub fn count_hit(&mut self) {
-        self.hits += 1;
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Stores the score for a key (last write wins; identical keys carry
-    /// identical scores because evaluation is pure).
-    pub fn insert(&mut self, key: u64, score: Score) {
-        self.map.insert(key, score);
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        // Fold the high half in so shard choice sees all 64 key bits.
+        &self.shards[((key ^ (key >> 32)) as usize) & self.mask]
     }
 
-    /// Distinct points evaluated so far.
+    /// Looks up a canonical key, counting a hit or a miss. On a hit,
+    /// returns the score and whether the entry was preloaded from a
+    /// persistent cache file.
+    pub fn lookup(&self, key: u64) -> Option<(Score, bool)> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(&key)
+            .map(|e| (e.score.clone(), e.preloaded));
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Reads a key without touching the hit/miss counters — the
+    /// executor's merge path uses this to resolve duplicates whose
+    /// evaluation it already accounted for at resolve time.
+    #[must_use]
+    pub fn peek(&self, key: u64) -> Option<Score> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(&key)
+            .map(|e| e.score.clone())
+    }
+
+    /// Stores a score evaluated by this run (last write wins; identical
+    /// keys carry identical scores because evaluation is pure).
+    pub fn insert(&self, key: u64, score: Score) {
+        self.shard(key).lock().expect("cache shard lock").insert(
+            key,
+            Entry {
+                score,
+                preloaded: false,
+            },
+        );
+    }
+
+    /// Stores a score read from a persistent cache file. Preloaded
+    /// entries satisfy lookups like any other but are excluded from
+    /// [`session_entries`](EvalCache::session_entries), so they are
+    /// never appended back to the file they came from.
+    pub fn preload(&self, key: u64, score: Score) {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        if shard
+            .insert(
+                key,
+                Entry {
+                    score,
+                    preloaded: true,
+                },
+            )
+            .is_none()
+        {
+            self.preloaded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Distinct points cached so far (preloaded included).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
     }
 
     /// Whether nothing has been cached.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
-    /// Lookups served from the cache (including in-flight duplicates).
+    /// How many entries were preloaded from a persistent file.
+    #[must_use]
+    pub fn preloaded_len(&self) -> u64 {
+        self.preloaded.load(Ordering::Relaxed)
+    }
+
+    /// The entries evaluated by this run (preloaded entries excluded),
+    /// sorted by key so persisting them is deterministic.
+    #[must_use]
+    pub fn session_entries(&self) -> Vec<(u64, Score)> {
+        let mut out: Vec<(u64, Score)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .iter()
+                    .filter(|(_, e)| !e.preloaded)
+                    .map(|(k, e)| (*k, e.score.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Lookups served from the cache.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that required an evaluation.
+    /// Lookups that found nothing.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Hits over total lookups, 0.0 on an untouched cache.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            h as f64 / (h + m) as f64
         }
     }
 }
@@ -113,15 +237,18 @@ mod tests {
 
     #[test]
     fn lookup_counts_and_returns() {
-        let mut cache = EvalCache::new();
+        let cache = EvalCache::new();
         assert!(cache.lookup(7).is_none());
         cache.insert(7, score(100));
-        assert_eq!(cache.lookup(7).unwrap().latency, 100);
-        cache.count_hit();
+        let (s, preloaded) = cache.lookup(7).unwrap();
+        assert_eq!(s.latency, 100);
+        assert!(!preloaded);
         assert_eq!(cache.misses(), 1);
-        assert_eq!(cache.hits(), 2);
-        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.hits(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.peek(7).unwrap().latency, 100, "peek sees the entry");
+        assert_eq!(cache.hits(), 1, "peek does not count");
     }
 
     #[test]
@@ -129,5 +256,47 @@ mod tests {
         let cache = EvalCache::new();
         assert!(cache.is_empty());
         assert_eq!(cache.hit_rate(), 0.0);
+        assert_eq!(cache.shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(EvalCache::with_shards(0).shard_count(), 1);
+        assert_eq!(EvalCache::with_shards(3).shard_count(), 4);
+        assert_eq!(EvalCache::with_shards(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn preloaded_entries_are_flagged_and_excluded_from_session() {
+        let cache = EvalCache::new();
+        cache.preload(1, score(10));
+        cache.insert(2, score(20));
+        let (_, preloaded) = cache.lookup(1).unwrap();
+        assert!(preloaded);
+        let (_, preloaded) = cache.lookup(2).unwrap();
+        assert!(!preloaded);
+        assert_eq!(cache.preloaded_len(), 1);
+        let session = cache.session_entries();
+        assert_eq!(session.len(), 1);
+        assert_eq!(session[0].0, 2);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = EvalCache::new();
+        for k in 0..1_000u64 {
+            // Mimic FNV output with a multiplicative mix.
+            cache.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), score(k));
+        }
+        assert_eq!(cache.len(), 1_000);
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(
+            occupied > DEFAULT_SHARDS / 2,
+            "1000 mixed keys occupy only {occupied} shards"
+        );
     }
 }

@@ -1,33 +1,48 @@
-//! The deterministic parallel exploration executor.
+//! The deterministic pipelined exploration executor.
 //!
-//! The loop is round-based, and every source of nondeterminism is
+//! The executor is a software pipeline over a **persistent**
+//! work-stealing pool: evaluator threads are spawned once per
+//! exploration (not once per round, the PR 5 design whose per-round
+//! spawn cost made two threads *slower* than one) and pull evaluations
+//! from a queue of round batches. Every source of nondeterminism is
 //! pinned the same way the solver portfolio and the fault injector pin
 //! theirs:
 //!
-//! 1. **Generate (serial).** A fixed number of *logical* workers — a
-//!    config knob independent of `--threads` — each draw one candidate
-//!    from a private `StdRng` seeded `seed ^ fnv1a("worker:w:round:r")`,
-//!    mutating a snapshot of the Pareto front taken at round start (or
-//!    restarting from a random point). Adding OS threads cannot change
-//!    what gets generated.
-//! 2. **Resolve against the cache (serial, fixed order).** Each
-//!    candidate's canonical key is looked up in candidate order; a key
-//!    already evaluated is a hit, a key already pending *this round* is
-//!    a hit served by the in-flight evaluation, anything else joins the
-//!    pending list. Because this pass is serial, the hit/miss counters
-//!    are deterministic too.
-//! 3. **Evaluate the misses (parallel).** OS threads pull pending
-//!    indices from an atomic counter — classic work stealing — and
-//!    write `(index, score)` pairs into private buffers. Evaluation is
-//!    pure, so scheduling order is unobservable.
-//! 4. **Merge (serial, fixed order).** Scores are scattered back by
-//!    index and the candidates are offered to the cache, tracer, and
-//!    archive in the original candidate order.
+//! 1. **Generate (serial, main thread).** A fixed number of *logical*
+//!    workers — a config knob independent of `--threads` — each draw
+//!    one candidate per round from a private `StdRng` seeded
+//!    `seed ^ fnv1a("worker:w:round:r")`, mutating a snapshot of the
+//!    Pareto front or restarting from a random point. The snapshot for
+//!    round `r` is the archive after the merge of round
+//!    `r - 1 - pipeline_depth`: lagging the snapshot by a fixed depth
+//!    is what lets generation of round `r` overlap evaluation of the
+//!    rounds still in flight without the outcome depending on timing.
+//!    Adding OS threads cannot change what gets generated.
+//! 2. **Resolve (serial, main thread, candidate order).** Each
+//!    candidate's canonical key is checked against the sharded cache
+//!    and against a hash map of keys pending in *any* in-flight round
+//!    (O(1), replacing PR 5's O(n²) in-round scan); anything unknown
+//!    joins the round's evaluation batch. Because this pass is serial,
+//!    the accounting is deterministic.
+//! 3. **Evaluate (parallel, pipelined).** The batch is published to the
+//!    pool; threads pull indices from an atomic counter — classic work
+//!    stealing — while the main thread already generates the next
+//!    round. Evaluation is pure, so scheduling order is unobservable.
+//!    The main thread itself steals work when it has to wait.
+//! 4. **Merge (serial, main thread, fixed `(round, worker)` order).**
+//!    Rounds merge strictly in round order; within a round, scores
+//!    scatter back by candidate index and are offered to the cache,
+//!    tracer, and archive in generation order.
 //!
 //! The result: bit-identical archives, counters, and reports at
-//! `--threads 1` and `--threads 8`, with or without the cache.
+//! `--threads 1` and `--threads 8`, with or without the cache, and —
+//! because warm-start-dependent quantities are kept out of the report —
+//! bit-identical reports between a cold run and a run warm-started from
+//! a persistent cache file.
 
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use codesign_sim::ladder::AbstractionLevel;
 use codesign_trace::Tracer;
@@ -48,11 +63,18 @@ pub struct ExploreConfig {
     pub seed: u64,
     /// Total candidates to offer (generation budget).
     pub budget: u64,
-    /// OS threads evaluating cache misses. Affects wall clock only.
+    /// OS threads evaluating cache misses (the main thread included).
+    /// Affects wall clock only.
     pub threads: usize,
     /// Logical generator streams per round. Part of the experiment
     /// definition: changing it changes the candidate sequence.
     pub workers: usize,
+    /// Rounds generated ahead of the merge frontier. Round `r` mutates
+    /// the archive as of round `r - 1 - pipeline_depth`, so depth ≥ 1
+    /// overlaps generation with evaluation. Part of the experiment
+    /// definition (it changes which snapshot each round sees), but —
+    /// like every knob except `threads` — never thread-dependent.
+    pub pipeline_depth: usize,
     /// Synchronization quanta candidates may choose from.
     pub quanta: Vec<u64>,
     /// Interface abstraction levels candidates may choose from.
@@ -72,6 +94,7 @@ impl Default for ExploreConfig {
             budget: 256,
             threads: 1,
             workers: 8,
+            pipeline_depth: 1,
             quanta: vec![4, 8, 16, 32, 64],
             levels: AbstractionLevel::ALL.to_vec(),
             use_cache: true,
@@ -80,33 +103,42 @@ impl Default for ExploreConfig {
     }
 }
 
-/// Deterministic accounting for one exploration run. Everything here
-/// is independent of `threads`.
+/// Deterministic accounting for one exploration run. Everything here is
+/// independent of `threads`. The first five fields are also independent
+/// of warm starts and appear in the report; `evaluations` and
+/// `warm_hits` describe what *this process* had to do, so they differ
+/// between a cold and a warm run and live outside the report (stderr
+/// and the bench JSON only).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Candidates generated (equals the budget).
     pub offered: u64,
     /// Generation rounds executed.
     pub rounds: u64,
-    /// Distinct design points actually simulated.
+    /// Distinct design points resolved this run.
     pub unique_points: u64,
-    /// Cache hits (including in-round duplicate service).
-    pub cache_hits: u64,
-    /// Cache misses (each one cost a simulation).
-    pub cache_misses: u64,
+    /// Offers that revisited an already-resolved point
+    /// (`offered - unique_points`); the memo cache serves these.
+    pub revisits: u64,
     /// Candidates scored infeasible.
     pub infeasible: u64,
+    /// Points actually simulated by this process. Cold with cache:
+    /// `unique_points`. Warm: fewer. Cache disabled: `offered`.
+    pub evaluations: u64,
+    /// First-touch resolutions served by a preloaded (persistent)
+    /// cache entry. Zero on a cold run.
+    pub warm_hits: u64,
 }
 
 impl ExploreStats {
-    /// Hits over total lookups, 0.0 when nothing was looked up.
+    /// Revisits over offers, 0.0 when nothing was offered. This is the
+    /// fraction of the budget the memo cache absorbs on a cold run.
     #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
+    pub fn revisit_rate(&self) -> f64 {
+        if self.offered == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / total as f64
+            self.revisits as f64 / self.offered as f64
         }
     }
 }
@@ -118,14 +150,21 @@ pub struct ExploreOutcome {
     pub archive: ParetoArchive,
     /// Deterministic run accounting.
     pub stats: ExploreStats,
+    /// The evaluation cache as it stood at the end of the run — the
+    /// caller persists its session entries to warm-start later runs.
+    pub cache: EvalCache,
 }
 
 /// Where a resolved candidate's score will come from.
 enum Resolution {
-    /// Already cached (or an earlier in-round duplicate): score known.
+    /// Already cached when resolved: score known immediately.
     Known(Score),
-    /// Index into this round's pending evaluation list.
+    /// Index into this round's evaluation batch.
     Pending(usize),
+    /// Pending in this or an earlier in-flight round; resolved from the
+    /// cache at merge time (the owning round merges first, or earlier
+    /// in this round's own scatter pass).
+    Shared(u64),
 }
 
 /// One generated candidate, post cache resolution.
@@ -135,60 +174,301 @@ struct Candidate {
     resolution: Resolution,
 }
 
-/// Runs the exploration loop. Output is a pure function of
-/// `(space, cfg minus threads)` — see the module docs for why.
+/// One round submitted to the pipeline but not yet merged.
+struct InflightRound {
+    candidates: Vec<Candidate>,
+    /// Keys of `batch`'s points, in batch order.
+    pending_keys: Vec<u64>,
+    /// The evaluation batch, `None` when every candidate was resolved
+    /// from the cache.
+    batch: Option<Arc<Batch>>,
+}
+
+/// One round's cache misses, shared with the evaluator pool. Threads
+/// claim indices from `next` (work stealing) and scatter scores back
+/// under the `done` lock; `complete` wakes the merger when the last
+/// score lands.
+struct Batch {
+    points: Vec<DesignPoint>,
+    next: AtomicUsize,
+    done: Mutex<BatchDone>,
+    complete: Condvar,
+}
+
+struct BatchDone {
+    scores: Vec<Option<Score>>,
+    finished: usize,
+}
+
+impl Batch {
+    fn new(points: Vec<DesignPoint>) -> Arc<Batch> {
+        let n = points.len();
+        Arc::new(Batch {
+            points,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(BatchDone {
+                scores: vec![None; n],
+                finished: 0,
+            }),
+            complete: Condvar::new(),
+        })
+    }
+
+    /// Whether every index has been claimed (not necessarily finished).
+    fn drained(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.points.len()
+    }
+
+    /// Claims and evaluates indices until the batch is drained.
+    fn work(&self, space: &DesignSpace) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.points.len() {
+                return;
+            }
+            let score = space.evaluate(&self.points[i]);
+            let mut d = self.done.lock().expect("batch lock");
+            d.scores[i] = Some(score);
+            d.finished += 1;
+            if d.finished == self.points.len() {
+                self.complete.notify_all();
+            }
+        }
+    }
+
+    /// Drains remaining work on the calling thread, then blocks until
+    /// every claimed index has a score, and returns them in index
+    /// order. With no pool this *is* the (serial) evaluation.
+    fn join(&self, space: &DesignSpace) -> Vec<Score> {
+        self.work(space);
+        let mut d = self.done.lock().expect("batch lock");
+        while d.finished < self.points.len() {
+            d = self.complete.wait(d).expect("batch lock");
+        }
+        d.scores
+            .iter_mut()
+            .map(|s| s.take().expect("every batch index was evaluated"))
+            .collect()
+    }
+}
+
+/// The persistent pool's shared state: a FIFO of round batches and a
+/// shutdown flag. Workers always serve the *oldest* live batch, which
+/// is the next one the merger will wait on.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+}
+
+struct PoolQueue {
+    batches: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+impl PoolShared {
+    fn new() -> Self {
+        PoolShared {
+            queue: Mutex::new(PoolQueue {
+                batches: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn submit(&self, batch: Arc<Batch>) {
+        self.queue
+            .lock()
+            .expect("pool lock")
+            .batches
+            .push_back(batch);
+        self.available.notify_all();
+    }
+
+    fn shutdown(&self) {
+        self.queue.lock().expect("pool lock").shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// An evaluator thread's whole life: take the oldest live batch,
+    /// steal work from it until drained, repeat until shutdown.
+    fn worker(&self, space: &DesignSpace) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().expect("pool lock");
+                loop {
+                    while q.batches.front().is_some_and(|b| b.drained()) {
+                        q.batches.pop_front();
+                    }
+                    if let Some(b) = q.batches.front() {
+                        break Arc::clone(b);
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.available.wait(q).expect("pool lock");
+                }
+            };
+            batch.work(space);
+        }
+    }
+}
+
+/// Runs the exploration loop with a fresh cache.
 #[must_use]
 pub fn explore(space: &DesignSpace, cfg: &ExploreConfig, tracer: &Tracer) -> ExploreOutcome {
+    explore_with_cache(space, cfg, EvalCache::new(), tracer)
+}
+
+/// Runs the exploration loop against a caller-provided cache —
+/// typically one preloaded from a persistent cache file
+/// ([`crate::persist::preload_cache`]). Output is a pure function of
+/// `(space, cfg minus threads, preload-visible scores)`, and because
+/// preloaded scores equal what evaluation would produce, the *report*
+/// is a pure function of `(space, cfg minus threads)` alone.
+#[must_use]
+pub fn explore_with_cache(
+    space: &DesignSpace,
+    cfg: &ExploreConfig,
+    cache: EvalCache,
+    tracer: &Tracer,
+) -> ExploreOutcome {
+    let threads = cfg.threads.max(1);
+    if threads == 1 {
+        return run_pipeline(space, cfg, cache, tracer, None);
+    }
+    let shared = PoolShared::new();
+    std::thread::scope(|scope| {
+        // threads - 1 pool workers; the main thread is the last
+        // evaluator, stealing work whenever it waits on a merge.
+        let handles: Vec<_> = (1..threads)
+            .map(|_| scope.spawn(|| shared.worker(space)))
+            .collect();
+        let outcome = run_pipeline(space, cfg, cache, tracer, Some(&shared));
+        shared.shutdown();
+        for h in handles {
+            h.join().expect("evaluator thread panicked");
+        }
+        outcome
+    })
+}
+
+/// The pipeline driver. All generation, resolution, and merging happens
+/// here on the calling thread; `pool` only changes *where* batch
+/// evaluations run (and `None` runs them inline at merge time).
+fn run_pipeline(
+    space: &DesignSpace,
+    cfg: &ExploreConfig,
+    cache: EvalCache,
+    tracer: &Tracer,
+    pool: Option<&PoolShared>,
+) -> ExploreOutcome {
     let track = tracer.track("explore");
-    let mut cache = EvalCache::new();
     let mut archive = ParetoArchive::new();
+    let workers = cfg.workers.max(1);
     let mut offered = 0u64;
     let mut rounds = 0u64;
     let mut infeasible = 0u64;
-    let mut simulated = 0u64;
+    let mut evaluations = 0u64;
+    let mut warm_hits = 0u64;
     let mut merged = 0u64; // monotone trace timestamp
-    let workers = cfg.workers.max(1);
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut pending: HashSet<u64> = HashSet::new();
+    let mut inflight: VecDeque<InflightRound> = VecDeque::new();
 
-    while offered < cfg.budget {
-        // 1. Generate, serially, from per-(worker, round) substreams.
+    loop {
+        // Merge until the pipeline has room — and drain it entirely
+        // once the budget is spent. Strictly in round order.
+        while inflight.len() > cfg.pipeline_depth || (offered >= cfg.budget && !inflight.is_empty())
+        {
+            let round = inflight.pop_front().expect("inflight round");
+            let scores = match &round.batch {
+                Some(batch) => batch.join(space),
+                None => Vec::new(),
+            };
+            if cfg.use_cache {
+                for (key, score) in round.pending_keys.iter().zip(&scores) {
+                    cache.insert(*key, score.clone());
+                    pending.remove(key);
+                }
+            }
+            for c in round.candidates {
+                let score = match c.resolution {
+                    Resolution::Known(s) => s,
+                    Resolution::Pending(i) => scores[i].clone(),
+                    Resolution::Shared(key) => cache
+                        .peek(key)
+                        .expect("shared key was scattered by an earlier merge"),
+                };
+                if tracer.is_on() {
+                    tracer.span(
+                        track,
+                        "candidate",
+                        merged,
+                        1,
+                        &[
+                            ("assignment", c.point.assignment_string().as_str().into()),
+                            ("quantum", c.point.quantum.into()),
+                            ("level", format!("{}", c.point.level).as_str().into()),
+                            ("feasible", score.feasible.into()),
+                            ("latency", score.latency.into()),
+                        ],
+                    );
+                }
+                if score.feasible {
+                    archive.insert(c.point, score, c.key);
+                } else {
+                    infeasible += 1;
+                }
+                merged += 1;
+            }
+            if tracer.is_on() {
+                tracer.counter(track, "front_size", merged, archive.len() as u64);
+                tracer.counter(track, "revisits", merged, offered - seen.len() as u64);
+            }
+        }
+        if offered >= cfg.budget {
+            break;
+        }
+
+        // Generate one round against the (depth-lagged) archive and
+        // resolve it in candidate order.
         let snapshot: Vec<DesignPoint> =
             archive.entries().iter().map(|e| e.point.clone()).collect();
-        let mut generated = Vec::with_capacity(workers);
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(workers);
+        let mut batch_points: Vec<DesignPoint> = Vec::new();
+        let mut pending_keys: Vec<u64> = Vec::new();
         for w in 0..workers {
             if offered >= cfg.budget {
                 break;
             }
             let stream = fnv1a_str(&format!("worker:{w}:round:{rounds}"));
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ stream);
-            generated.push(next_candidate(space, cfg, &snapshot, &mut rng));
+            let point = next_candidate(space, cfg, &snapshot, &mut rng);
             offered += 1;
-        }
-
-        // 2. Resolve against the cache in candidate order.
-        let mut candidates: Vec<Candidate> = Vec::with_capacity(generated.len());
-        let mut pending: Vec<DesignPoint> = Vec::new();
-        let mut pending_keys: Vec<u64> = Vec::new();
-        for point in generated {
             let key = space.key(&point);
+            let first = seen.insert(key);
             let resolution = if cfg.use_cache {
                 match cache.lookup(key) {
-                    Some(score) => Resolution::Known(score),
-                    None => match pending_keys.iter().position(|&k| k == key) {
-                        Some(i) => {
-                            cache.count_hit();
-                            Resolution::Pending(i)
+                    Some((score, preloaded)) => {
+                        if first && preloaded {
+                            warm_hits += 1;
                         }
-                        None => {
-                            pending.push(point.clone());
-                            pending_keys.push(key);
-                            Resolution::Pending(pending.len() - 1)
-                        }
-                    },
+                        Resolution::Known(score)
+                    }
+                    None if pending.contains(&key) => Resolution::Shared(key),
+                    None => {
+                        pending.insert(key);
+                        pending_keys.push(key);
+                        batch_points.push(point.clone());
+                        evaluations += 1;
+                        Resolution::Pending(batch_points.len() - 1)
+                    }
                 }
             } else {
-                pending.push(point.clone());
-                pending_keys.push(key);
-                Resolution::Pending(pending.len() - 1)
+                batch_points.push(point.clone());
+                evaluations += 1;
+                Resolution::Pending(batch_points.len() - 1)
             };
             candidates.push(Candidate {
                 point,
@@ -196,70 +476,45 @@ pub fn explore(space: &DesignSpace, cfg: &ExploreConfig, tracer: &Tracer) -> Exp
                 resolution,
             });
         }
-
-        // 3. Evaluate the misses on a work-stealing pool.
-        simulated += pending.len() as u64;
-        let scores = evaluate_pending(space, &pending, cfg.threads);
-
-        // 4. Merge in candidate order.
-        for c in candidates {
-            let score = match c.resolution {
-                Resolution::Known(s) => s,
-                Resolution::Pending(i) => {
-                    let s = scores[i].clone();
-                    if cfg.use_cache {
-                        cache.insert(c.key, s.clone());
-                    }
-                    s
-                }
-            };
-            if tracer.is_on() {
-                tracer.span(
-                    track,
-                    "candidate",
-                    merged,
-                    1,
-                    &[
-                        ("assignment", c.point.assignment_string().as_str().into()),
-                        ("quantum", c.point.quantum.into()),
-                        ("level", format!("{}", c.point.level).as_str().into()),
-                        ("feasible", score.feasible.into()),
-                        ("latency", score.latency.into()),
-                    ],
-                );
-            }
-            if score.feasible {
-                archive.insert(c.point, score, c.key);
-            } else {
-                infeasible += 1;
-            }
-            merged += 1;
-        }
         rounds += 1;
-        if tracer.is_on() {
-            tracer.counter(track, "front_size", merged, archive.len() as u64);
-            tracer.counter(track, "cache_hits", merged, cache.hits());
+        let batch = if batch_points.is_empty() {
+            None
+        } else {
+            Some(Batch::new(batch_points))
+        };
+        if let (Some(pool), Some(batch)) = (pool, &batch) {
+            pool.submit(Arc::clone(batch));
         }
+        inflight.push_back(InflightRound {
+            candidates,
+            pending_keys,
+            batch,
+        });
     }
 
+    let unique_points = seen.len() as u64;
     let stats = ExploreStats {
         offered,
         rounds,
-        unique_points: if cfg.use_cache {
-            cache.len() as u64
-        } else {
-            simulated // without the memo every offer is simulated anew
-        },
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
+        unique_points,
+        revisits: offered - unique_points,
         infeasible,
+        evaluations,
+        warm_hits,
     };
-    ExploreOutcome { archive, stats }
+    ExploreOutcome {
+        archive,
+        stats,
+        cache,
+    }
 }
 
 /// Draws one candidate: a uniform restart, or a mutation of a random
-/// front member (flip one task, flip two, re-draw the quantum, or
-/// re-draw the abstraction level).
+/// front member — flip one task, flip two, re-draw the quantum, re-draw
+/// the abstraction level, draw from the full single-flip × quanta ×
+/// levels cross-product neighborhood, or a scaling multi-flip whose
+/// width grows with the task count (the move that lets 256-task spaces
+/// escape local basins).
 fn next_candidate(
     space: &DesignSpace,
     cfg: &ExploreConfig,
@@ -283,14 +538,32 @@ fn next_candidate(
         };
     }
     let mut point = snapshot[rng.gen_range(0..snapshot.len())].clone();
-    match rng.gen_range(0u8..4) {
+    match rng.gen_range(0u8..6) {
         0 => flip_random(&mut point.assignment, rng),
         1 => {
             flip_random(&mut point.assignment, rng);
             flip_random(&mut point.assignment, rng);
         }
         2 => point.quantum = cfg.quanta[rng.gen_range(0..cfg.quanta.len())],
-        _ => point.level = cfg.levels[rng.gen_range(0..cfg.levels.len())],
+        3 => point.level = cfg.levels[rng.gen_range(0..cfg.levels.len())],
+        4 => {
+            // One uniform draw from the full cross-product neighborhood:
+            // simultaneously flip a task, re-draw the quantum, and
+            // re-draw the level.
+            let size = space.cross_neighborhood_size(cfg.quanta.len(), cfg.levels.len());
+            if size > 0 {
+                let index = rng.gen_range(0..size);
+                point = space.cross_neighbor(&point, index, &cfg.quanta, &cfg.levels);
+            }
+        }
+        _ => {
+            // Multi-flip: ~n/16 tasks at once, at least two.
+            let n = point.assignment.len();
+            let flips = rng.gen_range(2..=(n / 16).max(2));
+            for _ in 0..flips {
+                flip_random(&mut point.assignment, rng);
+            }
+        }
     }
     point
 }
@@ -302,55 +575,14 @@ fn flip_random(assignment: &mut [Side], rng: &mut StdRng) {
     }
 }
 
-/// Evaluates the pending points, fanning out over `threads` OS threads
-/// that pull indices from a shared atomic counter. Results are
-/// scattered back by index, so the caller sees the same vector no
-/// matter how the pulls interleaved.
-fn evaluate_pending(space: &DesignSpace, pending: &[DesignPoint], threads: usize) -> Vec<Score> {
-    if pending.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.max(1).min(pending.len());
-    if threads == 1 {
-        return pending.iter().map(|p| space.evaluate(p)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let per_thread: Vec<Vec<(usize, Score)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= pending.len() {
-                            break;
-                        }
-                        out.push((i, space.evaluate(&pending[i])));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluator thread panicked"))
-            .collect()
-    });
-    let mut scores: Vec<Option<Score>> = vec![None; pending.len()];
-    for (i, s) in per_thread.into_iter().flatten() {
-        scores[i] = Some(s);
-    }
-    scores
-        .into_iter()
-        .map(|s| s.expect("every pending index was evaluated"))
-        .collect()
-}
-
 impl ExploreOutcome {
     /// Renders the deterministic run report. Deliberately excludes the
-    /// thread count and every wall-clock quantity: the report must be
-    /// byte-identical at `--threads 1` and `--threads 8`, so timing
-    /// lives in the bench JSON and on stderr, never here.
+    /// thread count, every wall-clock quantity, and every quantity a
+    /// warm start changes (`evaluations`, `warm_hits`): the report must
+    /// be byte-identical at `--threads 1` and `--threads 8` *and*
+    /// between a cold run and a persistent-cache warm start, so timing
+    /// and cache economics live in the bench JSON and on stderr, never
+    /// here.
     #[must_use]
     pub fn report_json(&self, space: &DesignSpace, cfg: &ExploreConfig) -> String {
         let mut out = String::from("{\n");
@@ -360,6 +592,7 @@ impl ExploreOutcome {
         out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
         out.push_str(&format!("  \"budget\": {},\n", cfg.budget));
         out.push_str(&format!("  \"workers\": {},\n", cfg.workers));
+        out.push_str(&format!("  \"pipeline_depth\": {},\n", cfg.pipeline_depth));
         out.push_str(&format!("  \"cache\": {},\n", cfg.use_cache));
         out.push_str("  \"stats\": {\n");
         out.push_str(&format!("    \"offered\": {},\n", self.stats.offered));
@@ -368,14 +601,10 @@ impl ExploreOutcome {
             "    \"unique_points\": {},\n",
             self.stats.unique_points
         ));
-        out.push_str(&format!("    \"cache_hits\": {},\n", self.stats.cache_hits));
+        out.push_str(&format!("    \"revisits\": {},\n", self.stats.revisits));
         out.push_str(&format!(
-            "    \"cache_misses\": {},\n",
-            self.stats.cache_misses
-        ));
-        out.push_str(&format!(
-            "    \"cache_hit_rate\": {:.4},\n",
-            self.stats.hit_rate()
+            "    \"revisit_rate\": {:.4},\n",
+            self.stats.revisit_rate()
         ));
         out.push_str(&format!("    \"infeasible\": {},\n", self.stats.infeasible));
         out.push_str(&format!("    \"front_size\": {}\n", self.archive.len()));
@@ -461,6 +690,32 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_depth_zero_and_deep_are_each_thread_invariant() {
+        let space = space();
+        for depth in [0usize, 2, 5] {
+            let cfg = ExploreConfig {
+                pipeline_depth: depth,
+                ..small_cfg(1)
+            };
+            let solo = explore(&space, &cfg, &Tracer::off());
+            let pool = explore(
+                &space,
+                &ExploreConfig {
+                    threads: 4,
+                    ..cfg.clone()
+                },
+                &Tracer::off(),
+            );
+            assert_eq!(solo.stats, pool.stats, "depth {depth}");
+            assert_eq!(
+                solo.report_json(&space, &cfg),
+                pool.report_json(&space, &cfg),
+                "depth {depth}: reports must be byte-identical across thread counts"
+            );
+        }
+    }
+
+    #[test]
     fn cache_disabled_reaches_the_same_front() {
         let space = space();
         let with = explore(&space, &small_cfg(2), &Tracer::off());
@@ -476,11 +731,16 @@ mod tests {
         for (a, b) in with.archive.entries().iter().zip(without.archive.entries()) {
             assert_eq!(a, b, "evaluation purity makes the cache invisible");
         }
-        assert_eq!(without.stats.cache_hits, 0);
+        // The shared accounting agrees; only the work differs.
+        assert_eq!(with.stats.offered, without.stats.offered);
+        assert_eq!(with.stats.unique_points, without.stats.unique_points);
+        assert_eq!(with.stats.revisits, without.stats.revisits);
+        assert_eq!(without.stats.evaluations, without.stats.offered);
+        assert_eq!(with.stats.evaluations, with.stats.unique_points);
     }
 
     #[test]
-    fn budget_is_exact_and_cache_earns_hits() {
+    fn budget_is_exact_and_revisits_are_absorbed() {
         let space = space();
         let cfg = ExploreConfig {
             budget: 200,
@@ -489,11 +749,61 @@ mod tests {
         let out = explore(&space, &cfg, &Tracer::off());
         assert_eq!(out.stats.offered, 200);
         assert!(
-            out.stats.cache_hits > 0,
+            out.stats.revisits > 0,
             "a 200-offer run over this small space must revisit points"
         );
+        assert_eq!(
+            out.stats.evaluations, out.stats.unique_points,
+            "with the cache on, only unique points are simulated"
+        );
+        assert_eq!(out.stats.warm_hits, 0, "no preload, no warm hits");
         assert!(!out.archive.is_empty());
-        assert!(out.stats.hit_rate() > 0.0);
+        assert!(out.stats.revisit_rate() > 0.0);
+        assert_eq!(
+            out.cache.len() as u64,
+            out.stats.unique_points,
+            "the returned cache holds exactly the resolved points"
+        );
+    }
+
+    #[test]
+    fn odd_budgets_and_workers_drain_cleanly() {
+        let space = space();
+        for (budget, workers, depth) in [(1u64, 8, 3), (7, 3, 1), (53, 5, 2)] {
+            let cfg = ExploreConfig {
+                budget,
+                workers,
+                pipeline_depth: depth,
+                ..small_cfg(3)
+            };
+            let out = explore(&space, &cfg, &Tracer::off());
+            assert_eq!(out.stats.offered, budget, "workers={workers} depth={depth}");
+            assert_eq!(
+                out.stats.rounds,
+                budget.div_ceil(workers as u64),
+                "rounds are full except the last"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_report_with_zero_evaluations() {
+        let space = space();
+        let cfg = small_cfg(2);
+        let cold = explore(&space, &cfg, &Tracer::off());
+        let warm_cache = EvalCache::new();
+        for (k, s) in cold.cache.session_entries() {
+            warm_cache.preload(k, s);
+        }
+        let warm = explore_with_cache(&space, &cfg, warm_cache, &Tracer::off());
+        assert_eq!(
+            cold.report_json(&space, &cfg),
+            warm.report_json(&space, &cfg),
+            "a warm start must not change the report"
+        );
+        assert_eq!(warm.stats.evaluations, 0, "everything was preloaded");
+        assert_eq!(warm.stats.warm_hits, warm.stats.unique_points);
+        assert_eq!(cold.stats.unique_points, warm.stats.unique_points);
     }
 
     #[test]

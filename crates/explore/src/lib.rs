@@ -40,11 +40,13 @@
 pub mod archive;
 pub mod cache;
 pub mod executor;
+pub mod persist;
 pub mod space;
 
 pub use archive::{Constraints, ParetoArchive, Weights};
 pub use cache::EvalCache;
-pub use executor::{explore, ExploreConfig, ExploreOutcome, ExploreStats};
+pub use executor::{explore, explore_with_cache, ExploreConfig, ExploreOutcome, ExploreStats};
+pub use persist::{persist_session, preload_cache, read_cache_file, CacheFileError};
 pub use space::{DesignSpace, SpaceConfig};
 
 use codesign_partition::Side;

@@ -1,0 +1,357 @@
+//! The persistent evaluation-cache backend: an append-only file of
+//! `(key, Score)` records behind a version header.
+//!
+//! Keys are the canonical content hashes of
+//! [`DesignSpace::key`](crate::DesignSpace::key), which fold in the
+//! **spec digest** — so one file can safely serve many explorations of
+//! many specs: a record for a different spec simply never matches a
+//! lookup. Scores are pure functions of their key, so replaying a file
+//! into a fresh [`EvalCache`](crate::EvalCache) reproduces exactly the
+//! state the writing process had, and a warm-started exploration is
+//! bit-identical to its cold twin (pinned by tests).
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! offset 0   8 bytes   magic b"CDEXEVC1" (format + version)
+//! offset 8   57-byte records, append-only:
+//!     key          u64  LE
+//!     latency      u64  LE
+//!     hw_area      f64  LE (IEEE-754 bits)
+//!     cross_bytes  u64  LE
+//!     sync_rounds  u64  LE
+//!     makespan     u64  LE
+//!     cost         f64  LE (IEEE-754 bits)
+//!     feasible     u8   (0 or 1)
+//! ```
+//!
+//! Readers validate the magic, require the body to be a whole number of
+//! records, and require the `feasible` byte to be 0 or 1 — a corrupt or
+//! truncated file is **rejected with an error**, never silently
+//! repaired or partially loaded: a warm start from half a file would be
+//! deterministic but surprising. Writers append only records the
+//! current run evaluated ([`EvalCache::session_entries`]
+//! (crate::EvalCache::session_entries)), sorted by key, so rewriting
+//! the same exploration leaves the file byte-identical.
+
+use std::collections::HashSet;
+use std::fs::OpenOptions;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::{EvalCache, Score};
+
+/// Magic + version prefix of a cache file.
+pub const CACHE_MAGIC: [u8; 8] = *b"CDEXEVC1";
+
+/// Bytes per record: key + five u64/f64 fields + the feasible byte.
+pub const RECORD_BYTES: usize = 8 * 7 + 1;
+
+/// Why a cache file could not be read.
+#[derive(Debug)]
+pub enum CacheFileError {
+    /// The underlying I/O failed.
+    Io(std::io::Error),
+    /// The file is shorter than the 8-byte header.
+    MissingHeader,
+    /// The header is not [`CACHE_MAGIC`] — wrong file or wrong version.
+    BadMagic([u8; 8]),
+    /// The body is not a whole number of records (a torn final append).
+    Truncated {
+        /// Bytes left over after the last whole record.
+        trailing: usize,
+    },
+    /// A record's `feasible` byte was neither 0 nor 1.
+    BadRecord {
+        /// Zero-based index of the offending record.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CacheFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheFileError::Io(e) => write!(f, "cache file I/O error: {e}"),
+            CacheFileError::MissingHeader => {
+                write!(f, "cache file is shorter than its 8-byte header")
+            }
+            CacheFileError::BadMagic(got) => write!(
+                f,
+                "cache file header {got:02x?} is not {:02x?} (`CDEXEVC1`); wrong file or version",
+                CACHE_MAGIC
+            ),
+            CacheFileError::Truncated { trailing } => write!(
+                f,
+                "cache file is truncated: {trailing} trailing bytes after the last whole \
+                 {RECORD_BYTES}-byte record"
+            ),
+            CacheFileError::BadRecord { index } => {
+                write!(f, "cache file record {index} is corrupt (feasible byte)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CacheFileError {
+    fn from(e: std::io::Error) -> Self {
+        CacheFileError::Io(e)
+    }
+}
+
+fn encode_record(key: u64, score: &Score, out: &mut Vec<u8>) {
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&score.latency.to_le_bytes());
+    out.extend_from_slice(&score.hw_area.to_bits().to_le_bytes());
+    out.extend_from_slice(&score.cross_bytes.to_le_bytes());
+    out.extend_from_slice(&score.sync_rounds.to_le_bytes());
+    out.extend_from_slice(&score.makespan.to_le_bytes());
+    out.extend_from_slice(&score.cost.to_bits().to_le_bytes());
+    out.push(u8::from(score.feasible));
+}
+
+fn decode_record(record: &[u8], index: usize) -> Result<(u64, Score), CacheFileError> {
+    let u = |i: usize| u64::from_le_bytes(record[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    let feasible = match record[RECORD_BYTES - 1] {
+        0 => false,
+        1 => true,
+        _ => return Err(CacheFileError::BadRecord { index }),
+    };
+    Ok((
+        u(0),
+        Score {
+            latency: u(1),
+            hw_area: f64::from_bits(u(2)),
+            cross_bytes: u(3),
+            sync_rounds: u(4),
+            makespan: u(5),
+            cost: f64::from_bits(u(6)),
+            feasible,
+        },
+    ))
+}
+
+/// Reads every record of a cache file. Later records win on duplicate
+/// keys (harmless: evaluation purity makes duplicates identical).
+pub fn read_cache_file(path: &Path) -> Result<Vec<(u64, Score)>, CacheFileError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < CACHE_MAGIC.len() {
+        return Err(CacheFileError::MissingHeader);
+    }
+    if bytes[..CACHE_MAGIC.len()] != CACHE_MAGIC {
+        let mut got = [0u8; 8];
+        got.copy_from_slice(&bytes[..8]);
+        return Err(CacheFileError::BadMagic(got));
+    }
+    let body = &bytes[CACHE_MAGIC.len()..];
+    let trailing = body.len() % RECORD_BYTES;
+    if trailing != 0 {
+        return Err(CacheFileError::Truncated { trailing });
+    }
+    body.chunks_exact(RECORD_BYTES)
+        .enumerate()
+        .map(|(i, r)| decode_record(r, i))
+        .collect()
+}
+
+/// Preloads a cache from `path` if the file exists. Returns how many
+/// records were loaded (0 when the file is absent — a cold start).
+/// A present-but-unreadable file is an error, not a silent cold start.
+pub fn preload_cache(cache: &EvalCache, path: &Path) -> Result<usize, CacheFileError> {
+    if !path.exists() {
+        return Ok(0);
+    }
+    let records = read_cache_file(path)?;
+    let n = records.len();
+    for (key, score) in records {
+        cache.preload(key, score);
+    }
+    Ok(n)
+}
+
+/// Appends `cache`'s session entries (the points this run evaluated)
+/// to `path`, creating the file with its header if absent. Records
+/// whose keys the file already holds are skipped, so re-running the
+/// same exploration leaves the file unchanged. Returns how many
+/// records were appended.
+pub fn persist_session(cache: &EvalCache, path: &Path) -> Result<usize, CacheFileError> {
+    let existing: HashSet<u64> = if path.exists() {
+        read_cache_file(path)?.into_iter().map(|(k, _)| k).collect()
+    } else {
+        HashSet::new()
+    };
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    if existing.is_empty() && file.metadata()?.len() == 0 {
+        file.write_all(&CACHE_MAGIC)?;
+    }
+    let mut buf = Vec::new();
+    let mut appended = 0usize;
+    for (key, score) in cache.session_entries() {
+        if !existing.contains(&key) {
+            encode_record(key, &score, &mut buf);
+            appended += 1;
+        }
+    }
+    file.write_all(&buf)?;
+    file.flush()?;
+    Ok(appended)
+}
+
+/// Reads just the header of `path`, erroring the way a full read would.
+/// Lets a CLI fail fast on a corrupt `--cache-file` before exploring.
+pub fn validate_header(path: &Path) -> Result<(), CacheFileError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)
+        .map_err(|_| CacheFileError::MissingHeader)?;
+    if magic != CACHE_MAGIC {
+        return Err(CacheFileError::BadMagic(magic));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(latency: u64, feasible: bool) -> Score {
+        Score {
+            latency,
+            hw_area: 1.5,
+            cross_bytes: 64,
+            sync_rounds: 9,
+            makespan: latency / 2,
+            cost: 0.25,
+            feasible,
+        }
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "codesign_persist_{}_{}_{name}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ))
+    }
+
+    #[test]
+    fn round_trips_records_exactly() {
+        let path = temp("roundtrip");
+        let cache = EvalCache::new();
+        cache.insert(3, score(300, true));
+        cache.insert(1, Score::infeasible());
+        cache.insert(2, score(200, false));
+        assert_eq!(persist_session(&cache, &path).unwrap(), 3);
+        let records = read_cache_file(&path).unwrap();
+        // session_entries sorts by key, so the file order is 1, 2, 3.
+        assert_eq!(
+            records.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(records[0].1, Score::infeasible(), "infinities survive");
+        assert_eq!(records[2].1, score(300, true));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appending_skips_known_keys() {
+        let path = temp("append");
+        let cache = EvalCache::new();
+        cache.insert(7, score(70, true));
+        assert_eq!(persist_session(&cache, &path).unwrap(), 1);
+        let before = std::fs::read(&path).unwrap();
+        // Same session again: nothing new, file untouched.
+        assert_eq!(persist_session(&cache, &path).unwrap(), 0);
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        // A new point appends exactly one record.
+        cache.insert(8, score(80, true));
+        assert_eq!(persist_session(&cache, &path).unwrap(), 1);
+        assert_eq!(
+            std::fs::read(&path).unwrap().len(),
+            before.len() + RECORD_BYTES
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn preload_flags_entries_and_handles_absence() {
+        let path = temp("preload");
+        let cache = EvalCache::new();
+        assert_eq!(preload_cache(&cache, &path).unwrap(), 0, "absent = cold");
+        cache.insert(5, score(50, true));
+        persist_session(&cache, &path).unwrap();
+        let warm = EvalCache::new();
+        assert_eq!(preload_cache(&warm, &path).unwrap(), 1);
+        assert_eq!(warm.preloaded_len(), 1);
+        assert!(warm.session_entries().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        // Bad magic.
+        let path = temp("badmagic");
+        std::fs::write(&path, b"NOTACHE!rest").unwrap();
+        assert!(matches!(
+            read_cache_file(&path),
+            Err(CacheFileError::BadMagic(_))
+        ));
+        assert!(validate_header(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+
+        // Shorter than the header.
+        let path = temp("short");
+        std::fs::write(&path, b"CDE").unwrap();
+        assert!(matches!(
+            read_cache_file(&path),
+            Err(CacheFileError::MissingHeader)
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // Torn final record.
+        let path = temp("torn");
+        let cache = EvalCache::new();
+        cache.insert(9, score(90, true));
+        persist_session(&cache, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&path, &bytes).unwrap();
+        match read_cache_file(&path) {
+            Err(CacheFileError::Truncated { trailing }) => {
+                assert_eq!(trailing, RECORD_BYTES - 5);
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        // Preload must refuse, not partially load.
+        let warm = EvalCache::new();
+        assert!(preload_cache(&warm, &path).is_err());
+        assert!(warm.is_empty());
+        let _ = std::fs::remove_file(&path);
+
+        // Corrupt feasible byte.
+        let path = temp("badbyte");
+        let cache = EvalCache::new();
+        cache.insert(11, score(110, true));
+        persist_session(&cache, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] = 7;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_cache_file(&path),
+            Err(CacheFileError::BadRecord { index: 0 })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -197,6 +197,69 @@ impl DesignSpace {
         )
     }
 
+    /// Size of the full cross-product neighborhood of any point: every
+    /// single-task flip × every quantum × every level —
+    /// `len() * quanta * levels` distinct moves. This is the
+    /// neighborhood the executor's cross-product mutation draws from
+    /// uniformly, and the one [`cross_neighbors`](DesignSpace::cross_neighbors)
+    /// enumerates; at 256 tasks × 5 quanta × 4 levels it is 5120 moves
+    /// per incumbent, a space only a memoized parallel executor can
+    /// afford to sample densely.
+    #[must_use]
+    pub fn cross_neighborhood_size(&self, quanta: usize, levels: usize) -> u64 {
+        self.len() as u64 * quanta as u64 * levels as u64
+    }
+
+    /// Decodes `index` (row-major over task × quantum × level) into the
+    /// corresponding cross-product neighbor of `base`: flip task
+    /// `index / (|Q|·|L|)`, set quantum `Q[(index / |L|) % |Q|]` and
+    /// level `L[index % |L|]`. Deterministic and total for
+    /// `index < cross_neighborhood_size(...)`.
+    ///
+    /// # Panics
+    /// If `index` is out of range or `quanta`/`levels` is empty.
+    #[must_use]
+    pub fn cross_neighbor(
+        &self,
+        base: &DesignPoint,
+        index: u64,
+        quanta: &[u64],
+        levels: &[AbstractionLevel],
+    ) -> DesignPoint {
+        assert!(
+            index < self.cross_neighborhood_size(quanta.len(), levels.len()),
+            "cross-product neighbor index {index} out of range"
+        );
+        let per_task = (quanta.len() * levels.len()) as u64;
+        let task = (index / per_task) as usize;
+        let rem = index % per_task;
+        let quantum = quanta[(rem / levels.len() as u64) as usize];
+        let level = levels[(rem % levels.len() as u64) as usize];
+        let mut assignment = base.assignment.clone();
+        if let Some(side) = assignment.get_mut(task) {
+            *side = side.flipped();
+        }
+        DesignPoint {
+            assignment,
+            quantum,
+            level,
+        }
+    }
+
+    /// Iterates the full cross-product neighborhood of `base` in
+    /// canonical (task, quantum, level) order — the exhaustive
+    /// counterpart of the executor's uniform draw, for callers that
+    /// want a complete local sweep.
+    pub fn cross_neighbors<'a>(
+        &'a self,
+        base: &'a DesignPoint,
+        quanta: &'a [u64],
+        levels: &'a [AbstractionLevel],
+    ) -> impl Iterator<Item = DesignPoint> + 'a {
+        (0..self.cross_neighborhood_size(quanta.len(), levels.len()))
+            .map(move |i| self.cross_neighbor(base, i, quanta, levels))
+    }
+
     /// Scores one design point: the partition cost model, then the
     /// bounded co-simulation. Pure and deterministic; a point whose
     /// co-simulation cannot finish within the space's budget (or whose
@@ -437,6 +500,52 @@ mod tests {
         };
         let other = DesignSpace::new(chain(), cfg);
         assert_ne!(space.key(&p), other.key(&p));
+    }
+
+    #[test]
+    fn cross_neighborhood_enumerates_the_full_product() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let quanta = [4u64, 16, 64];
+        let levels = [AbstractionLevel::Message, AbstractionLevel::Pin];
+        let base = point(vec![Side::Sw, Side::Hw, Side::Sw]);
+        let size = space.cross_neighborhood_size(quanta.len(), levels.len());
+        assert_eq!(size, 3 * 3 * 2);
+        let all: Vec<_> = space.cross_neighbors(&base, &quanta, &levels).collect();
+        assert_eq!(all.len() as u64, size);
+        // Every neighbor flips exactly one task relative to the base.
+        for n in &all {
+            let flips = n
+                .assignment
+                .iter()
+                .zip(&base.assignment)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(flips, 1);
+            assert!(quanta.contains(&n.quantum));
+            assert!(levels.contains(&n.level));
+        }
+        // All canonical keys are distinct: the decode is a bijection.
+        let mut keys: Vec<u64> = all.iter().map(|n| space.key(n)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len() as u64, size);
+        // Spot-check the row-major decode.
+        let first = space.cross_neighbor(&base, 0, &quanta, &levels);
+        assert_eq!(first.assignment[0], Side::Hw, "task 0 flipped");
+        assert_eq!(first.quantum, 4);
+        assert_eq!(first.level, AbstractionLevel::Message);
+        let last = space.cross_neighbor(&base, size - 1, &quanta, &levels);
+        assert_eq!(last.assignment[2], Side::Hw, "task 2 flipped");
+        assert_eq!(last.quantum, 64);
+        assert_eq!(last.level, AbstractionLevel::Pin);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_neighbor_rejects_out_of_range_indices() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let base = point(vec![Side::Sw; 3]);
+        let _ = space.cross_neighbor(&base, 12, &[16], &[AbstractionLevel::Message]);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Integration: the persistent evaluation cache end to end — a cold
+//! exploration persisted to a cache file, then warm-started through it,
+//! must produce a byte-identical report while doing (almost) no work.
+
+use codesign_explore::{
+    explore, explore_with_cache, persist_session, preload_cache, read_cache_file, DesignSpace,
+    EvalCache, ExploreConfig, SpaceConfig,
+};
+use codesign_ir::task::{Task, TaskGraph};
+use codesign_trace::Tracer;
+
+fn graph(name: &str, scale: u64) -> TaskGraph {
+    let mut g = TaskGraph::new(name);
+    let a = g.add_task(
+        Task::new("a", 4_000 + scale)
+            .with_hw_cycles(400)
+            .with_hw_area(10.0),
+    );
+    let b = g.add_task(Task::new("b", 8_000).with_hw_cycles(500).with_hw_area(20.0));
+    let c = g.add_task(Task::new("c", 2_000).with_hw_cycles(300).with_hw_area(15.0));
+    let d = g.add_task(Task::new("d", 6_000).with_hw_cycles(900).with_hw_area(12.0));
+    g.add_edge(a, b, 64).unwrap();
+    g.add_edge(b, c, 128).unwrap();
+    g.add_edge(a, d, 32).unwrap();
+    g.add_edge(d, c, 64).unwrap();
+    g
+}
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "codesign_evc_it_{}_{}_{name}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ))
+}
+
+fn cfg(threads: usize) -> ExploreConfig {
+    ExploreConfig {
+        seed: 0xFEED,
+        budget: 64,
+        threads,
+        ..ExploreConfig::default()
+    }
+}
+
+#[test]
+fn warm_start_through_a_file_is_byte_identical_and_free() {
+    let space = DesignSpace::new(graph("persist_it", 0), SpaceConfig::default());
+    let path = temp("warm");
+
+    let cold = explore(&space, &cfg(1), &Tracer::off());
+    let cold_report = cold.report_json(&space, &cfg(1));
+    let written =
+        persist_session(&cold.cache, &path).unwrap_or_else(|e| panic!("persist failed: {e}"));
+    assert_eq!(written as u64, cold.stats.evaluations);
+
+    // Warm-start at a different thread count: still byte-identical.
+    let warm_cache = EvalCache::new();
+    let loaded = preload_cache(&warm_cache, &path).expect("preload");
+    assert_eq!(loaded, written);
+    let warm = explore_with_cache(&space, &cfg(4), warm_cache, &Tracer::off());
+    assert_eq!(
+        cold_report,
+        warm.report_json(&space, &cfg(4)),
+        "cold and warm reports must be byte-identical"
+    );
+    assert_eq!(warm.stats.evaluations, 0, "nothing left to simulate");
+    assert_eq!(warm.stats.warm_hits, warm.stats.unique_points);
+
+    // Re-persisting the warm run appends nothing: its session is empty.
+    assert_eq!(persist_session(&warm.cache, &path).expect("persist"), 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn one_file_serves_many_specs_without_cross_talk() {
+    let space_a = DesignSpace::new(graph("spec_a", 1), SpaceConfig::default());
+    let space_b = DesignSpace::new(graph("spec_b", 2), SpaceConfig::default());
+    let path = temp("shared");
+
+    let a_cold = explore(&space_a, &cfg(1), &Tracer::off());
+    persist_session(&a_cold.cache, &path).expect("persist a");
+    let records_after_a = read_cache_file(&path).expect("readable").len();
+
+    // Exploring a *different* spec through the same file: none of spec
+    // A's records match (keys fold in the spec digest), so spec B
+    // evaluates everything itself and appends its own records.
+    let b_cache = EvalCache::new();
+    preload_cache(&b_cache, &path).expect("preload");
+    let b_cold = explore_with_cache(&space_b, &cfg(1), b_cache, &Tracer::off());
+    assert_eq!(b_cold.stats.warm_hits, 0, "no cross-spec key collisions");
+    assert_eq!(b_cold.stats.evaluations, b_cold.stats.unique_points);
+    persist_session(&b_cold.cache, &path).expect("persist b");
+    let records_after_b = read_cache_file(&path).expect("readable").len();
+    assert_eq!(
+        records_after_b as u64,
+        records_after_a as u64 + b_cold.stats.evaluations
+    );
+
+    // And spec A warm-starts perfectly from the shared file.
+    let a_warm_cache = EvalCache::new();
+    preload_cache(&a_warm_cache, &path).expect("preload");
+    let a_warm = explore_with_cache(&space_a, &cfg(1), a_warm_cache, &Tracer::off());
+    assert_eq!(a_warm.stats.evaluations, 0);
+    assert_eq!(
+        a_cold.report_json(&space_a, &cfg(1)),
+        a_warm.report_json(&space_a, &cfg(1))
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn partial_warm_starts_finish_the_job() {
+    let space = DesignSpace::new(graph("partial", 3), SpaceConfig::default());
+    let path = temp("partial");
+
+    // Persist only half the budget's worth of evaluations.
+    let half = explore(
+        &space,
+        &ExploreConfig {
+            budget: 32,
+            ..cfg(1)
+        },
+        &Tracer::off(),
+    );
+    persist_session(&half.cache, &path).expect("persist half");
+
+    let cold = explore(&space, &cfg(1), &Tracer::off());
+    let warm_cache = EvalCache::new();
+    preload_cache(&warm_cache, &path).expect("preload");
+    let warm = explore_with_cache(&space, &cfg(1), warm_cache, &Tracer::off());
+    assert_eq!(
+        cold.report_json(&space, &cfg(1)),
+        warm.report_json(&space, &cfg(1)),
+        "a partial warm start changes cost, never the report"
+    );
+    assert!(
+        warm.stats.evaluations < cold.stats.evaluations,
+        "the partial preload saved work"
+    );
+    assert!(warm.stats.evaluations > 0, "but not all of it");
+    assert_eq!(
+        warm.stats.warm_hits + warm.stats.evaluations,
+        warm.stats.unique_points
+    );
+
+    // Persisting the warm run tops the file up to the cold run's set.
+    persist_session(&warm.cache, &path).expect("persist rest");
+    let total = read_cache_file(&path).expect("readable").len() as u64;
+    assert_eq!(total, cold.stats.evaluations);
+    let _ = std::fs::remove_file(&path);
+}

@@ -9,13 +9,15 @@
 //!    fixed-reduction-order discipline), across random seeds and budgets.
 
 use codesign_explore::{
-    explore, DesignPoint, DesignSpace, ExploreConfig, ParetoArchive, Score, SpaceConfig,
+    explore, explore_with_cache, DesignPoint, DesignSpace, EvalCache, ExploreConfig, ParetoArchive,
+    Score, SpaceConfig,
 };
 use codesign_ir::task::{Task, TaskGraph};
 use codesign_partition::Side;
 use codesign_sim::ladder::AbstractionLevel;
 use codesign_trace::Tracer;
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 /// A small diamond-shaped task graph parameterized by a seed, cheap
 /// enough to co-simulate hundreds of times inside one property case.
@@ -105,7 +107,12 @@ proptest! {
         prop_assert_eq!(cached.stats.offered, uncached.stats.offered);
         prop_assert_eq!(cached.stats.rounds, uncached.stats.rounds);
         prop_assert_eq!(cached.stats.infeasible, uncached.stats.infeasible);
-        prop_assert_eq!(uncached.stats.cache_hits, 0);
+        prop_assert_eq!(cached.stats.unique_points, uncached.stats.unique_points);
+        prop_assert_eq!(cached.stats.revisits, uncached.stats.revisits);
+        // Only the work differs: uncached simulates every offer, cached
+        // simulates each distinct point once.
+        prop_assert_eq!(uncached.stats.evaluations, uncached.stats.offered);
+        prop_assert_eq!(cached.stats.evaluations, cached.stats.unique_points);
     }
 
     /// Contract 2: after any offer sequence, no archived point dominates
@@ -164,5 +171,84 @@ proptest! {
             serial.report_json(&space, &cfg),
             parallel.report_json(&space, &cfg)
         );
+    }
+
+    /// Contract 4: shard count is a locking-granularity knob only. Any
+    /// sharded cache behaves exactly like a single flat map, for any
+    /// interleaving of lookups, inserts, and preloads.
+    #[test]
+    fn sharded_cache_matches_the_flat_map_model(
+        shards in 0usize..130,
+        ops in proptest::collection::vec(
+            (any::<u64>(), 0u8..3, arb_score()), 1..80,
+        ),
+    ) {
+        let cache = EvalCache::with_shards(shards);
+        let mut model: HashMap<u64, Score> = HashMap::new();
+        let mut model_hits = 0u64;
+        let mut model_misses = 0u64;
+        for (key, op, score) in ops {
+            match op {
+                0 => {
+                    let got = cache.lookup(key).map(|(s, _)| s);
+                    let want = model.get(&key).cloned();
+                    match &want {
+                        Some(_) => model_hits += 1,
+                        None => model_misses += 1,
+                    }
+                    prop_assert_eq!(got, want);
+                }
+                1 => {
+                    cache.insert(key, score.clone());
+                    model.insert(key, score);
+                }
+                _ => {
+                    cache.preload(key, score.clone());
+                    model.insert(key, score);
+                }
+            }
+        }
+        prop_assert_eq!(cache.len(), model.len());
+        prop_assert_eq!(cache.hits(), model_hits);
+        prop_assert_eq!(cache.misses(), model_misses);
+        for (k, v) in &model {
+            let got = cache.peek(*k);
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+
+    /// Contract 5: a warm start from the previous run's session entries
+    /// produces a byte-identical report with zero evaluations — the
+    /// persistent-cache analogue of contract 1.
+    #[test]
+    fn warm_start_never_changes_the_report(
+        graph_seed in any::<u64>(),
+        explore_seed in any::<u64>(),
+        threads in 1usize..4,
+    ) {
+        let space = space(graph_seed);
+        let cfg = ExploreConfig {
+            seed: explore_seed,
+            budget: 32,
+            workers: 4,
+            ..ExploreConfig::default()
+        };
+        let cold = explore(&space, &cfg, &Tracer::off());
+        let warm_cache = EvalCache::new();
+        for (k, s) in cold.cache.session_entries() {
+            warm_cache.preload(k, s);
+        }
+        let warm = explore_with_cache(
+            &space,
+            &ExploreConfig { threads, ..cfg.clone() },
+            warm_cache,
+            &Tracer::off(),
+        );
+        prop_assert_eq!(
+            cold.report_json(&space, &cfg),
+            warm.report_json(&space, &cfg)
+        );
+        prop_assert_eq!(warm.stats.evaluations, 0);
+        prop_assert_eq!(warm.stats.warm_hits, warm.stats.unique_points);
     }
 }

@@ -27,7 +27,11 @@ cargo run --release -q -p codesign-bench --bin bench-cosim -- --smoke
 echo "== bench-faults smoke (6 seeds, gates class accounting) =="
 cargo run --release -q -p codesign-bench --bin bench-faults -- --smoke
 
-echo "== bench-explore smoke (64 offers, gates cache hits + report byte-identity) =="
+# Gates report byte-identity across threads {1,2,4,8,16} and cold/warm
+# persistent-cache runs, revisit absorption, and — on hosts with >= 4
+# cores — a >= 1.2x speedup at 4 threads (skipped below that, where the
+# pool has no cores to scale onto; the full run gates >= 1.5x).
+echo "== bench-explore smoke (pipelined scaling + persistent cache) =="
 cargo run --release -q -p codesign-bench --bin bench-explore -- --smoke
 
 echo "verify: OK"

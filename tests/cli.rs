@@ -256,7 +256,70 @@ fn explore_reports_are_identical_across_thread_counts() {
         "same seed, different --threads: reports must be byte-identical"
     );
     assert!(solo.contains("\"front\""), "{solo}");
-    assert!(solo.contains("\"cache_hit_rate\""), "{solo}");
+    assert!(solo.contains("\"revisit_rate\""), "{solo}");
+}
+
+#[test]
+fn explore_cache_file_warm_starts_byte_identically() {
+    let path = spec_file();
+    let cache_path =
+        std::env::temp_dir().join(format!("codesign_cli_cache_{}.evc", std::process::id()));
+    let _ = std::fs::remove_file(&cache_path);
+    let run = || {
+        codesign(&[
+            "explore",
+            path.to_str().unwrap(),
+            "--budget",
+            "48",
+            "--seed",
+            "7",
+            "--cache-file",
+            cache_path.to_str().unwrap(),
+            "--json",
+        ])
+    };
+    let (cold, cold_err, ok) = run();
+    assert!(ok, "cold run failed: {cold_err}");
+    assert!(
+        cache_path.exists(),
+        "the cold run must create the cache file"
+    );
+    let after_cold = std::fs::read(&cache_path).expect("cache file readable");
+    let (warm, warm_err, ok) = run();
+    assert!(ok, "warm run failed: {warm_err}");
+    assert_eq!(
+        cold, warm,
+        "warm-started report must be byte-identical to the cold one"
+    );
+    assert!(
+        warm_err.contains("warm start"),
+        "the warm run announces its preload: {warm_err}"
+    );
+    let after_warm = std::fs::read(&cache_path).expect("cache file readable");
+    assert_eq!(
+        after_cold, after_warm,
+        "re-running must not grow the cache file"
+    );
+    let _ = std::fs::remove_file(&cache_path);
+}
+
+#[test]
+fn explore_rejects_a_corrupt_cache_file() {
+    let path = spec_file();
+    let cache_path =
+        std::env::temp_dir().join(format!("codesign_cli_badcache_{}.evc", std::process::id()));
+    std::fs::write(&cache_path, b"not a cache file at all").expect("writes");
+    let (_, err, ok) = codesign(&[
+        "explore",
+        path.to_str().unwrap(),
+        "--budget",
+        "16",
+        "--cache-file",
+        cache_path.to_str().unwrap(),
+    ]);
+    assert!(!ok, "a corrupt cache file must abort the run");
+    assert!(err.contains("cannot load cache file"), "{err}");
+    let _ = std::fs::remove_file(&cache_path);
 }
 
 #[test]
