@@ -29,8 +29,11 @@ use codesign_bench::jsonout;
 
 /// Seeds per scenario for the checked-in report.
 const FULL_SEEDS: u64 = 32;
-/// Seeds per scenario under `--smoke`.
-const SMOKE_SEEDS: u64 = 6;
+/// Seeds per scenario under `--smoke`: the smallest sweep where every
+/// scenario's standard plan injects at least one fault (the injection
+/// draws ride the simulated event stream, so cycle-accurate timing
+/// fixes legitimately shift which seeds fire).
+const SMOKE_SEEDS: u64 = 10;
 
 fn main() {
     let (smoke, out_path) =

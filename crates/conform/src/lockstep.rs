@@ -1,0 +1,339 @@
+//! ISS-vs-RTL-CPU lockstep: per-retired-instruction architectural-state
+//! comparison between a register-level CR32 and a pin-accurate one.
+//!
+//! Both simulators execute the *same* randomly generated, timing-closed,
+//! straight-line program (no branches, no reads of timing-dependent
+//! device registers), so every retired instruction must leave identical
+//! architectural state — program counter, register file, halt flag — no
+//! matter how differently the two model the bus.
+//!
+//! A checker that silently stops checking is worse than no checker, so
+//! the harness carries a deliberate-fault [`self_test`]: it injects an
+//! off-by-one into one register of one side mid-run and demands that the
+//! checker *see* it. Running the self-test with checking disabled fails
+//! loudly — that is the point.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::fmt::Write as _;
+
+use codesign_isa::asm::assemble;
+use codesign_isa::cpu::{Cpu, MMIO_BASE};
+use codesign_isa::instr::{Reg, NUM_REGS};
+use codesign_rtl::bus::{BusTiming, DrainFifo, Ram, SystemBus, Uart};
+use codesign_sim::pinproto::PinPhy;
+
+use crate::ConformError;
+
+/// Memory-map layout shared by both lockstep CPUs.
+const FIFO_BASE: u32 = 0x000;
+const RAM_BASE: u32 = 0x100;
+const UART_BASE: u32 = 0x200;
+const REGION_SIZE: u32 = 0x100;
+
+/// One lockstep run's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockstepConfig {
+    /// Seed for the random straight-line program.
+    pub seed: u64,
+    /// Number of random body instructions to generate.
+    pub instructions: u32,
+    /// Whether the per-instruction comparison is performed. Disabling
+    /// it exists *only* so [`self_test`] can prove the comparison
+    /// matters; the sweep never disables it.
+    pub enabled: bool,
+    /// Inject an off-by-one into `r3` of the pin-level CPU after this
+    /// many retired instructions (the self-test's deliberate fault).
+    pub fault_after: Option<u64>,
+}
+
+impl Default for LockstepConfig {
+    fn default() -> Self {
+        LockstepConfig {
+            seed: 0xC0DE,
+            instructions: 200,
+            enabled: true,
+            fault_after: None,
+        }
+    }
+}
+
+/// The verdict of one lockstep run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockstepOutcome {
+    /// Every retired instruction left identical architectural state.
+    Agreed {
+        /// Instructions retired by both CPUs.
+        instructions: u64,
+    },
+    /// The two CPUs disagreed.
+    Diverged {
+        /// 1-based index of the first disagreeing retirement.
+        instruction: u64,
+        /// What differed.
+        detail: String,
+    },
+}
+
+/// Generates the random timing-closed straight-line program.
+///
+/// Timing closure means: every operation's architectural effect is
+/// independent of bus wait states — ALU ops, internal loads/stores,
+/// RAM reads/writes over the bus, *blind* FIFO pushes (capacity covers
+/// every push, so none is rejected), and UART transmits. Nothing reads
+/// a timing-dependent register (FIFO count, UART status), and there are
+/// no branches, so both CPUs retire the same instruction stream.
+/// Returns the program text and the number of FIFO pushes it performs.
+#[must_use]
+pub fn lockstep_program(seed: u64, instructions: u32) -> (String, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = String::new();
+    let _ = writeln!(s, "    li r13, {}", MMIO_BASE + u64::from(FIFO_BASE));
+    let _ = writeln!(s, "    li r14, {}", MMIO_BASE + u64::from(RAM_BASE));
+    let _ = writeln!(s, "    li r15, {}", MMIO_BASE + u64::from(UART_BASE));
+    for r in 1..=7u8 {
+        let _ = writeln!(s, "    li r{r}, {}", rng.gen_range(1..=1000));
+    }
+    let reg = |rng: &mut StdRng| rng.gen_range(1..=7u8);
+    const ALU: [&str; 8] = ["add", "sub", "xor", "and", "or", "mul", "min", "max"];
+    let mut pushes = 0usize;
+    for _ in 0..instructions {
+        match rng.gen_range(0..9u8) {
+            0 => {
+                let op = ALU[rng.gen_range(0..ALU.len())];
+                let _ = writeln!(
+                    s,
+                    "    {op} r{}, r{}, r{}",
+                    reg(&mut rng),
+                    reg(&mut rng),
+                    reg(&mut rng)
+                );
+            }
+            1 => {
+                let _ = writeln!(
+                    s,
+                    "    addi r{}, r{}, {}",
+                    reg(&mut rng),
+                    reg(&mut rng),
+                    rng.gen_range(-64..=64)
+                );
+            }
+            2 => {
+                let _ = writeln!(
+                    s,
+                    "    li r{}, {}",
+                    reg(&mut rng),
+                    rng.gen_range(0..=100_000)
+                );
+            }
+            3 => {
+                let _ = writeln!(
+                    s,
+                    "    sd r{}, r0, {}",
+                    reg(&mut rng),
+                    rng.gen_range(0..64u32) * 8
+                );
+            }
+            4 => {
+                let _ = writeln!(
+                    s,
+                    "    ld r{}, r0, {}",
+                    reg(&mut rng),
+                    rng.gen_range(0..64u32) * 8
+                );
+            }
+            5 => {
+                let _ = writeln!(
+                    s,
+                    "    sw r{}, r14, {}",
+                    reg(&mut rng),
+                    rng.gen_range(0..32u32) * 4
+                );
+            }
+            6 => {
+                let _ = writeln!(
+                    s,
+                    "    lw r{}, r14, {}",
+                    reg(&mut rng),
+                    rng.gen_range(0..32u32) * 4
+                );
+            }
+            7 => {
+                let _ = writeln!(s, "    sw r{}, r13, 0", reg(&mut rng));
+                pushes += 1;
+            }
+            _ => {
+                let _ = writeln!(s, "    sw r{}, r15, 0", reg(&mut rng));
+            }
+        }
+    }
+    s.push_str("    halt\n");
+    (s, pushes)
+}
+
+/// Builds one lockstep CPU; `pin_level` installs the gate-level phy.
+fn build_cpu(program_text: &str, pushes: usize, pin_level: bool) -> Result<Cpu, ConformError> {
+    let mut bus = SystemBus::new(BusTiming::default());
+    // Capacity covers every push and the drain is glacial, so no push
+    // is ever rejected and occupancy never feeds back into execution.
+    bus.map(
+        FIFO_BASE,
+        REGION_SIZE,
+        Box::new(DrainFifo::new(pushes.max(1), 1 << 20)),
+    )?;
+    bus.map(
+        RAM_BASE,
+        REGION_SIZE,
+        Box::new(Ram::new("lockstep", REGION_SIZE)),
+    )?;
+    bus.map(UART_BASE, REGION_SIZE, Box::new(Uart::new()))?;
+    if pin_level {
+        let regions = [
+            (FIFO_BASE, REGION_SIZE),
+            (RAM_BASE, REGION_SIZE),
+            (UART_BASE, REGION_SIZE),
+        ];
+        bus.set_phy(Box::new(PinPhy::new(&regions)?));
+    }
+    let mut cpu = Cpu::new(1024);
+    cpu.attach_bus(bus);
+    cpu.load_program(&assemble(program_text)?);
+    Ok(cpu)
+}
+
+/// Compares architectural state; `Some(detail)` on the first mismatch.
+fn compare(a: &Cpu, b: &Cpu) -> Option<String> {
+    if a.pc() != b.pc() {
+        return Some(format!(
+            "pc: register-level {} vs pin-level {}",
+            a.pc(),
+            b.pc()
+        ));
+    }
+    if a.halted() != b.halted() {
+        return Some(format!(
+            "halt flag: register-level {} vs pin-level {}",
+            a.halted(),
+            b.halted()
+        ));
+    }
+    let (ra, rb) = (a.regs(), b.regs());
+    for i in 0..NUM_REGS {
+        if ra[i] != rb[i] {
+            return Some(format!(
+                "r{i}: register-level {} vs pin-level {}",
+                ra[i], rb[i]
+            ));
+        }
+    }
+    None
+}
+
+/// Runs the two CPUs in lockstep.
+///
+/// # Errors
+///
+/// Propagates ISS/bus faults; the generated program is fault-free by
+/// construction, so any error is itself a finding.
+pub fn run_lockstep(cfg: &LockstepConfig) -> Result<LockstepOutcome, ConformError> {
+    let (text, pushes) = lockstep_program(cfg.seed, cfg.instructions);
+    let mut register_cpu = build_cpu(&text, pushes, false)?;
+    let mut pin_cpu = build_cpu(&text, pushes, true)?;
+
+    let mut retired = 0u64;
+    loop {
+        let more_a = register_cpu.step()?;
+        let more_b = pin_cpu.step()?;
+        retired += 1;
+        if cfg.fault_after == Some(retired) {
+            let r3 = Reg::new(3);
+            pin_cpu.set_reg(r3, pin_cpu.reg(r3).wrapping_add(1));
+        }
+        if cfg.enabled {
+            if let Some(detail) = compare(&register_cpu, &pin_cpu) {
+                return Ok(LockstepOutcome::Diverged {
+                    instruction: retired,
+                    detail,
+                });
+            }
+        }
+        if !more_a || !more_b {
+            return Ok(LockstepOutcome::Agreed {
+                instructions: retired,
+            });
+        }
+    }
+}
+
+/// Proves the lockstep comparison actually fires: injects an off-by-one
+/// into the pin-level CPU's `r3` after 20 retired instructions and
+/// demands a divergence report.
+///
+/// # Errors
+///
+/// Returns [`ConformError::SelfTest`] — loudly — when the checker fails
+/// to see the injected fault. Calling with `enabled = false` *always*
+/// fails: a disabled checker cannot certify anything.
+pub fn self_test(enabled: bool) -> Result<(), ConformError> {
+    let cfg = LockstepConfig {
+        seed: 0x10C2_57E9,
+        instructions: 120,
+        enabled,
+        fault_after: Some(20),
+    };
+    match run_lockstep(&cfg)? {
+        LockstepOutcome::Diverged { instruction, .. } if enabled && instruction >= 20 => Ok(()),
+        outcome => Err(ConformError::SelfTest {
+            detail: format!(
+                "injected an off-by-one into r3 after 20 retired instructions, \
+                 but the checker (enabled={enabled}) reported {outcome:?}; \
+                 every lockstep verdict is untrustworthy until this passes"
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_agree_across_seeds() {
+        for seed in 0..8u64 {
+            let cfg = LockstepConfig {
+                seed,
+                ..LockstepConfig::default()
+            };
+            match run_lockstep(&cfg).unwrap() {
+                LockstepOutcome::Agreed { instructions } => {
+                    assert!(instructions > u64::from(cfg.instructions))
+                }
+                LockstepOutcome::Diverged {
+                    instruction,
+                    detail,
+                } => {
+                    panic!("seed {seed} diverged at {instruction}: {detail}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_test_detects_the_injected_fault() {
+        self_test(true).unwrap();
+    }
+
+    #[test]
+    fn self_test_fails_loudly_when_checking_is_disabled() {
+        let err = self_test(false).unwrap_err();
+        assert!(matches!(err, ConformError::SelfTest { .. }));
+        assert!(err.to_string().contains("FAILED"), "{err}");
+    }
+
+    #[test]
+    fn program_generation_is_deterministic() {
+        assert_eq!(lockstep_program(7, 50), lockstep_program(7, 50));
+        assert_ne!(lockstep_program(7, 50).0, lockstep_program(8, 50).0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Realizes one generated [`SystemSpec`] at all four Figure 3 levels.
+//!
+//! The same specification — memory map, channels, IRQ wiring — is
+//! turned into:
+//!
+//! * **pin** / **register**: one CR32 program (see
+//!   [`conformance_program`]) driving the real bus, with and without the
+//!   gate-level pin protocol installed;
+//! * **driver**: the analytic driver-call cost model, generalized from
+//!   the ladder's single channel to the spec's channel list plus an
+//!   interrupt service term;
+//! * **message**: a `1 + N`-process rendezvous network (one software
+//!   producer, one hardware consumer per channel).
+//!
+//! The program is *timing-closed in its final state*: every register
+//! that can legitimately differ between pin and register level (the
+//! FIFO-occupancy poll scratch) is normalized before `halt`, so the
+//! final architectural state is an architected observable.
+
+use std::fmt::Write as _;
+
+use codesign_ir::process::{Action, Process, ProcessNetwork};
+use codesign_ir::workload::sysgen::{DeviceKind, SystemSpec};
+use codesign_isa::asm::assemble;
+use codesign_isa::cpu::{Cpu, MMIO_BASE};
+use codesign_rtl::bus::{
+    fifo_regs, uart_regs, BusTiming, DrainFifo, Gpio, Ram, SystemBus, Timer, Uart,
+};
+use codesign_sim::ladder::{AbstractionLevel, DriverCosts};
+use codesign_sim::message::{simulate, MessageConfig, Placement, Resource};
+use codesign_sim::pinproto::PinPhy;
+
+use crate::ConformError;
+
+/// Cycle budget for one generated system at an ISS level.
+const RUN_BUDGET: u64 = 1_000_000_000;
+
+/// Analytic cost the driver level charges per serviced interrupt:
+/// entry overhead (4) plus the five-instruction handler with one bus
+/// read (≈ 12 cycles on the CR32).
+pub const DRIVER_IRQ_COST: u64 = 16;
+
+/// One level's realization of a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelRun {
+    /// The level realized.
+    pub level: AbstractionLevel,
+    /// End-to-end simulated cycles (including residual FIFO drain at
+    /// the ISS levels).
+    pub cycles: u64,
+    /// Payload bytes that crossed each channel, in spec channel order.
+    pub per_channel_bytes: Vec<u64>,
+    /// Interrupts taken (ISS levels only).
+    pub irqs: Option<u64>,
+    /// FNV-1a digest of the final architectural state — register file
+    /// plus data memory (ISS levels only).
+    pub digest: Option<u64>,
+    /// Channel indices ordered by when each received its last bus write
+    /// (ISS levels only).
+    pub write_order: Option<Vec<usize>>,
+    /// Messages delivered (message level only).
+    pub messages: Option<u64>,
+    /// Simulation-kernel events processed — the Figure 3 cost currency.
+    pub kernel_events: u64,
+}
+
+/// A system realized at all four levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemRun {
+    /// Pin-level (reference) realization.
+    pub pin: LevelRun,
+    /// Register-level realization.
+    pub register: LevelRun,
+    /// Driver-level realization.
+    pub driver: LevelRun,
+    /// Message-level realization.
+    pub message: LevelRun,
+}
+
+impl SystemRun {
+    /// The four runs, bottom (reference) to top.
+    #[must_use]
+    pub fn levels(&self) -> [&LevelRun; 4] {
+        [&self.pin, &self.register, &self.driver, &self.message]
+    }
+}
+
+/// The spec's UART region (base, preloaded rx bytes), if wired.
+fn uart_of(spec: &SystemSpec) -> Option<(u32, &[u8])> {
+    spec.regions.iter().find_map(|r| match &r.kind {
+        DeviceKind::Uart { irq_rx } if !irq_rx.is_empty() => Some((r.base, irq_rx.as_slice())),
+        _ => None,
+    })
+}
+
+/// The CR32 producer program realizing `spec` at the ISS levels.
+///
+/// Shape: (1) if a UART is wired, enable its rx interrupt and spin until
+/// the handler has drained every preloaded byte (the count, not the
+/// timing, is architected); (2) for each outer iteration, per channel:
+/// spin the channel's compute, then push its words through the FIFO with
+/// occupancy polling; (3) normalize the poll scratch register and halt.
+/// The handler accumulates a byte checksum in `r11`, so the IRQ payload
+/// reaches the architectural-state digest.
+#[must_use]
+pub fn conformance_program(spec: &SystemSpec) -> String {
+    let mut s = String::new();
+    let uart = uart_of(spec);
+    if uart.is_some() {
+        s.push_str(".vector isr\n");
+    }
+    if let Some((base, rx)) = uart {
+        let _ = writeln!(s, "    li r1, {}", MMIO_BASE + u64::from(base));
+        s.push_str("    li r2, 1\n");
+        let _ = writeln!(s, "    sw r2, r1, {}", uart_regs::IRQ_ENABLE);
+        let _ = writeln!(s, "    li r8, {}", rx.len());
+        s.push_str("    ei\nirqwait:\n    bne r9, r8, irqwait\n    di\n");
+    }
+    let _ = writeln!(s, "    li r7, {}", spec.iterations);
+    s.push_str("outer:\n");
+    for (ci, ch) in spec.channels.iter().enumerate() {
+        if ch.compute > 0 {
+            let _ = writeln!(s, "    li r2, {}", (ch.compute / 3).max(1));
+            let _ = writeln!(
+                s,
+                "spin{ci}:\n    addi r2, r2, -1\n    bne r2, r0, spin{ci}"
+            );
+        }
+        let region = &spec.regions[ch.region];
+        let DeviceKind::Fifo { capacity, .. } = region.kind else {
+            unreachable!("validated: channel regions are fifos");
+        };
+        let _ = writeln!(s, "    li r1, {}", MMIO_BASE + u64::from(region.base));
+        let _ = writeln!(s, "    li r6, {capacity}");
+        let _ = writeln!(s, "    li r3, {}", ch.words);
+        let _ = writeln!(s, "    li r4, {}", 0x5A5A + ci);
+        let _ = writeln!(s, "w{ci}:\npoll{ci}:");
+        let _ = writeln!(s, "    lw r5, r1, {}", fifo_regs::COUNT);
+        let _ = writeln!(s, "    bge r5, r6, poll{ci}");
+        let _ = writeln!(s, "    sw r4, r1, {}", fifo_regs::DATA);
+        s.push_str("    add r4, r4, r3\n    addi r3, r3, -1\n");
+        let _ = writeln!(s, "    bne r3, r0, w{ci}");
+    }
+    s.push_str("    addi r7, r7, -1\n    bne r7, r0, outer\n");
+    // Normalize the only timing-dependent register before halting, so
+    // the final state digests agree across levels.
+    s.push_str("    li r5, 0\n    halt\n");
+    if let Some((base, _)) = uart {
+        let _ = writeln!(s, "isr:\n    li r12, {}", MMIO_BASE + u64::from(base));
+        let _ = writeln!(s, "    lw r10, r12, {}", uart_regs::RX);
+        s.push_str("    add r11, r11, r10\n    addi r9, r9, 1\n    rti\n");
+    }
+    s
+}
+
+/// Builds the spec's memory map on a fresh bus.
+fn build_bus(spec: &SystemSpec) -> Result<SystemBus, ConformError> {
+    let mut bus = SystemBus::new(BusTiming::default());
+    for (i, region) in spec.regions.iter().enumerate() {
+        let slave: Box<dyn codesign_rtl::bus::BusSlave> = match &region.kind {
+            DeviceKind::Fifo {
+                capacity,
+                drain_period,
+            } => Box::new(DrainFifo::new(*capacity, *drain_period)),
+            DeviceKind::Ram => Box::new(Ram::new(format!("ram{i}"), region.size)),
+            DeviceKind::Gpio => Box::new(Gpio::new()),
+            DeviceKind::Timer => Box::new(Timer::new()),
+            DeviceKind::Uart { irq_rx } => {
+                let mut uart = Uart::new();
+                for &b in irq_rx {
+                    uart.inject_rx(b);
+                }
+                Box::new(uart)
+            }
+        };
+        bus.map(region.base, region.size, slave)?;
+    }
+    Ok(bus)
+}
+
+/// FNV-1a over the final architectural state: registers then memory.
+fn state_digest(cpu: &Cpu) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in cpu.regs() {
+        for b in r.to_le_bytes() {
+            eat(b);
+        }
+    }
+    for &b in cpu.mem() {
+        eat(b);
+    }
+    h
+}
+
+fn realize_iss(spec: &SystemSpec, pin_level: bool) -> Result<LevelRun, ConformError> {
+    let mut bus = build_bus(spec)?;
+    if pin_level {
+        let regions: Vec<(u32, u32)> = spec.regions.iter().map(|r| (r.base, r.size)).collect();
+        bus.set_phy(Box::new(PinPhy::new(&regions)?));
+    }
+    let program = assemble(&conformance_program(spec))?;
+    let mut cpu = Cpu::new(4096);
+    cpu.attach_bus(bus);
+    cpu.load_program(&program);
+    let stats = cpu.run(RUN_BUDGET)?;
+    let digest = state_digest(&cpu);
+    let bus = cpu.bus().expect("bus attached");
+
+    let mut per_channel_bytes = Vec::with_capacity(spec.channels.len());
+    let mut tail = 0u64;
+    for ch in &spec.channels {
+        let base = spec.regions[ch.region].base;
+        let fifo = bus
+            .device_at::<DrainFifo>(base)
+            .expect("channel fifo mapped");
+        per_channel_bytes.push((fifo.drained() + fifo.occupancy() as u64) * 4);
+        tail = tail.max(fifo.cycles_to_drain());
+    }
+
+    // Channel completion order: rank channels by the global write-
+    // sequence stamp of their FIFO's last write.
+    let accesses = bus.device_accesses();
+    let mut stamped: Vec<(u64, usize)> = spec
+        .channels
+        .iter()
+        .enumerate()
+        .map(|(ci, ch)| {
+            let base = spec.regions[ch.region].base;
+            let seq = accesses
+                .iter()
+                .find(|a| a.base == base)
+                .map_or(0, |a| a.last_write_seq);
+            (seq, ci)
+        })
+        .collect();
+    stamped.sort_unstable();
+    let write_order: Vec<usize> = stamped.into_iter().map(|(_, ci)| ci).collect();
+
+    let bus_stats = bus.stats();
+    let kernel_events = if pin_level {
+        stats.instructions + bus.phy_events()
+    } else {
+        stats.instructions + bus_stats.reads + bus_stats.writes
+    };
+    Ok(LevelRun {
+        level: if pin_level {
+            AbstractionLevel::Pin
+        } else {
+            AbstractionLevel::Register
+        },
+        cycles: stats.cycles + tail,
+        per_channel_bytes,
+        irqs: Some(stats.irqs_taken),
+        digest: Some(digest),
+        write_order: Some(write_order),
+        messages: None,
+        kernel_events,
+    })
+}
+
+fn realize_driver(spec: &SystemSpec) -> LevelRun {
+    let costs = DriverCosts::default();
+    let mut time = 0u64;
+    let mut events = 0u64;
+    let irqs = spec.irq_count();
+    time += irqs * DRIVER_IRQ_COST;
+    events += irqs;
+    for _ in 0..spec.iterations {
+        for ch in &spec.channels {
+            time += ch.compute + costs.call_overhead + ch.words * costs.per_word;
+            events += 2;
+        }
+    }
+    // The driver level ignores back-pressure; it only charges the tail
+    // drain of the slowest channel's final message.
+    let tail = spec
+        .channels
+        .iter()
+        .map(|ch| {
+            let DeviceKind::Fifo { drain_period, .. } = spec.regions[ch.region].kind else {
+                return 0;
+            };
+            ch.words * drain_period
+        })
+        .max()
+        .unwrap_or(0);
+    time += tail;
+    LevelRun {
+        level: AbstractionLevel::Driver,
+        cycles: time,
+        per_channel_bytes: (0..spec.channels.len())
+            .map(|c| spec.channel_bytes(c))
+            .collect(),
+        irqs: None,
+        digest: None,
+        write_order: None,
+        messages: None,
+        kernel_events: events,
+    }
+}
+
+/// The spec as a message-level process network: one software producer
+/// interleaving every channel's traffic (matching the ISS program
+/// order), one hardware consumer per channel draining at the FIFO rate.
+#[must_use]
+pub fn message_network(spec: &SystemSpec) -> (ProcessNetwork, Placement, MessageConfig) {
+    let mut net = ProcessNetwork::new(&spec.name);
+    let mut producer_actions = Vec::new();
+    let mut consumers = Vec::new();
+    for (ci, ch) in spec.channels.iter().enumerate() {
+        let DeviceKind::Fifo {
+            capacity,
+            drain_period,
+        } = spec.regions[ch.region].kind
+        else {
+            unreachable!("validated: channel regions are fifos");
+        };
+        // One message per iteration; buffering mirrors how many whole
+        // messages the FIFO can hold.
+        let depth = (capacity as u64 / ch.words).max(1) as usize;
+        let channel = net.add_channel(format!("ch{ci}"), depth);
+        if ch.compute > 0 {
+            producer_actions.push(Action::Compute(ch.compute));
+        }
+        producer_actions.push(Action::Send {
+            channel,
+            bytes: ch.words * 4,
+        });
+        consumers.push((ci, channel, ch.words * drain_period, ch.hw_unit));
+    }
+    net.add_process(Process::new("producer", producer_actions).with_iterations(spec.iterations));
+    let mut placement = vec![Resource::Software(0)];
+    for (ci, channel, drain, hw_unit) in consumers {
+        net.add_process(
+            Process::new(
+                format!("consumer{ci}"),
+                vec![Action::Receive { channel }, Action::Compute(drain)],
+            )
+            .with_iterations(spec.iterations),
+        );
+        placement.push(Resource::Hardware(hw_unit));
+    }
+    let config = MessageConfig {
+        hw_speedup: 1.0, // consumer Compute is already hardware time
+        ..MessageConfig::default()
+    };
+    (net, Placement::from_assignment(placement), config)
+}
+
+fn realize_message(spec: &SystemSpec) -> Result<LevelRun, ConformError> {
+    let (net, placement, config) = message_network(spec);
+    let report = simulate(&net, &placement, &config)?;
+    Ok(LevelRun {
+        level: AbstractionLevel::Message,
+        cycles: report.finish_time,
+        per_channel_bytes: report.per_channel_bytes.clone(),
+        irqs: None,
+        digest: None,
+        write_order: None,
+        messages: Some(report.messages),
+        kernel_events: report.events,
+    })
+}
+
+/// Realizes `spec` at all four levels.
+///
+/// # Errors
+///
+/// Propagates assembler, bus, ISS, and message-kernel failures; a
+/// failure *is* a conformance finding (the generator only emits specs
+/// that pass [`SystemSpec::validate`]).
+pub fn run_system(spec: &SystemSpec) -> Result<SystemRun, ConformError> {
+    Ok(SystemRun {
+        pin: realize_iss(spec, true)?,
+        register: realize_iss(spec, false)?,
+        driver: realize_driver(spec),
+        message: realize_message(spec)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_ir::workload::sysgen::{random_system, SysConfig};
+
+    #[test]
+    fn default_system_runs_at_all_levels() {
+        let spec = random_system(&SysConfig::default()).unwrap();
+        let run = run_system(&spec).unwrap();
+        for level in run.levels() {
+            assert!(level.cycles > 0, "{:?}", level.level);
+            assert!(level.kernel_events > 0, "{:?}", level.level);
+        }
+        assert!(
+            run.pin.cycles >= run.register.cycles,
+            "pin sees wait states"
+        );
+    }
+
+    #[test]
+    fn program_is_deterministic_and_assembles() {
+        let spec = random_system(&SysConfig::default()).unwrap();
+        let a = conformance_program(&spec);
+        assert_eq!(a, conformance_program(&spec));
+        assemble(&a).unwrap();
+    }
+
+    #[test]
+    fn irq_checksum_reaches_the_digest() {
+        // Two specs differing only in UART payload must digest
+        // differently: the IRQ bytes are architected state.
+        let spec = random_system(&SysConfig {
+            max_irq_bytes: 6,
+            seed: 11,
+            ..SysConfig::default()
+        })
+        .unwrap();
+        let Some(_) = uart_of(&spec) else {
+            panic!("seed 11 wires a uart; regenerate the test seed");
+        };
+        let mut altered = spec.clone();
+        for r in &mut altered.regions {
+            if let DeviceKind::Uart { irq_rx } = &mut r.kind {
+                irq_rx[0] ^= 0x7F;
+            }
+        }
+        let a = run_system(&spec).unwrap();
+        let b = run_system(&altered).unwrap();
+        assert_ne!(a.pin.digest, b.pin.digest);
+    }
+}

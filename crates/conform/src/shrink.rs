@@ -1,0 +1,180 @@
+//! Shrinks a failing generator configuration to a minimal reproduction.
+//!
+//! The generator's knobs were designed so that lowering any of them only
+//! removes behavior (fewer channels, fewer iterations, smaller messages
+//! …), which makes a failing [`SysConfig`] shrinkable by per-knob binary
+//! search: for each knob, find the smallest value in `[floor, current]`
+//! at which the failure predicate still fires, re-verifying every
+//! candidate because failures need not be monotone in any single knob.
+//! Passes repeat until a whole pass changes nothing (fixpoint), bounded
+//! by [`MAX_PASSES`].
+
+use codesign_ir::workload::sysgen::SysConfig;
+
+/// Upper bound on shrink passes; each pass walks all eight knobs, and a
+/// fixpoint is almost always reached in two.
+pub const MAX_PASSES: usize = 4;
+
+/// One shrinkable knob: name, floor, getter, setter.
+type Knob = (
+    &'static str,
+    u64,
+    fn(&SysConfig) -> u64,
+    fn(&mut SysConfig, u64),
+);
+
+/// Fixed shrink order: structure first (channels, iterations), then
+/// per-channel magnitudes, then decoys and IRQ wiring.
+const KNOBS: [Knob; 8] = [
+    (
+        "channels",
+        1,
+        |c| c.channels as u64,
+        |c, v| {
+            c.channels = v as usize;
+        },
+    ),
+    (
+        "iterations",
+        1,
+        |c| u64::from(c.iterations),
+        |c, v| {
+            c.iterations = v as u32;
+        },
+    ),
+    (
+        "max_message_words",
+        1,
+        |c| c.max_message_words,
+        |c, v| {
+            c.max_message_words = v;
+        },
+    ),
+    (
+        "max_compute",
+        0,
+        |c| c.max_compute,
+        |c, v| {
+            c.max_compute = v;
+        },
+    ),
+    (
+        "max_fifo_capacity",
+        1,
+        |c| c.max_fifo_capacity as u64,
+        |c, v| {
+            c.max_fifo_capacity = v as usize;
+        },
+    ),
+    (
+        "max_drain_period",
+        1,
+        |c| c.max_drain_period,
+        |c, v| {
+            c.max_drain_period = v;
+        },
+    ),
+    (
+        "extra_devices",
+        0,
+        |c| c.extra_devices as u64,
+        |c, v| {
+            c.extra_devices = v as usize;
+        },
+    ),
+    (
+        "max_irq_bytes",
+        0,
+        |c| u64::from(c.max_irq_bytes),
+        |c, v| {
+            c.max_irq_bytes = v as u8;
+        },
+    ),
+];
+
+/// Shrinks `cfg` to a minimal configuration on which `fails` still
+/// returns `true`. If `fails(cfg)` is already `false` the input is
+/// returned unchanged — there is nothing to reproduce.
+///
+/// Every value the result commits to has been re-verified against the
+/// predicate, so the returned configuration is guaranteed failing (when
+/// the input was), never merely assumed.
+#[must_use]
+pub fn shrink(cfg: &SysConfig, fails: impl Fn(&SysConfig) -> bool) -> SysConfig {
+    let mut best = cfg.clone();
+    if !fails(&best) {
+        return best;
+    }
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+        for (_, floor, get, set) in KNOBS {
+            let current = get(&best);
+            if current <= floor {
+                continue;
+            }
+            // Invariant: `hi` always fails. Bisect down to the lowest
+            // failing value, re-running the predicate on every probe.
+            let (mut lo, mut hi) = (floor, current);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                set(&mut candidate, mid);
+                if fails(&candidate) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if hi < current {
+                set(&mut best, hi);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_exact_threshold() {
+        // Fails iff channels >= 2 and iterations >= 3: the minimum is
+        // exactly (2, 3) with every other knob at its floor.
+        let cfg = SysConfig::default();
+        let min = shrink(&cfg, |c| c.channels >= 2 && c.iterations >= 3);
+        assert_eq!(min.channels, 2);
+        assert_eq!(min.iterations, 3);
+        assert_eq!(min.max_message_words, 1);
+        assert_eq!(min.max_compute, 0);
+        assert_eq!(min.max_fifo_capacity, 1);
+        assert_eq!(min.max_drain_period, 1);
+        assert_eq!(min.extra_devices, 0);
+        assert_eq!(min.max_irq_bytes, 0);
+        assert!(min.validate().is_ok(), "shrunk config must stay valid");
+    }
+
+    #[test]
+    fn passing_config_is_returned_unchanged() {
+        let cfg = SysConfig::default();
+        assert_eq!(shrink(&cfg, |_| false), cfg);
+    }
+
+    #[test]
+    fn result_always_fails_the_predicate() {
+        // A deliberately non-monotone predicate: fails on even values of
+        // max_drain_period (and the original). The committed result must
+        // itself fail, whatever path the bisection took.
+        let cfg = SysConfig {
+            max_drain_period: 12,
+            ..SysConfig::default()
+        };
+        let fails = |c: &SysConfig| c.max_drain_period.is_multiple_of(2);
+        let min = shrink(&cfg, fails);
+        assert!(fails(&min), "shrink committed a passing config: {min:?}");
+    }
+}

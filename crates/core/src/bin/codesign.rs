@@ -8,6 +8,7 @@
 //! codesign multiproc <spec.cds> --deadline N   processor allocation (Fig. 5 flows)
 //! codesign ladder [opts]                    the Figure 3 abstraction-ladder sweep
 //! codesign faults [opts]                    deterministic fault-injection campaign
+//! codesign conform [opts]                   differential conformance sweep across the ladder
 //! ```
 //!
 //! Run `codesign help` for the options of each subcommand.
@@ -92,6 +93,20 @@ USAGE:
       (default BENCH_faults.json). Identical seeds reproduce identical
       campaigns.
 
+  codesign conform [--systems N] [--seed N] [--threads N] [--smoke]
+                   [--no-lockstep] [--json] [--out FILE]
+      Differential conformance across the Figure 3 ladder: generate N
+      seeded systems (default 1000; 40 under --smoke), realize each at
+      all four interface levels, and check every architected observable
+      (per-channel payload bytes, interrupt counts, final architectural
+      state, channel completion order) plus the per-level modeled
+      cycle-error bounds. Interleaved passes run the one-shot-vs-engine
+      message-kernel differential and an ISS-vs-pin lockstep check whose
+      deliberate-fault self-test must fire before any verdict counts
+      (`--no-lockstep` demonstrates the loud failure). Any divergence is
+      shrunk to a minimal generator config and the command exits
+      nonzero. The report is byte-identical at any `--threads`.
+
   codesign help
       Show this message.
 
@@ -126,6 +141,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("multiproc") => cmd_multiproc(&args[1..]),
         Some("ladder") => cmd_ladder(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
+        Some("conform") => cmd_conform(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`; try `codesign help`").into()),
     }
 }
@@ -505,6 +521,172 @@ fn cmd_faults(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("\nreport -> {out}");
     save_trace(&tracer, trace_path)?;
     Ok(())
+}
+
+fn cmd_conform(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use codesign::conform::shrink::shrink;
+    use codesign::conform::sweep::{
+        conformance_fails, run_sweep, sys_config, SweepConfig, SweepReport,
+    };
+
+    let smoke = has_flag(args, "--smoke");
+    let lockstep = !has_flag(args, "--no-lockstep");
+    let cfg = SweepConfig {
+        systems: parsed_flag(args, "--systems")?.unwrap_or(if smoke { 40 } else { 1000 }),
+        seed: parsed_flag(args, "--seed")?.unwrap_or(42),
+        threads: parsed_flag::<usize>(args, "--threads")?.unwrap_or(1).max(1),
+        lockstep,
+        ..SweepConfig::default()
+    };
+    if !lockstep {
+        // A disabled checker certifies nothing — prove it, loudly.
+        let refused = codesign::conform::lockstep::self_test(false)
+            .expect_err("a disabled lockstep checker must never pass its self-test");
+        eprintln!("warning: {refused}");
+        eprintln!("warning: lockstep disabled; ISS-vs-pin state is NOT being verified");
+    }
+    let report = run_sweep(&cfg)?;
+
+    if has_flag(args, "--json") || flag_value(args, "--out").is_some() {
+        let json = conform_report_json(&cfg, &report);
+        if let Some(out) = flag_value(args, "--out") {
+            std::fs::write(out, &json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            eprintln!("report -> {out}");
+        }
+        if has_flag(args, "--json") {
+            print!("{json}");
+        }
+    } else {
+        println!(
+            "conformance sweep — {} systems (seed {}, {} thread{}):",
+            report.systems,
+            report.seed,
+            cfg.threads,
+            if cfg.threads == 1 { "" } else { "s" }
+        );
+        println!(
+            "  {} degenerate corners, {} engine-parity differentials, {} lockstep passes \
+             ({} instructions compared)",
+            report.degenerate_systems,
+            report.engine_diffs,
+            report.lockstep_runs,
+            report.lockstep_instructions
+        );
+        println!(
+            "  observables: {} payload bytes, {} interrupts, {} messages",
+            report.total_bytes, report.total_irqs, report.total_messages
+        );
+        println!("\n  cycle error vs pin reference:");
+        println!("  {:>10} | {:>9} | {:>9}", "level", "max", "mean");
+        for stat in &report.level_errors {
+            println!(
+                "  {:>10} | {:>8.1}% | {:>8.1}%",
+                stat.level.to_string(),
+                stat.max * 100.0,
+                stat.mean * 100.0
+            );
+        }
+    }
+
+    if report.divergences.is_empty() {
+        if !has_flag(args, "--json") {
+            println!("\n  conformance: PASS — zero divergences");
+        }
+        return Ok(());
+    }
+    eprintln!(
+        "\n  conformance: FAIL — {} divergence(s):",
+        report.divergences.len()
+    );
+    let mut shrunk_seeds = std::collections::BTreeSet::new();
+    for d in &report.divergences {
+        eprintln!("    [seed {}] {}: {}", d.seed, d.check, d.detail);
+        // Shrink system-level failures (generator-config driven) once per
+        // seed; engine-parity and lockstep repro from the seed alone.
+        if d.check == "engine-parity" || d.check == "lockstep" || !shrunk_seeds.insert(d.seed) {
+            continue;
+        }
+        if let Some(cfg_at) = find_sys_config(&cfg, d.seed) {
+            let minimal = shrink(&cfg_at, conformance_fails);
+            eprintln!("      minimal repro: {minimal:?}");
+        }
+    }
+    return Err(format!(
+        "{} divergence(s) across {} systems — every one is a bug in an engine, a bound, \
+         or the harness",
+        report.divergences.len(),
+        report.systems
+    )
+    .into());
+
+    /// The sweep index owning `seed`, as its generator config.
+    fn find_sys_config(
+        cfg: &SweepConfig,
+        seed: u64,
+    ) -> Option<codesign::ir::workload::sysgen::SysConfig> {
+        (0..cfg.systems)
+            .map(|i| sys_config(cfg.seed, i))
+            .find(|c| c.seed == seed)
+    }
+
+    /// Hand-rolled JSON (the workspace vendors no serializer for this
+    /// shape); `detail` strings are escaped.
+    fn conform_report_json(cfg: &SweepConfig, report: &SweepReport) -> String {
+        use std::fmt::Write as _;
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"tool\": \"codesign conform\",");
+        let _ = writeln!(j, "  \"systems\": {},", report.systems);
+        let _ = writeln!(j, "  \"seed\": {},", report.seed);
+        let _ = writeln!(j, "  \"lockstep\": {},", cfg.lockstep);
+        let _ = writeln!(
+            j,
+            "  \"degenerate_systems\": {},",
+            report.degenerate_systems
+        );
+        let _ = writeln!(j, "  \"engine_diffs\": {},", report.engine_diffs);
+        let _ = writeln!(j, "  \"lockstep_runs\": {},", report.lockstep_runs);
+        let _ = writeln!(
+            j,
+            "  \"lockstep_instructions\": {},",
+            report.lockstep_instructions
+        );
+        let _ = writeln!(j, "  \"total_bytes\": {},", report.total_bytes);
+        let _ = writeln!(j, "  \"total_irqs\": {},", report.total_irqs);
+        let _ = writeln!(j, "  \"total_messages\": {},", report.total_messages);
+        j.push_str("  \"level_errors\": [\n");
+        for (i, stat) in report.level_errors.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "    {{\"level\": \"{}\", \"max\": {:.6}, \"mean\": {:.6}}}{}",
+                stat.level,
+                stat.max,
+                stat.mean,
+                if i + 1 < report.level_errors.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        j.push_str("  ],\n  \"divergences\": [\n");
+        for (i, d) in report.divergences.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "    {{\"seed\": {}, \"check\": \"{}\", \"detail\": \"{}\"}}{}",
+                d.seed,
+                esc(d.check),
+                esc(&d.detail),
+                if i + 1 < report.divergences.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        j.push_str("  ]\n}\n");
+        j
+    }
 }
 
 fn cmd_multiproc(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

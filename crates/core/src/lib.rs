@@ -55,6 +55,7 @@ pub mod report;
 pub mod resilience;
 pub mod taxonomy;
 
+pub use codesign_conform as conform;
 pub use codesign_explore as explore;
 pub use codesign_fault as fault;
 pub use codesign_hls as hls;

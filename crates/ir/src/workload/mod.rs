@@ -10,7 +10,12 @@
 //! * [`kernels`] — a library of DSP and embedded kernels expressed as
 //!   executable CDFGs (FIR, IIR, FFT, DCT, matrix multiply, CRC, Sobel,
 //!   quantization, dot product, Horner polynomial evaluation), for the
-//!   ASIP and co-processor experiments (paper Sections 4.3–4.5).
+//!   ASIP and co-processor experiments (paper Sections 4.3–4.5);
+//! * [`sysgen`] — seeded random *system* structure (bus topologies,
+//!   memory maps, IRQ wiring, hw/sw placements) for the differential
+//!   conformance harness, which realizes each generated system at every
+//!   abstraction level of the paper's Figure 3.
 
 pub mod kernels;
+pub mod sysgen;
 pub mod tgff;

@@ -1,0 +1,490 @@
+//! Seeded random *system* specifications: bus topologies, memory maps,
+//! IRQ wiring, and hardware/software placements.
+//!
+//! [`tgff`](super::tgff) generates behavior (task graphs, process
+//! networks); this module generates the *structure* around behavior —
+//! which devices exist, where they sit in the address map, which of them
+//! raise interrupts, and how much traffic software pushes through each
+//! one. A [`SystemSpec`] is pure data: `codesign-sim`'s conformance
+//! harness realizes the same spec at every abstraction level of the
+//! paper's Figure 3 (pin, register, driver, message) and checks that the
+//! levels agree on architected observables.
+//!
+//! Generation is deterministic in the seed, and every knob has a
+//! degenerate floor (one channel, one word, capacity one, drain period
+//! one), so a shrinker can binary-search a failing specification down to
+//! a minimal reproduction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::IrError;
+
+/// Address bits decoded by the pin-level bus interface; generated memory
+/// maps stay inside this window so every level decodes identically.
+pub const ADDR_WINDOW_BITS: u32 = 16;
+
+/// Every generated region is this many bytes and aligned to it, so the
+/// pin-level power-of-two address decoder matches the transaction-level
+/// map exactly.
+pub const REGION_SIZE: u32 = 0x100;
+
+/// Maximum receive bytes deliverable through the UART's bounded FIFO
+/// without overrun (mirrors the RTL UART's capacity).
+pub const MAX_IRQ_BYTES: u8 = 16;
+
+/// Size knobs for [`random_system`]. Each `max_*` knob is an inclusive
+/// upper bound on a per-channel draw with floor 1, which is what makes
+/// the space shrinkable: lowering any knob only removes behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysConfig {
+    /// Producer→FIFO pipelines in the system (1..=8).
+    pub channels: usize,
+    /// Iterations of the producer's outer loop.
+    pub iterations: u32,
+    /// Upper bound on words per message per channel.
+    pub max_message_words: u64,
+    /// Upper bound on producer compute cycles per channel per iteration.
+    pub max_compute: u64,
+    /// Upper bound on FIFO capacity in words.
+    pub max_fifo_capacity: usize,
+    /// Upper bound on FIFO drain period in cycles per word.
+    pub max_drain_period: u64,
+    /// Decoy devices (RAM / GPIO / idle timer) mapped but not part of
+    /// any channel — they exercise address decode without traffic.
+    pub extra_devices: usize,
+    /// Upper bound on UART receive bytes delivered through the IRQ
+    /// handler (0 disables IRQ wiring entirely).
+    pub max_irq_bytes: u8,
+    /// RNG seed; equal seeds produce equal systems.
+    pub seed: u64,
+}
+
+impl Default for SysConfig {
+    fn default() -> Self {
+        SysConfig {
+            channels: 3,
+            iterations: 4,
+            max_message_words: 16,
+            max_compute: 200,
+            max_fifo_capacity: 16,
+            max_drain_period: 12,
+            extra_devices: 2,
+            max_irq_bytes: 6,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl SysConfig {
+    /// Checks the knobs for values generation cannot honor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] naming the offending field.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let fail = |reason: String| Err(IrError::Invalid { reason });
+        if self.channels == 0 || self.channels > 8 {
+            return fail(format!("channels must be in 1..=8, got {}", self.channels));
+        }
+        if self.iterations == 0 {
+            return fail("iterations must be positive".to_string());
+        }
+        if self.max_message_words == 0 {
+            return fail("max_message_words must be positive".to_string());
+        }
+        if self.max_fifo_capacity == 0 {
+            return fail("max_fifo_capacity must be positive".to_string());
+        }
+        if self.max_drain_period == 0 {
+            return fail("max_drain_period must be positive".to_string());
+        }
+        if self.max_irq_bytes > MAX_IRQ_BYTES {
+            return fail(format!(
+                "max_irq_bytes must be <= {MAX_IRQ_BYTES}, got {}",
+                self.max_irq_bytes
+            ));
+        }
+        if self.extra_devices > 16 {
+            return fail(format!(
+                "extra_devices must be <= 16, got {}",
+                self.extra_devices
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What kind of device a memory region holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// A self-draining FIFO: the hardware consumer of one channel.
+    Fifo {
+        /// Capacity in 32-bit words.
+        capacity: usize,
+        /// Cycles per drained word.
+        drain_period: u64,
+    },
+    /// Scratch RAM (decoy or checksum target).
+    Ram,
+    /// General-purpose I/O block (decoy).
+    Gpio,
+    /// A timer that is mapped but never enabled (decoy).
+    Timer,
+    /// A UART whose receive queue is preloaded with `irq_rx` bytes; the
+    /// software drains them through its interrupt handler, so the number
+    /// of interrupts taken is architected (one per byte), not a function
+    /// of cycle-level timing.
+    Uart {
+        /// Bytes injected before reset, delivered via the rx IRQ.
+        irq_rx: Vec<u8>,
+    },
+}
+
+impl DeviceKind {
+    /// Short device-class name for reports.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            DeviceKind::Fifo { .. } => "fifo",
+            DeviceKind::Ram => "ram",
+            DeviceKind::Gpio => "gpio",
+            DeviceKind::Timer => "timer",
+            DeviceKind::Uart { .. } => "uart",
+        }
+    }
+}
+
+/// One entry of the generated memory map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Device kind behind the region.
+    pub kind: DeviceKind,
+    /// Base address on the system bus.
+    pub base: u32,
+    /// Region size in bytes.
+    pub size: u32,
+}
+
+/// One producer→FIFO pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Index into [`SystemSpec::regions`] of the channel's FIFO.
+    pub region: usize,
+    /// Words per message.
+    pub words: u64,
+    /// Producer compute cycles preceding each message.
+    pub compute: u64,
+    /// Hardware unit the consumer is placed on (placement diversity for
+    /// the message level; the producer is always software).
+    pub hw_unit: u32,
+}
+
+/// A complete generated system: memory map, IRQ wiring, channels, and
+/// placement — the structural counterpart of a process network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemSpec {
+    /// Human-readable name (embeds the seed).
+    pub name: String,
+    /// The memory map, in generation order.
+    pub regions: Vec<MemRegion>,
+    /// The traffic-carrying channels.
+    pub channels: Vec<ChannelSpec>,
+    /// Producer outer-loop iterations.
+    pub iterations: u32,
+    /// The seed that generated this spec.
+    pub seed: u64,
+}
+
+impl SystemSpec {
+    /// Total payload bytes each channel carries end to end.
+    #[must_use]
+    pub fn channel_bytes(&self, channel: usize) -> u64 {
+        self.channels
+            .get(channel)
+            .map_or(0, |c| u64::from(self.iterations) * c.words * 4)
+    }
+
+    /// The architected interrupt count: one per preloaded UART byte.
+    #[must_use]
+    pub fn irq_count(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| match &r.kind {
+                DeviceKind::Uart { irq_rx } => irq_rx.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Structural validation: regions must be non-empty, aligned,
+    /// non-overlapping, and inside the decoded address window; every
+    /// channel must reference a FIFO region and carry at least one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] describing the first violation.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let fail = |reason: String| Err(IrError::Invalid { reason });
+        if self.regions.is_empty() {
+            return fail("system has no regions".to_string());
+        }
+        let window = 1u64 << ADDR_WINDOW_BITS;
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.size == 0 || !r.size.is_power_of_two() || !r.base.is_multiple_of(r.size) {
+                return fail(format!(
+                    "region {i} ({}) is not power-of-two aligned: base {:#x} size {:#x}",
+                    r.kind.class(),
+                    r.base,
+                    r.size
+                ));
+            }
+            if u64::from(r.base) + u64::from(r.size) > window {
+                return fail(format!(
+                    "region {i} ({}) leaves the {ADDR_WINDOW_BITS}-bit window",
+                    r.kind.class()
+                ));
+            }
+            if let DeviceKind::Fifo {
+                capacity,
+                drain_period,
+            } = r.kind
+            {
+                if capacity == 0 || drain_period == 0 {
+                    return fail(format!("region {i}: degenerate fifo"));
+                }
+            }
+            if let DeviceKind::Uart { irq_rx } = &r.kind {
+                if irq_rx.len() > MAX_IRQ_BYTES as usize {
+                    return fail(format!(
+                        "region {i}: {} irq bytes exceed the UART depth {MAX_IRQ_BYTES}",
+                        irq_rx.len()
+                    ));
+                }
+            }
+            spans.push((r.base, r.base + r.size));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 {
+                return fail(format!(
+                    "regions overlap at [{:#x}, {:#x}) / [{:#x}, {:#x})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        if self.channels.is_empty() {
+            return fail("system has no channels".to_string());
+        }
+        for (i, c) in self.channels.iter().enumerate() {
+            let Some(region) = self.regions.get(c.region) else {
+                return fail(format!(
+                    "channel {i} references missing region {}",
+                    c.region
+                ));
+            };
+            if !matches!(region.kind, DeviceKind::Fifo { .. }) {
+                return fail(format!(
+                    "channel {i} references a {} region, not a fifo",
+                    region.kind.class()
+                ));
+            }
+            if c.words == 0 {
+                return fail(format!("channel {i} carries zero words"));
+            }
+        }
+        if self.iterations == 0 {
+            return fail("iterations must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Draws a random base slot for a `REGION_SIZE`-sized region, removing
+/// it from the free list so regions never overlap.
+fn draw_slot(rng: &mut StdRng, free: &mut Vec<u32>) -> u32 {
+    let i = rng.gen_range(0..free.len());
+    free.swap_remove(i) * REGION_SIZE
+}
+
+/// Generates a random system: a memory map of FIFO channels, an optional
+/// IRQ-wired UART, and decoy devices at distinct random bases.
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] from [`SysConfig::validate`].
+pub fn random_system(cfg: &SysConfig) -> Result<SystemSpec, IrError> {
+    cfg.validate()?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Leave slot 0xFF free headroom so `base + size` never touches the
+    // window edge; plenty of slots remain for 8 channels + 16 decoys.
+    let mut free: Vec<u32> = (0..((1u32 << ADDR_WINDOW_BITS) / REGION_SIZE) - 1).collect();
+    let mut regions = Vec::new();
+    let mut channels = Vec::new();
+
+    for _ in 0..cfg.channels {
+        let capacity = rng.gen_range(1..=cfg.max_fifo_capacity);
+        let drain_period = rng.gen_range(1..=cfg.max_drain_period);
+        let base = draw_slot(&mut rng, &mut free);
+        let region = regions.len();
+        regions.push(MemRegion {
+            kind: DeviceKind::Fifo {
+                capacity,
+                drain_period,
+            },
+            base,
+            size: REGION_SIZE,
+        });
+        channels.push(ChannelSpec {
+            region,
+            words: rng.gen_range(1..=cfg.max_message_words),
+            compute: rng.gen_range(0..=cfg.max_compute),
+            hw_unit: rng.gen_range(0..2),
+        });
+    }
+
+    if cfg.max_irq_bytes > 0 {
+        let n = rng.gen_range(0..=cfg.max_irq_bytes);
+        if n > 0 {
+            let irq_rx: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=255u8)).collect();
+            let base = draw_slot(&mut rng, &mut free);
+            regions.push(MemRegion {
+                kind: DeviceKind::Uart { irq_rx },
+                base,
+                size: REGION_SIZE,
+            });
+        }
+    }
+
+    for _ in 0..cfg.extra_devices {
+        let kind = match rng.gen_range(0..3) {
+            0 => DeviceKind::Ram,
+            1 => DeviceKind::Gpio,
+            _ => DeviceKind::Timer,
+        };
+        let base = draw_slot(&mut rng, &mut free);
+        regions.push(MemRegion {
+            kind,
+            base,
+            size: REGION_SIZE,
+        });
+    }
+
+    let spec = SystemSpec {
+        name: format!("sys-{:#x}", cfg.seed),
+        regions,
+        channels,
+        iterations: cfg.iterations,
+        seed: cfg.seed,
+    };
+    debug_assert!(spec.validate().is_ok());
+    Ok(spec)
+}
+
+/// A seeded random hardware/software placement for an `n`-process
+/// network: `true` means hardware. Process 0 is always software (the
+/// paper's Type I systems keep the control loop on the CPU), and the
+/// draw is deterministic in the seed.
+#[must_use]
+pub fn random_placement_flags(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| i != 0 && rng.gen_bool(0.5)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let cfg = SysConfig::default();
+        assert_eq!(random_system(&cfg).unwrap(), random_system(&cfg).unwrap());
+        let other = random_system(&SysConfig { seed: 7, ..cfg }).unwrap();
+        assert_ne!(random_system(&SysConfig::default()).unwrap(), other);
+    }
+
+    #[test]
+    fn generated_systems_validate_across_seeds() {
+        for seed in 0..50 {
+            let spec = random_system(&SysConfig {
+                seed,
+                ..SysConfig::default()
+            })
+            .unwrap();
+            spec.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn degenerate_floor_generates_minimal_system() {
+        let spec = random_system(&SysConfig {
+            channels: 1,
+            iterations: 1,
+            max_message_words: 1,
+            max_compute: 0,
+            max_fifo_capacity: 1,
+            max_drain_period: 1,
+            extra_devices: 0,
+            max_irq_bytes: 0,
+            seed: 0,
+        })
+        .unwrap();
+        spec.validate().unwrap();
+        assert_eq!(spec.regions.len(), 1);
+        assert_eq!(spec.channels[0].words, 1);
+        assert_eq!(spec.channel_bytes(0), 4);
+        assert_eq!(spec.irq_count(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        for cfg in [
+            SysConfig {
+                channels: 0,
+                ..SysConfig::default()
+            },
+            SysConfig {
+                iterations: 0,
+                ..SysConfig::default()
+            },
+            SysConfig {
+                max_message_words: 0,
+                ..SysConfig::default()
+            },
+            SysConfig {
+                max_irq_bytes: MAX_IRQ_BYTES + 1,
+                ..SysConfig::default()
+            },
+        ] {
+            assert!(matches!(random_system(&cfg), Err(IrError::Invalid { .. })));
+        }
+    }
+
+    #[test]
+    fn irq_count_matches_preloaded_bytes() {
+        let spec = random_system(&SysConfig {
+            max_irq_bytes: MAX_IRQ_BYTES,
+            seed: 3,
+            ..SysConfig::default()
+        })
+        .unwrap();
+        let uart_bytes: u64 = spec
+            .regions
+            .iter()
+            .filter_map(|r| match &r.kind {
+                DeviceKind::Uart { irq_rx } => Some(irq_rx.len() as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(spec.irq_count(), uart_bytes);
+    }
+
+    #[test]
+    fn placement_flags_deterministic_and_sw_rooted() {
+        let a = random_placement_flags(10, 42);
+        assert_eq!(a, random_placement_flags(10, 42));
+        assert!(!a[0], "process 0 stays software");
+    }
+}

@@ -9,8 +9,51 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::IrError;
 use crate::process::{Action, Process, ProcessNetwork};
 use crate::task::{Task, TaskGraph};
+
+/// Rejects a probability that is not a finite number. Out-of-range but
+/// finite values keep their historical clamp-to-`[0, 1]` behavior; `NaN`
+/// and infinities used to survive `.clamp` and panic deep inside
+/// `rand::gen_bool`, so they are configuration errors.
+fn check_prob(field: &'static str, p: f64) -> Result<(), IrError> {
+    if p.is_finite() {
+        Ok(())
+    } else {
+        Err(IrError::Invalid {
+            reason: format!("{field} must be a finite probability, got {p}"),
+        })
+    }
+}
+
+/// Rejects a reversed inclusive integer range, which used to panic
+/// inside `rand::gen_range`.
+fn check_range_u64(field: &'static str, (lo, hi): (u64, u64)) -> Result<(), IrError> {
+    if lo <= hi {
+        Ok(())
+    } else {
+        Err(IrError::Invalid {
+            reason: format!("{field} range is reversed: ({lo}, {hi})"),
+        })
+    }
+}
+
+/// Rejects a reversed or non-finite inclusive float range (either used
+/// to panic inside `rand::gen_range`).
+fn check_range_f64(field: &'static str, (lo, hi): (f64, f64)) -> Result<(), IrError> {
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(IrError::Invalid {
+            reason: format!("{field} range must be finite, got ({lo}, {hi})"),
+        });
+    }
+    if lo > hi {
+        return Err(IrError::Invalid {
+            reason: format!("{field} range is reversed: ({lo}, {hi})"),
+        });
+    }
+    Ok(())
+}
 
 /// Configuration for [`random_task_graph`].
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +93,39 @@ impl Default for TgffConfig {
     }
 }
 
+impl TgffConfig {
+    /// Checks the configuration for values that would make generation
+    /// panic: zero sizes, `NaN`/infinite probabilities, reversed or
+    /// non-finite ranges, and non-positive hardware speedups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] naming the offending field.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.tasks == 0 {
+            return Err(IrError::Invalid {
+                reason: "tasks must be positive".to_string(),
+            });
+        }
+        if self.width == 0 {
+            return Err(IrError::Invalid {
+                reason: "width must be positive".to_string(),
+            });
+        }
+        check_prob("edge_prob", self.edge_prob)?;
+        check_range_u64("sw_cycles", self.sw_cycles)?;
+        check_range_f64("hw_speedup", self.hw_speedup)?;
+        if self.hw_speedup.0 <= 0.0 {
+            return Err(IrError::Invalid {
+                reason: format!("hw_speedup must be positive, got {}", self.hw_speedup.0),
+            });
+        }
+        check_range_f64("area_per_100_cycles", self.area_per_100_cycles)?;
+        check_range_u64("bytes", self.bytes)?;
+        Ok(())
+    }
+}
+
 /// Generates a random acyclic task graph.
 ///
 /// The result is always connected enough to be interesting: every task in
@@ -58,11 +134,22 @@ impl Default for TgffConfig {
 ///
 /// # Panics
 ///
-/// Panics if `cfg.tasks == 0` or `cfg.width == 0`.
+/// Panics if the configuration fails [`TgffConfig::validate`]; use
+/// [`try_random_task_graph`] to sweep untrusted configurations.
 #[must_use]
 pub fn random_task_graph(cfg: &TgffConfig) -> TaskGraph {
-    assert!(cfg.tasks > 0, "tasks must be positive");
-    assert!(cfg.width > 0, "width must be positive");
+    try_random_task_graph(cfg).expect("invalid TgffConfig")
+}
+
+/// [`random_task_graph`] with up-front configuration validation instead
+/// of panics, so fuzzers and conformance sweeps can safely explore
+/// degenerate configurations (`NaN` probabilities, reversed ranges).
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] from [`TgffConfig::validate`].
+pub fn try_random_task_graph(cfg: &TgffConfig) -> Result<TaskGraph, IrError> {
+    cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut g = TaskGraph::new(format!("tgff-{}-{}", cfg.tasks, cfg.seed));
 
@@ -108,7 +195,7 @@ pub fn random_task_graph(cfg: &TgffConfig) -> TaskGraph {
             }
         }
     }
-    g
+    Ok(g)
 }
 
 /// Configuration for [`random_process_network`].
@@ -142,6 +229,29 @@ impl Default for NetworkConfig {
     }
 }
 
+impl NetworkConfig {
+    /// Checks the configuration for values that would make generation
+    /// panic: fewer than two processes, `NaN`/infinite probabilities,
+    /// or reversed ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] naming the offending field.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.processes < 2 {
+            return Err(IrError::Invalid {
+                reason: "need at least two processes".to_string(),
+            });
+        }
+        check_prob("channel_prob", self.channel_prob)?;
+        check_range_u64("compute", self.compute)?;
+        check_range_u64("bytes", self.bytes)?;
+        // `iterations == 0` stays legal: `Process::with_iterations`
+        // clamps it to one, matching the network's historical behavior.
+        Ok(())
+    }
+}
+
 /// Generates a random process network whose channel topology is a DAG over
 /// the process indices (process *i* only sends to process *j* > *i*), so
 /// the network is deadlock-free under rendezvous semantics when every
@@ -153,10 +263,21 @@ impl Default for NetworkConfig {
 ///
 /// # Panics
 ///
-/// Panics if `cfg.processes < 2`.
+/// Panics if the configuration fails [`NetworkConfig::validate`]; use
+/// [`try_random_process_network`] to sweep untrusted configurations.
 #[must_use]
 pub fn random_process_network(cfg: &NetworkConfig) -> ProcessNetwork {
-    assert!(cfg.processes >= 2, "need at least two processes");
+    try_random_process_network(cfg).expect("invalid NetworkConfig")
+}
+
+/// [`random_process_network`] with up-front configuration validation
+/// instead of panics.
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] from [`NetworkConfig::validate`].
+pub fn try_random_process_network(cfg: &NetworkConfig) -> Result<ProcessNetwork, IrError> {
+    cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut net = ProcessNetwork::new(format!("net-{}-{}", cfg.processes, cfg.seed));
 
@@ -215,7 +336,7 @@ pub fn random_process_network(cfg: &NetworkConfig) -> ProcessNetwork {
         }
         net.add_process(Process::new(format!("p{i}"), actions).with_iterations(cfg.iterations));
     }
-    net
+    Ok(net)
 }
 
 #[cfg(test)]
@@ -286,6 +407,87 @@ mod tests {
     fn process_network_is_deterministic() {
         let cfg = NetworkConfig::default();
         assert_eq!(random_process_network(&cfg), random_process_network(&cfg));
+    }
+
+    #[test]
+    fn nan_edge_prob_is_a_typed_error_not_a_panic() {
+        // Regression: NaN survived `.clamp(0.0, 1.0)` and panicked deep
+        // inside `rand::gen_bool`; now it is an up-front config error.
+        let err = try_random_task_graph(&TgffConfig {
+            edge_prob: f64::NAN,
+            ..TgffConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("edge_prob"), "{err}");
+        let err = try_random_process_network(&NetworkConfig {
+            channel_prob: f64::NAN,
+            ..NetworkConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("channel_prob"), "{err}");
+    }
+
+    #[test]
+    fn reversed_ranges_are_typed_errors_not_panics() {
+        // Regression: (200, 100) panicked inside `rand::gen_range`.
+        let err = try_random_task_graph(&TgffConfig {
+            sw_cycles: (200, 100),
+            ..TgffConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("sw_cycles"), "{err}");
+        let err = try_random_task_graph(&TgffConfig {
+            hw_speedup: (20.0, 4.0),
+            ..TgffConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("hw_speedup"), "{err}");
+        let err = try_random_process_network(&NetworkConfig {
+            bytes: (256, 8),
+            ..NetworkConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("bytes"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_but_legal_configs_generate() {
+        // Point ranges, certain/impossible edges, width 1, single task.
+        for edge_prob in [0.0, 1.0] {
+            let g = try_random_task_graph(&TgffConfig {
+                tasks: 5,
+                width: 1,
+                edge_prob,
+                sw_cycles: (100, 100),
+                hw_speedup: (4.0, 4.0),
+                area_per_100_cycles: (1.0, 1.0),
+                bytes: (16, 16),
+                ..TgffConfig::default()
+            })
+            .unwrap();
+            g.validate().unwrap();
+        }
+        let net = try_random_process_network(&NetworkConfig {
+            processes: 2,
+            channel_prob: 0.0,
+            compute: (1, 1),
+            bytes: (4, 4),
+            ..NetworkConfig::default()
+        })
+        .unwrap();
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_finite_probability_still_clamps() {
+        // Historical behavior preserved: 1.5 clamps to 1.0 rather than
+        // erroring, so only non-finite values are config errors.
+        let g = try_random_task_graph(&TgffConfig {
+            edge_prob: 1.5,
+            ..TgffConfig::default()
+        })
+        .unwrap();
+        g.validate().unwrap();
     }
 
     #[test]

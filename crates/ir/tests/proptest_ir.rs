@@ -2,6 +2,7 @@
 
 use codesign_ir::cdfg::{Cdfg, FuClass, OpKind};
 use codesign_ir::opt::optimize;
+use codesign_ir::workload::sysgen::{random_system, SysConfig, MAX_IRQ_BYTES};
 use codesign_ir::workload::tgff::{
     random_process_network, random_task_graph, NetworkConfig, TgffConfig,
 };
@@ -134,5 +135,63 @@ proptest! {
             prop_assert!(src != dst);
             prop_assert!(bytes > 0);
         }
+    }
+
+    #[test]
+    fn generated_systems_always_validate(
+        channels in 1usize..=8,
+        iterations in 1u32..=8,
+        max_message_words in 1u64..=16,
+        max_compute in 0u64..=400,
+        max_fifo_capacity in 1usize..=32,
+        max_drain_period in 1u64..=16,
+        // Folded into one arg: the vendored proptest implements tuple
+        // strategies up to arity 8.
+        (extra_devices, max_irq_bytes) in (0usize..=16, 0u8..=MAX_IRQ_BYTES),
+        seed in any::<u64>(),
+    ) {
+        // Every valid knob combination — including the floors (width 1,
+        // one iteration, compute 0, IRQs off) and the ceilings — yields a
+        // structurally valid system: aligned non-overlapping regions
+        // inside the decoded window, every channel backed by a live FIFO.
+        let cfg = SysConfig {
+            channels,
+            iterations,
+            max_message_words,
+            max_compute,
+            max_fifo_capacity,
+            max_drain_period,
+            extra_devices,
+            max_irq_bytes,
+            seed,
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let spec = random_system(&cfg).expect("valid config generates");
+        prop_assert!(spec.validate().is_ok(), "seed {seed}: {:?}", spec.validate());
+        prop_assert_eq!(spec.channels.len(), channels);
+        // Architected totals are spec-derivable before any simulation.
+        for c in 0..channels {
+            let bytes = spec.channel_bytes(c);
+            prop_assert!(bytes >= 4 * u64::from(iterations));
+            prop_assert!(bytes <= 4 * max_message_words * u64::from(iterations));
+        }
+        prop_assert!(spec.irq_count() <= u64::from(max_irq_bytes));
+    }
+
+    #[test]
+    fn system_generation_is_seed_deterministic(seed in any::<u64>()) {
+        let cfg = SysConfig { seed, ..SysConfig::default() };
+        let a = random_system(&cfg).expect("generates");
+        let b = random_system(&cfg).expect("generates");
+        prop_assert_eq!(a, b);
+        // A different seed perturbs the system (memory-map draw or
+        // channel parameters) virtually always; assert on the whole spec
+        // rather than any single field to keep this robust.
+        let c = random_system(&SysConfig {
+            seed: seed.wrapping_add(1),
+            ..cfg
+        })
+        .expect("generates");
+        prop_assert_ne!(random_system(&cfg).expect("generates"), c);
     }
 }

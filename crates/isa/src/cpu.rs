@@ -175,6 +175,25 @@ impl Cpu {
         }
     }
 
+    /// Current program counter (instruction index).
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Snapshot of the architectural register file, for differential
+    /// harnesses that compare per-retired-instruction state.
+    #[must_use]
+    pub fn regs(&self) -> [i64; NUM_REGS] {
+        self.regs
+    }
+
+    /// The internal data memory, for architectural-state digests.
+    #[must_use]
+    pub fn mem(&self) -> &[u8] {
+        &self.mem
+    }
+
     /// Reads a 64-bit word from internal data memory.
     ///
     /// # Errors
@@ -387,6 +406,10 @@ impl Cpu {
                 self.in_interrupt = true;
                 self.stats.irqs_taken += 1;
                 self.stats.cycles += 4; // interrupt entry overhead
+                                        // The entry overhead is real time: devices must see it too,
+                                        // or every taken interrupt silently skews the CPU clock
+                                        // 4 cycles ahead of the bus clock.
+                bus.tick(4);
                 if self.tracer.is_on() {
                     self.tracer.instant(
                         self.track,
@@ -463,7 +486,7 @@ impl Cpu {
 mod tests {
     use super::*;
     use crate::asm::assemble;
-    use codesign_rtl::bus::{timer_regs, uart_regs, BusTiming, SystemBus, Timer, Uart};
+    use codesign_rtl::bus::{timer_regs, uart_regs, BusSlave, BusTiming, SystemBus, Timer, Uart};
 
     fn run_src(src: &str) -> Cpu {
         let p = assemble(src).unwrap();
@@ -643,6 +666,76 @@ mod tests {
         let stats = cpu.run(100_000).unwrap();
         assert_eq!(stats.irqs_taken, 1);
         assert_eq!(cpu.load_word(8).unwrap(), 1);
+    }
+
+    /// A bus slave that does nothing but count how many bus-clock
+    /// cycles it has been ticked — ground truth for CPU/bus lockstep.
+    #[derive(Debug, Default)]
+    struct TickCounter {
+        ticks: u64,
+    }
+
+    impl BusSlave for TickCounter {
+        fn name(&self) -> &str {
+            "tick-counter"
+        }
+        fn read(&mut self, _offset: u32) -> u32 {
+            0
+        }
+        fn write(&mut self, _offset: u32, _value: u32) {}
+        fn tick(&mut self) {
+            self.ticks += 1;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn interrupt_entry_overhead_ticks_the_bus() {
+        // Regression: the 4-cycle interrupt entry overhead was added to
+        // `stats.cycles` without ticking the bus, so after every taken
+        // IRQ all devices ran 4 cycles behind the CPU clock — visible
+        // as a cross-level cycle divergence in the conformance sweep.
+        let mut bus = SystemBus::new(BusTiming::default());
+        bus.map(0x0, 0x10, Box::new(Timer::new())).unwrap();
+        bus.map(0x100, 0x10, Box::new(TickCounter::default()))
+            .unwrap();
+        let src = format!(
+            ".vector isr\n\
+             li r1, {base}\n\
+             li r2, 20\n\
+             sw r2, r1, {load}\n\
+             li r2, 3\n\
+             sw r2, r1, {ctrl}\n\
+             ei\n\
+             spin: ld r3, r0, 8\n\
+             beq r3, r0, spin\n\
+             halt\n\
+             isr: li r4, 1\n\
+             sd r4, r0, 8\n\
+             li r5, {base}\n\
+             sw r5, r5, {ack}\n\
+             rti\n",
+            base = MMIO_BASE,
+            load = timer_regs::LOAD,
+            ctrl = timer_regs::CTRL,
+            ack = timer_regs::ACK,
+        );
+        let p = assemble(&src).unwrap();
+        let mut cpu = Cpu::new(256);
+        cpu.attach_bus(bus);
+        cpu.load_program(&p);
+        let stats = cpu.run(100_000).unwrap();
+        assert_eq!(stats.irqs_taken, 1);
+        let counter = cpu.bus().unwrap().device_at::<TickCounter>(0x100).unwrap();
+        assert_eq!(
+            counter.ticks, stats.cycles,
+            "bus clock must match CPU clock across interrupt entry"
+        );
     }
 
     #[test]

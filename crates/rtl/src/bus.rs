@@ -107,6 +107,29 @@ struct Mapping {
     base: u32,
     size: u32,
     slave: Box<dyn BusSlave>,
+    reads: u64,
+    writes: u64,
+    last_write_seq: u64,
+}
+
+/// Per-device access statistics, the bus-side architected observables a
+/// conformance harness compares across abstraction levels: how often
+/// each device was touched and *when* (in transaction order) it last
+/// received a write — which is what makes per-channel completion order
+/// measurable without instrumenting the software.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceAccess {
+    /// Device name.
+    pub name: String,
+    /// Mapped base address.
+    pub base: u32,
+    /// Read transactions this device served.
+    pub reads: u64,
+    /// Write transactions this device served.
+    pub writes: u64,
+    /// Global transaction sequence number of the most recent write
+    /// (1-based; 0 = never written).
+    pub last_write_seq: u64,
 }
 
 /// The shared system bus: an address map over [`BusSlave`]s plus timing
@@ -116,6 +139,7 @@ pub struct SystemBus {
     timing: BusTiming,
     mappings: Vec<Mapping>,
     stats: BusStats,
+    write_seq: u64,
     phy: Option<Box<dyn BusPhy>>,
     tracer: Tracer,
     track: TrackId,
@@ -131,6 +155,7 @@ impl SystemBus {
             timing,
             mappings: Vec::new(),
             stats: BusStats::default(),
+            write_seq: 0,
             phy: None,
             tracer,
             track,
@@ -229,7 +254,14 @@ impl SystemBus {
                 });
             }
         }
-        self.mappings.push(Mapping { base, size, slave });
+        self.mappings.push(Mapping {
+            base,
+            size,
+            slave,
+            reads: 0,
+            writes: 0,
+            last_write_seq: 0,
+        });
         Ok(())
     }
 
@@ -249,6 +281,45 @@ impl SystemBus {
         self.mappings
             .iter_mut()
             .find_map(|m| m.slave.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Typed access to the device mapped at exactly `base`, for
+    /// harnesses with several devices of the same type (e.g. one FIFO
+    /// per channel). Non-perturbing: unlike a bus [`SystemBus::read`],
+    /// inspection through this accessor costs no transaction and leaves
+    /// every statistic untouched.
+    #[must_use]
+    pub fn device_at<T: 'static>(&self, base: u32) -> Option<&T> {
+        self.mappings
+            .iter()
+            .find(|m| m.base == base)
+            .and_then(|m| m.slave.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable counterpart of [`SystemBus::device_at`], for per-device
+    /// test-bench stimulus (e.g. preloading one specific UART).
+    #[must_use]
+    pub fn device_at_mut<T: 'static>(&mut self, base: u32) -> Option<&mut T> {
+        self.mappings
+            .iter_mut()
+            .find(|m| m.base == base)
+            .and_then(|m| m.slave.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Per-device access statistics in mapping order (see
+    /// [`DeviceAccess`]). Non-perturbing, like [`SystemBus::device_at`].
+    #[must_use]
+    pub fn device_accesses(&self) -> Vec<DeviceAccess> {
+        self.mappings
+            .iter()
+            .map(|m| DeviceAccess {
+                name: m.slave.name().to_string(),
+                base: m.base,
+                reads: m.reads,
+                writes: m.writes,
+                last_write_seq: m.last_write_seq,
+            })
+            .collect()
     }
 
     /// The address map as `(name, base, size)` triples.
@@ -285,6 +356,7 @@ impl SystemBus {
         };
         self.stats.reads += 1;
         self.stats.busy_cycles += cycles;
+        self.mappings[i].reads += 1;
         self.trace_transaction("read", i, addr, value, cycles);
         Ok((value, cycles))
     }
@@ -305,6 +377,9 @@ impl SystemBus {
         };
         self.stats.writes += 1;
         self.stats.busy_cycles += cycles;
+        self.write_seq += 1;
+        self.mappings[i].writes += 1;
+        self.mappings[i].last_write_seq = self.write_seq;
         self.trace_transaction("write", i, addr, value, cycles);
         Ok(cycles)
     }
@@ -792,6 +867,24 @@ impl DrainFifo {
     pub fn occupancy(&self) -> usize {
         self.queue.len()
     }
+
+    /// Exact cycles until the FIFO finishes draining its current
+    /// contents, assuming no further pushes: the in-flight countdown to
+    /// the next pop plus one full period per remaining word.
+    ///
+    /// This is the tail-drain model the abstraction ladder uses after
+    /// the producer halts. The naive `occupancy * drain_period` estimate
+    /// ignores the countdown already elapsed toward the next pop, and so
+    /// overestimates the tail by up to `drain_period - 1` cycles — a
+    /// divergence the conformance harness caught against tick-level
+    /// ground truth.
+    #[must_use]
+    pub fn cycles_to_drain(&self) -> u64 {
+        match self.queue.len() {
+            0 => 0,
+            n => self.countdown + (n as u64 - 1) * self.drain_period,
+        }
+    }
 }
 
 impl BusSlave for DrainFifo {
@@ -1154,6 +1247,71 @@ mod tests {
             fifo.write(fifo_regs::DATA, v);
         }
         assert_eq!(fifo.occupancy(), 2);
+    }
+
+    #[test]
+    fn cycles_to_drain_matches_tick_level_ground_truth() {
+        // Regression (conformance harness): the tail-drain estimate must
+        // equal the exact number of ticks until the FIFO empties, for
+        // any in-flight countdown state — `occupancy * drain_period`
+        // does not.
+        for pre_ticks in 0..12u64 {
+            let mut fifo = DrainFifo::new(8, 5);
+            for v in 0..4 {
+                fifo.write(fifo_regs::DATA, v);
+            }
+            for _ in 0..pre_ticks {
+                fifo.tick();
+            }
+            let predicted = fifo.cycles_to_drain();
+            let mut actual = 0u64;
+            while fifo.occupancy() > 0 {
+                fifo.tick();
+                actual += 1;
+            }
+            assert_eq!(predicted, actual, "after {pre_ticks} pre-ticks");
+        }
+        assert_eq!(DrainFifo::new(4, 7).cycles_to_drain(), 0, "empty fifo");
+    }
+
+    #[test]
+    fn device_accesses_track_counts_and_write_order() {
+        let mut bus = SystemBus::new(BusTiming::default());
+        bus.map(0x000, 0x100, Box::new(DrainFifo::new(8, 1_000)))
+            .unwrap();
+        bus.map(0x100, 0x100, Box::new(DrainFifo::new(8, 1_000)))
+            .unwrap();
+        // Write fifo B last, read fifo A twice.
+        bus.write(fifo_regs::DATA, 1).unwrap();
+        bus.write(0x100 + fifo_regs::DATA, 2).unwrap();
+        bus.read(fifo_regs::COUNT).unwrap();
+        bus.read(fifo_regs::COUNT).unwrap();
+        let acc = bus.device_accesses();
+        assert_eq!(acc.len(), 2);
+        assert_eq!((acc[0].reads, acc[0].writes), (2, 1));
+        assert_eq!((acc[1].reads, acc[1].writes), (0, 1));
+        assert!(
+            acc[1].last_write_seq > acc[0].last_write_seq,
+            "fifo B written after fifo A"
+        );
+        // Inspection is non-perturbing.
+        let again = bus.device_accesses();
+        assert_eq!(acc, again);
+        assert_eq!(bus.stats().reads, 2);
+    }
+
+    #[test]
+    fn device_at_selects_by_base() {
+        let mut bus = SystemBus::new(BusTiming::default());
+        bus.map(0x000, 0x100, Box::new(DrainFifo::new(8, 1_000)))
+            .unwrap();
+        bus.map(0x100, 0x100, Box::new(DrainFifo::new(8, 1_000)))
+            .unwrap();
+        bus.write(0x100 + fifo_regs::DATA, 42).unwrap();
+        assert_eq!(bus.device_at::<DrainFifo>(0x000).unwrap().occupancy(), 0);
+        assert_eq!(bus.device_at::<DrainFifo>(0x100).unwrap().occupancy(), 1);
+        assert!(bus.device_at::<DrainFifo>(0x200).is_none());
+        bus.device_at_mut::<DrainFifo>(0x100).unwrap().tick();
     }
 
     #[test]

@@ -193,10 +193,19 @@ fn run_iss(cfg: &LadderConfig, pin_level: bool, tracer: &Tracer) -> Result<Level
     cpu.load_program(&program);
     let stats = cpu.run(1_000_000_000)?;
 
-    // Residual drain after the producer halts.
-    let bus = cpu.bus_mut().expect("bus attached");
-    let (residual_words, _) = bus.read(fifo_regs::COUNT)?;
-    let simulated_cycles = stats.cycles + u64::from(residual_words) * cfg.drain_period;
+    // Residual drain after the producer halts. Two regressions hide here:
+    //
+    // * the residual occupancy must be read through the typed device
+    //   handle, not a bus `read()` — a bus read perturbs the transaction
+    //   stats and pin-phy events that feed `kernel_events`, so observing
+    //   the result used to change the measurement;
+    // * the tail is `countdown + (n-1)*drain_period` (the first word is
+    //   already mid-drain), not `n * drain_period` — the naive formula
+    //   overestimates by up to `drain_period - 1` cycles, a divergence
+    //   the conformance sweep pins against tick-level ground truth.
+    let bus = cpu.bus().expect("bus attached");
+    let fifo = bus.device::<DrainFifo>().expect("drain fifo mapped");
+    let simulated_cycles = stats.cycles + fifo.cycles_to_drain();
 
     let bus_stats = bus.stats();
     let kernel_events = if pin_level {
@@ -525,6 +534,86 @@ mod tests {
         }
         assert!(tracer.event_count() > 0);
         codesign_trace::validate_chrome_trace(&tracer.to_chrome_json()).unwrap();
+    }
+
+    #[test]
+    fn tail_drain_is_exact_against_tick_ground_truth() {
+        // Regression: the residual drain after the producer halts used
+        // to be charged as `occupancy * drain_period`, but the first
+        // queued word is already mid-countdown — the exact tail is
+        // `countdown + (occupancy-1) * drain_period`. Replay the same
+        // program and tick the bus to empty to get ground truth.
+        let cfg = LadderConfig {
+            iterations: 3,
+            drain_period: 17, // coprime-ish with the loop cost: nonzero countdown at halt
+            ..LadderConfig::default()
+        };
+        let report = run_level(AbstractionLevel::Register, &cfg).unwrap();
+
+        let mut bus = SystemBus::new(BusTiming::default());
+        bus.map(
+            0x0,
+            0x100,
+            Box::new(DrainFifo::new(cfg.fifo_capacity, cfg.drain_period)),
+        )
+        .unwrap();
+        let program = assemble(&producer_program(&cfg)).unwrap();
+        let mut cpu = Cpu::new(4096);
+        cpu.attach_bus(bus);
+        cpu.load_program(&program);
+        let stats = cpu.run(1_000_000_000).unwrap();
+        let bus = cpu.bus_mut().unwrap();
+        let mut tail = 0u64;
+        while bus.device::<DrainFifo>().unwrap().occupancy() > 0 {
+            bus.tick(1);
+            tail += 1;
+        }
+        assert!(tail > 0, "scenario must halt with a non-empty FIFO");
+        assert_eq!(report.simulated_cycles, stats.cycles + tail);
+    }
+
+    #[test]
+    fn observable_extraction_does_not_perturb_kernel_events() {
+        // Regression: the residual occupancy was read with `bus.read()`,
+        // which bumped the transaction counters (and, at pin level, the
+        // phy event count) that make up `kernel_events` — observing the
+        // result changed the measurement. Re-run the same software
+        // manually and compare against the harness's reported events.
+        let cfg = LadderConfig {
+            iterations: 4,
+            ..LadderConfig::default()
+        };
+        for pin_level in [false, true] {
+            let level = if pin_level {
+                AbstractionLevel::Pin
+            } else {
+                AbstractionLevel::Register
+            };
+            let report = run_level(level, &cfg).unwrap();
+
+            let mut bus = SystemBus::new(BusTiming::default());
+            bus.map(
+                0x0,
+                0x100,
+                Box::new(DrainFifo::new(cfg.fifo_capacity, cfg.drain_period)),
+            )
+            .unwrap();
+            if pin_level {
+                bus.set_phy(Box::new(PinPhy::new(&[(0x0, 0x100)]).unwrap()));
+            }
+            let program = assemble(&producer_program(&cfg)).unwrap();
+            let mut cpu = Cpu::new(4096);
+            cpu.attach_bus(bus);
+            cpu.load_program(&program);
+            let stats = cpu.run(1_000_000_000).unwrap();
+            let bus = cpu.bus().unwrap();
+            let expected = if pin_level {
+                stats.instructions + bus.phy_events()
+            } else {
+                stats.instructions + bus.stats().reads + bus.stats().writes
+            };
+            assert_eq!(report.kernel_events, expected, "{level}");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use codesign_ir::process::{Action, ChannelId, ProcessId, ProcessNetwork};
-use codesign_trace::{Arg, Tracer};
+use codesign_trace::{Arg, Tracer, TrackId};
 
 use crate::engine::SimEngine;
 use crate::error::SimError;
@@ -184,6 +184,13 @@ pub struct MessageReport {
     pub events: u64,
     /// Finish time of each process.
     pub per_process_finish: Vec<u64>,
+    /// Payload bytes delivered per channel — an architected observable:
+    /// the process bodies fix it independent of scheduling or placement.
+    pub per_channel_bytes: Vec<u64>,
+    /// Per channel, the globally monotone delivery stamp of its *last*
+    /// delivery (0 = never delivered). Stamps order channel completions
+    /// across the whole network.
+    pub last_send_seq: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,422 +233,30 @@ pub fn simulate(
 /// Tracing is observational only: with a disabled tracer this is exactly
 /// [`simulate`], and the returned report is bit-identical either way.
 ///
+/// Internally this drives a [`MessageEngine`] to completion, so the
+/// one-shot and incremental simulators share one scheduling core and
+/// agree bit-for-bit on every report field — a conformance invariant the
+/// `codesign-conform` sweep checks on random networks. (They used to be
+/// two independent schedulers; the differential harness caught the
+/// one-shot's round-barrier phasing handing a shared CPU to a
+/// later-ready process, inflating finish times.)
+///
 /// # Errors
 ///
 /// As for [`simulate`].
-#[allow(clippy::too_many_lines)] // one scheduler loop; splitting obscures the phases
 pub fn simulate_traced(
     net: &ProcessNetwork,
     placement: &Placement,
     config: &MessageConfig,
     tracer: &Tracer,
 ) -> Result<MessageReport, SimError> {
-    if placement.len() != net.len() {
-        return Err(SimError::BadPlacement {
-            reason: format!(
-                "placement covers {} processes, network has {}",
-                placement.len(),
-                net.len()
-            ),
-        });
+    let mut engine =
+        MessageEngine::new(net.name(), net.clone(), placement.clone(), config.clone())?;
+    engine.set_tracer(tracer);
+    while !engine.is_done() {
+        engine.advance_to(u64::MAX)?;
     }
-    let n = net.len();
-    let mut procs: Vec<Proc> = (0..n)
-        .map(|i| Proc {
-            ready: 0,
-            iter: 0,
-            idx: 0,
-            state: if net.process(ProcessId::from_index(i)).actions().is_empty() {
-                ProcState::Finished
-            } else {
-                ProcState::Running
-            },
-        })
-        .collect();
-    // Per channel: buffered entries (ready_at, bytes, sender) and blocked
-    // parties.
-    struct Chan {
-        queue: VecDeque<(u64, u64, usize)>,
-        cap: usize,
-        sender: Option<(usize, u64)>, // (process, bytes) blocked at send
-        receiver: Option<usize>,
-    }
-    let mut chans: Vec<Chan> = (0..net.channel_count())
-        .map(|i| Chan {
-            queue: VecDeque::new(),
-            cap: net.channel(ChannelId::from_index(i)).capacity(),
-            sender: None,
-            receiver: None,
-        })
-        .collect();
-    // Channels are point-to-point, so each channel's receiving process —
-    // and with it the locality of a buffered send — is known statically
-    // from the process bodies (first receiver in process order; a
-    // receiver-less channel conservatively pays the full boundary cost).
-    let mut chan_receiver: Vec<Option<usize>> = vec![None; net.channel_count()];
-    for (pid, proc_) in net.iter() {
-        for a in proc_.actions() {
-            if let Action::Receive { channel } = a {
-                chan_receiver[channel.index()].get_or_insert(pid.index());
-            }
-        }
-    }
-    let is_local = |s: usize, r: usize| {
-        placement
-            .resource(ProcessId::from_index(s))
-            .is_local_to(placement.resource(ProcessId::from_index(r)))
-    };
-    // Software resources serialize: free-at time and last process.
-    use std::collections::HashMap;
-    let mut sw_free: HashMap<u32, (u64, usize)> = HashMap::new();
-
-    let traced = tracer.is_on();
-    let proc_tracks: Vec<_> = if traced {
-        net.iter()
-            .map(|(_, p)| tracer.track(&format!("proc:{}", p.name())))
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let chan_tracks: Vec<_> = if traced {
-        (0..net.channel_count())
-            .map(|i| {
-                tracer.track(&format!(
-                    "chan:{}",
-                    net.channel(ChannelId::from_index(i)).name()
-                ))
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let sim_track = tracer.track("message-sim");
-    let proc_name = |p: usize| net.process(ProcessId::from_index(p)).name();
-    // One transfer event, shared by the rendezvous and buffered paths.
-    let xfer_args = |from: usize, to: Option<usize>, bytes: u64, local: bool| {
-        [
-            ("from", Arg::from(proc_name(from))),
-            ("to", Arg::from(to.map_or("?", proc_name))),
-            ("bytes", Arg::from(bytes)),
-            ("local", Arg::from(local)),
-        ]
-    };
-
-    let mut report = MessageReport {
-        finish_time: 0,
-        messages: 0,
-        bytes: 0,
-        cross_boundary_bytes: 0,
-        events: 0,
-        per_process_finish: vec![0; n],
-    };
-
-    let current_action = |net: &ProcessNetwork, p: usize, proc_: &Proc| -> Option<Action> {
-        let process = net.process(ProcessId::from_index(p));
-        if proc_.iter >= process.iterations() {
-            return None;
-        }
-        process.actions().get(proc_.idx).copied()
-    };
-
-    let advance_cursor = |proc_: &mut Proc, len: usize| {
-        proc_.idx += 1;
-        if proc_.idx >= len {
-            proc_.idx = 0;
-            proc_.iter += 1;
-        }
-    };
-
-    loop {
-        let mut progressed = false;
-
-        // Phase 1: run every runnable process until it blocks or ends.
-        // `p` is a process identity used across several parallel arrays.
-        #[allow(clippy::needless_range_loop)]
-        for p in 0..n {
-            while procs[p].state == ProcState::Running {
-                let body_len = net.process(ProcessId::from_index(p)).actions().len();
-                let Some(action) = current_action(net, p, &procs[p]) else {
-                    procs[p].state = ProcState::Finished;
-                    report.per_process_finish[p] = procs[p].ready;
-                    progressed = true;
-                    break;
-                };
-                match action {
-                    Action::Compute(c) => {
-                        report.events += 1;
-                        let cost = match placement.resource(ProcessId::from_index(p)) {
-                            Resource::Software(cpu) => {
-                                let entry = sw_free.entry(cpu).or_insert((0, p));
-                                let mut start = procs[p].ready.max(entry.0);
-                                if entry.1 != p {
-                                    start += config.context_switch;
-                                }
-                                let finish = start + c;
-                                *entry = (finish, p);
-                                procs[p].ready = finish;
-                                c
-                            }
-                            Resource::Hardware(_) => {
-                                let speedup = config
-                                    .hw_speedups
-                                    .as_ref()
-                                    .and_then(|v| v.get(p).copied())
-                                    .unwrap_or(config.hw_speedup);
-                                let cost = ((c as f64 / speedup).ceil() as u64).max(1);
-                                procs[p].ready += cost;
-                                cost
-                            }
-                        };
-                        if traced {
-                            tracer.span(
-                                proc_tracks[p],
-                                "compute",
-                                procs[p].ready - cost,
-                                cost,
-                                &[],
-                            );
-                        }
-                        advance_cursor(&mut procs[p], body_len);
-                        progressed = true;
-                    }
-                    Action::Wait(c) => {
-                        report.events += 1;
-                        procs[p].ready += c;
-                        if traced {
-                            tracer.span(proc_tracks[p], "wait", procs[p].ready - c, c, &[]);
-                        }
-                        advance_cursor(&mut procs[p], body_len);
-                        progressed = true;
-                    }
-                    Action::Send { channel, bytes } => {
-                        let ci = channel.index();
-                        // The receiver's placement decides whether a
-                        // buffered transfer crosses the boundary.
-                        let local = chan_receiver[ci].is_some_and(|r| is_local(p, r));
-                        let ch = &mut chans[ci];
-                        if ch.cap > 0 && ch.queue.len() < ch.cap {
-                            // Buffered: sender pays the transfer and moves on.
-                            let cost = config.comm.transfer_cycles(bytes, local);
-                            procs[p].ready += cost;
-                            ch.queue.push_back((procs[p].ready, bytes, p));
-                            report.events += 1;
-                            if traced {
-                                tracer.span(
-                                    chan_tracks[ci],
-                                    "send",
-                                    procs[p].ready - cost,
-                                    cost,
-                                    &xfer_args(p, chan_receiver[ci], bytes, local),
-                                );
-                                tracer.counter(
-                                    chan_tracks[ci],
-                                    "queued",
-                                    procs[p].ready,
-                                    chans[ci].queue.len() as u64,
-                                );
-                            }
-                            advance_cursor(&mut procs[p], body_len);
-                            progressed = true;
-                        } else {
-                            ch.sender = Some((p, bytes));
-                            procs[p].state = ProcState::BlockedSend;
-                        }
-                    }
-                    Action::Receive { channel } => {
-                        let ci = channel.index();
-                        let ch = &mut chans[ci];
-                        if let Some((ready_at, bytes, from)) = ch.queue.pop_front() {
-                            procs[p].ready = procs[p].ready.max(ready_at);
-                            report.messages += 1;
-                            report.bytes += bytes;
-                            let local = is_local(from, p);
-                            if !local {
-                                report.cross_boundary_bytes += bytes;
-                            }
-                            report.events += 1;
-                            if traced {
-                                tracer.instant(
-                                    chan_tracks[ci],
-                                    "recv",
-                                    procs[p].ready,
-                                    &xfer_args(from, Some(p), bytes, local),
-                                );
-                                tracer.counter(
-                                    chan_tracks[ci],
-                                    "queued",
-                                    procs[p].ready,
-                                    chans[ci].queue.len() as u64,
-                                );
-                                tracer.counter(
-                                    sim_track,
-                                    "cross_boundary_bytes",
-                                    procs[p].ready,
-                                    report.cross_boundary_bytes,
-                                );
-                            }
-                            advance_cursor(&mut procs[p], body_len);
-                            progressed = true;
-                        } else {
-                            ch.receiver = Some(p);
-                            procs[p].state = ProcState::BlockedRecv;
-                        }
-                    }
-                }
-                if procs[p].ready > config.budget {
-                    return Err(SimError::Budget {
-                        limit: config.budget,
-                    });
-                }
-            }
-        }
-
-        // Phase 2: complete rendezvous where both parties are blocked.
-        #[allow(clippy::needless_range_loop)] // mutates chans[ci] under match guards
-        for ci in 0..chans.len() {
-            let (sender, receiver) = (chans[ci].sender, chans[ci].receiver);
-            if let (Some((s, bytes)), Some(r)) = (sender, receiver) {
-                let local = placement
-                    .resource(ProcessId::from_index(s))
-                    .is_local_to(placement.resource(ProcessId::from_index(r)));
-                let start = procs[s].ready.max(procs[r].ready);
-                let cost = config.comm.transfer_cycles(bytes, local);
-                let done = start + cost;
-                procs[s].ready = done;
-                procs[r].ready = done;
-                report.messages += 1;
-                report.bytes += bytes;
-                if !local {
-                    report.cross_boundary_bytes += bytes;
-                }
-                report.events += 1;
-                if traced {
-                    tracer.span(
-                        chan_tracks[ci],
-                        "rendezvous",
-                        start,
-                        cost,
-                        &xfer_args(s, Some(r), bytes, local),
-                    );
-                    tracer.counter(
-                        sim_track,
-                        "cross_boundary_bytes",
-                        done,
-                        report.cross_boundary_bytes,
-                    );
-                }
-                for &p in &[s, r] {
-                    let body_len = net.process(ProcessId::from_index(p)).actions().len();
-                    procs[p].state = ProcState::Running;
-                    advance_cursor(&mut procs[p], body_len);
-                }
-                chans[ci].sender = None;
-                chans[ci].receiver = None;
-                if done > config.budget {
-                    return Err(SimError::Budget {
-                        limit: config.budget,
-                    });
-                }
-                progressed = true;
-            }
-            // A blocked sender on a buffered channel with space frees up.
-            else if let Some((s, bytes)) = sender {
-                if chans[ci].cap > 0 && chans[ci].queue.len() < chans[ci].cap {
-                    let local = chan_receiver[ci].is_some_and(|r| is_local(s, r));
-                    let cost = config.comm.transfer_cycles(bytes, local);
-                    procs[s].ready += cost;
-                    let entry = (procs[s].ready, bytes, s);
-                    chans[ci].queue.push_back(entry);
-                    chans[ci].sender = None;
-                    let body_len = net.process(ProcessId::from_index(s)).actions().len();
-                    procs[s].state = ProcState::Running;
-                    advance_cursor(&mut procs[s], body_len);
-                    report.events += 1;
-                    if traced {
-                        tracer.span(
-                            chan_tracks[ci],
-                            "send",
-                            procs[s].ready - cost,
-                            cost,
-                            &xfer_args(s, chan_receiver[ci], bytes, local),
-                        );
-                        tracer.counter(
-                            chan_tracks[ci],
-                            "queued",
-                            procs[s].ready,
-                            chans[ci].queue.len() as u64,
-                        );
-                    }
-                    if procs[s].ready > config.budget {
-                        return Err(SimError::Budget {
-                            limit: config.budget,
-                        });
-                    }
-                    progressed = true;
-                }
-            }
-            // A blocked receiver with a buffered message completes.
-            else if let Some(r) = receiver {
-                if let Some((ready_at, bytes, from)) = chans[ci].queue.pop_front() {
-                    procs[r].ready = procs[r].ready.max(ready_at);
-                    report.messages += 1;
-                    report.bytes += bytes;
-                    let local = is_local(from, r);
-                    if !local {
-                        report.cross_boundary_bytes += bytes;
-                    }
-                    report.events += 1;
-                    if traced {
-                        tracer.instant(
-                            chan_tracks[ci],
-                            "recv",
-                            procs[r].ready,
-                            &xfer_args(from, Some(r), bytes, local),
-                        );
-                        tracer.counter(
-                            chan_tracks[ci],
-                            "queued",
-                            procs[r].ready,
-                            chans[ci].queue.len() as u64,
-                        );
-                        tracer.counter(
-                            sim_track,
-                            "cross_boundary_bytes",
-                            procs[r].ready,
-                            report.cross_boundary_bytes,
-                        );
-                    }
-                    let body_len = net.process(ProcessId::from_index(r)).actions().len();
-                    procs[r].state = ProcState::Running;
-                    advance_cursor(&mut procs[r], body_len);
-                    chans[ci].receiver = None;
-                    if procs[r].ready > config.budget {
-                        return Err(SimError::Budget {
-                            limit: config.budget,
-                        });
-                    }
-                    progressed = true;
-                }
-            }
-        }
-
-        if procs.iter().all(|p| p.state == ProcState::Finished) {
-            break;
-        }
-        if !progressed {
-            let blocked: Vec<String> = procs
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.state != ProcState::Finished)
-                .map(|(i, _)| net.process(ProcessId::from_index(i)).name().to_string())
-                .collect();
-            let time = procs.iter().map(|p| p.ready).max().unwrap_or(0);
-            return Err(SimError::Deadlock { time, blocked });
-        }
-    }
-
-    report.finish_time = report.per_process_finish.iter().copied().max().unwrap_or(0);
-    Ok(report)
+    Ok(engine.report().clone())
 }
 
 /// A fault decision for one message send, as seen by a
@@ -700,22 +315,22 @@ enum EngineStep {
 }
 
 /// The message-level process-network simulator as an incremental
-/// [`SimEngine`]: the same rendezvous/buffered-channel semantics as
-/// [`simulate`], but time-steppable under a
+/// [`SimEngine`]: time-steppable under a
 /// [`Coordinator`](crate::engine::Coordinator) and lookahead-capable.
+/// This is *the* message-level scheduler — [`simulate`] and
+/// [`simulate_traced`] are thin wrappers that drive it to completion, so
+/// there is exactly one scheduling semantics at this level.
 ///
-/// Two deliberate differences from the one-shot [`simulate`]:
+/// Scheduling is *time-driven*: of everything that could happen, the
+/// step with the earliest start time executes first (ties broken by
+/// process, then channel order). That order is what makes the engine
+/// composable — it reaches the same state no matter how a horizon is
+/// subdivided — and it models a shared software processor faithfully:
+/// the process that becomes ready first gets the CPU first.
 ///
-/// * Scheduling is *time-driven*: of everything that could happen, the
-///   step with the earliest start time executes first (ties broken by
-///   process, then channel order). `simulate` instead sweeps processes in
-///   index order, which is faster for a one-shot run but not composable —
-///   an incremental engine must reach the same state no matter how a
-///   horizon is subdivided, so finish times can differ slightly between
-///   the two when software processes contend for a processor.
-/// * Actions are atomic (a compute or transfer may overshoot the round
-///   horizon by its own cost, exactly like a CPU instruction), so the
-///   co-simulation skew bound is `quantum + the longest single action`.
+/// Actions are atomic (a compute or transfer may overshoot the round
+/// horizon by its own cost, exactly like a CPU instruction), so the
+/// co-simulation skew bound is `quantum + the longest single action`.
 ///
 /// The network is closed — every wake source is internal — so the engine
 /// knows its true next event time: the earliest start among runnable
@@ -740,6 +355,16 @@ pub struct MessageEngine {
     report: MessageReport,
     /// Optional fault source consulted once per send event.
     faults: Option<Box<dyn MessageFaults>>,
+    /// Globally monotone delivery stamp (one per delivered message).
+    send_seq: u64,
+    /// Observational tracer (off by default); never steers scheduling.
+    tracer: Tracer,
+    /// Interned track per process, populated when the tracer is on.
+    proc_tracks: Vec<TrackId>,
+    /// Interned track per channel, populated when the tracer is on.
+    chan_tracks: Vec<TrackId>,
+    /// Whole-simulation track for running counters.
+    sim_track: Option<TrackId>,
 }
 
 impl MessageEngine {
@@ -800,6 +425,8 @@ impl MessageEngine {
             cross_boundary_bytes: 0,
             events: 0,
             per_process_finish: vec![0; n],
+            per_channel_bytes: vec![0; net.channel_count()],
+            last_send_seq: vec![0; net.channel_count()],
         };
         Ok(MessageEngine {
             name: name.into(),
@@ -813,7 +440,53 @@ impl MessageEngine {
             floor: 0,
             report,
             faults: None,
+            send_seq: 0,
+            tracer: Tracer::off(),
+            proc_tracks: Vec::new(),
+            chan_tracks: Vec::new(),
+            sim_track: None,
         })
+    }
+
+    /// Installs a tracer: per-process compute/wait spans, per-channel
+    /// transfer events, occupancy counters, and a running
+    /// `cross_boundary_bytes` counter. Observational only — the report is
+    /// bit-identical with tracing on or off.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        if tracer.is_on() {
+            self.proc_tracks = self
+                .net
+                .iter()
+                .map(|(_, p)| tracer.track(&format!("proc:{}", p.name())))
+                .collect();
+            self.chan_tracks = (0..self.net.channel_count())
+                .map(|i| {
+                    tracer.track(&format!(
+                        "chan:{}",
+                        self.net.channel(ChannelId::from_index(i)).name()
+                    ))
+                })
+                .collect();
+            self.sim_track = Some(tracer.track("message-sim"));
+        }
+    }
+
+    /// One transfer event's args, shared by all transfer trace points.
+    fn xfer_args(
+        &self,
+        from: usize,
+        to: Option<usize>,
+        bytes: u64,
+        local: bool,
+    ) -> [(&str, Arg); 4] {
+        let name = |p: usize| self.net.process(ProcessId::from_index(p)).name();
+        [
+            ("from", Arg::from(name(from))),
+            ("to", Arg::from(to.map_or("?", name))),
+            ("bytes", Arg::from(bytes)),
+            ("local", Arg::from(local)),
+        ]
     }
 
     /// Installs a fault source. Sends consult it in execution order; an
@@ -904,11 +577,45 @@ impl MessageEngine {
         self.procs[r].ready = self.procs[r].ready.max(ready_at);
         self.report.messages += 1;
         self.report.bytes += bytes;
-        if !self.is_local(from, r) {
+        let local = self.is_local(from, r);
+        if !local {
             self.report.cross_boundary_bytes += bytes;
         }
         self.report.events += 1;
+        self.stamp_delivery(ci, bytes);
+        if self.tracer.is_on() {
+            let at = self.procs[r].ready;
+            self.tracer.instant(
+                self.chan_tracks[ci],
+                "recv",
+                at,
+                &self.xfer_args(from, Some(r), bytes, local),
+            );
+            self.tracer.counter(
+                self.chan_tracks[ci],
+                "queued",
+                at,
+                self.chans[ci].queue.len() as u64,
+            );
+            if let Some(track) = self.sim_track {
+                self.tracer.counter(
+                    track,
+                    "cross_boundary_bytes",
+                    at,
+                    self.report.cross_boundary_bytes,
+                );
+            }
+        }
         self.advance_cursor(r);
+    }
+
+    /// Records one delivered message on channel `ci`: payload bytes and a
+    /// globally monotone completion stamp — both architected observables
+    /// the conformance sweep compares across kernels.
+    fn stamp_delivery(&mut self, ci: usize, bytes: u64) {
+        self.send_seq += 1;
+        self.report.per_channel_bytes[ci] += bytes;
+        self.report.last_send_seq[ci] = self.send_seq;
     }
 
     fn advance_cursor(&mut self, p: usize) {
@@ -942,6 +649,22 @@ impl MessageEngine {
             SendFault::None | SendFault::Delay(_) => self.chans[ci].queue.push_back(entry),
         }
         self.report.events += 1;
+        if self.tracer.is_on() {
+            let ready = self.procs[p].ready;
+            self.tracer.span(
+                self.chan_tracks[ci],
+                "send",
+                ready - cost,
+                cost,
+                &self.xfer_args(p, self.chan_receiver[ci], bytes, local),
+            );
+            self.tracer.counter(
+                self.chan_tracks[ci],
+                "queued",
+                ready,
+                self.chans[ci].queue.len() as u64,
+            );
+        }
         self.advance_cursor(p);
     }
 
@@ -965,7 +688,7 @@ impl MessageEngine {
                 match action {
                     Action::Compute(c) => {
                         self.report.events += 1;
-                        match self.placement.resource(ProcessId::from_index(p)) {
+                        let cost = match self.placement.resource(ProcessId::from_index(p)) {
                             Resource::Software(cpu) => {
                                 let entry = self.sw_free.entry(cpu).or_insert((0, p));
                                 let mut start = self.procs[p].ready.max(entry.0);
@@ -975,6 +698,7 @@ impl MessageEngine {
                                 let finish = start + c;
                                 *entry = (finish, p);
                                 self.procs[p].ready = finish;
+                                c
                             }
                             Resource::Hardware(_) => {
                                 let speedup = self
@@ -983,14 +707,34 @@ impl MessageEngine {
                                     .as_ref()
                                     .and_then(|v| v.get(p).copied())
                                     .unwrap_or(self.config.hw_speedup);
-                                self.procs[p].ready += ((c as f64 / speedup).ceil() as u64).max(1);
+                                let cost = ((c as f64 / speedup).ceil() as u64).max(1);
+                                self.procs[p].ready += cost;
+                                cost
                             }
+                        };
+                        if self.tracer.is_on() {
+                            self.tracer.span(
+                                self.proc_tracks[p],
+                                "compute",
+                                self.procs[p].ready - cost,
+                                cost,
+                                &[],
+                            );
                         }
                         self.advance_cursor(p);
                     }
                     Action::Wait(c) => {
                         self.report.events += 1;
                         self.procs[p].ready += c;
+                        if self.tracer.is_on() {
+                            self.tracer.span(
+                                self.proc_tracks[p],
+                                "wait",
+                                self.procs[p].ready - c,
+                                c,
+                                &[],
+                            );
+                        }
                         self.advance_cursor(p);
                     }
                     Action::Send { channel, bytes } => {
@@ -1048,6 +792,24 @@ impl MessageEngine {
                     self.report.cross_boundary_bytes += bytes;
                 }
                 self.report.events += 1;
+                self.stamp_delivery(ci, bytes);
+                if self.tracer.is_on() {
+                    self.tracer.span(
+                        self.chan_tracks[ci],
+                        "rendezvous",
+                        start,
+                        done - start,
+                        &self.xfer_args(s, Some(r), bytes, local),
+                    );
+                    if let Some(track) = self.sim_track {
+                        self.tracer.counter(
+                            track,
+                            "cross_boundary_bytes",
+                            done,
+                            self.report.cross_boundary_bytes,
+                        );
+                    }
+                }
                 self.advance_cursor(s);
                 self.advance_cursor(r);
                 self.check_budget(done)
@@ -1709,5 +1471,110 @@ mod tests {
         assert!(matches!(err, SimError::Deadlock { .. }));
         let report = run_engine_with_faults(engine(3), vec![SendFault::Duplicate]).unwrap();
         assert_eq!(report.messages, 3, "two sends, three deliveries");
+    }
+
+    #[test]
+    fn per_channel_observables_are_tracked() {
+        // a -> c0(cap 2) -> b -> c1(cap 2) -> c, three iterations of 12
+        // bytes each: per-channel payloads are architected (fixed by the
+        // bodies), and c0's last delivery must precede c1's.
+        let mut net = ProcessNetwork::new("pipe");
+        let c0 = net.add_channel("c0", 2);
+        let c1 = net.add_channel("c1", 2);
+        net.add_process(
+            Process::new(
+                "a",
+                vec![
+                    Action::Compute(40),
+                    Action::Send {
+                        channel: c0,
+                        bytes: 12,
+                    },
+                ],
+            )
+            .with_iterations(3),
+        );
+        net.add_process(
+            Process::new(
+                "b",
+                vec![
+                    Action::Receive { channel: c0 },
+                    Action::Compute(20),
+                    Action::Send {
+                        channel: c1,
+                        bytes: 12,
+                    },
+                ],
+            )
+            .with_iterations(3),
+        );
+        net.add_process(
+            Process::new("c", vec![Action::Receive { channel: c1 }]).with_iterations(3),
+        );
+        let placement = Placement::from_assignment(vec![
+            Resource::Software(0),
+            Resource::Hardware(0),
+            Resource::Hardware(1),
+        ]);
+        let report = simulate(&net, &placement, &MessageConfig::default()).unwrap();
+        assert_eq!(report.per_channel_bytes, vec![36, 36]);
+        assert_eq!(report.per_channel_bytes.iter().sum::<u64>(), report.bytes);
+        assert!(
+            report.last_send_seq[0] < report.last_send_seq[1],
+            "upstream channel must complete before downstream: {:?}",
+            report.last_send_seq
+        );
+        assert_eq!(
+            *report.last_send_seq.iter().max().unwrap(),
+            report.messages,
+            "delivery stamps are dense and monotone"
+        );
+        // The incremental engine reports the identical observables.
+        let mut eng = MessageEngine::new("pipe", net, placement, MessageConfig::default()).unwrap();
+        while !eng.is_done() {
+            eng.advance_to(u64::MAX).unwrap();
+        }
+        assert_eq!(*eng.report(), report);
+    }
+
+    #[test]
+    fn one_shot_and_engine_agree_on_contended_software() {
+        // Frozen-seed regression for the scheduler unification: this
+        // network (six processes, four on one shared CPU) is the shrunken
+        // reproduction of a finish-time divergence between the old
+        // round-barrier one-shot scheduler and the time-driven engine —
+        // the one-shot handed the CPU to a later-ready process after a
+        // rendezvous. One scheduling core now serves both entry points,
+        // and their reports must agree exactly.
+        let cfg = NetworkConfig {
+            processes: 6,
+            channel_prob: 0.4,
+            compute: (10, 500),
+            bytes: (4, 64),
+            iterations: 3,
+            seed: 9_567_225_181_049_229_824,
+        };
+        let net = random_process_network(&cfg);
+        let placement = Placement::from_assignment(
+            [false, true, false, true, false, false]
+                .iter()
+                .map(|&hw| {
+                    if hw {
+                        Resource::Hardware(0)
+                    } else {
+                        Resource::Software(0)
+                    }
+                })
+                .collect(),
+        );
+        let one_shot = simulate(&net, &placement, &MessageConfig::default()).unwrap();
+        let mut eng =
+            MessageEngine::new(net.name(), net.clone(), placement, MessageConfig::default())
+                .unwrap();
+        while !eng.is_done() {
+            eng.advance_to(u64::MAX).unwrap();
+        }
+        assert_eq!(*eng.report(), one_shot);
+        assert!(one_shot.finish_time > 0);
     }
 }

@@ -24,7 +24,7 @@ cargo clippy --all-targets -- -D warnings
 echo "== bench-cosim smoke (1 iteration, gates round reduction) =="
 cargo run --release -q -p codesign-bench --bin bench-cosim -- --smoke
 
-echo "== bench-faults smoke (6 seeds, gates class accounting) =="
+echo "== bench-faults smoke (10 seeds, gates class accounting) =="
 cargo run --release -q -p codesign-bench --bin bench-faults -- --smoke
 
 # Gates report byte-identity across threads {1,2,4,8,16} and cold/warm
@@ -33,5 +33,11 @@ cargo run --release -q -p codesign-bench --bin bench-faults -- --smoke
 # pool has no cores to scale onto; the full run gates >= 1.5x).
 echo "== bench-explore smoke (pipelined scaling + persistent cache) =="
 cargo run --release -q -p codesign-bench --bin bench-explore -- --smoke
+
+# Gates the lockstep self-test, zero divergences over 40 generated
+# systems, and byte-identical reports across thread counts. The hard
+# timeout backstops a hung co-simulation inside the sweep workers.
+echo "== bench-conform smoke (40-system differential conformance) =="
+timeout --signal=KILL 300 cargo run --release -q -p codesign-bench --bin bench-conform -- --smoke
 
 echo "verify: OK"
