@@ -53,20 +53,28 @@ USAGE:
       as machine-readable JSON instead of the table.
 
   codesign explore <spec.cds> [--budget N] [--threads N] [--seed N]
-                   [--workers N] [--depth N] [--cache-file FILE]
+                   [--workers N] [--depth N] [--eval delta|full]
+                   [--cache-file FILE]
                    [--objective perf|cost|concurrency] [--deadline N]
                    [--sharing] [--json] [--out FILE] [--trace FILE]
       Explore the joint design space of the spec's task-graph view: HW/SW
       assignment x co-simulation quantum x interface abstraction level,
       scored by the partition cost model plus a bounded co-simulation.
-      Candidates come from seeded generator substreams, evaluations are
-      memoized in a sharded content-addressed cache and pipelined over a
-      persistent pool of `--threads` evaluators (`--depth` rounds deep),
-      and survivors land in a Pareto archive. `--cache-file` warm-starts
-      from (and appends new evaluations to) a persistent cache file. The
-      report is byte-identical for any `--threads`, cold or warm, at a
-      fixed seed. `--json` prints the JSON report to stdout; `--out`
-      writes it to a file.
+      Candidates come from seeded generator substreams steered by flip
+      sensitivities, already-seen points are redrawn at generation time,
+      and — under the default `--eval delta` — each candidate pays only
+      an incremental suffix rescore plus (when an archive incumbent does
+      not already dominate its bound) one quantum-invariant co-sim per
+      (assignment, level) class. `--eval full` keeps the one-sim-per-
+      point oracle. Evaluations are memoized in a sharded content-
+      addressed cache and pipelined over a persistent pool of
+      `--threads` evaluators (`--depth` rounds deep), and survivors land
+      in a Pareto archive. `--cache-file` warm-starts from (and appends
+      new evaluations to) a persistent cache file. The archive is byte-
+      identical for any `--threads` and either `--eval` mode, cold or
+      warm, at a fixed seed. `--json` prints the JSON report (plus
+      wall-clock `points_per_sec` and `host_cores`) to stdout; `--out`
+      writes the deterministic report to a file.
 
   codesign cosim <spec.cds> [--hw name1,name2] [--budget K] [--quantum N]
                  [--trace FILE]
@@ -325,12 +333,18 @@ fn cmd_explore(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         ..SpaceConfig::default()
     };
     let space = DesignSpace::new(graph.clone(), space_cfg);
+    let eval_mode = match flag_value(args, "--eval") {
+        None | Some("delta") => codesign::explore::EvalMode::Delta,
+        Some("full") => codesign::explore::EvalMode::Full,
+        Some(other) => return Err(format!("unknown --eval mode `{other}` (delta|full)").into()),
+    };
     let cfg = ExploreConfig {
         seed: parsed_flag(args, "--seed")?.unwrap_or(42),
         budget: parsed_flag(args, "--budget")?.unwrap_or(256),
         threads: parsed_flag::<usize>(args, "--threads")?.unwrap_or(1).max(1),
         workers: parsed_flag::<usize>(args, "--workers")?.unwrap_or(8).max(1),
         pipeline_depth: parsed_flag::<usize>(args, "--depth")?.unwrap_or(1),
+        eval_mode,
         ..ExploreConfig::default()
     };
     let (tracer, trace_path) = trace_flag(args);
@@ -343,19 +357,28 @@ fn cmd_explore(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("cache-file: warm start with {loaded} entries");
         }
     }
+    let t0 = std::time::Instant::now();
     let outcome = explore_with_cache(&space, &cfg, cache, &tracer);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     if let Some(path) = &cache_file {
         let appended = codesign::explore::persist_session(&outcome.cache, path)
             .map_err(|e| format!("cannot persist cache file `{}`: {e}", path.display()))?;
         eprintln!("cache-file: {} new entries -> {}", appended, path.display());
     }
-    let report = outcome.report_json(&space, &cfg);
+    // `--out` writes the deterministic report (reproducible across
+    // machines); stdout `--json` adds throughput and host shape for
+    // cross-run trajectory comparisons.
     if let Some(out) = flag_value(args, "--out") {
+        let report = outcome.report_json(&space, &cfg);
         std::fs::write(out, &report).map_err(|e| format!("cannot write `{out}`: {e}"))?;
         eprintln!("report -> {out}");
     }
     if has_flag(args, "--json") {
-        print!("{report}");
+        print!(
+            "{}",
+            outcome.timed_report_json(&space, &cfg, wall_ns, host_cores)
+        );
         save_trace(&tracer, trace_path)?;
         return Ok(());
     }
@@ -375,6 +398,16 @@ fn cmd_explore(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         outcome.stats.evaluations,
         outcome.stats.warm_hits,
         outcome.stats.infeasible
+    );
+    println!(
+        "  {} mode: {} gated by the dominance filter, {} duplicate draws skipped, \
+         delta hit rate {:.0}%, {:.0} points/sec on {} cores",
+        cfg.eval_mode.as_str(),
+        outcome.stats.gated,
+        outcome.stats.dedup_skips,
+        outcome.stats.delta_hit_rate() * 100.0,
+        outcome.stats.offered as f64 * 1e9 / wall_ns.max(1) as f64,
+        host_cores
     );
     println!("\n  Pareto front ({} points):", outcome.archive.len());
     println!(

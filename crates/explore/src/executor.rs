@@ -12,18 +12,38 @@
 //!    workers — a config knob independent of `--threads` — each draw
 //!    one candidate per round from a private `StdRng` seeded
 //!    `seed ^ fnv1a("worker:w:round:r")`, mutating a snapshot of the
-//!    Pareto front or restarting from a random point. The snapshot for
-//!    round `r` is the archive after the merge of round
+//!    Pareto front or restarting from a random point. Mutations include
+//!    **sensitivity-guided flips**: the incremental partition evaluator
+//!    ranks an incumbent's tasks by the cost delta of flipping each
+//!    one, and two of the mutation arms draw from the top of that
+//!    ranking instead of uniformly. A draw that lands on an
+//!    already-seen point is redrawn (up to
+//!    [`ExploreConfig::dedup_retries`] times, counted as
+//!    `dedup_skips`), so offers stop drowning in revisits. The snapshot
+//!    for round `r` is the archive after the merge of round
 //!    `r - 1 - pipeline_depth`: lagging the snapshot by a fixed depth
 //!    is what lets generation of round `r` overlap evaluation of the
 //!    rounds still in flight without the outcome depending on timing.
 //!    Adding OS threads cannot change what gets generated.
-//! 2. **Resolve (serial, main thread, candidate order).** Each
-//!    candidate's canonical key is checked against the sharded cache
-//!    and against a hash map of keys pending in *any* in-flight round
-//!    (O(1), replacing PR 5's O(n²) in-round scan); anything unknown
-//!    joins the round's evaluation batch. Because this pass is serial,
-//!    the accounting is deterministic.
+//! 2. **Resolve (serial, main thread, candidate order).** Under
+//!    [`EvalMode::Delta`] each candidate is first scored by the
+//!    **stage-1 delta cost model** ([`crate::delta::Stage1`], a suffix
+//!    replay when the candidate is near the previous one), which pays
+//!    for a **two-stage filter**: a candidate whose *bound* — exact
+//!    hardware area and cross-boundary bytes plus a sound latency lower
+//!    bound — is already weakly dominated by a snapshot incumbent can
+//!    never enter the archive, so its co-simulation is skipped entirely
+//!    (`gated`). Survivors are keyed by **simulation class**
+//!    `(assignment, level)` rather than full point: the bounded co-sim
+//!    is quantum-invariant, so the five quanta of a point share one
+//!    simulation, composed with the per-point stage-1 numbers at merge.
+//!    The class key is checked against the sharded cache and against a
+//!    hash map of keys pending in *any* in-flight round (O(1),
+//!    replacing PR 5's O(n²) in-round scan); anything unknown joins the
+//!    round's evaluation batch. Because this pass is serial, the
+//!    accounting is deterministic. [`EvalMode::Full`] keeps the PR 6
+//!    path — one full evaluation per unique point, no gate — and is
+//!    retained as the oracle the property tests compare against.
 //! 3. **Evaluate (parallel, pipelined).** The batch is published to the
 //!    pool; threads pull indices from an atomic counter — classic work
 //!    stealing — while the main thread already generates the next
@@ -31,29 +51,65 @@
 //!    The main thread itself steals work when it has to wait.
 //! 4. **Merge (serial, main thread, fixed `(round, worker)` order).**
 //!    Rounds merge strictly in round order; within a round, scores
-//!    scatter back by candidate index and are offered to the cache,
-//!    tracer, and archive in generation order.
+//!    scatter back by candidate index, class scores are composed with
+//!    each candidate's stage-1 evaluation, and results are offered to
+//!    the cache, tracer, and archive in generation order.
 //!
 //! The result: bit-identical archives, counters, and reports at
 //! `--threads 1` and `--threads 8`, with or without the cache, and —
 //! because warm-start-dependent quantities are kept out of the report —
 //! bit-identical reports between a cold run and a run warm-started from
-//! a persistent cache file.
+//! a persistent cache file. The gate is *sound*, not heuristic: a gated
+//! candidate's true score is weakly dominated by an archive incumbent
+//! (dominance is transitive, so later evictions cannot resurrect it),
+//! hence the archive is byte-identical between `Delta` and `Full` mode
+//! as well.
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use codesign_sim::ladder::AbstractionLevel;
 use codesign_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use codesign_partition::eval::Evaluation;
 use codesign_partition::Side;
 
+use crate::delta::Stage1;
+use crate::space::sync_rounds_for;
 use crate::{
     fnv1a_str, Constraints, DesignPoint, DesignSpace, EvalCache, ParetoArchive, Score, Weights,
 };
+
+/// How candidate scores are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Stage-1 delta cost model, archive-dominance gate, and
+    /// class-keyed co-simulation (quanta share one sim). The default.
+    #[default]
+    Delta,
+    /// One full evaluation per unique point, no gate — the PR 6 path,
+    /// kept as the oracle for equivalence tests and benchmarks.
+    Full,
+}
+
+impl EvalMode {
+    /// Lowercase name used in reports and CLI flags.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvalMode::Delta => "delta",
+            EvalMode::Full => "full",
+        }
+    }
+}
+
+/// Mutation arms drawing from the sensitivity profile pick uniformly
+/// among this many top-ranked flips.
+const SENSITIVITY_TOP_K: usize = 8;
 
 /// Executor parameters. `threads` is the only knob that may legally
 /// vary between two runs expected to produce identical output.
@@ -85,6 +141,13 @@ pub struct ExploreConfig {
     /// Probability a worker restarts from a uniform random point
     /// instead of mutating the incumbent front.
     pub restart_pct: f64,
+    /// Scoring pipeline; part of the experiment definition for the
+    /// *stats*, but never for the archive (the gate is sound).
+    pub eval_mode: EvalMode,
+    /// How many times a draw that lands on an already-seen point is
+    /// redrawn before the duplicate is accepted. Zero disables
+    /// generation-time dedup.
+    pub dedup_retries: u32,
 }
 
 impl Default for ExploreConfig {
@@ -99,16 +162,18 @@ impl Default for ExploreConfig {
             levels: AbstractionLevel::ALL.to_vec(),
             use_cache: true,
             restart_pct: 0.25,
+            eval_mode: EvalMode::Delta,
+            dedup_retries: 16,
         }
     }
 }
 
 /// Deterministic accounting for one exploration run. Everything here is
-/// independent of `threads`. The first five fields are also independent
-/// of warm starts and appear in the report; `evaluations` and
-/// `warm_hits` describe what *this process* had to do, so they differ
-/// between a cold and a warm run and live outside the report (stderr
-/// and the bench JSON only).
+/// independent of `threads`. All fields except `evaluations` and
+/// `warm_hits` are also independent of warm starts and appear in the
+/// report; those two describe what *this process* had to do, so they
+/// differ between a cold and a warm run and live outside the report
+/// (stderr and the bench JSON only).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Candidates generated (equals the budget).
@@ -118,12 +183,26 @@ pub struct ExploreStats {
     /// Distinct design points resolved this run.
     pub unique_points: u64,
     /// Offers that revisited an already-resolved point
-    /// (`offered - unique_points`); the memo cache serves these.
+    /// (`offered - unique_points`); dedup redraws keep this near zero
+    /// until the space saturates.
     pub revisits: u64,
-    /// Candidates scored infeasible.
+    /// Candidates scored infeasible *at merge*. In `Delta` mode a
+    /// candidate gated before simulation is never scored, so this can
+    /// differ between modes; the archive cannot.
     pub infeasible: u64,
-    /// Points actually simulated by this process. Cold with cache:
-    /// `unique_points`. Warm: fewer. Cache disabled: `offered`.
+    /// Candidates whose bound was already dominated by a snapshot
+    /// incumbent: their co-simulation was skipped. Always zero in
+    /// `Full` mode.
+    pub gated: u64,
+    /// Draws redrawn because they landed on an already-seen point.
+    pub dedup_skips: u64,
+    /// Stage-1 scoring passes served by suffix replays (`Delta` only).
+    pub delta_hits: u64,
+    /// Stage-1 scoring passes that needed a full reset (`Delta` only).
+    pub delta_misses: u64,
+    /// Simulations this process ran: unique points in `Full` mode,
+    /// distinct non-gated simulation classes in `Delta` mode. Warm
+    /// starts lower it; `use_cache: false` raises it.
     pub evaluations: u64,
     /// First-touch resolutions served by a preloaded (persistent)
     /// cache entry. Zero on a cold run.
@@ -131,14 +210,25 @@ pub struct ExploreStats {
 }
 
 impl ExploreStats {
-    /// Revisits over offers, 0.0 when nothing was offered. This is the
-    /// fraction of the budget the memo cache absorbs on a cold run.
+    /// Revisits over offers, 0.0 when nothing was offered.
     #[must_use]
     pub fn revisit_rate(&self) -> f64 {
         if self.offered == 0 {
             0.0
         } else {
             self.revisits as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of stage-1 scoring passes served by suffix replays
+    /// instead of full resets. 0.0 in `Full` mode (no passes run).
+    #[must_use]
+    pub fn delta_hit_rate(&self) -> f64 {
+        let total = self.delta_hits + self.delta_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.delta_hits as f64 / total as f64
         }
     }
 }
@@ -153,11 +243,16 @@ pub struct ExploreOutcome {
     /// The evaluation cache as it stood at the end of the run — the
     /// caller persists its session entries to warm-start later runs.
     pub cache: EvalCache,
+    /// Wall-clock nanoseconds of every simulation this process ran,
+    /// in merge order. Thread- and load-dependent: bench percentiles
+    /// only, never part of any report.
+    pub eval_ns: Vec<u64>,
 }
 
 /// Where a resolved candidate's score will come from.
 enum Resolution {
-    /// Already cached when resolved: score known immediately.
+    /// Already known when resolved (cache hit, composed immediately in
+    /// `Delta` mode; or a stage-1 failure scored infeasible).
     Known(Score),
     /// Index into this round's evaluation batch.
     Pending(usize),
@@ -165,22 +260,30 @@ enum Resolution {
     /// cache at merge time (the owning round merges first, or earlier
     /// in this round's own scatter pass).
     Shared(u64),
+    /// Bound dominated by a snapshot incumbent: provably cannot enter
+    /// the archive, so it is never simulated or inserted.
+    Gated,
 }
 
 /// One generated candidate, post cache resolution.
 struct Candidate {
     point: DesignPoint,
+    /// The full point key — what `seen` and the archive track in both
+    /// modes (the cache tracks class keys in `Delta` mode).
     key: u64,
+    /// Stage-1 evaluation, carried by `Delta`-mode candidates whose
+    /// class score arrives at merge time and must be composed.
+    stage1: Option<Evaluation>,
     resolution: Resolution,
 }
 
 /// One round submitted to the pipeline but not yet merged.
 struct InflightRound {
     candidates: Vec<Candidate>,
-    /// Keys of `batch`'s points, in batch order.
+    /// Cache keys of `batch`'s entries, in batch order.
     pending_keys: Vec<u64>,
     /// The evaluation batch, `None` when every candidate was resolved
-    /// from the cache.
+    /// without simulation.
     batch: Option<Arc<Batch>>,
 }
 
@@ -190,6 +293,7 @@ struct InflightRound {
 /// score lands.
 struct Batch {
     points: Vec<DesignPoint>,
+    mode: EvalMode,
     next: AtomicUsize,
     done: Mutex<BatchDone>,
     complete: Condvar,
@@ -197,17 +301,20 @@ struct Batch {
 
 struct BatchDone {
     scores: Vec<Option<Score>>,
+    ns: Vec<u64>,
     finished: usize,
 }
 
 impl Batch {
-    fn new(points: Vec<DesignPoint>) -> Arc<Batch> {
+    fn new(points: Vec<DesignPoint>, mode: EvalMode) -> Arc<Batch> {
         let n = points.len();
         Arc::new(Batch {
             points,
+            mode,
             next: AtomicUsize::new(0),
             done: Mutex::new(BatchDone {
                 scores: vec![None; n],
+                ns: vec![0; n],
                 finished: 0,
             }),
             complete: Condvar::new(),
@@ -219,16 +326,25 @@ impl Batch {
         self.next.load(Ordering::Relaxed) >= self.points.len()
     }
 
-    /// Claims and evaluates indices until the batch is drained.
+    /// Claims and evaluates indices until the batch is drained. In
+    /// `Delta` mode the batch entries are simulation-class
+    /// representatives, so only the quantum-invariant co-sim runs.
     fn work(&self, space: &DesignSpace) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.points.len() {
                 return;
             }
-            let score = space.evaluate(&self.points[i]);
+            let t0 = Instant::now();
+            let p = &self.points[i];
+            let score = match self.mode {
+                EvalMode::Full => space.evaluate(p),
+                EvalMode::Delta => space.evaluate_class(&p.assignment, p.level),
+            };
+            let ns = t0.elapsed().as_nanos() as u64;
             let mut d = self.done.lock().expect("batch lock");
             d.scores[i] = Some(score);
+            d.ns[i] = ns;
             d.finished += 1;
             if d.finished == self.points.len() {
                 self.complete.notify_all();
@@ -237,18 +353,22 @@ impl Batch {
     }
 
     /// Drains remaining work on the calling thread, then blocks until
-    /// every claimed index has a score, and returns them in index
-    /// order. With no pool this *is* the (serial) evaluation.
-    fn join(&self, space: &DesignSpace) -> Vec<Score> {
+    /// every claimed index has a score, and returns scores and per-
+    /// evaluation wall times in index order. With no pool this *is*
+    /// the (serial) evaluation.
+    fn join(&self, space: &DesignSpace) -> (Vec<Score>, Vec<u64>) {
         self.work(space);
         let mut d = self.done.lock().expect("batch lock");
         while d.finished < self.points.len() {
             d = self.complete.wait(d).expect("batch lock");
         }
-        d.scores
+        let ns = d.ns.clone();
+        let scores = d
+            .scores
             .iter_mut()
             .map(|s| s.take().expect("every batch index was evaluated"))
-            .collect()
+            .collect();
+        (scores, ns)
     }
 }
 
@@ -353,9 +473,26 @@ pub fn explore_with_cache(
     })
 }
 
+/// Composes a merge-time raw score with the candidate's stage-1
+/// evaluation in `Delta` mode; `Full`-mode raw scores are already
+/// final.
+fn finalize(space: &DesignSpace, cfg: &ExploreConfig, c: &Candidate, raw: Score) -> Score {
+    match cfg.eval_mode {
+        EvalMode::Full => raw,
+        EvalMode::Delta => space.compose(
+            &raw,
+            c.stage1
+                .as_ref()
+                .expect("delta-mode pending candidates carry their stage-1 evaluation"),
+            c.point.quantum,
+        ),
+    }
+}
+
 /// The pipeline driver. All generation, resolution, and merging happens
 /// here on the calling thread; `pool` only changes *where* batch
 /// evaluations run (and `None` runs them inline at merge time).
+#[allow(clippy::too_many_lines)]
 fn run_pipeline(
     space: &DesignSpace,
     cfg: &ExploreConfig,
@@ -369,12 +506,22 @@ fn run_pipeline(
     let mut offered = 0u64;
     let mut rounds = 0u64;
     let mut infeasible = 0u64;
+    let mut gated = 0u64;
+    let mut dedup_skips = 0u64;
     let mut evaluations = 0u64;
     let mut warm_hits = 0u64;
     let mut merged = 0u64; // monotone trace timestamp
     let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen_classes: HashSet<u64> = HashSet::new();
     let mut pending: HashSet<u64> = HashSet::new();
     let mut inflight: VecDeque<InflightRound> = VecDeque::new();
+    let mut eval_ns: Vec<u64> = Vec::new();
+    // The stage-1 scorer lives on this thread for the whole run: its
+    // committed evaluator moves candidate-to-candidate by suffix
+    // replay, and its sensitivity profiles steer generation in *both*
+    // modes (the candidate stream must not depend on the mode).
+    let eval_cfg = space.eval_config();
+    let mut stage1 = Stage1::new(space.graph(), &eval_cfg);
 
     loop {
         // Merge until the pipeline has room — and drain it entirely
@@ -382,10 +529,11 @@ fn run_pipeline(
         while inflight.len() > cfg.pipeline_depth || (offered >= cfg.budget && !inflight.is_empty())
         {
             let round = inflight.pop_front().expect("inflight round");
-            let scores = match &round.batch {
+            let (scores, ns) = match &round.batch {
                 Some(batch) => batch.join(space),
-                None => Vec::new(),
+                None => (Vec::new(), Vec::new()),
             };
+            eval_ns.extend(ns);
             if cfg.use_cache {
                 for (key, score) in round.pending_keys.iter().zip(&scores) {
                     cache.insert(*key, score.clone());
@@ -393,12 +541,34 @@ fn run_pipeline(
                 }
             }
             for c in round.candidates {
-                let score = match c.resolution {
-                    Resolution::Known(s) => s,
-                    Resolution::Pending(i) => scores[i].clone(),
-                    Resolution::Shared(key) => cache
-                        .peek(key)
-                        .expect("shared key was scattered by an earlier merge"),
+                let score = match &c.resolution {
+                    Resolution::Known(s) => s.clone(),
+                    Resolution::Pending(i) => finalize(space, cfg, &c, scores[*i].clone()),
+                    Resolution::Shared(key) => finalize(
+                        space,
+                        cfg,
+                        &c,
+                        cache
+                            .peek(*key)
+                            .expect("shared key was scattered by an earlier merge"),
+                    ),
+                    Resolution::Gated => {
+                        if tracer.is_on() {
+                            tracer.span(
+                                track,
+                                "gated",
+                                merged,
+                                1,
+                                &[
+                                    ("assignment", c.point.assignment_string().as_str().into()),
+                                    ("quantum", c.point.quantum.into()),
+                                    ("level", format!("{}", c.point.level).as_str().into()),
+                                ],
+                            );
+                        }
+                        merged += 1;
+                        continue;
+                    }
                 };
                 if tracer.is_on() {
                     tracer.span(
@@ -433,8 +603,21 @@ fn run_pipeline(
 
         // Generate one round against the (depth-lagged) archive and
         // resolve it in candidate order.
-        let snapshot: Vec<DesignPoint> =
-            archive.entries().iter().map(|e| e.point.clone()).collect();
+        let entries = archive.entries();
+        let snapshot: Vec<DesignPoint> = entries.iter().map(|e| e.point.clone()).collect();
+        let snapshot_scores: Vec<Score> = entries.iter().map(|e| e.score.clone()).collect();
+        // One incumbent per round: the whole round sweeps a single
+        // Pareto entry's mutation neighborhood (the paper's §4.2
+        // "iterative refinement of a candidate" shape). Besides focus,
+        // this keeps consecutive stage-1 commits within a few flips of
+        // each other, so the suffix-restart evaluator almost never
+        // rebuilds from scratch even on 256-task graphs.
+        let round_base = if snapshot.is_empty() {
+            0
+        } else {
+            let stream = fnv1a_str(&format!("base:round:{rounds}"));
+            StdRng::seed_from_u64(cfg.seed ^ stream).gen_range(0..snapshot.len())
+        };
         let mut candidates: Vec<Candidate> = Vec::with_capacity(workers);
         let mut batch_points: Vec<DesignPoint> = Vec::new();
         let mut pending_keys: Vec<u64> = Vec::new();
@@ -444,35 +627,104 @@ fn run_pipeline(
             }
             let stream = fnv1a_str(&format!("worker:{w}:round:{rounds}"));
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ stream);
-            let point = next_candidate(space, cfg, &snapshot, &mut rng);
+            let mut point =
+                next_candidate(space, cfg, &snapshot, round_base, &mut stage1, &mut rng);
+            let mut key = space.key(&point);
+            let mut retries = 0u32;
+            while retries < cfg.dedup_retries && seen.contains(&key) {
+                point = next_candidate(space, cfg, &snapshot, round_base, &mut stage1, &mut rng);
+                key = space.key(&point);
+                retries += 1;
+                dedup_skips += 1;
+            }
             offered += 1;
-            let key = space.key(&point);
             let first = seen.insert(key);
-            let resolution = if cfg.use_cache {
-                match cache.lookup(key) {
-                    Some((score, preloaded)) => {
-                        if first && preloaded {
-                            warm_hits += 1;
+            let (resolution, stage1_eval) = match cfg.eval_mode {
+                EvalMode::Full => {
+                    let resolution = if cfg.use_cache {
+                        match cache.lookup(key) {
+                            Some((score, preloaded)) => {
+                                if first && preloaded {
+                                    warm_hits += 1;
+                                }
+                                Resolution::Known(score)
+                            }
+                            None if pending.contains(&key) => Resolution::Shared(key),
+                            None => {
+                                pending.insert(key);
+                                pending_keys.push(key);
+                                batch_points.push(point.clone());
+                                evaluations += 1;
+                                Resolution::Pending(batch_points.len() - 1)
+                            }
                         }
-                        Resolution::Known(score)
-                    }
-                    None if pending.contains(&key) => Resolution::Shared(key),
-                    None => {
-                        pending.insert(key);
-                        pending_keys.push(key);
+                    } else {
                         batch_points.push(point.clone());
                         evaluations += 1;
                         Resolution::Pending(batch_points.len() - 1)
-                    }
+                    };
+                    (resolution, None)
                 }
-            } else {
-                batch_points.push(point.clone());
-                evaluations += 1;
-                Resolution::Pending(batch_points.len() - 1)
+                EvalMode::Delta => match stage1.evaluate(&point.assignment) {
+                    // The cost model rejected the assignment outright
+                    // (unschedulable graph): same verdict a full
+                    // evaluation would reach, without simulating.
+                    None => (Resolution::Known(Score::infeasible()), None),
+                    Some(pe) => {
+                        // Two-stage filter. The bound is componentwise
+                        // ≤ the candidate's true score (exact area and
+                        // cross-bytes, sound latency lower bound), so
+                        // a snapshot incumbent at or below the bound
+                        // weakly dominates the true score and the
+                        // archive would reject the insert.
+                        let lb = space.latency_lower_bound(&point.assignment, point.level);
+                        let cross = space.exact_cross_bytes(&point.assignment);
+                        let rounds_lb = sync_rounds_for(lb, point.quantum);
+                        let dominated = snapshot_scores.iter().any(|s| {
+                            s.latency <= lb
+                                && s.hw_area <= pe.hw_area
+                                && s.cross_bytes <= cross
+                                && s.sync_rounds <= rounds_lb
+                        });
+                        if dominated {
+                            gated += 1;
+                            (Resolution::Gated, None)
+                        } else {
+                            let ck = space.class_key(&point.assignment, point.level);
+                            let first_class = seen_classes.insert(ck);
+                            if cfg.use_cache {
+                                match cache.lookup(ck) {
+                                    Some((class, preloaded)) => {
+                                        if first_class && preloaded {
+                                            warm_hits += 1;
+                                        }
+                                        let score = space.compose(&class, &pe, point.quantum);
+                                        (Resolution::Known(score), None)
+                                    }
+                                    None if pending.contains(&ck) => {
+                                        (Resolution::Shared(ck), Some(pe))
+                                    }
+                                    None => {
+                                        pending.insert(ck);
+                                        pending_keys.push(ck);
+                                        batch_points.push(point.clone());
+                                        evaluations += 1;
+                                        (Resolution::Pending(batch_points.len() - 1), Some(pe))
+                                    }
+                                }
+                            } else {
+                                batch_points.push(point.clone());
+                                evaluations += 1;
+                                (Resolution::Pending(batch_points.len() - 1), Some(pe))
+                            }
+                        }
+                    }
+                },
             };
             candidates.push(Candidate {
                 point,
                 key,
+                stage1: stage1_eval,
                 resolution,
             });
         }
@@ -480,7 +732,7 @@ fn run_pipeline(
         let batch = if batch_points.is_empty() {
             None
         } else {
-            Some(Batch::new(batch_points))
+            Some(Batch::new(batch_points, cfg.eval_mode))
         };
         if let (Some(pool), Some(batch)) = (pool, &batch) {
             pool.submit(Arc::clone(batch));
@@ -499,6 +751,10 @@ fn run_pipeline(
         unique_points,
         revisits: offered - unique_points,
         infeasible,
+        gated,
+        dedup_skips,
+        delta_hits: stage1.delta_hits,
+        delta_misses: stage1.delta_misses,
         evaluations,
         warm_hits,
     };
@@ -506,19 +762,24 @@ fn run_pipeline(
         archive,
         stats,
         cache,
+        eval_ns,
     }
 }
 
-/// Draws one candidate: a uniform restart, or a mutation of a random
-/// front member — flip one task, flip two, re-draw the quantum, re-draw
+/// Draws one candidate: a uniform restart, or a mutation of the round's
+/// base incumbent — flip one task, flip two, re-draw the quantum, re-draw
 /// the abstraction level, draw from the full single-flip × quanta ×
-/// levels cross-product neighborhood, or a scaling multi-flip whose
-/// width grows with the task count (the move that lets 256-task spaces
-/// escape local basins).
+/// levels cross-product neighborhood, a scaling multi-flip whose width
+/// grows with the task count (the move that lets 256-task spaces escape
+/// local basins), or one of two **sensitivity-guided** moves that flip
+/// a task from the top of the incumbent's flip-delta ranking (the
+/// highest-gradient refinement of the paper's §4.2 survey).
 fn next_candidate(
     space: &DesignSpace,
     cfg: &ExploreConfig,
     snapshot: &[DesignPoint],
+    round_base: usize,
+    stage1: &mut Stage1,
     rng: &mut StdRng,
 ) -> DesignPoint {
     let restart = snapshot.is_empty() || rng.gen_bool(cfg.restart_pct.clamp(0.0, 1.0));
@@ -537,8 +798,8 @@ fn next_candidate(
             level: cfg.levels[rng.gen_range(0..cfg.levels.len())],
         };
     }
-    let mut point = snapshot[rng.gen_range(0..snapshot.len())].clone();
-    match rng.gen_range(0u8..6) {
+    let mut point = snapshot[round_base.min(snapshot.len() - 1)].clone();
+    match rng.gen_range(0u8..8) {
         0 => flip_random(&mut point.assignment, rng),
         1 => {
             flip_random(&mut point.assignment, rng);
@@ -556,13 +817,40 @@ fn next_candidate(
                 point = space.cross_neighbor(&point, index, &cfg.quanta, &cfg.levels);
             }
         }
-        _ => {
+        5 => {
             // Multi-flip: ~n/16 tasks at once, at least two.
             let n = point.assignment.len();
             let flips = rng.gen_range(2..=(n / 16).max(2));
             for _ in 0..flips {
                 flip_random(&mut point.assignment, rng);
             }
+        }
+        6 => {
+            // Sensitivity-guided flip: one task drawn uniformly from
+            // the top of the incumbent's flip-delta ranking.
+            let pick = stage1.profile(&point.assignment).and_then(|p| {
+                if p.is_empty() {
+                    None
+                } else {
+                    Some(p[rng.gen_range(0..p.len().min(SENSITIVITY_TOP_K))])
+                }
+            });
+            match pick {
+                Some(t) => point.assignment[t] = point.assignment[t].flipped(),
+                None => flip_random(&mut point.assignment, rng),
+            }
+        }
+        _ => {
+            // Steepest descent plus a quantum re-draw: take the single
+            // most improving flip and move along the sync axis too.
+            let top = stage1
+                .profile(&point.assignment)
+                .and_then(|p| p.first().copied());
+            match top {
+                Some(t) => point.assignment[t] = point.assignment[t].flipped(),
+                None => flip_random(&mut point.assignment, rng),
+            }
+            point.quantum = cfg.quanta[rng.gen_range(0..cfg.quanta.len())];
         }
     }
     point
@@ -585,6 +873,44 @@ impl ExploreOutcome {
     /// here.
     #[must_use]
     pub fn report_json(&self, space: &DesignSpace, cfg: &ExploreConfig) -> String {
+        self.report_json_with(space, cfg, &[])
+    }
+
+    /// The run report plus wall-clock context — throughput and host
+    /// shape — for CLI output where trajectories are compared across
+    /// runs and machines. Unlike [`report_json`](Self::report_json)
+    /// this is *not* reproducible byte-for-byte: it exists for parity
+    /// with the bench JSON.
+    #[must_use]
+    pub fn timed_report_json(
+        &self,
+        space: &DesignSpace,
+        cfg: &ExploreConfig,
+        wall_ns: u64,
+        host_cores: usize,
+    ) -> String {
+        let pps = if wall_ns == 0 {
+            0.0
+        } else {
+            self.stats.offered as f64 * 1e9 / wall_ns as f64
+        };
+        self.report_json_with(
+            space,
+            cfg,
+            &[
+                ("wall_ns", format!("{wall_ns}")),
+                ("points_per_sec", format!("{pps:.1}")),
+                ("host_cores", format!("{host_cores}")),
+            ],
+        )
+    }
+
+    fn report_json_with(
+        &self,
+        space: &DesignSpace,
+        cfg: &ExploreConfig,
+        extra: &[(&str, String)],
+    ) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"report\": \"explore\",\n");
         out.push_str(&format!("  \"spec\": \"{}\",\n", space.graph().name()));
@@ -594,6 +920,13 @@ impl ExploreOutcome {
         out.push_str(&format!("  \"workers\": {},\n", cfg.workers));
         out.push_str(&format!("  \"pipeline_depth\": {},\n", cfg.pipeline_depth));
         out.push_str(&format!("  \"cache\": {},\n", cfg.use_cache));
+        out.push_str(&format!(
+            "  \"eval_mode\": \"{}\",\n",
+            cfg.eval_mode.as_str()
+        ));
+        for (name, value) in extra {
+            out.push_str(&format!("  \"{name}\": {value},\n"));
+        }
         out.push_str("  \"stats\": {\n");
         out.push_str(&format!("    \"offered\": {},\n", self.stats.offered));
         out.push_str(&format!("    \"rounds\": {},\n", self.stats.rounds));
@@ -607,6 +940,15 @@ impl ExploreOutcome {
             self.stats.revisit_rate()
         ));
         out.push_str(&format!("    \"infeasible\": {},\n", self.stats.infeasible));
+        out.push_str(&format!("    \"gated\": {},\n", self.stats.gated));
+        out.push_str(&format!(
+            "    \"dedup_skips\": {},\n",
+            self.stats.dedup_skips
+        ));
+        out.push_str(&format!(
+            "    \"delta_hit_rate\": {:.4},\n",
+            self.stats.delta_hit_rate()
+        ));
         out.push_str(&format!("    \"front_size\": {}\n", self.archive.len()));
         out.push_str("  },\n");
         out.push_str("  \"front\": [\n");
@@ -716,6 +1058,43 @@ mod tests {
     }
 
     #[test]
+    fn delta_and_full_modes_agree_on_the_archive() {
+        let space = space();
+        for budget in [48u64, 200] {
+            let delta = explore(
+                &space,
+                &ExploreConfig {
+                    budget,
+                    eval_mode: EvalMode::Delta,
+                    ..small_cfg(1)
+                },
+                &Tracer::off(),
+            );
+            let full = explore(
+                &space,
+                &ExploreConfig {
+                    budget,
+                    eval_mode: EvalMode::Full,
+                    ..small_cfg(1)
+                },
+                &Tracer::off(),
+            );
+            assert_eq!(
+                delta.archive.entries(),
+                full.archive.entries(),
+                "budget {budget}: the gate is sound, the archive cannot differ"
+            );
+            assert_eq!(delta.stats.offered, full.stats.offered);
+            assert_eq!(delta.stats.unique_points, full.stats.unique_points);
+            assert_eq!(full.stats.gated, 0, "full mode never gates");
+            assert!(
+                delta.stats.evaluations <= full.stats.evaluations,
+                "class keying and the gate can only reduce simulations"
+            );
+        }
+    }
+
+    #[test]
     fn cache_disabled_reaches_the_same_front() {
         let space = space();
         let with = explore(&space, &small_cfg(2), &Tracer::off());
@@ -735,12 +1114,37 @@ mod tests {
         assert_eq!(with.stats.offered, without.stats.offered);
         assert_eq!(with.stats.unique_points, without.stats.unique_points);
         assert_eq!(with.stats.revisits, without.stats.revisits);
-        assert_eq!(without.stats.evaluations, without.stats.offered);
-        assert_eq!(with.stats.evaluations, with.stats.unique_points);
+        assert_eq!(with.stats.gated, without.stats.gated, "gate ignores cache");
+        // Without the cache, every non-gated offer is simulated; with
+        // it, at most one simulation per distinct class.
+        assert_eq!(
+            without.stats.evaluations + without.stats.gated,
+            without.stats.offered
+        );
+        assert!(with.stats.evaluations <= with.stats.unique_points);
     }
 
     #[test]
-    fn budget_is_exact_and_revisits_are_absorbed() {
+    fn full_mode_keeps_point_exact_accounting() {
+        let space = space();
+        let cfg = ExploreConfig {
+            budget: 200,
+            eval_mode: EvalMode::Full,
+            ..small_cfg(2)
+        };
+        let out = explore(&space, &cfg, &Tracer::off());
+        assert_eq!(out.stats.offered, 200);
+        assert_eq!(
+            out.stats.evaluations, out.stats.unique_points,
+            "full mode with the cache simulates exactly the unique points"
+        );
+        assert_eq!(out.cache.len() as u64, out.stats.unique_points);
+        assert_eq!(out.stats.gated, 0);
+        assert_eq!(out.stats.delta_hits + out.stats.delta_misses, 0);
+    }
+
+    #[test]
+    fn budget_is_exact_and_dedup_redraws_duplicates() {
         let space = space();
         let cfg = ExploreConfig {
             budget: 200,
@@ -749,21 +1153,24 @@ mod tests {
         let out = explore(&space, &cfg, &Tracer::off());
         assert_eq!(out.stats.offered, 200);
         assert!(
-            out.stats.revisits > 0,
-            "a 200-offer run over this small space must revisit points"
+            out.stats.dedup_skips > 0,
+            "a 200-offer run over this small space must redraw duplicates"
         );
-        assert_eq!(
-            out.stats.evaluations, out.stats.unique_points,
-            "with the cache on, only unique points are simulated"
+        assert!(
+            out.stats.revisit_rate() < 0.5,
+            "dedup must keep the revisit rate far below the old 0.98"
         );
         assert_eq!(out.stats.warm_hits, 0, "no preload, no warm hits");
         assert!(!out.archive.is_empty());
-        assert!(out.stats.revisit_rate() > 0.0);
         assert_eq!(
             out.cache.len() as u64,
-            out.stats.unique_points,
-            "the returned cache holds exactly the resolved points"
+            out.stats.evaluations,
+            "the returned cache holds exactly the simulated classes"
         );
+        let report = out.report_json(&space, &cfg);
+        assert!(report.contains("\"dedup_skips\""), "report records dedup");
+        assert!(report.contains("\"delta_hit_rate\""));
+        assert!(report.contains("\"gated\""));
     }
 
     #[test]
@@ -802,8 +1209,26 @@ mod tests {
             "a warm start must not change the report"
         );
         assert_eq!(warm.stats.evaluations, 0, "everything was preloaded");
-        assert_eq!(warm.stats.warm_hits, warm.stats.unique_points);
+        assert_eq!(
+            warm.stats.warm_hits, cold.stats.evaluations,
+            "every class simulated cold is served by the preload exactly once"
+        );
         assert_eq!(cold.stats.unique_points, warm.stats.unique_points);
+    }
+
+    #[test]
+    fn timed_report_adds_throughput_and_host_shape() {
+        let space = space();
+        let cfg = small_cfg(1);
+        let out = explore(&space, &cfg, &Tracer::off());
+        let timed = out.timed_report_json(&space, &cfg, 2_000_000_000, 4);
+        assert!(timed.contains("\"points_per_sec\": 24.0"));
+        assert!(timed.contains("\"host_cores\": 4"));
+        assert!(timed.contains("\"wall_ns\": 2000000000"));
+        assert!(
+            !out.report_json(&space, &cfg).contains("points_per_sec"),
+            "the deterministic report stays wall-clock free"
+        );
     }
 
     #[test]
@@ -812,7 +1237,8 @@ mod tests {
         let tracer = Tracer::on();
         let cfg = small_cfg(1);
         let _ = explore(&space, &cfg, &tracer);
-        // One span per candidate plus two counters per round.
+        // One span per candidate (gated or scored) plus two counters
+        // per round.
         assert!(tracer.event_count() >= cfg.budget as usize);
     }
 }

@@ -39,15 +39,19 @@
 
 pub mod archive;
 pub mod cache;
+pub mod delta;
 pub mod executor;
 pub mod persist;
 pub mod space;
 
 pub use archive::{Constraints, ParetoArchive, Weights};
 pub use cache::EvalCache;
-pub use executor::{explore, explore_with_cache, ExploreConfig, ExploreOutcome, ExploreStats};
+pub use delta::Stage1;
+pub use executor::{
+    explore, explore_with_cache, EvalMode, ExploreConfig, ExploreOutcome, ExploreStats,
+};
 pub use persist::{persist_session, preload_cache, read_cache_file, CacheFileError};
-pub use space::{DesignSpace, SpaceConfig};
+pub use space::{sync_rounds_for, DesignSpace, SpaceConfig};
 
 use codesign_partition::Side;
 use codesign_sim::ladder::AbstractionLevel;

@@ -22,12 +22,12 @@
 //! content hash.
 
 use codesign_ir::process::{Action, Process, ProcessNetwork};
-use codesign_ir::task::TaskGraph;
+use codesign_ir::task::{TaskGraph, TaskId};
 use codesign_partition::area::{HwAreaModel, NaiveArea, SharedArea};
 use codesign_partition::cost::Objective;
-use codesign_partition::eval::{evaluate as partition_eval, EvalConfig};
+use codesign_partition::eval::{evaluate as partition_eval, EvalConfig, Evaluation};
 use codesign_partition::{Partition, Side};
-use codesign_sim::engine::Coordinator;
+use codesign_sim::engine::SimEngine;
 use codesign_sim::ladder::AbstractionLevel;
 use codesign_sim::message::{CommModel, MessageConfig, MessageEngine, Placement, Resource};
 
@@ -98,6 +98,9 @@ pub struct DesignSpace {
     naive_area: NaiveArea,
     net: ProcessNetwork,
     speedups: Vec<f64>,
+    /// A topological order of the graph, for the critical-path term of
+    /// [`latency_lower_bound`](Self::latency_lower_bound).
+    topo: Vec<TaskId>,
     digest: u64,
 }
 
@@ -107,6 +110,7 @@ impl DesignSpace {
     pub fn new(graph: TaskGraph, config: SpaceConfig) -> Self {
         let shared_area = config.sharing_aware.then(|| SharedArea::from_graph(&graph));
         let (net, speedups) = net_from_graph(&graph, config.invocations);
+        let topo = topo_order(&graph);
         let digest = digest_of(&graph, &config);
         DesignSpace {
             graph,
@@ -115,6 +119,7 @@ impl DesignSpace {
             naive_area: NaiveArea,
             net,
             speedups,
+            topo,
             digest,
         }
     }
@@ -260,55 +265,235 @@ impl DesignSpace {
             .map(move |i| self.cross_neighbor(base, i, quanta, levels))
     }
 
-    /// Scores one design point: the partition cost model, then the
-    /// bounded co-simulation. Pure and deterministic; a point whose
-    /// co-simulation cannot finish within the space's budget (or whose
-    /// assignment does not cover the graph) comes back
-    /// [`Score::infeasible`].
+    /// Scores one design point: the partition cost model (stage 1) plus
+    /// the bounded co-simulation of the point's *simulation class*
+    /// (stage 2), composed by [`compose`](Self::compose). Pure and
+    /// deterministic; a point whose co-simulation cannot finish within
+    /// the space's budget (or whose assignment does not cover the
+    /// graph) comes back [`Score::infeasible`].
+    ///
+    /// This is the *full* reference evaluation the delta-scored pipeline
+    /// is property-tested byte-identical against.
     #[must_use]
     pub fn evaluate(&self, point: &DesignPoint) -> Score {
         let partition = Partition::from_sides(point.assignment.clone());
-        let eval_cfg = EvalConfig::new(self.config.objective.clone(), self.area_model());
+        let eval_cfg = self.eval_config();
         let Ok(pe) = partition_eval(&self.graph, &partition, &eval_cfg) else {
             return Score::infeasible();
         };
+        let class = self.evaluate_class(&point.assignment, point.level);
+        self.compose(&class, &pe, point.quantum)
+    }
+
+    /// The stage-1 evaluation config (objective + area model), for
+    /// callers that hold an incremental
+    /// [`Evaluator`](codesign_partition::eval::Evaluator) across many
+    /// candidate probes.
+    #[must_use]
+    pub fn eval_config(&self) -> EvalConfig<'_> {
+        EvalConfig::new(self.config.objective.clone(), self.area_model())
+    }
+
+    /// The cache key of a point's *simulation class* `(assignment,
+    /// level)`. The bounded co-simulation's observables — latency and
+    /// cross-boundary traffic — do not depend on the synchronization
+    /// quantum (the engine is horizon-subdivision independent; the
+    /// space's quantum-invariance test pins it), so all quanta of one
+    /// assignment × level share one simulation. Tagged distinctly from
+    /// [`key`](Self::key) so class records and point records never
+    /// collide in a shared cache file.
+    #[must_use]
+    pub fn class_key(&self, assignment: &[Side], level: AbstractionLevel) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.digest);
+        h.write(b"class:v1");
+        for side in assignment {
+            h.write(&[match side {
+                Side::Sw => 0u8,
+                Side::Hw => 1u8,
+            }]);
+        }
+        h.write(&[level_index(level)]);
+        h.finish()
+    }
+
+    /// Runs the bounded co-simulation of one simulation class and
+    /// returns its observables as a `Score` shell: `latency` and
+    /// `cross_bytes` are the simulated values, every stage-1 field is
+    /// zero, and `feasible` reports whether the simulation completed.
+    /// Compose with a stage-1 evaluation via [`compose`](Self::compose)
+    /// to obtain a full point score.
+    #[must_use]
+    pub fn evaluate_class(&self, assignment: &[Side], level: AbstractionLevel) -> Score {
         let sim_cfg = MessageConfig {
-            comm: comm_for(point.level),
+            comm: comm_for(level),
             hw_speedups: Some(self.speedups.clone()),
             budget: self.config.sim_budget,
             ..MessageConfig::default()
         };
-        let Ok(engine) = MessageEngine::new(
+        let Ok(mut engine) = MessageEngine::new(
             "explore",
             self.net.clone(),
-            self.placement(&point.assignment),
+            self.placement(assignment),
             sim_cfg,
         ) else {
             return Score::infeasible();
         };
-        let mut coord = Coordinator::new(point.quantum.max(1));
-        coord.add_engine(Box::new(engine));
-        let Ok(stats) = coord.run(self.config.sim_budget) else {
-            return Score::infeasible();
-        };
-        let report = coord.engines()[0]
-            .as_any()
-            .downcast_ref::<MessageEngine>()
-            .expect("the only engine is the message engine")
-            .report();
+        while !engine.is_done() {
+            if engine.advance_to(u64::MAX).is_err() {
+                return Score::infeasible();
+            }
+        }
+        let report = engine.report();
         Score {
             latency: report.finish_time,
-            // The cost model can produce -0.0 for an all-software
-            // design; adding +0.0 normalizes it so reports never print
-            // a negative zero.
-            hw_area: pe.hw_area + 0.0,
+            hw_area: 0.0,
             cross_bytes: report.cross_boundary_bytes,
-            sync_rounds: stats.sync_rounds,
-            makespan: pe.makespan,
-            cost: pe.cost,
+            sync_rounds: 0,
+            makespan: 0,
+            cost: 0.0,
             feasible: true,
         }
     }
+
+    /// Composes a simulation-class outcome with a stage-1 partition
+    /// evaluation into the score of a concrete point at `quantum`. The
+    /// synchronization-round count is the analytic
+    /// [`sync_rounds_for`] — the quantum is a synchronization knob, not
+    /// a timing knob, so rounds follow directly from latency.
+    #[must_use]
+    pub fn compose(&self, class: &Score, stage1: &Evaluation, quantum: u64) -> Score {
+        if !class.feasible {
+            return Score::infeasible();
+        }
+        Score {
+            latency: class.latency,
+            // The cost model can produce -0.0 for an all-software
+            // design; adding +0.0 normalizes it so reports never print
+            // a negative zero.
+            hw_area: stage1.hw_area + 0.0,
+            cross_bytes: class.cross_bytes,
+            sync_rounds: sync_rounds_for(class.latency, quantum),
+            makespan: stage1.makespan,
+            cost: stage1.cost,
+            feasible: true,
+        }
+    }
+
+    /// Exact cross-boundary traffic of an assignment, without
+    /// simulating: every edge whose endpoints sit on different sides
+    /// delivers its payload once per invocation (software tasks share
+    /// one CPU and hardware contexts are mutually local, so "crosses
+    /// the boundary" is exactly "sides differ"). Matches the simulated
+    /// `cross_boundary_bytes` bit-for-bit — one of the two exact legs
+    /// of the two-stage filter's bound.
+    #[must_use]
+    pub fn exact_cross_bytes(&self, assignment: &[Side]) -> u64 {
+        if assignment.len() != self.graph.len() {
+            return 0;
+        }
+        let inv = u64::from(self.config.invocations.max(1));
+        inv * self
+            .graph
+            .edges()
+            .iter()
+            .filter(|e| assignment[e.src.index()] != assignment[e.dst.index()])
+            .map(|e| e.bytes)
+            .sum::<u64>()
+    }
+
+    /// A sound lower bound on the simulated latency of `(assignment,
+    /// level)`: the maximum of
+    ///
+    /// 1. the shared-CPU busy bound (software computes serialize on one
+    ///    processor; context switches and blocking only add),
+    /// 2. the per-process bound (each process pays its compute plus all
+    ///    outgoing transfers on its own timeline, every invocation), and
+    /// 3. the single-invocation critical path with per-level transfer
+    ///    costs on cross edges.
+    ///
+    /// Never exceeds the simulated finish time, which is what makes the
+    /// two-stage filter's dominance gate sound.
+    #[must_use]
+    pub fn latency_lower_bound(&self, assignment: &[Side], level: AbstractionLevel) -> u64 {
+        let n = self.graph.len();
+        if assignment.len() != n || n == 0 {
+            return 0;
+        }
+        let comm = comm_for(level);
+        let inv = u64::from(self.config.invocations.max(1));
+        // Per-invocation compute cost as the engine prices it.
+        let cost = |i: usize| -> u64 {
+            let c = (self.graph.task(TaskId::from_index(i)).sw_cycles() / inv).max(1);
+            match assignment[i] {
+                Side::Sw => c,
+                Side::Hw => ((c as f64 / self.speedups[i]).ceil() as u64).max(1),
+            }
+        };
+        let local = |e: &codesign_ir::task::DataEdge| {
+            assignment[e.src.index()] == assignment[e.dst.index()]
+        };
+
+        let sw_busy: u64 = (0..n)
+            .filter(|&i| assignment[i] == Side::Sw)
+            .map(|i| inv * cost(i))
+            .sum();
+
+        let mut out_xfer = vec![0u64; n];
+        for e in self.graph.edges() {
+            out_xfer[e.src.index()] += comm.transfer_cycles(e.bytes, local(e));
+        }
+        let proc_bound = (0..n)
+            .map(|i| inv * (cost(i) + out_xfer[i]))
+            .max()
+            .unwrap_or(0);
+
+        let mut reach = vec![0u64; n];
+        for &t in &self.topo {
+            let i = t.index();
+            let data_ready = self
+                .graph
+                .incoming_edges(t)
+                .map(|e| reach[e.src.index()] + comm.transfer_cycles(e.bytes, local(e)))
+                .max()
+                .unwrap_or(0);
+            reach[i] = data_ready + cost(i);
+        }
+        let critical_path = reach.iter().copied().max().unwrap_or(0);
+
+        sw_busy.max(proc_bound).max(critical_path)
+    }
+}
+
+/// Synchronization rounds a conservative coordinator needs to carry a
+/// co-simulation of `latency` cycles at `quantum`: one round per
+/// started quantum, at least one. Analytic because the quantum is a
+/// synchronization knob only — it never changes the simulated timing.
+#[must_use]
+pub fn sync_rounds_for(latency: u64, quantum: u64) -> u64 {
+    latency.div_ceil(quantum.max(1)).max(1)
+}
+
+/// A topological order of the graph (Kahn's algorithm, index-ordered
+/// ready queue); any order serves the critical-path lower bound.
+fn topo_order(graph: &TaskGraph) -> Vec<TaskId> {
+    let n = graph.len();
+    let mut indegree: Vec<usize> = (0..n)
+        .map(|i| graph.in_degree(TaskId::from_index(i)))
+        .collect();
+    let mut queue: std::collections::VecDeque<TaskId> =
+        graph.ids().filter(|t| indegree[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(t) = queue.pop_front() {
+        order.push(t);
+        for s in graph.successors(t) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    order
 }
 
 /// The task graph as a message-level process network: one process per
@@ -359,6 +544,10 @@ fn net_from_graph(graph: &TaskGraph, invocations: u32) -> (ProcessNetwork, Vec<f
 /// and the co-simulation parameters.
 fn digest_of(graph: &TaskGraph, config: &SpaceConfig) -> u64 {
     let mut h = Fnv1a::new();
+    // Version tag: scoring semantics changed (analytic sync rounds,
+    // class-composed evaluation), so records persisted by older
+    // binaries must never hit.
+    h.write(b"eval:v2");
     h.write(graph.name().as_bytes());
     h.write_u64(graph.len() as u64);
     for (_, task) in graph.iter() {
@@ -546,6 +735,105 @@ mod tests {
         let space = DesignSpace::new(chain(), SpaceConfig::default());
         let base = point(vec![Side::Sw; 3]);
         let _ = space.cross_neighbor(&base, 12, &[16], &[AbstractionLevel::Message]);
+    }
+
+    #[test]
+    fn class_composition_reproduces_full_evaluation() {
+        // evaluate() == compose(evaluate_class, stage-1) by construction;
+        // pin it from the outside so refactors keep the equation.
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        for assignment in [
+            vec![Side::Sw, Side::Hw, Side::Sw],
+            vec![Side::Hw, Side::Hw, Side::Sw],
+            vec![Side::Sw; 3],
+        ] {
+            for level in [AbstractionLevel::Message, AbstractionLevel::Pin] {
+                let class = space.evaluate_class(&assignment, level);
+                let pe = partition_eval(
+                    space.graph(),
+                    &Partition::from_sides(assignment.clone()),
+                    &space.eval_config(),
+                )
+                .unwrap();
+                for quantum in [4u64, 16, 64] {
+                    let full = space.evaluate(&DesignPoint {
+                        assignment: assignment.clone(),
+                        quantum,
+                        level,
+                    });
+                    assert_eq!(full, space.compose(&class, &pe, quantum));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_cross_bytes_matches_simulation() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        for assignment in [
+            vec![Side::Sw, Side::Hw, Side::Sw],
+            vec![Side::Hw, Side::Sw, Side::Hw],
+            vec![Side::Sw; 3],
+            vec![Side::Hw; 3],
+        ] {
+            let simulated = space.evaluate_class(&assignment, AbstractionLevel::Message);
+            assert!(simulated.feasible);
+            assert_eq!(
+                space.exact_cross_bytes(&assignment),
+                simulated.cross_bytes,
+                "analytic traffic diverged for {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_lower_bound_never_exceeds_simulation() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        for bits in 0u32..8 {
+            let assignment: Vec<Side> = (0..3)
+                .map(|i| {
+                    if bits >> i & 1 == 1 {
+                        Side::Hw
+                    } else {
+                        Side::Sw
+                    }
+                })
+                .collect();
+            for level in [
+                AbstractionLevel::Message,
+                AbstractionLevel::Driver,
+                AbstractionLevel::Register,
+                AbstractionLevel::Pin,
+            ] {
+                let simulated = space.evaluate_class(&assignment, level);
+                let bound = space.latency_lower_bound(&assignment, level);
+                assert!(
+                    bound <= simulated.latency,
+                    "{assignment:?}@{level:?}: bound {bound} > simulated {}",
+                    simulated.latency
+                );
+                assert!(bound > 0, "the bound is never vacuous on a non-empty graph");
+            }
+        }
+    }
+
+    #[test]
+    fn class_keys_ignore_quantum_but_not_level_or_assignment() {
+        let space = DesignSpace::new(chain(), SpaceConfig::default());
+        let a = vec![Side::Sw, Side::Hw, Side::Sw];
+        let k = space.class_key(&a, AbstractionLevel::Message);
+        assert_eq!(k, space.class_key(&a, AbstractionLevel::Message));
+        assert_ne!(k, space.class_key(&a, AbstractionLevel::Pin));
+        let mut b = a.clone();
+        b[0] = Side::Hw;
+        assert_ne!(k, space.class_key(&b, AbstractionLevel::Message));
+        // Class keys and point keys live in disjoint families.
+        let p = DesignPoint {
+            assignment: a.clone(),
+            quantum: 16,
+            level: AbstractionLevel::Message,
+        };
+        assert_ne!(k, space.key(&p));
     }
 
     #[test]

@@ -68,7 +68,10 @@ fn warm_start_through_a_file_is_byte_identical_and_free() {
         "cold and warm reports must be byte-identical"
     );
     assert_eq!(warm.stats.evaluations, 0, "nothing left to simulate");
-    assert_eq!(warm.stats.warm_hits, warm.stats.unique_points);
+    assert_eq!(
+        warm.stats.warm_hits, cold.stats.evaluations,
+        "every class simulated cold is served by the preload exactly once"
+    );
 
     // Re-persisting the warm run appends nothing: its session is empty.
     assert_eq!(persist_session(&warm.cache, &path).expect("persist"), 0);
@@ -92,7 +95,11 @@ fn one_file_serves_many_specs_without_cross_talk() {
     preload_cache(&b_cache, &path).expect("preload");
     let b_cold = explore_with_cache(&space_b, &cfg(1), b_cache, &Tracer::off());
     assert_eq!(b_cold.stats.warm_hits, 0, "no cross-spec key collisions");
-    assert_eq!(b_cold.stats.evaluations, b_cold.stats.unique_points);
+    let b_fresh = explore(&space_b, &cfg(1), &Tracer::off());
+    assert_eq!(
+        b_cold.stats, b_fresh.stats,
+        "spec A's records are invisible: spec B runs exactly cold"
+    );
     persist_session(&b_cold.cache, &path).expect("persist b");
     let records_after_b = read_cache_file(&path).expect("readable").len();
     assert_eq!(
@@ -144,7 +151,8 @@ fn partial_warm_starts_finish_the_job() {
     assert!(warm.stats.evaluations > 0, "but not all of it");
     assert_eq!(
         warm.stats.warm_hits + warm.stats.evaluations,
-        warm.stats.unique_points
+        cold.stats.evaluations,
+        "every class the cold run simulates is either preloaded or simulated warm"
     );
 
     // Persisting the warm run tops the file up to the cold run's set.

@@ -9,8 +9,8 @@
 //!    fixed-reduction-order discipline), across random seeds and budgets.
 
 use codesign_explore::{
-    explore, explore_with_cache, DesignPoint, DesignSpace, EvalCache, ExploreConfig, ParetoArchive,
-    Score, SpaceConfig,
+    explore, explore_with_cache, DesignPoint, DesignSpace, EvalCache, EvalMode, ExploreConfig,
+    ParetoArchive, Score, SpaceConfig,
 };
 use codesign_ir::task::{Task, TaskGraph};
 use codesign_partition::Side;
@@ -109,10 +109,14 @@ proptest! {
         prop_assert_eq!(cached.stats.infeasible, uncached.stats.infeasible);
         prop_assert_eq!(cached.stats.unique_points, uncached.stats.unique_points);
         prop_assert_eq!(cached.stats.revisits, uncached.stats.revisits);
-        // Only the work differs: uncached simulates every offer, cached
-        // simulates each distinct point once.
-        prop_assert_eq!(uncached.stats.evaluations, uncached.stats.offered);
-        prop_assert_eq!(cached.stats.evaluations, cached.stats.unique_points);
+        prop_assert_eq!(cached.stats.gated, uncached.stats.gated);
+        // Only the work differs: uncached simulates every non-gated
+        // offer, cached simulates each distinct class at most once.
+        prop_assert_eq!(
+            uncached.stats.evaluations + uncached.stats.gated,
+            uncached.stats.offered
+        );
+        prop_assert!(cached.stats.evaluations <= cached.stats.unique_points);
     }
 
     /// Contract 2: after any offer sequence, no archived point dominates
@@ -249,6 +253,64 @@ proptest! {
             warm.report_json(&space, &cfg)
         );
         prop_assert_eq!(warm.stats.evaluations, 0);
-        prop_assert_eq!(warm.stats.warm_hits, warm.stats.unique_points);
+        prop_assert_eq!(warm.stats.warm_hits, cold.stats.evaluations);
+    }
+
+    /// Contract 6: the delta pipeline — stage-1 scoring, the dominance
+    /// gate, class-keyed simulation — is an *optimization*, not an
+    /// approximation. Its archive is byte-identical to the full-
+    /// evaluation oracle at every thread count, and a delta warm start
+    /// reproduces it too.
+    #[test]
+    fn delta_archive_matches_full_oracle_at_any_thread_count(
+        graph_seed in any::<u64>(),
+        explore_seed in any::<u64>(),
+    ) {
+        let space = space(graph_seed);
+        let base = ExploreConfig {
+            seed: explore_seed,
+            budget: 48,
+            workers: 4,
+            eval_mode: EvalMode::Delta,
+            ..ExploreConfig::default()
+        };
+        let full = explore(
+            &space,
+            &ExploreConfig { eval_mode: EvalMode::Full, ..base.clone() },
+            &Tracer::off(),
+        );
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let delta = explore(
+                &space,
+                &ExploreConfig { threads, ..base.clone() },
+                &Tracer::off(),
+            );
+            prop_assert_eq!(
+                delta.archive.entries(),
+                full.archive.entries(),
+                "threads={}: delta archive diverged from the full oracle",
+                threads
+            );
+            prop_assert!(delta.stats.evaluations <= full.stats.evaluations);
+            reports.push(delta.report_json(&space, &base));
+        }
+        for r in &reports[1..] {
+            prop_assert_eq!(r, &reports[0]);
+        }
+        // Cold/warm: preloading the cold run's class scores changes
+        // nothing but the work.
+        let cold = explore(&space, &base, &Tracer::off());
+        let warm_cache = EvalCache::new();
+        for (k, s) in cold.cache.session_entries() {
+            warm_cache.preload(k, s);
+        }
+        let warm = explore_with_cache(&space, &base, warm_cache, &Tracer::off());
+        prop_assert_eq!(warm.archive.entries(), full.archive.entries());
+        prop_assert_eq!(warm.stats.evaluations, 0);
+        prop_assert_eq!(
+            cold.report_json(&space, &base),
+            warm.report_json(&space, &base)
+        );
     }
 }

@@ -16,7 +16,8 @@
 //! the evaluation engine for the paper's Section 4.5.1 claim that good
 //! partitions "minimize communication … and maximize concurrency".
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use codesign_ir::process::{Action, ChannelId, ProcessId, ProcessNetwork};
 use codesign_trace::{Arg, Tracer, TrackId};
@@ -350,6 +351,17 @@ pub struct MessageEngine {
     chan_receiver: Vec<Option<usize>>,
     /// Software resources serialize: free-at time and last process.
     sw_free: std::collections::HashMap<u32, (u64, usize)>,
+    /// Lazy scheduling queue over entities (process `p` or channel
+    /// `procs.len() + ci`), keyed by candidate start time. Entries are
+    /// *hints*, revalidated against [`candidate_of`](Self::candidate_of)
+    /// on pop, so stale keys are harmless; the invariant that matters is
+    /// that every live candidate always has an entry at (or below) its
+    /// current start. Replaces an O(P + C) scan per executed step with
+    /// O(log) heap traffic — the scan survives only as the `&self`
+    /// [`next_event_hint`](SimEngine::next_event_hint) path.
+    queue: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Processes in `ProcState::Finished`, for O(1) `is_done`.
+    finished: usize,
     /// Local clock floor: the engine follows global time between events.
     floor: u64,
     report: MessageReport,
@@ -390,7 +402,7 @@ impl MessageEngine {
             });
         }
         let n = net.len();
-        let procs = (0..n)
+        let procs: Vec<Proc> = (0..n)
             .map(|i| Proc {
                 ready: 0,
                 iter: 0,
@@ -401,6 +413,18 @@ impl MessageEngine {
                     ProcState::Running
                 },
             })
+            .collect();
+        let finished = procs
+            .iter()
+            .filter(|p| p.state == ProcState::Finished)
+            .count();
+        // Every running process starts with an Act candidate at time 0;
+        // channels have no blocked parties yet, so no channel entries.
+        let queue = procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.state == ProcState::Running)
+            .map(|(i, _)| Reverse((0, i)))
             .collect();
         let chans = (0..net.channel_count())
             .map(|i| EngineChan {
@@ -437,6 +461,8 @@ impl MessageEngine {
             chans,
             chan_receiver,
             sw_free: std::collections::HashMap::new(),
+            queue,
+            finished,
             floor: 0,
             report,
             faults: None,
@@ -523,43 +549,113 @@ impl MessageEngine {
             .is_local_to(self.placement.resource(ProcessId::from_index(r)))
     }
 
+    /// The current schedulable candidate of one entity — process `ent`
+    /// for `ent < procs.len()`, channel `ent - procs.len()` otherwise —
+    /// and its start time. This is the single source of scheduling truth:
+    /// both the reference scan ([`next_step`](Self::next_step)) and the
+    /// lazy heap validate against it, so they cannot disagree.
+    fn candidate_of(&self, ent: usize) -> Option<(u64, EngineStep)> {
+        let n = self.procs.len();
+        if let Some(proc_) = self.procs.get(ent) {
+            return (proc_.state == ProcState::Running)
+                .then_some((proc_.ready, EngineStep::Act(ent)));
+        }
+        let ci = ent - n;
+        let ch = &self.chans[ci];
+        match (ch.sender, ch.receiver) {
+            (Some((s, _)), Some(r)) => Some((
+                self.procs[s].ready.max(self.procs[r].ready),
+                EngineStep::Rendezvous(ci),
+            )),
+            (Some((s, _)), None) if ch.cap > 0 && ch.queue.len() < ch.cap => {
+                Some((self.procs[s].ready, EngineStep::FreeSender(ci)))
+            }
+            (None, Some(r)) => ch.queue.front().map(|&(ready_at, _, _)| {
+                (
+                    self.procs[r].ready.max(ready_at),
+                    EngineStep::DrainReceiver(ci),
+                )
+            }),
+            _ => None,
+        }
+    }
+
     /// The earliest schedulable step and its start time, or `None` when
     /// nothing can ever happen again (all finished, or deadlocked).
+    /// A full scan — kept for the `&self` hint/diagnostic paths and as
+    /// the reference the heap scheduler is tested against; ties break to
+    /// the lowest entity (processes before channels, index order), which
+    /// is exactly the heap's `(start, entity)` key order.
     fn next_step(&self) -> Option<(u64, EngineStep)> {
         let mut best: Option<(u64, EngineStep)> = None;
-        let consider = |start: u64, step: EngineStep, best: &mut Option<(u64, EngineStep)>| {
-            if best.as_ref().is_none_or(|&(s, _)| start < s) {
-                *best = Some((start, step));
-            }
-        };
-        for (p, proc_) in self.procs.iter().enumerate() {
-            if proc_.state == ProcState::Running {
-                consider(proc_.ready, EngineStep::Act(p), &mut best);
-            }
-        }
-        for (ci, ch) in self.chans.iter().enumerate() {
-            match (ch.sender, ch.receiver) {
-                (Some((s, _)), Some(r)) => consider(
-                    self.procs[s].ready.max(self.procs[r].ready),
-                    EngineStep::Rendezvous(ci),
-                    &mut best,
-                ),
-                (Some((s, _)), None) if ch.cap > 0 && ch.queue.len() < ch.cap => {
-                    consider(self.procs[s].ready, EngineStep::FreeSender(ci), &mut best);
+        for ent in 0..self.procs.len() + self.chans.len() {
+            if let Some((start, step)) = self.candidate_of(ent) {
+                if best.as_ref().is_none_or(|&(s, _)| start < s) {
+                    best = Some((start, step));
                 }
-                (None, Some(r)) => {
-                    if let Some(&(ready_at, _, _)) = ch.queue.front() {
-                        consider(
-                            self.procs[r].ready.max(ready_at),
-                            EngineStep::DrainReceiver(ci),
-                            &mut best,
-                        );
-                    }
-                }
-                _ => {}
             }
         }
         best
+    }
+
+    /// Pushes a heap entry for `ent` if it currently has a candidate.
+    /// Called after every mutation that can create a candidate or lower
+    /// its start; duplicate or stale entries are fine (pop revalidates).
+    fn enqueue_entity(&mut self, ent: usize) {
+        if let Some((start, _)) = self.candidate_of(ent) {
+            self.queue.push(Reverse((start, ent)));
+        }
+    }
+
+    /// Pops the earliest *valid* candidate: entries whose entity no
+    /// longer has a candidate are discarded, entries whose start moved
+    /// are re-keyed at the current start. Returns `(start, entity,
+    /// step)`; `None` means no entity can ever run again.
+    fn pop_candidate(&mut self) -> Option<(u64, usize, EngineStep)> {
+        while let Some(Reverse((start, ent))) = self.queue.pop() {
+            match self.candidate_of(ent) {
+                Some((cstart, step)) if cstart == start => return Some((start, ent, step)),
+                Some((cstart, _)) => self.queue.push(Reverse((cstart, ent))),
+                None => {}
+            }
+        }
+        None
+    }
+
+    /// The deadlock diagnosis: current time and every unfinished process.
+    fn deadlock_error(&self) -> SimError {
+        let time = self.procs.iter().map(|p| p.ready).max().unwrap_or(0);
+        let blocked = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.state != ProcState::Finished)
+            .map(|(i, _)| {
+                self.net
+                    .process(ProcessId::from_index(i))
+                    .name()
+                    .to_string()
+            })
+            .collect();
+        SimError::Deadlock { time, blocked }
+    }
+
+    /// Reference scheduler: the pre-heap `advance_to` loop, one full
+    /// [`next_step`](Self::next_step) scan per executed step. Test-only —
+    /// the heap scheduler is property-tested bit-identical against it.
+    #[cfg(test)]
+    fn advance_by_scan(&mut self, t: u64) -> Result<(), SimError> {
+        while let Some((start, step)) = self.next_step() {
+            if start >= t {
+                break;
+            }
+            self.execute(step)?;
+        }
+        if !self.is_done() && self.next_step().is_none() {
+            return Err(self.deadlock_error());
+        }
+        self.floor = self.floor.max(t);
+        Ok(())
     }
 
     fn check_budget(&self, t: u64) -> Result<(), SimError> {
@@ -607,6 +703,12 @@ impl MessageEngine {
             }
         }
         self.advance_cursor(r);
+        // The pop changed the channel: a new front message (possibly
+        // *earlier*-ready than the drained one — per-sender ready times
+        // are not globally monotone) or freed buffer space for a blocked
+        // sender can both create or re-key a candidate.
+        let ent = self.procs.len() + ci;
+        self.enqueue_entity(ent);
     }
 
     /// Records one delivered message on channel `ci`: payload bytes and a
@@ -627,6 +729,9 @@ impl MessageEngine {
             proc_.idx = 0;
             proc_.iter += 1;
         }
+        // The process is runnable again at its (final for this step)
+        // ready time: give the scheduler its Act candidate.
+        self.queue.push(Reverse((self.procs[p].ready, p)));
     }
 
     /// A buffered send from `p` on channel `ci`: the sender pays the
@@ -666,6 +771,10 @@ impl MessageEngine {
             );
         }
         self.advance_cursor(p);
+        // The enqueue may have given a blocked receiver its first
+        // drainable message (new DrainReceiver candidate).
+        let ent = self.procs.len() + ci;
+        self.enqueue_entity(ent);
     }
 
     /// Executes one step. Steps came out of [`next_step`](Self::next_step),
@@ -681,6 +790,7 @@ impl MessageEngine {
                     process.actions().get(self.procs[p].idx)
                 }) else {
                     self.procs[p].state = ProcState::Finished;
+                    self.finished += 1;
                     self.report.per_process_finish[p] = self.procs[p].ready;
                     self.report.finish_time = self.report.finish_time.max(self.procs[p].ready);
                     return Ok(());
@@ -746,6 +856,11 @@ impl MessageEngine {
                         } else {
                             self.chans[ci].sender = Some((p, bytes));
                             self.procs[p].state = ProcState::BlockedSend;
+                            // A waiting receiver completes the rendezvous
+                            // candidate; on a full buffer the channel
+                            // re-keys once a drain frees space.
+                            let ent = self.procs.len() + ci;
+                            self.enqueue_entity(ent);
                             return Ok(()); // blocking costs nothing yet
                         }
                     }
@@ -754,6 +869,10 @@ impl MessageEngine {
                         if self.chans[ci].queue.is_empty() {
                             self.chans[ci].receiver = Some(p);
                             self.procs[p].state = ProcState::BlockedRecv;
+                            // A blocked sender (rendezvous channel) now
+                            // has a partner: enqueue the pairing.
+                            let ent = self.procs.len() + ci;
+                            self.enqueue_entity(ent);
                             return Ok(());
                         }
                         self.drain_into(ci, p);
@@ -839,37 +958,28 @@ impl SimEngine for MessageEngine {
     }
 
     fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
-        while let Some((start, step)) = self.next_step() {
+        while let Some((start, ent, step)) = self.pop_candidate() {
             if start >= t {
-                break;
+                // Not due inside this horizon: hand the entry back for
+                // the next call (it was validated, so the key is exact).
+                self.queue.push(Reverse((start, ent)));
+                self.floor = self.floor.max(t);
+                return Ok(());
             }
             self.execute(step)?;
         }
-        if !self.is_done() && self.next_step().is_none() {
+        if !self.is_done() {
             // The network is closed, so "nothing can ever happen again
             // with work remaining" is a true deadlock no matter how far
             // the horizon moves.
-            let time = self.procs.iter().map(|p| p.ready).max().unwrap_or(0);
-            let blocked = self
-                .procs
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.state != ProcState::Finished)
-                .map(|(i, _)| {
-                    self.net
-                        .process(ProcessId::from_index(i))
-                        .name()
-                        .to_string()
-                })
-                .collect();
-            return Err(SimError::Deadlock { time, blocked });
+            return Err(self.deadlock_error());
         }
         self.floor = self.floor.max(t);
         Ok(())
     }
 
     fn is_done(&self) -> bool {
-        self.procs.iter().all(|p| p.state == ProcState::Finished)
+        self.finished == self.procs.len()
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -1084,6 +1194,83 @@ mod tests {
             )
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(r.finish_time > 0);
+        }
+    }
+
+    #[test]
+    fn heap_scheduler_matches_reference_scan() {
+        // The lazy heap must replay the exact execution sequence of the
+        // per-step full scan — same report, same deadlock/budget
+        // verdicts — on random networks under contended (shared-CPU)
+        // placements and arbitrary horizon subdivision.
+        for seed in 0..16u64 {
+            let net = random_process_network(&NetworkConfig {
+                seed,
+                ..NetworkConfig::default()
+            });
+            // Alternate SW/HW so software serialization, context
+            // switches, and cross-boundary costs are all exercised.
+            let placement = Placement::from_assignment(
+                (0..net.len())
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            Resource::Software(0)
+                        } else {
+                            Resource::Hardware(i as u32)
+                        }
+                    })
+                    .collect(),
+            );
+            let cfg = MessageConfig::default();
+            let mk = || {
+                MessageEngine::new("heap-vs-scan", net.clone(), placement.clone(), cfg.clone())
+                    .unwrap()
+            };
+
+            let mut scan = mk();
+            let scan_result = loop {
+                match scan.advance_by_scan(u64::MAX) {
+                    Ok(()) if scan.is_done() => break Ok(()),
+                    Ok(()) => {}
+                    Err(e) => break Err(e),
+                }
+            };
+            let mut heap = mk();
+            let heap_result = loop {
+                match heap.advance_to(u64::MAX) {
+                    Ok(()) if heap.is_done() => break Ok(()),
+                    Ok(()) => {}
+                    Err(e) => break Err(e),
+                }
+            };
+            match (&scan_result, &heap_result) {
+                (Ok(()), Ok(())) => assert_eq!(
+                    scan.report(),
+                    heap.report(),
+                    "seed {seed}: heap report diverged from scan"
+                ),
+                (Err(a), Err(b)) => assert_eq!(
+                    format!("{a}"),
+                    format!("{b}"),
+                    "seed {seed}: error verdicts diverged"
+                ),
+                _ => panic!("seed {seed}: scan {scan_result:?} vs heap {heap_result:?}"),
+            }
+
+            // Subdivided horizons reach the identical state.
+            if scan_result.is_ok() {
+                let mut stepped = mk();
+                let mut horizon = 7u64;
+                while !stepped.is_done() {
+                    stepped.advance_to(horizon).unwrap();
+                    horizon = horizon.saturating_mul(3) / 2 + 1;
+                }
+                assert_eq!(
+                    stepped.report(),
+                    scan.report(),
+                    "seed {seed}: subdivided heap run diverged"
+                );
+            }
         }
     }
 

@@ -231,6 +231,20 @@ fn invalid_explore_flags_name_the_flag() {
     assert!(err.contains("cannot read"), "{err}");
 }
 
+/// Drops the wall-clock lines (`wall_ns`, `points_per_sec`) from an
+/// `explore --json` report, leaving the deterministic remainder that
+/// must be byte-identical across thread counts and warm starts.
+fn strip_timing(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| {
+            let l = l.trim_start();
+            !l.starts_with("\"wall_ns\"") && !l.starts_with("\"points_per_sec\"")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[test]
 fn explore_reports_are_identical_across_thread_counts() {
     let path = spec_file();
@@ -252,11 +266,17 @@ fn explore_reports_are_identical_across_thread_counts() {
     let solo = run("1");
     let pool = run("8");
     assert_eq!(
-        solo, pool,
+        strip_timing(&solo),
+        strip_timing(&pool),
         "same seed, different --threads: reports must be byte-identical"
     );
     assert!(solo.contains("\"front\""), "{solo}");
     assert!(solo.contains("\"revisit_rate\""), "{solo}");
+    // Wall-clock context rides along for cross-run comparability.
+    assert!(solo.contains("\"points_per_sec\""), "{solo}");
+    assert!(solo.contains("\"host_cores\""), "{solo}");
+    assert!(solo.contains("\"dedup_skips\""), "{solo}");
+    assert!(solo.contains("\"delta_hit_rate\""), "{solo}");
 }
 
 #[test]
@@ -288,7 +308,8 @@ fn explore_cache_file_warm_starts_byte_identically() {
     let (warm, warm_err, ok) = run();
     assert!(ok, "warm run failed: {warm_err}");
     assert_eq!(
-        cold, warm,
+        strip_timing(&cold),
+        strip_timing(&warm),
         "warm-started report must be byte-identical to the cold one"
     );
     assert!(
