@@ -451,9 +451,96 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, ConformError> {
     Ok(report)
 }
 
+/// Renders a sweep report as deterministic JSON — the single renderer
+/// behind both `codesign conform --json` and the job server's `conform`
+/// replies, so a served run is byte-identical to a direct CLI run.
+/// Hand-rolled (the workspace vendors no serializer for this shape);
+/// `detail` strings are escaped.
+#[must_use]
+pub fn report_json(cfg: &SweepConfig, report: &SweepReport) -> String {
+    use std::fmt::Write as _;
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"tool\": \"codesign conform\",");
+    let _ = writeln!(j, "  \"systems\": {},", report.systems);
+    let _ = writeln!(j, "  \"seed\": {},", report.seed);
+    let _ = writeln!(j, "  \"lockstep\": {},", cfg.lockstep);
+    let _ = writeln!(
+        j,
+        "  \"degenerate_systems\": {},",
+        report.degenerate_systems
+    );
+    let _ = writeln!(j, "  \"engine_diffs\": {},", report.engine_diffs);
+    let _ = writeln!(j, "  \"lockstep_runs\": {},", report.lockstep_runs);
+    let _ = writeln!(
+        j,
+        "  \"lockstep_instructions\": {},",
+        report.lockstep_instructions
+    );
+    let _ = writeln!(j, "  \"total_bytes\": {},", report.total_bytes);
+    let _ = writeln!(j, "  \"total_irqs\": {},", report.total_irqs);
+    let _ = writeln!(j, "  \"total_messages\": {},", report.total_messages);
+    j.push_str("  \"level_errors\": [\n");
+    for (i, stat) in report.level_errors.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"level\": \"{}\", \"max\": {:.6}, \"mean\": {:.6}}}{}",
+            stat.level,
+            stat.max,
+            stat.mean,
+            if i + 1 < report.level_errors.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    j.push_str("  ],\n  \"divergences\": [\n");
+    for (i, d) in report.divergences.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"seed\": {}, \"check\": \"{}\", \"detail\": \"{}\"}}{}",
+            d.seed,
+            esc(d.check),
+            esc(&d.detail),
+            if i + 1 < report.divergences.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_json_is_deterministic_and_escaped() {
+        let cfg = SweepConfig {
+            systems: 3,
+            seed: 9,
+            ..SweepConfig::default()
+        };
+        let mut report = run_sweep(&SweepConfig {
+            lockstep: false,
+            ..cfg
+        })
+        .unwrap();
+        report.divergences.push(Divergence {
+            seed: 1,
+            check: "harness-error",
+            detail: "a \"quoted\" \\ detail".into(),
+        });
+        let a = report_json(&cfg, &report);
+        assert_eq!(a, report_json(&cfg, &report));
+        assert!(a.contains("\"tool\": \"codesign conform\""));
+        assert!(a.contains("\"systems\": 3"));
+        assert!(a.contains("a \\\"quoted\\\" \\\\ detail"), "{a}");
+    }
 
     #[test]
     fn sys_config_is_reproducible_and_valid() {

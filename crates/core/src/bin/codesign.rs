@@ -9,6 +9,7 @@
 //! codesign ladder [opts]                    the Figure 3 abstraction-ladder sweep
 //! codesign faults [opts]                    deterministic fault-injection campaign
 //! codesign conform [opts]                   differential conformance sweep across the ladder
+//! codesign serve [opts]                     multi-tenant job server (stdin or TCP)
 //! ```
 //!
 //! Run `codesign help` for the options of each subcommand.
@@ -26,10 +27,9 @@ use codesign::partition::area::{NaiveArea, SharedArea};
 use codesign::partition::cost::Objective;
 use codesign::partition::eval::EvalConfig;
 use codesign::resilience::{campaign_table, run_campaign_traced, CampaignConfig};
-use codesign::sim::engine::Coordinator;
+use codesign::serve::{serve_lines, serve_tcp, RetryConfig, Server, ServerConfig};
+use codesign::servejobs::{cosim_report_json, run_cosim, CodesignRunner, CosimParams};
 use codesign::sim::ladder::{run_ladder_traced, timing_errors, LadderConfig};
-use codesign::sim::message::{simulate_traced, MessageConfig, MessageEngine, Placement};
-use codesign::synth::mthread::{comm_aware_traced, MthreadConfig};
 use codesign::synth::multiproc::{
     bin_packing, branch_and_bound, sensitivity_driven, MultiprocConfig,
 };
@@ -77,13 +77,32 @@ USAGE:
       writes the deterministic report to a file.
 
   codesign cosim <spec.cds> [--hw name1,name2] [--budget K] [--quantum N]
-                 [--trace FILE]
+                 [--json] [--trace FILE]
       Message-level co-simulation of the spec's process-network view.
       `--hw` pins processes to hardware; `--budget K` instead searches for
       the best K-process hardware set (communication/concurrency aware).
       The chosen placement is then mounted under the conservative
       coordinator (sync quantum `--quantum`, default 16) and the report
       shows its synchronization rounds, lookahead skips, and final skew.
+      `--json` emits the same report as machine-readable JSON.
+
+  codesign serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+                 [--max-attempts N] [--cache-file FILE] [--trace FILE]
+      Multi-tenant job server for the co-design loop. Speaks a
+      line-oriented JSON protocol — one flat object per line with `id`
+      and `kind` (partition|explore|cosim|faults|conform, plus the
+      transport kinds stats|wait|shutdown) and optional `priority`
+      (high|normal|low), `deadline_ms`, and `chaos` fields — over stdin
+      by default or TCP with `--addr`. Job results are byte-identical
+      to the matching CLI invocation (`result` holds the exact bytes).
+      The pool runs `--workers` panic-isolated workers over a bounded
+      priority queue (`--queue-cap`); overload sheds explicitly with
+      `overloaded` replies, transient faults retry on a seeded backoff
+      schedule (`--max-attempts`), and `shutdown` drains gracefully:
+      in-flight jobs finish, queued jobs are flushed with `draining`
+      replies, and the final reply carries the session counters.
+      `explore` jobs share one eval-cache tenant store, warm-started
+      from (and crash-safely appended to) `--cache-file`.
 
   codesign multiproc <spec.cds> --deadline N [--solver exact|bin|sens]
       Allocate processors and map the task graph (Figure 5 flows).
@@ -150,6 +169,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("ladder") => cmd_ladder(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
         Some("conform") => cmd_conform(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`; try `codesign help`").into()),
     }
 }
@@ -268,39 +288,19 @@ fn cmd_partition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(format!("unknown algorithm `{other}`").into()),
     };
     if has_flag(args, "--json") {
-        let mut out = String::from("{\n");
-        out.push_str("  \"command\": \"partition\",\n");
-        out.push_str(&format!("  \"system\": \"{}\",\n", spec.name()));
-        out.push_str(&format!(
-            "  \"algorithm\": \"{}\",\n",
-            flag_value(args, "--algorithm").unwrap_or("kl")
-        ));
-        out.push_str("  \"tasks\": [\n");
-        for (i, (id, task)) in graph.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"side\": \"{}\"}}{}\n",
-                task.name(),
-                match partition.side(id) {
-                    codesign::partition::Side::Sw => "sw",
-                    codesign::partition::Side::Hw => "hw",
-                },
-                if i + 1 < graph.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("  ],\n");
-        out.push_str(&format!("  \"makespan\": {},\n", eval.makespan));
-        match deadline {
-            Some(d) => {
-                out.push_str(&format!("  \"deadline\": {d},\n"));
-                out.push_str(&format!("  \"meets_deadline\": {},\n", eval.meets_deadline));
-            }
-            None => out.push_str("  \"deadline\": null,\n"),
-        }
-        out.push_str(&format!("  \"hw_area\": {:.4},\n", eval.hw_area));
-        out.push_str(&format!("  \"cross_bytes\": {},\n", eval.cross_bytes));
-        out.push_str(&format!("  \"cost\": {:.6}\n", eval.cost));
-        out.push_str("}\n");
-        print!("{out}");
+        // The renderer is shared with the job server so `codesign serve`
+        // results stay byte-identical to this command's output.
+        print!(
+            "{}",
+            codesign::servejobs::partition_report_json(
+                spec.name(),
+                flag_value(args, "--algorithm").unwrap_or("kl"),
+                graph,
+                &partition,
+                &eval,
+                deadline,
+            )
+        );
         return Ok(());
     }
     println!("system `{}` — partition:", spec.name());
@@ -449,88 +449,90 @@ fn cmd_cosim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .network()
         .ok_or("the spec declares no processes; `cosim` needs the process view")?;
     let (tracer, trace_path) = trace_flag(args);
-    let report;
-    let placement;
-    let hw_names: Vec<String>;
-    if let Some(budget) = parsed_flag(args, "--budget")? {
-        let cfg = MthreadConfig {
-            max_hw_processes: budget,
-            sim: MessageConfig::default(),
-        };
-        let outcome = comm_aware_traced(net, &cfg, &tracer)?;
-        hw_names = outcome
-            .hw_processes
-            .iter()
-            .map(|&i| {
-                net.process(codesign::ir::process::ProcessId::from_index(i))
-                    .name()
-                    .to_string()
-            })
-            .collect();
-        report = outcome.report;
-        placement = outcome.placement;
-    } else {
-        let hw_list: Vec<&str> = flag_value(args, "--hw")
-            .map(|v| v.split(',').collect())
-            .unwrap_or_default();
-        let mut hw_idx = Vec::new();
-        for name in &hw_list {
-            let found = net
-                .iter()
-                .find(|(_, p)| p.name() == *name)
-                .map(|(id, _)| id.index())
-                .ok_or_else(|| format!("no process named `{name}`"))?;
-            hw_idx.push(found);
-        }
-        let mut next_hw = 0u32;
-        placement = Placement::from_assignment(
-            (0..net.len())
-                .map(|i| {
-                    if hw_idx.contains(&i) {
-                        next_hw += 1;
-                        codesign::sim::message::Resource::Hardware(next_hw - 1)
-                    } else {
-                        codesign::sim::message::Resource::Software(0)
-                    }
-                })
-                .collect(),
+    // The flow (placement, message-level run, coordinator mount) is
+    // shared with the job server so served `cosim` results stay
+    // byte-identical to this command's `--json` output.
+    let params = CosimParams {
+        hw: flag_value(args, "--hw")
+            .map(|v| v.split(',').map(ToString::to_string).collect())
+            .unwrap_or_default(),
+        budget: parsed_flag(args, "--budget")?,
+        quantum: parsed_flag(args, "--quantum")?.unwrap_or(16),
+    };
+    let outcome =
+        run_cosim(net, &params, &tracer).map_err(|e| format!("{}: {}", e.code, e.message))?;
+    if has_flag(args, "--json") {
+        print!(
+            "{}",
+            cosim_report_json(spec.name(), params.quantum, &outcome)
         );
-        hw_names = hw_list.iter().map(ToString::to_string).collect();
-        report = simulate_traced(net, &placement, &MessageConfig::default(), &tracer)?;
+        save_trace(&tracer, trace_path)?;
+        return Ok(());
     }
+    let report = &outcome.report;
     println!("system `{}` — message-level co-simulation:", spec.name());
-    println!("  hardware processes : {hw_names:?}");
+    println!("  hardware processes : {:?}", outcome.hw_names);
     println!("  finish time        : {} cycles", report.finish_time);
     println!(
         "  messages           : {} ({} bytes, {} cross-boundary)",
         report.messages, report.bytes, report.cross_boundary_bytes
     );
     println!("  kernel events      : {}", report.events);
-
-    // Mount the same network under the conservative coordinator so the
-    // synchronization cost — and the lookahead win — is visible without a
-    // trace file.
-    let quantum: u64 = parsed_flag(args, "--quantum")?.unwrap_or(16);
-    let sim_cfg = MessageConfig::default();
-    let mut coord = Coordinator::new(quantum);
-    coord.add_engine(Box::new(MessageEngine::new(
-        "process-net",
-        net.clone(),
-        placement,
-        sim_cfg.clone(),
-    )?));
-    coord.set_tracer(&tracer);
-    let stats = coord.run(sim_cfg.budget)?;
-    println!("\n  coordinator (lookahead, quantum {quantum}):");
+    println!("\n  coordinator (lookahead, quantum {}):", params.quantum);
     println!(
         "  sync rounds        : {} ({} skipped by lookahead, {} cycles leapt)",
-        stats.sync_rounds, stats.rounds_skipped, stats.cycles_leapt
+        outcome.stats.sync_rounds, outcome.stats.rounds_skipped, outcome.stats.cycles_leapt
     );
     println!(
         "  global time        : {} cycles, final skew {}",
-        stats.time,
-        coord.skew()
+        outcome.stats.time, outcome.skew
     );
+    save_trace(&tracer, trace_path)?;
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (tracer, trace_path) = trace_flag(args);
+    let store = std::sync::Arc::new(codesign::explore::EvalCache::new());
+    let cache_file = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
+    if let Some(path) = &cache_file {
+        let loaded = codesign::explore::preload_cache(&store, path)
+            .map_err(|e| format!("cannot load cache file `{}`: {e}", path.display()))?;
+        if loaded > 0 {
+            eprintln!("cache-file: warm start with {loaded} entries");
+        }
+    }
+    let cfg = ServerConfig {
+        workers: parsed_flag::<usize>(args, "--workers")?.unwrap_or(4).max(1),
+        queue_capacity: parsed_flag::<usize>(args, "--queue-cap")?
+            .unwrap_or(64)
+            .max(1),
+        retry: RetryConfig {
+            max_attempts: parsed_flag::<u32>(args, "--max-attempts")?
+                .unwrap_or(3)
+                .max(1),
+            ..RetryConfig::default()
+        },
+    };
+    let runner = CodesignRunner::new(std::sync::Arc::clone(&store), tracer.clone());
+    let server = Server::new(runner, cfg, &tracer);
+    let stats = if let Some(addr) = flag_value(args, "--addr") {
+        let listener =
+            std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+        eprintln!("serving on {}", listener.local_addr()?);
+        serve_tcp(server, listener)?
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve_lines(server, stdin.lock(), stdout.lock())?
+    };
+    if let Some(path) = &cache_file {
+        // Crash-safe append: only the entries this serving session added.
+        let appended = codesign::explore::persist_session(&store, path)
+            .map_err(|e| format!("cannot persist cache file `{}`: {e}", path.display()))?;
+        eprintln!("cache-file: {} new entries -> {}", appended, path.display());
+    }
+    eprintln!("served: {}", stats.to_json());
     save_trace(&tracer, trace_path)?;
     Ok(())
 }
@@ -559,7 +561,7 @@ fn cmd_faults(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_conform(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use codesign::conform::shrink::shrink;
     use codesign::conform::sweep::{
-        conformance_fails, run_sweep, sys_config, SweepConfig, SweepReport,
+        conformance_fails, report_json, run_sweep, sys_config, SweepConfig,
     };
 
     let smoke = has_flag(args, "--smoke");
@@ -581,7 +583,7 @@ fn cmd_conform(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let report = run_sweep(&cfg)?;
 
     if has_flag(args, "--json") || flag_value(args, "--out").is_some() {
-        let json = conform_report_json(&cfg, &report);
+        let json = report_json(&cfg, &report);
         if let Some(out) = flag_value(args, "--out") {
             std::fs::write(out, &json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
             eprintln!("report -> {out}");
@@ -660,65 +662,6 @@ fn cmd_conform(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         (0..cfg.systems)
             .map(|i| sys_config(cfg.seed, i))
             .find(|c| c.seed == seed)
-    }
-
-    /// Hand-rolled JSON (the workspace vendors no serializer for this
-    /// shape); `detail` strings are escaped.
-    fn conform_report_json(cfg: &SweepConfig, report: &SweepReport) -> String {
-        use std::fmt::Write as _;
-        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-        let mut j = String::from("{\n");
-        let _ = writeln!(j, "  \"tool\": \"codesign conform\",");
-        let _ = writeln!(j, "  \"systems\": {},", report.systems);
-        let _ = writeln!(j, "  \"seed\": {},", report.seed);
-        let _ = writeln!(j, "  \"lockstep\": {},", cfg.lockstep);
-        let _ = writeln!(
-            j,
-            "  \"degenerate_systems\": {},",
-            report.degenerate_systems
-        );
-        let _ = writeln!(j, "  \"engine_diffs\": {},", report.engine_diffs);
-        let _ = writeln!(j, "  \"lockstep_runs\": {},", report.lockstep_runs);
-        let _ = writeln!(
-            j,
-            "  \"lockstep_instructions\": {},",
-            report.lockstep_instructions
-        );
-        let _ = writeln!(j, "  \"total_bytes\": {},", report.total_bytes);
-        let _ = writeln!(j, "  \"total_irqs\": {},", report.total_irqs);
-        let _ = writeln!(j, "  \"total_messages\": {},", report.total_messages);
-        j.push_str("  \"level_errors\": [\n");
-        for (i, stat) in report.level_errors.iter().enumerate() {
-            let _ = writeln!(
-                j,
-                "    {{\"level\": \"{}\", \"max\": {:.6}, \"mean\": {:.6}}}{}",
-                stat.level,
-                stat.max,
-                stat.mean,
-                if i + 1 < report.level_errors.len() {
-                    ","
-                } else {
-                    ""
-                }
-            );
-        }
-        j.push_str("  ],\n  \"divergences\": [\n");
-        for (i, d) in report.divergences.iter().enumerate() {
-            let _ = writeln!(
-                j,
-                "    {{\"seed\": {}, \"check\": \"{}\", \"detail\": \"{}\"}}{}",
-                d.seed,
-                esc(d.check),
-                esc(&d.detail),
-                if i + 1 < report.divergences.len() {
-                    ","
-                } else {
-                    ""
-                }
-            );
-        }
-        j.push_str("  ]\n}\n");
-        j
     }
 }
 

@@ -53,6 +53,7 @@
 pub mod registry;
 pub mod report;
 pub mod resilience;
+pub mod servejobs;
 pub mod taxonomy;
 
 pub use codesign_conform as conform;
@@ -63,6 +64,7 @@ pub use codesign_ir as ir;
 pub use codesign_isa as isa;
 pub use codesign_partition as partition;
 pub use codesign_rtl as rtl;
+pub use codesign_serve as serve;
 pub use codesign_sim as sim;
 pub use codesign_synth as synth;
 pub use codesign_trace as trace;

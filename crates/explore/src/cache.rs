@@ -195,6 +195,28 @@ impl EvalCache {
         out
     }
 
+    /// Every cached entry — preloaded and session alike — sorted by
+    /// key. This is the hand-off shape for a *shared* tenant store: a
+    /// job server seeds each exploration job's private cache from the
+    /// store's `entries()` and merges the job's
+    /// [`session_entries`](EvalCache::session_entries) back afterwards.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, Score)> {
+        let mut out: Vec<(u64, Score)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .iter()
+                    .map(|(k, e)| (*k, e.score.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
     /// Lookups served from the cache.
     #[must_use]
     pub fn hits(&self) -> u64 {
@@ -279,6 +301,16 @@ mod tests {
         let session = cache.session_entries();
         assert_eq!(session.len(), 1);
         assert_eq!(session[0].0, 2);
+    }
+
+    #[test]
+    fn entries_cover_both_origins_sorted() {
+        let cache = EvalCache::new();
+        cache.preload(9, score(90));
+        cache.insert(2, score(20));
+        cache.insert(5, score(50));
+        let all: Vec<u64> = cache.entries().iter().map(|(k, _)| *k).collect();
+        assert_eq!(all, vec![2, 5, 9], "sorted, preloaded included");
     }
 
     #[test]

@@ -182,27 +182,66 @@ pub fn preload_cache(cache: &EvalCache, path: &Path) -> Result<usize, CacheFileE
 /// whose keys the file already holds are skipped, so re-running the
 /// same exploration leaves the file unchanged. Returns how many
 /// records were appended.
+///
+/// The append is **crash-safe**: the new contents (original bytes plus
+/// the appended records) are written to a sibling temp file, fsynced,
+/// and atomically renamed over `path`. A process killed at any byte of
+/// the write leaves either the old file or the new one — a reader can
+/// observe a *shorter* (older) cache after a crash, never a torn or
+/// corrupt one. (Contrast with a direct `O_APPEND` write, where a
+/// mid-record kill leaves a `Truncated` file that
+/// [`preload_cache`] would reject.)
 pub fn persist_session(cache: &EvalCache, path: &Path) -> Result<usize, CacheFileError> {
-    let existing: HashSet<u64> = if path.exists() {
-        read_cache_file(path)?.into_iter().map(|(k, _)| k).collect()
+    let (existing_bytes, existing_keys) = if path.exists() {
+        // Validate before reusing: a corrupt base file is an error the
+        // caller must see, not something to silently entomb.
+        let keys: HashSet<u64> = read_cache_file(path)?.into_iter().map(|(k, _)| k).collect();
+        (std::fs::read(path)?, keys)
     } else {
-        HashSet::new()
+        (CACHE_MAGIC.to_vec(), HashSet::new())
     };
-    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-    if existing.is_empty() && file.metadata()?.len() == 0 {
-        file.write_all(&CACHE_MAGIC)?;
-    }
-    let mut buf = Vec::new();
+    let mut buf = existing_bytes;
     let mut appended = 0usize;
     for (key, score) in cache.session_entries() {
-        if !existing.contains(&key) {
+        if !existing_keys.contains(&key) {
             encode_record(key, &score, &mut buf);
             appended += 1;
         }
     }
-    file.write_all(&buf)?;
-    file.flush()?;
+    // Unique sibling name: concurrent writers (two draining servers,
+    // a server plus a CLI) never clobber each other's temp file, and a
+    // stale temp from a killed writer is never mistaken for the cache.
+    let tmp = temp_sibling(path);
+    {
+        let mut file = OpenOptions::new().create_new(true).write(true).open(&tmp)?;
+        file.write_all(&buf)?;
+        // The rename must never land before the data: fsync first.
+        file.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Make the rename itself durable (best effort: some filesystems
+    // refuse to open directories for sync).
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
     Ok(appended)
+}
+
+/// The temp-file path `persist_session` writes before renaming:
+/// `.{name}.{pid}.{counter}.tmp` next to the target, unique per call.
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map_or_else(|| "cache".into(), |s| s.to_string_lossy().into_owned());
+    path.with_file_name(format!(".{name}.{}.{n}.tmp", std::process::id()))
 }
 
 /// Reads just the header of `path`, erroring the way a full read would.
@@ -295,6 +334,46 @@ mod tests {
         assert_eq!(preload_cache(&warm, &path).unwrap(), 1);
         assert_eq!(warm.preloaded_len(), 1);
         assert!(warm.session_entries().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_write_kill_leaves_a_clean_shorter_cache() {
+        // A writer killed at any byte of `persist_session` must leave
+        // the *target* loading cleanly with its older (shorter)
+        // contents — never `Truncated`/`BadRecord`. Simulate the kill
+        // directly: the temp sibling holds an arbitrary prefix of the
+        // new contents, the rename never happened.
+        let path = temp("midkill");
+        let base = EvalCache::new();
+        base.insert(1, score(10, true));
+        base.insert(2, score(20, false));
+        assert_eq!(persist_session(&base, &path).unwrap(), 2);
+        let old_bytes = std::fs::read(&path).unwrap();
+
+        // What the completed new file would contain (old + one record).
+        let mut new_bytes = old_bytes.clone();
+        encode_record(3, &score(30, true), &mut new_bytes);
+
+        for cut in 0..=new_bytes.len() {
+            let tmp = temp_sibling(&path);
+            std::fs::write(&tmp, &new_bytes[..cut]).unwrap();
+            // The target is untouched by the "crashed" writer...
+            let warm = EvalCache::new();
+            assert_eq!(
+                preload_cache(&warm, &path).expect("old cache stays readable"),
+                2,
+                "kill at byte {cut} must not affect the target"
+            );
+            // ...and the stale temp never shadows it.
+            assert_eq!(std::fs::read(&path).unwrap(), old_bytes);
+            let _ = std::fs::remove_file(&tmp);
+        }
+
+        // A surviving writer completes normally despite past wreckage.
+        base.insert(3, score(30, true));
+        assert_eq!(persist_session(&base, &path).unwrap(), 1);
+        assert_eq!(read_cache_file(&path).unwrap().len(), 3);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -50,6 +50,36 @@ impl RunClass {
     }
 }
 
+/// Whether an error is *transient* — the class the coordinator's
+/// [`RetryPolicy`](codesign_sim::engine::RetryPolicy) retries with
+/// backoff: hardware faults model recoverable bus glitches, while
+/// software errors, deadlocks, budget exhaustion, and watchdog trips
+/// are deterministic properties of the run and would only recur.
+///
+/// The job server reuses this exact classification for *job-level*
+/// retry: a job that failed with a transient error is re-queued on a
+/// seeded backoff schedule; any other failure is final.
+#[must_use]
+pub fn retryable(err: &SimError) -> bool {
+    matches!(err, SimError::Hardware(_))
+}
+
+/// A stable, machine-readable code naming an error's class, for
+/// structured replies (`codesign serve`) and reports. One code per
+/// [`SimError`] variant.
+#[must_use]
+pub fn error_code(err: &SimError) -> &'static str {
+    match err {
+        SimError::Deadlock { .. } => "deadlock",
+        SimError::Budget { .. } => "budget",
+        SimError::BadPlacement { .. } => "bad_placement",
+        SimError::Software(_) => "software_fault",
+        SimError::Hardware(_) => "hardware_fault",
+        SimError::Watchdog { .. } => "watchdog",
+        _ => "sim_error",
+    }
+}
+
 /// Classifies one seeded run: its result (fingerprint on success),
 /// the scenario's golden fingerprint, and how many coordinator retries
 /// the run consumed.
@@ -208,6 +238,7 @@ mod tests {
                     snapshot: WatchdogSnapshot {
                         time: 0,
                         stalled_rounds: 64,
+                        last_progress_round: 0,
                         engines: Vec::new()
                     }
                 }),
@@ -216,6 +247,52 @@ mod tests {
             ),
             RunClass::Watchdog
         );
+    }
+
+    #[test]
+    fn retryable_matches_the_coordinator_retry_class() {
+        // Exactly the errors RetryPolicy retries are job-retryable.
+        assert!(retryable(&SimError::Hardware(RtlError::BusFault {
+            addr: 0xFA17
+        })));
+        for err in [
+            SimError::Deadlock {
+                time: 1,
+                blocked: vec!["p".into()],
+            },
+            SimError::Budget { limit: 10 },
+            SimError::Watchdog {
+                snapshot: WatchdogSnapshot {
+                    time: 0,
+                    stalled_rounds: 64,
+                    last_progress_round: 0,
+                    engines: Vec::new(),
+                },
+            },
+        ] {
+            assert!(!retryable(&err), "{err}");
+        }
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_distinct() {
+        let codes = [
+            error_code(&SimError::Deadlock {
+                time: 1,
+                blocked: Vec::new(),
+            }),
+            error_code(&SimError::Budget { limit: 1 }),
+            error_code(&SimError::Hardware(RtlError::BusFault { addr: 1 })),
+            error_code(&SimError::Watchdog {
+                snapshot: WatchdogSnapshot {
+                    time: 0,
+                    stalled_rounds: 0,
+                    last_progress_round: 0,
+                    engines: Vec::new(),
+                },
+            }),
+        ];
+        assert_eq!(codes, ["deadlock", "budget", "hardware_fault", "watchdog"]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod message;
 pub mod plan;
 
 pub use bus::{FaultyPhy, FaultySlave};
-pub use campaign::{classify, CampaignReport, RunClass, ScenarioReport};
+pub use campaign::{classify, error_code, retryable, CampaignReport, RunClass, ScenarioReport};
 pub use engine::FaultyEngine;
 pub use message::MessageFaultHook;
 pub use plan::{

@@ -1,0 +1,128 @@
+//! The bounded three-class priority queue with explicit load-shedding.
+//!
+//! Admission control is the server's backpressure mechanism: the queue
+//! holds at most `capacity` jobs **total** across all three classes,
+//! and a push past the bound *returns the job to the caller* — the
+//! caller must reply `overloaded`, so shedding is always explicit and
+//! observable, never a silent drop. Dequeue order is strict priority
+//! (high before normal before low) and FIFO within a class, which keeps
+//! the server's behaviour a pure function of the submission sequence.
+//!
+//! The queue itself is deliberately synchronous and lock-free to test:
+//! the server wraps it in its own mutex. Property tests drive it
+//! against a reference model (a sorted list with stable order) to pin
+//! the bound, the shed-exactly-the-excess rule, and the dequeue order.
+
+use std::collections::VecDeque;
+
+use crate::protocol::Priority;
+
+/// A bounded priority queue. `T` is the queued job payload.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    classes: [VecDeque<T>; 3],
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` jobs (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued, all classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Admits `item` at `priority`, or **returns it back** when the
+    /// queue is at capacity — the caller owns the shed decision's
+    /// visible consequence (an `overloaded` reply).
+    pub fn push(&mut self, item: T, priority: Priority) -> Result<(), T> {
+        if self.len() >= self.capacity {
+            return Err(item);
+        }
+        self.classes[priority as usize].push_back(item);
+        Ok(())
+    }
+
+    /// Removes the oldest job of the highest non-empty class.
+    pub fn pop(&mut self) -> Option<T> {
+        self.classes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Empties the queue in dequeue order — the drain path, where every
+    /// flushed job still gets its `draining` reply.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_priority_then_fifo() {
+        let mut q = BoundedQueue::new(8);
+        q.push("n1", Priority::Normal).unwrap();
+        q.push("l1", Priority::Low).unwrap();
+        q.push("h1", Priority::High).unwrap();
+        q.push("n2", Priority::Normal).unwrap();
+        q.push("h2", Priority::High).unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!["h1", "h2", "n1", "n2", "l1"]);
+    }
+
+    #[test]
+    fn bound_is_total_across_classes() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1, Priority::High).unwrap();
+        q.push(2, Priority::Low).unwrap();
+        // Full: even a high-priority push is shed, and the item comes back.
+        assert_eq!(q.push(3, Priority::High), Err(3));
+        assert_eq!(q.len(), 2);
+        q.pop().unwrap();
+        q.push(3, Priority::High).unwrap();
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(1, Priority::Normal).unwrap();
+        assert_eq!(q.push(2, Priority::Normal), Err(2));
+    }
+
+    #[test]
+    fn drain_flushes_in_dequeue_order() {
+        let mut q = BoundedQueue::new(4);
+        q.push("l", Priority::Low).unwrap();
+        q.push("h", Priority::High).unwrap();
+        q.push("n", Priority::Normal).unwrap();
+        assert_eq!(q.drain_all(), vec!["h", "n", "l"]);
+        assert!(q.is_empty());
+    }
+}

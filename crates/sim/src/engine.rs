@@ -164,6 +164,9 @@ pub struct Coordinator {
     last_min_time: Option<u64>,
     /// Consecutive rounds that minimum failed to advance.
     stalled_rounds: u64,
+    /// The round after which that minimum last advanced (watchdog
+    /// diagnostics: "when did this run last visibly progress?").
+    last_progress_round: u64,
     /// Transient-fault retry policy (off by default).
     retry: Option<RetryPolicy>,
     /// Retry bookkeeping, parallel to `engines`.
@@ -194,6 +197,7 @@ impl Coordinator {
             watchdog: Some(WatchdogConfig::default()),
             last_min_time: None,
             stalled_rounds: 0,
+            last_progress_round: 0,
             retry: None,
             retry_state: Vec::new(),
         }
@@ -496,7 +500,10 @@ impl Coordinator {
         if !backing_off {
             match self.last_min_time {
                 Some(prev) if min_time <= prev => self.stalled_rounds += 1,
-                _ => self.stalled_rounds = 0,
+                _ => {
+                    self.stalled_rounds = 0;
+                    self.last_progress_round = self.stats.sync_rounds;
+                }
             }
             self.last_min_time = Some(min_time);
         }
@@ -527,6 +534,7 @@ impl Coordinator {
         WatchdogSnapshot {
             time: self.stats.time,
             stalled_rounds: self.stalled_rounds,
+            last_progress_round: self.last_progress_round,
             engines: self
                 .engines
                 .iter()
@@ -854,16 +862,27 @@ mod tests {
         };
         assert_eq!(snapshot.engines.len(), 2);
         assert!(snapshot.stuck().contains(&"stuck"));
+        // The culprit list blames exactly the wedged engine: `healthy`
+        // kept advancing (it is a suspect only because it never
+        // finished), while `stuck` froze at t=50 and holds the minimum.
+        assert_eq!(snapshot.culprits(), vec!["stuck"]);
         assert_eq!(
             snapshot.stalled_rounds,
             WatchdogConfig::default().max_stalled_rounds
         );
+        // Progress stopped once `stuck` hit 50: with quantum 10, rounds
+        // 1..=5 advanced the minimum, so round 5 is the last progress.
+        assert_eq!(snapshot.last_progress_round, 5);
         let stuck = &snapshot.engines[1];
         assert_eq!(stuck.local_time, 50);
+        assert_eq!(stuck.hint, None, "per-engine hints are captured");
         assert!(stuck.detail.contains("bus grant"), "diagnostics captured");
-        // The error message carries the whole snapshot for humans.
+        // The error message carries the whole snapshot for humans —
+        // including *which* engine stalled, by name.
         let msg = SimError::Watchdog { snapshot }.to_string();
         assert!(msg.contains("no progress"), "{msg}");
+        assert!(msg.contains("stalled engine(s): stuck"), "{msg}");
+        assert!(msg.contains("last progress in round 5"), "{msg}");
         assert!(msg.contains("stuck@50"), "{msg}");
     }
 

@@ -32,6 +32,10 @@ pub struct WatchdogSnapshot {
     /// Consecutive rounds in which the minimum unfinished local time
     /// failed to advance (0 when a hint regression fired instead).
     pub stalled_rounds: u64,
+    /// The synchronization round after which the minimum unfinished
+    /// local time last advanced — the last round with visible progress.
+    /// 0 when no round ever made progress.
+    pub last_progress_round: u64,
     /// Every registered engine's state.
     pub engines: Vec<EngineSnapshot>,
 }
@@ -46,6 +50,30 @@ impl WatchdogSnapshot {
             .filter(|e| !e.done)
             .map(|e| e.name.as_str())
             .collect()
+    }
+
+    /// Names of the engines actually *holding the run back*: the
+    /// unfinished engines pinned at the minimum unfinished local time.
+    /// An engine that kept advancing until a peer wedged is a suspect
+    /// ([`stuck`](Self::stuck)) but not a culprit; this is the list a
+    /// server (or `codesign faults`) should blame in its report.
+    #[must_use]
+    pub fn culprits(&self) -> Vec<&str> {
+        let min_time = self
+            .engines
+            .iter()
+            .filter(|e| !e.done)
+            .map(|e| e.local_time)
+            .min();
+        match min_time {
+            Some(t) => self
+                .engines
+                .iter()
+                .filter(|e| !e.done && e.local_time == t)
+                .map(|e| e.name.as_str())
+                .collect(),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -101,8 +129,19 @@ impl fmt::Display for SimError {
             SimError::Watchdog { snapshot } => {
                 write!(
                     f,
-                    "watchdog: no progress at cycle {} after {} stalled rounds;",
-                    snapshot.time, snapshot.stalled_rounds
+                    "watchdog: no progress at cycle {} after {} stalled rounds \
+                     (last progress in round {}); stalled engine(s): {};",
+                    snapshot.time,
+                    snapshot.stalled_rounds,
+                    snapshot.last_progress_round,
+                    {
+                        let culprits = snapshot.culprits();
+                        if culprits.is_empty() {
+                            "none".to_string()
+                        } else {
+                            culprits.join(", ")
+                        }
+                    }
                 )?;
                 for e in &snapshot.engines {
                     write!(

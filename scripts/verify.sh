@@ -40,4 +40,14 @@ cargo run --release -q -p codesign-bench --bin bench-explore -- --smoke
 echo "== bench-conform smoke (40-system differential conformance) =="
 timeout --signal=KILL 300 cargo run --release -q -p codesign-bench --bin bench-conform -- --smoke
 
+# Chaos stays on even in the smoke: injected panics, wedged-engine
+# watchdog stalls, transient faults, garbage lines, and an overload
+# burst against a deliberately small queue. Gates the accounting
+# invariant (accepted == ok + failed + drained), zero lost/duplicated
+# results, and byte-identity of served replies vs the direct renderers;
+# the load-dependent gates (shed > 0, deadline_expired > 0) self-skip
+# on 1-core hosts where the pipelined clients cannot outrun the pool.
+echo "== bench-serve smoke (chaos-on multi-tenant job server) =="
+timeout --signal=KILL 300 cargo run --release -q -p codesign-bench --bin bench-serve -- --smoke
+
 echo "verify: OK"

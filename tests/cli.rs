@@ -434,3 +434,140 @@ fn shipped_sample_specs_work_end_to_end() {
         assert!(!out.is_empty(), "{file} {args:?} produced no output");
     }
 }
+
+/// Runs `codesign serve` (stdio transport) with `input` on stdin.
+fn serve_stdio(input: &str) -> (String, String, bool) {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_codesign"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("writes requests");
+    let out = child.wait_with_output().expect("serve exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Unescapes the `"result"` string of an `ok` reply line.
+fn served_result(reply: &str) -> String {
+    let start = reply.find("\"result\":\"").expect("result field") + 10;
+    let bytes = &reply.as_bytes()[start..];
+    let mut out = String::new();
+    let mut i = 0;
+    loop {
+        match bytes[i] {
+            b'"' => return out,
+            b'\\' => {
+                i += 1;
+                match bytes[i] {
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => out.push(other as char),
+                }
+            }
+            other => out.push(other as char),
+        }
+        i += 1;
+    }
+}
+
+#[test]
+fn serve_names_every_malformed_request_code() {
+    let path = spec_file();
+    let spec = path.to_str().unwrap();
+    let input = format!(
+        "this is not json\n\
+         {{\"id\":\"k\",\"kind\":\"frobnicate\"}}\n\
+         {{\"id\":\"m\",\"kind\":\"partition\"}}\n\
+         {{\"id\":\"r\",\"kind\":\"explore\",\"spec\":\"{spec}\",\"budget\":9999999}}\n\
+         {{\"id\":\"p\",\"kind\":\"partition\",\"spec\":\"/nonexistent.cds\"}}\n\
+         {{\"id\":\"q\",\"kind\":\"partition\",\"spec\":\"{spec}\",\"priority\":\"urgent\"}}\n\
+         {{\"id\":\"w\",\"kind\":\"wait\"}}\n\
+         {{\"id\":\"z\",\"kind\":\"shutdown\"}}\n"
+    );
+    let (out, err, ok) = serve_stdio(&input);
+    assert!(ok, "serve must exit cleanly: {err}");
+    // One named, machine-readable code per malformed shape — and the
+    // server survives all of them to answer the shutdown.
+    for code in [
+        "\"code\":\"bad_json\"",      // unparseable line
+        "\"code\":\"unknown_kind\"",  // no such job kind
+        "\"code\":\"missing_field\"", // partition without a spec
+        "\"code\":\"bad_field\"",     // budget out of range
+        "\"code\":\"bad_spec\"",      // unreadable spec file
+        "\"code\":\"bad_priority\"",  // priority not high|normal|low
+    ] {
+        assert!(out.contains(code), "{code} missing in: {out}");
+    }
+    assert!(
+        out.contains("\"id\":\"z\",\"status\":\"stats\""),
+        "shutdown must report final stats: {out}"
+    );
+}
+
+#[test]
+fn serve_results_are_byte_identical_to_the_cli() {
+    let path = spec_file();
+    let spec = path.to_str().unwrap();
+    let (cli_partition, err, ok) = codesign(&["partition", spec, "--json"]);
+    assert!(ok, "stderr: {err}");
+    let (cli_cosim, err, ok) = codesign(&["cosim", spec, "--json"]);
+    assert!(ok, "stderr: {err}");
+
+    let input = format!(
+        "{{\"id\":\"part\",\"kind\":\"partition\",\"spec\":\"{spec}\"}}\n\
+         {{\"id\":\"cosim\",\"kind\":\"cosim\",\"spec\":\"{spec}\"}}\n\
+         {{\"id\":\"w\",\"kind\":\"wait\"}}\n\
+         {{\"id\":\"z\",\"kind\":\"shutdown\"}}\n"
+    );
+    let (out, err, ok) = serve_stdio(&input);
+    assert!(ok, "serve must exit cleanly: {err}");
+    for (id, cli_bytes) in [("part", &cli_partition), ("cosim", &cli_cosim)] {
+        let reply = out
+            .lines()
+            .find(|l| l.starts_with(&format!("{{\"id\":\"{id}\",\"status\":\"ok\"")))
+            .unwrap_or_else(|| panic!("no ok reply for {id}: {out}"));
+        assert_eq!(
+            &served_result(reply),
+            cli_bytes,
+            "served `{id}` bytes must equal the direct CLI run"
+        );
+    }
+}
+
+#[test]
+fn serve_retries_transient_chaos_and_reports_attempts() {
+    let path = spec_file();
+    let spec = path.to_str().unwrap();
+    let input = format!(
+        "{{\"id\":\"flaky\",\"kind\":\"partition\",\"spec\":\"{spec}\",\"chaos\":\"transient:2\"}}\n\
+         {{\"id\":\"w\",\"kind\":\"wait\"}}\n\
+         {{\"id\":\"z\",\"kind\":\"shutdown\"}}\n"
+    );
+    let (out, err, ok) = serve_stdio(&input);
+    assert!(ok, "serve must exit cleanly: {err}");
+    let reply = out
+        .lines()
+        .find(|l| l.starts_with("{\"id\":\"flaky\",\"status\":\"ok\""))
+        .unwrap_or_else(|| panic!("flaky job must heal: {out}"));
+    assert!(
+        reply.contains("\"attempts\":3"),
+        "two injected faults then success = 3 attempts: {reply}"
+    );
+    assert!(
+        out.contains("\"retried\":2"),
+        "final stats must count both retries: {out}"
+    );
+}
