@@ -339,6 +339,7 @@ fn main() {
             max_delay_ms: 4,
             seed: 0x5EED,
         },
+        max_preemptions: 64,
     };
     let tracer = Tracer::off();
     let server = Server::new(

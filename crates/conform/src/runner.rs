@@ -26,6 +26,10 @@ use codesign_isa::cpu::{Cpu, MMIO_BASE};
 use codesign_rtl::bus::{
     fifo_regs, uart_regs, BusTiming, DrainFifo, Gpio, Ram, SystemBus, Timer, Uart,
 };
+// FNV-1a over registers then memory; shared with the replay subsystem,
+// whose time-travel restores must land on exactly the digests
+// conformance pins.
+use codesign_sim::fingerprint::cpu_state_digest as state_digest;
 use codesign_sim::ladder::{AbstractionLevel, DriverCosts};
 use codesign_sim::message::{simulate, MessageConfig, Placement, Resource};
 use codesign_sim::pinproto::PinPhy;
@@ -176,24 +180,6 @@ fn build_bus(spec: &SystemSpec) -> Result<SystemBus, ConformError> {
         bus.map(region.base, region.size, slave)?;
     }
     Ok(bus)
-}
-
-/// FNV-1a over the final architectural state: registers then memory.
-fn state_digest(cpu: &Cpu) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |byte: u8| {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    for r in cpu.regs() {
-        for b in r.to_le_bytes() {
-            eat(b);
-        }
-    }
-    for &b in cpu.mem() {
-        eat(b);
-    }
-    h
 }
 
 fn realize_iss(spec: &SystemSpec, pin_level: bool) -> Result<LevelRun, ConformError> {

@@ -8,8 +8,10 @@
 //! codesign multiproc <spec.cds> --deadline N   processor allocation (Fig. 5 flows)
 //! codesign ladder [opts]                    the Figure 3 abstraction-ladder sweep
 //! codesign faults [opts]                    deterministic fault-injection campaign
+//! codesign faults --bisect [opts]           bisect a faulty run's first divergent round
 //! codesign conform [opts]                   differential conformance sweep across the ladder
 //! codesign serve [opts]                     multi-tenant job server (stdin or TCP)
+//! codesign debug --gdb HOST:PORT [opts]     GDB remote stub over the CR32 co-simulation
 //! ```
 //!
 //! Run `codesign help` for the options of each subcommand.
@@ -19,6 +21,7 @@ use std::process::ExitCode;
 use codesign::explore::{
     explore_with_cache, Constraints, DesignSpace, ExploreConfig, SpaceConfig, Weights,
 };
+use codesign::fault::FaultPlan;
 use codesign::ir::spec::SystemSpec;
 use codesign::partition::algorithms::{
     gclp, hw_first, kernighan_lin, portfolio, simulated_annealing, sw_first, AnnealingSchedule,
@@ -26,7 +29,10 @@ use codesign::partition::algorithms::{
 use codesign::partition::area::{NaiveArea, SharedArea};
 use codesign::partition::cost::Objective;
 use codesign::partition::eval::EvalConfig;
-use codesign::resilience::{campaign_table, run_campaign_traced, CampaignConfig};
+use codesign::replay::{bisect_divergence, serve as gdb_serve, DebugSession};
+use codesign::resilience::{
+    build_scenario, campaign_table, run_campaign_traced, CampaignConfig, RUN_BUDGET, SCENARIOS,
+};
 use codesign::serve::{serve_lines, serve_tcp, RetryConfig, Server, ServerConfig};
 use codesign::servejobs::{cosim_report_json, run_cosim, CodesignRunner, CosimParams};
 use codesign::sim::ladder::{run_ladder_traced, timing_errors, LadderConfig};
@@ -120,6 +126,32 @@ USAGE:
       (default BENCH_faults.json). Identical seeds reproduce identical
       campaigns.
 
+  codesign faults --bisect [--scenario NAME] [--seed N] [--cadence N]
+                  [--max-rounds N]
+      Time-travel divergence bisection: build one campaign scenario
+      twice with the same seed — once quiet, once with the standard
+      fault plan armed — run both in lockstep under checkpoint
+      recording (every --cadence rounds, default 8), and binary-search
+      the checkpoint histories for the exact first round the faulty
+      run's state departs the golden run's, in O(log checkpoints +
+      cadence) state probes instead of a linear scan. Reports the
+      divergent round, probe counts, and each run's final fingerprint
+      or terminal error (detected fault, budget, watchdog).
+
+  codesign debug --gdb HOST:PORT [--pin] [--iterations N] [--quantum N]
+                 [--cadence N] [--max-rounds N]
+      GDB remote stub over the abstraction-ladder co-simulation: the
+      CR32 producer driving the real FIFO bus (gate-level pin protocol
+      with --pin) under the lockstep coordinator, with checkpoints
+      recorded every --cadence rounds (default 8). Serves one GDB
+      Remote Serial Protocol session: software breakpoints (Z0) on
+      instruction indices, write watchpoints (Z2) on bus/memory
+      addresses, single-step, continue — and reverse-step /
+      reverse-continue, implemented as nearest-checkpoint restore plus
+      deterministic forward replay. Connect with
+      `gdb -ex 'target remote HOST:PORT'` or any RSP client; the
+      session ends on detach (D) or kill (k).
+
   codesign conform [--systems N] [--seed N] [--threads N] [--smoke]
                    [--no-lockstep] [--json] [--out FILE]
       Differential conformance across the Figure 3 ladder: generate N
@@ -170,6 +202,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("faults") => cmd_faults(&args[1..]),
         Some("conform") => cmd_conform(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("debug") => cmd_debug(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`; try `codesign help`").into()),
     }
 }
@@ -513,6 +546,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .max(1),
             ..RetryConfig::default()
         },
+        ..ServerConfig::default()
     };
     let runner = CodesignRunner::new(std::sync::Arc::clone(&store), tracer.clone());
     let server = Server::new(runner, cfg, &tracer);
@@ -538,6 +572,9 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_faults(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if has_flag(args, "--bisect") {
+        return cmd_faults_bisect(args);
+    }
     let config = CampaignConfig {
         seeds: parsed_flag(args, "--seeds")?.unwrap_or(32),
         seed_base: parsed_flag(args, "--seed-base")?.unwrap_or(0xC0DE),
@@ -555,6 +592,117 @@ fn cmd_faults(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write `{out}`: {e}"))?;
     println!("\nreport -> {out}");
     save_trace(&tracer, trace_path)?;
+    Ok(())
+}
+
+/// `codesign faults --bisect`: golden-vs-armed divergence bisection of
+/// one campaign scenario via the replay checkpoint store.
+fn cmd_faults_bisect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = flag_value(args, "--scenario").unwrap_or("ladder_register");
+    if !SCENARIOS.contains(&scenario) {
+        return Err(
+            format!("unknown scenario `{scenario}` (expected one of {SCENARIOS:?})").into(),
+        );
+    }
+    let seed = parsed_flag(args, "--seed")?.unwrap_or(0xC0DE);
+    let cadence = parsed_flag::<u64>(args, "--cadence")?.unwrap_or(8).max(1);
+    let max_rounds = parsed_flag(args, "--max-rounds")?.unwrap_or(200_000);
+
+    let factory = |plan: FaultPlan| {
+        move || {
+            let (coord, injector) =
+                build_scenario(scenario, &plan, seed, true).expect("scenario validated above");
+            Ok((coord, Some(injector)))
+        }
+    };
+    let report = bisect_divergence(
+        factory(FaultPlan::quiet()),
+        factory(FaultPlan::standard()),
+        cadence,
+        max_rounds,
+        RUN_BUDGET,
+    )?;
+
+    println!("divergence bisection — scenario {scenario}, seed {seed:#x}, cadence {cadence}:\n");
+    match report.first_divergent_round {
+        Some(round) => println!(
+            "  first divergent round : {round} (of {} shared rounds)",
+            report.rounds
+        ),
+        None => println!(
+            "  first divergent round : none within {} shared rounds (fault masked)",
+            report.rounds
+        ),
+    }
+    println!("  bisection probes      : {}", report.probes);
+    println!("  linear-scan probes    : {}", report.linear_probes);
+    println!("  checkpoints on grid   : {}", report.checkpoints);
+    if let Some(e) = &report.golden_error {
+        println!("  golden run ended with : {e}");
+    }
+    if let Some(e) = &report.faulty_error {
+        println!("  faulty run ended with : {e}");
+    }
+    let verdict = if report.golden_fingerprint == report.faulty_fingerprint {
+        "identical (fault masked)"
+    } else {
+        "diverged"
+    };
+    println!("  final fingerprints    : {verdict}");
+    Ok(())
+}
+
+/// `codesign debug --gdb`: serve one GDB Remote Serial Protocol session
+/// over the ladder co-simulation.
+fn cmd_debug(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use codesign::isa::asm::assemble;
+    use codesign::isa::cpu::Cpu;
+    use codesign::rtl::bus::{BusTiming, DrainFifo, SystemBus};
+    use codesign::sim::adapters::CpuEngine;
+    use codesign::sim::engine::Coordinator;
+    use codesign::sim::ladder::producer_program;
+    use codesign::sim::pinproto::PinPhy;
+
+    let addr = flag_value(args, "--gdb")
+        .ok_or("missing --gdb HOST:PORT (e.g. `codesign debug --gdb 127.0.0.1:3333`)")?;
+    let cadence = parsed_flag::<u64>(args, "--cadence")?.unwrap_or(8).max(1);
+    let quantum = parsed_flag::<u64>(args, "--quantum")?.unwrap_or(16).max(1);
+    let max_rounds = parsed_flag::<u64>(args, "--max-rounds")?.unwrap_or(1_000_000);
+    let pin = has_flag(args, "--pin");
+    let cfg = LadderConfig {
+        iterations: parsed_flag(args, "--iterations")?.unwrap_or(16),
+        ..LadderConfig::default()
+    };
+
+    let mut bus = SystemBus::new(BusTiming::default());
+    bus.map(
+        0x0,
+        0x100,
+        Box::new(DrainFifo::new(cfg.fifo_capacity, cfg.drain_period)),
+    )?;
+    if pin {
+        bus.set_phy(Box::new(PinPhy::new(&[(0x0, 0x100)])?));
+    }
+    let program = assemble(&producer_program(&cfg))?;
+    let mut cpu = Cpu::new(4096);
+    cpu.attach_bus(bus);
+    cpu.load_program(&program);
+    let mut coord = Coordinator::lockstep(quantum);
+    coord.add_engine(Box::new(CpuEngine::new("cpu", cpu)));
+
+    let mut dbg = DebugSession::new(coord, None, cadence)?;
+    dbg.set_max_rounds(max_rounds);
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let local = listener.local_addr()?;
+    println!(
+        "gdb stub: {} ladder producer ({} iterations, quantum {quantum}, checkpoint cadence {cadence})",
+        if pin { "pin-level" } else { "register-level" },
+        cfg.iterations
+    );
+    println!("listening on {local} — connect with `gdb -ex 'target remote {local}'`");
+    gdb_serve(&listener, dbg)?;
+    println!("debug session ended");
     Ok(())
 }
 
@@ -730,4 +878,73 @@ fn cmd_ladder(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     save_trace(&tracer, trace_path)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn err_of(list: &[&str]) -> String {
+        run(&args(list))
+            .expect_err("expected a CLI error")
+            .to_string()
+    }
+
+    #[test]
+    fn unknown_commands_point_at_help() {
+        assert_eq!(
+            err_of(&["rewind"]),
+            "unknown command `rewind`; try `codesign help`"
+        );
+    }
+
+    #[test]
+    fn debug_requires_a_gdb_address() {
+        assert_eq!(
+            err_of(&["debug"]),
+            "missing --gdb HOST:PORT (e.g. `codesign debug --gdb 127.0.0.1:3333`)"
+        );
+    }
+
+    #[test]
+    fn debug_flags_follow_the_parsed_flag_convention() {
+        assert_eq!(
+            err_of(&["debug", "--gdb", "127.0.0.1:0", "--cadence", "soon"]),
+            "invalid value `soon` for --cadence: invalid digit found in string"
+        );
+        assert_eq!(
+            err_of(&["debug", "--gdb", "127.0.0.1:0", "--quantum", "-4"]),
+            "invalid value `-4` for --quantum: invalid digit found in string"
+        );
+        assert_eq!(
+            err_of(&["debug", "--gdb", "127.0.0.1:0", "--iterations", "1e3"]),
+            "invalid value `1e3` for --iterations: invalid digit found in string"
+        );
+    }
+
+    #[test]
+    fn bisect_rejects_unknown_scenarios() {
+        let msg = err_of(&["faults", "--bisect", "--scenario", "warp_core"]);
+        assert!(
+            msg.starts_with("unknown scenario `warp_core` (expected one of"),
+            "got: {msg}"
+        );
+        assert!(msg.contains("ladder_register"), "got: {msg}");
+    }
+
+    #[test]
+    fn bisect_flags_follow_the_parsed_flag_convention() {
+        assert_eq!(
+            err_of(&["faults", "--bisect", "--seed", "0xzz"]),
+            "invalid value `0xzz` for --seed: invalid digit found in string"
+        );
+        assert_eq!(
+            err_of(&["faults", "--bisect", "--max-rounds", "lots"]),
+            "invalid value `lots` for --max-rounds: invalid digit found in string"
+        );
+    }
 }

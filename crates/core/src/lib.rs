@@ -63,6 +63,7 @@ pub use codesign_hls as hls;
 pub use codesign_ir as ir;
 pub use codesign_isa as isa;
 pub use codesign_partition as partition;
+pub use codesign_replay as replay;
 pub use codesign_rtl as rtl;
 pub use codesign_serve as serve;
 pub use codesign_sim as sim;

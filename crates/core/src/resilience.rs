@@ -38,6 +38,7 @@ use codesign_rtl::fsmd::FsmdSim;
 use codesign_sim::adapters::{CpuEngine, FsmdEngine};
 use codesign_sim::engine::{Coordinator, RetryPolicy};
 use codesign_sim::error::SimError;
+use codesign_sim::fingerprint::coordinator_fingerprint;
 use codesign_sim::ladder::{message_scenario, producer_program, LadderConfig};
 use codesign_sim::message::{MessageConfig, MessageEngine};
 use codesign_synth::coproc::{characterize, Application};
@@ -98,35 +99,16 @@ struct RunOutcome {
     retries: u64,
 }
 
-/// Fingerprints a finished coordination: global finish time plus every
-/// engine's *functional* end state (message reports, FSMD outputs, CPU
-/// stats). Engine local clocks are deliberately excluded — a retry
-/// backoff shifts the horizon an engine last saw without changing what
-/// it computed, and that scheduling skew must not read as corruption.
-fn fingerprint(coord: &Coordinator, time: u64) -> String {
-    let mut fp = String::new();
-    let _ = write!(fp, "t={time};");
-    for engine in coord.engines() {
-        let _ = write!(fp, "{}:", engine.name());
-        if let Some(m) = engine.as_any().downcast_ref::<MessageEngine>() {
-            let _ = write!(fp, "{:?};", m.report());
-        } else if let Some(f) = engine.as_any().downcast_ref::<FsmdEngine>() {
-            let _ = write!(fp, "{:?};", f.sim().outputs());
-        } else if let Some(c) = engine.as_any().downcast_ref::<CpuEngine>() {
-            let flag = c.cpu().load_word(8).unwrap_or(-1);
-            let _ = write!(fp, "{:?},flag={flag};", c.cpu().stats());
-        } else {
-            fp.push(';');
-        }
-    }
-    fp
-}
-
 /// Runs a prepared coordinator to completion and packages the outcome.
+/// End states are fingerprinted with the shared
+/// [`coordinator_fingerprint`] (also the observable replay bisection
+/// compares), which excludes engine local clocks — a retry backoff
+/// shifts the horizon an engine last saw without changing what it
+/// computed, and that scheduling skew must not read as corruption.
 fn finish(mut coord: Coordinator, injector: &SharedInjector) -> RunOutcome {
     let result = coord
         .run(BUDGET)
-        .map(|stats| fingerprint(&coord, stats.time));
+        .map(|stats| coordinator_fingerprint(&coord, stats.time));
     RunOutcome {
         result,
         faults: injector.borrow().count(),
@@ -134,22 +116,45 @@ fn finish(mut coord: Coordinator, injector: &SharedInjector) -> RunOutcome {
     }
 }
 
+/// A coordinator in the campaign's default coordination mode, or — for
+/// replay bisection, which needs round `i` to mean the same horizon in
+/// every run — on the fixed lockstep grid.
+fn base_coord(lockstep: bool) -> Coordinator {
+    if lockstep {
+        Coordinator::lockstep(QUANTUM)
+    } else {
+        Coordinator::new(QUANTUM)
+    }
+}
+
 /// The ladder as a message-level process network with send faults.
-fn ladder_message(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
-    let injector = traced_injector("ladder_message", seed, tracer);
+fn build_ladder_message(
+    plan: &FaultPlan,
+    injector: &SharedInjector,
+    lockstep: bool,
+) -> Coordinator {
     let (net, placement, config) = message_scenario(&LadderConfig::default());
     let mut engine =
         MessageEngine::new("ladder", net, placement, config).expect("ladder placement is valid");
     engine.set_faults(Box::new(MessageFaultHook::new(plan, injector.clone())));
-    let mut coord = Coordinator::new(QUANTUM);
+    let mut coord = base_coord(lockstep);
     coord.add_engine(Box::new(engine));
+    coord
+}
+
+fn ladder_message(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
+    let injector = traced_injector("ladder_message", seed, tracer);
+    let coord = build_ladder_message(plan, &injector, false);
     finish(coord, &injector)
 }
 
 /// The ladder's register level: the CR32 producer polling a FIFO whose
 /// registers (and bus transactions) can fault.
-fn ladder_register(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
-    let injector = traced_injector("ladder_register", seed, tracer);
+fn build_ladder_register(
+    plan: &FaultPlan,
+    injector: &SharedInjector,
+    lockstep: bool,
+) -> Coordinator {
     let cfg = LadderConfig::default();
     let mut bus = SystemBus::new(BusTiming::default());
     bus.map(
@@ -171,16 +176,21 @@ fn ladder_register(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
     let mut cpu = Cpu::new(4096);
     cpu.attach_bus(bus);
     cpu.load_program(&program);
-    let mut coord = Coordinator::new(QUANTUM);
+    let mut coord = base_coord(lockstep);
     coord.set_retry(Some(RetryPolicy::default()));
     coord.add_engine(Box::new(CpuEngine::new("cpu", cpu)));
+    coord
+}
+
+fn ladder_register(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
+    let injector = traced_injector("ladder_register", seed, tracer);
+    let coord = build_ladder_register(plan, &injector, false);
     finish(coord, &injector)
 }
 
 /// The interrupt rung: a timer ISR counting four auto-reload periods,
 /// with the timer's IRQ line (and registers) subject to faults.
-fn ladder_irq(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
-    let injector = traced_injector("ladder_irq", seed, tracer);
+fn build_ladder_irq(plan: &FaultPlan, injector: &SharedInjector, lockstep: bool) -> Coordinator {
     let mut bus = SystemBus::new(BusTiming::default());
     bus.map(
         0x0,
@@ -222,9 +232,15 @@ fn ladder_irq(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
     let mut cpu = Cpu::new(4096);
     cpu.attach_bus(bus);
     cpu.load_program(&program);
-    let mut coord = Coordinator::new(QUANTUM);
+    let mut coord = base_coord(lockstep);
     coord.set_retry(Some(RetryPolicy::default()));
     coord.add_engine(Box::new(CpuEngine::new("cpu", cpu)));
+    coord
+}
+
+fn ladder_irq(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
+    let injector = traced_injector("ladder_irq", seed, tracer);
+    let coord = build_ladder_irq(plan, &injector, false);
     finish(coord, &injector)
 }
 
@@ -235,8 +251,11 @@ fn ladder_irq(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
 /// permanent stalls caught by the watchdog. Message faults are left
 /// quiet here so the engine-level surface is observed in isolation;
 /// `ladder_message` owns the send-fault surface.
-fn dsp_coprocessor(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
-    let injector = traced_injector("dsp_coprocessor", seed, tracer);
+fn build_dsp_coprocessor(
+    plan: &FaultPlan,
+    injector: &SharedInjector,
+    lockstep: bool,
+) -> Coordinator {
     let app = characterize(&Application::dsp_suite()).expect("dsp suite characterizes");
     let (net, speedups) = codesign_synth::coproc::process_network(&app, 12, 8);
     let mut by_compute: Vec<usize> = (0..net.len().saturating_sub(1)).collect();
@@ -270,10 +289,16 @@ fn dsp_coprocessor(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
         stall,
     );
 
-    let mut coord = Coordinator::new(QUANTUM);
+    let mut coord = base_coord(lockstep);
     coord.set_retry(Some(RetryPolicy::default()));
     coord.add_engine(Box::new(msg));
     coord.add_engine(Box::new(coproc));
+    coord
+}
+
+fn dsp_coprocessor(plan: &FaultPlan, seed: u64, tracer: &Tracer) -> RunOutcome {
+    let injector = traced_injector("dsp_coprocessor", seed, tracer);
+    let coord = build_dsp_coprocessor(plan, &injector, false);
     finish(coord, &injector)
 }
 
@@ -299,6 +324,45 @@ fn run_scenario(name: &str, plan: &FaultPlan, seed: u64, tracer: &Tracer) -> Run
         other => unreachable!("unknown scenario `{other}`"),
     }
 }
+
+/// Builds one campaign scenario *without running it*: the coordinator
+/// plus the seeded injector driving its fault wrappers. This is the
+/// factory replay bisection uses — `codesign faults --bisect` builds
+/// the same scenario twice (quiet plan vs armed plan, same seed) and
+/// binary-searches their checkpoint histories for the first divergent
+/// round. `lockstep` pins the coordination to the fixed quantum grid so
+/// round indices align between the two runs (the campaign itself keeps
+/// the default lookahead mode).
+///
+/// # Errors
+///
+/// Returns an error naming the scenario if it is not one of
+/// [`SCENARIOS`].
+pub fn build_scenario(
+    name: &str,
+    plan: &FaultPlan,
+    seed: u64,
+    lockstep: bool,
+) -> Result<(Coordinator, SharedInjector), String> {
+    let injector = shared(seed);
+    let coord = match name {
+        "ladder_message" => build_ladder_message(plan, &injector, lockstep),
+        "ladder_register" => build_ladder_register(plan, &injector, lockstep),
+        "ladder_irq" => build_ladder_irq(plan, &injector, lockstep),
+        "dsp_coprocessor" => build_dsp_coprocessor(plan, &injector, lockstep),
+        other => {
+            return Err(format!(
+                "unknown scenario `{other}` (expected one of {SCENARIOS:?})"
+            ))
+        }
+    };
+    Ok((coord, injector))
+}
+
+/// The simulated-time budget campaign runs use; exported so replay
+/// bisection converts the same fault-induced spins into
+/// [`SimError::Budget`] instead of probing forever.
+pub const RUN_BUDGET: u64 = BUDGET;
 
 /// Runs the campaign: golden run plus `config.seeds` seeded runs per
 /// scenario, classified against the golden fingerprint.

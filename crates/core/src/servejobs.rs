@@ -46,7 +46,7 @@ use codesign_partition::cost::Objective;
 use codesign_partition::eval::{EvalConfig, Evaluation};
 use codesign_partition::{Partition, Side};
 use codesign_serve::protocol::escape;
-use codesign_serve::{JobError, JobRunner, Request};
+use codesign_serve::{JobError, JobRunner, Request, RunOutcome};
 use codesign_sim::engine::{Coordinator, CoordinatorStats, SimEngine, WatchdogConfig};
 use codesign_sim::error::SimError;
 use codesign_sim::message::{
@@ -142,21 +142,15 @@ pub struct CosimOutcome {
     pub skew: u64,
 }
 
-/// Runs the cosim flow — placement (pinned or searched), message-level
-/// simulation, then the same network mounted under the conservative
-/// coordinator. The single implementation behind both `codesign cosim`
-/// and the served `cosim` job, so the two cannot drift.
-///
-/// # Errors
-///
-/// Returns a typed [`JobError`]: `bad_field` for an unknown process
-/// name, otherwise the fault taxonomy's code for the underlying
-/// simulation failure.
-pub fn run_cosim(
+/// The placement phase of the cosim flow: resolves the hardware set
+/// (pinned or searched) and runs the message-level simulation. Fast and
+/// deterministic, so a preempted job recomputes it on every slice
+/// instead of serializing it into the checkpoint.
+fn cosim_placement(
     net: &codesign_ir::process::ProcessNetwork,
     params: &CosimParams,
     tracer: &Tracer,
-) -> Result<CosimOutcome, JobError> {
+) -> Result<(Vec<String>, MessageReport, Placement), JobError> {
     let report;
     let placement;
     let hw_names: Vec<String>;
@@ -207,6 +201,60 @@ pub fn run_cosim(
         report = simulate_traced(net, &placement, &MessageConfig::default(), tracer)
             .map_err(sim_job_error)?;
     }
+    Ok((hw_names, report, placement))
+}
+
+/// Runs the cosim flow — placement (pinned or searched), message-level
+/// simulation, then the same network mounted under the conservative
+/// coordinator. The single implementation behind both `codesign cosim`
+/// and the served `cosim` job, so the two cannot drift.
+///
+/// # Errors
+///
+/// Returns a typed [`JobError`]: `bad_field` for an unknown process
+/// name, otherwise the fault taxonomy's code for the underlying
+/// simulation failure.
+pub fn run_cosim(
+    net: &codesign_ir::process::ProcessNetwork,
+    params: &CosimParams,
+    tracer: &Tracer,
+) -> Result<CosimOutcome, JobError> {
+    match run_cosim_sliced(net, params, tracer, None, None)? {
+        CosimProgress::Done(outcome) => Ok(*outcome),
+        CosimProgress::Preempted(_) => unreachable!("no slice means no preemption"),
+    }
+}
+
+/// How one execution slice of a cosim job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CosimProgress {
+    /// Ran to completion.
+    Done(Box<CosimOutcome>),
+    /// The slice expired mid-coordination; the blob is a replay
+    /// checkpoint of the whole coordinator, resumable on any
+    /// structurally identical rebuild.
+    Preempted(Vec<u8>),
+}
+
+/// [`run_cosim`] with checkpoint preemption: when `slice` is set and
+/// wall-clock time runs past it before the coordinator finishes, the
+/// co-simulation state is serialized with `codesign_replay::snapshot`
+/// and returned as [`CosimProgress::Preempted`]. Passing the blob back
+/// as `resume` continues the run exactly where it stopped — the final
+/// report is byte-identical to an unsliced run.
+///
+/// # Errors
+///
+/// As [`run_cosim`]; additionally `state_error` when a resume blob does
+/// not fit the rebuilt coordinator.
+pub fn run_cosim_sliced(
+    net: &codesign_ir::process::ProcessNetwork,
+    params: &CosimParams,
+    tracer: &Tracer,
+    resume: Option<&[u8]>,
+    slice: Option<std::time::Duration>,
+) -> Result<CosimProgress, JobError> {
+    let (hw_names, report, placement) = cosim_placement(net, params, tracer)?;
 
     let sim_cfg = MessageConfig::default();
     let mut coord = Coordinator::new(params.quantum);
@@ -215,13 +263,28 @@ pub fn run_cosim(
             .map_err(sim_job_error)?,
     ));
     coord.set_tracer(tracer);
-    let stats = coord.run(sim_cfg.budget).map_err(sim_job_error)?;
-    Ok(CosimOutcome {
+    if let Some(blob) = resume {
+        codesign_replay::restore(&mut coord, None, blob).map_err(sim_job_error)?;
+    }
+    let started = std::time::Instant::now();
+    // Only preempt a coordinator every engine can checkpoint; anything
+    // else runs its slice to completion (same as before preemption
+    // existed).
+    let preemptable = slice.is_some() && coord.supports_snapshot();
+    while !coord.is_done() {
+        coord.run_one_round(sim_cfg.budget).map_err(sim_job_error)?;
+        if preemptable && !coord.is_done() && started.elapsed() >= slice.unwrap() {
+            return Ok(CosimProgress::Preempted(codesign_replay::snapshot(
+                &coord, None,
+            )));
+        }
+    }
+    Ok(CosimProgress::Done(Box::new(CosimOutcome {
         hw_names,
         report,
-        stats,
+        stats: coord.stats(),
         skew: coord.skew(),
-    })
+    })))
 }
 
 /// The `cosim --json` report: message-level results plus coordinator
@@ -517,6 +580,21 @@ impl CodesignRunner {
     }
 
     fn job_cosim(&self, req: &Request) -> Result<String, JobError> {
+        match self.job_cosim_sliced(req, None, None)? {
+            RunOutcome::Done(out) => Ok(out),
+            RunOutcome::Preempted { .. } => unreachable!("no slice means no preemption"),
+        }
+    }
+
+    /// The served `cosim` job, preemptable: with a `slice` set, a run
+    /// that overshoots it checkpoints and returns
+    /// [`RunOutcome::Preempted`] for the server to requeue.
+    fn job_cosim_sliced(
+        &self,
+        req: &Request,
+        resume: Option<&[u8]>,
+        slice: Option<std::time::Duration>,
+    ) -> Result<RunOutcome, JobError> {
         let spec = load_spec(req)?;
         let net = spec.network().ok_or_else(|| {
             JobError::permanent(
@@ -532,8 +610,14 @@ impl CodesignRunner {
             budget: param_u64(req, "budget", 1, max_hw)?.map(|n| n as usize),
             quantum: param_u64(req, "quantum", 1, 1_000_000)?.unwrap_or(16),
         };
-        let outcome = run_cosim(net, &params, &self.tracer)?;
-        Ok(cosim_report_json(spec.name(), params.quantum, &outcome))
+        match run_cosim_sliced(net, &params, &self.tracer, resume, slice)? {
+            CosimProgress::Done(outcome) => Ok(RunOutcome::Done(cosim_report_json(
+                spec.name(),
+                params.quantum,
+                &outcome,
+            ))),
+            CosimProgress::Preempted(state) => Ok(RunOutcome::Preempted { state }),
+        }
     }
 
     fn job_faults(&self, req: &Request) -> Result<String, JobError> {
@@ -606,6 +690,29 @@ impl JobRunner for CodesignRunner {
                 format!("unknown job kind `{other}` (partition|explore|cosim|faults|conform)"),
             )),
         }
+    }
+
+    /// Checkpoint preemption for long co-simulations: once a `cosim`
+    /// job with a `deadline_ms` has started running, the deadline means
+    /// its *execution slice* — overshooting it checkpoints and requeues
+    /// instead of dropping the job. Every other kind (and every chaos
+    /// job) runs to completion as before.
+    fn run_slice(
+        &self,
+        request: &Request,
+        attempt: u32,
+        resume: Option<&[u8]>,
+    ) -> Result<RunOutcome, JobError> {
+        if request.kind == "cosim" && request.chaos.is_none() {
+            if let Some(ms) = request.deadline_ms {
+                return self.job_cosim_sliced(
+                    request,
+                    resume,
+                    Some(std::time::Duration::from_millis(ms)),
+                );
+            }
+        }
+        self.run(request, attempt).map(RunOutcome::Done)
     }
 }
 
@@ -735,5 +842,31 @@ mod tests {
         let out = runner().run(&req, 1).expect("cosim job runs");
         assert!(out.contains("\"command\": \"cosim\""), "{out}");
         assert!(out.contains("\"coordinator\""), "{out}");
+    }
+
+    #[test]
+    fn preempted_cosim_resumes_to_byte_identical_output() {
+        use codesign_serve::Value;
+        let r = runner();
+        let mut req = request("cosim", &[("spec", Value::Str(process_spec_file()))]);
+        let full = r.run(&req, 1).expect("unsliced cosim runs");
+
+        // A zero-length slice preempts after every coordination round:
+        // the worst case for checkpoint fidelity.
+        req.deadline_ms = Some(0);
+        let mut resume: Option<Vec<u8>> = None;
+        let mut preemptions = 0u32;
+        let sliced = loop {
+            match r.run_slice(&req, 1, resume.as_deref()).expect("slice runs") {
+                RunOutcome::Done(out) => break out,
+                RunOutcome::Preempted { state } => {
+                    preemptions += 1;
+                    assert!(preemptions < 10_000, "cosim never completes");
+                    resume = Some(state);
+                }
+            }
+        };
+        assert!(preemptions > 0, "a zero slice must preempt at least once");
+        assert_eq!(sliced, full, "resumed run must render identical bytes");
     }
 }

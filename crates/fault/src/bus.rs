@@ -17,6 +17,8 @@
 use std::cell::Cell;
 
 use codesign_rtl::bus::{BusPhy, BusSlave, BusTiming};
+use codesign_rtl::state::{StateReader, StateWriter};
+use codesign_rtl::RtlError;
 
 use crate::plan::{FaultKind, FaultPlan, SharedInjector};
 
@@ -168,6 +170,21 @@ impl BusSlave for FaultySlave {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self.inner.as_any_mut()
     }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        // Wrapper clock and IRQ-edge latch first, then the wrapped
+        // device's own state. The injector is shared across wrappers
+        // and checkpointed separately by the run harness.
+        w.u64(self.cycles);
+        w.bool(self.irq_was_high.get());
+        self.inner.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.cycles = r.u64()?;
+        self.irq_was_high.set(r.bool()?);
+        self.inner.restore_state(r)
+    }
 }
 
 /// A [`BusPhy`] wrapper injecting stuck transactions: with probability
@@ -247,6 +264,21 @@ impl BusPhy for FaultyPhy {
 
     fn events(&self) -> u64 {
         self.inner.as_ref().map_or(0, |phy| phy.events())
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.transactions);
+        if let Some(phy) = &self.inner {
+            phy.save_state(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.transactions = r.u64()?;
+        if let Some(phy) = self.inner.as_mut() {
+            phy.restore_state(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -22,6 +22,7 @@
 //! With both rates zero the wrapper is an exact pass-through (it even
 //! forwards `as_any`, so typed downcasts reach the wrapped engine).
 
+use codesign_rtl::state::{StateReader, StateWriter};
 use codesign_rtl::RtlError;
 use codesign_sim::engine::SimEngine;
 use codesign_sim::error::SimError;
@@ -173,6 +174,26 @@ impl SimEngine for FaultyEngine {
         } else {
             self.inner.diagnostics()
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        self.inner.as_any_mut()
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        self.inner.supports_snapshot()
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        // Wrapper latch first, then the wrapped engine. The injector's
+        // substreams are shared state, checkpointed by the run harness.
+        w.bool(self.stalled);
+        self.inner.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SimError> {
+        self.stalled = r.bool()?;
+        self.inner.restore_state(r)
     }
 }
 

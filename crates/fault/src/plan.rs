@@ -321,6 +321,121 @@ impl FaultInjector {
     pub fn count(&self) -> u64 {
         self.records.len() as u64
     }
+
+    /// Serializes the injector's mutable state (substream positions and
+    /// the fault log) for checkpointing. The seed is included so a
+    /// restore can cross-check it; the tracer is observational and not
+    /// serialized. Sites go out in sorted order so identical logical
+    /// state always yields identical bytes.
+    pub fn save_state(&self, w: &mut codesign_rtl::state::StateWriter) {
+        w.u64(self.seed);
+        let mut sites: Vec<&String> = self.streams.keys().collect();
+        sites.sort();
+        w.seq(sites.len());
+        for site in sites {
+            w.str(site);
+            for limb in self.streams[site].state() {
+                w.u64(limb);
+            }
+        }
+        w.seq(self.records.len());
+        for rec in &self.records {
+            w.u64(rec.time);
+            w.str(&rec.site);
+            w.u8(fault_kind_tag(rec.kind));
+            w.str(&rec.detail);
+        }
+    }
+
+    /// Restores the injector's mutable state from a checkpoint taken by
+    /// [`FaultInjector::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`codesign_rtl::RtlError::State`] on truncated or
+    /// mismatched bytes (including a seed that differs from this
+    /// injector's — a checkpoint only restores the run it was taken in).
+    pub fn restore_state(
+        &mut self,
+        r: &mut codesign_rtl::state::StateReader<'_>,
+    ) -> Result<(), codesign_rtl::RtlError> {
+        let seed = r.u64()?;
+        if seed != self.seed {
+            return Err(codesign_rtl::RtlError::State {
+                reason: format!(
+                    "injector seed mismatch: checkpoint {seed}, run {}",
+                    self.seed
+                ),
+            });
+        }
+        let n = r.seq(None)?;
+        self.streams.clear();
+        for _ in 0..n {
+            let site = r.str()?.to_string();
+            let mut limbs = [0u64; 4];
+            for limb in &mut limbs {
+                *limb = r.u64()?;
+            }
+            self.streams.insert(site, StdRng::from_state(limbs));
+        }
+        let n = r.seq(None)?;
+        self.records.clear();
+        for _ in 0..n {
+            let time = r.u64()?;
+            let site = r.str()?.to_string();
+            let kind = fault_kind_from_tag(r.u8()?)?;
+            let detail = r.str()?.to_string();
+            self.records.push(FaultRecord {
+                time,
+                site,
+                kind,
+                detail,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Stable serialization tag for a [`FaultKind`].
+fn fault_kind_tag(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::BitFlipRead => 0,
+        FaultKind::BitFlipWrite => 1,
+        FaultKind::StuckTransaction => 2,
+        FaultKind::CorruptRead => 3,
+        FaultKind::CorruptWrite => 4,
+        FaultKind::IrqDropped => 5,
+        FaultKind::IrqSpurious => 6,
+        FaultKind::IrqDuplicated => 7,
+        FaultKind::MsgDropped => 8,
+        FaultKind::MsgDuplicated => 9,
+        FaultKind::MsgDelayed => 10,
+        FaultKind::TransientFault => 11,
+        FaultKind::PermanentStall => 12,
+    }
+}
+
+fn fault_kind_from_tag(tag: u8) -> Result<FaultKind, codesign_rtl::RtlError> {
+    Ok(match tag {
+        0 => FaultKind::BitFlipRead,
+        1 => FaultKind::BitFlipWrite,
+        2 => FaultKind::StuckTransaction,
+        3 => FaultKind::CorruptRead,
+        4 => FaultKind::CorruptWrite,
+        5 => FaultKind::IrqDropped,
+        6 => FaultKind::IrqSpurious,
+        7 => FaultKind::IrqDuplicated,
+        8 => FaultKind::MsgDropped,
+        9 => FaultKind::MsgDuplicated,
+        10 => FaultKind::MsgDelayed,
+        11 => FaultKind::TransientFault,
+        12 => FaultKind::PermanentStall,
+        other => {
+            return Err(codesign_rtl::RtlError::State {
+                reason: format!("unknown fault kind tag {other}"),
+            })
+        }
+    })
 }
 
 /// A [`FaultInjector`] shared by every wrapper of one run. Simulation is

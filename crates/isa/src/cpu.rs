@@ -13,9 +13,11 @@
 //! `custom` opcode slots, which is how the ASIP flow (Section 4.3) moves
 //! work across the HW/SW boundary without changing the program structure.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use codesign_rtl::bus::SystemBus;
+use codesign_rtl::state::{StateReader, StateWriter};
+use codesign_rtl::RtlError;
 use codesign_trace::{Arg, Tracer, TrackId};
 
 use crate::asm::Program;
@@ -54,6 +56,41 @@ pub struct CpuStats {
     pub custom_invocations: u64,
 }
 
+/// Why a debug-controlled run ([`Cpu::run_debug`] / [`Cpu::step_debug`])
+/// stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebugStop {
+    /// The CPU executed `halt`.
+    Halted,
+    /// The cycle horizon was reached without any debug event.
+    Horizon,
+    /// Execution reached a breakpointed instruction index (stopped
+    /// *before* executing it).
+    Breakpoint {
+        /// The breakpointed instruction index.
+        pc: usize,
+    },
+    /// A watched data address was accessed (stopped *after* the access).
+    Watchpoint {
+        /// The watched address.
+        addr: u64,
+        /// `true` for a store, `false` for a load.
+        write: bool,
+    },
+    /// A single [`Cpu::step_debug`] completed with no other event.
+    Step,
+}
+
+/// Debugger session state: breakpoints, watchpoints, and the pending
+/// watch hit latched by the last instruction. Not part of the
+/// architectural state — checkpoints ignore it.
+#[derive(Debug, Default)]
+struct DebugCtl {
+    breakpoints: BTreeSet<usize>,
+    watchpoints: BTreeSet<u64>,
+    watch_hit: Option<(u64, bool)>,
+}
+
 /// The CR32 processor model.
 #[derive(Debug)]
 pub struct Cpu {
@@ -70,6 +107,7 @@ pub struct Cpu {
     stats: CpuStats,
     tracer: Tracer,
     track: TrackId,
+    debug: DebugCtl,
 }
 
 /// How many instructions between `instructions` counter samples on the
@@ -97,6 +135,7 @@ impl Cpu {
             stats: CpuStats::default(),
             tracer,
             track,
+            debug: DebugCtl::default(),
         }
     }
 
@@ -312,6 +351,7 @@ impl Cpu {
                 if addr >= MMIO_BASE {
                     return Err(IsaError::MemFault { addr });
                 }
+                self.note_watch(addr, false);
                 let v = self.load_word(addr)?;
                 self.write_reg(rd, v);
             }
@@ -320,11 +360,13 @@ impl Cpu {
                 if addr >= MMIO_BASE {
                     return Err(IsaError::MemFault { addr });
                 }
+                self.note_watch(addr, true);
                 let v = self.regs[rs2.index()];
                 self.store_word(addr, v)?;
             }
             Instr::Lw(rd, rs1, imm) => {
                 let addr = self.effective(rs1, imm);
+                self.note_watch(addr, false);
                 let v = if addr >= MMIO_BASE {
                     let bus = self.bus.as_mut().ok_or(IsaError::MemFault { addr })?;
                     let (value, bus_cycles) = bus.read((addr - MMIO_BASE) as u32)?;
@@ -341,6 +383,7 @@ impl Cpu {
             }
             Instr::Sw(rs2, rs1, imm) => {
                 let addr = self.effective(rs1, imm);
+                self.note_watch(addr, true);
                 let v = self.regs[rs2.index()] as u32;
                 if addr >= MMIO_BASE {
                     let bus = self.bus.as_mut().ok_or(IsaError::MemFault { addr })?;
@@ -438,6 +481,198 @@ impl Cpu {
 
     fn effective(&self, base: Reg, imm: i16) -> u64 {
         (self.regs[base.index()].wrapping_add(i64::from(imm))) as u64
+    }
+
+    #[inline]
+    fn note_watch(&mut self, addr: u64, write: bool) {
+        if !self.debug.watchpoints.is_empty() && self.debug.watchpoints.contains(&addr) {
+            self.debug.watch_hit = Some((addr, write));
+        }
+    }
+
+    /// Sets the program counter (debugger jumps, reverse execution).
+    pub fn set_pc(&mut self, pc: usize) {
+        self.pc = pc;
+    }
+
+    /// Installs a breakpoint at an instruction index. Execution under
+    /// [`Cpu::run_debug`] stops before executing a breakpointed
+    /// instruction.
+    pub fn add_breakpoint(&mut self, pc: usize) {
+        self.debug.breakpoints.insert(pc);
+    }
+
+    /// Removes a breakpoint; removing an absent one is a no-op.
+    pub fn remove_breakpoint(&mut self, pc: usize) {
+        self.debug.breakpoints.remove(&pc);
+    }
+
+    /// Installs a watchpoint on a data address (internal memory or a
+    /// [`MMIO_BASE`]-relative bus address given absolute). Loads and
+    /// stores that touch it stop a [`Cpu::run_debug`] loop.
+    pub fn add_watchpoint(&mut self, addr: u64) {
+        self.debug.watchpoints.insert(addr);
+    }
+
+    /// Removes a watchpoint; removing an absent one is a no-op.
+    pub fn remove_watchpoint(&mut self, addr: u64) {
+        self.debug.watchpoints.remove(&addr);
+    }
+
+    /// Executes exactly one instruction under debugger control,
+    /// reporting why it stopped. Ignores breakpoints at the current pc
+    /// (the standard way to resume *past* a breakpoint is one step,
+    /// then continue).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any fault from [`Cpu::step`].
+    pub fn step_debug(&mut self) -> Result<DebugStop, IsaError> {
+        if self.halted {
+            return Ok(DebugStop::Halted);
+        }
+        self.debug.watch_hit = None;
+        let running = self.step()?;
+        if let Some((addr, write)) = self.debug.watch_hit.take() {
+            return Ok(DebugStop::Watchpoint { addr, write });
+        }
+        if running {
+            Ok(DebugStop::Step)
+        } else {
+            Ok(DebugStop::Halted)
+        }
+    }
+
+    /// Runs until `halt`, the cycle horizon `t`, a breakpoint, or a
+    /// watchpoint — the debugger's `continue` within one co-simulation
+    /// horizon. A breakpoint at the *current* pc stops immediately
+    /// without executing; callers resume past it with
+    /// [`Cpu::step_debug`] first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any fault from [`Cpu::step`].
+    pub fn run_debug(&mut self, t: u64) -> Result<DebugStop, IsaError> {
+        while self.stats.cycles < t {
+            if self.halted {
+                return Ok(DebugStop::Halted);
+            }
+            if self.debug.breakpoints.contains(&self.pc) {
+                return Ok(DebugStop::Breakpoint { pc: self.pc });
+            }
+            match self.step_debug()? {
+                DebugStop::Step => {}
+                stop => return Ok(stop),
+            }
+        }
+        Ok(DebugStop::Horizon)
+    }
+
+    /// Reads `len` bytes of internal data memory (debugger `m` packets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemFault`] if the range leaves memory.
+    pub fn read_mem_bytes(&self, addr: u64, len: usize) -> Result<&[u8], IsaError> {
+        let start = addr as usize;
+        let end = start.checked_add(len).ok_or(IsaError::MemFault { addr })?;
+        self.mem.get(start..end).ok_or(IsaError::MemFault { addr })
+    }
+
+    /// Writes raw bytes into internal data memory (debugger `M`
+    /// packets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemFault`] if the range leaves memory.
+    pub fn write_mem_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), IsaError> {
+        let start = addr as usize;
+        let end = start
+            .checked_add(bytes.len())
+            .ok_or(IsaError::MemFault { addr })?;
+        self.mem
+            .get_mut(start..end)
+            .ok_or(IsaError::MemFault { addr })?
+            .copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Serializes the architectural state: registers, pc, data memory,
+    /// interrupt machinery, halt flag, statistics, and the attached
+    /// bus's mutable state as a nested blob. The program, custom units,
+    /// tracer, and debugger session state are static or observational
+    /// and are not serialized.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for &r in &self.regs {
+            w.i64(r);
+        }
+        w.usize(self.pc);
+        w.bytes(&self.mem);
+        w.bool(self.interrupts_enabled);
+        w.bool(self.in_interrupt);
+        w.usize(self.epc);
+        w.bool(self.halted);
+        w.u64(self.stats.instructions);
+        w.u64(self.stats.cycles);
+        w.u64(self.stats.bus_cycles);
+        w.u64(self.stats.irqs_taken);
+        w.u64(self.stats.custom_invocations);
+        match &self.bus {
+            Some(bus) => {
+                w.bool(true);
+                let mut bw = StateWriter::new();
+                bus.save_state(&mut bw);
+                w.bytes(&bw.into_bytes());
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Restores state saved by [`Cpu::save_state`] into a structurally
+    /// identical CPU (same program, memory size, and bus topology).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::State`] on truncation or shape mismatch
+    /// (memory size or bus presence differs).
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        for i in 0..NUM_REGS {
+            self.regs[i] = r.i64()?;
+        }
+        self.pc = r.usize()?;
+        let mem = r.bytes()?;
+        if mem.len() != self.mem.len() {
+            return Err(RtlError::State {
+                reason: format!(
+                    "memory size {} does not match structure ({})",
+                    mem.len(),
+                    self.mem.len()
+                ),
+            });
+        }
+        self.mem.copy_from_slice(mem);
+        self.interrupts_enabled = r.bool()?;
+        self.in_interrupt = r.bool()?;
+        self.epc = r.usize()?;
+        self.halted = r.bool()?;
+        self.stats.instructions = r.u64()?;
+        self.stats.cycles = r.u64()?;
+        self.stats.bus_cycles = r.u64()?;
+        self.stats.irqs_taken = r.u64()?;
+        self.stats.custom_invocations = r.u64()?;
+        let has_bus = r.bool()?;
+        if has_bus != self.bus.is_some() {
+            return Err(RtlError::State {
+                reason: "bus presence does not match structure".into(),
+            });
+        }
+        if let Some(bus) = self.bus.as_mut() {
+            let blob = r.bytes()?;
+            let mut br = StateReader::new(blob);
+            bus.restore_state(&mut br)?;
+            br.finish()?;
+        }
+        Ok(())
     }
 
     /// Runs until `halt` or the cycle budget expires; returns the final

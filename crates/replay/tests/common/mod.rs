@@ -1,0 +1,74 @@
+//! Shared scenario builders: one coordinator per abstraction-ladder
+//! level, all deterministic and snapshot-capable.
+//!
+//! Compiled into several test binaries; not every binary uses every
+//! helper, so the module allows dead code as a whole.
+#![allow(dead_code)]
+
+use codesign_fault::SharedInjector;
+use codesign_isa::asm::assemble;
+use codesign_isa::cpu::Cpu;
+use codesign_rtl::bus::{BusTiming, DrainFifo, SystemBus};
+use codesign_sim::adapters::CpuEngine;
+use codesign_sim::engine::Coordinator;
+use codesign_sim::ladder::{
+    message_scenario, producer_program, DriverCosts, DriverEngine, LadderConfig,
+};
+use codesign_sim::message::MessageEngine;
+use codesign_sim::pinproto::PinPhy;
+
+pub const QUANTUM: u64 = 16;
+
+pub fn ladder_cfg() -> LadderConfig {
+    LadderConfig {
+        iterations: 3,
+        ..LadderConfig::default()
+    }
+}
+
+fn iss_level(pin: bool) -> (Coordinator, Option<SharedInjector>) {
+    let cfg = ladder_cfg();
+    let mut bus = SystemBus::new(BusTiming::default());
+    bus.map(
+        0x0,
+        0x100,
+        Box::new(DrainFifo::new(cfg.fifo_capacity, cfg.drain_period)),
+    )
+    .unwrap();
+    if pin {
+        bus.set_phy(Box::new(PinPhy::new(&[(0x0, 0x100)]).unwrap()));
+    }
+    let program = assemble(&producer_program(&cfg)).unwrap();
+    let mut cpu = Cpu::new(4096);
+    cpu.attach_bus(bus);
+    cpu.load_program(&program);
+    let mut coord = Coordinator::lockstep(QUANTUM);
+    coord.add_engine(Box::new(CpuEngine::new("cpu", cpu)));
+    (coord, None)
+}
+
+/// Builds the level-`idx` scenario: 0 = pin, 1 = register, 2 = driver,
+/// 3 = message.
+pub fn build_level(idx: usize) -> (Coordinator, Option<SharedInjector>) {
+    match idx {
+        0 => iss_level(true),
+        1 => iss_level(false),
+        2 => {
+            let mut coord = Coordinator::lockstep(QUANTUM);
+            coord.add_engine(Box::new(DriverEngine::new(
+                "driver",
+                ladder_cfg(),
+                DriverCosts::default(),
+            )));
+            (coord, None)
+        }
+        3 => {
+            let (net, placement, config) = message_scenario(&ladder_cfg());
+            let engine = MessageEngine::new("ladder", net, placement, config).unwrap();
+            let mut coord = Coordinator::lockstep(QUANTUM);
+            coord.add_engine(Box::new(engine));
+            (coord, None)
+        }
+        other => panic!("no ladder level {other}"),
+    }
+}

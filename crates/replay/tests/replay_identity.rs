@@ -1,0 +1,113 @@
+//! Bit-identity properties: a run restored from any checkpoint finishes
+//! byte-for-byte identical to one that never stopped, and reverse-step
+//! `n` lands on exactly the state a fresh run reaches in `step - n`
+//! rounds — across all four abstraction-ladder levels.
+
+mod common;
+
+use codesign_replay::ReplaySession;
+use common::build_level;
+use proptest::prelude::*;
+
+const CADENCE: u64 = 4;
+const MAX_ROUNDS: u64 = 200_000;
+
+/// Runs the level straight through; returns (total rounds, final
+/// fingerprint, final snapshot bytes).
+fn straight_run(level: usize) -> (u64, String, Vec<u8>) {
+    let (coord, inj) = build_level(level);
+    let mut s = ReplaySession::new(coord, inj, CADENCE).unwrap();
+    s.run_to_end(MAX_ROUNDS).unwrap();
+    assert!(s.coordinator().is_done(), "level {level} did not finish");
+    (s.current_step(), s.fingerprint(), s.snapshot_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Restore at a random step, run to the end: fingerprint and full
+    /// state bytes equal the uninterrupted run's.
+    #[test]
+    fn restored_run_is_bit_identical(level in 0usize..4, pick in 0u64..1_000_000) {
+        let (total, want_fp, want_bytes) = straight_run(level);
+
+        let (coord, inj) = build_level(level);
+        let mut s = ReplaySession::new(coord, inj, CADENCE).unwrap();
+        s.run_to_end(MAX_ROUNDS).unwrap();
+        let target = pick % (total + 1);
+        s.restore_to(target).unwrap();
+        prop_assert_eq!(s.current_step(), target);
+        s.run_to_end(MAX_ROUNDS).unwrap();
+
+        prop_assert_eq!(s.current_step(), total);
+        prop_assert_eq!(s.fingerprint(), want_fp);
+        prop_assert_eq!(s.snapshot_bytes(), want_bytes);
+    }
+
+    /// Reverse-stepping `n` rounds is the same state as a fresh run
+    /// forwarded `step - n` rounds.
+    #[test]
+    fn reverse_step_equals_forward_replay(level in 0usize..4, pick in 0u64..1_000_000) {
+        let (total, _, _) = straight_run(level);
+
+        let (coord, inj) = build_level(level);
+        let mut s = ReplaySession::new(coord, inj, CADENCE).unwrap();
+        s.run_to_end(MAX_ROUNDS).unwrap();
+        let n = pick % (total + 1);
+        s.reverse_step(n).unwrap();
+        prop_assert_eq!(s.current_step(), total - n);
+
+        let (coord2, inj2) = build_level(level);
+        let mut fresh = ReplaySession::new(coord2, inj2, CADENCE).unwrap();
+        for _ in 0..(total - n) {
+            prop_assert!(fresh.step_round().unwrap());
+        }
+        prop_assert_eq!(s.snapshot_bytes(), fresh.snapshot_bytes());
+        prop_assert_eq!(s.fingerprint(), fresh.fingerprint());
+    }
+}
+
+/// Restoring the exact final checkpoint reproduces the end state, and
+/// the store's dedup actually shares pages across checkpoints.
+#[test]
+fn store_dedups_and_restores_end_state() {
+    let (coord, inj) = build_level(1);
+    let mut s = ReplaySession::new(coord, inj, CADENCE).unwrap();
+    s.run_to_end(MAX_ROUNDS).unwrap();
+    let end = s.snapshot_bytes();
+    let last = s.store().latest().unwrap();
+    s.restore_checkpoint(last).unwrap();
+    assert_eq!(s.snapshot_bytes(), end);
+
+    let stats = s.store().stats();
+    assert!(stats.checkpoints > 2);
+    assert!(
+        stats.stored_bytes < stats.logical_bytes,
+        "no dedup: stored {} >= logical {}",
+        stats.stored_bytes,
+        stats.logical_bytes
+    );
+}
+
+/// A mid-run snapshot restored into a *freshly built* coordinator (the
+/// cross-process story: save to disk, load elsewhere) continues to the
+/// same end state.
+#[test]
+fn snapshot_restores_into_fresh_coordinator() {
+    for level in 0..4 {
+        let (total, want_fp, _) = straight_run(level);
+
+        let (coord, inj) = build_level(level);
+        let mut s = ReplaySession::new(coord, inj, CADENCE).unwrap();
+        for _ in 0..total / 2 {
+            s.step_round().unwrap();
+        }
+        let blob = s.snapshot_bytes();
+
+        let (mut coord2, inj2) = build_level(level);
+        codesign_replay::restore(&mut coord2, inj2.as_ref(), &blob).unwrap();
+        let mut resumed = ReplaySession::new(coord2, inj2, CADENCE).unwrap();
+        resumed.run_to_end(MAX_ROUNDS).unwrap();
+        assert_eq!(resumed.fingerprint(), want_fp, "level {level}");
+    }
+}

@@ -16,6 +16,7 @@ use codesign_trace::{Arg, Tracer, TrackId};
 
 use crate::error::RtlError;
 use crate::fsmd::{FsmdSim, FsmdStatus};
+use crate::state::{StateReader, StateWriter};
 
 /// A device mapped on the [`SystemBus`].
 pub trait BusSlave: std::fmt::Debug {
@@ -47,6 +48,23 @@ pub trait BusSlave: std::fmt::Debug {
     /// stimulus through [`SystemBus::device_mut`] (e.g. injecting UART
     /// receive data or driving GPIO input pins).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+    /// Serializes the device's mutable state for checkpointing (see
+    /// [`crate::state`]). The default writes nothing, which is correct
+    /// only for stateless devices; every stateful slave must override
+    /// this and [`BusSlave::restore_state`] as a matched pair, or
+    /// restored runs will silently diverge from uninterrupted ones.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+    /// Restores state captured by [`BusSlave::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::State`] on truncated or mismatched bytes.
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// A physical layer for the bus: when installed via
@@ -60,6 +78,21 @@ pub trait BusPhy: std::fmt::Debug {
     fn transaction(&mut self, addr: u32, write: bool, value: u32, wait_states: u64) -> u64;
     /// Cumulative low-level simulation events processed by this layer.
     fn events(&self) -> u64;
+    /// Serializes the layer's mutable state for checkpointing. Same
+    /// contract as [`BusSlave::save_state`]: the default writes nothing
+    /// and is correct only for stateless layers.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+    /// Restores state captured by [`BusPhy::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::State`] on truncated or mismatched bytes.
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Per-transaction timing of the bus.
@@ -398,6 +431,63 @@ impl SystemBus {
     pub fn irq_pending(&self) -> bool {
         self.mappings.iter().any(|m| m.slave.irq_pending())
     }
+
+    /// Serializes the bus's mutable state: transaction statistics,
+    /// per-mapping access counters, every slave's state (as opaque
+    /// length-prefixed blobs), and the physical layer's state if one is
+    /// installed. The address map and timing are static and not
+    /// written; a checkpoint restores into a bus rebuilt with identical
+    /// mappings.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.busy_cycles);
+        w.u64(self.write_seq);
+        w.seq(self.mappings.len());
+        for m in &self.mappings {
+            w.u64(m.reads);
+            w.u64(m.writes);
+            w.u64(m.last_write_seq);
+            let mut sw = StateWriter::new();
+            m.slave.save_state(&mut sw);
+            w.bytes(&sw.into_bytes());
+        }
+        let mut pw = StateWriter::new();
+        if let Some(phy) = &self.phy {
+            phy.save_state(&mut pw);
+        }
+        w.bytes(&pw.into_bytes());
+    }
+
+    /// Restores state captured by [`SystemBus::save_state`] into a bus
+    /// with the same mappings (and the same phy installed, if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::State`] on truncation or a mapping-count
+    /// mismatch.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.stats.reads = r.u64()?;
+        self.stats.writes = r.u64()?;
+        self.stats.busy_cycles = r.u64()?;
+        self.write_seq = r.u64()?;
+        let n = r.seq(Some(self.mappings.len()))?;
+        for i in 0..n {
+            self.mappings[i].reads = r.u64()?;
+            self.mappings[i].writes = r.u64()?;
+            self.mappings[i].last_write_seq = r.u64()?;
+            let blob = r.bytes()?;
+            let mut sr = StateReader::new(blob);
+            self.mappings[i].slave.restore_state(&mut sr)?;
+            sr.finish()?;
+        }
+        let blob = r.bytes()?;
+        let mut pr = StateReader::new(blob);
+        if let Some(phy) = &mut self.phy {
+            phy.restore_state(&mut pr)?;
+        }
+        pr.finish()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -455,6 +545,21 @@ impl BusSlave for Ram {
 
     fn write(&mut self, offset: u32, value: u32) {
         self.poke(offset, value);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.words.len());
+        for &word in &self.words {
+            w.u32(word);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        let n = r.seq(Some(self.words.len()))?;
+        for i in 0..n {
+            self.words[i] = r.u32()?;
+        }
+        Ok(())
     }
 }
 
@@ -558,6 +663,28 @@ impl BusSlave for Uart {
     fn irq_pending(&self) -> bool {
         self.irq_enable && !self.rx_queue.is_empty()
     }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.bytes(&self.tx_log);
+        w.seq(self.rx_queue.len());
+        for &b in &self.rx_queue {
+            w.u8(b);
+        }
+        w.bool(self.irq_enable);
+        w.bool(self.overrun);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.tx_log = r.bytes()?.to_vec();
+        let n = r.seq(None)?;
+        self.rx_queue.clear();
+        for _ in 0..n {
+            self.rx_queue.push_back(r.u8()?);
+        }
+        self.irq_enable = r.bool()?;
+        self.overrun = r.bool()?;
+        Ok(())
+    }
 }
 
 /// Timer register offsets.
@@ -648,6 +775,25 @@ impl BusSlave for Timer {
     fn irq_pending(&self) -> bool {
         self.irq_enable && self.irq
     }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u32(self.load);
+        w.u32(self.value);
+        w.bool(self.enabled);
+        w.bool(self.irq_enable);
+        w.bool(self.auto_reload);
+        w.bool(self.irq);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.load = r.u32()?;
+        self.value = r.u32()?;
+        self.enabled = r.bool()?;
+        self.irq_enable = r.bool()?;
+        self.auto_reload = r.bool()?;
+        self.irq = r.bool()?;
+        Ok(())
+    }
 }
 
 /// GPIO register offsets.
@@ -709,6 +855,17 @@ impl BusSlave for Gpio {
         if offset == gpio_regs::OUT {
             self.out = value;
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u32(self.out);
+        w.u32(self.pins_in);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.out = r.u32()?;
+        self.pins_in = r.u32()?;
+        Ok(())
     }
 }
 
@@ -812,6 +969,27 @@ impl BusSlave for CoprocessorPort {
 
     fn irq_pending(&self) -> bool {
         self.irq_enable && self.started && self.sim.status() == FsmdStatus::Done
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.sim.save_state(w);
+        w.seq(self.operands.len());
+        for &v in &self.operands {
+            w.i64(v);
+        }
+        w.bool(self.irq_enable);
+        w.bool(self.started);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.sim.restore_state(r)?;
+        let n = r.seq(Some(self.operands.len()))?;
+        for i in 0..n {
+            self.operands[i] = r.i64()?;
+        }
+        self.irq_enable = r.bool()?;
+        self.started = r.bool()?;
+        Ok(())
     }
 }
 
@@ -932,6 +1110,26 @@ impl BusSlave for DrainFifo {
             2 => 1,
             _ => 3,
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.queue.len());
+        for &word in &self.queue {
+            w.u32(word);
+        }
+        w.u64(self.countdown);
+        w.u64(self.drained);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        let n = r.seq(None)?;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(r.u32()?);
+        }
+        self.countdown = r.u64()?;
+        self.drained = r.u64()?;
+        Ok(())
     }
 }
 

@@ -67,6 +67,13 @@ pub enum RtlError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A serialized state blob could not be decoded (truncated bytes,
+    /// a version/shape mismatch, or a checkpoint restored into a
+    /// structurally different model).
+    State {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RtlError {
@@ -100,6 +107,7 @@ impl fmt::Display for RtlError {
                 u64::from(*base) + u64::from(*size)
             ),
             RtlError::Fpga { reason } => write!(f, "fpga: {reason}"),
+            RtlError::State { reason } => write!(f, "state: {reason}"),
         }
     }
 }

@@ -366,6 +366,58 @@ impl FsmdSim {
         };
     }
 
+    /// Serializes the mutable execution state (registers, latched
+    /// inputs, controller state, status, cycle count). The FSMD
+    /// structure itself is static and not written.
+    pub fn save_state(&self, w: &mut crate::state::StateWriter) {
+        w.seq(self.regs.len());
+        for &v in &self.regs {
+            w.i64(v);
+        }
+        w.seq(self.inputs.len());
+        for &v in &self.inputs {
+            w.i64(v);
+        }
+        w.u32(self.state.0);
+        w.u8(match self.status {
+            FsmdStatus::Idle => 0,
+            FsmdStatus::Running => 1,
+            FsmdStatus::Done => 2,
+        });
+        w.u64(self.cycles);
+    }
+
+    /// Restores state captured by [`FsmdSim::save_state`] into a
+    /// simulator over the same FSMD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::State`] on truncation or a register/input
+    /// count mismatch.
+    pub fn restore_state(&mut self, r: &mut crate::state::StateReader<'_>) -> Result<(), RtlError> {
+        let n = r.seq(Some(self.regs.len()))?;
+        for i in 0..n {
+            self.regs[i] = r.i64()?;
+        }
+        let n = r.seq(Some(self.inputs.len()))?;
+        for i in 0..n {
+            self.inputs[i] = r.i64()?;
+        }
+        self.state = StateId(r.u32()?);
+        self.status = match r.u8()? {
+            0 => FsmdStatus::Idle,
+            1 => FsmdStatus::Running,
+            2 => FsmdStatus::Done,
+            other => {
+                return Err(RtlError::State {
+                    reason: format!("unknown fsmd status tag {other}"),
+                })
+            }
+        };
+        self.cycles = r.u64()?;
+        Ok(())
+    }
+
     fn read(&self, operand: Operand) -> i64 {
         match operand {
             Operand::Reg(r) => self.regs[r.index()],

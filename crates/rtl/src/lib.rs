@@ -62,5 +62,6 @@ pub mod fpga;
 pub mod fsmd;
 pub mod netlist;
 pub mod sim;
+pub mod state;
 
 pub use error::RtlError;

@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 
 use crate::error::RtlError;
 use crate::netlist::{NetId, Netlist};
+use crate::state::{StateReader, StateWriter};
 
 /// Maximum delta iterations per timestamp before declaring oscillation.
 const DELTA_LIMIT: usize = 1_000;
@@ -290,6 +291,83 @@ impl Simulator {
                 _ => return Ok(()),
             }
         }
+    }
+
+    /// Serializes the mutable simulation state: time, counters, net
+    /// values, and the in-flight (non-cancelled) transitions. Static
+    /// structure (the netlist, fanout) is not written; a checkpoint
+    /// restores into a simulator built from the same netlist. Cancelled
+    /// (stale) events are dropped — they are behavioral no-ops — so
+    /// identical logical state always serializes to identical bytes.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.time);
+        w.u64(self.seq);
+        w.u64(self.events);
+        w.seq(self.values.len());
+        for &v in &self.values {
+            w.bool(v);
+        }
+        w.seq(self.pending.len());
+        for pend in &self.pending {
+            w.seq(pend.len());
+            for &(t, seq, v) in pend {
+                w.u64(t);
+                w.u64(seq);
+                w.bool(v);
+            }
+        }
+    }
+
+    /// Restores state captured by [`Simulator::save_state`] into a
+    /// simulator over the same netlist. The event queue is rebuilt from
+    /// the live transitions; original sequence numbers are preserved so
+    /// tie-breaking (and therefore every future event ordering) matches
+    /// the uninterrupted run exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::State`] on truncated bytes or a net-count
+    /// mismatch (checkpoint from a structurally different netlist).
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        let time = r.u64()?;
+        let seq = r.u64()?;
+        let events = r.u64()?;
+        let n = r.seq(Some(self.values.len()))?;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(r.bool()?);
+        }
+        let pn = r.seq(Some(self.pending.len()))?;
+        let mut pending: Vec<Vec<(u64, u64, bool)>> = Vec::with_capacity(pn);
+        for _ in 0..pn {
+            let k = r.seq(None)?;
+            let mut pend = Vec::with_capacity(k);
+            for _ in 0..k {
+                pend.push((r.u64()?, r.u64()?, r.bool()?));
+            }
+            pending.push(pend);
+        }
+        self.time = time;
+        self.seq = seq;
+        self.events = events;
+        self.values = values;
+        // Every live transition was queued once; stale slots belong to
+        // dropped (cancelled) events and stay marked.
+        self.stale = vec![true; usize::try_from(seq).unwrap_or(usize::MAX)];
+        self.queue = BinaryHeap::new();
+        self.pending = pending;
+        for (ni, pend) in self.pending.iter().enumerate() {
+            for &(t, s, v) in pend {
+                self.stale[s as usize] = false;
+                self.queue.push(Reverse(Event {
+                    time: t,
+                    seq: s,
+                    net: NetId(ni as u32),
+                    value: v,
+                }));
+            }
+        }
+        Ok(())
     }
 
     /// Starts recording value changes for [`Simulator::write_vcd`].

@@ -43,4 +43,6 @@ pub use net::{serve_lines, serve_tcp};
 pub use protocol::{parse_request, Priority, Request, RequestError, Value};
 pub use queue::BoundedQueue;
 pub use retry::{backoff_delay, backoff_schedule, job_key, RetryConfig};
-pub use server::{Handle, JobError, JobRunner, Server, ServerConfig, StatsSnapshot, SubmitOutcome};
+pub use server::{
+    Handle, JobError, JobRunner, RunOutcome, Server, ServerConfig, StatsSnapshot, SubmitOutcome,
+};

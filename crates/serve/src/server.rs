@@ -11,6 +11,7 @@
 //!    │      deadline_ms expired ▶ reply error `deadline` (never run)
 //!    ▼
 //! running ── ok ────────────────▶ reply `ok` (attempts counted)
+//!    │       preempted ─────────▶ checkpointed, requeued (not terminal)
 //!    │       panic ─────────────▶ reply error `panic`; the worker survives
 //!    │       transient failure ─▶ seeded backoff, requeued (bounded retries)
 //!    └────── final failure ─────▶ reply error with the failure's code
@@ -77,6 +78,21 @@ impl JobError {
     }
 }
 
+/// How one dispatch of a job ended, short of an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The job finished; the string is its terminal `ok` payload.
+    Done(String),
+    /// The job ran out of its execution slice and checkpointed. The
+    /// server requeues it and hands `state` back on the next dispatch —
+    /// a preemption is *not* a terminal outcome and does not consume a
+    /// retry attempt.
+    Preempted {
+        /// Opaque resume blob (for cosim jobs, a replay checkpoint).
+        state: Vec<u8>,
+    },
+}
+
 /// What the server runs. Implementations live with the job registry
 /// (the `codesign` core crate), keeping this crate free of a dependency
 /// cycle; the server only needs *a* runner.
@@ -87,6 +103,22 @@ impl JobError {
 pub trait JobRunner: Send + Sync + 'static {
     /// Runs one job. May panic: the server isolates it.
     fn run(&self, request: &Request, attempt: u32) -> Result<String, JobError>;
+
+    /// Runs one *slice* of a job. Runners that support checkpoint
+    /// preemption override this: when the slice budget expires they
+    /// return [`RunOutcome::Preempted`] with a resume blob, and receive
+    /// it back as `resume` on the next dispatch. The default runs the
+    /// job to completion via [`JobRunner::run`] (never preempts, never
+    /// sees a resume blob).
+    fn run_slice(
+        &self,
+        request: &Request,
+        attempt: u32,
+        resume: Option<&[u8]>,
+    ) -> Result<RunOutcome, JobError> {
+        debug_assert!(resume.is_none(), "default runners never preempt");
+        self.run(request, attempt).map(RunOutcome::Done)
+    }
 }
 
 /// Pool shape and retry policy.
@@ -98,6 +130,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Retry policy for transient failures.
     pub retry: RetryConfig,
+    /// Checkpoint preemptions one job may accumulate before it is
+    /// failed with code `preempt_limit` (guards against a runner that
+    /// never completes a slice).
+    pub max_preemptions: u32,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +142,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             retry: RetryConfig::default(),
+            max_preemptions: 64,
         }
     }
 }
@@ -134,6 +171,7 @@ struct Stats {
     panicked: AtomicU64,
     watchdogged: AtomicU64,
     deadline_expired: AtomicU64,
+    preempted: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -161,6 +199,9 @@ pub struct StatsSnapshot {
     pub watchdogged: u64,
     /// Jobs failed at dequeue because their queue-wait deadline passed.
     pub deadline_expired: u64,
+    /// Checkpoint preemptions performed (slice expired, job requeued;
+    /// counted per occurrence — not terminal).
+    pub preempted: u64,
 }
 
 impl StatsSnapshot {
@@ -178,7 +219,7 @@ impl StatsSnapshot {
         format!(
             "{{\"accepted\":{},\"ok\":{},\"failed\":{},\"shed\":{},\"drained\":{},\
              \"rejected\":{},\"retried\":{},\"panicked\":{},\"watchdogged\":{},\
-             \"deadline_expired\":{}}}",
+             \"deadline_expired\":{},\"preempted\":{}}}",
             self.accepted,
             self.ok,
             self.failed,
@@ -188,7 +229,8 @@ impl StatsSnapshot {
             self.retried,
             self.panicked,
             self.watchdogged,
-            self.deadline_expired
+            self.deadline_expired,
+            self.preempted
         )
     }
 }
@@ -198,6 +240,10 @@ struct Job {
     reply: Sender<String>,
     attempt: u32,
     accepted_at: Instant,
+    /// Checkpoint blob from a preempted slice; its presence also marks
+    /// the job as started, exempting it from the queue-wait deadline.
+    resume: Option<Vec<u8>>,
+    preemptions: u32,
 }
 
 /// A retry waiting out its backoff. Ordered by readiness (earliest
@@ -261,6 +307,8 @@ impl<R> Inner<R> {
             reply: reply.clone(),
             attempt: 1,
             accepted_at: Instant::now(),
+            resume: None,
+            preemptions: 0,
         };
         match state.queue.push(job, priority) {
             Ok(()) => {
@@ -310,6 +358,7 @@ impl<R> Inner<R> {
             panicked: self.stats.panicked.load(Ordering::Relaxed),
             watchdogged: self.stats.watchdogged.load(Ordering::Relaxed),
             deadline_expired: self.stats.deadline_expired.load(Ordering::Relaxed),
+            preempted: self.stats.preempted.load(Ordering::Relaxed),
         }
     }
 
@@ -507,8 +556,13 @@ fn worker_loop<R: JobRunner>(inner: &Inner<R>) {
 
         // Queue-wait deadline: a job the client gave up on is failed,
         // never run — the cheapest form of load shedding under overload.
+        // A preempted job is exempt: it already started running, and
+        // from then on `deadline_ms` means its execution slice, not its
+        // queue wait.
         if let Some(deadline_ms) = job.request.deadline_ms {
-            if job.accepted_at.elapsed() > Duration::from_millis(deadline_ms) {
+            if job.resume.is_none()
+                && job.accepted_at.elapsed() > Duration::from_millis(deadline_ms)
+            {
                 inner.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 inner.stats.failed.fetch_add(1, Ordering::Relaxed);
                 let _ = job.reply.send(reply_error(
@@ -525,7 +579,9 @@ fn worker_loop<R: JobRunner>(inner: &Inner<R>) {
 
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            inner.runner.run(&job.request, job.attempt)
+            inner
+                .runner
+                .run_slice(&job.request, job.attempt, job.resume.as_deref())
         }));
         let ts = inner.started.elapsed().as_micros() as u64;
         let dur = t0.elapsed().as_micros() as u64;
@@ -552,11 +608,49 @@ fn worker_loop<R: JobRunner>(inner: &Inner<R>) {
                     "job panicked; isolated by the worker pool",
                 ));
             }
-            Ok(Ok(result)) => {
+            Ok(Ok(RunOutcome::Done(result))) => {
                 inner.stats.ok.fetch_add(1, Ordering::Relaxed);
                 let _ = job
                     .reply
                     .send(reply_ok(&job.request.id, job.attempt, &result));
+            }
+            Ok(Ok(RunOutcome::Preempted { state: resume })) => {
+                if state.draining {
+                    // Drain already flushed the queues; a slice that
+                    // lands now gets the same terminal `draining` reply
+                    // a queued job would have.
+                    inner.stats.drained.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(reply_draining(&job.request.id));
+                } else if job.preemptions >= inner.cfg.max_preemptions {
+                    inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(reply_error(
+                        Some(&job.request.id),
+                        "preempt_limit",
+                        &format!(
+                            "preempted {} times without completing (max_preemptions={})",
+                            job.preemptions + 1,
+                            inner.cfg.max_preemptions
+                        ),
+                    ));
+                } else {
+                    // Requeue through the delayed set (immediately
+                    // ready): like a retry, a job admitted once is never
+                    // shed on re-entry — but the attempt number is
+                    // unchanged, because nothing failed.
+                    inner.stats.preempted.fetch_add(1, Ordering::Relaxed);
+                    let seq = state.seq;
+                    state.seq += 1;
+                    state.delayed.push(Delayed {
+                        ready_at: Instant::now(),
+                        seq,
+                        job: Job {
+                            resume: Some(resume),
+                            preemptions: job.preemptions + 1,
+                            ..job
+                        },
+                    });
+                    inner.cv.notify_one();
+                }
             }
             Ok(Err(e)) => {
                 if e.code == "watchdog" {
@@ -644,6 +738,7 @@ mod tests {
                 max_delay_ms: 4,
                 seed: 7,
             },
+            max_preemptions: 64,
         }
     }
 
@@ -849,8 +944,109 @@ mod tests {
             "panicked",
             "watchdogged",
             "deadline_expired",
+            "preempted",
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "{json}");
+        }
+    }
+
+    /// A runner whose `sliced` jobs take `deadline_ms`-many preemptions
+    /// to finish: each slice "executes" one unit, checkpoints the count,
+    /// and resumes from it.
+    struct SliceRunner;
+
+    impl JobRunner for SliceRunner {
+        fn run(&self, request: &Request, _attempt: u32) -> Result<String, JobError> {
+            Ok(format!("ran {} unsliced", request.id))
+        }
+
+        fn run_slice(
+            &self,
+            request: &Request,
+            attempt: u32,
+            resume: Option<&[u8]>,
+        ) -> Result<RunOutcome, JobError> {
+            let Some(units) = request.deadline_ms else {
+                return self.run(request, attempt).map(RunOutcome::Done);
+            };
+            let done = resume.map_or(0, |b| u64::from(b[0]));
+            if done + 1 >= units {
+                Ok(RunOutcome::Done(format!(
+                    "ran {} in {units} slices",
+                    request.id
+                )))
+            } else {
+                Ok(RunOutcome::Preempted {
+                    state: vec![(done + 1) as u8],
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn preempted_jobs_resume_from_their_checkpoint_and_finish() {
+        let server = Server::new(SliceRunner, quick_cfg(), &Tracer::off());
+        let (tx, rx) = channel();
+        let mut long = req("long", "sliced");
+        long.deadline_ms = Some(4);
+        server.submit(long, &tx);
+        let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(reply.contains("ran long in 4 slices"), "{reply}");
+        assert!(reply.contains("\"attempts\":1"), "preemption is not retry");
+        let stats = server.shutdown();
+        assert_eq!(stats.preempted, 3, "4 slices = 3 preemptions");
+        assert_eq!((stats.ok, stats.failed), (1, 0));
+        assert_eq!(stats.terminal(), stats.accepted);
+    }
+
+    #[test]
+    fn runaway_preemption_is_bounded() {
+        let server = Server::new(
+            SliceRunner,
+            ServerConfig {
+                max_preemptions: 5,
+                ..quick_cfg()
+            },
+            &Tracer::off(),
+        );
+        let (tx, rx) = channel();
+        let mut endless = req("endless", "sliced");
+        endless.deadline_ms = Some(u64::MAX);
+        server.submit(endless, &tx);
+        let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(reply.contains("\"code\":\"preempt_limit\""), "{reply}");
+        let stats = server.shutdown();
+        assert_eq!(stats.preempted, 5);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.terminal(), stats.accepted);
+    }
+
+    #[test]
+    fn accounting_holds_under_preemption_and_drain() {
+        // One worker so preempted jobs interleave with fresh ones, then
+        // drain mid-flight: every accepted job must still get exactly
+        // one terminal reply.
+        let server = Server::new(
+            SliceRunner,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 16,
+                ..quick_cfg()
+            },
+            &Tracer::off(),
+        );
+        let (tx, rx) = channel();
+        for i in 0..6 {
+            let mut job = req(&format!("p{i}"), "sliced");
+            job.deadline_ms = Some(50);
+            server.submit(job, &tx);
+        }
+        server.drain();
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 6);
+        assert_eq!(stats.terminal(), stats.accepted, "{stats:?}");
+        for _ in 0..6 {
+            let _ = rx.recv_timeout(Duration::from_secs(10)).unwrap();
         }
     }
 }

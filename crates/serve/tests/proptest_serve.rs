@@ -135,6 +135,7 @@ proptest! {
                     max_delay_ms: 2,
                     seed: 11,
                 },
+                max_preemptions: 64,
             },
             &Tracer::off(),
         );

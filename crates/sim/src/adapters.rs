@@ -12,8 +12,9 @@
 //! be preempted mid-execution; the CR32's longest is a divide plus a bus
 //! transaction).
 
-use codesign_isa::cpu::Cpu;
+use codesign_isa::cpu::{Cpu, DebugStop};
 use codesign_rtl::fsmd::{FsmdSim, FsmdStatus};
+use codesign_rtl::state::{StateReader, StateWriter};
 
 use crate::engine::SimEngine;
 use crate::error::SimError;
@@ -25,6 +26,11 @@ pub struct CpuEngine {
     cpu: Cpu,
     /// Local clock floor: a halted CPU still "follows" global time.
     floor: u64,
+    /// Debugger control: when on, rounds run through [`Cpu::run_debug`]
+    /// and a breakpoint/watchpoint hit parks the CPU mid-horizon.
+    debug_mode: bool,
+    /// The debug event that stopped the CPU short of its last horizon.
+    pending_stop: Option<DebugStop>,
 }
 
 impl CpuEngine {
@@ -35,6 +41,8 @@ impl CpuEngine {
             name: name.into(),
             cpu,
             floor: 0,
+            debug_mode: false,
+            pending_stop: None,
         }
     }
 
@@ -42,6 +50,33 @@ impl CpuEngine {
     #[must_use]
     pub fn cpu(&self) -> &Cpu {
         &self.cpu
+    }
+
+    /// Mutable access to the wrapped CPU (debugger frontends: register
+    /// writes, breakpoint management, single steps).
+    #[must_use]
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Switches debugger control on or off. With it on, each
+    /// coordination round drives the CPU through [`Cpu::run_debug`]: a
+    /// breakpoint or watchpoint hit leaves the CPU parked short of the
+    /// round horizon (its local clock floor is *not* advanced), and the
+    /// event is held for [`CpuEngine::take_stop`]. The frontend is
+    /// expected to stop driving rounds while a stop is pending — and to
+    /// disable the coordinator watchdog, which would otherwise flag the
+    /// parked CPU as wedged.
+    pub fn set_debug_mode(&mut self, on: bool) {
+        self.debug_mode = on;
+        if !on {
+            self.pending_stop = None;
+        }
+    }
+
+    /// Takes the pending debug stop, if the last round hit one.
+    pub fn take_stop(&mut self) -> Option<DebugStop> {
+        self.pending_stop.take()
     }
 }
 
@@ -55,6 +90,18 @@ impl SimEngine for CpuEngine {
     }
 
     fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        if self.debug_mode {
+            match self.cpu.run_debug(t)? {
+                DebugStop::Horizon | DebugStop::Halted => self.floor = self.floor.max(t),
+                stop => {
+                    // Parked mid-horizon: hold the event and do not
+                    // advance the floor — the debugger decides when (and
+                    // from where) execution resumes.
+                    self.pending_stop = Some(stop);
+                }
+            }
+            return Ok(());
+        }
         // Batched: one `run_until` call per round instead of a
         // per-instruction `step()` + `stats()` pair out here.
         self.cpu.run_until(t)?;
@@ -70,6 +117,10 @@ impl SimEngine for CpuEngine {
         self
     }
 
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
     fn next_event_hint(&self) -> Option<u64> {
         // A running CPU can touch the bus on any instruction, so it can
         // make no promise; a halted CPU parks forever.
@@ -78,6 +129,22 @@ impl SimEngine for CpuEngine {
         } else {
             None
         }
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.floor);
+        self.cpu.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SimError> {
+        self.floor = r.u64()?;
+        self.cpu.restore_state(r)?;
+        self.pending_stop = None;
+        Ok(())
     }
 }
 
@@ -145,6 +212,23 @@ impl SimEngine for FsmdEngine {
         } else {
             Some(u64::MAX)
         }
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.time);
+        w.u64(self.floor);
+        self.sim.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SimError> {
+        self.time = r.u64()?;
+        self.floor = r.u64()?;
+        self.sim.restore_state(r)?;
+        Ok(())
     }
 }
 

@@ -22,6 +22,7 @@
 //! final global time, and budget errors — are bit-identical to pure
 //! lockstep (see DESIGN.md §9 for the argument).
 
+use codesign_rtl::state::{StateReader, StateWriter};
 use codesign_trace::{Arg, Tracer, TrackId};
 
 use crate::error::{EngineSnapshot, SimError, WatchdogSnapshot};
@@ -62,6 +63,35 @@ pub trait SimEngine: std::fmt::Debug {
     /// which processes a message engine has blocked). Empty by default.
     fn diagnostics(&self) -> String {
         String::new()
+    }
+    /// Whether this engine implements [`save_state`](Self::save_state) /
+    /// [`restore_state`](Self::restore_state) as a matched, bit-exact
+    /// pair. `false` by default — a coordinator refuses whole-run
+    /// checkpoints unless every engine opts in.
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+    /// Serializes the engine's mutable state. The default writes nothing
+    /// (matched with the default `restore_state`), which is correct only
+    /// for engines with no mutable state — hence `supports_snapshot`
+    /// defaulting to `false`.
+    fn save_state(&self, _w: &mut StateWriter) {}
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// structurally identical engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Hardware`] wrapping
+    /// [`codesign_rtl::RtlError::State`] on truncated or mismatched
+    /// bytes.
+    fn restore_state(&mut self, _r: &mut StateReader<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+    /// Mutable downcast access, for debugger frontends that must steer a
+    /// specific engine while it is mounted under a coordinator. `None`
+    /// by default.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
     }
 }
 
@@ -563,6 +593,85 @@ impl Coordinator {
             self.advance_round(budget)?;
         }
         Ok(self.stats)
+    }
+
+    /// Mutable access to the registered engines (debugger frontends,
+    /// post-restore fixups). Ordinary runs never need this.
+    #[must_use]
+    pub fn engines_mut(&mut self) -> &mut [Box<dyn SimEngine>] {
+        &mut self.engines
+    }
+
+    /// Whether every registered engine supports bit-exact
+    /// checkpoint/restore, i.e. whether [`Coordinator::save_state`]
+    /// captures the whole co-simulation.
+    #[must_use]
+    pub fn supports_snapshot(&self) -> bool {
+        self.engines.iter().all(|e| e.supports_snapshot())
+    }
+
+    /// Serializes the whole co-simulation's mutable state: coordinator
+    /// statistics, watchdog and retry bookkeeping, and every engine's
+    /// state as a length-prefixed blob. Static structure (quantum,
+    /// lookahead mode, policies, tracer) is not serialized — a
+    /// checkpoint restores into a freshly built, structurally identical
+    /// coordinator.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.stats.sync_rounds);
+        w.u64(self.stats.rounds_skipped);
+        w.u64(self.stats.cycles_leapt);
+        w.u64(self.stats.time);
+        w.u64(self.stats.retries);
+        w.bool(self.last_min_time.is_some());
+        w.u64(self.last_min_time.unwrap_or(0));
+        w.u64(self.stalled_rounds);
+        w.u64(self.last_progress_round);
+        w.seq(self.retry_state.len());
+        for rs in &self.retry_state {
+            w.u32(rs.attempts);
+            w.u64(rs.cooldown);
+        }
+        w.seq(self.engines.len());
+        for e in &self.engines {
+            let mut ew = StateWriter::new();
+            e.save_state(&mut ew);
+            w.bytes(&ew.into_bytes());
+        }
+    }
+
+    /// Restores state written by [`Coordinator::save_state`] into a
+    /// structurally identical coordinator (same engines in the same
+    /// order, same quantum and policies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Hardware`] wrapping
+    /// [`codesign_rtl::RtlError::State`] on truncation or an engine
+    /// -count mismatch, and propagates engine restore failures.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SimError> {
+        self.stats.sync_rounds = r.u64()?;
+        self.stats.rounds_skipped = r.u64()?;
+        self.stats.cycles_leapt = r.u64()?;
+        self.stats.time = r.u64()?;
+        self.stats.retries = r.u64()?;
+        let has_min = r.bool()?;
+        let min = r.u64()?;
+        self.last_min_time = has_min.then_some(min);
+        self.stalled_rounds = r.u64()?;
+        self.last_progress_round = r.u64()?;
+        r.seq(Some(self.retry_state.len()))?;
+        for rs in &mut self.retry_state {
+            rs.attempts = r.u32()?;
+            rs.cooldown = r.u64()?;
+        }
+        r.seq(Some(self.engines.len()))?;
+        for e in &mut self.engines {
+            let blob = r.bytes()?;
+            let mut er = StateReader::new(blob);
+            e.restore_state(&mut er)?;
+            er.finish()?;
+        }
+        Ok(())
     }
 }
 

@@ -25,8 +25,11 @@ use codesign_isa::cpu::{Cpu, MMIO_BASE};
 use codesign_rtl::bus::{fifo_regs, BusTiming, DrainFifo, SystemBus};
 
 use codesign_ir::process::{Action, Process, ProcessNetwork};
+use codesign_rtl::state::{StateReader, StateWriter};
+use codesign_rtl::RtlError;
 use codesign_trace::{Arg, Tracer};
 
+use crate::engine::SimEngine;
 use crate::error::SimError;
 use crate::message::{self, MessageConfig, Placement, Resource};
 use crate::pinproto::PinPhy;
@@ -242,6 +245,167 @@ fn run_driver(cfg: &LadderConfig, costs: &DriverCosts) -> LevelReport {
         simulated_cycles: time,
         kernel_events: events,
         wall: start.elapsed(),
+    }
+}
+
+/// The driver-level cost model as a coordinator-mountable engine.
+///
+/// [`run_driver`] collapses the whole scenario into one closed-form loop;
+/// this engine unrolls the same arithmetic into a phase machine (compute
+/// → driver call, iterated, then the tail drain) so the driver level can
+/// ride under a [`Coordinator`](crate::engine::Coordinator) — and thus be
+/// checkpointed, fingerprinted, and replayed like the other ladder
+/// levels. Its final local time equals `run_driver`'s `simulated_cycles`
+/// and its event count matches (two per iteration, none for the tail).
+#[derive(Debug)]
+pub struct DriverEngine {
+    name: String,
+    cfg: LadderConfig,
+    costs: DriverCosts,
+    /// Iterations fully completed (compute + driver call both charged).
+    iter: u32,
+    /// 0 = compute, 1 = driver call, 2 = tail drain, 3 = done.
+    phase: u8,
+    time: u64,
+    floor: u64,
+    events: u64,
+}
+
+impl DriverEngine {
+    /// Builds the engine over the scenario and cost model.
+    #[must_use]
+    pub fn new(name: impl Into<String>, cfg: LadderConfig, costs: DriverCosts) -> Self {
+        DriverEngine {
+            name: name.into(),
+            cfg,
+            costs,
+            iter: 0,
+            phase: 0,
+            time: 0,
+            floor: 0,
+            events: 0,
+        }
+    }
+
+    /// Kernel events charged so far (the Figure 3 cost currency).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Simulated cycles charged so far.
+    #[must_use]
+    pub fn simulated_cycles(&self) -> u64 {
+        self.time
+    }
+
+    /// Producer iterations fully completed.
+    #[must_use]
+    pub fn iterations_done(&self) -> u32 {
+        self.iter
+    }
+
+    /// End time of the segment the phase machine would charge next.
+    fn segment_end(&self) -> u64 {
+        match self.phase {
+            0 => self.time + self.cfg.compute_cycles,
+            1 => self.time + self.costs.call_overhead + self.cfg.words() * self.costs.per_word,
+            2 => self.time + self.cfg.words() * self.cfg.drain_period,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Charges one segment and advances the phase machine.
+    fn step_segment(&mut self) {
+        match self.phase {
+            0 => {
+                self.time += self.cfg.compute_cycles;
+                self.events += 1;
+                self.phase = 1;
+            }
+            1 => {
+                self.time += self.costs.call_overhead + self.cfg.words() * self.costs.per_word;
+                self.events += 1;
+                self.iter += 1;
+                self.phase = if self.iter >= self.cfg.iterations {
+                    2
+                } else {
+                    0
+                };
+            }
+            2 => {
+                // Tail drain of the final message: time, but no event —
+                // matching `run_driver`'s accounting exactly.
+                self.time += self.cfg.words() * self.cfg.drain_period;
+                self.phase = 3;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl SimEngine for DriverEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn local_time(&self) -> u64 {
+        self.time.max(self.floor)
+    }
+
+    fn advance_to(&mut self, t: u64) -> Result<(), SimError> {
+        // Segments are atomic (like instructions on the ISS), so the
+        // engine may overshoot the horizon by at most one segment.
+        while self.time < t && self.phase != 3 {
+            self.step_segment();
+        }
+        self.floor = self.floor.max(t);
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.phase == 3
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn next_event_hint(&self) -> Option<u64> {
+        // The model is closed-form: nothing happens between segment
+        // boundaries, and a finished engine parks forever.
+        Some(self.segment_end())
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u32(self.iter);
+        w.u8(self.phase);
+        w.u64(self.time);
+        w.u64(self.floor);
+        w.u64(self.events);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SimError> {
+        self.iter = r.u32()?;
+        let phase = r.u8()?;
+        if phase > 3 {
+            return Err(SimError::Hardware(RtlError::State {
+                reason: format!("unknown driver phase tag {phase}"),
+            }));
+        }
+        self.phase = phase;
+        self.time = r.u64()?;
+        self.floor = r.u64()?;
+        self.events = r.u64()?;
+        Ok(())
     }
 }
 
@@ -613,6 +777,37 @@ mod tests {
                 stats.instructions + bus.stats().reads + bus.stats().writes
             };
             assert_eq!(report.kernel_events, expected, "{level}");
+        }
+    }
+
+    #[test]
+    fn driver_engine_matches_closed_form_model() {
+        use crate::engine::Coordinator;
+        for cfg in [
+            LadderConfig::default(),
+            LadderConfig {
+                iterations: 5,
+                message_bytes: 17,
+                drain_period: 40,
+                ..LadderConfig::default()
+            },
+        ] {
+            let reference = run_driver(&cfg, &DriverCosts::default());
+            let mut coord = Coordinator::lockstep(16);
+            coord.add_engine(Box::new(DriverEngine::new(
+                "driver",
+                cfg,
+                DriverCosts::default(),
+            )));
+            coord.run(u64::MAX).unwrap();
+            assert!(coord.is_done());
+            let eng = coord.engines()[0]
+                .as_any()
+                .downcast_ref::<DriverEngine>()
+                .unwrap();
+            assert_eq!(eng.simulated_cycles(), reference.simulated_cycles);
+            assert_eq!(eng.events(), reference.kernel_events);
+            assert_eq!(eng.iterations_done(), eng.cfg.iterations);
         }
     }
 

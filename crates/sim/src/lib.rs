@@ -36,6 +36,7 @@
 pub mod adapters;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod ladder;
 pub mod message;
 pub mod pinproto;

@@ -20,6 +20,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use codesign_ir::process::{Action, ChannelId, ProcessId, ProcessNetwork};
+use codesign_rtl::state::{StateReader, StateWriter};
+use codesign_rtl::RtlError;
 use codesign_trace::{Arg, Tracer, TrackId};
 
 use crate::engine::SimEngine;
@@ -992,6 +994,160 @@ impl SimEngine for MessageEngine {
         // start time, which lower-bounds every observable effect
         // (software contention can only push work later).
         Some(self.next_step().map_or(u64::MAX, |(start, _)| start))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        // The fault hook (if any) carries its own state and is
+        // checkpointed by whoever installed it (the fault campaign
+        // serializes its injector separately), so the engine itself is
+        // always snapshotable.
+        true
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.procs.len());
+        for p in &self.procs {
+            w.u64(p.ready);
+            w.u32(p.iter);
+            w.usize(p.idx);
+            w.u8(match p.state {
+                ProcState::Running => 0,
+                ProcState::BlockedSend => 1,
+                ProcState::BlockedRecv => 2,
+                ProcState::Finished => 3,
+            });
+        }
+        w.seq(self.chans.len());
+        for ch in &self.chans {
+            w.seq(ch.queue.len());
+            for &(ready_at, bytes, sender) in &ch.queue {
+                w.u64(ready_at);
+                w.u64(bytes);
+                w.usize(sender);
+            }
+            match ch.sender {
+                Some((p, bytes)) => {
+                    w.bool(true);
+                    w.usize(p);
+                    w.u64(bytes);
+                }
+                None => w.bool(false),
+            }
+            match ch.receiver {
+                Some(p) => {
+                    w.bool(true);
+                    w.usize(p);
+                }
+                None => w.bool(false),
+            }
+        }
+        // Maps go out in sorted key order so identical logical state
+        // always yields identical bytes.
+        let mut cpus: Vec<(&u32, &(u64, usize))> = self.sw_free.iter().collect();
+        cpus.sort_by_key(|&(k, _)| *k);
+        w.seq(cpus.len());
+        for (cpu, &(free_at, last)) in cpus {
+            w.u32(*cpu);
+            w.u64(free_at);
+            w.usize(last);
+        }
+        w.usize(self.finished);
+        w.u64(self.floor);
+        w.u64(self.send_seq);
+        w.u64(self.report.finish_time);
+        w.u64(self.report.messages);
+        w.u64(self.report.bytes);
+        w.u64(self.report.cross_boundary_bytes);
+        w.u64(self.report.events);
+        w.seq(self.report.per_process_finish.len());
+        for &t in &self.report.per_process_finish {
+            w.u64(t);
+        }
+        w.seq(self.report.per_channel_bytes.len());
+        for &b in &self.report.per_channel_bytes {
+            w.u64(b);
+        }
+        w.seq(self.report.last_send_seq.len());
+        for &s in &self.report.last_send_seq {
+            w.u64(s);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SimError> {
+        r.seq(Some(self.procs.len()))?;
+        for p in &mut self.procs {
+            p.ready = r.u64()?;
+            p.iter = r.u32()?;
+            p.idx = r.usize()?;
+            p.state = match r.u8()? {
+                0 => ProcState::Running,
+                1 => ProcState::BlockedSend,
+                2 => ProcState::BlockedRecv,
+                3 => ProcState::Finished,
+                tag => {
+                    return Err(SimError::Hardware(RtlError::State {
+                        reason: format!("unknown process state tag {tag}"),
+                    }))
+                }
+            };
+        }
+        r.seq(Some(self.chans.len()))?;
+        for ci in 0..self.chans.len() {
+            let n = r.seq(None)?;
+            self.chans[ci].queue.clear();
+            for _ in 0..n {
+                let ready_at = r.u64()?;
+                let bytes = r.u64()?;
+                let sender = r.usize()?;
+                self.chans[ci].queue.push_back((ready_at, bytes, sender));
+            }
+            self.chans[ci].sender = if r.bool()? {
+                let p = r.usize()?;
+                let bytes = r.u64()?;
+                Some((p, bytes))
+            } else {
+                None
+            };
+            self.chans[ci].receiver = if r.bool()? { Some(r.usize()?) } else { None };
+        }
+        let n = r.seq(None)?;
+        self.sw_free.clear();
+        for _ in 0..n {
+            let cpu = r.u32()?;
+            let free_at = r.u64()?;
+            let last = r.usize()?;
+            self.sw_free.insert(cpu, (free_at, last));
+        }
+        self.finished = r.usize()?;
+        self.floor = r.u64()?;
+        self.send_seq = r.u64()?;
+        self.report.finish_time = r.u64()?;
+        self.report.messages = r.u64()?;
+        self.report.bytes = r.u64()?;
+        self.report.cross_boundary_bytes = r.u64()?;
+        self.report.events = r.u64()?;
+        r.seq(Some(self.report.per_process_finish.len()))?;
+        for t in &mut self.report.per_process_finish {
+            *t = r.u64()?;
+        }
+        r.seq(Some(self.report.per_channel_bytes.len()))?;
+        for b in &mut self.report.per_channel_bytes {
+            *b = r.u64()?;
+        }
+        r.seq(Some(self.report.last_send_seq.len()))?;
+        for s in &mut self.report.last_send_seq {
+            *s = r.u64()?;
+        }
+        // The scheduling heap holds only hints; rebuild it from the
+        // restored candidate states. Pop revalidates every entry against
+        // `candidate_of`, so execution order is a pure function of the
+        // restored state — identical whether the original heap carried
+        // stale entries or not.
+        self.queue.clear();
+        for ent in 0..self.procs.len() + self.chans.len() {
+            self.enqueue_entity(ent);
+        }
+        Ok(())
     }
 
     fn diagnostics(&self) -> String {

@@ -14,6 +14,7 @@
 use codesign_rtl::bus::BusPhy;
 use codesign_rtl::netlist::{GateKind, NetId, Netlist};
 use codesign_rtl::sim::Simulator;
+use codesign_rtl::state::{StateReader, StateWriter};
 use codesign_rtl::RtlError;
 
 /// Width of the modeled address bus in pins.
@@ -152,6 +153,16 @@ impl BusPhy for PinPhy {
 
     fn events(&self) -> u64 {
         self.sim.events_processed()
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.transactions);
+        self.sim.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RtlError> {
+        self.transactions = r.u64()?;
+        self.sim.restore_state(r)
     }
 }
 

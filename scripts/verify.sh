@@ -50,4 +50,11 @@ timeout --signal=KILL 300 cargo run --release -q -p codesign-bench --bin bench-c
 echo "== bench-serve smoke (chaos-on multi-tenant job server) =="
 timeout --signal=KILL 300 cargo run --release -q -p codesign-bench --bin bench-serve -- --smoke
 
+# Gates restored-run bit-identity (straight vs recorded vs mid-run
+# restored end states), page-store dedup actually deduplicating, and
+# divergence bisection agreeing with the linear-scan oracle on the
+# first diverging seed.
+echo "== bench-replay smoke (time-travel checkpoint/restore + bisection) =="
+timeout --signal=KILL 300 cargo run --release -q -p codesign-bench --bin bench-replay -- --smoke
+
 echo "verify: OK"
